@@ -1,0 +1,44 @@
+//! Criterion benchmark: blockchain transaction application and sealing (E8b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qb_chain::{AccountId, Blockchain, Call, ChainConfig};
+use qb_common::{Cid, SimInstant};
+
+fn bench_chain(c: &mut Criterion) {
+    c.bench_function("chain/seal_block_1000_publishes", |b| {
+        b.iter(|| {
+            let mut chain = Blockchain::new(ChainConfig::default());
+            for i in 0..1_000u64 {
+                chain.submit_call(
+                    AccountId(100 + (i % 20)),
+                    Call::PublishPage {
+                        name: format!("page{i}"),
+                        cid: Cid::for_data(&i.to_be_bytes()),
+                        out_links: vec![format!("page{}", i / 2)],
+                    },
+                );
+            }
+            chain.seal_block(SimInstant::ZERO)
+        })
+    });
+    c.bench_function("chain/ad_click_settlement", |b| {
+        let mut chain = Blockchain::new(ChainConfig::default());
+        chain.fund_from_treasury(AccountId(500), 100_000_000).unwrap();
+        chain.submit_call(
+            AccountId(500),
+            Call::CreateAdCampaign { keywords: vec!["kw".into()], bid_per_click: 10, budget: 50_000_000 },
+        );
+        chain.seal_block(SimInstant::ZERO);
+        let ad = chain.ad_market().match_keyword("kw")[0].id;
+        b.iter(|| {
+            chain.submit_call(
+                qb_chain::TREASURY,
+                Call::RecordAdClick { ad, page_creator: AccountId(600), serving_bee: AccountId(700) },
+            );
+            chain.seal_block(SimInstant::ZERO)
+        })
+    });
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark: Kademlia put/get cost at two network sizes (E8a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qb_common::DhtKey;
+use qb_dht::{DhtConfig, DhtNetwork};
+use qb_simnet::{NetConfig, SimNet};
+
+fn bench_dht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_lookup");
+    for &n in &[64usize, 256] {
+        let mut net = SimNet::new(n, NetConfig::lan(), 42);
+        let mut dht = DhtNetwork::build(&mut net, DhtConfig::default());
+        // Preload records.
+        for i in 0..100u64 {
+            let key = DhtKey::from_bytes(format!("key{i}").as_bytes());
+            dht.put_record(&mut net, i % n as u64, key, vec![0u8; 64], 1).unwrap();
+        }
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("get_record", n), &n, |b, _| {
+            b.iter(|| {
+                let key = DhtKey::from_bytes(format!("key{}", i % 100).as_bytes());
+                i += 1;
+                dht.get_record(&mut net, (i * 7) % n as u64, key).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dht);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmark: reference and decentralized PageRank (E8b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qb_common::DetRng;
+use qb_rank::{pagerank, BeeRankBehaviour, DecentralizedPageRank, LinkGraph, PageRankConfig};
+use qb_workload::generate_links;
+
+fn graph(n: usize) -> LinkGraph {
+    let names: Vec<String> = (0..n).map(|i| format!("p{i}")).collect();
+    let links = generate_links(&names, 6, &mut DetRng::new(1));
+    let mut g = LinkGraph::new();
+    for (i, name) in names.iter().enumerate() {
+        g.set_links(name, &links[i]);
+    }
+    g
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let g = graph(2_000);
+    c.bench_function("pagerank/reference_2k_nodes", |b| {
+        b.iter(|| pagerank(&g, &PageRankConfig::default()))
+    });
+    let small = graph(300);
+    let dpr = DecentralizedPageRank::default();
+    let bees = vec![BeeRankBehaviour::Honest; 9];
+    c.bench_function("pagerank/decentralized_verified_300_nodes", |b| {
+        b.iter(|| dpr.run(&small, &bees))
+    });
+}
+
+criterion_group!(benches, bench_pagerank);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benchmark: posting-list intersection and codec (frontend core op).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qb_index::{Posting, PostingList};
+
+fn lists() -> (PostingList, PostingList) {
+    let a = PostingList::from_postings((0..100_000u64).step_by(3).map(|d| Posting { doc_id: d, term_freq: 2 }).collect());
+    let b = PostingList::from_postings((0..100_000u64).step_by(7).map(|d| Posting { doc_id: d, term_freq: 1 }).collect());
+    (a, b)
+}
+
+fn bench_postings(c: &mut Criterion) {
+    let (a, b) = lists();
+    c.bench_function("postings/intersect_33k_x_14k", |bencher| {
+        bencher.iter(|| a.intersect(&b))
+    });
+    c.bench_function("postings/union_33k_x_14k", |bencher| bencher.iter(|| a.union(&b)));
+    let encoded = a.encode();
+    c.bench_function("postings/encode_33k", |bencher| bencher.iter(|| a.encode()));
+    c.bench_function("postings/decode_33k", |bencher| {
+        bencher.iter(|| PostingList::decode(&encoded).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_postings);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmark: the no-crawling publish → index pipeline (E3's cost side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qb_bench::build_engine;
+use qb_chain::AccountId;
+use qb_dweb::WebPage;
+
+fn bench_publish_pipeline(c: &mut Criterion) {
+    let mut qb = build_engine(32, 4, 99);
+    let mut i = 0u64;
+    c.bench_function("publish_pipeline/publish_and_index_one_page", |b| {
+        b.iter(|| {
+            i += 1;
+            let page = WebPage::new(
+                format!("bench/page{i}"),
+                "Benchmark page",
+                format!("benchmark content number {i} with a few distinct terms alpha beta gamma"),
+                vec![],
+            );
+            qb.publish((i % 20) as u64, AccountId(1_000 + (i % 5)), &page).unwrap();
+            qb.seal();
+            qb.process_publish_events().unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_publish_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark: content-addressed storage publish and fetch (E1/E4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qb_dht::{DhtConfig, DhtNetwork};
+use qb_simnet::{NetConfig, SimNet};
+use qb_storage::{chunk_content_defined, ChunkerConfig, StorageConfig, StorageNetwork};
+
+fn bench_storage(c: &mut Criterion) {
+    let data: Vec<u8> = (0..256 * 1024u32).map(|i| (i % 251) as u8).collect();
+    c.bench_function("storage/cdc_chunking_256KiB", |b| {
+        b.iter(|| chunk_content_defined(&data, &ChunkerConfig::default()))
+    });
+
+    let mut net = SimNet::new(32, NetConfig::lan(), 7);
+    let mut dht = DhtNetwork::build(&mut net, DhtConfig::small());
+    let mut storage = StorageNetwork::new(32, StorageConfig::small());
+    let page: Vec<u8> = (0..16 * 1024u32).map(|i| (i % 251) as u8).collect();
+    let (obj, _) = storage.put_object(&mut net, &mut dht, 0, &page).unwrap();
+    c.bench_function("storage/put_16KiB_object", |b| {
+        let mut salt = 0u32;
+        b.iter(|| {
+            salt += 1;
+            let mut d = page.clone();
+            d[0..4].copy_from_slice(&salt.to_be_bytes());
+            storage.put_object(&mut net, &mut dht, (salt % 20) as u64, &d).unwrap()
+        })
+    });
+    c.bench_function("storage/get_16KiB_object", |b| {
+        let mut peer = 0u64;
+        b.iter(|| {
+            peer = (peer + 1) % 30;
+            storage.get_object(&mut net, &mut dht, peer, obj.root).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Shared harness code for the Criterion benchmarks and the `experiments`
+//! binary that regenerates every table in EXPERIMENTS.md.
+
+use qb_baseline::CrawlDoc;
+use qb_chain::AccountId;
+use qb_common::DetRng;
+use qb_queenbee::{QueenBee, QueenBeeConfig};
+use qb_workload::{Corpus, CorpusConfig, CorpusGenerator};
+
+/// Build a deterministic corpus of `num_pages` pages.
+pub fn build_corpus(seed: u64, num_pages: usize) -> Corpus {
+    let config = CorpusConfig {
+        num_pages,
+        vocab_size: (num_pages * 12).max(500),
+        avg_doc_len: 80,
+        ..CorpusConfig::default()
+    };
+    CorpusGenerator::new(config).generate(&mut DetRng::new(seed))
+}
+
+/// Build a QueenBee engine sized for experiments.
+pub fn build_engine(num_peers: usize, num_bees: usize, seed: u64) -> QueenBee {
+    let mut config = QueenBeeConfig::small();
+    config.num_peers = num_peers;
+    config.num_bees = num_bees;
+    config.seed = seed;
+    QueenBee::new(config).expect("valid experiment configuration")
+}
+
+/// Build an engine from an explicit configuration (panics on invalid config).
+pub fn build_engine_with(config: QueenBeeConfig) -> QueenBee {
+    QueenBee::new(config).expect("valid experiment configuration")
+}
+
+/// Publish every page of a corpus into the engine and run the worker bees
+/// over the resulting publish events. Returns the number of accepted pages.
+pub fn publish_corpus(engine: &mut QueenBee, corpus: &Corpus) -> usize {
+    let mut accepted = 0;
+    for (i, page) in corpus.pages.iter().enumerate() {
+        let creator = AccountId(corpus.creators[i]);
+        let peer = (i % (engine.config().num_peers - engine.config().num_bees)) as u64;
+        let report = engine
+            .publish(peer, creator, page)
+            .expect("publishing a generated page");
+        if report.accepted {
+            accepted += 1;
+        }
+    }
+    engine.seal();
+    engine.process_publish_events().expect("indexing published pages");
+    accepted
+}
+
+/// Snapshot the corpus as crawl documents for the baselines, with per-page
+/// versions and texts overridden by `versions` (version 1 / original text
+/// when absent).
+pub fn crawl_docs(
+    corpus: &Corpus,
+    versions: &std::collections::HashMap<String, (u64, String)>,
+) -> Vec<CrawlDoc> {
+    corpus
+        .pages
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (version, text) = versions
+                .get(&p.name)
+                .cloned()
+                .unwrap_or((1, p.text()));
+            CrawlDoc {
+                name: p.name.clone(),
+                version,
+                creator: corpus.creators[i],
+                text,
+            }
+        })
+        .collect()
+}
+
+/// A simple fixed-width text table used for every experiment's output.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Rows as JSON objects keyed by header (for machine-readable output).
+    pub fn to_json(&self) -> serde_json::Value {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut obj = serde_json::Map::new();
+                for (h, c) in self.headers.iter().zip(row) {
+                    obj.insert(h.clone(), serde_json::Value::String(c.clone()));
+                }
+                serde_json::Value::Object(obj)
+            })
+            .collect();
+        serde_json::json!({ "title": self.title, "rows": rows })
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 4 decimals.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("demo", &["a", "longheader"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("longheader"));
+        assert_eq!(s.lines().count(), 6);
+        let json = t.to_json();
+        assert_eq!(json["rows"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn corpus_and_engine_helpers_work_together() {
+        let corpus = build_corpus(1, 10);
+        let mut engine = build_engine(20, 3, 1);
+        let accepted = publish_corpus(&mut engine, &corpus);
+        assert!(accepted >= 8, "most generated pages should be accepted, got {accepted}");
+        let docs = crawl_docs(&corpus, &std::collections::HashMap::new());
+        assert_eq!(docs.len(), 10);
+    }
+}

@@ -1,0 +1,584 @@
+//! The ledger: mempool, proof-of-authority sealing, state and the event log.
+
+use crate::account::{AccountId, Accounts, TREASURY};
+use crate::block::{Block, BlockHeader};
+use crate::contracts::ads::AdMarket;
+use crate::contracts::publish::PublishRegistry;
+use crate::contracts::rewards::RewardPool;
+use crate::tx::{Call, Event, Receipt, Transaction, TxStatus};
+use qb_common::{Hash256, QbError, QbResult, SimInstant};
+use std::collections::VecDeque;
+
+/// Chain-level configuration: token supply, reward amounts, revenue split and
+/// the validator set.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ChainConfig {
+    /// Honey minted to the treasury at genesis (nectar).
+    pub genesis_supply: u64,
+    /// Reward per accepted publish.
+    pub publish_reward: u64,
+    /// Bounty per accepted indexing claim.
+    pub index_reward: u64,
+    /// Bounty per accepted ranking claim.
+    pub rank_reward: u64,
+    /// Reward per popularity payout.
+    pub popularity_reward: u64,
+    /// PageRank threshold (parts per million) for popularity rewards.
+    pub popularity_threshold_ppm: u64,
+    /// Creator share of each ad click (percent).
+    pub creator_share_pct: u64,
+    /// Worker-bee share of each ad click (percent).
+    pub bee_share_pct: u64,
+    /// Round-robin validator set (proof of authority).
+    pub validators: Vec<AccountId>,
+    /// Maximum transactions sealed per block.
+    pub max_txs_per_block: usize,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            genesis_supply: 1_000_000_000,
+            publish_reward: 100,
+            index_reward: 50,
+            rank_reward: 50,
+            popularity_reward: 500,
+            popularity_threshold_ppm: 2_000,
+            creator_share_pct: 60,
+            bee_share_pct: 30,
+            validators: vec![AccountId(900), AccountId(901), AccountId(902)],
+            max_txs_per_block: 10_000,
+        }
+    }
+}
+
+/// Aggregate chain statistics used by the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ChainStats {
+    /// Current height (number of sealed blocks).
+    pub height: u64,
+    /// Transactions applied successfully.
+    pub ok_txs: u64,
+    /// Transactions that reverted or were rejected.
+    pub failed_txs: u64,
+    /// Total honey across all accounts.
+    pub total_supply: u64,
+    /// Events emitted so far.
+    pub events: u64,
+}
+
+/// The QueenBee blockchain.
+#[derive(Debug, Clone)]
+pub struct Blockchain {
+    config: ChainConfig,
+    accounts: Accounts,
+    publish: PublishRegistry,
+    ads: AdMarket,
+    rewards: RewardPool,
+    blocks: Vec<Block>,
+    receipts: Vec<Receipt>,
+    mempool: VecDeque<Transaction>,
+    events: Vec<(u64, Event)>,
+    ok_txs: u64,
+    failed_txs: u64,
+}
+
+impl Blockchain {
+    /// Create a chain with the genesis allocation and empty contracts.
+    pub fn new(config: ChainConfig) -> Blockchain {
+        let accounts = Accounts::with_genesis_supply(config.genesis_supply);
+        let publish = PublishRegistry::new(config.publish_reward);
+        let ads = AdMarket::new(config.creator_share_pct, config.bee_share_pct);
+        let rewards = RewardPool::new(
+            config.index_reward,
+            config.rank_reward,
+            config.popularity_reward,
+            config.popularity_threshold_ppm,
+        );
+        Blockchain {
+            config,
+            accounts,
+            publish,
+            ads,
+            rewards,
+            blocks: Vec::new(),
+            receipts: Vec::new(),
+            mempool: VecDeque::new(),
+            events: Vec::new(),
+            ok_txs: 0,
+            failed_txs: 0,
+        }
+    }
+
+    /// Chain configuration.
+    pub fn config(&self) -> &ChainConfig {
+        &self.config
+    }
+
+    /// Current chain height.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Honey balance of an account.
+    pub fn balance(&self, id: AccountId) -> u64 {
+        self.accounts.balance(id)
+    }
+
+    /// Fund an account from the treasury outside of a transaction. Used to
+    /// set up simulations (give advertisers budgets, bees starting capital);
+    /// conservation still holds because it is a transfer, not a mint.
+    pub fn fund_from_treasury(&mut self, to: AccountId, amount: u64) -> QbResult<()> {
+        self.accounts.transfer(TREASURY, to, amount)
+    }
+
+    /// The account table (read-only).
+    pub fn accounts(&self) -> &Accounts {
+        &self.accounts
+    }
+
+    /// The publish registry (read-only).
+    pub fn publish_registry(&self) -> &PublishRegistry {
+        &self.publish
+    }
+
+    /// The ad market (read-only).
+    pub fn ad_market(&self) -> &AdMarket {
+        &self.ads
+    }
+
+    /// The reward pool (read-only).
+    pub fn reward_pool(&self) -> &RewardPool {
+        &self.rewards
+    }
+
+    /// Mutable access to the reward pool configuration (quorum sizes).
+    pub fn reward_pool_mut(&mut self) -> &mut RewardPool {
+        &mut self.rewards
+    }
+
+    /// Next nonce to use for an account, accounting for transactions already
+    /// queued in the mempool.
+    pub fn next_nonce(&self, from: AccountId) -> u64 {
+        let pending = self.mempool.iter().filter(|t| t.from == from).count() as u64;
+        self.accounts.nonce(from) + pending
+    }
+
+    /// Build a transaction with the correct next nonce and queue it.
+    pub fn submit_call(&mut self, from: AccountId, call: Call) -> Transaction {
+        let tx = Transaction::new(from, self.next_nonce(from), call);
+        self.mempool.push_back(tx.clone());
+        tx
+    }
+
+    /// Queue an already-built transaction.
+    pub fn submit(&mut self, tx: Transaction) {
+        self.mempool.push_back(tx);
+    }
+
+    /// Number of transactions waiting in the mempool.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// Seal the next block, applying queued transactions. Returns the header
+    /// of the sealed block (empty blocks are allowed).
+    pub fn seal_block(&mut self, now: SimInstant) -> BlockHeader {
+        let take = self.mempool.len().min(self.config.max_txs_per_block);
+        let txs: Vec<Transaction> = self.mempool.drain(..take).collect();
+        let height = self.height();
+        let parent = self
+            .blocks
+            .last()
+            .map(|b| b.header.hash())
+            .unwrap_or(Hash256::ZERO);
+        let sealer = if self.config.validators.is_empty() {
+            TREASURY
+        } else {
+            self.config.validators[(height as usize) % self.config.validators.len()]
+        };
+
+        for (i, tx) in txs.iter().enumerate() {
+            let expected = self.accounts.nonce(tx.from);
+            let (status, events) = if tx.nonce != expected {
+                (
+                    TxStatus::InvalidNonce {
+                        expected,
+                        got: tx.nonce,
+                    },
+                    Vec::new(),
+                )
+            } else {
+                self.accounts.bump_nonce(tx.from);
+                match self.apply_call(tx.from, &tx.call, now) {
+                    Ok(events) => (TxStatus::Ok, events),
+                    Err(e) => (TxStatus::Reverted(e.to_string()), Vec::new()),
+                }
+            };
+            match &status {
+                TxStatus::Ok => self.ok_txs += 1,
+                _ => self.failed_txs += 1,
+            }
+            for ev in &events {
+                self.events.push((height, ev.clone()));
+            }
+            self.receipts.push(Receipt {
+                block_height: height,
+                tx_index: i,
+                from: tx.from,
+                status,
+                events,
+            });
+        }
+
+        let header = BlockHeader {
+            height,
+            parent,
+            sealer,
+            sealed_at: now,
+            tx_count: txs.len() as u32,
+            tx_digest: Block::digest_transactions(&txs),
+        };
+        self.blocks.push(Block {
+            header: header.clone(),
+            transactions: txs,
+        });
+        header
+    }
+
+    fn apply_call(&mut self, from: AccountId, call: &Call, now: SimInstant) -> QbResult<Vec<Event>> {
+        match call {
+            Call::Transfer { to, amount } => {
+                self.accounts.transfer(from, *to, *amount)?;
+                Ok(vec![Event::Transferred {
+                    from,
+                    to: *to,
+                    amount: *amount,
+                }])
+            }
+            Call::PublishPage {
+                name,
+                cid,
+                out_links,
+            } => self
+                .publish
+                .publish(&mut self.accounts, from, name, *cid, out_links.clone(), now),
+            Call::ClaimIndexReward {
+                page_name,
+                page_version,
+            } => self
+                .rewards
+                .claim_index(&mut self.accounts, from, page_name, *page_version),
+            Call::ClaimRankReward { round, block_id } => self
+                .rewards
+                .claim_rank(&mut self.accounts, from, *round, *block_id),
+            Call::DepositStake { amount } => {
+                self.rewards.deposit_stake(&mut self.accounts, from, *amount)
+            }
+            Call::SlashStake { offender, amount } => {
+                self.rewards.slash(&mut self.accounts, *offender, *amount)
+            }
+            Call::CreateAdCampaign {
+                keywords,
+                bid_per_click,
+                budget,
+            } => {
+                let (_id, events) = self.ads.create_campaign(
+                    &mut self.accounts,
+                    from,
+                    keywords.clone(),
+                    *bid_per_click,
+                    *budget,
+                )?;
+                Ok(events)
+            }
+            Call::RecordAdClick {
+                ad,
+                page_creator,
+                serving_bee,
+            } => self
+                .ads
+                .record_click(&mut self.accounts, *ad, *page_creator, *serving_bee),
+            Call::PayPopularityRewards { pages } => {
+                self.rewards.pay_popularity(&mut self.accounts, pages)
+            }
+        }
+    }
+
+    /// Receipts of all applied transactions, in order.
+    pub fn receipts(&self) -> &[Receipt] {
+        &self.receipts
+    }
+
+    /// The full event log as `(block height, event)` pairs. Consumers keep a
+    /// cursor (index into this log) and read everything after it — this is
+    /// how worker bees learn about new publishes without crawling.
+    pub fn events(&self) -> &[(u64, Event)] {
+        &self.events
+    }
+
+    /// Events appended at or after log index `cursor`.
+    pub fn events_since(&self, cursor: usize) -> &[(u64, Event)] {
+        &self.events[cursor.min(self.events.len())..]
+    }
+
+    /// All sealed blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Chain statistics.
+    pub fn stats(&self) -> ChainStats {
+        ChainStats {
+            height: self.height(),
+            ok_txs: self.ok_txs,
+            failed_txs: self.failed_txs,
+            total_supply: self.accounts.total_supply(),
+            events: self.events.len() as u64,
+        }
+    }
+
+    /// Verify header linkage of the whole chain (used by tests and the chain
+    /// micro-benchmark to confirm integrity after long runs).
+    pub fn verify_integrity(&self) -> QbResult<()> {
+        let mut expected_parent = Hash256::ZERO;
+        for (i, block) in self.blocks.iter().enumerate() {
+            if block.header.height != i as u64 {
+                return Err(QbError::Config(format!(
+                    "block {i} has height {}",
+                    block.header.height
+                )));
+            }
+            if block.header.parent != expected_parent {
+                return Err(QbError::Config(format!("block {i} parent hash mismatch")));
+            }
+            if block.header.tx_digest != Block::digest_transactions(&block.transactions) {
+                return Err(QbError::Config(format!("block {i} tx digest mismatch")));
+            }
+            expected_parent = block.header.hash();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qb_common::Cid;
+
+    fn chain() -> Blockchain {
+        Blockchain::new(ChainConfig::default())
+    }
+
+    #[test]
+    fn publish_via_transaction_pays_reward_and_emits_event() {
+        let mut c = chain();
+        let creator = AccountId(100);
+        c.submit_call(
+            creator,
+            Call::PublishPage {
+                name: "dweb/home".into(),
+                cid: Cid::for_data(b"v1"),
+                out_links: vec!["dweb/docs".into()],
+            },
+        );
+        c.seal_block(SimInstant::ZERO);
+        assert_eq!(c.height(), 1);
+        assert_eq!(c.balance(creator), c.config().publish_reward);
+        assert_eq!(c.publish_registry().get("dweb/home").unwrap().version, 1);
+        assert!(c
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, Event::PagePublished { name, .. } if name == "dweb/home")));
+        assert_eq!(c.stats().ok_txs, 1);
+    }
+
+    #[test]
+    fn invalid_nonce_is_rejected_without_state_change() {
+        let mut c = chain();
+        c.submit(Transaction::new(
+            AccountId(5),
+            7,
+            Call::Transfer {
+                to: AccountId(6),
+                amount: 1,
+            },
+        ));
+        c.seal_block(SimInstant::ZERO);
+        assert_eq!(c.stats().failed_txs, 1);
+        assert!(matches!(
+            c.receipts()[0].status,
+            TxStatus::InvalidNonce { expected: 0, got: 7 }
+        ));
+    }
+
+    #[test]
+    fn reverted_transactions_do_not_leak_honey() {
+        let mut c = chain();
+        let supply = c.accounts().total_supply();
+        // Transfer from an empty account reverts.
+        c.submit_call(
+            AccountId(7),
+            Call::Transfer {
+                to: AccountId(8),
+                amount: 999,
+            },
+        );
+        // Slash with no stake reverts.
+        c.submit_call(
+            AccountId(7),
+            Call::SlashStake {
+                offender: AccountId(9),
+                amount: 10,
+            },
+        );
+        c.seal_block(SimInstant::ZERO);
+        assert_eq!(c.stats().failed_txs, 2);
+        assert_eq!(c.accounts().total_supply(), supply);
+    }
+
+    #[test]
+    fn ad_flow_end_to_end_on_chain() {
+        let mut c = chain();
+        let advertiser = AccountId(300);
+        c.fund_from_treasury(advertiser, 10_000).unwrap();
+        c.submit_call(
+            advertiser,
+            Call::CreateAdCampaign {
+                keywords: vec!["dweb".into()],
+                bid_per_click: 100,
+                budget: 1_000,
+            },
+        );
+        c.seal_block(SimInstant::ZERO);
+        let ads = c.ad_market().match_keyword("dweb");
+        assert_eq!(ads.len(), 1);
+        let ad_id = ads[0].id;
+        let creator = AccountId(301);
+        let bee = AccountId(302);
+        c.submit_call(
+            AccountId(999),
+            Call::RecordAdClick {
+                ad: ad_id,
+                page_creator: creator,
+                serving_bee: bee,
+            },
+        );
+        c.seal_block(SimInstant::ZERO);
+        assert_eq!(c.balance(creator), 60);
+        assert_eq!(c.balance(bee), 30);
+        assert_eq!(c.ad_market().get(ad_id).unwrap().clicks, 1);
+    }
+
+    #[test]
+    fn validators_rotate_round_robin() {
+        let mut c = chain();
+        let h0 = c.seal_block(SimInstant::ZERO);
+        let h1 = c.seal_block(SimInstant::ZERO);
+        let h2 = c.seal_block(SimInstant::ZERO);
+        let h3 = c.seal_block(SimInstant::ZERO);
+        assert_ne!(h0.sealer, h1.sealer);
+        assert_ne!(h1.sealer, h2.sealer);
+        assert_eq!(h0.sealer, h3.sealer);
+    }
+
+    #[test]
+    fn chain_integrity_verifies_and_detects_linkage() {
+        let mut c = chain();
+        for i in 0..5u64 {
+            c.submit_call(
+                AccountId(100 + i),
+                Call::PublishPage {
+                    name: format!("page-{i}"),
+                    cid: Cid::for_data(format!("body {i}").as_bytes()),
+                    out_links: vec![],
+                },
+            );
+            c.seal_block(SimInstant::ZERO);
+        }
+        assert!(c.verify_integrity().is_ok());
+    }
+
+    #[test]
+    fn events_since_cursor() {
+        let mut c = chain();
+        c.submit_call(
+            AccountId(1),
+            Call::PublishPage {
+                name: "a".into(),
+                cid: Cid::for_data(b"a"),
+                out_links: vec![],
+            },
+        );
+        c.seal_block(SimInstant::ZERO);
+        let cursor = c.events().len();
+        c.submit_call(
+            AccountId(2),
+            Call::PublishPage {
+                name: "b".into(),
+                cid: Cid::for_data(b"b"),
+                out_links: vec![],
+            },
+        );
+        c.seal_block(SimInstant::ZERO);
+        let new = c.events_since(cursor);
+        assert!(new
+            .iter()
+            .any(|(_, e)| matches!(e, Event::PagePublished { name, .. } if name == "b")));
+        assert!(!new
+            .iter()
+            .any(|(_, e)| matches!(e, Event::PagePublished { name, .. } if name == "a")));
+        // A cursor past the end yields nothing.
+        assert!(c.events_since(10_000).is_empty());
+    }
+
+    #[test]
+    fn next_nonce_accounts_for_mempool() {
+        let mut c = chain();
+        assert_eq!(c.next_nonce(AccountId(4)), 0);
+        c.submit_call(AccountId(4), Call::Transfer { to: AccountId(5), amount: 0 });
+        assert_eq!(c.next_nonce(AccountId(4)), 1);
+        c.seal_block(SimInstant::ZERO);
+        assert_eq!(c.next_nonce(AccountId(4)), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn honey_is_conserved_under_random_workloads(ops in proptest::collection::vec((0u8..6, 0u64..8, 0u64..500), 0..100)) {
+            let mut c = chain();
+            // Fund a handful of actor accounts.
+            for i in 0..8u64 {
+                c.fund_from_treasury(AccountId(100 + i), 100_000).unwrap();
+            }
+            let supply = c.accounts().total_supply();
+            for (kind, actor, amount) in ops {
+                let from = AccountId(100 + actor);
+                let call = match kind {
+                    0 => Call::Transfer { to: AccountId(100 + ((actor + 1) % 8)), amount },
+                    1 => Call::PublishPage {
+                        name: format!("page-{actor}"),
+                        cid: Cid::for_data(&amount.to_be_bytes()),
+                        out_links: vec![],
+                    },
+                    2 => Call::ClaimIndexReward { page_name: format!("page-{actor}"), page_version: amount % 3 },
+                    3 => Call::DepositStake { amount },
+                    4 => Call::SlashStake { offender: AccountId(100 + ((actor + 1) % 8)), amount },
+                    _ => Call::CreateAdCampaign {
+                        keywords: vec!["kw".into()],
+                        bid_per_click: (amount % 50) + 1,
+                        budget: amount + 1,
+                    },
+                };
+                c.submit_call(from, call);
+                if c.mempool_len() > 10 {
+                    c.seal_block(SimInstant::ZERO);
+                }
+            }
+            c.seal_block(SimInstant::ZERO);
+            prop_assert_eq!(c.accounts().total_supply(), supply);
+            prop_assert!(c.verify_integrity().is_ok());
+        }
+    }
+}

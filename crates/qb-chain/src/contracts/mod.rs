@@ -1,0 +1,12 @@
+//! The three built-in QueenBee contracts.
+//!
+//! * [`publish::PublishRegistry`] — the no-crawling publish path: page name →
+//!   content cid registry plus publish rewards for creators.
+//! * [`rewards::RewardPool`] — bounties for worker bees (indexing and ranking
+//!   tasks), stake deposits and slashing, popularity rewards for creators.
+//! * [`ads::AdMarket`] — advertiser campaigns, pay-per-click charging and the
+//!   revenue split between creators, worker bees and the treasury.
+
+pub mod ads;
+pub mod publish;
+pub mod rewards;

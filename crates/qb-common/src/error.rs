@@ -1,0 +1,109 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the QueenBee crates.
+pub type QbResult<T> = Result<T, QbError>;
+
+/// The unified error type for the QueenBee reproduction.
+///
+/// Each variant corresponds to a failure mode of one of the subsystems
+/// described in DESIGN.md. Keeping a single error enum (rather than one per
+/// crate) keeps the cross-crate plumbing in `qb-queenbee` simple and lets the
+/// experiment harness classify failures uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QbError {
+    /// A block, page or record was requested but cannot be found anywhere
+    /// reachable (local store, providers, replicas).
+    NotFound(String),
+    /// Content failed cryptographic verification: the data does not hash to
+    /// the identifier it was addressed by. This is the tamper-detection path.
+    IntegrityViolation { expected: String, actual: String },
+    /// The simulated network could not deliver a message (target offline,
+    /// partitioned away, or the message was dropped).
+    Network(String),
+    /// A DHT lookup terminated without locating the requested key.
+    DhtLookupFailed(String),
+    /// A blockchain transaction was rejected (bad nonce, insufficient honey,
+    /// unknown contract, contract-level revert).
+    TxRejected(String),
+    /// A smart-contract invocation reverted with a reason string.
+    ContractRevert(String),
+    /// Codec failure (varint overflow, truncated posting list, bad manifest).
+    Codec(String),
+    /// A query could not be executed (e.g. empty after stopword removal).
+    Query(String),
+    /// Invalid configuration supplied by the caller.
+    Config(String),
+    /// An operation was attempted on a node that is offline in the simulation.
+    NodeOffline(u64),
+}
+
+impl fmt::Display for QbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QbError::NotFound(what) => write!(f, "not found: {what}"),
+            QbError::IntegrityViolation { expected, actual } => write!(
+                f,
+                "integrity violation: expected content hash {expected}, got {actual}"
+            ),
+            QbError::Network(msg) => write!(f, "network error: {msg}"),
+            QbError::DhtLookupFailed(key) => write!(f, "DHT lookup failed for key {key}"),
+            QbError::TxRejected(msg) => write!(f, "transaction rejected: {msg}"),
+            QbError::ContractRevert(msg) => write!(f, "contract reverted: {msg}"),
+            QbError::Codec(msg) => write!(f, "codec error: {msg}"),
+            QbError::Query(msg) => write!(f, "query error: {msg}"),
+            QbError::Config(msg) => write!(f, "configuration error: {msg}"),
+            QbError::NodeOffline(id) => write!(f, "node {id} is offline"),
+        }
+    }
+}
+
+impl std::error::Error for QbError {}
+
+impl QbError {
+    /// True when the error represents a (possibly transient) availability
+    /// problem rather than a logic error. The resilience experiments count
+    /// these as "unavailable" rather than "failed".
+    pub fn is_availability(&self) -> bool {
+        matches!(
+            self,
+            QbError::Network(_)
+                | QbError::DhtLookupFailed(_)
+                | QbError::NodeOffline(_)
+                | QbError::NotFound(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QbError::NotFound("block abc".into());
+        assert!(e.to_string().contains("block abc"));
+        let e = QbError::IntegrityViolation {
+            expected: "aa".into(),
+            actual: "bb".into(),
+        };
+        assert!(e.to_string().contains("aa"));
+        assert!(e.to_string().contains("bb"));
+    }
+
+    #[test]
+    fn availability_classification() {
+        assert!(QbError::Network("x".into()).is_availability());
+        assert!(QbError::NodeOffline(3).is_availability());
+        assert!(QbError::DhtLookupFailed("k".into()).is_availability());
+        assert!(!QbError::TxRejected("bad nonce".into()).is_availability());
+        assert!(!QbError::Codec("trunc".into()).is_availability());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&QbError::Query("empty".into()));
+    }
+}

@@ -1,0 +1,396 @@
+//! SHA-256 and the 256-bit digest type used for content addressing.
+//!
+//! The DWeb's tamper-proof property rests entirely on content being addressed
+//! by a cryptographic hash. We implement SHA-256 (FIPS 180-4) directly rather
+//! than pulling an external crate; the implementation is validated against
+//! the official test vectors in the unit tests below.
+
+use crate::hex;
+use std::fmt;
+
+/// A 256-bit digest. Used as the content identifier of blocks and pages, as
+/// DHT keys and as node identifiers (all share the same key space, exactly as
+/// in Kademlia-based systems such as IPFS).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Hash256(pub [u8; 32]);
+
+impl Hash256 {
+    /// The all-zero digest; used as a sentinel (e.g. "no previous version").
+    pub const ZERO: Hash256 = Hash256([0u8; 32]);
+
+    /// Hash arbitrary bytes.
+    pub fn digest(data: &[u8]) -> Hash256 {
+        sha256(data)
+    }
+
+    /// Hash the concatenation of several byte strings (used for domain
+    /// separation, e.g. `Hash256::digest_parts(&[b"idx:", term.as_bytes()])`).
+    pub fn digest_parts(parts: &[&[u8]]) -> Hash256 {
+        let mut hasher = Sha256::new();
+        for p in parts {
+            hasher.update(p);
+        }
+        Hash256(hasher.finalize())
+    }
+
+    /// Raw bytes of the digest.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Construct from raw bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Hash256 {
+        Hash256(bytes)
+    }
+
+    /// Lowercase hex representation (64 chars).
+    pub fn to_hex(&self) -> String {
+        hex::encode(&self.0)
+    }
+
+    /// Short prefix used in log output and tables.
+    pub fn short(&self) -> String {
+        self.to_hex()[..12].to_string()
+    }
+
+    /// Parse from a 64-character hex string.
+    pub fn from_hex(s: &str) -> Option<Hash256> {
+        let bytes = hex::decode(s)?;
+        if bytes.len() != 32 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&bytes);
+        Some(Hash256(out))
+    }
+
+    /// XOR distance between two digests interpreted as 256-bit integers
+    /// (the Kademlia metric). Returned as a 32-byte big-endian value.
+    pub fn xor(&self, other: &Hash256) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = self.0[i] ^ other.0[i];
+        }
+        out
+    }
+
+    /// Number of leading zero bits of the XOR distance to `other`; equals
+    /// 256 when the two digests are identical. Used to select k-buckets.
+    pub fn common_prefix_len(&self, other: &Hash256) -> usize {
+        let x = self.xor(other);
+        let mut count = 0;
+        for byte in x {
+            if byte == 0 {
+                count += 8;
+            } else {
+                count += byte.leading_zeros() as usize;
+                break;
+            }
+        }
+        count
+    }
+
+    /// Compare XOR distances: is `self` closer to `target` than `other` is?
+    pub fn closer_to(&self, other: &Hash256, target: &Hash256) -> bool {
+        self.xor(target) < other.xor(target)
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256({})", self.short())
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Convenience function: SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> Hash256 {
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    Hash256(hasher.finalize())
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Streaming SHA-256 hasher (FIPS 180-4).
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Create a fresh hasher.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Finish and return the digest bytes.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append the 0x80 terminator.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        // Number of zero bytes so that (len + 1 + zeros + 8) % 64 == 0.
+        let rem = (self.buffer_len + 1 + 8) % 64;
+        let zeros = if rem == 0 { 0 } else { 64 - rem };
+        let mut tail = Vec::with_capacity(1 + zeros + 8);
+        tail.extend_from_slice(&pad[..1 + zeros]);
+        tail.extend_from_slice(&bit_len.to_be_bytes());
+        self.update_no_len(&tail);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn update_no_len(&mut self, data: &[u8]) {
+        // Same as update but without counting towards total_len (padding).
+        let mut input = data;
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // FIPS 180-4 / NIST CAVP test vectors.
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let one_shot = sha256(&data);
+        let mut h = Sha256::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(Hash256(h.finalize()), one_shot);
+    }
+
+    #[test]
+    fn digest_parts_matches_concat() {
+        let a = b"hello ".as_slice();
+        let b = b"world".as_slice();
+        assert_eq!(Hash256::digest_parts(&[a, b]), sha256(b"hello world"));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let h = sha256(b"round trip");
+        assert_eq!(Hash256::from_hex(&h.to_hex()), Some(h));
+        assert_eq!(Hash256::from_hex("zz"), None);
+        assert_eq!(Hash256::from_hex("ab"), None); // too short
+    }
+
+    #[test]
+    fn xor_distance_properties_basic() {
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        assert_eq!(a.xor(&a), [0u8; 32]);
+        assert_eq!(a.xor(&b), b.xor(&a));
+        assert_eq!(a.common_prefix_len(&a), 256);
+    }
+
+    #[test]
+    fn closer_to_is_a_strict_order() {
+        let t = sha256(b"target");
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        if a != b {
+            assert_ne!(a.closer_to(&b, &t), b.closer_to(&a, &t));
+        }
+        assert!(!a.closer_to(&a, &t));
+    }
+
+    proptest! {
+        #[test]
+        fn streaming_equals_oneshot_prop(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                                          chunk in 1usize..97) {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            prop_assert_eq!(Hash256(h.finalize()), sha256(&data));
+        }
+
+        #[test]
+        fn different_inputs_different_digests(a in proptest::collection::vec(any::<u8>(), 0..256),
+                                              b in proptest::collection::vec(any::<u8>(), 0..256)) {
+            if a != b {
+                prop_assert_ne!(sha256(&a), sha256(&b));
+            } else {
+                prop_assert_eq!(sha256(&a), sha256(&b));
+            }
+        }
+
+        #[test]
+        fn common_prefix_len_symmetric(a in any::<[u8;32]>(), b in any::<[u8;32]>()) {
+            let ha = Hash256(a);
+            let hb = Hash256(b);
+            prop_assert_eq!(ha.common_prefix_len(&hb), hb.common_prefix_len(&ha));
+        }
+    }
+}

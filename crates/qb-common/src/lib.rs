@@ -1,0 +1,23 @@
+//! Common primitives shared by every QueenBee crate.
+//!
+//! This crate is dependency-light on purpose: it provides the cryptographic
+//! content hashing (an in-house SHA-256 validated against FIPS 180-4 test
+//! vectors), the 256-bit identifier types used by the DHT and the content
+//! addressed storage, LEB128 variable-length integer encoding used by the
+//! inverted index, a deterministic random number generator so that every
+//! simulation in the repository is reproducible from a seed, and the logical
+//! clock used by the network simulator.
+
+pub mod error;
+pub mod hash;
+pub mod hex;
+pub mod id;
+pub mod rng;
+pub mod time;
+pub mod varint;
+
+pub use error::{QbError, QbResult};
+pub use hash::{sha256, Hash256};
+pub use id::{Cid, DhtKey, NodeId};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimInstant};

@@ -1,0 +1,579 @@
+//! The DHT overlay: bootstrap, iterative lookups, record and provider
+//! operations, all executed over the simulated network.
+
+use crate::node::{DhtNode, Record};
+use crate::DhtConfig;
+use qb_common::{DhtKey, Hash256, NodeId, QbError, QbResult, SimDuration};
+use qb_simnet::{parallel_latency, SimNet};
+use std::collections::HashSet;
+
+/// Result of an iterative node lookup.
+#[derive(Debug, Clone)]
+pub struct LookupOutcome {
+    /// The closest nodes found, nearest first.
+    pub closest: Vec<NodeId>,
+    /// Number of iterative rounds performed.
+    pub hops: usize,
+    /// RPC attempts issued (successful or not).
+    pub messages: u64,
+    /// End-to-end latency charged to the caller.
+    pub latency: SimDuration,
+}
+
+/// Result of storing a record.
+#[derive(Debug, Clone)]
+pub struct PutOutcome {
+    /// Replicas that accepted the record.
+    pub stored_on: Vec<NodeId>,
+    /// End-to-end latency (lookup + parallel store round).
+    pub latency: SimDuration,
+    /// RPC attempts issued.
+    pub messages: u64,
+}
+
+/// Result of retrieving a record.
+#[derive(Debug, Clone)]
+pub struct GetOutcome {
+    /// The record found.
+    pub record: Record,
+    /// Number of iterative rounds before the value was located.
+    pub hops: usize,
+    /// RPC attempts issued.
+    pub messages: u64,
+    /// End-to-end latency charged to the caller.
+    pub latency: SimDuration,
+}
+
+/// All DHT participants plus the overlay-level operations.
+///
+/// Node `i` of the overlay corresponds to peer `i` of the [`SimNet`] passed
+/// to every operation, so liveness and partitions automatically apply.
+#[derive(Debug)]
+pub struct DhtNetwork {
+    config: DhtConfig,
+    nodes: Vec<DhtNode>,
+}
+
+impl DhtNetwork {
+    /// Create a DHT with one participant per simulated peer and bootstrap the
+    /// routing tables (each node joins through a random existing node and
+    /// then looks up its own identifier, exactly like a real Kademlia join).
+    pub fn build(net: &mut SimNet, config: DhtConfig) -> DhtNetwork {
+        let n = net.len();
+        let nodes: Vec<DhtNode> = (0..n as u64)
+            .map(|i| DhtNode::new(NodeId::from_index(i), &config))
+            .collect();
+        let mut dht = DhtNetwork { config, nodes };
+        dht.bootstrap(net);
+        dht
+    }
+
+    /// Overlay configuration.
+    pub fn config(&self) -> &DhtConfig {
+        &self.config
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the overlay has no participants.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node's local state.
+    pub fn node(&self, index: u64) -> &DhtNode {
+        &self.nodes[index as usize]
+    }
+
+    /// Mutable access to a node's local state.
+    pub fn node_mut(&mut self, index: u64) -> &mut DhtNode {
+        &mut self.nodes[index as usize]
+    }
+
+    /// Ground-truth closest online nodes to a key (bypasses routing tables);
+    /// used by tests and by the experiment harness to validate lookups.
+    pub fn closest_online_global(&self, net: &SimNet, key: &Hash256, count: usize) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .map(|n| n.id)
+            .filter(|id| net.is_online(id.index))
+            .collect();
+        ids.sort_by(|a, b| a.key.xor(key).cmp(&b.key.xor(key)));
+        ids.truncate(count);
+        ids
+    }
+
+    fn bootstrap(&mut self, net: &mut SimNet) {
+        let n = self.nodes.len();
+        if n <= 1 {
+            return;
+        }
+        for i in 1..n as u64 {
+            // Contact a random already-joined node.
+            let peer = net.rng().gen_range(i);
+            let peer_id = self.nodes[peer as usize].id;
+            self.nodes[i as usize].routing.observe(peer_id, true);
+            let self_id = self.nodes[i as usize].id;
+            self.nodes[peer as usize].routing.observe(self_id, true);
+            // Self-lookup wires the new node into the right buckets along the path.
+            let target = self.nodes[i as usize].id.key;
+            let _ = self.iterative_find(net, i, target, None);
+        }
+        // A second pass of random lookups tightens routing tables for small n.
+        for i in 0..n as u64 {
+            let random_target = Hash256::digest_parts(&[b"refresh:", &i.to_be_bytes()]);
+            let _ = self.iterative_find(net, i, random_target, None);
+        }
+    }
+
+    /// Iterative Kademlia lookup. When `want_value` is set the lookup stops
+    /// as soon as a queried node returns the record.
+    fn iterative_find(
+        &mut self,
+        net: &mut SimNet,
+        from: u64,
+        target: Hash256,
+        want_value: Option<DhtKey>,
+    ) -> (LookupOutcome, Option<Record>) {
+        let k = self.config.k;
+        let alpha = self.config.alpha.max(1);
+        let mut latency = SimDuration::ZERO;
+        let mut messages = 0u64;
+        let mut hops = 0usize;
+
+        // Check the local store first.
+        if let Some(key) = want_value {
+            if let Some(rec) = self.nodes[from as usize].find_value(&key, net.now()) {
+                return (
+                    LookupOutcome {
+                        closest: vec![self.nodes[from as usize].id],
+                        hops: 0,
+                        messages: 0,
+                        latency: SimDuration::ZERO,
+                    },
+                    Some(rec.clone()),
+                );
+            }
+        }
+
+        let mut shortlist: Vec<NodeId> = self.nodes[from as usize].routing.closest(&target, k);
+        let mut queried: HashSet<u64> = HashSet::new();
+        let mut failed: HashSet<u64> = HashSet::new();
+        queried.insert(from);
+        let mut found_value: Option<Record> = None;
+
+        for _round in 0..self.config.max_rounds {
+            // Pick the alpha closest not-yet-queried candidates.
+            shortlist.sort_by(|a, b| a.key.xor(&target).cmp(&b.key.xor(&target)));
+            shortlist.dedup_by_key(|c| c.index);
+            let batch: Vec<NodeId> = shortlist
+                .iter()
+                .filter(|c| !queried.contains(&c.index) && !failed.contains(&c.index))
+                .take(alpha)
+                .copied()
+                .collect();
+            if batch.is_empty() {
+                break;
+            }
+            hops += 1;
+            let mut round_latencies = Vec::with_capacity(batch.len());
+            let mut new_contacts: Vec<NodeId> = Vec::new();
+            for candidate in &batch {
+                queried.insert(candidate.index);
+                messages += 1;
+                let resp_bytes = self.config.contact_bytes * k;
+                let (res, lat) =
+                    net.rpc_or_timeout(from, candidate.index, self.config.request_bytes, resp_bytes);
+                round_latencies.push(lat);
+                match res {
+                    Ok(()) => {
+                        // Successful contact: update both routing tables.
+                        let from_id = self.nodes[from as usize].id;
+                        self.nodes[candidate.index as usize]
+                            .routing
+                            .observe(from_id, true);
+                        let cand_id = self.nodes[candidate.index as usize].id;
+                        self.nodes[from as usize].routing.observe(cand_id, true);
+                        // Value check.
+                        if let Some(key) = want_value {
+                            if found_value.is_none() {
+                                if let Some(rec) =
+                                    self.nodes[candidate.index as usize].find_value(&key, net.now())
+                                {
+                                    found_value = Some(rec.clone());
+                                }
+                            }
+                        }
+                        let mut contacts =
+                            self.nodes[candidate.index as usize].find_node(&target, k);
+                        new_contacts.append(&mut contacts);
+                    }
+                    Err(_) => {
+                        failed.insert(candidate.index);
+                        let cand_id = self.nodes[candidate.index as usize].id;
+                        self.nodes[from as usize].routing.remove(&cand_id);
+                    }
+                }
+            }
+            latency += parallel_latency(&round_latencies);
+            if found_value.is_some() {
+                break;
+            }
+            let before_best: Option<[u8; 32]> = shortlist
+                .iter()
+                .filter(|c| !failed.contains(&c.index))
+                .map(|c| c.key.xor(&target))
+                .min();
+            for c in new_contacts {
+                if c.index != from && !shortlist.iter().any(|e| e.index == c.index) {
+                    shortlist.push(c);
+                }
+            }
+            shortlist.sort_by(|a, b| a.key.xor(&target).cmp(&b.key.xor(&target)));
+            let after_best: Option<[u8; 32]> = shortlist
+                .iter()
+                .filter(|c| !failed.contains(&c.index))
+                .map(|c| c.key.xor(&target))
+                .min();
+            // Termination: no progress and the k closest have all been queried.
+            let top_k_all_queried = shortlist
+                .iter()
+                .filter(|c| !failed.contains(&c.index))
+                .take(k)
+                .all(|c| queried.contains(&c.index));
+            if top_k_all_queried && after_best >= before_best {
+                break;
+            }
+        }
+
+        shortlist.retain(|c| !failed.contains(&c.index));
+        shortlist.sort_by(|a, b| a.key.xor(&target).cmp(&b.key.xor(&target)));
+        shortlist.truncate(k);
+        (
+            LookupOutcome {
+                closest: shortlist,
+                hops,
+                messages,
+                latency,
+            },
+            found_value,
+        )
+    }
+
+    /// Locate the `k` closest nodes to `target`.
+    pub fn lookup_nodes(
+        &mut self,
+        net: &mut SimNet,
+        from: u64,
+        target: Hash256,
+    ) -> QbResult<LookupOutcome> {
+        if !net.is_online(from) {
+            return Err(QbError::NodeOffline(from));
+        }
+        let (outcome, _) = self.iterative_find(net, from, target, None);
+        if outcome.closest.is_empty() {
+            return Err(QbError::DhtLookupFailed(target.short()));
+        }
+        Ok(outcome)
+    }
+
+    /// Store a record on the `k` closest nodes to its key.
+    pub fn put_record(
+        &mut self,
+        net: &mut SimNet,
+        from: u64,
+        key: DhtKey,
+        value: Vec<u8>,
+        version: u64,
+    ) -> QbResult<PutOutcome> {
+        let lookup = self.lookup_nodes(net, from, key.0)?;
+        let record = Record {
+            key,
+            value,
+            publisher: self.nodes[from as usize].id,
+            expires_at: net.now() + self.config.record_ttl,
+            version,
+        };
+        let mut stored_on = Vec::new();
+        let mut latencies = Vec::new();
+        let mut messages = lookup.messages;
+        for target in lookup.closest.iter().take(self.config.k) {
+            messages += 1;
+            let (res, lat) = net.rpc_or_timeout(
+                from,
+                target.index,
+                self.config.request_bytes + record.value.len(),
+                16,
+            );
+            latencies.push(lat);
+            if res.is_ok() && self.nodes[target.index as usize].store(record.clone()) {
+                stored_on.push(*target);
+            }
+        }
+        // The publisher always keeps its own copy (it can serve it while online).
+        self.nodes[from as usize].store(record);
+        if stored_on.is_empty() {
+            return Err(QbError::DhtLookupFailed(format!(
+                "no replica accepted record {}",
+                key.to_hex()
+            )));
+        }
+        Ok(PutOutcome {
+            stored_on,
+            latency: lookup.latency + parallel_latency(&latencies),
+            messages,
+        })
+    }
+
+    /// Retrieve a record by key.
+    pub fn get_record(&mut self, net: &mut SimNet, from: u64, key: DhtKey) -> QbResult<GetOutcome> {
+        if !net.is_online(from) {
+            return Err(QbError::NodeOffline(from));
+        }
+        let (outcome, value) = self.iterative_find(net, from, key.0, Some(key));
+        match value {
+            Some(record) => Ok(GetOutcome {
+                record,
+                hops: outcome.hops,
+                messages: outcome.messages,
+                latency: outcome.latency,
+            }),
+            None => Err(QbError::DhtLookupFailed(key.to_hex())),
+        }
+    }
+
+    /// Announce that `from` can provide the content addressed by `key`.
+    pub fn add_provider(&mut self, net: &mut SimNet, from: u64, key: DhtKey) -> QbResult<PutOutcome> {
+        let lookup = self.lookup_nodes(net, from, key.0)?;
+        let provider = self.nodes[from as usize].id;
+        let mut stored_on = Vec::new();
+        let mut latencies = Vec::new();
+        let mut messages = lookup.messages;
+        for target in lookup.closest.iter().take(self.config.k) {
+            messages += 1;
+            let (res, lat) =
+                net.rpc_or_timeout(from, target.index, self.config.request_bytes, 16);
+            latencies.push(lat);
+            if res.is_ok() {
+                self.nodes[target.index as usize].add_provider(key, provider);
+                stored_on.push(*target);
+            }
+        }
+        self.nodes[from as usize].add_provider(key, provider);
+        if stored_on.is_empty() {
+            return Err(QbError::DhtLookupFailed(format!(
+                "no node accepted provider record {}",
+                key.to_hex()
+            )));
+        }
+        Ok(PutOutcome {
+            stored_on,
+            latency: lookup.latency + parallel_latency(&latencies),
+            messages,
+        })
+    }
+
+    /// Find providers for `key`. Returns the provider list and the latency.
+    pub fn get_providers(
+        &mut self,
+        net: &mut SimNet,
+        from: u64,
+        key: DhtKey,
+    ) -> QbResult<(Vec<NodeId>, SimDuration, u64)> {
+        if !net.is_online(from) {
+            return Err(QbError::NodeOffline(from));
+        }
+        // Providers known locally are free.
+        let local = self.nodes[from as usize].get_providers(&key);
+        if !local.is_empty() {
+            return Ok((local, SimDuration::ZERO, 0));
+        }
+        let lookup = self.lookup_nodes(net, from, key.0)?;
+        let mut providers: Vec<NodeId> = Vec::new();
+        let mut latencies = Vec::new();
+        let mut messages = lookup.messages;
+        for target in lookup.closest.iter().take(self.config.k) {
+            messages += 1;
+            let (res, lat) =
+                net.rpc_or_timeout(from, target.index, self.config.request_bytes, 256);
+            latencies.push(lat);
+            if res.is_ok() {
+                for p in self.nodes[target.index as usize].get_providers(&key) {
+                    if !providers.iter().any(|e| e.index == p.index) {
+                        providers.push(p);
+                    }
+                }
+                if !providers.is_empty() {
+                    break;
+                }
+            }
+        }
+        if providers.is_empty() {
+            return Err(QbError::NotFound(format!("providers for {}", key.to_hex())));
+        }
+        Ok((
+            providers,
+            lookup.latency + parallel_latency(&latencies),
+            messages,
+        ))
+    }
+
+    /// Republish every record each node holds to the current closest replicas
+    /// (Kademlia's periodic republish). Returns the number of records pushed.
+    pub fn republish_all(&mut self, net: &mut SimNet) -> usize {
+        let mut pushed = 0;
+        for i in 0..self.nodes.len() as u64 {
+            if !net.is_online(i) {
+                continue;
+            }
+            let records: Vec<Record> = self.nodes[i as usize].records().cloned().collect();
+            for rec in records {
+                if rec.expires_at <= net.now() {
+                    continue;
+                }
+                if self
+                    .put_record(net, i, rec.key, rec.value.clone(), rec.version)
+                    .is_ok()
+                {
+                    pushed += 1;
+                }
+            }
+        }
+        pushed
+    }
+
+    /// Expire stale records on every node. Returns the number removed.
+    pub fn expire_all(&mut self, net: &SimNet) -> usize {
+        let now = net.now();
+        self.nodes.iter_mut().map(|n| n.expire_records(now)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_simnet::{NetConfig, SimNet};
+
+    fn setup(n: usize, seed: u64) -> (SimNet, DhtNetwork) {
+        let mut net = SimNet::new(n, NetConfig::lan(), seed);
+        let dht = DhtNetwork::build(&mut net, DhtConfig::small());
+        (net, dht)
+    }
+
+    #[test]
+    fn bootstrap_populates_routing_tables() {
+        let (_net, dht) = setup(32, 1);
+        for i in 0..32u64 {
+            assert!(
+                !dht.node(i).routing.is_empty(),
+                "node {i} has an empty routing table"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_finds_globally_closest_nodes() {
+        let (mut net, mut dht) = setup(64, 2);
+        let target = Hash256::digest(b"some target key");
+        let outcome = dht.lookup_nodes(&mut net, 5, target).unwrap();
+        assert!(!outcome.closest.is_empty());
+        let truth = dht.closest_online_global(&net, &target, 1);
+        // The nearest node found must be the true global nearest.
+        assert_eq!(outcome.closest[0].index, truth[0].index);
+        assert!(outcome.messages > 0);
+        assert!(outcome.latency.as_micros() > 0);
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let (mut net, mut dht) = setup(48, 3);
+        let key = DhtKey::for_term("decentralized");
+        let put = dht
+            .put_record(&mut net, 7, key, b"posting-list-pointer".to_vec(), 1)
+            .unwrap();
+        assert!(!put.stored_on.is_empty());
+        let got = dht.get_record(&mut net, 33, key).unwrap();
+        assert_eq!(got.record.value, b"posting-list-pointer");
+        assert_eq!(got.record.version, 1);
+    }
+
+    #[test]
+    fn get_missing_key_fails() {
+        let (mut net, mut dht) = setup(16, 4);
+        let err = dht
+            .get_record(&mut net, 0, DhtKey::for_term("nonexistent"))
+            .unwrap_err();
+        assert!(matches!(err, QbError::DhtLookupFailed(_)));
+    }
+
+    #[test]
+    fn newer_version_wins_on_update() {
+        let (mut net, mut dht) = setup(32, 5);
+        let key = DhtKey::for_page_name("example.dweb");
+        dht.put_record(&mut net, 1, key, b"v1".to_vec(), 1).unwrap();
+        dht.put_record(&mut net, 2, key, b"v2".to_vec(), 2).unwrap();
+        let got = dht.get_record(&mut net, 20, key).unwrap();
+        assert_eq!(got.record.value, b"v2");
+    }
+
+    #[test]
+    fn records_survive_replica_failures() {
+        let (mut net, mut dht) = setup(64, 6);
+        let key = DhtKey::for_term("resilience");
+        let put = dht
+            .put_record(&mut net, 0, key, b"survives".to_vec(), 1)
+            .unwrap();
+        // Kill half of the replicas that accepted the record.
+        let kill = put.stored_on.len() / 2;
+        for r in put.stored_on.iter().take(kill) {
+            net.set_online(r.index, false);
+        }
+        let got = dht.get_record(&mut net, 40, key).unwrap();
+        assert_eq!(got.record.value, b"survives");
+    }
+
+    #[test]
+    fn providers_can_be_announced_and_found() {
+        let (mut net, mut dht) = setup(48, 7);
+        let key = DhtKey::from_bytes(b"some content cid");
+        dht.add_provider(&mut net, 11, key).unwrap();
+        let (providers, _lat, _msgs) = dht.get_providers(&mut net, 30, key).unwrap();
+        assert!(providers.iter().any(|p| p.index == 11));
+    }
+
+    #[test]
+    fn offline_requester_is_rejected() {
+        let (mut net, mut dht) = setup(16, 8);
+        net.set_online(3, false);
+        assert!(matches!(
+            dht.lookup_nodes(&mut net, 3, Hash256::digest(b"t")),
+            Err(QbError::NodeOffline(3))
+        ));
+    }
+
+    #[test]
+    fn expiry_removes_records_and_republish_restores_liveness() {
+        let (mut net, mut dht) = setup(32, 9);
+        let key = DhtKey::for_term("ttl");
+        dht.put_record(&mut net, 0, key, b"short-lived".to_vec(), 1)
+            .unwrap();
+        // Advance beyond the TTL and expire.
+        net.advance(dht.config().record_ttl + SimDuration::from_secs(1));
+        let removed = dht.expire_all(&net);
+        assert!(removed > 0);
+        assert!(dht.get_record(&mut net, 5, key).is_err());
+    }
+
+    #[test]
+    fn hops_scale_logarithmically() {
+        // Not a strict asymptotic test, just: hops stay small as n grows.
+        let (mut net, mut dht) = setup(128, 10);
+        let target = Hash256::digest(b"scaling probe");
+        let outcome = dht.lookup_nodes(&mut net, 0, target).unwrap();
+        assert!(outcome.hops <= 10, "hops = {}", outcome.hops);
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-node DHT state: routing table, record store and provider lists.
+
+use crate::routing::RoutingTable;
+use crate::DhtConfig;
+use qb_common::{DhtKey, NodeId, SimInstant};
+use std::collections::HashMap;
+
+/// A value stored in the DHT under a key.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Record {
+    /// Key under which the record is stored.
+    pub key: DhtKey,
+    /// Opaque value bytes (serialized pointers, registry entries, ...).
+    pub value: Vec<u8>,
+    /// Node that originally published the record.
+    pub publisher: NodeId,
+    /// Simulation time at which the record expires.
+    pub expires_at: SimInstant,
+    /// Monotonically increasing version; a replica only overwrites its copy
+    /// with a higher version (last-writer-wins on version).
+    pub version: u64,
+}
+
+/// The local state of one DHT participant.
+#[derive(Debug, Clone)]
+pub struct DhtNode {
+    /// This node's identity.
+    pub id: NodeId,
+    /// Kademlia routing table.
+    pub routing: RoutingTable,
+    records: HashMap<DhtKey, Record>,
+    providers: HashMap<DhtKey, Vec<NodeId>>,
+}
+
+impl DhtNode {
+    /// Create a fresh node with an empty routing table.
+    pub fn new(id: NodeId, config: &DhtConfig) -> DhtNode {
+        DhtNode {
+            id,
+            routing: RoutingTable::new(id.key, config.k),
+            records: HashMap::new(),
+            providers: HashMap::new(),
+        }
+    }
+
+    /// Handle a `STORE` RPC: keep the record if it is newer than what we have.
+    /// Returns true when the record was accepted.
+    pub fn store(&mut self, record: Record) -> bool {
+        match self.records.get(&record.key) {
+            Some(existing) if existing.version > record.version => false,
+            _ => {
+                self.records.insert(record.key, record);
+                true
+            }
+        }
+    }
+
+    /// Handle a `FIND_VALUE` RPC: return the record if present and not expired.
+    pub fn find_value(&self, key: &DhtKey, now: SimInstant) -> Option<&Record> {
+        self.records.get(key).filter(|r| r.expires_at > now)
+    }
+
+    /// Drop expired records; returns how many were removed.
+    pub fn expire_records(&mut self, now: SimInstant) -> usize {
+        let before = self.records.len();
+        self.records.retain(|_, r| r.expires_at > now);
+        before - self.records.len()
+    }
+
+    /// All live records (used for republish).
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.records.values()
+    }
+
+    /// Number of records held locally.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Handle an `ADD_PROVIDER` RPC.
+    pub fn add_provider(&mut self, key: DhtKey, provider: NodeId) {
+        let list = self.providers.entry(key).or_default();
+        if !list.iter().any(|p| p.index == provider.index) {
+            list.push(provider);
+        }
+    }
+
+    /// Handle a `GET_PROVIDERS` RPC.
+    pub fn get_providers(&self, key: &DhtKey) -> Vec<NodeId> {
+        self.providers.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Remove a provider (e.g. after it was observed dead).
+    pub fn remove_provider(&mut self, key: &DhtKey, provider: &NodeId) {
+        if let Some(list) = self.providers.get_mut(key) {
+            list.retain(|p| p.index != provider.index);
+        }
+    }
+
+    /// Handle a `FIND_NODE` RPC: return our `count` closest contacts to the
+    /// target, plus ourselves implicitly handled by the caller.
+    pub fn find_node(&self, target: &qb_common::Hash256, count: usize) -> Vec<NodeId> {
+        self.routing.closest(target, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_common::SimDuration;
+
+    fn record(key_label: &str, version: u64, expires: u64) -> Record {
+        Record {
+            key: DhtKey::from_bytes(key_label.as_bytes()),
+            value: format!("value-{version}").into_bytes(),
+            publisher: NodeId::from_index(9),
+            expires_at: SimInstant::ZERO + SimDuration::from_secs(expires),
+            version,
+        }
+    }
+
+    #[test]
+    fn store_and_find() {
+        let mut n = DhtNode::new(NodeId::from_index(1), &DhtConfig::small());
+        let r = record("k", 1, 100);
+        assert!(n.store(r.clone()));
+        let found = n.find_value(&r.key, SimInstant::ZERO).unwrap();
+        assert_eq!(found.value, r.value);
+        assert_eq!(n.record_count(), 1);
+    }
+
+    #[test]
+    fn stale_version_does_not_overwrite() {
+        let mut n = DhtNode::new(NodeId::from_index(1), &DhtConfig::small());
+        assert!(n.store(record("k", 5, 100)));
+        assert!(!n.store(record("k", 3, 100)));
+        let key = DhtKey::from_bytes(b"k");
+        assert_eq!(n.find_value(&key, SimInstant::ZERO).unwrap().version, 5);
+        // Equal or newer versions do overwrite.
+        assert!(n.store(record("k", 5, 200)));
+        assert!(n.store(record("k", 7, 200)));
+    }
+
+    #[test]
+    fn expired_records_are_invisible_and_collectable() {
+        let mut n = DhtNode::new(NodeId::from_index(1), &DhtConfig::small());
+        n.store(record("k", 1, 10));
+        let key = DhtKey::from_bytes(b"k");
+        let late = SimInstant::ZERO + SimDuration::from_secs(11);
+        assert!(n.find_value(&key, late).is_none());
+        assert_eq!(n.expire_records(late), 1);
+        assert_eq!(n.record_count(), 0);
+    }
+
+    #[test]
+    fn provider_lists_deduplicate() {
+        let mut n = DhtNode::new(NodeId::from_index(1), &DhtConfig::small());
+        let key = DhtKey::from_bytes(b"content");
+        n.add_provider(key, NodeId::from_index(2));
+        n.add_provider(key, NodeId::from_index(2));
+        n.add_provider(key, NodeId::from_index(3));
+        assert_eq!(n.get_providers(&key).len(), 2);
+        n.remove_provider(&key, &NodeId::from_index(2));
+        assert_eq!(n.get_providers(&key).len(), 1);
+        assert!(n.get_providers(&DhtKey::from_bytes(b"other")).is_empty());
+    }
+
+    #[test]
+    fn find_node_returns_closest_contacts() {
+        let cfg = DhtConfig::small();
+        let mut n = DhtNode::new(NodeId::from_index(0), &cfg);
+        for i in 1..30 {
+            n.routing.observe(NodeId::from_index(i), false);
+        }
+        let target = NodeId::from_index(100).key;
+        let found = n.find_node(&target, 3);
+        assert_eq!(found.len(), 3);
+        for w in found.windows(2) {
+            assert!(w[0].key.xor(&target) <= w[1].key.xor(&target));
+        }
+    }
+}

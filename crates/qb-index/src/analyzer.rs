@@ -1,0 +1,218 @@
+//! Text analysis: tokenization, stopwords and light stemming.
+
+use std::collections::HashSet;
+
+/// English stopwords that carry no retrieval signal. Deliberately short: a
+/// long list mostly shrinks the index, a short one keeps tests predictable.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "in",
+    "is", "it", "its", "of", "on", "or", "that", "the", "their", "this", "to", "was", "were",
+    "which", "will", "with",
+];
+
+/// Configurable text analyzer.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    stopwords: HashSet<String>,
+    /// Apply the light suffix stemmer.
+    pub stemming: bool,
+    /// Minimum token length kept (after stemming).
+    pub min_token_len: usize,
+    /// Maximum token length kept (guards against degenerate tokens).
+    pub max_token_len: usize,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer {
+            stopwords: STOPWORDS.iter().map(|s| s.to_string()).collect(),
+            stemming: true,
+            min_token_len: 2,
+            max_token_len: 32,
+        }
+    }
+}
+
+impl Analyzer {
+    /// Analyzer with default settings.
+    pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// Analyzer without stemming (used by tests that need exact terms).
+    pub fn without_stemming() -> Analyzer {
+        Analyzer {
+            stemming: false,
+            ..Analyzer::default()
+        }
+    }
+
+    /// Is this term a stopword?
+    pub fn is_stopword(&self, term: &str) -> bool {
+        self.stopwords.contains(term)
+    }
+
+    /// Split text into raw lowercase alphanumeric tokens (no filtering).
+    pub fn tokenize(text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                for lower in ch.to_lowercase() {
+                    current.push(lower);
+                }
+            } else if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            tokens.push(current);
+        }
+        tokens
+    }
+
+    /// Light suffix stemmer (a small subset of Porter's rules): enough to
+    /// conflate plurals and common verb forms without a full stemmer.
+    pub fn stem(token: &str) -> String {
+        let t = token;
+        let try_strip = |s: &str, suffix: &str, min_stem: usize| -> Option<String> {
+            if s.ends_with(suffix) && s.len() - suffix.len() >= min_stem {
+                Some(s[..s.len() - suffix.len()].to_string())
+            } else {
+                None
+            }
+        };
+        if let Some(s) = try_strip(t, "ization", 3) {
+            return s + "ize";
+        }
+        if let Some(s) = try_strip(t, "ational", 3) {
+            return s + "ate";
+        }
+        for (suffix, min_stem) in [("iveness", 3), ("fulness", 3), ("ousness", 3)] {
+            if let Some(s) = try_strip(t, suffix, min_stem) {
+                return s;
+            }
+        }
+        for (suffix, min_stem) in [("ments", 3), ("ment", 3), ("ness", 3), ("ings", 3), ("ing", 3), ("edly", 3), ("ed", 3), ("ly", 3)] {
+            if let Some(s) = try_strip(t, suffix, min_stem) {
+                return s;
+            }
+        }
+        if let Some(s) = try_strip(t, "ies", 2) {
+            return s + "y";
+        }
+        // "es" is only a plural marker after sibilant endings (boxes, churches);
+        // otherwise stripping the bare "s" is the right move (engines → engine).
+        for sib in ["sses", "xes", "zes", "ches", "shes"] {
+            if let Some(s) = try_strip(t, "es", 3) {
+                if t.ends_with(sib) {
+                    return s;
+                }
+            }
+        }
+        if t.ends_with('s') && !t.ends_with("ss") && t.len() > 3 {
+            return t[..t.len() - 1].to_string();
+        }
+        t.to_string()
+    }
+
+    /// Full pipeline: tokenize, drop stopwords, stem, drop by length.
+    pub fn analyze(&self, text: &str) -> Vec<String> {
+        Self::tokenize(text)
+            .into_iter()
+            .filter(|t| !self.is_stopword(t))
+            .map(|t| if self.stemming { Self::stem(&t) } else { t })
+            .filter(|t| t.len() >= self.min_token_len && t.len() <= self.max_token_len)
+            .collect()
+    }
+
+    /// Analyze and return `(term, frequency)` pairs sorted by term.
+    pub fn term_frequencies(&self, text: &str) -> Vec<(String, u32)> {
+        let mut counts: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
+        for t in self.analyze(text) {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_on_non_alphanumeric() {
+        assert_eq!(
+            Analyzer::tokenize("Hello, DWeb-world! 42 times."),
+            vec!["hello", "dweb", "world", "42", "times"]
+        );
+        assert!(Analyzer::tokenize("  ...  ").is_empty());
+    }
+
+    #[test]
+    fn stopwords_are_removed() {
+        let a = Analyzer::without_stemming();
+        let terms = a.analyze("the search engine of the decentralized web");
+        assert!(!terms.contains(&"the".to_string()));
+        assert!(!terms.contains(&"of".to_string()));
+        assert!(terms.contains(&"search".to_string()));
+        assert!(terms.contains(&"decentralized".to_string()));
+    }
+
+    #[test]
+    fn stemming_conflates_related_forms() {
+        assert_eq!(Analyzer::stem("searching"), Analyzer::stem("searched"));
+        assert_eq!(Analyzer::stem("indexes"), Analyzer::stem("index"));
+        assert_eq!(Analyzer::stem("queries"), Analyzer::stem("query"));
+        assert_eq!(Analyzer::stem("engines"), Analyzer::stem("engine"));
+        // Short words are left alone.
+        assert_eq!(Analyzer::stem("is"), "is");
+        assert_eq!(Analyzer::stem("bees"), "bee");
+    }
+
+    #[test]
+    fn analyze_applies_length_bounds() {
+        let a = Analyzer::new();
+        let terms = a.analyze("i x ab abc");
+        assert!(!terms.contains(&"i".to_string()));
+        assert!(!terms.contains(&"x".to_string()));
+        assert!(terms.contains(&"ab".to_string()));
+    }
+
+    #[test]
+    fn term_frequencies_count_and_sort() {
+        let a = Analyzer::without_stemming();
+        let tf = a.term_frequencies("bee bee honey bee nectar honey");
+        assert_eq!(
+            tf,
+            vec![
+                ("bee".to_string(), 3),
+                ("honey".to_string(), 2),
+                ("nectar".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn queries_and_documents_analyze_consistently() {
+        // The frontend analyzes queries with the same pipeline as documents;
+        // a plural query must match a singular document term.
+        let a = Analyzer::new();
+        let doc_terms = a.analyze("QueenBee rewards worker bees with honey");
+        let query_terms = a.analyze("bee reward");
+        for q in &query_terms {
+            assert!(
+                doc_terms.contains(q),
+                "query term {q} not found in {doc_terms:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unicode_text_does_not_panic_and_lowercases() {
+        let a = Analyzer::new();
+        let terms = a.analyze("Größe Überraschung café Привет 東京");
+        assert!(terms.iter().any(|t| t.contains("größe") || t.contains("grösse")));
+        assert!(!terms.is_empty());
+    }
+}

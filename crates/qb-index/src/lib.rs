@@ -1,0 +1,33 @@
+//! The search index.
+//!
+//! Three layers:
+//!
+//! * **Text analysis** ([`analyzer`]): tokenization, stopword removal and a
+//!   light suffix stemmer — what a worker bee runs over a freshly published
+//!   page before updating the index.
+//! * **Local index structures** ([`postings`], [`doc`], [`index`],
+//!   [`scorer`], [`query`]): compressed posting lists (doc-id deltas +
+//!   varints), galloping intersection, a document table with lengths, BM25 /
+//!   TF-IDF scoring and top-k query evaluation. The centralized and
+//!   YaCy-style baselines and the QueenBee frontend all reuse these.
+//! * **The distributed index** ([`shard`]): one shard per term, stored inline
+//!   in the DHT when small and spilled into content-addressed storage when
+//!   large, with a versioned pointer record in the DHT — "the index ...
+//!   hosted in a decentralized storage" of the paper, maintained by worker
+//!   bees and read by the query frontend.
+
+pub mod analyzer;
+pub mod doc;
+pub mod index;
+pub mod postings;
+pub mod query;
+pub mod scorer;
+pub mod shard;
+
+pub use analyzer::Analyzer;
+pub use doc::{doc_id_for_name, DocMeta, DocTable};
+pub use index::InvertedIndex;
+pub use postings::{Posting, PostingList};
+pub use query::{search, Query, QueryMode, ScoredDoc};
+pub use scorer::{blend_with_rank, Bm25, Scorer, TfIdf};
+pub use shard::{DistributedIndex, IndexStats, ShardEntry, ShardPosting};

@@ -1,0 +1,150 @@
+//! Relevance scoring: BM25 (default) and classic TF-IDF.
+
+/// A scorer turns per-term statistics into a relevance contribution.
+pub trait Scorer {
+    /// Score one term's contribution for one document.
+    ///
+    /// * `term_freq` — occurrences of the term in the document
+    /// * `doc_len` — document length in terms
+    /// * `avg_doc_len` — average document length in the collection
+    /// * `doc_freq` — number of documents containing the term
+    /// * `num_docs` — collection size
+    fn score(
+        &self,
+        term_freq: u32,
+        doc_len: u32,
+        avg_doc_len: f64,
+        doc_freq: usize,
+        num_docs: usize,
+    ) -> f64;
+}
+
+/// Okapi BM25.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct Bm25 {
+    /// Term-frequency saturation parameter.
+    pub k1: f64,
+    /// Length-normalisation parameter.
+    pub b: f64,
+}
+
+impl Default for Bm25 {
+    fn default() -> Self {
+        Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+impl Scorer for Bm25 {
+    fn score(
+        &self,
+        term_freq: u32,
+        doc_len: u32,
+        avg_doc_len: f64,
+        doc_freq: usize,
+        num_docs: usize,
+    ) -> f64 {
+        if term_freq == 0 || num_docs == 0 {
+            return 0.0;
+        }
+        let n = num_docs as f64;
+        let df = doc_freq.max(1) as f64;
+        // BM25+-style floor at 0 to avoid negative idf for very common terms.
+        let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln().max(0.0);
+        let tf = term_freq as f64;
+        let dl = doc_len.max(1) as f64;
+        let avg = avg_doc_len.max(1.0);
+        let denom = tf + self.k1 * (1.0 - self.b + self.b * dl / avg);
+        idf * tf * (self.k1 + 1.0) / denom
+    }
+}
+
+/// Classic TF-IDF with log-scaled term frequency.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct TfIdf;
+
+impl Scorer for TfIdf {
+    fn score(
+        &self,
+        term_freq: u32,
+        _doc_len: u32,
+        _avg_doc_len: f64,
+        doc_freq: usize,
+        num_docs: usize,
+    ) -> f64 {
+        if term_freq == 0 || num_docs == 0 {
+            return 0.0;
+        }
+        let tf = 1.0 + (term_freq as f64).ln();
+        let idf = ((num_docs as f64 + 1.0) / (doc_freq.max(1) as f64 + 1.0)).ln() + 1.0;
+        tf * idf
+    }
+}
+
+/// Blend a relevance score with a static page-importance score (PageRank),
+/// as the QueenBee frontend does when assembling results. `rank_weight` in
+/// `[0, 1]` controls how much the static rank matters.
+pub fn blend_with_rank(relevance: f64, rank: f64, rank_weight: f64) -> f64 {
+    let w = rank_weight.clamp(0.0, 1.0);
+    // Ranks are tiny probabilities; log-scale them into a comparable range.
+    let rank_component = (1.0 + rank.max(0.0) * 1e6).ln();
+    (1.0 - w) * relevance + w * relevance.max(1e-9) * rank_component
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bm25_prefers_rarer_terms() {
+        let s = Bm25::default();
+        let rare = s.score(3, 100, 100.0, 5, 10_000);
+        let common = s.score(3, 100, 100.0, 5_000, 10_000);
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn bm25_term_frequency_saturates() {
+        let s = Bm25::default();
+        let one = s.score(1, 100, 100.0, 10, 1000);
+        let five = s.score(5, 100, 100.0, 10, 1000);
+        let fifty = s.score(50, 100, 100.0, 10, 1000);
+        assert!(five > one);
+        assert!(fifty > five);
+        // Diminishing returns: the jump from 5 to 50 is smaller than 5x.
+        assert!((fifty - five) < 4.0 * (five - one));
+    }
+
+    #[test]
+    fn bm25_penalizes_long_documents() {
+        let s = Bm25::default();
+        let short = s.score(3, 50, 100.0, 10, 1000);
+        let long = s.score(3, 500, 100.0, 10, 1000);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn bm25_never_negative_and_zero_cases() {
+        let s = Bm25::default();
+        assert_eq!(s.score(0, 10, 10.0, 1, 100), 0.0);
+        assert_eq!(s.score(3, 10, 10.0, 1, 0), 0.0);
+        // Extremely common term: idf floored at zero, never negative.
+        assert!(s.score(3, 10, 10.0, 100, 100) >= 0.0);
+    }
+
+    #[test]
+    fn tfidf_basic_ordering() {
+        let s = TfIdf;
+        assert!(s.score(4, 10, 10.0, 2, 1000) > s.score(1, 10, 10.0, 2, 1000));
+        assert!(s.score(2, 10, 10.0, 2, 1000) > s.score(2, 10, 10.0, 500, 1000));
+        assert_eq!(s.score(0, 10, 10.0, 2, 1000), 0.0);
+    }
+
+    #[test]
+    fn rank_blending_monotone_in_rank() {
+        let low = blend_with_rank(2.0, 1e-6, 0.3);
+        let high = blend_with_rank(2.0, 1e-3, 0.3);
+        assert!(high > low);
+        // Weight 0 ignores rank entirely.
+        assert_eq!(blend_with_rank(2.0, 0.5, 0.0), 2.0);
+    }
+}

@@ -1,0 +1,576 @@
+//! The distributed inverted index: one shard per term, kept in the DHT /
+//! decentralized storage and maintained by worker bees.
+//!
+//! A shard is self-contained: each posting carries the document length, page
+//! name, version and creator, so the query frontend can score results from
+//! the shards of the query terms plus one small global-statistics record,
+//! without any central document table.
+//!
+//! Small shards are stored inline as DHT record values; large shards are
+//! written to content-addressed storage with a versioned pointer record in
+//! the DHT. Versions are monotonically increasing so replicas converge on
+//! the newest shard (last-writer-wins), which is also the surface the
+//! collusion attack of experiment E6 targets.
+
+use crate::postings::{Posting, PostingList};
+use qb_common::{varint, Cid, DhtKey, Hash256, QbError, QbResult, SimDuration};
+use qb_dht::DhtNetwork;
+use qb_simnet::SimNet;
+use qb_storage::StorageNetwork;
+
+/// One posting within a shard, carrying everything needed for scoring.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardPosting {
+    /// Document id (hash of the page name).
+    pub doc_id: u64,
+    /// Term frequency in the document.
+    pub term_freq: u32,
+    /// Document length in terms.
+    pub doc_len: u32,
+    /// Page name.
+    pub name: String,
+    /// Page version this posting reflects.
+    pub version: u64,
+    /// Creator account id.
+    pub creator: u64,
+}
+
+/// A term's shard.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardEntry {
+    /// The term this shard belongs to.
+    pub term: String,
+    /// Shard version (bumped on every write).
+    pub version: u64,
+    /// Postings sorted by doc id.
+    pub postings: Vec<ShardPosting>,
+}
+
+impl ShardEntry {
+    /// Empty shard for a term.
+    pub fn empty(term: &str) -> ShardEntry {
+        ShardEntry {
+            term: term.to_string(),
+            version: 0,
+            postings: Vec::new(),
+        }
+    }
+
+    /// Document frequency of the term.
+    pub fn doc_freq(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Insert or update a posting (only if the incoming version is >= the
+    /// stored one, so stale re-indexing never overwrites fresher data).
+    pub fn upsert(&mut self, posting: ShardPosting) {
+        match self.postings.binary_search_by_key(&posting.doc_id, |p| p.doc_id) {
+            Ok(i) => {
+                if posting.version >= self.postings[i].version {
+                    self.postings[i] = posting;
+                }
+            }
+            Err(i) => self.postings.insert(i, posting),
+        }
+    }
+
+    /// Remove a document from the shard.
+    pub fn remove(&mut self, doc_id: u64) -> bool {
+        match self.postings.binary_search_by_key(&doc_id, |p| p.doc_id) {
+            Ok(i) => {
+                self.postings.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Posting of a document, if present.
+    pub fn get(&self, doc_id: u64) -> Option<&ShardPosting> {
+        self.postings
+            .binary_search_by_key(&doc_id, |p| p.doc_id)
+            .ok()
+            .map(|i| &self.postings[i])
+    }
+
+    /// The doc-id / term-frequency view of the shard as a [`PostingList`]
+    /// (used for intersection in the frontend).
+    pub fn to_posting_list(&self) -> PostingList {
+        PostingList::from_postings(
+            self.postings
+                .iter()
+                .map(|p| Posting {
+                    doc_id: p.doc_id,
+                    term_freq: p.term_freq,
+                })
+                .collect(),
+        )
+    }
+
+    /// Serialize the shard.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.postings.len() * 32);
+        encode_str(&self.term, &mut out);
+        varint::encode_u64(self.version, &mut out);
+        varint::encode_u64(self.postings.len() as u64, &mut out);
+        let mut prev = 0u64;
+        for p in &self.postings {
+            varint::encode_u64(p.doc_id.wrapping_sub(prev), &mut out);
+            prev = p.doc_id;
+            varint::encode_u64(p.term_freq as u64, &mut out);
+            varint::encode_u64(p.doc_len as u64, &mut out);
+            varint::encode_u64(p.version, &mut out);
+            varint::encode_u64(p.creator, &mut out);
+            encode_str(&p.name, &mut out);
+        }
+        out
+    }
+
+    /// Deserialize a shard.
+    pub fn decode(data: &[u8]) -> QbResult<ShardEntry> {
+        let (term, mut pos) = decode_str(data, 0)?;
+        let (version, p) = varint::decode_u64(data, pos)?;
+        pos = p;
+        let (count, p) = varint::decode_u64(data, pos)?;
+        pos = p;
+        if count > 50_000_000 {
+            return Err(QbError::Codec(format!("unreasonable shard size {count}")));
+        }
+        let mut postings = Vec::with_capacity(count as usize);
+        let mut doc_id = 0u64;
+        for _ in 0..count {
+            let (delta, p) = varint::decode_u64(data, pos)?;
+            doc_id = doc_id.wrapping_add(delta);
+            let (tf, p) = varint::decode_u64(data, p)?;
+            let (dl, p) = varint::decode_u64(data, p)?;
+            let (ver, p) = varint::decode_u64(data, p)?;
+            let (creator, p) = varint::decode_u64(data, p)?;
+            let (name, p) = decode_str(data, p)?;
+            pos = p;
+            postings.push(ShardPosting {
+                doc_id,
+                term_freq: tf.min(u32::MAX as u64) as u32,
+                doc_len: dl.min(u32::MAX as u64) as u32,
+                name,
+                version: ver,
+                creator,
+            });
+        }
+        if pos != data.len() {
+            return Err(QbError::Codec("trailing bytes after shard".into()));
+        }
+        Ok(ShardEntry {
+            term,
+            version,
+            postings,
+        })
+    }
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    varint::encode_u64(s.len() as u64, out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_str(data: &[u8], pos: usize) -> QbResult<(String, usize)> {
+    let (len, p) = varint::decode_u64(data, pos)?;
+    let end = p + len as usize;
+    let bytes = data
+        .get(p..end)
+        .ok_or_else(|| QbError::Codec("truncated string".into()))?;
+    let s = String::from_utf8(bytes.to_vec()).map_err(|_| QbError::Codec("invalid utf-8".into()))?;
+    Ok((s, end))
+}
+
+/// Global collection statistics needed by BM25, stored as a small DHT record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IndexStats {
+    /// Number of indexed documents.
+    pub num_docs: u64,
+    /// Sum of document lengths.
+    pub total_len: u64,
+    /// Version of the statistics record.
+    pub version: u64,
+}
+
+impl IndexStats {
+    /// Average document length (1.0 when empty).
+    pub fn avg_len(&self) -> f64 {
+        if self.num_docs == 0 {
+            1.0
+        } else {
+            self.total_len as f64 / self.num_docs as f64
+        }
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        varint::encode_u64(self.num_docs, &mut out);
+        varint::encode_u64(self.total_len, &mut out);
+        varint::encode_u64(self.version, &mut out);
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> QbResult<IndexStats> {
+        let (num_docs, p) = varint::decode_u64(data, 0)?;
+        let (total_len, p) = varint::decode_u64(data, p)?;
+        let (version, p) = varint::decode_u64(data, p)?;
+        if p != data.len() {
+            return Err(QbError::Codec("trailing bytes after index stats".into()));
+        }
+        Ok(IndexStats {
+            num_docs,
+            total_len,
+            version,
+        })
+    }
+}
+
+/// Cost accounting of a distributed index operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IndexOpCost {
+    /// End-to-end latency.
+    pub latency: SimDuration,
+    /// RPC attempts issued.
+    pub messages: u64,
+}
+
+impl IndexOpCost {
+    /// Accumulate another operation's cost.
+    pub fn add(&mut self, latency: SimDuration, messages: u64) {
+        self.latency += latency;
+        self.messages += messages;
+    }
+}
+
+const SHARD_INLINE_TAG: u8 = 1;
+const SHARD_POINTER_TAG: u8 = 2;
+
+/// Read/write interface to the DHT-sharded index.
+#[derive(Debug, Clone)]
+pub struct DistributedIndex {
+    /// Shards whose encoded size is at most this many bytes are stored inline
+    /// in the DHT record; larger shards go to content-addressed storage.
+    pub inline_threshold: usize,
+}
+
+impl Default for DistributedIndex {
+    fn default() -> Self {
+        DistributedIndex {
+            inline_threshold: 2048,
+        }
+    }
+}
+
+impl DistributedIndex {
+    /// Create with the default inline threshold.
+    pub fn new() -> DistributedIndex {
+        DistributedIndex::default()
+    }
+
+    /// DHT key of the global statistics record.
+    pub fn stats_key() -> DhtKey {
+        DhtKey(Hash256::digest(b"idx:@stats"))
+    }
+
+    /// Read the shard of `term` as seen from `peer`. A missing shard is
+    /// returned as an empty shard (version 0), not an error.
+    pub fn read_shard(
+        &self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        storage: &mut StorageNetwork,
+        peer: u64,
+        term: &str,
+    ) -> QbResult<(ShardEntry, IndexOpCost)> {
+        let mut cost = IndexOpCost::default();
+        let key = DhtKey::for_term(term);
+        let record = match dht.get_record(net, peer, key) {
+            Ok(got) => {
+                cost.add(got.latency, got.messages);
+                got.record
+            }
+            Err(QbError::DhtLookupFailed(_)) | Err(QbError::NotFound(_)) => {
+                return Ok((ShardEntry::empty(term), cost));
+            }
+            Err(e) => return Err(e),
+        };
+        let value = record.value;
+        match value.first() {
+            Some(&SHARD_INLINE_TAG) => {
+                let shard = ShardEntry::decode(&value[1..])?;
+                Ok((shard, cost))
+            }
+            Some(&SHARD_POINTER_TAG) => {
+                if value.len() != 33 {
+                    return Err(QbError::Codec("bad shard pointer record".into()));
+                }
+                let mut arr = [0u8; 32];
+                arr.copy_from_slice(&value[1..33]);
+                let cid = Cid(Hash256::from_bytes(arr));
+                let (bytes, fetch) = storage.get_object(net, dht, peer, cid)?;
+                cost.add(fetch.latency, fetch.messages);
+                let shard = ShardEntry::decode(&bytes)?;
+                Ok((shard, cost))
+            }
+            _ => Err(QbError::Codec("unknown shard record tag".into())),
+        }
+    }
+
+    /// Write a shard from `peer`. The caller must have bumped
+    /// `entry.version`; replicas only accept newer versions.
+    pub fn write_shard(
+        &self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        storage: &mut StorageNetwork,
+        peer: u64,
+        entry: &ShardEntry,
+    ) -> QbResult<IndexOpCost> {
+        let mut cost = IndexOpCost::default();
+        let key = DhtKey::for_term(&entry.term);
+        let encoded = entry.encode();
+        let value = if encoded.len() <= self.inline_threshold {
+            let mut v = Vec::with_capacity(encoded.len() + 1);
+            v.push(SHARD_INLINE_TAG);
+            v.extend_from_slice(&encoded);
+            v
+        } else {
+            let (obj, put) = storage.put_object(net, dht, peer, &encoded)?;
+            cost.add(put.latency, put.messages);
+            let mut v = Vec::with_capacity(33);
+            v.push(SHARD_POINTER_TAG);
+            v.extend_from_slice(obj.root.0.as_bytes());
+            v
+        };
+        let put = dht.put_record(net, peer, key, value, entry.version)?;
+        cost.add(put.latency, put.messages);
+        Ok(cost)
+    }
+
+    /// Read the global statistics record (zero stats when absent).
+    pub fn read_stats(
+        &self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        peer: u64,
+    ) -> QbResult<(IndexStats, IndexOpCost)> {
+        let mut cost = IndexOpCost::default();
+        match dht.get_record(net, peer, Self::stats_key()) {
+            Ok(got) => {
+                cost.add(got.latency, got.messages);
+                Ok((IndexStats::decode(&got.record.value)?, cost))
+            }
+            Err(QbError::DhtLookupFailed(_)) | Err(QbError::NotFound(_)) => {
+                Ok((IndexStats::default(), cost))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Write the global statistics record.
+    pub fn write_stats(
+        &self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        peer: u64,
+        stats: &IndexStats,
+    ) -> QbResult<IndexOpCost> {
+        let mut cost = IndexOpCost::default();
+        let put = dht.put_record(net, peer, Self::stats_key(), stats.encode(), stats.version)?;
+        cost.add(put.latency, put.messages);
+        Ok(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qb_dht::DhtConfig;
+    use qb_simnet::NetConfig;
+    use qb_storage::StorageConfig;
+
+    fn posting(doc: u64, tf: u32, name: &str) -> ShardPosting {
+        ShardPosting {
+            doc_id: doc,
+            term_freq: tf,
+            doc_len: 100,
+            name: name.to_string(),
+            version: 1,
+            creator: 42,
+        }
+    }
+
+    #[test]
+    fn shard_upsert_respects_versions() {
+        let mut shard = ShardEntry::empty("honey");
+        shard.upsert(posting(5, 3, "p/a"));
+        shard.upsert(posting(2, 1, "p/b"));
+        assert_eq!(shard.doc_freq(), 2);
+        assert_eq!(shard.postings[0].doc_id, 2);
+        // Older version does not overwrite.
+        let mut stale = posting(5, 99, "p/a");
+        stale.version = 0;
+        shard.upsert(stale);
+        assert_eq!(shard.get(5).unwrap().term_freq, 3);
+        // Newer version does.
+        let mut fresh = posting(5, 7, "p/a");
+        fresh.version = 2;
+        shard.upsert(fresh);
+        assert_eq!(shard.get(5).unwrap().term_freq, 7);
+        assert!(shard.remove(2));
+        assert!(!shard.remove(2));
+    }
+
+    #[test]
+    fn shard_encode_decode_round_trip() {
+        let mut shard = ShardEntry::empty("decentralized");
+        shard.version = 3;
+        for i in 0..50u64 {
+            shard.upsert(posting(i * 17, (i % 5) as u32 + 1, &format!("page/{i}")));
+        }
+        let decoded = ShardEntry::decode(&shard.encode()).unwrap();
+        assert_eq!(decoded, shard);
+    }
+
+    #[test]
+    fn shard_decode_rejects_garbage() {
+        assert!(ShardEntry::decode(&[]).is_err());
+        let mut good = ShardEntry::empty("t").encode();
+        good.push(9);
+        assert!(ShardEntry::decode(&good).is_err());
+    }
+
+    #[test]
+    fn stats_round_trip_and_avg() {
+        let s = IndexStats {
+            num_docs: 10,
+            total_len: 1500,
+            version: 2,
+        };
+        assert_eq!(IndexStats::decode(&s.encode()).unwrap(), s);
+        assert!((s.avg_len() - 150.0).abs() < 1e-9);
+        assert_eq!(IndexStats::default().avg_len(), 1.0);
+    }
+
+    #[test]
+    fn to_posting_list_preserves_docs() {
+        let mut shard = ShardEntry::empty("t");
+        shard.upsert(posting(9, 2, "a"));
+        shard.upsert(posting(3, 1, "b"));
+        let pl = shard.to_posting_list();
+        assert_eq!(pl.len(), 2);
+        assert_eq!(pl.get(9), Some(2));
+    }
+
+    fn setup(n: usize, seed: u64) -> (SimNet, DhtNetwork, StorageNetwork) {
+        let mut net = SimNet::new(n, NetConfig::lan(), seed);
+        let dht = DhtNetwork::build(&mut net, DhtConfig::small());
+        let storage = StorageNetwork::new(n, StorageConfig::small());
+        (net, dht, storage)
+    }
+
+    #[test]
+    fn distributed_small_shard_round_trips_inline() {
+        let (mut net, mut dht, mut storage) = setup(24, 1);
+        let dist = DistributedIndex::new();
+        let mut shard = ShardEntry::empty("nectar");
+        shard.version = 1;
+        shard.upsert(posting(1, 2, "p/one"));
+        dist.write_shard(&mut net, &mut dht, &mut storage, 3, &shard).unwrap();
+        let (read, cost) = dist
+            .read_shard(&mut net, &mut dht, &mut storage, 11, "nectar")
+            .unwrap();
+        assert_eq!(read, shard);
+        assert!(cost.messages > 0);
+    }
+
+    #[test]
+    fn distributed_large_shard_spills_to_storage() {
+        let (mut net, mut dht, mut storage) = setup(24, 2);
+        let dist = DistributedIndex {
+            inline_threshold: 64,
+        };
+        let mut shard = ShardEntry::empty("common");
+        shard.version = 1;
+        for i in 0..200u64 {
+            shard.upsert(posting(i, 1, &format!("page/number/{i}")));
+        }
+        assert!(shard.encode().len() > 64);
+        dist.write_shard(&mut net, &mut dht, &mut storage, 0, &shard).unwrap();
+        let (read, _) = dist
+            .read_shard(&mut net, &mut dht, &mut storage, 17, "common")
+            .unwrap();
+        assert_eq!(read, shard);
+    }
+
+    #[test]
+    fn missing_shard_reads_as_empty() {
+        let (mut net, mut dht, mut storage) = setup(16, 3);
+        let dist = DistributedIndex::new();
+        let (shard, _) = dist
+            .read_shard(&mut net, &mut dht, &mut storage, 2, "neverwritten")
+            .unwrap();
+        assert_eq!(shard.version, 0);
+        assert!(shard.postings.is_empty());
+    }
+
+    #[test]
+    fn newer_shard_version_wins() {
+        let (mut net, mut dht, mut storage) = setup(24, 4);
+        let dist = DistributedIndex::new();
+        let mut v1 = ShardEntry::empty("fresh");
+        v1.version = 1;
+        v1.upsert(posting(1, 1, "old/page"));
+        dist.write_shard(&mut net, &mut dht, &mut storage, 1, &v1).unwrap();
+        let mut v2 = v1.clone();
+        v2.version = 2;
+        v2.upsert(posting(2, 5, "new/page"));
+        dist.write_shard(&mut net, &mut dht, &mut storage, 5, &v2).unwrap();
+        let (read, _) = dist
+            .read_shard(&mut net, &mut dht, &mut storage, 20, "fresh")
+            .unwrap();
+        assert_eq!(read.version, 2);
+        assert_eq!(read.doc_freq(), 2);
+    }
+
+    #[test]
+    fn stats_read_write_round_trip() {
+        let (mut net, mut dht, mut storage) = setup(16, 5);
+        let _ = &mut storage;
+        let dist = DistributedIndex::new();
+        let (empty, _) = dist.read_stats(&mut net, &mut dht, 0).unwrap();
+        assert_eq!(empty.num_docs, 0);
+        let stats = IndexStats {
+            num_docs: 42,
+            total_len: 8400,
+            version: 1,
+        };
+        dist.write_stats(&mut net, &mut dht, 3, &stats).unwrap();
+        let (read, _) = dist.read_stats(&mut net, &mut dht, 12).unwrap();
+        assert_eq!(read, stats);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn shard_codec_round_trip_prop(docs in proptest::collection::btree_map(any::<u32>(), (1u32..100, 1u32..500), 0..60)) {
+            let mut shard = ShardEntry::empty("prop");
+            shard.version = 9;
+            for (doc, (tf, dl)) in &docs {
+                shard.upsert(ShardPosting {
+                    doc_id: *doc as u64,
+                    term_freq: *tf,
+                    doc_len: *dl,
+                    name: format!("n{doc}"),
+                    version: 1,
+                    creator: 3,
+                });
+            }
+            prop_assert_eq!(ShardEntry::decode(&shard.encode()).unwrap(), shard);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Worker bees: the peers that maintain the index and compute page ranks.
+
+use qb_chain::AccountId;
+use qb_index::{doc_id_for_name, Analyzer, ShardPosting};
+use qb_rank::BeeRankBehaviour;
+
+/// How a worker bee behaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BeeBehaviour {
+    /// Follows the protocol.
+    Honest,
+    /// Part of a colluding coalition: when indexing any page, it additionally
+    /// injects postings that boost the coalition's target pages, and when
+    /// computing rank blocks it inflates the targets' rank (the paper's
+    /// *collusion attack*).
+    Colluding {
+        /// Page names the coalition wants to push to the top.
+        boost_pages: Vec<String>,
+        /// Term frequency injected for the boosted pages.
+        boost_tf: u32,
+        /// Rank inflation factor for the boosted pages.
+        rank_factor: f64,
+    },
+    /// Claims rewards without doing the work (submits empty index deltas and
+    /// baseline-only rank blocks).
+    Lazy,
+}
+
+/// One worker bee.
+#[derive(Debug, Clone)]
+pub struct WorkerBee {
+    /// Simulated peer the bee runs on.
+    pub peer: u64,
+    /// The bee's honey account.
+    pub account: AccountId,
+    /// Behaviour (honest / colluding / lazy).
+    pub behaviour: BeeBehaviour,
+    /// Pages indexed by this bee (accepted submissions).
+    pub pages_indexed: u64,
+    /// Honey-earning tasks accepted.
+    pub tasks_rewarded: u64,
+    /// Number of times this bee was flagged by verification.
+    pub times_flagged: u64,
+}
+
+impl WorkerBee {
+    /// Create an honest bee.
+    pub fn new(peer: u64, account: AccountId) -> WorkerBee {
+        WorkerBee {
+            peer,
+            account,
+            behaviour: BeeBehaviour::Honest,
+            pages_indexed: 0,
+            tasks_rewarded: 0,
+            times_flagged: 0,
+        }
+    }
+
+    /// Is this bee part of a colluding coalition?
+    pub fn is_colluding(&self) -> bool {
+        matches!(self.behaviour, BeeBehaviour::Colluding { .. })
+    }
+
+    /// Produce the index deltas for a freshly published page version: one
+    /// [`ShardPosting`] per term of the page. A colluding bee injects extra
+    /// postings boosting its target pages into every term it touches; a lazy
+    /// bee produces nothing.
+    pub fn index_page(
+        &self,
+        analyzer: &Analyzer,
+        page_name: &str,
+        page_version: u64,
+        creator: u64,
+        text: &str,
+    ) -> Vec<(String, ShardPosting)> {
+        match &self.behaviour {
+            BeeBehaviour::Lazy => Vec::new(),
+            BeeBehaviour::Honest | BeeBehaviour::Colluding { .. } => {
+                let tf = analyzer.term_frequencies(text);
+                let doc_len: u32 = tf.iter().map(|(_, f)| *f).sum();
+                let doc_id = doc_id_for_name(page_name);
+                let mut deltas: Vec<(String, ShardPosting)> = tf
+                    .into_iter()
+                    .map(|(term, freq)| {
+                        (
+                            term,
+                            ShardPosting {
+                                doc_id,
+                                term_freq: freq,
+                                doc_len,
+                                name: page_name.to_string(),
+                                version: page_version,
+                                creator,
+                            },
+                        )
+                    })
+                    .collect();
+                if let BeeBehaviour::Colluding {
+                    boost_pages,
+                    boost_tf,
+                    ..
+                } = &self.behaviour
+                {
+                    // Inject the coalition's pages into every term of the page
+                    // being indexed, with an absurd term frequency, so they
+                    // surface for popular queries.
+                    let terms: Vec<String> = deltas.iter().map(|(t, _)| t.clone()).collect();
+                    for boost in boost_pages {
+                        if boost == page_name {
+                            continue;
+                        }
+                        let boost_doc = doc_id_for_name(boost);
+                        for term in &terms {
+                            deltas.push((
+                                term.clone(),
+                                ShardPosting {
+                                    doc_id: boost_doc,
+                                    term_freq: *boost_tf,
+                                    doc_len: 50,
+                                    name: boost.clone(),
+                                    version: page_version,
+                                    creator,
+                                },
+                            ));
+                        }
+                    }
+                }
+                deltas
+            }
+        }
+    }
+
+    /// The bee's behaviour when computing PageRank blocks, mapped onto the
+    /// rank crate's behaviour enum. `target_ids` are the graph node ids of
+    /// the coalition's boost pages.
+    pub fn rank_behaviour(&self, target_ids: &[usize]) -> BeeRankBehaviour {
+        match &self.behaviour {
+            BeeBehaviour::Honest => BeeRankBehaviour::Honest,
+            BeeBehaviour::Lazy => BeeRankBehaviour::Lazy,
+            BeeBehaviour::Colluding { rank_factor, .. } => BeeRankBehaviour::Inflate {
+                targets: target_ids.to_vec(),
+                factor: *rank_factor,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer() -> Analyzer {
+        Analyzer::new()
+    }
+
+    #[test]
+    fn honest_bee_indexes_all_terms() {
+        let bee = WorkerBee::new(3, AccountId(2_000));
+        let deltas = bee.index_page(&analyzer(), "p/a", 1, 7, "honey nectar honey bees");
+        assert!(!deltas.is_empty());
+        let honey = deltas.iter().find(|(t, _)| t == &Analyzer::stem("honey")).unwrap();
+        assert_eq!(honey.1.term_freq, 2);
+        assert_eq!(honey.1.name, "p/a");
+        assert_eq!(honey.1.creator, 7);
+        assert!(deltas.iter().all(|(_, p)| p.doc_id == doc_id_for_name("p/a")));
+    }
+
+    #[test]
+    fn lazy_bee_produces_nothing() {
+        let mut bee = WorkerBee::new(3, AccountId(2_000));
+        bee.behaviour = BeeBehaviour::Lazy;
+        assert!(bee.index_page(&analyzer(), "p/a", 1, 7, "some text here").is_empty());
+    }
+
+    #[test]
+    fn colluding_bee_injects_boosted_postings() {
+        let mut bee = WorkerBee::new(3, AccountId(2_000));
+        bee.behaviour = BeeBehaviour::Colluding {
+            boost_pages: vec!["evil/spam".into()],
+            boost_tf: 999,
+            rank_factor: 50.0,
+        };
+        assert!(bee.is_colluding());
+        let deltas = bee.index_page(&analyzer(), "p/a", 1, 7, "honey nectar");
+        let spam: Vec<_> = deltas.iter().filter(|(_, p)| p.name == "evil/spam").collect();
+        assert!(!spam.is_empty());
+        assert!(spam.iter().all(|(_, p)| p.term_freq == 999));
+        // Honest postings are still present (the attack hides inside real work).
+        assert!(deltas.iter().any(|(_, p)| p.name == "p/a"));
+    }
+
+    #[test]
+    fn rank_behaviour_mapping() {
+        let mut bee = WorkerBee::new(0, AccountId(1));
+        assert_eq!(bee.rank_behaviour(&[]), BeeRankBehaviour::Honest);
+        bee.behaviour = BeeBehaviour::Lazy;
+        assert_eq!(bee.rank_behaviour(&[]), BeeRankBehaviour::Lazy);
+        bee.behaviour = BeeBehaviour::Colluding {
+            boost_pages: vec!["x".into()],
+            boost_tf: 10,
+            rank_factor: 9.0,
+        };
+        assert!(matches!(
+            bee.rank_behaviour(&[4]),
+            BeeRankBehaviour::Inflate { targets, factor } if targets == vec![4] && factor == 9.0
+        ));
+    }
+}

@@ -1,0 +1,142 @@
+//! Engine configuration.
+
+use qb_chain::ChainConfig;
+use qb_dht::DhtConfig;
+use qb_rank::DecentralizedPageRank;
+use qb_simnet::NetConfig;
+use qb_storage::StorageConfig;
+
+/// Configuration of a QueenBee deployment.
+#[derive(Debug, Clone)]
+pub struct QueenBeeConfig {
+    /// Number of simulated peers (devices) in the DWeb.
+    pub num_peers: usize,
+    /// Number of worker bees (each bee runs on one peer).
+    pub num_bees: usize,
+    /// Network model.
+    pub net: NetConfig,
+    /// DHT parameters.
+    pub dht: DhtConfig,
+    /// Storage parameters (replication, chunking, caches).
+    pub storage: StorageConfig,
+    /// Blockchain parameters (rewards, revenue split, validators).
+    pub chain: ChainConfig,
+    /// Decentralized PageRank parameters (blocks, quorum, tolerance).
+    pub rank: DecentralizedPageRank,
+    /// Indexing verification quorum: number of bees independently indexing
+    /// each published page version. 1 disables the collusion defense.
+    pub index_quorum: usize,
+    /// Weight of PageRank when blending with BM25 in the frontend.
+    pub rank_weight: f64,
+    /// Results returned per query.
+    pub top_k: usize,
+    /// Shards up to this encoded size are stored inline in DHT records.
+    pub shard_inline_threshold: usize,
+    /// Enable MinHash near-duplicate detection at publish time (the scraper
+    /// defense).
+    pub duplicate_detection: bool,
+    /// Jaccard-similarity threshold above which a publish is rejected as a
+    /// mirror of an existing page owned by someone else.
+    pub duplicate_threshold: f64,
+    /// Stake each bee deposits at registration (slashable).
+    pub bee_stake: u64,
+    /// Honey slashed from a bee caught submitting manipulated data.
+    pub slash_amount: u64,
+    /// Master seed; every random decision in the engine derives from it.
+    pub seed: u64,
+}
+
+impl Default for QueenBeeConfig {
+    fn default() -> Self {
+        QueenBeeConfig {
+            num_peers: 64,
+            num_bees: 8,
+            net: NetConfig::default(),
+            dht: DhtConfig::default(),
+            storage: StorageConfig::default(),
+            chain: ChainConfig::default(),
+            rank: DecentralizedPageRank::default(),
+            index_quorum: 3,
+            rank_weight: 0.3,
+            top_k: 10,
+            shard_inline_threshold: 2048,
+            duplicate_detection: true,
+            duplicate_threshold: 0.8,
+            bee_stake: 1_000,
+            slash_amount: 500,
+            seed: 0xBEE5,
+        }
+    }
+}
+
+impl QueenBeeConfig {
+    /// A small, fast configuration for unit and integration tests.
+    pub fn small() -> QueenBeeConfig {
+        QueenBeeConfig {
+            num_peers: 24,
+            num_bees: 4,
+            net: NetConfig::lan(),
+            dht: DhtConfig::small(),
+            storage: StorageConfig::small(),
+            index_quorum: 3,
+            ..QueenBeeConfig::default()
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), qb_common::QbError> {
+        use qb_common::QbError;
+        if self.num_peers == 0 {
+            return Err(QbError::Config("num_peers must be positive".into()));
+        }
+        if self.num_bees == 0 || self.num_bees > self.num_peers {
+            return Err(QbError::Config(format!(
+                "num_bees must be in 1..={}, got {}",
+                self.num_peers, self.num_bees
+            )));
+        }
+        if self.index_quorum == 0 || self.index_quorum > self.num_bees {
+            return Err(QbError::Config(format!(
+                "index_quorum must be in 1..={}, got {}",
+                self.num_bees, self.index_quorum
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.rank_weight) {
+            return Err(QbError::Config("rank_weight must be within [0, 1]".into()));
+        }
+        if !(0.0..=1.0).contains(&self.duplicate_threshold) {
+            return Err(QbError::Config("duplicate_threshold must be within [0, 1]".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(QueenBeeConfig::default().validate().is_ok());
+        assert!(QueenBeeConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = QueenBeeConfig::small();
+        c.num_bees = 0;
+        assert!(c.validate().is_err());
+        let mut c = QueenBeeConfig::small();
+        c.num_bees = c.num_peers + 1;
+        assert!(c.validate().is_err());
+        let mut c = QueenBeeConfig::small();
+        c.index_quorum = c.num_bees + 1;
+        assert!(c.validate().is_err());
+        let mut c = QueenBeeConfig::small();
+        c.rank_weight = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = QueenBeeConfig::small();
+        c.num_peers = 0;
+        assert!(c.validate().is_err());
+    }
+}

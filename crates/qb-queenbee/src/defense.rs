@@ -1,0 +1,245 @@
+//! Defenses against the attacks the paper anticipates.
+//!
+//! * **Verification quorums with majority voting** (against the collusion
+//!   attack on index data): each publish event is indexed independently by a
+//!   quorum of bees; only postings submitted by a strict majority are
+//!   accepted, and any bee whose submission differs from the accepted set is
+//!   flagged (and slashed by the engine).
+//! * **MinHash near-duplicate detection** (against the scraper-site attack):
+//!   at publish time the page body's MinHash signature is compared against
+//!   previously registered pages owned by other creators; mirrors above the
+//!   similarity threshold are rejected and earn nothing.
+
+use qb_common::Hash256;
+use qb_index::ShardPosting;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of verifying a quorum of index submissions for one publish event.
+#[derive(Debug, Clone)]
+pub struct VerificationOutcome {
+    /// Postings accepted by majority vote, keyed by term.
+    pub accepted: Vec<(String, ShardPosting)>,
+    /// Indices (into the submission vector) of bees whose submissions
+    /// deviated from the accepted set.
+    pub flagged: Vec<usize>,
+}
+
+fn posting_key(term: &str, p: &ShardPosting) -> (String, u64, u32) {
+    (term.to_string(), p.doc_id, p.term_freq)
+}
+
+/// Majority-vote verification of index submissions.
+///
+/// `submissions[i]` is the delta set produced by the i-th bee assigned to the
+/// event. A posting is accepted when more than half of the submissions
+/// contain an identical `(term, doc, tf)` entry. A bee is flagged when it
+/// submitted a non-accepted posting or omitted an accepted one.
+pub fn verify_index_submissions(
+    submissions: &[Vec<(String, ShardPosting)>],
+) -> VerificationOutcome {
+    let q = submissions.len();
+    if q == 0 {
+        return VerificationOutcome {
+            accepted: Vec::new(),
+            flagged: Vec::new(),
+        };
+    }
+    if q == 1 {
+        // No redundancy, nothing to compare against: accept as-is.
+        return VerificationOutcome {
+            accepted: submissions[0].clone(),
+            flagged: Vec::new(),
+        };
+    }
+    let majority = q / 2 + 1;
+    // Count identical postings across submissions.
+    let mut counts: BTreeMap<(String, u64, u32), usize> = BTreeMap::new();
+    let mut representative: BTreeMap<(String, u64, u32), (String, ShardPosting)> = BTreeMap::new();
+    for submission in submissions {
+        let mut seen: BTreeSet<(String, u64, u32)> = BTreeSet::new();
+        for (term, posting) in submission {
+            let key = posting_key(term, posting);
+            if seen.insert(key.clone()) {
+                *counts.entry(key.clone()).or_insert(0) += 1;
+                representative
+                    .entry(key)
+                    .or_insert_with(|| (term.clone(), posting.clone()));
+            }
+        }
+    }
+    let accepted_keys: BTreeSet<(String, u64, u32)> = counts
+        .iter()
+        .filter(|(_, &c)| c >= majority)
+        .map(|(k, _)| k.clone())
+        .collect();
+    let accepted: Vec<(String, ShardPosting)> = accepted_keys
+        .iter()
+        .map(|k| representative[k].clone())
+        .collect();
+    let mut flagged = Vec::new();
+    for (i, submission) in submissions.iter().enumerate() {
+        let keys: BTreeSet<(String, u64, u32)> = submission
+            .iter()
+            .map(|(t, p)| posting_key(t, p))
+            .collect();
+        let extraneous = keys.difference(&accepted_keys).next().is_some();
+        let missing = accepted_keys.difference(&keys).next().is_some();
+        if extraneous || missing {
+            flagged.push(i);
+        }
+    }
+    VerificationOutcome { accepted, flagged }
+}
+
+/// Number of hash functions in a MinHash signature.
+pub const MINHASH_HASHES: usize = 64;
+
+/// MinHash signature of a page body, used for near-duplicate detection.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MinHashSignature {
+    values: Vec<u64>,
+}
+
+impl MinHashSignature {
+    /// Compute the signature of a text using 4-word shingles.
+    pub fn of_text(text: &str) -> MinHashSignature {
+        let words: Vec<&str> = text.split_whitespace().collect();
+        let mut shingle_hashes: Vec<u64> = Vec::new();
+        if words.len() < 4 {
+            let h = Hash256::digest(text.as_bytes());
+            shingle_hashes.push(u64::from_be_bytes(h.as_bytes()[..8].try_into().unwrap()));
+        } else {
+            for w in words.windows(4) {
+                let shingle = w.join(" ");
+                let h = Hash256::digest(shingle.as_bytes());
+                shingle_hashes.push(u64::from_be_bytes(h.as_bytes()[..8].try_into().unwrap()));
+            }
+        }
+        // MinHash with MINHASH_HASHES different linear permutations.
+        let mut values = vec![u64::MAX; MINHASH_HASHES];
+        for (i, value) in values.iter_mut().enumerate() {
+            let a = 0x9E3779B97F4A7C15u64.wrapping_mul(2 * i as u64 + 1);
+            let b = 0xD1B54A32D192ED03u64.wrapping_mul(i as u64 + 1);
+            for &s in &shingle_hashes {
+                let permuted = s.wrapping_mul(a).wrapping_add(b);
+                if permuted < *value {
+                    *value = permuted;
+                }
+            }
+        }
+        MinHashSignature { values }
+    }
+
+    /// Estimated Jaccard similarity with another signature.
+    pub fn similarity(&self, other: &MinHashSignature) -> f64 {
+        let matches = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .filter(|(a, b)| a == b)
+            .count();
+        matches as f64 / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_index::doc_id_for_name;
+
+    fn posting(name: &str, tf: u32) -> ShardPosting {
+        ShardPosting {
+            doc_id: doc_id_for_name(name),
+            term_freq: tf,
+            doc_len: 10,
+            name: name.to_string(),
+            version: 1,
+            creator: 1,
+        }
+    }
+
+    fn honest_submission() -> Vec<(String, ShardPosting)> {
+        vec![
+            ("honey".to_string(), posting("p/a", 2)),
+            ("bee".to_string(), posting("p/a", 1)),
+        ]
+    }
+
+    #[test]
+    fn unanimous_submissions_are_all_accepted() {
+        let subs = vec![honest_submission(), honest_submission(), honest_submission()];
+        let out = verify_index_submissions(&subs);
+        assert_eq!(out.accepted.len(), 2);
+        assert!(out.flagged.is_empty());
+    }
+
+    #[test]
+    fn minority_injection_is_rejected_and_flagged() {
+        let mut evil = honest_submission();
+        evil.push(("honey".to_string(), posting("evil/spam", 999)));
+        let subs = vec![honest_submission(), evil, honest_submission()];
+        let out = verify_index_submissions(&subs);
+        assert_eq!(out.accepted.len(), 2, "the injected posting is not accepted");
+        assert_eq!(out.flagged, vec![1]);
+    }
+
+    #[test]
+    fn majority_collusion_defeats_small_quorum() {
+        let mut evil = honest_submission();
+        evil.push(("honey".to_string(), posting("evil/spam", 999)));
+        let subs = vec![evil.clone(), evil, honest_submission()];
+        let out = verify_index_submissions(&subs);
+        assert!(out.accepted.iter().any(|(_, p)| p.name == "evil/spam"));
+        assert_eq!(out.flagged, vec![2], "the honest minority looks deviant");
+    }
+
+    #[test]
+    fn lazy_bee_is_flagged_for_missing_postings() {
+        let subs = vec![honest_submission(), Vec::new(), honest_submission()];
+        let out = verify_index_submissions(&subs);
+        assert_eq!(out.accepted.len(), 2);
+        assert_eq!(out.flagged, vec![1]);
+    }
+
+    #[test]
+    fn single_submission_is_accepted_unverified() {
+        let out = verify_index_submissions(&[honest_submission()]);
+        assert_eq!(out.accepted.len(), 2);
+        assert!(out.flagged.is_empty());
+        let empty = verify_index_submissions(&[]);
+        assert!(empty.accepted.is_empty());
+    }
+
+    #[test]
+    fn minhash_identical_text_is_fully_similar() {
+        let a = MinHashSignature::of_text("the decentralized web needs a decentralized search engine");
+        let b = MinHashSignature::of_text("the decentralized web needs a decentralized search engine");
+        assert_eq!(a.similarity(&b), 1.0);
+    }
+
+    #[test]
+    fn minhash_mirror_with_small_edits_is_detected() {
+        let original: String = (0..200).map(|i| format!("word{} ", i % 37)).collect();
+        let mut mirrored = original.clone();
+        mirrored.push_str(" tiny addition at the end");
+        let a = MinHashSignature::of_text(&original);
+        let b = MinHashSignature::of_text(&mirrored);
+        assert!(a.similarity(&b) > 0.8, "similarity = {}", a.similarity(&b));
+    }
+
+    #[test]
+    fn minhash_unrelated_text_is_dissimilar() {
+        let a = MinHashSignature::of_text(&(0..200).map(|i| format!("alpha{} ", i)).collect::<String>());
+        let b = MinHashSignature::of_text(&(0..200).map(|i| format!("beta{} ", i)).collect::<String>());
+        assert!(a.similarity(&b) < 0.2, "similarity = {}", a.similarity(&b));
+    }
+
+    #[test]
+    fn minhash_handles_short_text() {
+        let a = MinHashSignature::of_text("tiny");
+        let b = MinHashSignature::of_text("tiny");
+        assert_eq!(a.similarity(&b), 1.0);
+        let c = MinHashSignature::of_text("different");
+        assert!(a.similarity(&c) < 1.0);
+    }
+}

@@ -1,0 +1,875 @@
+//! The QueenBee engine: orchestration of publish, indexing, ranking, search,
+//! ads and incentives over the simulated DWeb.
+
+use crate::attacks::{CollusionAttack, ScraperAttack};
+use crate::bee::{BeeBehaviour, WorkerBee};
+use crate::config::QueenBeeConfig;
+use crate::defense::{verify_index_submissions, MinHashSignature};
+use crate::metrics::{FreshnessProbe, HoneyByRole};
+use qb_chain::{AccountId, AdId, Blockchain, Call, Event};
+use qb_common::{DhtKey, Hash256, QbError, QbResult, SimDuration};
+use qb_dht::DhtNetwork;
+use qb_dweb::{fetch_page_by_cid, publish_page, WebPage};
+use qb_index::{
+    blend_with_rank, Analyzer, Bm25, DistributedIndex, IndexStats, Scorer, ScoredDoc, ShardEntry,
+};
+use qb_rank::{LinkGraph, RankRoundReport};
+use qb_simnet::SimNet;
+use qb_storage::{FetchStats, ObjectRef, StorageNetwork};
+use qb_workload::AdSpec;
+use std::collections::{BTreeSet, HashMap};
+
+/// Outcome of a publish attempt.
+#[derive(Debug, Clone)]
+pub struct PublishReport {
+    /// The page name.
+    pub name: String,
+    /// Whether the publish was accepted (false when rejected as a duplicate).
+    pub accepted: bool,
+    /// Why the publish was rejected, when it was.
+    pub reject_reason: Option<String>,
+    /// Content reference when accepted.
+    pub object: Option<ObjectRef>,
+    /// Storage/replication cost of the accepted publish.
+    pub stats: FetchStats,
+}
+
+/// Outcome of one search request at the frontend.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The raw query string.
+    pub query: String,
+    /// Ranked results (best first).
+    pub results: Vec<ScoredDoc>,
+    /// Ad displayed next to the results, if any campaign matched.
+    pub ad: Option<AdId>,
+    /// End-to-end latency experienced by the user.
+    pub latency: SimDuration,
+    /// RPC attempts issued to answer the query.
+    pub messages: u64,
+    /// Number of term shards consulted.
+    pub shards_fetched: usize,
+    /// Worker bee credited for serving the index (receives the ad share).
+    pub served_by_bee: AccountId,
+}
+
+/// The assembled QueenBee deployment (Figure 1 of the paper).
+pub struct QueenBee {
+    config: QueenBeeConfig,
+    /// The simulated network of peer devices.
+    pub net: SimNet,
+    /// The Kademlia DHT overlay.
+    pub dht: DhtNetwork,
+    /// Content-addressed decentralized storage.
+    pub storage: StorageNetwork,
+    /// The blockchain with the QueenBee contracts.
+    pub chain: Blockchain,
+    dist_index: DistributedIndex,
+    analyzer: Analyzer,
+    bees: Vec<WorkerBee>,
+    event_cursor: usize,
+    index_stats: IndexStats,
+    /// Highest shard version this engine has written per term. DHT reads can
+    /// return a stale local replica; taking the max with this counter keeps
+    /// shard versions monotonic so replicas never reject a newer write.
+    shard_versions: HashMap<String, u64>,
+    indexed_docs: HashMap<String, (u64, u32)>,
+    ranks_by_name: HashMap<String, f64>,
+    rank_round: u64,
+    signatures: HashMap<String, (u64, MinHashSignature)>,
+    known_creators: BTreeSet<AccountId>,
+    known_advertisers: BTreeSet<AccountId>,
+    query_counter: u64,
+    /// Freshness accounting across every search served.
+    pub freshness: FreshnessProbe,
+}
+
+impl QueenBee {
+    /// Build a QueenBee deployment: the peer network, the DHT overlay, the
+    /// storage layer, the blockchain, and the worker bees (which deposit
+    /// their stake on-chain immediately).
+    pub fn new(config: QueenBeeConfig) -> QbResult<QueenBee> {
+        config.validate()?;
+        let mut net = SimNet::new(config.num_peers, config.net.clone(), config.seed);
+        let dht = DhtNetwork::build(&mut net, config.dht.clone());
+        let storage = StorageNetwork::new(config.num_peers, config.storage.clone());
+        let mut chain = Blockchain::new(config.chain.clone());
+
+        // Worker bees live on the last `num_bees` peers so that publisher and
+        // frontend traffic uses different devices.
+        let mut bees = Vec::with_capacity(config.num_bees);
+        for i in 0..config.num_bees {
+            let peer = (config.num_peers - config.num_bees + i) as u64;
+            let account = AccountId(2_000 + i as u64);
+            chain.fund_from_treasury(account, config.bee_stake)?;
+            chain.submit_call(account, Call::DepositStake { amount: config.bee_stake });
+            bees.push(WorkerBee::new(peer, account));
+        }
+        chain.seal_block(net.now());
+        chain.reward_pool_mut().max_index_claims = config.index_quorum.max(1);
+
+        let dist_index = DistributedIndex {
+            inline_threshold: config.shard_inline_threshold,
+        };
+        Ok(QueenBee {
+            analyzer: Analyzer::new(),
+            dist_index,
+            bees,
+            event_cursor: chain.events().len(),
+            index_stats: IndexStats::default(),
+            shard_versions: HashMap::new(),
+            indexed_docs: HashMap::new(),
+            ranks_by_name: HashMap::new(),
+            rank_round: 0,
+            signatures: HashMap::new(),
+            known_creators: BTreeSet::new(),
+            known_advertisers: BTreeSet::new(),
+            query_counter: 0,
+            freshness: FreshnessProbe::default(),
+            net,
+            dht,
+            storage,
+            chain,
+            config,
+        })
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &QueenBeeConfig {
+        &self.config
+    }
+
+    /// The worker bees.
+    pub fn bees(&self) -> &[WorkerBee] {
+        &self.bees
+    }
+
+    /// Accounts of all worker bees.
+    pub fn bee_accounts(&self) -> Vec<AccountId> {
+        self.bees.iter().map(|b| b.account).collect()
+    }
+
+    /// Accounts of all creators seen so far.
+    pub fn creator_accounts(&self) -> Vec<AccountId> {
+        self.known_creators.iter().copied().collect()
+    }
+
+    /// Accounts of all advertisers registered so far.
+    pub fn advertiser_accounts(&self) -> Vec<AccountId> {
+        self.known_advertisers.iter().copied().collect()
+    }
+
+    /// PageRank of a page name (0 when not ranked yet).
+    pub fn rank_of(&self, name: &str) -> f64 {
+        self.ranks_by_name.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Change the behaviour of one bee (attack setup).
+    pub fn set_bee_behaviour(&mut self, bee_index: usize, behaviour: BeeBehaviour) {
+        self.bees[bee_index].behaviour = behaviour;
+    }
+
+    /// Turn the first `colluders(n)` bees into the given coalition.
+    pub fn apply_collusion(&mut self, attack: &CollusionAttack) {
+        let n = attack.colluders(self.bees.len());
+        for bee in self.bees.iter_mut().take(n) {
+            bee.behaviour = BeeBehaviour::Colluding {
+                boost_pages: attack.boost_pages.clone(),
+                boost_tf: attack.boost_tf,
+                rank_factor: attack.rank_factor,
+            };
+        }
+    }
+
+    /// Advance the simulated clock.
+    pub fn advance_time(&mut self, d: SimDuration) {
+        self.net.advance(d);
+    }
+
+    /// Seal the next block on the chain.
+    pub fn seal(&mut self) {
+        self.chain.seal_block(self.net.now());
+    }
+
+    // ----- publish -----------------------------------------------------------------
+
+    /// Publish a page from `peer` on behalf of `creator`. When duplicate
+    /// detection is enabled and the body is a near-duplicate of a page owned
+    /// by a *different* creator, the publish is rejected (the scraper-site
+    /// defense) and nothing is stored or rewarded.
+    pub fn publish(
+        &mut self,
+        peer: u64,
+        creator: AccountId,
+        page: &WebPage,
+    ) -> QbResult<PublishReport> {
+        if self.config.duplicate_detection {
+            let sig = MinHashSignature::of_text(&page.body);
+            for (other_name, (other_creator, other_sig)) in &self.signatures {
+                if *other_creator != creator.0
+                    && other_name != &page.name
+                    && sig.similarity(other_sig) >= self.config.duplicate_threshold
+                {
+                    return Ok(PublishReport {
+                        name: page.name.clone(),
+                        accepted: false,
+                        reject_reason: Some(format!(
+                            "near-duplicate of '{other_name}' owned by account {other_creator}"
+                        )),
+                        object: None,
+                        stats: FetchStats::default(),
+                    });
+                }
+            }
+        }
+        let outcome = publish_page(
+            &mut self.net,
+            &mut self.dht,
+            &mut self.storage,
+            &mut self.chain,
+            peer,
+            creator,
+            page,
+        )?;
+        self.signatures.insert(
+            page.name.clone(),
+            (creator.0, MinHashSignature::of_text(&page.body)),
+        );
+        self.known_creators.insert(creator);
+        Ok(PublishReport {
+            name: page.name.clone(),
+            accepted: true,
+            reject_reason: None,
+            object: Some(outcome.object),
+            stats: outcome.stats,
+        })
+    }
+
+    /// Run a scraper attack: mirror the `num_mirrors` highest-ranked pages
+    /// under scraper-owned names. Returns per-mirror publish reports (some of
+    /// which will be rejected when duplicate detection is on).
+    pub fn run_scraper_attack(
+        &mut self,
+        attack: &ScraperAttack,
+        victim_pages: &[WebPage],
+    ) -> QbResult<Vec<PublishReport>> {
+        let mut rng = qb_common::DetRng::new(self.config.seed ^ 0x5C0A);
+        let peer = 0u64;
+        let mut reports = Vec::new();
+        for (i, victim) in victim_pages.iter().take(attack.num_mirrors).enumerate() {
+            let mirror = attack.mirror_page(victim, i, &mut rng);
+            let report = self.publish(peer, AccountId(attack.scraper_account), &mirror)?;
+            reports.push(report);
+        }
+        self.seal();
+        Ok(reports)
+    }
+
+    // ----- worker bees: indexing ---------------------------------------------------
+
+    /// Process every publish event that appeared on the chain since the last
+    /// call: a quorum of bees independently indexes each new page version,
+    /// submissions are verified by majority vote, accepted postings are
+    /// merged into the distributed index, honest bees claim their bounties
+    /// and deviating bees are slashed. Returns the number of events handled.
+    pub fn process_publish_events(&mut self) -> QbResult<usize> {
+        let events: Vec<Event> = self
+            .chain
+            .events_since(self.event_cursor)
+            .iter()
+            .map(|(_, e)| e.clone())
+            .collect();
+        self.event_cursor = self.chain.events().len();
+        let mut handled = 0usize;
+        let validator = self.config.chain.validators.first().copied().unwrap_or(qb_chain::TREASURY);
+
+        for event in events {
+            let Event::PagePublished {
+                creator,
+                name,
+                cid,
+                version,
+                ..
+            } = event
+            else {
+                continue;
+            };
+            handled += 1;
+            // Assign a quorum of bees, deterministically, rotating per event.
+            let quorum = self.config.index_quorum.min(self.bees.len()).max(1);
+            let assigned: Vec<usize> = (0..quorum)
+                .map(|j| (handled + self.event_cursor + j * (self.bees.len() / quorum).max(1)) % self.bees.len())
+                .fold(Vec::new(), |mut acc, b| {
+                    if !acc.contains(&b) {
+                        acc.push(b);
+                    } else {
+                        // Collision: take the next free bee.
+                        let mut alt = (b + 1) % self.bees.len();
+                        while acc.contains(&alt) {
+                            alt = (alt + 1) % self.bees.len();
+                        }
+                        acc.push(alt);
+                    }
+                    acc
+                });
+
+            // The first assigned bee fetches the page content once; in the
+            // real system each bee would fetch it, which only multiplies the
+            // (already accounted) fetch cost.
+            let fetch_peer = self.bees[assigned[0]].peer;
+            let page = match fetch_page_by_cid(
+                &mut self.net,
+                &mut self.dht,
+                &mut self.storage,
+                fetch_peer,
+                cid,
+            ) {
+                Ok((page, _stats)) => page,
+                Err(e) if e.is_availability() => continue,
+                Err(e) => return Err(e),
+            };
+            let text = page.text();
+
+            // Each assigned bee produces its index deltas.
+            let submissions: Vec<Vec<(String, qb_index::ShardPosting)>> = assigned
+                .iter()
+                .map(|&b| self.bees[b].index_page(&self.analyzer, &name, version, creator.0, &text))
+                .collect();
+            let verdict = verify_index_submissions(&submissions);
+
+            // Slash flagged bees and record the flag.
+            for &local_idx in &verdict.flagged {
+                let bee_idx = assigned[local_idx];
+                self.bees[bee_idx].times_flagged += 1;
+                let offender = self.bees[bee_idx].account;
+                self.chain.submit_call(
+                    validator,
+                    Call::SlashStake {
+                        offender,
+                        amount: self.config.slash_amount,
+                    },
+                );
+            }
+
+            // Merge accepted postings into the distributed index, grouped by term.
+            let writer = assigned
+                .iter()
+                .enumerate()
+                .find(|(local, _)| !verdict.flagged.contains(local))
+                .map(|(_, &b)| b)
+                .unwrap_or(assigned[0]);
+            let writer_peer = self.bees[writer].peer;
+            let mut by_term: HashMap<String, Vec<qb_index::ShardPosting>> = HashMap::new();
+            for (term, posting) in verdict.accepted {
+                by_term.entry(term).or_default().push(posting);
+            }
+            for (term, postings) in by_term {
+                let (mut shard, _cost) = self.dist_index.read_shard(
+                    &mut self.net,
+                    &mut self.dht,
+                    &mut self.storage,
+                    writer_peer,
+                    &term,
+                )?;
+                for p in postings {
+                    shard.upsert(p);
+                }
+                let next_version = self
+                    .shard_versions
+                    .get(&term)
+                    .copied()
+                    .unwrap_or(0)
+                    .max(shard.version)
+                    + 1;
+                shard.version = next_version;
+                self.shard_versions.insert(term.clone(), next_version);
+                self.dist_index.write_shard(
+                    &mut self.net,
+                    &mut self.dht,
+                    &mut self.storage,
+                    writer_peer,
+                    &shard,
+                )?;
+            }
+
+            // Update the collection statistics.
+            let doc_len: u32 = self
+                .analyzer
+                .term_frequencies(&text)
+                .iter()
+                .map(|(_, f)| *f)
+                .sum();
+            match self.indexed_docs.insert(name.clone(), (version, doc_len)) {
+                Some((_, old_len)) => {
+                    self.index_stats.total_len = self.index_stats.total_len - old_len as u64 + doc_len as u64;
+                }
+                None => {
+                    self.index_stats.num_docs += 1;
+                    self.index_stats.total_len += doc_len as u64;
+                }
+            }
+
+            // Reward claims for the assigned, non-flagged bees.
+            for (local, &bee_idx) in assigned.iter().enumerate() {
+                if verdict.flagged.contains(&local) {
+                    continue;
+                }
+                self.bees[bee_idx].pages_indexed += 1;
+                self.bees[bee_idx].tasks_rewarded += 1;
+                let account = self.bees[bee_idx].account;
+                self.chain.submit_call(
+                    account,
+                    Call::ClaimIndexReward {
+                        page_name: name.clone(),
+                        page_version: version,
+                    },
+                );
+            }
+        }
+
+        if handled > 0 {
+            // Publish the updated collection statistics once per batch.
+            self.index_stats.version += 1;
+            let stats = self.index_stats;
+            let peer = self.bees[0].peer;
+            self.dist_index
+                .write_stats(&mut self.net, &mut self.dht, peer, &stats)?;
+        }
+        self.chain.seal_block(self.net.now());
+        self.event_cursor = self.chain.events().len();
+        Ok(handled)
+    }
+
+    // ----- worker bees: page rank --------------------------------------------------
+
+    /// Run one decentralized PageRank round over the current registry's link
+    /// graph: bees compute blocks redundantly, manipulated submissions are
+    /// flagged and slashed, ranks are stored in decentralized storage, rank
+    /// bounties are claimed and popularity rewards paid.
+    pub fn run_rank_round(&mut self) -> QbResult<RankRoundReport> {
+        let mut graph = LinkGraph::new();
+        let pages: Vec<(String, Vec<String>, AccountId)> = self
+            .chain
+            .publish_registry()
+            .pages()
+            .map(|p| (p.name.clone(), p.out_links.clone(), p.creator))
+            .collect();
+        for (name, links, _) in &pages {
+            graph.set_links(name, links);
+        }
+
+        // Resolve the coalition's boost targets to node ids.
+        let behaviours: Vec<qb_rank::BeeRankBehaviour> = self
+            .bees
+            .iter()
+            .map(|bee| {
+                let targets: Vec<usize> = match &bee.behaviour {
+                    BeeBehaviour::Colluding { boost_pages, .. } => boost_pages
+                        .iter()
+                        .filter_map(|p| graph.id_of(p))
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                bee.rank_behaviour(&targets)
+            })
+            .collect();
+
+        let report = self.config.rank.run(&graph, &behaviours);
+        self.rank_round += 1;
+
+        // Store the rank vector in decentralized storage with a DHT pointer
+        // ("page ranks ... hosted in a decentralized storage").
+        self.ranks_by_name = report
+            .ranks
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (graph.name_of(i).to_string(), *r))
+            .collect();
+        if !self.ranks_by_name.is_empty() {
+            let mut encoded = String::new();
+            let mut names: Vec<&String> = self.ranks_by_name.keys().collect();
+            names.sort();
+            for name in names {
+                encoded.push_str(&format!("{name}\t{:.9}\n", self.ranks_by_name[name]));
+            }
+            let peer = self.bees[0].peer;
+            let (obj, _stats) =
+                self.storage
+                    .put_object(&mut self.net, &mut self.dht, peer, encoded.as_bytes())?;
+            let key = DhtKey(Hash256::digest(b"rank:@vector"));
+            self.dht.put_record(
+                &mut self.net,
+                peer,
+                key,
+                obj.root.0.as_bytes().to_vec(),
+                self.rank_round,
+            )?;
+        }
+
+        // Slash bees flagged during rank verification, pay the others.
+        let validator = self.config.chain.validators.first().copied().unwrap_or(qb_chain::TREASURY);
+        for (i, bee) in self.bees.iter_mut().enumerate() {
+            if report.flagged_bees.contains(&i) {
+                bee.times_flagged += 1;
+                self.chain.submit_call(
+                    validator,
+                    Call::SlashStake {
+                        offender: bee.account,
+                        amount: self.config.slash_amount,
+                    },
+                );
+            } else {
+                bee.tasks_rewarded += 1;
+                self.chain.submit_call(
+                    bee.account,
+                    Call::ClaimRankReward {
+                        round: self.rank_round,
+                        block_id: i as u64,
+                    },
+                );
+            }
+        }
+
+        // Popularity rewards for creators whose pages exceed the threshold.
+        let payouts: Vec<(AccountId, String, u64)> = pages
+            .iter()
+            .map(|(name, _, creator)| {
+                let ppm = (self.rank_of(name) * 1_000_000.0) as u64;
+                (*creator, name.clone(), ppm)
+            })
+            .collect();
+        if !payouts.is_empty() {
+            self.chain
+                .submit_call(validator, Call::PayPopularityRewards { pages: payouts });
+        }
+        self.chain.seal_block(self.net.now());
+        Ok(report)
+    }
+
+    // ----- frontend: search and ads ------------------------------------------------
+
+    /// Answer a keyword query from `peer`: fetch the query terms' shards
+    /// through the DHT, intersect the posting lists, score with BM25 blended
+    /// with PageRank, and attach the highest-bidding matching ad.
+    pub fn search(&mut self, peer: u64, query_text: &str) -> QbResult<SearchOutcome> {
+        let terms: Vec<String> = {
+            let mut seen = Vec::new();
+            for t in self.analyzer.analyze(query_text) {
+                if !seen.contains(&t) {
+                    seen.push(t);
+                }
+            }
+            seen
+        };
+        if terms.is_empty() {
+            return Err(QbError::Query(format!(
+                "query '{query_text}' has no searchable terms"
+            )));
+        }
+        self.query_counter += 1;
+
+        let mut messages = 0u64;
+        let (stats, stats_cost) = self
+            .dist_index
+            .read_stats(&mut self.net, &mut self.dht, peer)?;
+        messages += stats_cost.messages;
+
+        // Fetch the shards (conceptually in parallel: latency is the max).
+        let mut shard_latencies = vec![stats_cost.latency];
+        let mut shards: Vec<ShardEntry> = Vec::with_capacity(terms.len());
+        for term in &terms {
+            let (shard, cost) = self.dist_index.read_shard(
+                &mut self.net,
+                &mut self.dht,
+                &mut self.storage,
+                peer,
+                term,
+            )?;
+            messages += cost.messages;
+            shard_latencies.push(cost.latency);
+            shards.push(shard);
+        }
+        let latency = qb_simnet::parallel_latency(&shard_latencies);
+
+        // Intersect the posting lists; fall back to union when the
+        // conjunction is empty (so multi-term queries degrade gracefully).
+        let mut lists: Vec<qb_index::PostingList> =
+            shards.iter().map(|s| s.to_posting_list()).collect();
+        lists.sort_by_key(|l| l.len());
+        let mut candidates = lists
+            .first()
+            .cloned()
+            .unwrap_or_default();
+        for l in lists.iter().skip(1) {
+            candidates = candidates.intersect(l);
+        }
+        if candidates.is_empty() && shards.len() > 1 {
+            candidates = qb_index::PostingList::new();
+            for l in shards.iter().map(|s| s.to_posting_list()) {
+                candidates = candidates.union(&l);
+            }
+        }
+
+        // Score.
+        let scorer = Bm25::default();
+        let num_docs = stats.num_docs.max(1) as usize;
+        let avg_len = stats.avg_len();
+        let mut results: Vec<ScoredDoc> = Vec::new();
+        for posting in candidates.postings() {
+            let mut relevance = 0.0;
+            let mut meta: Option<&qb_index::ShardPosting> = None;
+            for shard in &shards {
+                if let Some(p) = shard.get(posting.doc_id) {
+                    relevance += scorer.score(p.term_freq, p.doc_len, avg_len, shard.doc_freq(), num_docs);
+                    meta = Some(p);
+                }
+            }
+            let Some(meta) = meta else { continue };
+            let rank = self.rank_of(&meta.name);
+            let score = blend_with_rank(relevance, rank, self.config.rank_weight);
+            results.push(ScoredDoc {
+                doc_id: posting.doc_id,
+                name: meta.name.clone(),
+                score,
+                version: meta.version,
+                creator: meta.creator,
+            });
+        }
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.doc_id.cmp(&b.doc_id))
+        });
+        results.truncate(self.config.top_k);
+
+        // Freshness accounting against the registry's current versions.
+        for r in &results {
+            if let Some(rec) = self.chain.publish_registry().get(&r.name) {
+                self.freshness.record(r.version, rec.version);
+            }
+        }
+
+        // Ad selection: highest-bidding active campaign matching any query term.
+        let mut ad = None;
+        for term in &terms {
+            if let Some(campaign) = self.chain.ad_market().match_keyword(term).first() {
+                ad = Some(campaign.id);
+                break;
+            }
+        }
+        let served_by_bee = self.bees[(self.query_counter as usize) % self.bees.len()].account;
+        Ok(SearchOutcome {
+            query: query_text.to_string(),
+            results,
+            ad,
+            latency,
+            messages,
+            shards_fetched: shards.len(),
+            served_by_bee,
+        })
+    }
+
+    /// Register an advertiser campaign on-chain (funding the advertiser's
+    /// account from the treasury first, as its "fiat on-ramp").
+    pub fn register_advertiser(&mut self, spec: &AdSpec) -> QbResult<()> {
+        let account = AccountId(spec.advertiser);
+        self.chain.fund_from_treasury(account, spec.budget)?;
+        self.known_advertisers.insert(account);
+        self.chain.submit_call(
+            account,
+            Call::CreateAdCampaign {
+                keywords: spec.keywords.clone(),
+                bid_per_click: spec.bid_per_click,
+                budget: spec.budget,
+            },
+        );
+        self.chain.seal_block(self.net.now());
+        Ok(())
+    }
+
+    /// The user clicked the ad shown with `outcome`: charge the advertiser
+    /// and split the revenue between the top result's creator, the serving
+    /// bee and the treasury.
+    pub fn click_ad(&mut self, outcome: &SearchOutcome) -> QbResult<bool> {
+        let (Some(ad), Some(top)) = (outcome.ad, outcome.results.first()) else {
+            return Ok(false);
+        };
+        self.chain.submit_call(
+            qb_chain::TREASURY,
+            Call::RecordAdClick {
+                ad,
+                page_creator: AccountId(top.creator),
+                serving_bee: outcome.served_by_bee,
+            },
+        );
+        self.chain.seal_block(self.net.now());
+        Ok(true)
+    }
+
+    /// Honey split across stakeholder roles.
+    pub fn honey_by_role(&self) -> HoneyByRole {
+        HoneyByRole::from_chain(
+            &self.chain,
+            &self.creator_accounts(),
+            &self.bee_accounts(),
+            &self.advertiser_accounts(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(name: &str, body: &str, links: Vec<String>) -> WebPage {
+        WebPage::new(name, format!("Title {name}"), body, links)
+    }
+
+    fn engine() -> QueenBee {
+        QueenBee::new(QueenBeeConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn publish_index_search_round_trip() {
+        let mut qb = engine();
+        let creator = AccountId(1_000);
+        qb.publish(1, creator, &page("wiki/dweb", "the decentralized web is served by peer devices", vec![]))
+            .unwrap();
+        qb.publish(2, AccountId(1_001), &page("wiki/bees", "worker bees earn honey for indexing pages", vec!["wiki/dweb".into()]))
+            .unwrap();
+        qb.seal();
+        let handled = qb.process_publish_events().unwrap();
+        assert_eq!(handled, 2);
+        let out = qb.search(5, "decentralized peer").unwrap();
+        assert!(!out.results.is_empty());
+        assert_eq!(out.results[0].name, "wiki/dweb");
+        assert!(out.latency.as_micros() > 0);
+        assert!(out.messages > 0);
+        // Bees were rewarded for indexing.
+        let bee_balance: u64 = qb.bee_accounts().iter().map(|a| qb.chain.balance(*a)).sum();
+        assert!(bee_balance > 0);
+        // The creator got the publish reward.
+        assert!(qb.chain.balance(creator) >= qb.config().chain.publish_reward);
+    }
+
+    #[test]
+    fn updates_are_searchable_immediately_after_processing() {
+        let mut qb = engine();
+        let creator = AccountId(1_000);
+        qb.publish(1, creator, &page("news/today", "old stale headline about yesterday", vec![]))
+            .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        // Update the page with a brand-new term.
+        qb.publish(1, creator, &page("news/today", "breaking exclusive zebrastampede coverage", vec![]))
+            .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let out = qb.search(3, "zebrastampede").unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].version, 2);
+        assert_eq!(qb.freshness.staleness_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_query_is_rejected() {
+        let mut qb = engine();
+        assert!(matches!(qb.search(0, "the of and"), Err(QbError::Query(_))));
+    }
+
+    #[test]
+    fn scraper_mirror_is_rejected_by_duplicate_detection() {
+        let mut qb = engine();
+        let victim = page(
+            "blog/popular",
+            &(0..150).map(|i| format!("organicword{} ", i % 40)).collect::<String>(),
+            vec![],
+        );
+        qb.publish(1, AccountId(1_000), &victim).unwrap();
+        qb.seal();
+        let attack = ScraperAttack::new(6_666, 1);
+        let reports = qb.run_scraper_attack(&attack, &[victim.clone()]).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(!reports[0].accepted);
+        assert!(reports[0].reject_reason.as_ref().unwrap().contains("near-duplicate"));
+        // Without the defense the mirror is accepted.
+        let mut cfg = QueenBeeConfig::small();
+        cfg.duplicate_detection = false;
+        let mut qb2 = QueenBee::new(cfg).unwrap();
+        qb2.publish(1, AccountId(1_000), &victim).unwrap();
+        qb2.seal();
+        let reports = qb2.run_scraper_attack(&attack, &[victim]).unwrap();
+        assert!(reports[0].accepted);
+    }
+
+    #[test]
+    fn colluding_minority_is_flagged_and_spam_kept_out_of_the_index() {
+        let mut qb = engine();
+        let attack = CollusionAttack::new(0.25, vec!["evil/spam".into()]);
+        qb.apply_collusion(&attack);
+        assert_eq!(qb.bees().iter().filter(|b| b.is_colluding()).count(), 1);
+        qb.publish(1, AccountId(1_000), &page("wiki/honest", "legitimate honest content about honeybees", vec![]))
+            .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let out = qb.search(2, "honeybees").unwrap();
+        assert!(out.results.iter().all(|r| r.name != "evil/spam"));
+        // At least one verification quorum caught a colluder (if one was assigned).
+        let flagged: u64 = qb.bees().iter().map(|b| b.times_flagged).sum();
+        let colluder_assigned = qb.bees().iter().any(|b| b.is_colluding() && b.pages_indexed + b.times_flagged > 0);
+        if colluder_assigned {
+            assert!(flagged > 0);
+        }
+    }
+
+    #[test]
+    fn rank_round_pays_bees_and_popular_creators() {
+        let mut qb = engine();
+        // A small web where everybody links to the hub.
+        for i in 0..6 {
+            qb.publish(
+                1,
+                AccountId(1_000 + i),
+                &page(&format!("site/{i}"), "spoke page content words", vec!["site/hub".into()]),
+            )
+            .unwrap();
+        }
+        qb.publish(2, AccountId(1_100), &page("site/hub", "hub page everyone links here", vec![]))
+            .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let report = qb.run_rank_round().unwrap();
+        assert!(report.flagged_bees.is_empty());
+        assert!(qb.rank_of("site/hub") > qb.rank_of("site/0"));
+        // Bees earned rank bounties on top of index bounties.
+        let bee_total: u64 = qb.bee_accounts().iter().map(|a| qb.chain.balance(*a)).sum();
+        assert!(bee_total > 0);
+        // The hub creator earned the popularity reward.
+        assert!(qb.chain.balance(AccountId(1_100)) > qb.config().chain.publish_reward);
+    }
+
+    #[test]
+    fn ad_click_splits_revenue() {
+        let mut qb = engine();
+        qb.publish(1, AccountId(1_000), &page("shop/rust", "buy rusty decentralized widgets", vec![]))
+            .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let spec = AdSpec {
+            advertiser: 5_000,
+            keywords: vec![Analyzer::stem("widgets")],
+            bid_per_click: 100,
+            budget: 1_000,
+        };
+        qb.register_advertiser(&spec).unwrap();
+        let out = qb.search(3, "decentralized widgets").unwrap();
+        assert!(out.ad.is_some(), "an ad should match the query");
+        let creator_before = qb.chain.balance(AccountId(1_000));
+        let clicked = qb.click_ad(&out).unwrap();
+        assert!(clicked);
+        assert!(qb.chain.balance(AccountId(1_000)) > creator_before);
+        let roles = qb.honey_by_role();
+        assert_eq!(roles.total(), qb.chain.accounts().total_supply());
+    }
+}

@@ -1,0 +1,156 @@
+//! The page link graph.
+
+use std::collections::HashMap;
+
+/// A directed graph over page names.
+#[derive(Debug, Clone, Default)]
+pub struct LinkGraph {
+    names: Vec<String>,
+    ids: HashMap<String, usize>,
+    out_edges: Vec<Vec<usize>>,
+    in_degree: Vec<usize>,
+}
+
+impl LinkGraph {
+    /// Empty graph.
+    pub fn new() -> LinkGraph {
+        LinkGraph::default()
+    }
+
+    /// Get or create the node for a page name.
+    pub fn node(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        self.out_edges.push(Vec::new());
+        self.in_degree.push(0);
+        id
+    }
+
+    /// Register (or replace) the out-links of a page. Links to not-yet-known
+    /// pages create their nodes, mirroring how the registry can reference
+    /// pages published later.
+    pub fn set_links(&mut self, name: &str, out_links: &[String]) {
+        let from = self.node(name);
+        // Remove old edges' contribution to in-degree.
+        let old = std::mem::take(&mut self.out_edges[from]);
+        for &t in &old {
+            self.in_degree[t] -= 1;
+        }
+        let mut edges = Vec::with_capacity(out_links.len());
+        for link in out_links {
+            if link == name {
+                continue; // self-links carry no rank signal
+            }
+            let to = self.node(link);
+            if !edges.contains(&to) {
+                edges.push(to);
+                self.in_degree[to] += 1;
+            }
+        }
+        self.out_edges[from] = edges;
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Node id of a name, if known.
+    pub fn id_of(&self, name: &str) -> Option<usize> {
+        self.ids.get(name).copied()
+    }
+
+    /// Name of a node.
+    pub fn name_of(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// Out-neighbours of a node.
+    pub fn out_links(&self, id: usize) -> &[usize] {
+        &self.out_edges[id]
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, id: usize) -> usize {
+        self.out_edges[id].len()
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, id: usize) -> usize {
+        self.in_degree[id]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.iter().map(|e| e.len()).sum()
+    }
+
+    /// All node names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn links(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn nodes_are_created_on_demand_and_stable() {
+        let mut g = LinkGraph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        assert_ne!(a, b);
+        assert_eq!(g.node("a"), a);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.name_of(a), "a");
+        assert_eq!(g.id_of("b"), Some(b));
+        assert_eq!(g.id_of("zzz"), None);
+    }
+
+    #[test]
+    fn set_links_builds_edges_and_degrees() {
+        let mut g = LinkGraph::new();
+        g.set_links("home", &links(&["about", "blog", "about"]));
+        g.set_links("blog", &links(&["home"]));
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 3, "duplicate links are collapsed");
+        let home = g.id_of("home").unwrap();
+        let about = g.id_of("about").unwrap();
+        assert_eq!(g.out_degree(home), 2);
+        assert_eq!(g.in_degree(about), 1);
+        assert_eq!(g.in_degree(home), 1);
+    }
+
+    #[test]
+    fn relinking_replaces_old_edges() {
+        let mut g = LinkGraph::new();
+        g.set_links("p", &links(&["x", "y"]));
+        g.set_links("p", &links(&["z"]));
+        let p = g.id_of("p").unwrap();
+        assert_eq!(g.out_degree(p), 1);
+        assert_eq!(g.in_degree(g.id_of("x").unwrap()), 0);
+        assert_eq!(g.in_degree(g.id_of("z").unwrap()), 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_links_are_ignored() {
+        let mut g = LinkGraph::new();
+        g.set_links("p", &links(&["p", "q"]));
+        assert_eq!(g.out_degree(g.id_of("p").unwrap()), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic peer-to-peer network simulator.
+//!
+//! Every protocol crate in the reproduction (DHT, storage, DWeb, QueenBee)
+//! sends its messages through [`SimNet`]. The simulator models:
+//!
+//! * per-link latency through a pluggable [`LatencyModel`],
+//! * bandwidth-proportional transfer time for large payloads,
+//! * node liveness (churn, crash failures, targeted DDoS),
+//! * network partitions (a node can only reach nodes in the same partition
+//!   group),
+//! * random message loss,
+//! * per-message and per-byte accounting for the cost experiments.
+//!
+//! The simulator is *not* event driven: operations are executed by the
+//! calling protocol code, and the latency of an operation is accumulated
+//! explicitly. Rounds of parallel RPCs (e.g. Kademlia's α-parallel lookups)
+//! charge the maximum latency of the round via [`parallel_latency`], while
+//! sequential phases add up. This keeps the whole stack synchronous,
+//! deterministic and easy to test, while producing realistic latency,
+//! message-count and availability shapes — which is all the experiments in
+//! EXPERIMENTS.md measure.
+
+pub mod latency;
+pub mod net;
+pub mod stats;
+
+pub use latency::LatencyModel;
+pub use net::{NetConfig, RpcError, SimNet};
+pub use stats::{LatencyRecorder, NetStats, Summary};
+
+use qb_common::SimDuration;
+
+/// Latency of a round of RPCs issued in parallel: the slowest one dominates.
+pub fn parallel_latency(latencies: &[SimDuration]) -> SimDuration {
+    latencies
+        .iter()
+        .copied()
+        .fold(SimDuration::ZERO, SimDuration::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_latency_is_max() {
+        let l = [
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(7),
+        ];
+        assert_eq!(parallel_latency(&l), SimDuration::from_millis(10));
+        assert_eq!(parallel_latency(&[]), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,450 @@
+//! The simulated network: liveness, partitions, message accounting and the
+//! RPC cost model used by every protocol crate.
+
+use crate::latency::LatencyModel;
+use crate::stats::NetStats;
+use qb_common::{DetRng, QbError, SimDuration, SimInstant};
+
+/// Static configuration of a simulated network.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct NetConfig {
+    /// One-way latency model between peers.
+    pub latency: LatencyModel,
+    /// Probability that any single message is silently dropped.
+    pub drop_probability: f64,
+    /// Effective per-peer bandwidth in bytes per second; payload transfer
+    /// time is added on top of propagation latency.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Number of latency zones peers are spread over (round-robin).
+    pub zones: usize,
+    /// Latency charged when an RPC to a dead/unreachable peer times out.
+    pub timeout: SimDuration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: LatencyModel::default(),
+            drop_probability: 0.0,
+            bandwidth_bytes_per_sec: 12_500_000, // ~100 Mbit/s
+            zones: 8,
+            timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+impl NetConfig {
+    /// A fast, lossless LAN configuration for unit tests.
+    pub fn lan() -> NetConfig {
+        NetConfig {
+            latency: LatencyModel::lan(),
+            drop_probability: 0.0,
+            bandwidth_bytes_per_sec: 125_000_000,
+            zones: 1,
+            timeout: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// Failure modes of a simulated RPC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The peer is offline (crashed, churned out or DDoS'd).
+    PeerOffline,
+    /// The peer is unreachable because of a network partition.
+    Partitioned,
+    /// The message (or its reply) was dropped.
+    Dropped,
+    /// The calling node itself is offline.
+    SelfOffline,
+}
+
+impl From<RpcError> for QbError {
+    fn from(e: RpcError) -> QbError {
+        QbError::Network(format!("{e:?}"))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PeerState {
+    online: bool,
+    zone: usize,
+    /// Partition group; peers can only talk within the same group.
+    partition: u32,
+}
+
+/// The simulated peer-to-peer network.
+#[derive(Debug)]
+pub struct SimNet {
+    config: NetConfig,
+    peers: Vec<PeerState>,
+    rng: DetRng,
+    clock: SimInstant,
+    stats: NetStats,
+}
+
+impl SimNet {
+    /// Create a network with `n` peers, all online, in one partition.
+    pub fn new(n: usize, config: NetConfig, seed: u64) -> SimNet {
+        let peers = (0..n)
+            .map(|i| PeerState {
+                online: true,
+                zone: i % config.zones.max(1),
+                partition: 0,
+            })
+            .collect();
+        SimNet {
+            config,
+            peers,
+            rng: DetRng::new(seed),
+            clock: SimInstant::ZERO,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Number of peers (online or not).
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when the network has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Add a new peer (returns its index). Used by churn-with-growth setups.
+    pub fn add_peer(&mut self) -> u64 {
+        let idx = self.peers.len();
+        self.peers.push(PeerState {
+            online: true,
+            zone: idx % self.config.zones.max(1),
+            partition: 0,
+        });
+        idx as u64
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> SimInstant {
+        self.clock
+    }
+
+    /// Advance the logical clock (e.g. to model epochs between query batches).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Reset traffic statistics (start of a measurement window).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
+    }
+
+    /// Borrow the deterministic RNG (protocols share the network's stream).
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    // ----- liveness / partitions -------------------------------------------------
+
+    /// Is the peer currently online?
+    pub fn is_online(&self, node: u64) -> bool {
+        self.peers
+            .get(node as usize)
+            .map(|p| p.online)
+            .unwrap_or(false)
+    }
+
+    /// Bring a peer online / take it offline.
+    pub fn set_online(&mut self, node: u64, online: bool) {
+        if let Some(p) = self.peers.get_mut(node as usize) {
+            p.online = online;
+        }
+    }
+
+    /// Take a uniformly random `fraction` of peers offline (crash / churn /
+    /// DDoS victim model). Peers listed in `protect` are never taken down.
+    /// Returns the indices that were taken offline.
+    pub fn fail_fraction(&mut self, fraction: f64, protect: &[u64]) -> Vec<u64> {
+        let n = self.peers.len();
+        let target = ((n as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        let mut candidates: Vec<u64> = (0..n as u64)
+            .filter(|i| !protect.contains(i) && self.is_online(*i))
+            .collect();
+        // Deterministic selection.
+        let mut rng = self.rng.fork(0xFA11);
+        rng.shuffle(&mut candidates);
+        let mut downed = Vec::new();
+        for &i in candidates.iter().take(target) {
+            self.set_online(i, false);
+            downed.push(i);
+        }
+        downed
+    }
+
+    /// Restore every peer to online and a single partition.
+    pub fn heal_all(&mut self) {
+        for p in &mut self.peers {
+            p.online = true;
+            p.partition = 0;
+        }
+    }
+
+    /// Split the network into `groups` partitions, assigning peers
+    /// round-robin. Peers can only communicate within their group.
+    pub fn partition_round_robin(&mut self, groups: u32) {
+        let g = groups.max(1);
+        for (i, p) in self.peers.iter_mut().enumerate() {
+            p.partition = (i as u32) % g;
+        }
+    }
+
+    /// Assign an explicit partition group to one peer.
+    pub fn set_partition(&mut self, node: u64, group: u32) {
+        if let Some(p) = self.peers.get_mut(node as usize) {
+            p.partition = group;
+        }
+    }
+
+    /// Partition group of a peer.
+    pub fn partition_of(&self, node: u64) -> u32 {
+        self.peers
+            .get(node as usize)
+            .map(|p| p.partition)
+            .unwrap_or(u32::MAX)
+    }
+
+    /// Fraction of peers currently online.
+    pub fn online_fraction(&self) -> f64 {
+        if self.peers.is_empty() {
+            return 0.0;
+        }
+        self.peers.iter().filter(|p| p.online).count() as f64 / self.peers.len() as f64
+    }
+
+    /// Can `from` currently exchange messages with `to`?
+    pub fn can_reach(&self, from: u64, to: u64) -> bool {
+        let (Some(a), Some(b)) = (self.peers.get(from as usize), self.peers.get(to as usize))
+        else {
+            return false;
+        };
+        a.online && b.online && a.partition == b.partition
+    }
+
+    // ----- RPC cost model ---------------------------------------------------------
+
+    /// Simulate a request/response RPC of `request_bytes` + `response_bytes`
+    /// between two peers. On success returns the round-trip latency
+    /// (propagation both ways + transfer time); on failure returns the error
+    /// and charges the timeout to the caller via the returned duration being
+    /// embedded in the error path (callers use [`SimNet::rpc_or_timeout`]).
+    pub fn rpc(
+        &mut self,
+        from: u64,
+        to: u64,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) -> Result<SimDuration, RpcError> {
+        if !self.is_online(from) {
+            return Err(RpcError::SelfOffline);
+        }
+        if !self.is_online(to) {
+            self.stats.failed_rpcs += 1;
+            return Err(RpcError::PeerOffline);
+        }
+        let (za, zb, pa, pb) = {
+            let a = &self.peers[from as usize];
+            let b = &self.peers[to as usize];
+            (a.zone, b.zone, a.partition, b.partition)
+        };
+        if pa != pb {
+            self.stats.failed_rpcs += 1;
+            return Err(RpcError::Partitioned);
+        }
+        if self.config.drop_probability > 0.0 && self.rng.gen_bool(self.config.drop_probability) {
+            self.stats.dropped_messages += 1;
+            self.stats.failed_rpcs += 1;
+            return Err(RpcError::Dropped);
+        }
+        let prop_out = self.config.latency.sample(&mut self.rng, za, zb);
+        let prop_back = self.config.latency.sample(&mut self.rng, zb, za);
+        let transfer = self.transfer_time(request_bytes + response_bytes);
+        self.stats.messages += 2;
+        self.stats.bytes += (request_bytes + response_bytes) as u64;
+        self.stats.rpcs += 1;
+        Ok(prop_out + prop_back + transfer)
+    }
+
+    /// Like [`SimNet::rpc`] but a failure costs the configured timeout, which
+    /// is what a real client experiences when a peer is dead.
+    pub fn rpc_or_timeout(
+        &mut self,
+        from: u64,
+        to: u64,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) -> (Result<(), RpcError>, SimDuration) {
+        match self.rpc(from, to, request_bytes, response_bytes) {
+            Ok(lat) => (Ok(()), lat),
+            Err(RpcError::SelfOffline) => (Err(RpcError::SelfOffline), SimDuration::ZERO),
+            Err(e) => (Err(e), self.config.timeout),
+        }
+    }
+
+    /// One-way message (gossip, notifications). Returns the one-way latency.
+    pub fn send(
+        &mut self,
+        from: u64,
+        to: u64,
+        bytes: usize,
+    ) -> Result<SimDuration, RpcError> {
+        if !self.is_online(from) {
+            return Err(RpcError::SelfOffline);
+        }
+        if !self.can_reach(from, to) {
+            self.stats.failed_rpcs += 1;
+            return Err(if self.is_online(to) {
+                RpcError::Partitioned
+            } else {
+                RpcError::PeerOffline
+            });
+        }
+        if self.config.drop_probability > 0.0 && self.rng.gen_bool(self.config.drop_probability) {
+            self.stats.dropped_messages += 1;
+            return Err(RpcError::Dropped);
+        }
+        let (za, zb) = (
+            self.peers[from as usize].zone,
+            self.peers[to as usize].zone,
+        );
+        let lat = self.config.latency.sample(&mut self.rng, za, zb) + self.transfer_time(bytes);
+        self.stats.messages += 1;
+        self.stats.bytes += bytes as u64;
+        Ok(lat)
+    }
+
+    /// Transfer time of `bytes` at the configured bandwidth.
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        if bytes == 0 || self.config.bandwidth_bytes_per_sec == 0 {
+            return SimDuration::ZERO;
+        }
+        let micros = (bytes as u128 * 1_000_000u128
+            / self.config.bandwidth_bytes_per_sec as u128) as u64;
+        SimDuration::from_micros(micros)
+    }
+}
+
+/// Convenience constructor for tests: LAN network with `n` peers.
+pub fn lan(n: usize, seed: u64) -> SimNet {
+    SimNet::new(n, NetConfig::lan(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_succeeds_between_online_peers() {
+        let mut net = lan(4, 1);
+        let lat = net.rpc(0, 1, 100, 200).unwrap();
+        assert!(lat.as_micros() > 0);
+        assert_eq!(net.stats().rpcs, 1);
+        assert_eq!(net.stats().messages, 2);
+        assert_eq!(net.stats().bytes, 300);
+    }
+
+    #[test]
+    fn rpc_to_offline_peer_fails() {
+        let mut net = lan(4, 2);
+        net.set_online(2, false);
+        assert_eq!(net.rpc(0, 2, 10, 10), Err(RpcError::PeerOffline));
+        assert_eq!(net.stats().failed_rpcs, 1);
+        let (res, lat) = net.rpc_or_timeout(0, 2, 10, 10);
+        assert!(res.is_err());
+        assert_eq!(lat, net.config().timeout);
+    }
+
+    #[test]
+    fn rpc_from_offline_self_fails_without_timeout() {
+        let mut net = lan(4, 3);
+        net.set_online(0, false);
+        assert_eq!(net.rpc(0, 1, 10, 10), Err(RpcError::SelfOffline));
+    }
+
+    #[test]
+    fn partitions_block_traffic() {
+        let mut net = lan(6, 4);
+        net.partition_round_robin(2);
+        // Peers 0 and 2 are both in group 0; 0 and 1 are split.
+        assert!(net.can_reach(0, 2));
+        assert!(!net.can_reach(0, 1));
+        assert_eq!(net.rpc(0, 1, 1, 1), Err(RpcError::Partitioned));
+        net.heal_all();
+        assert!(net.can_reach(0, 1));
+    }
+
+    #[test]
+    fn fail_fraction_respects_protection() {
+        let mut net = lan(100, 5);
+        let downed = net.fail_fraction(0.3, &[0, 1, 2]);
+        assert_eq!(downed.len(), 30);
+        assert!(net.is_online(0) && net.is_online(1) && net.is_online(2));
+        assert!((net.online_fraction() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_probability_drops_messages() {
+        let mut cfg = NetConfig::lan();
+        cfg.drop_probability = 1.0;
+        let mut net = SimNet::new(3, cfg, 6);
+        assert_eq!(net.rpc(0, 1, 1, 1), Err(RpcError::Dropped));
+        assert_eq!(net.stats().dropped_messages, 1);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let net = lan(2, 7);
+        let small = net.transfer_time(1_000);
+        let large = net.transfer_time(1_000_000);
+        assert!(large > small);
+        assert_eq!(net.transfer_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut net = lan(2, 8);
+        assert_eq!(net.now().as_micros(), 0);
+        net.advance(SimDuration::from_secs(5));
+        assert_eq!(net.now().as_micros(), 5_000_000);
+    }
+
+    #[test]
+    fn add_peer_grows_network() {
+        let mut net = lan(2, 9);
+        let id = net.add_peer();
+        assert_eq!(id, 2);
+        assert_eq!(net.len(), 3);
+        assert!(net.is_online(2));
+        assert!(net.rpc(0, 2, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed: u64| {
+            let mut net = SimNet::new(10, NetConfig::default(), seed);
+            (0..20)
+                .map(|i| net.rpc(i % 10, (i + 3) % 10, 64, 64).unwrap().as_micros())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,197 @@
+//! Chunking: splitting an object into blocks.
+//!
+//! Two strategies are provided. Fixed-size chunking is simple and fast;
+//! content-defined chunking (a gear-hash rolling window) re-synchronises
+//! chunk boundaries after inserts/deletes so that updated versions of a page
+//! share most of their blocks with the previous version — which matters for
+//! the DWeb because a page update should not force re-replication of the
+//! whole page.
+
+/// Chunker parameters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ChunkerConfig {
+    /// Minimum chunk size in bytes (content-defined only).
+    pub min_size: usize,
+    /// Average/target chunk size in bytes.
+    pub target_size: usize,
+    /// Maximum chunk size in bytes.
+    pub max_size: usize,
+}
+
+impl Default for ChunkerConfig {
+    fn default() -> Self {
+        ChunkerConfig {
+            min_size: 2 * 1024,
+            target_size: 8 * 1024,
+            max_size: 32 * 1024,
+        }
+    }
+}
+
+impl ChunkerConfig {
+    /// Tiny chunks, used in tests so multi-chunk paths are exercised with
+    /// small inputs.
+    pub fn tiny() -> ChunkerConfig {
+        ChunkerConfig {
+            min_size: 16,
+            target_size: 64,
+            max_size: 256,
+        }
+    }
+}
+
+/// Split into fixed-size chunks of `size` bytes (the last chunk may be
+/// shorter). An empty input yields a single empty chunk so that every object
+/// has at least one block.
+pub fn chunk_fixed(data: &[u8], size: usize) -> Vec<Vec<u8>> {
+    let size = size.max(1);
+    if data.is_empty() {
+        return vec![Vec::new()];
+    }
+    data.chunks(size).map(|c| c.to_vec()).collect()
+}
+
+/// Gear table for the rolling hash, generated deterministically from a fixed
+/// seed so chunk boundaries are stable across runs and machines.
+fn gear_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for entry in table.iter_mut() {
+        // SplitMix64 step.
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        *entry = z ^ (z >> 31);
+    }
+    table
+}
+
+/// Content-defined chunking with a gear rolling hash.
+pub fn chunk_content_defined(data: &[u8], config: &ChunkerConfig) -> Vec<Vec<u8>> {
+    if data.is_empty() {
+        return vec![Vec::new()];
+    }
+    let min = config.min_size.max(1);
+    let max = config.max_size.max(min);
+    let target = config.target_size.clamp(min, max).max(2);
+    // Boundary when the top bits of the hash are zero; mask size derived from
+    // the target chunk size (power of two).
+    let bits = (target as f64).log2().round() as u32;
+    let mask: u64 = if bits >= 63 { u64::MAX } else { (1u64 << bits) - 1 };
+    let table = gear_table();
+
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut hash: u64 = 0;
+    let mut i = 0usize;
+    while i < data.len() {
+        hash = (hash << 1).wrapping_add(table[data[i] as usize]);
+        let len = i - start + 1;
+        let at_boundary = len >= min && (hash & mask) == 0;
+        if at_boundary || len >= max {
+            chunks.push(data[start..=i].to_vec());
+            start = i + 1;
+            hash = 0;
+        }
+        i += 1;
+    }
+    if start < data.len() {
+        chunks.push(data[start..].to_vec());
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qb_common::Cid;
+
+    #[test]
+    fn fixed_chunks_reassemble() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 255) as u8).collect();
+        let chunks = chunk_fixed(&data, 1024);
+        assert_eq!(chunks.len(), 10);
+        let rejoined: Vec<u8> = chunks.concat();
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn empty_input_yields_one_empty_chunk() {
+        assert_eq!(chunk_fixed(&[], 8).len(), 1);
+        assert_eq!(chunk_content_defined(&[], &ChunkerConfig::tiny()).len(), 1);
+    }
+
+    #[test]
+    fn content_defined_chunks_reassemble_and_respect_max() {
+        let mut data = Vec::new();
+        for i in 0..5_000u32 {
+            data.extend_from_slice(&i.to_le_bytes());
+        }
+        let cfg = ChunkerConfig::tiny();
+        let chunks = chunk_content_defined(&data, &cfg);
+        assert!(chunks.len() > 1);
+        assert_eq!(chunks.concat(), data);
+        for (i, c) in chunks.iter().enumerate() {
+            if i + 1 < chunks.len() {
+                assert!(c.len() <= cfg.max_size, "chunk {i} too large: {}", c.len());
+                assert!(c.len() >= cfg.min_size.min(cfg.max_size));
+            }
+        }
+    }
+
+    #[test]
+    fn small_edit_preserves_most_chunks() {
+        // The point of content-defined chunking: an insertion near the front
+        // should not change the chunk boundaries (and hence cids) of the tail.
+        let mut rng_state = 12345u64;
+        let mut data = Vec::with_capacity(200_000);
+        for _ in 0..200_000 {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            data.push((rng_state >> 33) as u8);
+        }
+        let cfg = ChunkerConfig::default();
+        let original: Vec<Cid> = chunk_content_defined(&data, &cfg)
+            .iter()
+            .map(|c| Cid::for_data(c))
+            .collect();
+        let mut edited = data.clone();
+        edited.splice(1000..1000, b"INSERTED EDIT".iter().copied());
+        let new_cids: Vec<Cid> = chunk_content_defined(&edited, &cfg)
+            .iter()
+            .map(|c| Cid::for_data(c))
+            .collect();
+        let original_set: std::collections::HashSet<_> = original.iter().collect();
+        let shared = new_cids.iter().filter(|c| original_set.contains(c)).count();
+        assert!(
+            shared * 2 > new_cids.len(),
+            "only {shared}/{} chunks shared after a small edit",
+            new_cids.len()
+        );
+    }
+
+    #[test]
+    fn fixed_chunking_shares_nothing_after_insert() {
+        // Contrast case motivating content-defined chunking.
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        let original: Vec<Cid> = chunk_fixed(&data, 4096).iter().map(|c| Cid::for_data(c)).collect();
+        let mut edited = data.clone();
+        edited.insert(0, 0xAA);
+        let new_cids: Vec<Cid> = chunk_fixed(&edited, 4096).iter().map(|c| Cid::for_data(c)).collect();
+        let original_set: std::collections::HashSet<_> = original.iter().collect();
+        let shared = new_cids.iter().filter(|c| original_set.contains(c)).count();
+        assert!(shared <= 1);
+    }
+
+    proptest! {
+        #[test]
+        fn chunking_always_reassembles(data in proptest::collection::vec(any::<u8>(), 0..8192),
+                                       size in 1usize..512) {
+            let fixed = chunk_fixed(&data, size);
+            prop_assert_eq!(fixed.concat(), data.clone());
+            let cdc = chunk_content_defined(&data, &ChunkerConfig::tiny());
+            prop_assert_eq!(cdc.concat(), data);
+        }
+    }
+}

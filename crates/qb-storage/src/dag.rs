@@ -1,0 +1,135 @@
+//! Object manifests: the merkle root tying an object's chunks together.
+
+use qb_common::{varint, Cid, Hash256, QbError, QbResult};
+
+const MANIFEST_MAGIC: &[u8; 6] = b"QBDAG1";
+
+/// A manifest lists the chunk cids of an object in order. The manifest is
+/// itself stored as a block; the cid of that block is the object's root cid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Chunk cids in order.
+    pub chunks: Vec<Cid>,
+    /// Total object size in bytes.
+    pub total_len: u64,
+}
+
+impl Manifest {
+    /// Build a manifest from chunk data (computing each chunk's cid).
+    pub fn from_chunks(chunks: &[Vec<u8>]) -> Manifest {
+        Manifest {
+            chunks: chunks.iter().map(|c| Cid::for_data(c)).collect(),
+            total_len: chunks.iter().map(|c| c.len() as u64).sum(),
+        }
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Serialize to bytes (deterministic binary format).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 10 + self.chunks.len() * 32);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        varint::encode_u64(self.total_len, &mut out);
+        varint::encode_u64(self.chunks.len() as u64, &mut out);
+        for c in &self.chunks {
+            out.extend_from_slice(c.0.as_bytes());
+        }
+        out
+    }
+
+    /// Parse a manifest from bytes.
+    pub fn decode(data: &[u8]) -> QbResult<Manifest> {
+        if data.len() < MANIFEST_MAGIC.len() || &data[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+            return Err(QbError::Codec("not a manifest (bad magic)".into()));
+        }
+        let mut pos = MANIFEST_MAGIC.len();
+        let (total_len, p) = varint::decode_u64(data, pos)?;
+        pos = p;
+        let (count, p) = varint::decode_u64(data, pos)?;
+        pos = p;
+        if count > 1_000_000 {
+            return Err(QbError::Codec(format!("unreasonable chunk count {count}")));
+        }
+        let mut chunks = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let end = pos + 32;
+            let bytes = data
+                .get(pos..end)
+                .ok_or_else(|| QbError::Codec("truncated manifest".into()))?;
+            let mut arr = [0u8; 32];
+            arr.copy_from_slice(bytes);
+            chunks.push(Cid(Hash256::from_bytes(arr)));
+            pos = end;
+        }
+        if pos != data.len() {
+            return Err(QbError::Codec("trailing bytes after manifest".into()));
+        }
+        Ok(Manifest { chunks, total_len })
+    }
+
+    /// The root cid: cid of the encoded manifest.
+    pub fn root_cid(&self) -> Cid {
+        Cid::for_data(&self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip() {
+        let chunks = vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()];
+        let m = Manifest::from_chunks(&chunks);
+        assert_eq!(m.chunk_count(), 3);
+        assert_eq!(m.total_len, 11);
+        let decoded = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn root_cid_changes_when_any_chunk_changes() {
+        let a = Manifest::from_chunks(&[b"aaa".to_vec(), b"bbb".to_vec()]);
+        let b = Manifest::from_chunks(&[b"aaa".to_vec(), b"bbc".to_vec()]);
+        assert_ne!(a.root_cid(), b.root_cid());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Manifest::decode(b"").is_err());
+        assert!(Manifest::decode(b"NOTMAGIC").is_err());
+        let mut good = Manifest::from_chunks(&[b"x".to_vec()]).encode();
+        good.truncate(good.len() - 5);
+        assert!(Manifest::decode(&good).is_err());
+        // Trailing junk is rejected too.
+        let mut padded = Manifest::from_chunks(&[b"x".to_vec()]).encode();
+        padded.push(0);
+        assert!(Manifest::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn empty_object_manifest() {
+        let m = Manifest::from_chunks(&[Vec::new()]);
+        assert_eq!(m.total_len, 0);
+        assert_eq!(m.chunk_count(), 1);
+        let decoded = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_prop(chunk_sizes in proptest::collection::vec(0usize..64, 0..50)) {
+            let chunks: Vec<Vec<u8>> = chunk_sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| vec![i as u8; s])
+                .collect();
+            let m = Manifest::from_chunks(&chunks);
+            prop_assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        }
+    }
+}

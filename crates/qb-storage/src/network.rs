@@ -1,0 +1,491 @@
+//! The distributed storage layer: publishing, replication, cached retrieval.
+
+use crate::block::Block;
+use crate::chunker::{chunk_content_defined, chunk_fixed, ChunkerConfig};
+use crate::dag::Manifest;
+use crate::store::{BlockStore, LruBlockStore, MemoryBlockStore};
+use qb_common::{Cid, QbError, QbResult, SimDuration};
+use qb_dht::DhtNetwork;
+use qb_simnet::SimNet;
+
+/// Storage layer configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StorageConfig {
+    /// Number of peers an object is pinned on (including the publisher).
+    pub replication: usize,
+    /// Chunker parameters.
+    pub chunker: ChunkerConfig,
+    /// Use content-defined chunking (true) or fixed-size chunking (false).
+    pub content_defined: bool,
+    /// Per-peer cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Whether peers that fetched an object announce themselves as providers
+    /// (the DWeb "devices also serve their cached data" behaviour).
+    pub announce_cached: bool,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            replication: 3,
+            chunker: ChunkerConfig::default(),
+            content_defined: true,
+            cache_bytes: 8 * 1024 * 1024,
+            announce_cached: true,
+        }
+    }
+}
+
+impl StorageConfig {
+    /// Small configuration for unit tests.
+    pub fn small() -> StorageConfig {
+        StorageConfig {
+            replication: 2,
+            chunker: ChunkerConfig::tiny(),
+            content_defined: true,
+            cache_bytes: 64 * 1024,
+            announce_cached: true,
+        }
+    }
+}
+
+/// Reference to a stored object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ObjectRef {
+    /// Root cid (cid of the manifest block).
+    pub root: Cid,
+    /// Total object size in bytes.
+    pub total_len: u64,
+    /// Number of chunks.
+    pub chunk_count: usize,
+}
+
+/// Cost accounting of a publish or fetch operation.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FetchStats {
+    /// End-to-end latency charged to the caller.
+    pub latency: SimDuration,
+    /// RPC attempts issued (DHT + block transfers).
+    pub messages: u64,
+    /// Payload bytes moved across the network.
+    pub bytes: u64,
+    /// Blocks served from the local cache/pinned store.
+    pub cache_hits: u64,
+    /// Blocks that failed hash verification (tampering detected).
+    pub integrity_failures: u64,
+    /// True when the whole object was served locally.
+    pub from_local: bool,
+}
+
+/// Per-peer storage state plus the distributed publish/fetch operations.
+#[derive(Debug)]
+pub struct StorageNetwork {
+    config: StorageConfig,
+    pinned: Vec<MemoryBlockStore>,
+    caches: Vec<LruBlockStore>,
+}
+
+impl StorageNetwork {
+    /// Create storage state for `n` peers.
+    pub fn new(n: usize, config: StorageConfig) -> StorageNetwork {
+        StorageNetwork {
+            pinned: (0..n).map(|_| MemoryBlockStore::new()).collect(),
+            caches: (0..n).map(|_| LruBlockStore::new(config.cache_bytes)).collect(),
+            config,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// True when the storage network has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.pinned.is_empty()
+    }
+
+    /// The pinned store of a peer (tests and the tamper experiment use this).
+    pub fn pinned_store_mut(&mut self, peer: u64) -> &mut MemoryBlockStore {
+        &mut self.pinned[peer as usize]
+    }
+
+    /// Pinned store of a peer (read-only).
+    pub fn pinned_store(&self, peer: u64) -> &MemoryBlockStore {
+        &self.pinned[peer as usize]
+    }
+
+    /// Cache hit/miss counters of a peer's LRU cache.
+    pub fn cache_stats(&self, peer: u64) -> (u64, u64) {
+        let c = &self.caches[peer as usize];
+        (c.hits, c.misses)
+    }
+
+    fn chunk(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        if self.config.content_defined {
+            chunk_content_defined(data, &self.config.chunker)
+        } else {
+            chunk_fixed(data, self.config.chunker.target_size)
+        }
+    }
+
+    fn block_on_peer(&self, peer: u64, cid: &Cid) -> Option<Block> {
+        self.pinned[peer as usize]
+            .get(cid)
+            .cloned()
+            .or_else(|| self.caches[peer as usize].get(cid).cloned())
+    }
+
+    /// Does `peer` hold every block of the object locally?
+    fn holds_object(&self, peer: u64, root: &Cid) -> Option<(Manifest, Vec<Block>)> {
+        let manifest_block = self.block_on_peer(peer, root)?;
+        let manifest = Manifest::decode(manifest_block.data()).ok()?;
+        let mut blocks = Vec::with_capacity(manifest.chunks.len());
+        for c in &manifest.chunks {
+            blocks.push(self.block_on_peer(peer, c)?);
+        }
+        Some((manifest, blocks))
+    }
+
+    /// Publish an object from `from`: chunk it, pin it locally, replicate it
+    /// to the closest peers to its root key and announce providers in the DHT.
+    pub fn put_object(
+        &mut self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        from: u64,
+        data: &[u8],
+    ) -> QbResult<(ObjectRef, FetchStats)> {
+        if !net.is_online(from) {
+            return Err(QbError::NodeOffline(from));
+        }
+        let chunks = self.chunk(data);
+        let manifest = Manifest::from_chunks(&chunks);
+        let manifest_block = Block::new(manifest.encode());
+        let root = manifest_block.cid();
+        let object_ref = ObjectRef {
+            root,
+            total_len: manifest.total_len,
+            chunk_count: manifest.chunk_count(),
+        };
+
+        let mut stats = FetchStats::default();
+
+        // Pin locally.
+        self.pinned[from as usize].put(manifest_block.clone());
+        for c in &chunks {
+            self.pinned[from as usize].put(Block::new(c.clone()));
+        }
+
+        // Announce the publisher as a provider.
+        let provider_key = root.to_dht_key();
+        let put = dht.add_provider(net, from, provider_key)?;
+        stats.latency += put.latency;
+        stats.messages += put.messages;
+
+        // Replicate to the r-1 online peers closest to the root key.
+        if self.config.replication > 1 {
+            let targets = dht.closest_online_global(net, &root.0, self.config.replication + 1);
+            let mut replicated = 0usize;
+            for target in targets {
+                if target.index == from || replicated + 1 >= self.config.replication {
+                    if replicated + 1 >= self.config.replication {
+                        break;
+                    }
+                    continue;
+                }
+                let payload: usize = data.len() + manifest_block.len();
+                let (res, lat) = net.rpc_or_timeout(from, target.index, payload, 16);
+                stats.latency += lat;
+                stats.messages += 1;
+                if res.is_ok() {
+                    stats.bytes += payload as u64;
+                    self.pinned[target.index as usize].put(manifest_block.clone());
+                    for c in &chunks {
+                        self.pinned[target.index as usize].put(Block::new(c.clone()));
+                    }
+                    if let Ok(ann) = dht.add_provider(net, target.index, provider_key) {
+                        stats.messages += ann.messages;
+                    }
+                    replicated += 1;
+                }
+            }
+        }
+        Ok((object_ref, stats))
+    }
+
+    /// Fetch an object by root cid, verifying every block.
+    pub fn get_object(
+        &mut self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        from: u64,
+        root: Cid,
+    ) -> QbResult<(Vec<u8>, FetchStats)> {
+        if !net.is_online(from) {
+            return Err(QbError::NodeOffline(from));
+        }
+        let mut stats = FetchStats::default();
+
+        // Fast path: everything is already local.
+        if let Some((manifest, blocks)) = self.holds_object(from, &root) {
+            stats.from_local = true;
+            stats.cache_hits = 1 + manifest.chunk_count() as u64;
+            let mut data = Vec::with_capacity(manifest.total_len as usize);
+            for b in blocks {
+                data.extend_from_slice(b.data());
+            }
+            return Ok((data, stats));
+        }
+
+        // Find providers through the DHT.
+        let (providers, lat, msgs) = dht.get_providers(net, from, root.to_dht_key())?;
+        stats.latency += lat;
+        stats.messages += msgs;
+        let providers: Vec<u64> = providers
+            .iter()
+            .map(|p| p.index)
+            .filter(|&p| p != from)
+            .collect();
+        if providers.is_empty() {
+            return Err(QbError::NotFound(format!("no remote providers for {root}")));
+        }
+
+        // Fetch and verify the manifest.
+        let mut manifest: Option<Manifest> = None;
+        for &p in &providers {
+            let Some(remote) = self.block_on_peer(p, &root) else {
+                continue;
+            };
+            stats.messages += 1;
+            let (res, lat) = net.rpc_or_timeout(from, p, 64, remote.len());
+            stats.latency += lat;
+            if res.is_err() {
+                continue;
+            }
+            stats.bytes += remote.len() as u64;
+            match Block::from_parts(root, remote.data().clone()) {
+                Ok(verified) => {
+                    if let Ok(m) = Manifest::decode(verified.data()) {
+                        self.caches[from as usize].put(verified);
+                        manifest = Some(m);
+                        break;
+                    }
+                    stats.integrity_failures += 1;
+                }
+                Err(_) => {
+                    stats.integrity_failures += 1;
+                }
+            }
+        }
+        let manifest = manifest.ok_or_else(|| {
+            if stats.integrity_failures > 0 {
+                QbError::IntegrityViolation {
+                    expected: root.to_hex(),
+                    actual: "corrupted copies from all providers".into(),
+                }
+            } else {
+                QbError::NotFound(format!("manifest {root} unavailable"))
+            }
+        })?;
+
+        // Fetch every chunk, preferring the local cache, then providers.
+        let mut data = Vec::with_capacity(manifest.total_len as usize);
+        for chunk_cid in &manifest.chunks {
+            if let Some(local) = self.caches[from as usize].get_touch(chunk_cid) {
+                stats.cache_hits += 1;
+                data.extend_from_slice(local.data());
+                continue;
+            }
+            if let Some(pinned) = self.pinned[from as usize].get(chunk_cid).cloned() {
+                stats.cache_hits += 1;
+                data.extend_from_slice(pinned.data());
+                continue;
+            }
+            let mut fetched = false;
+            for &p in &providers {
+                let Some(remote) = self.block_on_peer(p, chunk_cid) else {
+                    continue;
+                };
+                stats.messages += 1;
+                let (res, lat) = net.rpc_or_timeout(from, p, 64, remote.len());
+                stats.latency += lat;
+                if res.is_err() {
+                    continue;
+                }
+                stats.bytes += remote.len() as u64;
+                match Block::from_parts(*chunk_cid, remote.data().clone()) {
+                    Ok(verified) => {
+                        data.extend_from_slice(verified.data());
+                        self.caches[from as usize].put(verified);
+                        fetched = true;
+                        break;
+                    }
+                    Err(_) => {
+                        stats.integrity_failures += 1;
+                    }
+                }
+            }
+            if !fetched {
+                return Err(if stats.integrity_failures > 0 {
+                    QbError::IntegrityViolation {
+                        expected: chunk_cid.to_hex(),
+                        actual: "all providers returned corrupted data".into(),
+                    }
+                } else {
+                    QbError::NotFound(format!("chunk {chunk_cid} unavailable"))
+                });
+            }
+        }
+
+        // The fetcher now serves the object from its cache.
+        if self.config.announce_cached {
+            if let Ok(ann) = dht.add_provider(net, from, root.to_dht_key()) {
+                stats.messages += ann.messages;
+            }
+        }
+        Ok((data, stats))
+    }
+
+    /// Corrupt the pinned copy of a block on a specific peer (experiment E4:
+    /// tamper injection). Returns true if the peer held the block.
+    pub fn corrupt_pinned(&mut self, peer: u64, cid: &Cid, evil: Vec<u8>) -> bool {
+        self.pinned[peer as usize].corrupt(cid, evil)
+    }
+
+    /// Peers that hold a pinned copy of the given block.
+    pub fn pinned_holders(&self, cid: &Cid) -> Vec<u64> {
+        (0..self.pinned.len() as u64)
+            .filter(|&p| self.pinned[p as usize].has(cid))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_dht::DhtConfig;
+    use qb_simnet::NetConfig;
+
+    fn setup(n: usize, seed: u64) -> (SimNet, DhtNetwork, StorageNetwork) {
+        let mut net = SimNet::new(n, NetConfig::lan(), seed);
+        let dht = DhtNetwork::build(&mut net, DhtConfig::small());
+        let storage = StorageNetwork::new(n, StorageConfig::small());
+        (net, dht, storage)
+    }
+
+    fn sample_data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn put_then_get_from_another_peer() {
+        let (mut net, mut dht, mut storage) = setup(24, 1);
+        let data = sample_data(5000);
+        let (obj, put_stats) = storage.put_object(&mut net, &mut dht, 3, &data).unwrap();
+        assert_eq!(obj.total_len, 5000);
+        assert!(obj.chunk_count >= 1);
+        assert!(put_stats.messages > 0);
+        let (fetched, stats) = storage.get_object(&mut net, &mut dht, 17, obj.root).unwrap();
+        assert_eq!(fetched, data);
+        assert!(!stats.from_local);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn second_fetch_is_served_locally() {
+        let (mut net, mut dht, mut storage) = setup(24, 2);
+        let data = sample_data(2000);
+        let (obj, _) = storage.put_object(&mut net, &mut dht, 0, &data).unwrap();
+        let _ = storage.get_object(&mut net, &mut dht, 9, obj.root).unwrap();
+        let (again, stats) = storage.get_object(&mut net, &mut dht, 9, obj.root).unwrap();
+        assert_eq!(again, data);
+        assert!(stats.from_local);
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cached_peer_becomes_a_provider() {
+        let (mut net, mut dht, mut storage) = setup(32, 3);
+        let data = sample_data(3000);
+        let (obj, _) = storage.put_object(&mut net, &mut dht, 0, &data).unwrap();
+        let _ = storage.get_object(&mut net, &mut dht, 5, obj.root).unwrap();
+        // Kill the publisher and its replicas; the cached copy at peer 5 must
+        // keep the object available.
+        net.set_online(0, false);
+        for holder in storage.pinned_holders(&obj.root) {
+            net.set_online(holder, false);
+        }
+        let (fetched, _) = storage.get_object(&mut net, &mut dht, 20, obj.root).unwrap();
+        assert_eq!(fetched, data);
+    }
+
+    #[test]
+    fn replication_allows_publisher_failure() {
+        let (mut net, mut dht, mut storage) = setup(32, 4);
+        let data = sample_data(4000);
+        let (obj, _) = storage.put_object(&mut net, &mut dht, 2, &data).unwrap();
+        let holders = storage.pinned_holders(&obj.root);
+        assert!(holders.len() >= 2, "expected replication, got {holders:?}");
+        net.set_online(2, false);
+        let (fetched, _) = storage.get_object(&mut net, &mut dht, 25, obj.root).unwrap();
+        assert_eq!(fetched, data);
+    }
+
+    #[test]
+    fn missing_object_is_not_found() {
+        let (mut net, mut dht, mut storage) = setup(16, 5);
+        let err = storage
+            .get_object(&mut net, &mut dht, 1, Cid::for_data(b"never published"))
+            .unwrap_err();
+        assert!(err.is_availability());
+    }
+
+    #[test]
+    fn tampered_replica_is_detected_and_routed_around() {
+        let (mut net, mut dht, mut storage) = setup(32, 6);
+        let data = sample_data(1500);
+        let (obj, _) = storage.put_object(&mut net, &mut dht, 0, &data).unwrap();
+        // Corrupt one replica's copy of the manifest.
+        let holders = storage.pinned_holders(&obj.root);
+        let victim = *holders.iter().find(|&&h| h != 0).unwrap_or(&holders[0]);
+        assert!(storage.corrupt_pinned(victim, &obj.root, b"evil manifest".to_vec()));
+        // Fetch still succeeds (another provider has an honest copy) and the
+        // corruption is either avoided or detected, never silently accepted.
+        let (fetched, stats) = storage.get_object(&mut net, &mut dht, 21, obj.root).unwrap();
+        assert_eq!(fetched, data);
+        let _ = stats;
+    }
+
+    #[test]
+    fn all_copies_tampered_is_an_integrity_error() {
+        let (mut net, mut dht, mut storage) = setup(24, 7);
+        let data = sample_data(800);
+        let (obj, _) = storage.put_object(&mut net, &mut dht, 0, &data).unwrap();
+        for holder in storage.pinned_holders(&obj.root) {
+            storage.corrupt_pinned(holder, &obj.root, b"evil".to_vec());
+        }
+        let err = storage.get_object(&mut net, &mut dht, 10, obj.root).unwrap_err();
+        assert!(matches!(err, QbError::IntegrityViolation { .. }));
+    }
+
+    #[test]
+    fn offline_requester_is_rejected() {
+        let (mut net, mut dht, mut storage) = setup(8, 8);
+        net.set_online(4, false);
+        assert!(matches!(
+            storage.get_object(&mut net, &mut dht, 4, Cid::for_data(b"x")),
+            Err(QbError::NodeOffline(4))
+        ));
+        assert!(matches!(
+            storage.put_object(&mut net, &mut dht, 4, b"data"),
+            Err(QbError::NodeOffline(4))
+        ));
+    }
+}

@@ -1,0 +1,272 @@
+//! Local block stores.
+
+use crate::block::Block;
+use qb_common::Cid;
+use std::collections::{HashMap, VecDeque};
+
+/// Interface of a local block store.
+pub trait BlockStore {
+    /// Insert a block (idempotent).
+    fn put(&mut self, block: Block);
+    /// Fetch a block by cid.
+    fn get(&self, cid: &Cid) -> Option<&Block>;
+    /// Does the store hold this cid?
+    fn has(&self, cid: &Cid) -> bool;
+    /// Remove a block; returns true when something was removed.
+    fn remove(&mut self, cid: &Cid) -> bool;
+    /// Number of blocks held.
+    fn len(&self) -> usize;
+    /// True when no blocks are held.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Total bytes held.
+    fn total_bytes(&self) -> usize;
+}
+
+/// Unbounded in-memory store (pinned / published content).
+#[derive(Debug, Default, Clone)]
+pub struct MemoryBlockStore {
+    blocks: HashMap<Cid, Block>,
+    bytes: usize,
+}
+
+impl MemoryBlockStore {
+    /// Create an empty store.
+    pub fn new() -> MemoryBlockStore {
+        MemoryBlockStore::default()
+    }
+
+    /// Iterate over stored cids.
+    pub fn cids(&self) -> impl Iterator<Item = &Cid> {
+        self.blocks.keys()
+    }
+
+    /// Mutable access used only by the tamper-injection experiment (E4):
+    /// replaces the stored bytes *without* recomputing the cid, simulating a
+    /// malicious or corrupted replica.
+    pub fn corrupt(&mut self, cid: &Cid, new_data: Vec<u8>) -> bool {
+        if let Some(b) = self.blocks.get_mut(cid) {
+            *b = Block::new_unchecked(*cid, new_data);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl BlockStore for MemoryBlockStore {
+    fn put(&mut self, block: Block) {
+        let added = block.len();
+        if let Some(old) = self.blocks.insert(block.cid(), block) {
+            self.bytes -= old.len();
+        }
+        self.bytes += added;
+    }
+
+    fn get(&self, cid: &Cid) -> Option<&Block> {
+        self.blocks.get(cid)
+    }
+
+    fn has(&self, cid: &Cid) -> bool {
+        self.blocks.contains_key(cid)
+    }
+
+    fn remove(&mut self, cid: &Cid) -> bool {
+        if let Some(b) = self.blocks.remove(cid) {
+            self.bytes -= b.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Bounded LRU block store used as the per-peer cache of fetched content.
+#[derive(Debug, Clone)]
+pub struct LruBlockStore {
+    capacity_bytes: usize,
+    blocks: HashMap<Cid, Block>,
+    order: VecDeque<Cid>,
+    bytes: usize,
+    /// Cache hits observed through [`LruBlockStore::get_touch`].
+    pub hits: u64,
+    /// Cache misses observed through [`LruBlockStore::get_touch`].
+    pub misses: u64,
+}
+
+impl LruBlockStore {
+    /// Create a cache bounded to `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> LruBlockStore {
+        LruBlockStore {
+            capacity_bytes,
+            blocks: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Get and record hit/miss statistics, refreshing recency on hit.
+    pub fn get_touch(&mut self, cid: &Cid) -> Option<Block> {
+        if let Some(b) = self.blocks.get(cid).cloned() {
+            self.hits += 1;
+            self.touch(cid);
+            Some(b)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    fn touch(&mut self, cid: &Cid) {
+        if let Some(pos) = self.order.iter().position(|c| c == cid) {
+            self.order.remove(pos);
+            self.order.push_back(*cid);
+        }
+    }
+
+    fn evict_to_fit(&mut self, incoming: usize) {
+        while self.bytes + incoming > self.capacity_bytes && !self.order.is_empty() {
+            if let Some(old) = self.order.pop_front() {
+                if let Some(b) = self.blocks.remove(&old) {
+                    self.bytes -= b.len();
+                }
+            }
+        }
+    }
+}
+
+impl BlockStore for LruBlockStore {
+    fn put(&mut self, block: Block) {
+        if block.len() > self.capacity_bytes {
+            return; // Never cache something larger than the whole cache.
+        }
+        if self.blocks.contains_key(&block.cid()) {
+            self.touch(&block.cid());
+            return;
+        }
+        self.evict_to_fit(block.len());
+        self.bytes += block.len();
+        self.order.push_back(block.cid());
+        self.blocks.insert(block.cid(), block);
+    }
+
+    fn get(&self, cid: &Cid) -> Option<&Block> {
+        self.blocks.get(cid)
+    }
+
+    fn has(&self, cid: &Cid) -> bool {
+        self.blocks.contains_key(cid)
+    }
+
+    fn remove(&mut self, cid: &Cid) -> bool {
+        if let Some(b) = self.blocks.remove(cid) {
+            self.bytes -= b.len();
+            self.order.retain(|c| c != cid);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_store_put_get_remove() {
+        let mut s = MemoryBlockStore::new();
+        let b = Block::new(&b"data"[..]);
+        let cid = b.cid();
+        s.put(b.clone());
+        s.put(b.clone()); // idempotent
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 4);
+        assert!(s.has(&cid));
+        assert_eq!(s.get(&cid).unwrap().data().as_ref(), b"data");
+        assert!(s.remove(&cid));
+        assert!(!s.remove(&cid));
+        assert!(s.is_empty());
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn corrupt_breaks_verification() {
+        let mut s = MemoryBlockStore::new();
+        let b = Block::new(&b"honest bytes"[..]);
+        let cid = b.cid();
+        s.put(b);
+        assert!(s.corrupt(&cid, b"evil bytes".to_vec()));
+        assert!(!s.get(&cid).unwrap().verify());
+        assert!(!s.corrupt(&Cid::for_data(b"other"), vec![]));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let mut cache = LruBlockStore::new(30);
+        let b1 = Block::new(vec![1u8; 10]);
+        let b2 = Block::new(vec![2u8; 10]);
+        let b3 = Block::new(vec![3u8; 10]);
+        let b4 = Block::new(vec![4u8; 10]);
+        cache.put(b1.clone());
+        cache.put(b2.clone());
+        cache.put(b3.clone());
+        assert_eq!(cache.len(), 3);
+        cache.put(b4.clone());
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.has(&b1.cid()), "oldest block should be evicted");
+        assert!(cache.has(&b4.cid()));
+        assert!(cache.total_bytes() <= 30);
+    }
+
+    #[test]
+    fn lru_touch_refreshes_recency_and_counts_hits() {
+        let mut cache = LruBlockStore::new(30);
+        let b1 = Block::new(vec![1u8; 10]);
+        let b2 = Block::new(vec![2u8; 10]);
+        let b3 = Block::new(vec![3u8; 10]);
+        cache.put(b1.clone());
+        cache.put(b2.clone());
+        cache.put(b3.clone());
+        // Touch b1 so b2 becomes the eviction victim.
+        assert!(cache.get_touch(&b1.cid()).is_some());
+        assert!(cache.get_touch(&Cid::for_data(b"missing")).is_none());
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 1);
+        cache.put(Block::new(vec![4u8; 10]));
+        assert!(cache.has(&b1.cid()));
+        assert!(!cache.has(&b2.cid()));
+    }
+
+    #[test]
+    fn lru_rejects_oversized_blocks() {
+        let mut cache = LruBlockStore::new(8);
+        cache.put(Block::new(vec![0u8; 64]));
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 8);
+    }
+}

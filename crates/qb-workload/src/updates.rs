@@ -1,0 +1,140 @@
+//! Page update streams: the workload behind the freshness experiment (E3).
+
+use crate::corpus::Corpus;
+use crate::zipf::ZipfSampler;
+use qb_common::{DetRng, SimDuration, SimInstant};
+use qb_dweb::WebPage;
+
+/// One scheduled page update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateEvent {
+    /// When the creator publishes the update.
+    pub at: SimInstant,
+    /// Index of the page in the corpus.
+    pub page_index: usize,
+    /// Sequence number of the update (1-based, per stream).
+    pub seq: u64,
+}
+
+/// Poisson update stream with popularity-biased page selection (popular pages
+/// are edited more often, as on the real web).
+#[derive(Debug, Clone)]
+pub struct UpdateStream {
+    /// Mean time between updates across the whole corpus.
+    pub mean_interarrival: SimDuration,
+    page_dist: ZipfSampler,
+}
+
+impl UpdateStream {
+    /// Create a stream for a corpus.
+    pub fn new(corpus: &Corpus, mean_interarrival: SimDuration) -> UpdateStream {
+        UpdateStream {
+            mean_interarrival,
+            page_dist: ZipfSampler::new(corpus.pages.len().max(1), 0.8),
+        }
+    }
+
+    /// Generate all update events in `[start, end)`.
+    pub fn generate(
+        &self,
+        rng: &mut DetRng,
+        start: SimInstant,
+        end: SimInstant,
+    ) -> Vec<UpdateEvent> {
+        let mut events = Vec::new();
+        let mut t = start;
+        let mut seq = 0u64;
+        loop {
+            let gap = rng.gen_exp(self.mean_interarrival.as_micros() as f64).max(1.0) as u64;
+            t = t + SimDuration::from_micros(gap);
+            if t >= end {
+                break;
+            }
+            seq += 1;
+            events.push(UpdateEvent {
+                at: t,
+                page_index: self.page_dist.sample(rng),
+                seq,
+            });
+        }
+        events
+    }
+}
+
+/// Produce the next version of a page: part of the body is rewritten with
+/// fresh marker words so the new version is detectably different both at the
+/// content-hash level and at the index-term level.
+pub fn mutate_page(page: &WebPage, seq: u64, rng: &mut DetRng) -> WebPage {
+    let mut words: Vec<String> = page.body.split_whitespace().map(|s| s.to_string()).collect();
+    if words.is_empty() {
+        words.push("refreshed".to_string());
+    }
+    // Replace ~20% of the words with version-tagged fresh terms.
+    let replacements = (words.len() / 5).max(1);
+    for _ in 0..replacements {
+        let pos = rng.gen_index(words.len());
+        words[pos] = format!("freshv{seq}term{}", rng.gen_index(50));
+    }
+    // Always append a unique freshness marker so every version has at least
+    // one term only it contains.
+    words.push(format!("versionmarker{seq}"));
+    WebPage::new(
+        page.name.clone(),
+        page.title.clone(),
+        words.join(" "),
+        page.out_links.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusConfig, CorpusGenerator};
+
+    fn corpus() -> Corpus {
+        CorpusGenerator::new(CorpusConfig::tiny()).generate(&mut DetRng::new(5))
+    }
+
+    #[test]
+    fn events_are_ordered_and_within_window() {
+        let c = corpus();
+        let stream = UpdateStream::new(&c, SimDuration::from_secs(10));
+        let mut rng = DetRng::new(1);
+        let end = SimInstant::ZERO + SimDuration::from_secs(1_000);
+        let events = stream.generate(&mut rng, SimInstant::ZERO, end);
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(events.iter().all(|e| e.at < end));
+        assert!(events.iter().all(|e| e.page_index < c.pages.len()));
+        // Mean inter-arrival should be in the right ballpark: ~100 events.
+        assert!((50..200).contains(&events.len()), "{} events", events.len());
+    }
+
+    #[test]
+    fn updates_prefer_popular_pages() {
+        let c = corpus();
+        let stream = UpdateStream::new(&c, SimDuration::from_millis(10));
+        let mut rng = DetRng::new(2);
+        let events = stream.generate(
+            &mut rng,
+            SimInstant::ZERO,
+            SimInstant::ZERO + SimDuration::from_secs(100),
+        );
+        let head_hits = events.iter().filter(|e| e.page_index < 3).count();
+        assert!(head_hits as f64 > events.len() as f64 * 0.2);
+    }
+
+    #[test]
+    fn mutate_changes_content_and_marks_version() {
+        let c = corpus();
+        let mut rng = DetRng::new(3);
+        let v2 = mutate_page(&c.pages[0], 2, &mut rng);
+        assert_eq!(v2.name, c.pages[0].name);
+        assert_ne!(v2.body, c.pages[0].body);
+        assert!(v2.body.contains("versionmarker2"));
+        let v3 = mutate_page(&v2, 3, &mut rng);
+        assert!(v3.body.contains("versionmarker3"));
+    }
+}

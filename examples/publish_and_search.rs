@@ -1,0 +1,73 @@
+//! Publish a synthetic web corpus and run an interactive-style query batch
+//! against it, reporting latency percentiles and per-query results.
+//!
+//! Run with: `cargo run -p qb-examples --release --bin publish_and_search`
+
+use qb_chain::AccountId;
+use qb_common::DetRng;
+use qb_queenbee::{QueenBee, QueenBeeConfig};
+use qb_simnet::LatencyRecorder;
+use qb_workload::{CorpusConfig, CorpusGenerator, QueryWorkload};
+
+fn main() {
+    let corpus = CorpusGenerator::new(CorpusConfig {
+        num_pages: 80,
+        vocab_size: 1_500,
+        avg_doc_len: 70,
+        ..CorpusConfig::default()
+    })
+    .generate(&mut DetRng::new(7));
+
+    let mut config = QueenBeeConfig::small();
+    config.num_peers = 48;
+    config.num_bees = 6;
+    let mut qb = QueenBee::new(config).expect("valid config");
+
+    println!("publishing {} pages...", corpus.pages.len());
+    for (i, page) in corpus.pages.iter().enumerate() {
+        qb.publish((i % 40) as u64, AccountId(corpus.creators[i]), page)
+            .expect("publish");
+    }
+    qb.seal();
+    let handled = qb.process_publish_events().expect("index");
+    qb.run_rank_round().expect("rank");
+    println!("worker bees indexed {handled} pages and computed page ranks\n");
+
+    let workload = QueryWorkload::new(&corpus);
+    let mut rng = DetRng::new(99);
+    let queries = workload.generate_batch(&corpus, &mut rng, 40);
+    let mut latencies = LatencyRecorder::new();
+    let mut answered = 0usize;
+    for (i, q) in queries.iter().enumerate() {
+        match qb.search((i % 40) as u64, q) {
+            Ok(out) => {
+                latencies.record(out.latency);
+                if !out.results.is_empty() {
+                    answered += 1;
+                }
+                if i < 5 {
+                    println!(
+                        "query '{q}': {} results, best = {:?}, {} msgs, {}",
+                        out.results.len(),
+                        out.results.first().map(|r| r.name.clone()).unwrap_or_default(),
+                        out.messages,
+                        out.latency
+                    );
+                }
+            }
+            Err(e) => println!("query '{q}' failed: {e}"),
+        }
+    }
+    let s = latencies.summary();
+    println!("\nanswered {answered}/{} queries", queries.len());
+    println!(
+        "latency: mean {:.1} ms, p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms",
+        s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms
+    );
+    println!(
+        "network traffic so far: {} messages, {:.1} MiB",
+        qb.net.stats().messages,
+        qb.net.stats().bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!("result staleness observed: {:.1}%", qb.freshness.staleness_rate() * 100.0);
+}

@@ -1,0 +1,108 @@
+//! Quickstart: the whole QueenBee architecture (Figure 1 of the paper) in one
+//! short program — publish pages, let the worker bees index and rank them,
+//! run a search, show an ad and settle the click on-chain.
+//!
+//! Run with: `cargo run -p qb-examples --release --bin quickstart`
+
+use qb_chain::AccountId;
+use qb_dweb::WebPage;
+use qb_index::Analyzer;
+use qb_queenbee::{QueenBee, QueenBeeConfig};
+use qb_workload::AdSpec;
+
+fn main() {
+    // 1. Assemble the DWeb: peers, DHT, storage, blockchain and worker bees.
+    let mut qb = QueenBee::new(QueenBeeConfig::small()).expect("valid config");
+    println!(
+        "DWeb up: {} peers, {} worker bees, chain height {}",
+        qb.net.len(),
+        qb.bees().len(),
+        qb.chain.stats().height
+    );
+
+    // 2. Content creators publish pages (no crawler will ever visit them —
+    //    the publish transaction itself is what notifies the index).
+    let alice = AccountId(1_000);
+    let bob = AccountId(1_001);
+    let pages = vec![
+        (alice, 1u64, WebPage::new(
+            "wiki/decentralized-web",
+            "The Decentralized Web",
+            "content is addressed by cryptographic hash replicated by peers and immune to tampering",
+            vec!["wiki/queenbee".into()],
+        )),
+        (alice, 2, WebPage::new(
+            "wiki/queenbee",
+            "QueenBee",
+            "queenbee is a decentralized search engine where worker bees maintain the index and earn honey",
+            vec!["wiki/decentralized-web".into()],
+        )),
+        (bob, 3, WebPage::new(
+            "shop/honey",
+            "Artisanal honey",
+            "buy artisanal honey straight from the worker bees best prices on the dweb",
+            vec!["wiki/queenbee".into()],
+        )),
+    ];
+    for (creator, peer, page) in &pages {
+        let report = qb.publish(*peer, *creator, page).expect("publish");
+        println!(
+            "published {:28} accepted={} cid={}",
+            page.name,
+            report.accepted,
+            report.object.map(|o| o.root.short()).unwrap_or_default()
+        );
+    }
+    qb.seal();
+
+    // 3. Worker bees pick up the publish events, build the distributed index
+    //    and compute page ranks; they are paid in honey for every task.
+    let handled = qb.process_publish_events().expect("indexing");
+    let rank = qb.run_rank_round().expect("ranking");
+    println!(
+        "worker bees indexed {handled} pages, ran {} rank iterations (L1 error vs reference {:.1e})",
+        rank.rounds, rank.l1_error_vs_reference
+    );
+    for bee in qb.bees() {
+        println!(
+            "  bee on peer {:2} earned {:5} nectar ({} tasks)",
+            bee.peer,
+            qb.chain.balance(bee.account),
+            bee.tasks_rewarded
+        );
+    }
+
+    // 4. An advertiser opens a pay-per-click campaign on the keyword "honey".
+    qb.register_advertiser(&AdSpec {
+        advertiser: 5_000,
+        keywords: vec![Analyzer::stem("honey")],
+        bid_per_click: 50,
+        budget: 1_000,
+    })
+    .expect("campaign");
+
+    // 5. A user searches; the frontend intersects the posting lists fetched
+    //    from the DHT, blends BM25 with PageRank and attaches the ad.
+    let out = qb.search(5, "artisanal honey").expect("search");
+    println!("\nresults for 'artisanal honey' ({} in {}):", out.results.len(), out.latency);
+    for (i, r) in out.results.iter().enumerate() {
+        println!("  {}. {:28} score={:.3} (version {})", i + 1, r.name, r.score, r.version);
+    }
+    println!("  [ad shown: {:?}]", out.ad);
+
+    // 6. The user clicks the ad: the advertiser is charged and the revenue is
+    //    split between the result's creator, the serving bee and the treasury.
+    let before = qb.chain.balance(bob);
+    qb.click_ad(&out).expect("click");
+    println!(
+        "\nad click settled on-chain: creator {:?} earned {} nectar (balance {} -> {})",
+        bob,
+        qb.chain.balance(bob) - before,
+        before,
+        qb.chain.balance(bob)
+    );
+    println!(
+        "total honey supply unchanged: {}",
+        qb.chain.accounts().total_supply() == qb.config().chain.genesis_supply
+    );
+}

@@ -1,0 +1,32 @@
+//! Cross-crate integration tests for the QueenBee reproduction.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only provides
+//! small helpers shared between them.
+
+use qb_chain::AccountId;
+use qb_dweb::WebPage;
+use qb_queenbee::{QueenBee, QueenBeeConfig};
+
+/// Build a small engine suitable for integration tests.
+pub fn small_engine(seed: u64) -> QueenBee {
+    let mut config = QueenBeeConfig::small();
+    config.seed = seed;
+    QueenBee::new(config).expect("small config is valid")
+}
+
+/// Build a simple page.
+pub fn page(name: &str, body: &str, links: &[&str]) -> WebPage {
+    WebPage::new(
+        name,
+        format!("Title of {name}"),
+        body,
+        links.iter().map(|s| s.to_string()).collect(),
+    )
+}
+
+/// Publish a page, seal the block and run the worker bees.
+pub fn publish_and_index(qb: &mut QueenBee, peer: u64, creator: u64, p: &WebPage) {
+    qb.publish(peer, AccountId(creator), p).expect("publish");
+    qb.seal();
+    qb.process_publish_events().expect("index");
+}

@@ -1,0 +1,115 @@
+//! End-to-end integration: publish → index → rank → search → ads, across all
+//! substrate crates (the full Figure 1 pipeline).
+
+use qb_chain::AccountId;
+use qb_integration::{page, publish_and_index, small_engine};
+use qb_workload::AdSpec;
+
+#[test]
+fn full_pipeline_from_publish_to_paid_ad_click() {
+    let mut qb = small_engine(1);
+
+    // Content creators publish a small web.
+    publish_and_index(
+        &mut qb,
+        1,
+        1_000,
+        &page("wiki/dweb", "the decentralized web stores tamperproof content on peer devices", &["wiki/search"]),
+    );
+    publish_and_index(
+        &mut qb,
+        2,
+        1_001,
+        &page("wiki/search", "queenbee searches the decentralized web without any crawler", &["wiki/dweb"]),
+    );
+    publish_and_index(
+        &mut qb,
+        3,
+        1_002,
+        &page("shop/honey", "buy artisanal honey from worker bees today", &["wiki/dweb"]),
+    );
+
+    // Page ranks are computed by the bees.
+    let report = qb.run_rank_round().expect("rank round");
+    assert!(report.flagged_bees.is_empty());
+    assert!(qb.rank_of("wiki/dweb") > 0.0);
+
+    // An advertiser targets a query keyword.
+    qb.register_advertiser(&AdSpec {
+        advertiser: 5_000,
+        keywords: vec![qb_index::Analyzer::stem("honey")],
+        bid_per_click: 50,
+        budget: 500,
+    })
+    .expect("campaign");
+
+    // A user searches and clicks the ad.
+    let out = qb.search(7, "artisanal honey").expect("search");
+    assert!(!out.results.is_empty());
+    assert_eq!(out.results[0].name, "shop/honey");
+    assert!(out.ad.is_some());
+    assert!(out.latency.as_micros() > 0);
+
+    let creator_before = qb.chain.balance(AccountId(1_002));
+    let bee_before: u64 = qb.bee_accounts().iter().map(|a| qb.chain.balance(*a)).sum();
+    assert!(qb.click_ad(&out).expect("click"));
+    assert!(qb.chain.balance(AccountId(1_002)) > creator_before, "creator earns ad share");
+    let bee_after: u64 = qb.bee_accounts().iter().map(|a| qb.chain.balance(*a)).sum();
+    assert!(bee_after > bee_before, "serving bee earns ad share");
+
+    // Honey never leaks or mints outside genesis.
+    assert_eq!(
+        qb.chain.accounts().total_supply(),
+        qb.config().chain.genesis_supply
+    );
+    assert!(qb.chain.verify_integrity().is_ok());
+}
+
+#[test]
+fn search_results_are_relevant_and_ranked() {
+    let mut qb = small_engine(2);
+    publish_and_index(&mut qb, 1, 1_000, &page("a", "nectar nectar nectar production guide", &[]));
+    publish_and_index(&mut qb, 2, 1_001, &page("b", "a single mention of nectar among many other words here", &[]));
+    publish_and_index(&mut qb, 3, 1_002, &page("c", "completely unrelated content about starships", &[]));
+
+    let out = qb.search(5, "nectar").expect("search");
+    let names: Vec<&str> = out.results.iter().map(|r| r.name.as_str()).collect();
+    assert!(names.contains(&"a") && names.contains(&"b"));
+    assert!(!names.contains(&"c"));
+    assert_eq!(out.results[0].name, "a", "higher term frequency ranks first");
+}
+
+#[test]
+fn multi_term_queries_intersect_posting_lists() {
+    let mut qb = small_engine(3);
+    publish_and_index(&mut qb, 1, 1_000, &page("both", "zebras and quaggas graze together", &[]));
+    publish_and_index(&mut qb, 2, 1_001, &page("only-zebra", "zebras graze alone", &[]));
+    publish_and_index(&mut qb, 3, 1_002, &page("only-quagga", "quaggas graze alone", &[]));
+
+    let out = qb.search(5, "zebras quaggas").expect("search");
+    assert_eq!(out.results[0].name, "both");
+    assert!(out.shards_fetched >= 2);
+}
+
+#[test]
+fn tampered_page_content_is_never_served() {
+    let mut qb = small_engine(4);
+    let p = page("bank/login", "legitimate login page for the honey bank", &[]);
+    let report = qb.publish(1, AccountId(1_000), &p).expect("publish");
+    qb.seal();
+    qb.process_publish_events().expect("index");
+    let root = report.object.expect("stored").root;
+    for holder in qb.storage.pinned_holders(&root) {
+        qb.storage.corrupt_pinned(holder, &root, b"<html>phish</html>".to_vec());
+    }
+    let err = qb_dweb::fetch_page(
+        &mut qb.net,
+        &mut qb.dht,
+        &mut qb.storage,
+        &qb.chain,
+        9,
+        "bank/login",
+    )
+    .unwrap_err();
+    assert!(matches!(err, qb_common::QbError::IntegrityViolation { .. }));
+}
