@@ -118,7 +118,14 @@ impl CentralizedEngine {
             )));
         }
         let query = Query::parse(&self.analyzer, query_text, QueryMode::And)?;
-        let results = search(&self.index, &query, &Bm25::default(), None, 0.0, self.config.top_k);
+        let results = search(
+            &self.index,
+            &query,
+            &Bm25::default(),
+            None,
+            0.0,
+            self.config.top_k,
+        );
         let utilization = (total_load / self.config.capacity_qps).min(0.99);
         let latency_us =
             self.config.base_latency.as_micros() as f64 / (1.0 - utilization).max(0.01);

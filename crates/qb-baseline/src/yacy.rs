@@ -44,7 +44,9 @@ impl YacyEngine {
     pub fn new(config: YacyConfig) -> YacyEngine {
         YacyEngine {
             analyzer: Analyzer::new(),
-            peer_indexes: (0..config.num_peers).map(|_| InvertedIndex::new()).collect(),
+            peer_indexes: (0..config.num_peers)
+                .map(|_| InvertedIndex::new())
+                .collect(),
             last_crawl: None,
             config,
         }
@@ -83,7 +85,8 @@ impl YacyEngine {
                     .push((term, freq));
             }
             for (peer, terms) in by_peer {
-                self.peer_indexes[peer as usize].index_document(&d.name, d.version, d.creator, &terms);
+                self.peer_indexes[peer as usize]
+                    .index_document(&d.name, d.version, d.creator, &terms);
             }
         }
         self.last_crawl = Some(now);

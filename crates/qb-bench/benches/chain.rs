@@ -23,17 +23,27 @@ fn bench_chain(c: &mut Criterion) {
     });
     c.bench_function("chain/ad_click_settlement", |b| {
         let mut chain = Blockchain::new(ChainConfig::default());
-        chain.fund_from_treasury(AccountId(500), 100_000_000).unwrap();
+        chain
+            .fund_from_treasury(AccountId(500), 100_000_000)
+            .unwrap();
         chain.submit_call(
             AccountId(500),
-            Call::CreateAdCampaign { keywords: vec!["kw".into()], bid_per_click: 10, budget: 50_000_000 },
+            Call::CreateAdCampaign {
+                keywords: vec!["kw".into()],
+                bid_per_click: 10,
+                budget: 50_000_000,
+            },
         );
         chain.seal_block(SimInstant::ZERO);
         let ad = chain.ad_market().match_keyword("kw")[0].id;
         b.iter(|| {
             chain.submit_call(
                 qb_chain::TREASURY,
-                Call::RecordAdClick { ad, page_creator: AccountId(600), serving_bee: AccountId(700) },
+                Call::RecordAdClick {
+                    ad,
+                    page_creator: AccountId(600),
+                    serving_bee: AccountId(700),
+                },
             );
             chain.seal_block(SimInstant::ZERO)
         })

@@ -13,7 +13,8 @@ fn bench_dht(c: &mut Criterion) {
         // Preload records.
         for i in 0..100u64 {
             let key = DhtKey::from_bytes(format!("key{i}").as_bytes());
-            dht.put_record(&mut net, i % n as u64, key, vec![0u8; 64], 1).unwrap();
+            dht.put_record(&mut net, i % n as u64, key, vec![0u8; 64], 1)
+                .unwrap();
         }
         let mut i = 0u64;
         group.bench_with_input(BenchmarkId::new("get_record", n), &n, |b, _| {

@@ -4,8 +4,24 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use qb_index::{Posting, PostingList};
 
 fn lists() -> (PostingList, PostingList) {
-    let a = PostingList::from_postings((0..100_000u64).step_by(3).map(|d| Posting { doc_id: d, term_freq: 2 }).collect());
-    let b = PostingList::from_postings((0..100_000u64).step_by(7).map(|d| Posting { doc_id: d, term_freq: 1 }).collect());
+    let a = PostingList::from_postings(
+        (0..100_000u64)
+            .step_by(3)
+            .map(|d| Posting {
+                doc_id: d,
+                term_freq: 2,
+            })
+            .collect(),
+    );
+    let b = PostingList::from_postings(
+        (0..100_000u64)
+            .step_by(7)
+            .map(|d| Posting {
+                doc_id: d,
+                term_freq: 1,
+            })
+            .collect(),
+    );
     (a, b)
 }
 
@@ -14,7 +30,9 @@ fn bench_postings(c: &mut Criterion) {
     c.bench_function("postings/intersect_33k_x_14k", |bencher| {
         bencher.iter(|| a.intersect(&b))
     });
-    c.bench_function("postings/union_33k_x_14k", |bencher| bencher.iter(|| a.union(&b)));
+    c.bench_function("postings/union_33k_x_14k", |bencher| {
+        bencher.iter(|| a.union(&b))
+    });
     let encoded = a.encode();
     c.bench_function("postings/encode_33k", |bencher| bencher.iter(|| a.encode()));
     c.bench_function("postings/decode_33k", |bencher| {

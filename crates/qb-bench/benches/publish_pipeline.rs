@@ -17,7 +17,8 @@ fn bench_publish_pipeline(c: &mut Criterion) {
                 format!("benchmark content number {i} with a few distinct terms alpha beta gamma"),
                 vec![],
             );
-            qb.publish((i % 20) as u64, AccountId(1_000 + (i % 5)), &page).unwrap();
+            qb.publish(i % 20, AccountId(1_000 + (i % 5)), &page)
+                .unwrap();
             qb.seal();
             qb.process_publish_events().unwrap()
         })

@@ -19,7 +19,11 @@ fn bench_scoring(c: &mut Criterion) {
     });
     c.bench_function("scoring/tfidf_calls", |b| {
         let t = TfIdf;
-        b.iter(|| (1..10_000u32).map(|tf| t.score(tf, 100, 100.0, 50, 100_000)).sum::<f64>())
+        b.iter(|| {
+            (1..10_000u32)
+                .map(|tf| t.score(tf, 100, 100.0, 50, 100_000))
+                .sum::<f64>()
+        })
     });
     // Full local query evaluation over a generated corpus.
     let corpus = build_corpus(7, 300);
@@ -28,7 +32,17 @@ fn bench_scoring(c: &mut Criterion) {
     for (i, p) in corpus.pages.iter().enumerate() {
         index.index_text(&analyzer, &p.name, 1, corpus.creators[i], &p.text());
     }
-    let query = Query::parse(&analyzer, &corpus.pages[0].body.split_whitespace().take(2).collect::<Vec<_>>().join(" "), QueryMode::And).unwrap();
+    let query = Query::parse(
+        &analyzer,
+        &corpus.pages[0]
+            .body
+            .split_whitespace()
+            .take(2)
+            .collect::<Vec<_>>()
+            .join(" "),
+        QueryMode::And,
+    )
+    .unwrap();
     c.bench_function("scoring/local_query_300_docs", |b| {
         b.iter(|| search(&index, &query, &Bm25::default(), None, 0.0, 10))
     });

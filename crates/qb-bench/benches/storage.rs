@@ -22,14 +22,18 @@ fn bench_storage(c: &mut Criterion) {
             salt += 1;
             let mut d = page.clone();
             d[0..4].copy_from_slice(&salt.to_be_bytes());
-            storage.put_object(&mut net, &mut dht, (salt % 20) as u64, &d).unwrap()
+            storage
+                .put_object(&mut net, &mut dht, (salt % 20) as u64, &d)
+                .unwrap()
         })
     });
     c.bench_function("storage/get_16KiB_object", |b| {
         let mut peer = 0u64;
         b.iter(|| {
             peer = (peer + 1) % 30;
-            storage.get_object(&mut net, &mut dht, peer, obj.root).unwrap()
+            storage
+                .get_object(&mut net, &mut dht, peer, obj.root)
+                .unwrap()
         })
     });
 }

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"]
+        vec!["f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]
             .into_iter()
             .map(String::from)
             .collect()
@@ -39,8 +39,9 @@ fn main() {
             "e6" => e6_collusion(),
             "e7" => e7_scraper(),
             "e8" => e8_systems_costs(),
+            "e9" => e9_cache(),
             other => {
-                eprintln!("unknown experiment '{other}' (use f1, e1..e8 or all)");
+                eprintln!("unknown experiment '{other}' (use f1, e1..e9 or all)");
                 Vec::new()
             }
         };
@@ -81,13 +82,46 @@ fn f1_architecture() -> Vec<Table> {
         "F1: architecture walkthrough (Figure 1) — every component exercised end to end",
         &["component", "evidence"],
     );
-    t.row(&["DWeb peers (simnet)".into(), format!("{} peers online", qb.net.len())]);
-    t.row(&["Kademlia DHT".into(), format!("{} nodes, routing tables populated", qb.dht.len())]);
-    t.row(&["Decentralized storage".into(), format!("{accepted} pages stored + replicated")]);
-    t.row(&["Blockchain + contracts".into(), format!("height {}, {} ok txs, supply conserved = {}", stats.height, stats.ok_txs, stats.total_supply == qb.config().chain.genesis_supply)]);
-    t.row(&["Worker bees".into(), format!("{} bees, {} indexing tasks rewarded", qb.bees().len(), qb.bees().iter().map(|b| b.tasks_rewarded).sum::<u64>())]);
-    t.row(&["PageRank".into(), format!("{} rounds, L1 error vs reference {:.2e}", rank.rounds, rank.l1_error_vs_reference)]);
-    t.row(&["Query frontend".into(), format!("{answered}/20 sample queries answered with results")]);
+    t.row(&[
+        "DWeb peers (simnet)".into(),
+        format!("{} peers online", qb.net.len()),
+    ]);
+    t.row(&[
+        "Kademlia DHT".into(),
+        format!("{} nodes, routing tables populated", qb.dht.len()),
+    ]);
+    t.row(&[
+        "Decentralized storage".into(),
+        format!("{accepted} pages stored + replicated"),
+    ]);
+    t.row(&[
+        "Blockchain + contracts".into(),
+        format!(
+            "height {}, {} ok txs, supply conserved = {}",
+            stats.height,
+            stats.ok_txs,
+            stats.total_supply == qb.config().chain.genesis_supply
+        ),
+    ]);
+    t.row(&[
+        "Worker bees".into(),
+        format!(
+            "{} bees, {} indexing tasks rewarded",
+            qb.bees().len(),
+            qb.bees().iter().map(|b| b.tasks_rewarded).sum::<u64>()
+        ),
+    ]);
+    t.row(&[
+        "PageRank".into(),
+        format!(
+            "{} rounds, L1 error vs reference {:.2e}",
+            rank.rounds, rank.l1_error_vs_reference
+        ),
+    ]);
+    t.row(&[
+        "Query frontend".into(),
+        format!("{answered}/20 sample queries answered with results"),
+    ]);
     vec![t]
 }
 
@@ -98,7 +132,9 @@ fn e1_latency_throughput() -> Vec<Table> {
     let page = WebPage::new(
         "viral/page",
         "A very popular page",
-        &(0..300).map(|i| format!("popularword{} ", i % 60)).collect::<String>(),
+        (0..300)
+            .map(|i| format!("popularword{} ", i % 60))
+            .collect::<String>(),
         vec![],
     );
     let report = qb.publish(1, AccountId(1_000), &page).expect("publish");
@@ -107,10 +143,14 @@ fn e1_latency_throughput() -> Vec<Table> {
     let root = report.object.expect("stored object").root;
     let mut t_a = Table::new(
         "E1a: page fetch latency vs. number of prior fetchers (peer caching effect)",
-        &["prior_fetchers", "latency_ms", "served_from", "providers_after"],
+        &[
+            "prior_fetchers",
+            "latency_ms",
+            "served_from",
+            "providers_after",
+        ],
     );
-    let mut fetchers = 0;
-    for peer in [10u64, 15, 20, 25, 30, 35, 40, 45] {
+    for (fetchers, peer) in [10u64, 15, 20, 25, 30, 35, 40, 45].into_iter().enumerate() {
         let (_, stats) = qb
             .storage
             .get_object(&mut qb.net, &mut qb.dht, peer, root)
@@ -118,10 +158,13 @@ fn e1_latency_throughput() -> Vec<Table> {
         t_a.row(&[
             fetchers.to_string(),
             f2(stats.latency.as_millis_f64()),
-            if stats.from_local { "local cache".into() } else { "remote peers".into() },
+            if stats.from_local {
+                "local cache".into()
+            } else {
+                "remote peers".into()
+            },
             qb.storage.pinned_holders(&root).len().to_string(),
         ]);
-        fetchers += 1;
     }
 
     // Part B: query latency under increasing load, QueenBee vs centralized.
@@ -135,7 +178,13 @@ fn e1_latency_throughput() -> Vec<Table> {
     let queries = workload.generate_batch(&corpus, &mut rng, 60);
     let mut t_b = Table::new(
         "E1b: query latency and availability vs offered load (centralized capacity = 200 qps)",
-        &["load_qps", "central_p50_ms", "central_ok_%", "queenbee_p50_ms", "queenbee_ok_%"],
+        &[
+            "load_qps",
+            "central_p50_ms",
+            "central_ok_%",
+            "queenbee_p50_ms",
+            "queenbee_ok_%",
+        ],
     );
     for load in [10.0, 100.0, 180.0, 250.0, 400.0] {
         let mut central_lat = LatencyRecorder::new();
@@ -193,7 +242,11 @@ fn e2_resilience() -> Vec<Table> {
                 peer = (peer + 1) % qb.net.len() as u64;
                 tries += 1;
             }
-            if qb.search(peer, q).map(|o| !o.results.is_empty()).unwrap_or(false) {
+            if qb
+                .search(peer, q)
+                .map(|o| !o.results.is_empty())
+                .unwrap_or(false)
+            {
                 qb_ok += 1;
             }
             if central.search(q, 10.0, SimInstant::ZERO).is_ok() {
@@ -228,7 +281,11 @@ fn e2_resilience() -> Vec<Table> {
         let mut central_ok = 0;
         for (i, q) in queries.iter().enumerate() {
             let peer = (i % 60) as u64;
-            if qb.search(peer, q).map(|o| !o.results.is_empty()).unwrap_or(false) {
+            if qb
+                .search(peer, q)
+                .map(|o| !o.results.is_empty())
+                .unwrap_or(false)
+            {
                 qb_ok += 1;
             }
             // Clients in the other partition cannot reach the central server.
@@ -251,7 +308,12 @@ fn e3_freshness() -> Vec<Table> {
     let corpus = build_corpus(0xE3, 50);
     let mut t = Table::new(
         "E3: result staleness under a continuous update stream (2h of simulated edits)",
-        &["system", "crawl_interval", "stale_results_%", "mean_version_lag"],
+        &[
+            "system",
+            "crawl_interval",
+            "stale_results_%",
+            "mean_version_lag",
+        ],
     );
     // QueenBee: bees index every publish event as it happens.
     let mut qb = build_engine(64, 6, 0xE3);
@@ -318,7 +380,10 @@ fn e3_freshness() -> Vec<Table> {
             .get(&new_version.name)
             .map(|r| r.version)
             .unwrap_or(1);
-        current.insert(new_version.name.clone(), (registered_version, new_version.text()));
+        current.insert(
+            new_version.name.clone(),
+            (registered_version, new_version.text()),
+        );
         current_pages.insert(new_version.name.clone(), new_version);
         // Crawlers wake up on their own schedule.
         let docs = crawl_docs(&corpus, &current);
@@ -375,7 +440,9 @@ fn e3_freshness() -> Vec<Table> {
         let mut stale = 0u64;
         let mut lag = 0u64;
         for (i, q) in queries.iter().enumerate() {
-            if let Ok((results, _, _)) = yacy_engines[idx].search(&mut measure_net, (i % 50) as u64, q) {
+            if let Ok((results, _, _)) =
+                yacy_engines[idx].search(&mut measure_net, (i % 50) as u64, q)
+            {
                 let (f, s, l) = staleness(&results);
                 fresh += f;
                 stale += s;
@@ -424,16 +491,21 @@ fn e4_tamper() -> Vec<Table> {
         let page = WebPage::new(
             "bank/login",
             "Bank login",
-            &(0..150).map(|i| format!("legit{} ", i)).collect::<String>(),
+            (0..150).map(|i| format!("legit{} ", i)).collect::<String>(),
             vec![],
         );
         let report = qb.publish(1, AccountId(1_000), &page).expect("publish");
         qb.seal();
         let root = report.object.expect("object").root;
         let holders = qb.storage.pinned_holders(&root);
-        let to_corrupt = if corrupt_all { holders.len() } else { holders.len() / 2 };
+        let to_corrupt = if corrupt_all {
+            holders.len()
+        } else {
+            holders.len() / 2
+        };
         for h in holders.iter().take(to_corrupt) {
-            qb.storage.corrupt_pinned(*h, &root, b"<html>phishing</html>".to_vec());
+            qb.storage
+                .corrupt_pinned(*h, &root, b"<html>phishing</html>".to_vec());
         }
         let outcome = qb.storage.get_object(&mut qb.net, &mut qb.dht, 30, root);
         let (desc, undetected) = match outcome {
@@ -446,7 +518,11 @@ fn e4_tamper() -> Vec<Table> {
         t.row(&[
             format!("{to_corrupt}/{}", holders.len()),
             desc,
-            if undetected { "YES (failure)".into() } else { "no".into() },
+            if undetected {
+                "YES (failure)".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     vec![t]
@@ -466,9 +542,16 @@ fn e5_incentives() -> Vec<Table> {
     }
     let workload = QueryWorkload::new(&corpus);
     let mut clicks = 0;
-    for (i, q) in workload.generate_batch(&corpus, &mut rng, 150).iter().enumerate() {
+    for (i, q) in workload
+        .generate_batch(&corpus, &mut rng, 150)
+        .iter()
+        .enumerate()
+    {
         if let Ok(out) = qb.search((i % 50) as u64, q) {
-            if out.ad.is_some() && ad_workload.user_clicks(&mut rng) && qb.click_ad(&out).unwrap_or(false) {
+            if out.ad.is_some()
+                && ad_workload.user_clicks(&mut rng)
+                && qb.click_ad(&out).unwrap_or(false)
+            {
                 clicks += 1;
             }
         }
@@ -511,8 +594,7 @@ fn e5_incentives() -> Vec<Table> {
     // Spearman-ish check: correlation between rank mass and balance.
     let n = creator_balances.len() as f64;
     let mean_rank: f64 = creator_rank.values().sum::<f64>() / n.max(1.0);
-    let mean_bal: f64 =
-        creator_balances.iter().map(|(_, b)| *b as f64).sum::<f64>() / n.max(1.0);
+    let mean_bal: f64 = creator_balances.iter().map(|(_, b)| *b as f64).sum::<f64>() / n.max(1.0);
     let mut cov = 0.0;
     let mut var_r = 0.0;
     let mut var_b = 0.0;
@@ -527,19 +609,26 @@ fn e5_incentives() -> Vec<Table> {
     } else {
         0.0
     };
-    let mut t2 = Table::new(
-        "E5b: fairness indicators",
-        &["metric", "value"],
-    );
+    let mut t2 = Table::new("E5b: fairness indicators", &["metric", "value"]);
     t2.row(&["creators".into(), creator_balances.len().to_string()]);
-    t2.row(&["corr(creator rank mass, creator honey)".into(), f2(correlation)]);
+    t2.row(&[
+        "corr(creator rank mass, creator honey)".into(),
+        f2(correlation),
+    ]);
     t2.row(&[
         "Gini(creator honey)".into(),
-        f2(gini_coefficient(&creator_balances.iter().map(|(_, b)| *b).collect::<Vec<_>>())),
+        f2(gini_coefficient(
+            &creator_balances.iter().map(|(_, b)| *b).collect::<Vec<_>>(),
+        )),
     ]);
     t2.row(&[
         "Gini(bee honey)".into(),
-        f2(gini_coefficient(&qb.bee_accounts().iter().map(|a| qb.chain.balance(*a)).collect::<Vec<_>>())),
+        f2(gini_coefficient(
+            &qb.bee_accounts()
+                .iter()
+                .map(|a| qb.chain.balance(*a))
+                .collect::<Vec<_>>(),
+        )),
     ]);
     t2.row(&[
         "total supply conserved".into(),
@@ -552,7 +641,14 @@ fn e5_incentives() -> Vec<Table> {
 fn e6_collusion() -> Vec<Table> {
     let mut t = Table::new(
         "E6: collusion attack (bees boosting 'evil/spam') vs verification quorum",
-        &["colluding_fraction", "quorum", "spam_in_top3_%", "rank_inflation_x", "colluders_flagged", "honey_slashed"],
+        &[
+            "colluding_fraction",
+            "quorum",
+            "spam_in_top3_%",
+            "rank_inflation_x",
+            "colluders_flagged",
+            "honey_slashed",
+        ],
     );
     let corpus = build_corpus(0xE6, 30);
     for &fraction in &[0.0, 0.25, 0.5] {
@@ -572,11 +668,16 @@ fn e6_collusion() -> Vec<Table> {
                 "buy cheap honey now best deals spam spam",
                 vec![],
             );
-            qb.publish(1, AccountId(6_000), &spam).expect("publish spam");
+            qb.publish(1, AccountId(6_000), &spam)
+                .expect("publish spam");
             qb.seal();
             let attack = CollusionAttack::new(fraction, vec!["evil/spam".into()]);
             qb.apply_collusion(&attack);
-            let stake_before: u64 = qb.bee_accounts().iter().map(|a| qb.chain.reward_pool().stake_of(*a)).sum();
+            let stake_before: u64 = qb
+                .bee_accounts()
+                .iter()
+                .map(|a| qb.chain.reward_pool().stake_of(*a))
+                .sum();
             qb.process_publish_events().expect("index");
             let honest_rank = {
                 // Reference rank of the spam page with no attack: recompute on
@@ -601,8 +702,16 @@ fn e6_collusion() -> Vec<Table> {
                     }
                 }
             }
-            let stake_after: u64 = qb.bee_accounts().iter().map(|a| qb.chain.reward_pool().stake_of(*a)).sum();
-            let flagged = qb.bees().iter().filter(|b| b.times_flagged > 0 && b.is_colluding()).count();
+            let stake_after: u64 = qb
+                .bee_accounts()
+                .iter()
+                .map(|a| qb.chain.reward_pool().stake_of(*a))
+                .sum();
+            let flagged = qb
+                .bees()
+                .iter()
+                .filter(|b| b.times_flagged > 0 && b.is_colluding())
+                .count();
             t.row(&[
                 f2(fraction),
                 quorum.to_string(),
@@ -620,7 +729,12 @@ fn e6_collusion() -> Vec<Table> {
 fn e7_scraper() -> Vec<Table> {
     let mut t = Table::new(
         "E7: scraper mirrors the 10 most popular pages to capture honey",
-        &["duplicate_detection", "mirrors_accepted", "scraper_honey", "original_creators_honey"],
+        &[
+            "duplicate_detection",
+            "mirrors_accepted",
+            "scraper_honey",
+            "original_creators_honey",
+        ],
     );
     let corpus = build_corpus(0xE7, 40);
     for dup_detection in [true, false] {
@@ -663,6 +777,142 @@ fn e7_scraper() -> Vec<Table> {
     vec![t]
 }
 
+/// E9 — the query-serving cache: replay a Zipf(1.0) query stream with the
+/// cache on vs off and measure the latency / RPC-message / shard-fetch
+/// reductions, plus freshness under interleaved republishes.
+fn e9_cache() -> Vec<Table> {
+    use qb_queenbee::CacheConfig;
+    use qb_workload::ZipfSampler;
+
+    let corpus = build_corpus(0xE9, 80);
+    let workload = QueryWorkload::new(&corpus);
+    // A fixed pool of distinct queries replayed with Zipf(1.0) popularity:
+    // the hot head repeats constantly, the tail is mostly one-shot.
+    let mut rng = DetRng::new(0xE9);
+    let pool = workload.generate_batch(&corpus, &mut rng, 120);
+    let zipf = ZipfSampler::new(pool.len(), 1.0);
+    let stream: Vec<usize> = {
+        let mut rng = DetRng::new(0xE9F);
+        (0..600).map(|_| zipf.sample(&mut rng)).collect()
+    };
+
+    let run = |cache: CacheConfig| -> (f64, u64, u64, u64, u64, Option<qb_queenbee::CacheMetrics>) {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = 64;
+        config.num_bees = 6;
+        config.seed = 0xE9;
+        config.cache = cache;
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+        let mut rng = DetRng::new(0xE9A);
+        let mut latency = LatencyRecorder::new();
+        let mut messages = 0u64;
+        let mut shard_fetches = 0u64;
+        let mut answered = 0u64;
+        for (i, &q) in stream.iter().enumerate() {
+            // Every 100 queries a popular page is republished, exercising
+            // publish-path invalidation mid-stream.
+            if i > 0 && i % 100 == 0 {
+                let victim = i / 100 % corpus.pages.len();
+                let page = &corpus.pages[victim];
+                let updated = mutate_page(page, i as u64, &mut rng);
+                let creator = AccountId(corpus.creators[victim]);
+                qb.publish((victim % 50) as u64, creator, &updated)
+                    .expect("republish");
+                qb.seal();
+                qb.process_publish_events().expect("reindex");
+            }
+            qb.advance_time(SimDuration::from_millis(50));
+            if let Ok(out) = qb.search((i % 50) as u64, &pool[q]) {
+                latency.record(out.latency);
+                messages += out.messages;
+                shard_fetches += out.shards_fetched as u64;
+                answered += 1;
+            }
+        }
+        (
+            latency.mean_ms(),
+            messages,
+            shard_fetches,
+            answered,
+            qb.freshness.stale_results,
+            qb.cache_metrics(),
+        )
+    };
+
+    let (off_lat, off_msgs, off_fetches, off_ok, off_stale, _) = run(CacheConfig::default());
+    let (on_lat, on_msgs, on_fetches, on_ok, on_stale, metrics) = run(CacheConfig::enabled());
+
+    let mut t = Table::new(
+        "E9a: Zipf(1.0) query stream (600 queries, 120-query pool), cache off vs on",
+        &[
+            "config",
+            "mean_latency_ms",
+            "rpc_messages",
+            "shard_fetches",
+            "answered",
+            "stale_results",
+        ],
+    );
+    t.row(&[
+        "cache off".into(),
+        f2(off_lat),
+        off_msgs.to_string(),
+        off_fetches.to_string(),
+        off_ok.to_string(),
+        off_stale.to_string(),
+    ]);
+    t.row(&[
+        "cache on".into(),
+        f2(on_lat),
+        on_msgs.to_string(),
+        on_fetches.to_string(),
+        on_ok.to_string(),
+        on_stale.to_string(),
+    ]);
+    t.row(&[
+        "reduction".into(),
+        format!("{:.1}x", off_lat / on_lat.max(1e-9)),
+        format!(
+            "-{:.1}%",
+            100.0 * (1.0 - on_msgs as f64 / off_msgs.max(1) as f64)
+        ),
+        format!(
+            "-{:.1}%",
+            100.0 * (1.0 - on_fetches as f64 / off_fetches.max(1) as f64)
+        ),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    let mut t2 = Table::new(
+        "E9b: per-tier cache counters after the stream",
+        &[
+            "tier",
+            "hits",
+            "lookups",
+            "hit_rate_%",
+            "insertions",
+            "evictions",
+            "invalidations",
+        ],
+    );
+    if let Some(m) = metrics {
+        for (name, tier) in qb_queenbee::CacheReport(m).rows() {
+            t2.row(&[
+                name.to_string(),
+                tier.hits.to_string(),
+                tier.lookups().to_string(),
+                f2(100.0 * tier.hit_rate()),
+                tier.insertions.to_string(),
+                tier.evictions.to_string(),
+                tier.invalidations.to_string(),
+            ]);
+        }
+    }
+    vec![t, t2]
+}
+
 /// E8 — systems costs: DHT scaling, index, rank and chain micro-metrics.
 fn e8_systems_costs() -> Vec<Table> {
     use qb_dht::{DhtConfig, DhtNetwork};
@@ -670,7 +920,13 @@ fn e8_systems_costs() -> Vec<Table> {
 
     let mut t = Table::new(
         "E8a: DHT lookup cost vs network size (Kademlia, k=20, alpha=3)",
-        &["peers", "mean_hops", "mean_messages", "mean_latency_ms", "success_%"],
+        &[
+            "peers",
+            "mean_hops",
+            "mean_messages",
+            "mean_latency_ms",
+            "success_%",
+        ],
     );
     for &n in &[32usize, 64, 128, 256] {
         let mut net = SimNet::new(n, NetConfig::default(), 0xE8);
@@ -683,15 +939,13 @@ fn e8_systems_costs() -> Vec<Table> {
         let trials = 40;
         for i in 0..trials {
             let key = qb_common::DhtKey::from_bytes(format!("probe{i}").as_bytes());
-            dht.put_record(&mut net, (i % n) as u64, key, vec![1, 2, 3], 1).expect("put");
-            match dht.get_record(&mut net, ((i * 13 + 7) % n) as u64, key) {
-                Ok(got) => {
-                    hops += got.hops;
-                    messages += got.messages;
-                    lat.record(got.latency);
-                    ok += 1;
-                }
-                Err(_) => {}
+            dht.put_record(&mut net, (i % n) as u64, key, vec![1, 2, 3], 1)
+                .expect("put");
+            if let Ok(got) = dht.get_record(&mut net, ((i * 13 + 7) % n) as u64, key) {
+                hops += got.hops;
+                messages += got.messages;
+                lat.record(got.latency);
+                ok += 1;
             }
         }
         t.row(&[
@@ -720,14 +974,20 @@ fn e8_systems_costs() -> Vec<Table> {
         f2(corpus.pages.len() as f64 / start.elapsed().as_secs_f64()),
     ]);
     t2.row(&["distinct terms".into(), index.term_count().to_string()]);
-    t2.row(&["index encoded size (KiB)".into(), f2(index.encoded_bytes() as f64 / 1024.0)]);
+    t2.row(&[
+        "index encoded size (KiB)".into(),
+        f2(index.encoded_bytes() as f64 / 1024.0),
+    ]);
     let mut graph = qb_rank::LinkGraph::new();
     for p in &corpus.pages {
         graph.set_links(&p.name, &p.out_links);
     }
     let start = std::time::Instant::now();
     let ranks = qb_rank::pagerank(&graph, &qb_rank::PageRankConfig::default());
-    t2.row(&["pagerank time (ms, 60 pages)".into(), f2(start.elapsed().as_secs_f64() * 1e3)]);
+    t2.row(&[
+        "pagerank time (ms, 60 pages)".into(),
+        f2(start.elapsed().as_secs_f64() * 1e3),
+    ]);
     t2.row(&["pagerank mass".into(), f4(ranks.iter().sum::<f64>())]);
     let mut chain = qb_chain::Blockchain::new(qb_chain::ChainConfig::default());
     let start = std::time::Instant::now();
@@ -749,6 +1009,9 @@ fn e8_systems_costs() -> Vec<Table> {
         "chain throughput (tx/s, publish calls)".into(),
         f2(2_000.0 / start.elapsed().as_secs_f64()),
     ]);
-    t2.row(&["chain integrity verified".into(), chain.verify_integrity().is_ok().to_string()]);
+    t2.row(&[
+        "chain integrity verified".into(),
+        chain.verify_integrity().is_ok().to_string(),
+    ]);
     vec![t, t2]
 }

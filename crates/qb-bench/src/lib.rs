@@ -47,7 +47,9 @@ pub fn publish_corpus(engine: &mut QueenBee, corpus: &Corpus) -> usize {
         }
     }
     engine.seal();
-    engine.process_publish_events().expect("indexing published pages");
+    engine
+        .process_publish_events()
+        .expect("indexing published pages");
     accepted
 }
 
@@ -63,10 +65,7 @@ pub fn crawl_docs(
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            let (version, text) = versions
-                .get(&p.name)
-                .cloned()
-                .unwrap_or((1, p.text()));
+            let (version, text) = versions.get(&p.name).cloned().unwrap_or((1, p.text()));
             CrawlDoc {
                 name: p.name.clone(),
                 version,
@@ -117,7 +116,11 @@ impl Table {
                 .iter()
                 .enumerate()
                 .map(|(i, c)| {
-                    format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+                    format!(
+                        "{:width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
                 })
                 .collect::<Vec<_>>()
                 .join("  ")
@@ -184,7 +187,10 @@ mod tests {
         let corpus = build_corpus(1, 10);
         let mut engine = build_engine(20, 3, 1);
         let accepted = publish_corpus(&mut engine, &corpus);
-        assert!(accepted >= 8, "most generated pages should be accepted, got {accepted}");
+        assert!(
+            accepted >= 8,
+            "most generated pages should be accepted, got {accepted}"
+        );
         let docs = crawl_docs(&corpus, &std::collections::HashMap::new());
         assert_eq!(docs.len(), 10);
     }

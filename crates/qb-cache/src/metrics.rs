@@ -1,0 +1,101 @@
+//! Per-tier cache counters.
+
+/// Counters for one cache tier. All counters are cumulative since engine
+/// start; snapshot and diff to rate-limit windows externally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TierMetrics {
+    /// Lookups served from the tier.
+    pub hits: u64,
+    /// Lookups the tier could not serve.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+    /// Lookups rejected because the entry's TTL had lapsed.
+    pub expirations: u64,
+    /// Entries dropped because their recorded version no longer matched the
+    /// caller's current version, or because of explicit publish-path
+    /// invalidation.
+    pub invalidations: u64,
+    /// Insertions refused by the sampled-LFU admission filter.
+    pub admission_rejections: u64,
+}
+
+impl TierMetrics {
+    /// Hit rate over all lookups (0.0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Snapshot of every tier's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheMetrics {
+    /// Result-tier counters.
+    pub result: TierMetrics,
+    /// Shard-tier counters.
+    pub shard: TierMetrics,
+    /// Negative-tier counters.
+    pub negative: TierMetrics,
+}
+
+impl CacheMetrics {
+    /// Total invalidations across tiers (publish-path + version checks).
+    pub fn total_invalidations(&self) -> u64 {
+        self.result.invalidations + self.shard.invalidations + self.negative.invalidations
+    }
+
+    /// Total evictions across tiers.
+    pub fn total_evictions(&self) -> u64 {
+        self.result.evictions + self.shard.evictions + self.negative.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut t = TierMetrics::default();
+        assert_eq!(t.hit_rate(), 0.0);
+        t.hits = 3;
+        t.misses = 1;
+        assert!((t.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(t.lookups(), 4);
+    }
+
+    #[test]
+    fn totals_sum_tiers() {
+        let m = CacheMetrics {
+            result: TierMetrics {
+                invalidations: 2,
+                evictions: 1,
+                ..Default::default()
+            },
+            shard: TierMetrics {
+                invalidations: 3,
+                evictions: 4,
+                ..Default::default()
+            },
+            negative: TierMetrics {
+                invalidations: 5,
+                evictions: 6,
+                ..Default::default()
+            },
+        };
+        assert_eq!(m.total_invalidations(), 10);
+        assert_eq!(m.total_evictions(), 11);
+    }
+}

@@ -1,0 +1,532 @@
+//! The three-tier query-serving cache used by the QueenBee frontend.
+
+use crate::config::CacheConfig;
+use crate::metrics::CacheMetrics;
+use crate::tier::CacheTier;
+use qb_common::SimInstant;
+use qb_index::{IndexStats, ScoredDoc, ShardEntry};
+use std::collections::{BTreeSet, HashMap};
+
+/// A cached, fully scored result list plus everything needed to prove it is
+/// still current.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Ranked results as served.
+    pub results: Vec<ScoredDoc>,
+    /// Shard version of every query term at fill time (terms sorted). The
+    /// entry is only served while each term's current version still matches.
+    pub term_versions: Vec<(String, u64)>,
+}
+
+/// A cached copy of the global statistics record.
+#[derive(Debug, Clone, Copy)]
+pub struct CachedStats {
+    /// The statistics as read from the DHT.
+    pub stats: IndexStats,
+}
+
+/// Outcome of a shard-tier lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardLookup {
+    /// The term's shard was cached and current.
+    Hit(ShardEntry),
+    /// The term is cached as proven-absent; skip the DHT entirely.
+    Negative,
+    /// Nothing cached; fetch through the DHT.
+    Miss,
+}
+
+/// Normalize an analyzed term list into the result-cache key: terms sorted
+/// and joined, so `"peer decentralized"` and `"decentralized peer"` share an
+/// entry (scoring is order-independent).
+pub fn result_key(terms: &[String]) -> String {
+    let mut sorted: Vec<&str> = terms.iter().map(|s| s.as_str()).collect();
+    sorted.sort_unstable();
+    sorted.join(" ")
+}
+
+fn scored_doc_bytes(d: &ScoredDoc) -> usize {
+    // doc_id + score + version + creator + the name's heap bytes.
+    8 + 8 + 8 + 8 + d.name.len()
+}
+
+fn result_bytes(key: &str, r: &CachedResult) -> usize {
+    key.len()
+        + r.results.iter().map(scored_doc_bytes).sum::<usize>()
+        + r.term_versions
+            .iter()
+            .map(|(t, _)| t.len() + 8)
+            .sum::<usize>()
+        + 48
+}
+
+fn shard_bytes(s: &ShardEntry) -> usize {
+    s.term.len()
+        + 8
+        + s.postings
+            .iter()
+            .map(|p| 8 + 4 + 4 + 8 + 8 + p.name.len())
+            .sum::<usize>()
+        + 32
+}
+
+/// The multi-tier cache. All methods take the current simulated time; the
+/// cache never reads a wall clock.
+#[derive(Debug)]
+pub struct QueryCache {
+    config: CacheConfig,
+    results: CacheTier<CachedResult>,
+    shards: CacheTier<ShardEntry>,
+    /// Negative entries store the shard version they were proven absent at
+    /// (always 0: absent terms have never been written).
+    negatives: CacheTier<()>,
+    stats: Option<(CachedStats, u64)>,
+    /// term -> result-cache keys containing it, for publish-path
+    /// invalidation in O(affected entries).
+    term_to_queries: HashMap<String, BTreeSet<String>>,
+}
+
+impl QueryCache {
+    /// Build a cache from a validated configuration.
+    pub fn new(config: CacheConfig) -> QueryCache {
+        // The result tier reports every removal so the term reverse index
+        // can be pruned no matter how an entry dies (eviction, TTL,
+        // invalidation, replacement).
+        let mut results = CacheTier::new(
+            config.result_capacity_bytes,
+            config.result_ttl,
+            config.policy,
+        );
+        results.set_track_removals(true);
+        QueryCache {
+            results,
+            shards: CacheTier::new(config.shard_capacity_bytes, config.shard_ttl, config.policy),
+            negatives: CacheTier::new(
+                config.negative_capacity_bytes,
+                config.negative_ttl,
+                config.policy,
+            ),
+            stats: None,
+            term_to_queries: HashMap::new(),
+            config,
+        }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    // ----- result tier -------------------------------------------------------------
+
+    /// Look up a result entry. `current_version` maps a term to its current
+    /// shard version; the entry is served only when every recorded term
+    /// version still matches (and its TTL has not lapsed).
+    pub fn lookup_result(
+        &mut self,
+        key: &str,
+        now: SimInstant,
+        mut current_version: impl FnMut(&str) -> u64,
+    ) -> Option<CachedResult> {
+        let entry = match self.results.get(key, now, None) {
+            Some(e) => e.clone(),
+            None => {
+                // The lookup may have expired the entry; drop its index rows.
+                self.prune_result_index();
+                return None;
+            }
+        };
+        let stale = entry
+            .term_versions
+            .iter()
+            .any(|(term, v)| current_version(term) != *v);
+        if stale {
+            // The tier counted a hit; correct it to an invalidation-miss.
+            self.results.metrics.hits -= 1;
+            self.results.metrics.misses += 1;
+            self.results.invalidate(key);
+            self.prune_result_index();
+            return None;
+        }
+        Some(entry)
+    }
+
+    /// Store a result entry computed from the given per-term shard versions.
+    pub fn store_result(
+        &mut self,
+        key: &str,
+        results: Vec<ScoredDoc>,
+        term_versions: Vec<(String, u64)>,
+        now: SimInstant,
+    ) {
+        let entry = CachedResult {
+            results,
+            term_versions,
+        };
+        let bytes = result_bytes(key, &entry);
+        let terms: Vec<String> = entry.term_versions.iter().map(|(t, _)| t.clone()).collect();
+        let admitted = self.results.insert(key, entry, bytes, 0, now);
+        // Unindex whatever the insert displaced (evicted victims, or the
+        // replaced previous entry for this key) *before* indexing the new
+        // entry, so replacement cannot strip the fresh mappings.
+        self.prune_result_index();
+        if admitted {
+            for term in terms {
+                self.term_to_queries
+                    .entry(term)
+                    .or_default()
+                    .insert(key.to_string());
+            }
+        }
+    }
+
+    // ----- shard + negative tiers --------------------------------------------------
+
+    /// Look up a term's shard. `current_version` is the engine's monotonic
+    /// version counter for the term (0 when the term was never written).
+    pub fn lookup_shard(
+        &mut self,
+        term: &str,
+        now: SimInstant,
+        current_version: u64,
+    ) -> ShardLookup {
+        // Negative tier first: absent terms never have shard entries. The
+        // negative entry is recorded at version 0 and a republished term
+        // bumps the version, so the version check also re-opens the path to
+        // the DHT the moment the term starts existing.
+        if current_version == 0 {
+            if self.negatives.get(term, now, Some(0)).is_some() {
+                return ShardLookup::Negative;
+            }
+        } else {
+            // Drop any stale negative entry without charging a lookup.
+            if self.negatives.contains(term) {
+                self.negatives.invalidate(term);
+            }
+        }
+        match self.shards.get(term, now, Some(current_version)) {
+            Some(shard) => ShardLookup::Hit(shard.clone()),
+            None => ShardLookup::Miss,
+        }
+    }
+
+    /// Store a freshly fetched shard, or — when the shard is empty and was
+    /// never written (version 0) — a negative entry for the term.
+    pub fn store_shard(&mut self, shard: &ShardEntry, now: SimInstant) {
+        if shard.version == 0 && shard.postings.is_empty() {
+            self.negatives
+                .insert(&shard.term, (), shard.term.len() + 16, 0, now);
+        } else {
+            let bytes = shard_bytes(shard);
+            self.shards
+                .insert(&shard.term, shard.clone(), bytes, shard.version, now);
+        }
+    }
+
+    // ----- statistics record -------------------------------------------------------
+
+    /// Cached global statistics, validated against the current stats version.
+    pub fn lookup_stats(&mut self, current_version: u64) -> Option<CachedStats> {
+        match self.stats {
+            Some((cached, version)) if version == current_version => Some(cached),
+            _ => None,
+        }
+    }
+
+    /// Store the statistics record under its version.
+    pub fn store_stats(&mut self, stats: IndexStats, version: u64) {
+        self.stats = Some((CachedStats { stats }, version));
+    }
+
+    // ----- publish-path invalidation ----------------------------------------------
+
+    /// A page version touching `term` was (re)indexed: purge the term's
+    /// shard and negative entries and every cached result whose query
+    /// contains the term. Returns the number of entries dropped.
+    pub fn invalidate_term(&mut self, term: &str) -> usize {
+        let mut dropped = 0;
+        if self.shards.invalidate(term) {
+            dropped += 1;
+        }
+        if self.negatives.invalidate(term) {
+            dropped += 1;
+        }
+        if let Some(keys) = self.term_to_queries.remove(term) {
+            for key in keys {
+                if self.results.invalidate(&key) {
+                    dropped += 1;
+                }
+                self.unindex_query(&key);
+            }
+        }
+        self.prune_result_index();
+        dropped
+    }
+
+    /// Number of terms currently tracked by the result reverse index
+    /// (diagnostic; bounded by the live result entries' distinct terms).
+    pub fn reverse_index_terms(&self) -> usize {
+        self.term_to_queries.len()
+    }
+
+    /// Unindex every result key the tier removed since the last drain.
+    fn prune_result_index(&mut self) {
+        for key in self.results.take_removed() {
+            self.unindex_query(&key);
+        }
+    }
+
+    /// Remove a result key from the reverse index (after the entry died).
+    fn unindex_query(&mut self, key: &str) {
+        let terms: Vec<String> = key.split(' ').map(|s| s.to_string()).collect();
+        for term in terms {
+            if let Some(set) = self.term_to_queries.get_mut(&term) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.term_to_queries.remove(&term);
+                }
+            }
+        }
+    }
+
+    // ----- metrics -----------------------------------------------------------------
+
+    /// Snapshot of every tier's counters.
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            result: self.results.metrics,
+            shard: self.shards.metrics,
+            negative: self.negatives.metrics,
+        }
+    }
+
+    /// Entry counts per tier `(results, shards, negatives)`.
+    pub fn tier_sizes(&self) -> (usize, usize, usize) {
+        (self.results.len(), self.shards.len(), self.negatives.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_common::SimDuration;
+    use qb_index::ShardPosting;
+
+    fn t0() -> SimInstant {
+        SimInstant::ZERO
+    }
+
+    fn cache() -> QueryCache {
+        QueryCache::new(CacheConfig::small())
+    }
+
+    fn shard(term: &str, version: u64, docs: usize) -> ShardEntry {
+        let mut s = ShardEntry::empty(term);
+        s.version = version;
+        for i in 0..docs as u64 {
+            s.upsert(ShardPosting {
+                doc_id: i * 13 + 1,
+                term_freq: 2,
+                doc_len: 40,
+                name: format!("page/{i}"),
+                version: 1,
+                creator: 9,
+            });
+        }
+        s
+    }
+
+    fn doc(name: &str, version: u64) -> ScoredDoc {
+        ScoredDoc {
+            doc_id: qb_index::doc_id_for_name(name),
+            name: name.to_string(),
+            score: 1.0,
+            version,
+            creator: 7,
+        }
+    }
+
+    #[test]
+    fn result_key_is_order_independent() {
+        let a = result_key(&["peer".into(), "decentralized".into()]);
+        let b = result_key(&["decentralized".into(), "peer".into()]);
+        assert_eq!(a, b);
+        assert_eq!(a, "decentralized peer");
+    }
+
+    #[test]
+    fn result_round_trip_and_version_invalidation() {
+        let mut c = cache();
+        let key = result_key(&["honey".into(), "bees".into()]);
+        c.store_result(
+            &key,
+            vec![doc("wiki/bees", 1)],
+            vec![("honey".into(), 2), ("bees".into(), 5)],
+            t0(),
+        );
+        // Served while versions match.
+        let versions = |term: &str| if term == "honey" { 2 } else { 5 };
+        let hit = c.lookup_result(&key, t0(), versions).expect("warm hit");
+        assert_eq!(hit.results[0].name, "wiki/bees");
+        // A bumped term version kills the entry on the next read.
+        let bumped = |term: &str| if term == "honey" { 3 } else { 5 };
+        assert!(c.lookup_result(&key, t0(), bumped).is_none());
+        assert!(
+            c.lookup_result(&key, t0(), versions).is_none(),
+            "entry is gone"
+        );
+        let m = c.metrics();
+        assert_eq!(m.result.hits, 1);
+        assert_eq!(m.result.invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_term_purges_all_affected_entries() {
+        let mut c = cache();
+        c.store_shard(&shard("honey", 3, 4), t0());
+        c.store_result(
+            &result_key(&["honey".into()]),
+            vec![doc("a", 1)],
+            vec![("honey".into(), 3)],
+            t0(),
+        );
+        c.store_result(
+            &result_key(&["honey".into(), "bees".into()]),
+            vec![doc("a", 1)],
+            vec![("honey".into(), 3), ("bees".into(), 1)],
+            t0(),
+        );
+        c.store_result(
+            &result_key(&["unrelated".into()]),
+            vec![doc("b", 1)],
+            vec![("unrelated".into(), 1)],
+            t0(),
+        );
+        let dropped = c.invalidate_term("honey");
+        assert_eq!(dropped, 3, "shard + two result entries");
+        assert_eq!(c.tier_sizes().0, 1, "unrelated result survives");
+        assert!(matches!(
+            c.lookup_shard("honey", t0(), 3),
+            ShardLookup::Miss
+        ));
+        // The unrelated entry still serves.
+        assert!(c
+            .lookup_result(&result_key(&["unrelated".into()]), t0(), |_| 1)
+            .is_some());
+    }
+
+    #[test]
+    fn shard_tier_validates_versions() {
+        let mut c = cache();
+        c.store_shard(&shard("nectar", 4, 3), t0());
+        assert!(matches!(
+            c.lookup_shard("nectar", t0(), 4),
+            ShardLookup::Hit(s) if s.version == 4
+        ));
+        // Version bumped by a republish: the cached shard must not serve.
+        assert_eq!(c.lookup_shard("nectar", t0(), 5), ShardLookup::Miss);
+        assert_eq!(c.metrics().shard.invalidations, 1);
+    }
+
+    #[test]
+    fn negative_tier_remembers_absent_terms_until_they_exist() {
+        let mut c = cache();
+        c.store_shard(&ShardEntry::empty("ghost"), t0());
+        assert_eq!(c.lookup_shard("ghost", t0(), 0), ShardLookup::Negative);
+        // The term gets written (version 1): the negative entry dies and the
+        // path to the DHT re-opens.
+        assert_eq!(c.lookup_shard("ghost", t0(), 1), ShardLookup::Miss);
+        assert_eq!(
+            c.lookup_shard("ghost", t0(), 0),
+            ShardLookup::Miss,
+            "purged"
+        );
+    }
+
+    #[test]
+    fn negative_entries_expire_by_ttl() {
+        let mut c = cache();
+        let ttl = c.config().negative_ttl;
+        c.store_shard(&ShardEntry::empty("brief"), t0());
+        assert_eq!(c.lookup_shard("brief", t0(), 0), ShardLookup::Negative);
+        let later = t0() + ttl;
+        assert_eq!(c.lookup_shard("brief", later, 0), ShardLookup::Miss);
+        assert_eq!(c.metrics().negative.expirations, 1);
+    }
+
+    #[test]
+    fn result_entries_expire_by_ttl() {
+        let mut c = cache();
+        let key = result_key(&["old".into()]);
+        c.store_result(&key, vec![doc("a", 1)], vec![("old".into(), 1)], t0());
+        let ttl = c.config().result_ttl;
+        let just_before = t0() + SimDuration(ttl.0 - 1);
+        assert!(c.lookup_result(&key, just_before, |_| 1).is_some());
+        assert!(c.lookup_result(&key, t0() + ttl, |_| 1).is_none());
+        assert_eq!(c.metrics().result.expirations, 1);
+    }
+
+    #[test]
+    fn stats_record_is_version_guarded() {
+        let mut c = cache();
+        assert!(c.lookup_stats(1).is_none());
+        c.store_stats(
+            IndexStats {
+                num_docs: 10,
+                total_len: 800,
+                version: 1,
+            },
+            1,
+        );
+        assert_eq!(c.lookup_stats(1).unwrap().stats.num_docs, 10);
+        assert!(c.lookup_stats(2).is_none(), "stale stats must not serve");
+    }
+
+    #[test]
+    fn reverse_index_is_pruned_when_entries_die_by_eviction_or_ttl() {
+        let mut config = CacheConfig::small();
+        config.result_capacity_bytes = 512;
+        config.policy = crate::EvictionPolicy::Lru;
+        let mut c = QueryCache::new(config);
+        // Far more distinct queries than the byte budget can hold: the
+        // reverse index must track only the survivors, not every query ever.
+        for i in 0..200 {
+            let term = format!("term{i}");
+            c.store_result(&term, vec![doc("page/x", 1)], vec![(term.clone(), 1)], t0());
+        }
+        let (live, _, _) = c.tier_sizes();
+        assert!(live < 200, "budget must have evicted most entries");
+        assert_eq!(
+            c.reverse_index_terms(),
+            live,
+            "reverse index must shrink with evictions"
+        );
+
+        // TTL expiry prunes too: expire everything and look the keys up.
+        let later = t0() + c.config().result_ttl;
+        for i in 0..200 {
+            let _ = c.lookup_result(&format!("term{i}"), later, |_| 1);
+        }
+        assert_eq!(c.tier_sizes().0, 0);
+        assert_eq!(
+            c.reverse_index_terms(),
+            0,
+            "index empty once entries expire"
+        );
+    }
+
+    #[test]
+    fn byte_budget_bounds_shard_tier() {
+        let mut config = CacheConfig::small();
+        config.shard_capacity_bytes = 600;
+        config.policy = crate::EvictionPolicy::Lru;
+        let mut c = QueryCache::new(config);
+        for i in 0..50 {
+            c.store_shard(&shard(&format!("term{i}"), 1, 5), t0());
+        }
+        let m = c.metrics();
+        assert!(m.shard.evictions > 0, "budget must force evictions");
+        let (_, shards, _) = c.tier_sizes();
+        assert!(shards < 50);
+    }
+}

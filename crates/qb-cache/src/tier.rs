@@ -1,0 +1,426 @@
+//! One cache tier: byte-budgeted, TTL-bounded, version-checked storage with
+//! pluggable eviction.
+//!
+//! All bookkeeping is deterministic: entries live in ordered maps, recency
+//! is a logical tick counter, and the frequency sketch hashes with fixed
+//! seeds — two runs of the same simulation make identical decisions.
+
+use crate::config::EvictionPolicy;
+use crate::metrics::TierMetrics;
+use crate::sketch::{hash_key, FreqSketch};
+use qb_common::{SimDuration, SimInstant};
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    value: V,
+    bytes: usize,
+    version: u64,
+    expires_at: SimInstant,
+    tick: u64,
+    hash: u64,
+}
+
+/// A single byte-budgeted cache tier mapping `String` keys to values.
+#[derive(Debug)]
+pub struct CacheTier<V> {
+    capacity_bytes: usize,
+    ttl: SimDuration,
+    policy: EvictionPolicy,
+    entries: HashMap<String, Slot<V>>,
+    /// Recency order: logical tick -> key. Ticks are unique and increasing,
+    /// so the first entry is always the least recently used.
+    recency: BTreeMap<u64, String>,
+    tick: u64,
+    bytes: usize,
+    sketch: FreqSketch,
+    /// When enabled, keys removed for any reason (eviction, expiry,
+    /// invalidation, replacement) accumulate here until drained with
+    /// [`CacheTier::take_removed`]. Off by default so tiers without an
+    /// external index never grow an undrained log.
+    track_removals: bool,
+    removed: Vec<String>,
+    /// Counters for this tier.
+    pub metrics: TierMetrics,
+}
+
+impl<V> CacheTier<V> {
+    /// Create a tier with a byte budget, a TTL and an eviction policy.
+    pub fn new(capacity_bytes: usize, ttl: SimDuration, policy: EvictionPolicy) -> CacheTier<V> {
+        CacheTier {
+            capacity_bytes,
+            ttl,
+            policy,
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            sketch: FreqSketch::new(1024),
+            track_removals: false,
+            removed: Vec::new(),
+            metrics: TierMetrics::default(),
+        }
+    }
+
+    /// Record removed keys for later draining via [`CacheTier::take_removed`].
+    /// Callers that maintain an external index over this tier's keys need
+    /// this to prune their index when entries die by eviction or TTL.
+    pub fn set_track_removals(&mut self, on: bool) {
+        self.track_removals = on;
+    }
+
+    /// Drain the keys removed (for any reason) since the last drain.
+    pub fn take_removed(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.removed)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the tier holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently accounted to the tier.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The tier's TTL.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up `key` at simulated time `now`. When `expected_version` is
+    /// `Some(v)`, an entry recorded under a different version is dropped and
+    /// counted as an invalidation (the version-aware read path). Expired
+    /// entries are dropped and counted as expirations. Every lookup feeds
+    /// the frequency sketch so the admission policy sees real popularity.
+    pub fn get(&mut self, key: &str, now: SimInstant, expected_version: Option<u64>) -> Option<&V> {
+        self.sketch.record(hash_key(key));
+        let (expired, stale) = match self.entries.get(key) {
+            None => {
+                self.metrics.misses += 1;
+                return None;
+            }
+            Some(slot) => (
+                now >= slot.expires_at,
+                expected_version.is_some_and(|v| v != slot.version),
+            ),
+        };
+        if expired {
+            self.remove_entry(key);
+            self.metrics.expirations += 1;
+            self.metrics.misses += 1;
+            return None;
+        }
+        if stale {
+            self.remove_entry(key);
+            self.metrics.invalidations += 1;
+            self.metrics.misses += 1;
+            return None;
+        }
+        self.metrics.hits += 1;
+        let tick = self.next_tick();
+        let slot = self.entries.get_mut(key).expect("checked above");
+        self.recency.remove(&slot.tick);
+        slot.tick = tick;
+        self.recency.insert(tick, key.to_string());
+        Some(&self.entries[key].value)
+    }
+
+    /// Insert `key` with an explicit byte cost and version. Returns true
+    /// when the entry was admitted. An entry larger than the whole tier, or
+    /// one refused by the sampled-LFU admission filter, is not stored.
+    pub fn insert(
+        &mut self,
+        key: &str,
+        value: V,
+        bytes: usize,
+        version: u64,
+        now: SimInstant,
+    ) -> bool {
+        let hash = hash_key(key);
+        self.sketch.record(hash);
+        if bytes > self.capacity_bytes {
+            self.metrics.admission_rejections += 1;
+            return false;
+        }
+        // Replacing an existing entry never goes through admission: the key
+        // already proved itself.
+        if self.entries.contains_key(key) {
+            self.remove_entry(key);
+        }
+        // Plan the full victim set before evicting anything, so a refused
+        // admission never costs resident entries.
+        match self.plan_evictions(hash, bytes) {
+            Some(victims) => {
+                for victim in victims {
+                    self.remove_entry(&victim);
+                    self.metrics.evictions += 1;
+                }
+            }
+            None => {
+                self.metrics.admission_rejections += 1;
+                return false;
+            }
+        }
+        let tick = self.next_tick();
+        self.recency.insert(tick, key.to_string());
+        self.entries.insert(
+            key.to_string(),
+            Slot {
+                value,
+                bytes,
+                version,
+                expires_at: now + self.ttl,
+                tick,
+                hash,
+            },
+        );
+        self.bytes += bytes;
+        self.metrics.insertions += 1;
+        true
+    }
+
+    /// Choose the set of keys to evict so an entry of `bytes` fits, without
+    /// removing anything yet. Returns `None` when the policy refuses
+    /// admission (or nothing is left to evict) — in that case no resident
+    /// entry is touched.
+    fn plan_evictions(&self, incoming: u64, bytes: usize) -> Option<Vec<String>> {
+        let mut victims: Vec<String> = Vec::new();
+        let mut freed = 0usize;
+        while self.bytes - freed + bytes > self.capacity_bytes {
+            let victim = match self.policy {
+                EvictionPolicy::Lru => self
+                    .recency
+                    .values()
+                    .find(|k| !victims.contains(k))
+                    .cloned()?,
+                EvictionPolicy::SampledLfu { sample } => {
+                    // The incoming key must beat the coldest of the `sample`
+                    // least-recently-used residents — for every victim the
+                    // admission would displace.
+                    let victim = self
+                        .recency
+                        .values()
+                        .filter(|k| !victims.contains(k))
+                        .take(sample.max(1))
+                        .min_by_key(|key| {
+                            let slot = &self.entries[key.as_str()];
+                            (self.sketch.estimate(slot.hash), slot.tick)
+                        })?;
+                    let victim_freq = self.sketch.estimate(self.entries[victim.as_str()].hash);
+                    if self.sketch.estimate(incoming) < victim_freq {
+                        return None;
+                    }
+                    victim.clone()
+                }
+            };
+            freed += self.entries[victim.as_str()].bytes;
+            victims.push(victim);
+        }
+        Some(victims)
+    }
+
+    /// Drop `key` explicitly (publish-path invalidation). Returns true when
+    /// an entry existed.
+    pub fn invalidate(&mut self, key: &str) -> bool {
+        if self.remove_entry(key) {
+            self.metrics.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Does the tier currently hold `key` (ignoring TTL/version checks)?
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// The recorded version of `key`, when present.
+    pub fn version_of(&self, key: &str) -> Option<u64> {
+        self.entries.get(key).map(|s| s.version)
+    }
+
+    fn remove_entry(&mut self, key: &str) -> bool {
+        match self.entries.remove(key) {
+            Some(slot) => {
+                self.recency.remove(&slot.tick);
+                self.bytes -= slot.bytes;
+                if self.track_removals {
+                    self.removed.push(key.to_string());
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimInstant {
+        SimInstant::ZERO
+    }
+
+    fn lru_tier(capacity: usize) -> CacheTier<u64> {
+        CacheTier::new(capacity, SimDuration::from_secs(60), EvictionPolicy::Lru)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let mut tier = lru_tier(30);
+        tier.insert("a", 1, 10, 1, t0());
+        tier.insert("b", 2, 10, 1, t0());
+        tier.insert("c", 3, 10, 1, t0());
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(tier.get("a", t0(), None).is_some());
+        tier.insert("d", 4, 10, 1, t0());
+        assert!(tier.contains("a"));
+        assert!(!tier.contains("b"), "LRU victim should be b");
+        assert!(tier.contains("c"));
+        assert!(tier.contains("d"));
+        assert_eq!(tier.metrics.evictions, 1);
+        assert!(tier.bytes() <= 30);
+    }
+
+    #[test]
+    fn lru_eviction_order_is_full_recency_order() {
+        let mut tier = lru_tier(40);
+        for (k, v) in [("a", 1u64), ("b", 2), ("c", 3), ("d", 4)] {
+            tier.insert(k, v, 10, 1, t0());
+        }
+        // Recency now a < b < c < d. Touch in reverse: d c b a -> LRU is d.
+        for k in ["d", "c", "b", "a"] {
+            tier.get(k, t0(), None);
+        }
+        tier.insert("e", 5, 10, 1, t0());
+        assert!(!tier.contains("d"));
+        tier.insert("f", 6, 10, 1, t0());
+        assert!(!tier.contains("c"));
+        assert!(tier.contains("a") && tier.contains("b"));
+    }
+
+    #[test]
+    fn sampled_lfu_protects_hot_entries_from_cold_inserts() {
+        let mut tier: CacheTier<u64> = CacheTier::new(
+            30,
+            SimDuration::from_secs(60),
+            EvictionPolicy::SampledLfu { sample: 3 },
+        );
+        tier.insert("hot1", 1, 10, 1, t0());
+        tier.insert("hot2", 2, 10, 1, t0());
+        tier.insert("hot3", 3, 10, 1, t0());
+        // Make the residents popular.
+        for _ in 0..10 {
+            tier.get("hot1", t0(), None);
+            tier.get("hot2", t0(), None);
+            tier.get("hot3", t0(), None);
+        }
+        // A one-shot key must not displace them...
+        assert!(!tier.insert("cold", 9, 10, 1, t0()));
+        assert_eq!(tier.metrics.admission_rejections, 1);
+        assert!(tier.contains("hot1") && tier.contains("hot2") && tier.contains("hot3"));
+        // ...but a key that got as popular as the residents is admitted.
+        for _ in 0..12 {
+            tier.get("rising", t0(), None);
+        }
+        assert!(tier.insert("rising", 7, 10, 1, t0()));
+        assert_eq!(tier.metrics.evictions, 1);
+        assert_eq!(tier.len(), 3);
+    }
+
+    #[test]
+    fn refused_admission_never_evicts_residents() {
+        let mut tier: CacheTier<u64> = CacheTier::new(
+            30,
+            SimDuration::from_secs(60),
+            EvictionPolicy::SampledLfu { sample: 3 },
+        );
+        // One cold resident, two hot ones; an incoming entry needing all
+        // three slots must be refused without losing any resident — even
+        // though it would beat the cold one.
+        tier.insert("cold", 1, 10, 1, t0());
+        tier.insert("hot1", 2, 10, 1, t0());
+        tier.insert("hot2", 3, 10, 1, t0());
+        for _ in 0..10 {
+            tier.get("hot1", t0(), None);
+            tier.get("hot2", t0(), None);
+        }
+        for _ in 0..5 {
+            tier.get("incoming", t0(), None);
+        }
+        // incoming (freq ~6) beats cold (freq ~1) but loses to the hot pair,
+        // and it needs 30 bytes = every slot.
+        assert!(!tier.insert("incoming", 9, 30, 1, t0()));
+        assert_eq!(tier.metrics.evictions, 0, "no resident may be sacrificed");
+        assert!(tier.contains("cold") && tier.contains("hot1") && tier.contains("hot2"));
+        assert_eq!(tier.metrics.admission_rejections, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_follows_simulated_time() {
+        let mut tier: CacheTier<u64> =
+            CacheTier::new(100, SimDuration::from_secs(10), EvictionPolicy::Lru);
+        tier.insert("k", 7, 10, 1, t0());
+        let just_before = t0() + SimDuration::from_micros(9_999_999);
+        assert_eq!(tier.get("k", just_before, None), Some(&7));
+        let at_expiry = t0() + SimDuration::from_secs(10);
+        assert_eq!(tier.get("k", at_expiry, None), None);
+        assert_eq!(tier.metrics.expirations, 1);
+        assert!(!tier.contains("k"));
+    }
+
+    #[test]
+    fn version_mismatch_invalidates_on_read() {
+        let mut tier: CacheTier<u64> = lru_tier(100);
+        tier.insert("term", 42, 10, 3, t0());
+        assert_eq!(tier.get("term", t0(), Some(3)), Some(&42));
+        // A bumped current version makes the entry unreachable and drops it.
+        assert_eq!(tier.get("term", t0(), Some(4)), None);
+        assert_eq!(tier.metrics.invalidations, 1);
+        assert!(!tier.contains("term"));
+    }
+
+    #[test]
+    fn explicit_invalidation_counts_and_removes() {
+        let mut tier: CacheTier<u64> = lru_tier(100);
+        tier.insert("x", 1, 10, 1, t0());
+        assert!(tier.invalidate("x"));
+        assert!(!tier.invalidate("x"));
+        assert_eq!(tier.metrics.invalidations, 1);
+        assert_eq!(tier.len(), 0);
+        assert_eq!(tier.bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_entries_are_refused() {
+        let mut tier: CacheTier<u64> = lru_tier(16);
+        assert!(!tier.insert("big", 1, 17, 1, t0()));
+        assert_eq!(tier.len(), 0);
+        assert_eq!(tier.metrics.admission_rejections, 1);
+    }
+
+    #[test]
+    fn replacing_a_key_updates_bytes_exactly() {
+        let mut tier: CacheTier<u64> = lru_tier(100);
+        tier.insert("k", 1, 30, 1, t0());
+        tier.insert("k", 2, 10, 2, t0());
+        assert_eq!(tier.bytes(), 10);
+        assert_eq!(tier.len(), 1);
+        assert_eq!(tier.version_of("k"), Some(2));
+        assert_eq!(tier.get("k", t0(), Some(2)), Some(&2));
+    }
+}

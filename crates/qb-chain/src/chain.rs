@@ -246,7 +246,12 @@ impl Blockchain {
         header
     }
 
-    fn apply_call(&mut self, from: AccountId, call: &Call, now: SimInstant) -> QbResult<Vec<Event>> {
+    fn apply_call(
+        &mut self,
+        from: AccountId,
+        call: &Call,
+        now: SimInstant,
+    ) -> QbResult<Vec<Event>> {
         match call {
             Call::Transfer { to, amount } => {
                 self.accounts.transfer(from, *to, *amount)?;
@@ -269,11 +274,13 @@ impl Blockchain {
             } => self
                 .rewards
                 .claim_index(&mut self.accounts, from, page_name, *page_version),
-            Call::ClaimRankReward { round, block_id } => self
-                .rewards
-                .claim_rank(&mut self.accounts, from, *round, *block_id),
+            Call::ClaimRankReward { round, block_id } => {
+                self.rewards
+                    .claim_rank(&mut self.accounts, from, *round, *block_id)
+            }
             Call::DepositStake { amount } => {
-                self.rewards.deposit_stake(&mut self.accounts, from, *amount)
+                self.rewards
+                    .deposit_stake(&mut self.accounts, from, *amount)
             }
             Call::SlashStake { offender, amount } => {
                 self.rewards.slash(&mut self.accounts, *offender, *amount)
@@ -409,7 +416,10 @@ mod tests {
         assert_eq!(c.stats().failed_txs, 1);
         assert!(matches!(
             c.receipts()[0].status,
-            TxStatus::InvalidNonce { expected: 0, got: 7 }
+            TxStatus::InvalidNonce {
+                expected: 0,
+                got: 7
+            }
         ));
     }
 
@@ -537,7 +547,13 @@ mod tests {
     fn next_nonce_accounts_for_mempool() {
         let mut c = chain();
         assert_eq!(c.next_nonce(AccountId(4)), 0);
-        c.submit_call(AccountId(4), Call::Transfer { to: AccountId(5), amount: 0 });
+        c.submit_call(
+            AccountId(4),
+            Call::Transfer {
+                to: AccountId(5),
+                amount: 0,
+            },
+        );
         assert_eq!(c.next_nonce(AccountId(4)), 1);
         c.seal_block(SimInstant::ZERO);
         assert_eq!(c.next_nonce(AccountId(4)), 1);

@@ -84,7 +84,9 @@ impl AdMarket {
         budget: u64,
     ) -> QbResult<(AdId, Vec<Event>)> {
         if bid_per_click == 0 {
-            return Err(QbError::ContractRevert("bid per click must be positive".into()));
+            return Err(QbError::ContractRevert(
+                "bid per click must be positive".into(),
+            ));
         }
         if budget < bid_per_click {
             return Err(QbError::ContractRevert(
@@ -166,9 +168,13 @@ impl AdMarket {
         let mut matches: Vec<&AdCampaign> = self
             .campaigns
             .values()
-            .filter(|c| c.active() && c.keywords.iter().any(|k| *k == kw))
+            .filter(|c| c.active() && c.keywords.contains(&kw))
             .collect();
-        matches.sort_by(|a, b| b.bid_per_click.cmp(&a.bid_per_click).then(a.id.0.cmp(&b.id.0)));
+        matches.sort_by(|a, b| {
+            b.bid_per_click
+                .cmp(&a.bid_per_click)
+                .then(a.id.0.cmp(&b.id.0))
+        });
         matches
     }
 
@@ -226,7 +232,13 @@ mod tests {
             .is_err());
         // Budget larger than the advertiser's balance.
         assert!(market
-            .create_campaign(&mut accounts, AccountId(50), vec!["x".into()], 10, 1_000_000)
+            .create_campaign(
+                &mut accounts,
+                AccountId(50),
+                vec!["x".into()],
+                10,
+                1_000_000
+            )
             .is_err());
     }
 
@@ -234,12 +246,20 @@ mod tests {
     fn click_splits_revenue_and_decrements_budget() {
         let (mut market, mut accounts) = setup();
         let (id, _) = market
-            .create_campaign(&mut accounts, AccountId(50), vec!["search".into()], 100, 300)
+            .create_campaign(
+                &mut accounts,
+                AccountId(50),
+                vec!["search".into()],
+                100,
+                300,
+            )
             .unwrap();
         let creator = AccountId(60);
         let bee = AccountId(70);
         let treasury_before = accounts.balance(TREASURY);
-        let events = market.record_click(&mut accounts, id, creator, bee).unwrap();
+        let events = market
+            .record_click(&mut accounts, id, creator, bee)
+            .unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(accounts.balance(creator), 60);
         assert_eq!(accounts.balance(bee), 30);
@@ -255,8 +275,12 @@ mod tests {
         let (id, _) = market
             .create_campaign(&mut accounts, AccountId(50), vec!["kw".into()], 100, 200)
             .unwrap();
-        market.record_click(&mut accounts, id, AccountId(60), AccountId(70)).unwrap();
-        market.record_click(&mut accounts, id, AccountId(60), AccountId(70)).unwrap();
+        market
+            .record_click(&mut accounts, id, AccountId(60), AccountId(70))
+            .unwrap();
+        market
+            .record_click(&mut accounts, id, AccountId(60), AccountId(70))
+            .unwrap();
         let err = market
             .record_click(&mut accounts, id, AccountId(60), AccountId(70))
             .unwrap_err();
@@ -272,7 +296,13 @@ mod tests {
             .create_campaign(&mut accounts, AccountId(50), vec!["dweb".into()], 10, 100)
             .unwrap();
         let (high, _) = market
-            .create_campaign(&mut accounts, AccountId(50), vec!["DWeb".into(), "p2p".into()], 50, 200)
+            .create_campaign(
+                &mut accounts,
+                AccountId(50),
+                vec!["DWeb".into(), "p2p".into()],
+                50,
+                200,
+            )
             .unwrap();
         let matches = market.match_keyword("dweb");
         assert_eq!(matches.len(), 2);

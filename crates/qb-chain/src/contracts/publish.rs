@@ -53,7 +53,9 @@ impl PublishRegistry {
         now: SimInstant,
     ) -> QbResult<Vec<Event>> {
         if name.is_empty() {
-            return Err(QbError::ContractRevert("page name must not be empty".into()));
+            return Err(QbError::ContractRevert(
+                "page name must not be empty".into(),
+            ));
         }
         let version = match self.pages.get(name) {
             Some(existing) => {
@@ -150,10 +152,24 @@ mod tests {
     fn update_bumps_version_and_keeps_owner() {
         let mut reg = PublishRegistry::new(0);
         let mut accounts = Accounts::new();
-        reg.publish(&mut accounts, AccountId(1), "p", Cid::for_data(b"a"), vec![], SimInstant::ZERO)
-            .unwrap();
-        reg.publish(&mut accounts, AccountId(1), "p", Cid::for_data(b"b"), vec![], SimInstant::ZERO)
-            .unwrap();
+        reg.publish(
+            &mut accounts,
+            AccountId(1),
+            "p",
+            Cid::for_data(b"a"),
+            vec![],
+            SimInstant::ZERO,
+        )
+        .unwrap();
+        reg.publish(
+            &mut accounts,
+            AccountId(1),
+            "p",
+            Cid::for_data(b"b"),
+            vec![],
+            SimInstant::ZERO,
+        )
+        .unwrap();
         assert_eq!(reg.get("p").unwrap().version, 2);
         assert_eq!(reg.get("p").unwrap().cid, Cid::for_data(b"b"));
         assert_eq!(reg.total_publishes, 2);
@@ -163,10 +179,24 @@ mod tests {
     fn other_account_cannot_hijack_a_name() {
         let mut reg = PublishRegistry::new(0);
         let mut accounts = Accounts::new();
-        reg.publish(&mut accounts, AccountId(1), "p", Cid::for_data(b"a"), vec![], SimInstant::ZERO)
-            .unwrap();
+        reg.publish(
+            &mut accounts,
+            AccountId(1),
+            "p",
+            Cid::for_data(b"a"),
+            vec![],
+            SimInstant::ZERO,
+        )
+        .unwrap();
         let err = reg
-            .publish(&mut accounts, AccountId(2), "p", Cid::for_data(b"x"), vec![], SimInstant::ZERO)
+            .publish(
+                &mut accounts,
+                AccountId(2),
+                "p",
+                Cid::for_data(b"x"),
+                vec![],
+                SimInstant::ZERO,
+            )
             .unwrap_err();
         assert!(matches!(err, QbError::ContractRevert(_)));
         assert_eq!(reg.get("p").unwrap().creator, AccountId(1));
@@ -177,7 +207,14 @@ mod tests {
         let mut reg = PublishRegistry::new(0);
         let mut accounts = Accounts::new();
         assert!(reg
-            .publish(&mut accounts, AccountId(1), "", Cid::for_data(b"a"), vec![], SimInstant::ZERO)
+            .publish(
+                &mut accounts,
+                AccountId(1),
+                "",
+                Cid::for_data(b"a"),
+                vec![],
+                SimInstant::ZERO
+            )
             .is_err());
     }
 
@@ -186,7 +223,14 @@ mod tests {
         let mut reg = PublishRegistry::new(100);
         let mut accounts = Accounts::new(); // no treasury funds
         let events = reg
-            .publish(&mut accounts, AccountId(3), "p", Cid::for_data(b"a"), vec![], SimInstant::ZERO)
+            .publish(
+                &mut accounts,
+                AccountId(3),
+                "p",
+                Cid::for_data(b"a"),
+                vec![],
+                SimInstant::ZERO,
+            )
             .unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(accounts.balance(AccountId(3)), 0);

@@ -206,12 +206,16 @@ mod tests {
     #[test]
     fn index_claim_pays_once_per_bee() {
         let (mut pool, mut accounts) = setup();
-        pool.claim_index(&mut accounts, AccountId(10), "p", 1).unwrap();
+        pool.claim_index(&mut accounts, AccountId(10), "p", 1)
+            .unwrap();
         assert_eq!(accounts.balance(AccountId(10)), 50);
-        let err = pool.claim_index(&mut accounts, AccountId(10), "p", 1).unwrap_err();
+        let err = pool
+            .claim_index(&mut accounts, AccountId(10), "p", 1)
+            .unwrap_err();
         assert!(matches!(err, QbError::ContractRevert(_)));
         // A different version is a different task.
-        pool.claim_index(&mut accounts, AccountId(10), "p", 2).unwrap();
+        pool.claim_index(&mut accounts, AccountId(10), "p", 2)
+            .unwrap();
         assert_eq!(accounts.balance(AccountId(10)), 100);
     }
 
@@ -219,9 +223,13 @@ mod tests {
     fn index_claims_capped_at_quorum_size() {
         let (mut pool, mut accounts) = setup();
         pool.max_index_claims = 2;
-        pool.claim_index(&mut accounts, AccountId(1), "p", 1).unwrap();
-        pool.claim_index(&mut accounts, AccountId(2), "p", 1).unwrap();
-        let err = pool.claim_index(&mut accounts, AccountId(3), "p", 1).unwrap_err();
+        pool.claim_index(&mut accounts, AccountId(1), "p", 1)
+            .unwrap();
+        pool.claim_index(&mut accounts, AccountId(2), "p", 1)
+            .unwrap();
+        let err = pool
+            .claim_index(&mut accounts, AccountId(3), "p", 1)
+            .unwrap_err();
         assert!(matches!(err, QbError::ContractRevert(_)));
     }
 
@@ -238,7 +246,8 @@ mod tests {
     fn stake_and_slash_round_trip() {
         let (mut pool, mut accounts) = setup();
         accounts.transfer(TREASURY, AccountId(5), 500).unwrap();
-        pool.deposit_stake(&mut accounts, AccountId(5), 300).unwrap();
+        pool.deposit_stake(&mut accounts, AccountId(5), 300)
+            .unwrap();
         assert_eq!(pool.stake_of(AccountId(5)), 300);
         assert_eq!(accounts.balance(AccountId(5)), 200);
         assert_eq!(accounts.balance(STAKE_VAULT), 300);
@@ -275,11 +284,16 @@ mod tests {
     fn treasury_exhaustion_stops_payouts() {
         let mut pool = RewardPool::new(50, 80, 200, 0);
         let mut accounts = Accounts::with_genesis_supply(250);
-        let pages: Vec<(AccountId, String, u64)> =
-            (0..5).map(|i| (AccountId(30 + i), format!("p{i}"), 999_999)).collect();
+        let pages: Vec<(AccountId, String, u64)> = (0..5)
+            .map(|i| (AccountId(30 + i), format!("p{i}"), 999_999))
+            .collect();
         let events = pool.pay_popularity(&mut accounts, &pages).unwrap();
         assert_eq!(events.len(), 1, "only one payout fits in the treasury");
-        assert!(pool.claim_index(&mut accounts, AccountId(40), "p", 1).is_ok());
-        assert!(pool.claim_index(&mut accounts, AccountId(41), "p", 1).is_err());
+        assert!(pool
+            .claim_index(&mut accounts, AccountId(40), "p", 1)
+            .is_ok());
+        assert!(pool
+            .claim_index(&mut accounts, AccountId(41), "p", 1)
+            .is_err());
     }
 }

@@ -11,7 +11,9 @@ use std::fmt;
 /// A 256-bit digest. Used as the content identifier of blocks and pages, as
 /// DHT keys and as node identifiers (all share the same key space, exactly as
 /// in Kademlia-based systems such as IPFS).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Hash256(pub [u8; 32]);
 
 impl Hash256 {
@@ -68,8 +70,8 @@ impl Hash256 {
     /// (the Kademlia metric). Returned as a 32-byte big-endian value.
     pub fn xor(&self, other: &Hash256) -> [u8; 32] {
         let mut out = [0u8; 32];
-        for i in 0..32 {
-            out[i] = self.0[i] ^ other.0[i];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            *o = a ^ b;
         }
         out
     }

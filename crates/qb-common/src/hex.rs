@@ -16,7 +16,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// non-hex characters.
 pub fn decode(s: &str) -> Option<Vec<u8>> {
     let bytes = s.as_bytes();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);

@@ -102,7 +102,7 @@ impl DhtNetwork {
             .map(|n| n.id)
             .filter(|id| net.is_online(id.index))
             .collect();
-        ids.sort_by(|a, b| a.key.xor(key).cmp(&b.key.xor(key)));
+        ids.sort_by_key(|a| a.key.xor(key));
         ids.truncate(count);
         ids
     }
@@ -168,7 +168,7 @@ impl DhtNetwork {
 
         for _round in 0..self.config.max_rounds {
             // Pick the alpha closest not-yet-queried candidates.
-            shortlist.sort_by(|a, b| a.key.xor(&target).cmp(&b.key.xor(&target)));
+            shortlist.sort_by_key(|a| a.key.xor(&target));
             shortlist.dedup_by_key(|c| c.index);
             let batch: Vec<NodeId> = shortlist
                 .iter()
@@ -186,8 +186,12 @@ impl DhtNetwork {
                 queried.insert(candidate.index);
                 messages += 1;
                 let resp_bytes = self.config.contact_bytes * k;
-                let (res, lat) =
-                    net.rpc_or_timeout(from, candidate.index, self.config.request_bytes, resp_bytes);
+                let (res, lat) = net.rpc_or_timeout(
+                    from,
+                    candidate.index,
+                    self.config.request_bytes,
+                    resp_bytes,
+                );
                 round_latencies.push(lat);
                 match res {
                     Ok(()) => {
@@ -233,7 +237,7 @@ impl DhtNetwork {
                     shortlist.push(c);
                 }
             }
-            shortlist.sort_by(|a, b| a.key.xor(&target).cmp(&b.key.xor(&target)));
+            shortlist.sort_by_key(|a| a.key.xor(&target));
             let after_best: Option<[u8; 32]> = shortlist
                 .iter()
                 .filter(|c| !failed.contains(&c.index))
@@ -251,7 +255,7 @@ impl DhtNetwork {
         }
 
         shortlist.retain(|c| !failed.contains(&c.index));
-        shortlist.sort_by(|a, b| a.key.xor(&target).cmp(&b.key.xor(&target)));
+        shortlist.sort_by_key(|a| a.key.xor(&target));
         shortlist.truncate(k);
         (
             LookupOutcome {
@@ -347,7 +351,12 @@ impl DhtNetwork {
     }
 
     /// Announce that `from` can provide the content addressed by `key`.
-    pub fn add_provider(&mut self, net: &mut SimNet, from: u64, key: DhtKey) -> QbResult<PutOutcome> {
+    pub fn add_provider(
+        &mut self,
+        net: &mut SimNet,
+        from: u64,
+        key: DhtKey,
+    ) -> QbResult<PutOutcome> {
         let lookup = self.lookup_nodes(net, from, key.0)?;
         let provider = self.nodes[from as usize].id;
         let mut stored_on = Vec::new();
@@ -355,8 +364,7 @@ impl DhtNetwork {
         let mut messages = lookup.messages;
         for target in lookup.closest.iter().take(self.config.k) {
             messages += 1;
-            let (res, lat) =
-                net.rpc_or_timeout(from, target.index, self.config.request_bytes, 16);
+            let (res, lat) = net.rpc_or_timeout(from, target.index, self.config.request_bytes, 16);
             latencies.push(lat);
             if res.is_ok() {
                 self.nodes[target.index as usize].add_provider(key, provider);
@@ -398,8 +406,7 @@ impl DhtNetwork {
         let mut messages = lookup.messages;
         for target in lookup.closest.iter().take(self.config.k) {
             messages += 1;
-            let (res, lat) =
-                net.rpc_or_timeout(from, target.index, self.config.request_bytes, 256);
+            let (res, lat) = net.rpc_or_timeout(from, target.index, self.config.request_bytes, 256);
             latencies.push(lat);
             if res.is_ok() {
                 for p in self.nodes[target.index as usize].get_providers(&key) {

@@ -81,7 +81,7 @@ impl RoutingTable {
     /// The `count` contacts closest to `target` by XOR distance.
     pub fn closest(&self, target: &Hash256, count: usize) -> Vec<NodeId> {
         let mut all: Vec<NodeId> = self.buckets.iter().flatten().copied().collect();
-        all.sort_by(|a, b| a.key.xor(target).cmp(&b.key.xor(target)));
+        all.sort_by_key(|a| a.key.xor(target));
         all.truncate(count);
         all
     }

@@ -113,9 +113,16 @@ mod tests {
     fn publish_then_fetch_by_name() {
         let (mut net, mut dht, mut storage, mut chain) = setup(24, 1);
         let page = sample_page("site/home");
-        let outcome =
-            publish_page(&mut net, &mut dht, &mut storage, &mut chain, 3, AccountId(100), &page)
-                .unwrap();
+        let outcome = publish_page(
+            &mut net,
+            &mut dht,
+            &mut storage,
+            &mut chain,
+            3,
+            AccountId(100),
+            &page,
+        )
+        .unwrap();
         assert_eq!(outcome.registered_name, "site/home");
         chain.seal_block(SimInstant::ZERO);
         let (fetched, stats) =
@@ -138,13 +145,31 @@ mod tests {
     fn update_changes_registry_cid_and_content() {
         let (mut net, mut dht, mut storage, mut chain) = setup(24, 3);
         let v1 = sample_page("blog/post");
-        publish_page(&mut net, &mut dht, &mut storage, &mut chain, 1, AccountId(7), &v1).unwrap();
+        publish_page(
+            &mut net,
+            &mut dht,
+            &mut storage,
+            &mut chain,
+            1,
+            AccountId(7),
+            &v1,
+        )
+        .unwrap();
         chain.seal_block(SimInstant::ZERO);
         let cid_v1 = chain.publish_registry().get("blog/post").unwrap().cid;
 
         let mut v2 = v1.clone();
         v2.body = "fresh new content that replaces the stale old body".into();
-        publish_page(&mut net, &mut dht, &mut storage, &mut chain, 1, AccountId(7), &v2).unwrap();
+        publish_page(
+            &mut net,
+            &mut dht,
+            &mut storage,
+            &mut chain,
+            1,
+            AccountId(7),
+            &v2,
+        )
+        .unwrap();
         chain.seal_block(SimInstant::ZERO);
         let rec = chain.publish_registry().get("blog/post").unwrap();
         assert_eq!(rec.version, 2);
@@ -162,13 +187,24 @@ mod tests {
     fn tampered_content_is_rejected_not_served() {
         let (mut net, mut dht, mut storage, mut chain) = setup(24, 4);
         let page = sample_page("bank/login");
-        let outcome =
-            publish_page(&mut net, &mut dht, &mut storage, &mut chain, 0, AccountId(1), &page)
-                .unwrap();
+        let outcome = publish_page(
+            &mut net,
+            &mut dht,
+            &mut storage,
+            &mut chain,
+            0,
+            AccountId(1),
+            &page,
+        )
+        .unwrap();
         chain.seal_block(SimInstant::ZERO);
         // Corrupt every pinned replica of the manifest.
         for holder in storage.pinned_holders(&outcome.object.root) {
-            storage.corrupt_pinned(holder, &outcome.object.root, b"<html>phishing</html>".to_vec());
+            storage.corrupt_pinned(
+                holder,
+                &outcome.object.root,
+                b"<html>phishing</html>".to_vec(),
+            );
         }
         let err =
             fetch_page(&mut net, &mut dht, &mut storage, &chain, 12, "bank/login").unwrap_err();

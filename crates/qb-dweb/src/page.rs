@@ -93,11 +93,17 @@ impl WebPage {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn unescape(s: &str) -> String {
-    s.replace("&quot;", "\"").replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+    s.replace("&quot;", "\"")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
 }
 
 fn extract_between(haystack: &str, start: &str, end: &str) -> Option<String> {
@@ -149,7 +155,12 @@ mod tests {
 
     #[test]
     fn escaping_handles_special_characters() {
-        let page = WebPage::new("a&b", "Title with <tags> & \"quotes\"", "body < > & \"", vec!["x&y".into()]);
+        let page = WebPage::new(
+            "a&b",
+            "Title with <tags> & \"quotes\"",
+            "body < > & \"",
+            vec!["x&y".into()],
+        );
         let parsed = WebPage::from_html(&page.render_html()).unwrap();
         assert_eq!(parsed, page);
     }

@@ -93,7 +93,16 @@ impl Analyzer {
                 return s;
             }
         }
-        for (suffix, min_stem) in [("ments", 3), ("ment", 3), ("ness", 3), ("ings", 3), ("ing", 3), ("edly", 3), ("ed", 3), ("ly", 3)] {
+        for (suffix, min_stem) in [
+            ("ments", 3),
+            ("ment", 3),
+            ("ness", 3),
+            ("ings", 3),
+            ("ing", 3),
+            ("edly", 3),
+            ("ed", 3),
+            ("ly", 3),
+        ] {
             if let Some(s) = try_strip(t, suffix, min_stem) {
                 return s;
             }
@@ -212,7 +221,9 @@ mod tests {
     fn unicode_text_does_not_panic_and_lowercases() {
         let a = Analyzer::new();
         let terms = a.analyze("Größe Überraschung café Привет 東京");
-        assert!(terms.iter().any(|t| t.contains("größe") || t.contains("grösse")));
+        assert!(terms
+            .iter()
+            .any(|t| t.contains("größe") || t.contains("grösse")));
         assert!(!terms.is_empty());
     }
 }

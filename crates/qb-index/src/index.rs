@@ -43,7 +43,10 @@ impl InvertedIndex {
             },
         );
         for (term, freq) in term_freqs {
-            self.terms.entry(term.clone()).or_default().upsert(doc_id, *freq);
+            self.terms
+                .entry(term.clone())
+                .or_default()
+                .upsert(doc_id, *freq);
         }
         doc_id
     }
@@ -138,9 +141,27 @@ mod tests {
     fn build_small() -> InvertedIndex {
         let mut idx = InvertedIndex::new();
         let a = analyzer();
-        idx.index_text(&a, "doc/bees", 1, 1, "worker bees maintain the index and earn honey");
-        idx.index_text(&a, "doc/web", 1, 2, "the decentralized web serves content from peers");
-        idx.index_text(&a, "doc/search", 1, 3, "search engines index the web and rank pages");
+        idx.index_text(
+            &a,
+            "doc/bees",
+            1,
+            1,
+            "worker bees maintain the index and earn honey",
+        );
+        idx.index_text(
+            &a,
+            "doc/web",
+            1,
+            2,
+            "the decentralized web serves content from peers",
+        );
+        idx.index_text(
+            &a,
+            "doc/search",
+            1,
+            3,
+            "search engines index the web and rank pages",
+        );
         idx
     }
 
@@ -158,7 +179,13 @@ mod tests {
     fn reindexing_replaces_old_postings() {
         let mut idx = build_small();
         let a = analyzer();
-        idx.index_text(&a, "doc/bees", 2, 1, "completely different content about nectar");
+        idx.index_text(
+            &a,
+            "doc/bees",
+            2,
+            1,
+            "completely different content about nectar",
+        );
         assert_eq!(idx.doc_count(), 3);
         // Old unique term gone, new term present.
         assert_eq!(idx.doc_freq(&Analyzer::stem("honey")), 0);
@@ -186,7 +213,10 @@ mod tests {
         right.index_text(&a, "l/one", 2, 1, "alpha beta updated");
         left.merge_from(&right);
         assert_eq!(left.doc_count(), 2);
-        assert_eq!(left.docs().get(doc_id_for_name("l/one")).unwrap().version, 2);
+        assert_eq!(
+            left.docs().get(doc_id_for_name("l/one")).unwrap().version,
+            2
+        );
         assert_eq!(left.doc_freq("beta"), 2);
     }
 

@@ -173,7 +173,9 @@ impl PostingList {
     pub fn decode(data: &[u8]) -> QbResult<PostingList> {
         let (count, mut pos) = varint::decode_u64(data, 0)?;
         if count > 100_000_000 {
-            return Err(QbError::Codec(format!("unreasonable posting count {count}")));
+            return Err(QbError::Codec(format!(
+                "unreasonable posting count {count}"
+            )));
         }
         let mut postings = Vec::with_capacity(count as usize);
         let mut doc_id = 0u64;
@@ -211,15 +213,31 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn list(ids: &[u64]) -> PostingList {
-        PostingList::from_postings(ids.iter().map(|&d| Posting { doc_id: d, term_freq: 1 }).collect())
+        PostingList::from_postings(
+            ids.iter()
+                .map(|&d| Posting {
+                    doc_id: d,
+                    term_freq: 1,
+                })
+                .collect(),
+        )
     }
 
     #[test]
     fn from_postings_sorts_and_dedups() {
         let l = PostingList::from_postings(vec![
-            Posting { doc_id: 5, term_freq: 2 },
-            Posting { doc_id: 1, term_freq: 1 },
-            Posting { doc_id: 5, term_freq: 7 },
+            Posting {
+                doc_id: 5,
+                term_freq: 2,
+            },
+            Posting {
+                doc_id: 1,
+                term_freq: 1,
+            },
+            Posting {
+                doc_id: 5,
+                term_freq: 7,
+            },
         ]);
         assert_eq!(l.len(), 2);
         assert_eq!(l.postings()[0].doc_id, 1);
@@ -274,14 +292,26 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let l = PostingList::from_postings(vec![
-            Posting { doc_id: 0, term_freq: 1 },
-            Posting { doc_id: 100, term_freq: 3 },
-            Posting { doc_id: 1_000_000_007, term_freq: 2 },
+            Posting {
+                doc_id: 0,
+                term_freq: 1,
+            },
+            Posting {
+                doc_id: 100,
+                term_freq: 3,
+            },
+            Posting {
+                doc_id: 1_000_000_007,
+                term_freq: 2,
+            },
         ]);
         let decoded = PostingList::decode(&l.encode()).unwrap();
         assert_eq!(decoded, l);
         // Empty list round-trips too.
-        assert_eq!(PostingList::decode(&PostingList::new().encode()).unwrap(), PostingList::new());
+        assert_eq!(
+            PostingList::decode(&PostingList::new().encode()).unwrap(),
+            PostingList::new()
+        );
     }
 
     #[test]
@@ -298,7 +328,12 @@ mod tests {
     #[test]
     fn delta_encoding_is_compact_for_dense_lists() {
         let dense = PostingList::from_postings(
-            (0..10_000u64).map(|d| Posting { doc_id: d, term_freq: 1 }).collect(),
+            (0..10_000u64)
+                .map(|d| Posting {
+                    doc_id: d,
+                    term_freq: 1,
+                })
+                .collect(),
         );
         // Two bytes per posting (delta=1, tf=1) plus the count header.
         assert!(dense.encoded_len() < 10_000 * 3);

@@ -141,8 +141,12 @@ pub fn search(
             creator: meta.creator,
         });
     }
-    scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
-        .then_with(|| a.doc_id.cmp(&b.doc_id)));
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.doc_id.cmp(&b.doc_id))
+    });
     scored.truncate(top_k);
     scored
 }
@@ -156,10 +160,34 @@ mod tests {
     fn build() -> (InvertedIndex, Analyzer) {
         let a = Analyzer::new();
         let mut idx = InvertedIndex::new();
-        idx.index_text(&a, "p/honey", 1, 1, "honey honey honey bees and nectar production");
-        idx.index_text(&a, "p/bees", 1, 2, "worker bees maintain the distributed index");
-        idx.index_text(&a, "p/web", 1, 3, "the decentralized web replaces central servers");
-        idx.index_text(&a, "p/search", 1, 4, "search the decentralized web with queenbee honey");
+        idx.index_text(
+            &a,
+            "p/honey",
+            1,
+            1,
+            "honey honey honey bees and nectar production",
+        );
+        idx.index_text(
+            &a,
+            "p/bees",
+            1,
+            2,
+            "worker bees maintain the distributed index",
+        );
+        idx.index_text(
+            &a,
+            "p/web",
+            1,
+            3,
+            "the decentralized web replaces central servers",
+        );
+        idx.index_text(
+            &a,
+            "p/search",
+            1,
+            4,
+            "search the decentralized web with queenbee honey",
+        );
         (idx, a)
     }
 
@@ -220,7 +248,12 @@ mod tests {
     #[test]
     fn top_k_truncates() {
         let (idx, a) = build();
-        let q = Query::parse(&a, "decentralized web honey bees index search", QueryMode::Or).unwrap();
+        let q = Query::parse(
+            &a,
+            "decentralized web honey bees index search",
+            QueryMode::Or,
+        )
+        .unwrap();
         let results = search(&idx, &q, &Bm25::default(), None, 0.0, 2);
         assert_eq!(results.len(), 2);
     }

@@ -64,7 +64,10 @@ impl ShardEntry {
     /// Insert or update a posting (only if the incoming version is >= the
     /// stored one, so stale re-indexing never overwrites fresher data).
     pub fn upsert(&mut self, posting: ShardPosting) {
-        match self.postings.binary_search_by_key(&posting.doc_id, |p| p.doc_id) {
+        match self
+            .postings
+            .binary_search_by_key(&posting.doc_id, |p| p.doc_id)
+        {
             Ok(i) => {
                 if posting.version >= self.postings[i].version {
                     self.postings[i] = posting;
@@ -178,7 +181,8 @@ fn decode_str(data: &[u8], pos: usize) -> QbResult<(String, usize)> {
     let bytes = data
         .get(p..end)
         .ok_or_else(|| QbError::Codec("truncated string".into()))?;
-    let s = String::from_utf8(bytes.to_vec()).map_err(|_| QbError::Codec("invalid utf-8".into()))?;
+    let s =
+        String::from_utf8(bytes.to_vec()).map_err(|_| QbError::Codec("invalid utf-8".into()))?;
     Ok((s, end))
 }
 
@@ -480,7 +484,8 @@ mod tests {
         let mut shard = ShardEntry::empty("nectar");
         shard.version = 1;
         shard.upsert(posting(1, 2, "p/one"));
-        dist.write_shard(&mut net, &mut dht, &mut storage, 3, &shard).unwrap();
+        dist.write_shard(&mut net, &mut dht, &mut storage, 3, &shard)
+            .unwrap();
         let (read, cost) = dist
             .read_shard(&mut net, &mut dht, &mut storage, 11, "nectar")
             .unwrap();
@@ -500,7 +505,8 @@ mod tests {
             shard.upsert(posting(i, 1, &format!("page/number/{i}")));
         }
         assert!(shard.encode().len() > 64);
-        dist.write_shard(&mut net, &mut dht, &mut storage, 0, &shard).unwrap();
+        dist.write_shard(&mut net, &mut dht, &mut storage, 0, &shard)
+            .unwrap();
         let (read, _) = dist
             .read_shard(&mut net, &mut dht, &mut storage, 17, "common")
             .unwrap();
@@ -525,11 +531,13 @@ mod tests {
         let mut v1 = ShardEntry::empty("fresh");
         v1.version = 1;
         v1.upsert(posting(1, 1, "old/page"));
-        dist.write_shard(&mut net, &mut dht, &mut storage, 1, &v1).unwrap();
+        dist.write_shard(&mut net, &mut dht, &mut storage, 1, &v1)
+            .unwrap();
         let mut v2 = v1.clone();
         v2.version = 2;
         v2.upsert(posting(2, 5, "new/page"));
-        dist.write_shard(&mut net, &mut dht, &mut storage, 5, &v2).unwrap();
+        dist.write_shard(&mut net, &mut dht, &mut storage, 5, &v2)
+            .unwrap();
         let (read, _) = dist
             .read_shard(&mut net, &mut dht, &mut storage, 20, "fresh")
             .unwrap();

@@ -60,8 +60,17 @@ impl ScraperAttack {
 
     /// Produce the mirror of a victim page under a scraper-owned name.
     /// `mirror_index` distinguishes multiple mirrors.
-    pub fn mirror_page(&self, victim: &WebPage, mirror_index: usize, rng: &mut qb_common::DetRng) -> WebPage {
-        let mut words: Vec<String> = victim.body.split_whitespace().map(|s| s.to_string()).collect();
+    pub fn mirror_page(
+        &self,
+        victim: &WebPage,
+        mirror_index: usize,
+        rng: &mut qb_common::DetRng,
+    ) -> WebPage {
+        let mut words: Vec<String> = victim
+            .body
+            .split_whitespace()
+            .map(|s| s.to_string())
+            .collect();
         if self.obfuscation > 0.0 && !words.is_empty() {
             let rewrites = ((words.len() as f64) * self.obfuscation) as usize;
             for _ in 0..rewrites {
@@ -94,7 +103,12 @@ mod tests {
 
     #[test]
     fn verbatim_mirror_copies_body_under_new_name() {
-        let victim = WebPage::new("victim/page", "Victim", "original popular content here", vec![]);
+        let victim = WebPage::new(
+            "victim/page",
+            "Victim",
+            "original popular content here",
+            vec![],
+        );
         let attack = ScraperAttack::new(666, 3);
         let mirror = attack.mirror_page(&victim, 0, &mut DetRng::new(1));
         assert_eq!(mirror.body, victim.body);
@@ -107,7 +121,7 @@ mod tests {
         let victim = WebPage::new(
             "victim/page",
             "Victim",
-            &(0..100).map(|i| format!("w{i} ")).collect::<String>(),
+            (0..100).map(|i| format!("w{i} ")).collect::<String>(),
             vec![],
         );
         let mut attack = ScraperAttack::new(666, 1);

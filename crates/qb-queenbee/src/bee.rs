@@ -158,18 +158,25 @@ mod tests {
         let bee = WorkerBee::new(3, AccountId(2_000));
         let deltas = bee.index_page(&analyzer(), "p/a", 1, 7, "honey nectar honey bees");
         assert!(!deltas.is_empty());
-        let honey = deltas.iter().find(|(t, _)| t == &Analyzer::stem("honey")).unwrap();
+        let honey = deltas
+            .iter()
+            .find(|(t, _)| t == &Analyzer::stem("honey"))
+            .unwrap();
         assert_eq!(honey.1.term_freq, 2);
         assert_eq!(honey.1.name, "p/a");
         assert_eq!(honey.1.creator, 7);
-        assert!(deltas.iter().all(|(_, p)| p.doc_id == doc_id_for_name("p/a")));
+        assert!(deltas
+            .iter()
+            .all(|(_, p)| p.doc_id == doc_id_for_name("p/a")));
     }
 
     #[test]
     fn lazy_bee_produces_nothing() {
         let mut bee = WorkerBee::new(3, AccountId(2_000));
         bee.behaviour = BeeBehaviour::Lazy;
-        assert!(bee.index_page(&analyzer(), "p/a", 1, 7, "some text here").is_empty());
+        assert!(bee
+            .index_page(&analyzer(), "p/a", 1, 7, "some text here")
+            .is_empty());
     }
 
     #[test]
@@ -182,7 +189,10 @@ mod tests {
         };
         assert!(bee.is_colluding());
         let deltas = bee.index_page(&analyzer(), "p/a", 1, 7, "honey nectar");
-        let spam: Vec<_> = deltas.iter().filter(|(_, p)| p.name == "evil/spam").collect();
+        let spam: Vec<_> = deltas
+            .iter()
+            .filter(|(_, p)| p.name == "evil/spam")
+            .collect();
         assert!(!spam.is_empty());
         assert!(spam.iter().all(|(_, p)| p.term_freq == 999));
         // Honest postings are still present (the attack hides inside real work).

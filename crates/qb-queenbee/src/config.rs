@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use qb_cache::CacheConfig;
 use qb_chain::ChainConfig;
 use qb_dht::DhtConfig;
 use qb_rank::DecentralizedPageRank;
@@ -38,6 +39,9 @@ pub struct QueenBeeConfig {
     /// Jaccard-similarity threshold above which a publish is rejected as a
     /// mirror of an existing page owned by someone else.
     pub duplicate_threshold: f64,
+    /// Frontend query-serving cache (result/shard/negative tiers). Disabled
+    /// by default so deployments keep the uncached seed behavior.
+    pub cache: CacheConfig,
     /// Stake each bee deposits at registration (slashable).
     pub bee_stake: u64,
     /// Honey slashed from a bee caught submitting manipulated data.
@@ -62,6 +66,7 @@ impl Default for QueenBeeConfig {
             shard_inline_threshold: 2048,
             duplicate_detection: true,
             duplicate_threshold: 0.8,
+            cache: CacheConfig::default(),
             bee_stake: 1_000,
             slash_amount: 500,
             seed: 0xBEE5,
@@ -105,8 +110,11 @@ impl QueenBeeConfig {
             return Err(QbError::Config("rank_weight must be within [0, 1]".into()));
         }
         if !(0.0..=1.0).contains(&self.duplicate_threshold) {
-            return Err(QbError::Config("duplicate_threshold must be within [0, 1]".into()));
+            return Err(QbError::Config(
+                "duplicate_threshold must be within [0, 1]".into(),
+            ));
         }
+        self.cache.validate()?;
         Ok(())
     }
 }
@@ -138,5 +146,12 @@ mod tests {
         let mut c = QueenBeeConfig::small();
         c.num_peers = 0;
         assert!(c.validate().is_err());
+        // An enabled cache with a zero budget is invalid; disabled is fine.
+        let mut c = QueenBeeConfig::small();
+        c.cache = CacheConfig::enabled();
+        c.cache.shard_capacity_bytes = 0;
+        assert!(c.validate().is_err());
+        c.cache.enabled = false;
+        assert!(c.validate().is_ok());
     }
 }

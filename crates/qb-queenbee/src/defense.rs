@@ -78,10 +78,8 @@ pub fn verify_index_submissions(
         .collect();
     let mut flagged = Vec::new();
     for (i, submission) in submissions.iter().enumerate() {
-        let keys: BTreeSet<(String, u64, u32)> = submission
-            .iter()
-            .map(|(t, p)| posting_key(t, p))
-            .collect();
+        let keys: BTreeSet<(String, u64, u32)> =
+            submission.iter().map(|(t, p)| posting_key(t, p)).collect();
         let extraneous = keys.difference(&accepted_keys).next().is_some();
         let missing = accepted_keys.difference(&keys).next().is_some();
         if extraneous || missing {
@@ -167,7 +165,11 @@ mod tests {
 
     #[test]
     fn unanimous_submissions_are_all_accepted() {
-        let subs = vec![honest_submission(), honest_submission(), honest_submission()];
+        let subs = vec![
+            honest_submission(),
+            honest_submission(),
+            honest_submission(),
+        ];
         let out = verify_index_submissions(&subs);
         assert_eq!(out.accepted.len(), 2);
         assert!(out.flagged.is_empty());
@@ -179,7 +181,11 @@ mod tests {
         evil.push(("honey".to_string(), posting("evil/spam", 999)));
         let subs = vec![honest_submission(), evil, honest_submission()];
         let out = verify_index_submissions(&subs);
-        assert_eq!(out.accepted.len(), 2, "the injected posting is not accepted");
+        assert_eq!(
+            out.accepted.len(),
+            2,
+            "the injected posting is not accepted"
+        );
         assert_eq!(out.flagged, vec![1]);
     }
 
@@ -212,8 +218,10 @@ mod tests {
 
     #[test]
     fn minhash_identical_text_is_fully_similar() {
-        let a = MinHashSignature::of_text("the decentralized web needs a decentralized search engine");
-        let b = MinHashSignature::of_text("the decentralized web needs a decentralized search engine");
+        let a =
+            MinHashSignature::of_text("the decentralized web needs a decentralized search engine");
+        let b =
+            MinHashSignature::of_text("the decentralized web needs a decentralized search engine");
         assert_eq!(a.similarity(&b), 1.0);
     }
 
@@ -229,8 +237,11 @@ mod tests {
 
     #[test]
     fn minhash_unrelated_text_is_dissimilar() {
-        let a = MinHashSignature::of_text(&(0..200).map(|i| format!("alpha{} ", i)).collect::<String>());
-        let b = MinHashSignature::of_text(&(0..200).map(|i| format!("beta{} ", i)).collect::<String>());
+        let a = MinHashSignature::of_text(
+            &(0..200).map(|i| format!("alpha{} ", i)).collect::<String>(),
+        );
+        let b =
+            MinHashSignature::of_text(&(0..200).map(|i| format!("beta{} ", i)).collect::<String>());
         assert!(a.similarity(&b) < 0.2, "similarity = {}", a.similarity(&b));
     }
 

@@ -6,18 +6,19 @@ use crate::bee::{BeeBehaviour, WorkerBee};
 use crate::config::QueenBeeConfig;
 use crate::defense::{verify_index_submissions, MinHashSignature};
 use crate::metrics::{FreshnessProbe, HoneyByRole};
+use qb_cache::{result_key, CacheMetrics, QueryCache, ShardLookup};
 use qb_chain::{AccountId, AdId, Blockchain, Call, Event};
 use qb_common::{DhtKey, Hash256, QbError, QbResult, SimDuration};
 use qb_dht::DhtNetwork;
 use qb_dweb::{fetch_page_by_cid, publish_page, WebPage};
 use qb_index::{
-    blend_with_rank, Analyzer, Bm25, DistributedIndex, IndexStats, Scorer, ScoredDoc, ShardEntry,
+    blend_with_rank, Analyzer, Bm25, DistributedIndex, IndexStats, ScoredDoc, Scorer, ShardEntry,
 };
 use qb_rank::{LinkGraph, RankRoundReport};
 use qb_simnet::SimNet;
 use qb_storage::{FetchStats, ObjectRef, StorageNetwork};
 use qb_workload::AdSpec;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Outcome of a publish attempt.
 #[derive(Debug, Clone)]
@@ -47,10 +48,17 @@ pub struct SearchOutcome {
     pub latency: SimDuration,
     /// RPC attempts issued to answer the query.
     pub messages: u64,
-    /// Number of term shards consulted.
+    /// Number of term shards fetched through the DHT (cache hits excluded).
     pub shards_fetched: usize,
     /// Worker bee credited for serving the index (receives the ad share).
     pub served_by_bee: AccountId,
+    /// True when the whole response came from the result cache.
+    pub result_cache_hit: bool,
+    /// Query terms whose shard came from the shard cache.
+    pub shard_cache_hits: usize,
+    /// Query terms answered by the negative cache (proven absent, no DHT
+    /// lookup issued).
+    pub negative_cache_hits: usize,
 }
 
 /// The assembled QueenBee deployment (Figure 1 of the paper).
@@ -74,12 +82,19 @@ pub struct QueenBee {
     /// shard versions monotonic so replicas never reject a newer write.
     shard_versions: HashMap<String, u64>,
     indexed_docs: HashMap<String, (u64, u32)>,
+    /// Terms each indexed document currently appears under, so re-indexing a
+    /// new page version can remove the document from shards of terms it no
+    /// longer contains (otherwise dropped terms would keep serving stale
+    /// versions of the page forever).
+    indexed_terms: HashMap<String, BTreeSet<String>>,
     ranks_by_name: HashMap<String, f64>,
     rank_round: u64,
     signatures: HashMap<String, (u64, MinHashSignature)>,
     known_creators: BTreeSet<AccountId>,
     known_advertisers: BTreeSet<AccountId>,
     query_counter: u64,
+    /// The frontend query-serving cache, when enabled in the configuration.
+    cache: Option<QueryCache>,
     /// Freshness accounting across every search served.
     pub freshness: FreshnessProbe,
 }
@@ -102,7 +117,12 @@ impl QueenBee {
             let peer = (config.num_peers - config.num_bees + i) as u64;
             let account = AccountId(2_000 + i as u64);
             chain.fund_from_treasury(account, config.bee_stake)?;
-            chain.submit_call(account, Call::DepositStake { amount: config.bee_stake });
+            chain.submit_call(
+                account,
+                Call::DepositStake {
+                    amount: config.bee_stake,
+                },
+            );
             bees.push(WorkerBee::new(peer, account));
         }
         chain.seal_block(net.now());
@@ -119,12 +139,17 @@ impl QueenBee {
             index_stats: IndexStats::default(),
             shard_versions: HashMap::new(),
             indexed_docs: HashMap::new(),
+            indexed_terms: HashMap::new(),
             ranks_by_name: HashMap::new(),
             rank_round: 0,
             signatures: HashMap::new(),
             known_creators: BTreeSet::new(),
             known_advertisers: BTreeSet::new(),
             query_counter: 0,
+            cache: config
+                .cache
+                .enabled
+                .then(|| QueryCache::new(config.cache.clone())),
             freshness: FreshnessProbe::default(),
             net,
             dht,
@@ -137,6 +162,17 @@ impl QueenBee {
     /// The configuration the engine was built with.
     pub fn config(&self) -> &QueenBeeConfig {
         &self.config
+    }
+
+    /// Per-tier counters of the query-serving cache, when it is enabled.
+    pub fn cache_metrics(&self) -> Option<CacheMetrics> {
+        self.cache.as_ref().map(|c| c.metrics())
+    }
+
+    /// Entry counts per cache tier `(results, shards, negatives)`, when the
+    /// cache is enabled.
+    pub fn cache_tier_sizes(&self) -> Option<(usize, usize, usize)> {
+        self.cache.as_ref().map(|c| c.tier_sizes())
     }
 
     /// The worker bees.
@@ -281,7 +317,13 @@ impl QueenBee {
             .collect();
         self.event_cursor = self.chain.events().len();
         let mut handled = 0usize;
-        let validator = self.config.chain.validators.first().copied().unwrap_or(qb_chain::TREASURY);
+        let validator = self
+            .config
+            .chain
+            .validators
+            .first()
+            .copied()
+            .unwrap_or(qb_chain::TREASURY);
 
         for event in events {
             let Event::PagePublished {
@@ -298,7 +340,10 @@ impl QueenBee {
             // Assign a quorum of bees, deterministically, rotating per event.
             let quorum = self.config.index_quorum.min(self.bees.len()).max(1);
             let assigned: Vec<usize> = (0..quorum)
-                .map(|j| (handled + self.event_cursor + j * (self.bees.len() / quorum).max(1)) % self.bees.len())
+                .map(|j| {
+                    (handled + self.event_cursor + j * (self.bees.len() / quorum).max(1))
+                        % self.bees.len()
+                })
                 .fold(Vec::new(), |mut acc, b| {
                     if !acc.contains(&b) {
                         acc.push(b);
@@ -359,7 +404,10 @@ impl QueenBee {
                 .map(|(_, &b)| b)
                 .unwrap_or(assigned[0]);
             let writer_peer = self.bees[writer].peer;
-            let mut by_term: HashMap<String, Vec<qb_index::ShardPosting>> = HashMap::new();
+            // Merge in sorted term order: shard writes consume simulated
+            // network randomness, so iteration order must be deterministic
+            // for runs to reproduce bit-for-bit.
+            let mut by_term: BTreeMap<String, Vec<qb_index::ShardPosting>> = BTreeMap::new();
             for (term, posting) in verdict.accepted {
                 by_term.entry(term).or_default().push(posting);
             }
@@ -390,18 +438,62 @@ impl QueenBee {
                     writer_peer,
                     &shard,
                 )?;
+                // Publish-path invalidation: the term's shard just changed,
+                // so cached shards, negative entries and results touching it
+                // must not serve again.
+                if let Some(cache) = self.cache.as_mut() {
+                    cache.invalidate_term(&term);
+                }
+            }
+
+            // Remove the document from shards of terms the new version no
+            // longer contains, so a republished page never leaves ghost
+            // postings serving a stale version under its dropped terms.
+            let term_freqs = self.analyzer.term_frequencies(&text);
+            let new_terms: BTreeSet<String> = term_freqs.iter().map(|(t, _)| t.clone()).collect();
+            let old_terms = self
+                .indexed_terms
+                .insert(name.clone(), new_terms.clone())
+                .unwrap_or_default();
+            let doc_id = qb_index::doc_id_for_name(&name);
+            for term in old_terms.difference(&new_terms) {
+                let (mut shard, _cost) = self.dist_index.read_shard(
+                    &mut self.net,
+                    &mut self.dht,
+                    &mut self.storage,
+                    writer_peer,
+                    term,
+                )?;
+                if !shard.remove(doc_id) {
+                    continue;
+                }
+                let next_version = self
+                    .shard_versions
+                    .get(term)
+                    .copied()
+                    .unwrap_or(0)
+                    .max(shard.version)
+                    + 1;
+                shard.version = next_version;
+                self.shard_versions.insert(term.clone(), next_version);
+                self.dist_index.write_shard(
+                    &mut self.net,
+                    &mut self.dht,
+                    &mut self.storage,
+                    writer_peer,
+                    &shard,
+                )?;
+                if let Some(cache) = self.cache.as_mut() {
+                    cache.invalidate_term(term);
+                }
             }
 
             // Update the collection statistics.
-            let doc_len: u32 = self
-                .analyzer
-                .term_frequencies(&text)
-                .iter()
-                .map(|(_, f)| *f)
-                .sum();
+            let doc_len: u32 = term_freqs.iter().map(|(_, f)| *f).sum();
             match self.indexed_docs.insert(name.clone(), (version, doc_len)) {
                 Some((_, old_len)) => {
-                    self.index_stats.total_len = self.index_stats.total_len - old_len as u64 + doc_len as u64;
+                    self.index_stats.total_len =
+                        self.index_stats.total_len - old_len as u64 + doc_len as u64;
                 }
                 None => {
                     self.index_stats.num_docs += 1;
@@ -464,10 +556,9 @@ impl QueenBee {
             .iter()
             .map(|bee| {
                 let targets: Vec<usize> = match &bee.behaviour {
-                    BeeBehaviour::Colluding { boost_pages, .. } => boost_pages
-                        .iter()
-                        .filter_map(|p| graph.id_of(p))
-                        .collect(),
+                    BeeBehaviour::Colluding { boost_pages, .. } => {
+                        boost_pages.iter().filter_map(|p| graph.id_of(p)).collect()
+                    }
                     _ => Vec::new(),
                 };
                 bee.rank_behaviour(&targets)
@@ -507,7 +598,13 @@ impl QueenBee {
         }
 
         // Slash bees flagged during rank verification, pay the others.
-        let validator = self.config.chain.validators.first().copied().unwrap_or(qb_chain::TREASURY);
+        let validator = self
+            .config
+            .chain
+            .validators
+            .first()
+            .copied()
+            .unwrap_or(qb_chain::TREASURY);
         for (i, bee) in self.bees.iter_mut().enumerate() {
             if report.flagged_bees.contains(&i) {
                 bee.times_flagged += 1;
@@ -549,8 +646,9 @@ impl QueenBee {
     // ----- frontend: search and ads ------------------------------------------------
 
     /// Answer a keyword query from `peer`: fetch the query terms' shards
-    /// through the DHT, intersect the posting lists, score with BM25 blended
-    /// with PageRank, and attach the highest-bidding matching ad.
+    /// through the DHT (or serve them from the query cache when enabled),
+    /// intersect the posting lists, score with BM25 blended with PageRank,
+    /// and attach the highest-bidding matching ad.
     pub fn search(&mut self, peer: u64, query_text: &str) -> QbResult<SearchOutcome> {
         let terms: Vec<String> = {
             let mut seen = Vec::new();
@@ -567,27 +665,98 @@ impl QueenBee {
             )));
         }
         self.query_counter += 1;
+        let now = self.net.now();
+        let hit_latency = self.config.cache.hit_latency;
+
+        // Result-cache probe: a warm normalized query whose term shard
+        // versions are all still current is served locally, with no DHT
+        // traffic at all.
+        let key = result_key(&terms);
+        if let Some(cache) = self.cache.as_mut() {
+            let versions = &self.shard_versions;
+            if let Some(entry) =
+                cache.lookup_result(&key, now, |t| versions.get(t).copied().unwrap_or(0))
+            {
+                let results = entry.results;
+                return Ok(self.finish_search(
+                    query_text,
+                    &terms,
+                    results,
+                    hit_latency,
+                    0,
+                    0,
+                    true,
+                    0,
+                    0,
+                ));
+            }
+        }
 
         let mut messages = 0u64;
-        let (stats, stats_cost) = self
-            .dist_index
-            .read_stats(&mut self.net, &mut self.dht, peer)?;
-        messages += stats_cost.messages;
+        let mut shards_fetched = 0usize;
+        let mut shard_cache_hits = 0usize;
+        let mut negative_cache_hits = 0usize;
+
+        // Global statistics: served from cache while the stats version is
+        // current, refreshed through the DHT otherwise.
+        let stats_version = self.index_stats.version;
+        let (stats, stats_latency) = match self
+            .cache
+            .as_mut()
+            .and_then(|c| c.lookup_stats(stats_version))
+        {
+            Some(cached) => (cached.stats, hit_latency),
+            None => {
+                let (stats, cost) =
+                    self.dist_index
+                        .read_stats(&mut self.net, &mut self.dht, peer)?;
+                messages += cost.messages;
+                if let Some(c) = self.cache.as_mut() {
+                    c.store_stats(stats, stats.version);
+                }
+                (stats, cost.latency)
+            }
+        };
 
         // Fetch the shards (conceptually in parallel: latency is the max).
-        let mut shard_latencies = vec![stats_cost.latency];
+        // Each term goes through the shard/negative tiers first; only
+        // genuine misses touch the DHT.
+        let mut shard_latencies = vec![stats_latency];
         let mut shards: Vec<ShardEntry> = Vec::with_capacity(terms.len());
         for term in &terms {
-            let (shard, cost) = self.dist_index.read_shard(
-                &mut self.net,
-                &mut self.dht,
-                &mut self.storage,
-                peer,
-                term,
-            )?;
-            messages += cost.messages;
-            shard_latencies.push(cost.latency);
-            shards.push(shard);
+            let current_version = self.shard_versions.get(term).copied().unwrap_or(0);
+            let lookup = match self.cache.as_mut() {
+                Some(c) => c.lookup_shard(term, now, current_version),
+                None => ShardLookup::Miss,
+            };
+            match lookup {
+                ShardLookup::Hit(shard) => {
+                    shard_cache_hits += 1;
+                    shard_latencies.push(hit_latency);
+                    shards.push(shard);
+                }
+                ShardLookup::Negative => {
+                    negative_cache_hits += 1;
+                    shard_latencies.push(hit_latency);
+                    shards.push(ShardEntry::empty(term));
+                }
+                ShardLookup::Miss => {
+                    let (shard, cost) = self.dist_index.read_shard(
+                        &mut self.net,
+                        &mut self.dht,
+                        &mut self.storage,
+                        peer,
+                        term,
+                    )?;
+                    messages += cost.messages;
+                    shard_latencies.push(cost.latency);
+                    shards_fetched += 1;
+                    if let Some(c) = self.cache.as_mut() {
+                        c.store_shard(&shard, now);
+                    }
+                    shards.push(shard);
+                }
+            }
         }
         let latency = qb_simnet::parallel_latency(&shard_latencies);
 
@@ -596,10 +765,7 @@ impl QueenBee {
         let mut lists: Vec<qb_index::PostingList> =
             shards.iter().map(|s| s.to_posting_list()).collect();
         lists.sort_by_key(|l| l.len());
-        let mut candidates = lists
-            .first()
-            .cloned()
-            .unwrap_or_default();
+        let mut candidates = lists.first().cloned().unwrap_or_default();
         for l in lists.iter().skip(1) {
             candidates = candidates.intersect(l);
         }
@@ -620,7 +786,8 @@ impl QueenBee {
             let mut meta: Option<&qb_index::ShardPosting> = None;
             for shard in &shards {
                 if let Some(p) = shard.get(posting.doc_id) {
-                    relevance += scorer.score(p.term_freq, p.doc_len, avg_len, shard.doc_freq(), num_docs);
+                    relevance +=
+                        scorer.score(p.term_freq, p.doc_len, avg_len, shard.doc_freq(), num_docs);
                     meta = Some(p);
                 }
             }
@@ -643,6 +810,45 @@ impl QueenBee {
         });
         results.truncate(self.config.top_k);
 
+        // Remember the response, tagged with the shard version of every
+        // query term, so the entry can never outlive a republish.
+        if let Some(c) = self.cache.as_mut() {
+            let term_versions: Vec<(String, u64)> = terms
+                .iter()
+                .map(|t| (t.clone(), self.shard_versions.get(t).copied().unwrap_or(0)))
+                .collect();
+            c.store_result(&key, results.clone(), term_versions, now);
+        }
+
+        Ok(self.finish_search(
+            query_text,
+            &terms,
+            results,
+            latency,
+            messages,
+            shards_fetched,
+            false,
+            shard_cache_hits,
+            negative_cache_hits,
+        ))
+    }
+
+    /// Shared tail of every search: freshness accounting, ad selection (the
+    /// ad market lives on-chain and is always consulted live, so a cached
+    /// response can never show an expired campaign) and outcome assembly.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_search(
+        &mut self,
+        query_text: &str,
+        terms: &[String],
+        results: Vec<ScoredDoc>,
+        latency: SimDuration,
+        messages: u64,
+        shards_fetched: usize,
+        result_cache_hit: bool,
+        shard_cache_hits: usize,
+        negative_cache_hits: usize,
+    ) -> SearchOutcome {
         // Freshness accounting against the registry's current versions.
         for r in &results {
             if let Some(rec) = self.chain.publish_registry().get(&r.name) {
@@ -652,22 +858,25 @@ impl QueenBee {
 
         // Ad selection: highest-bidding active campaign matching any query term.
         let mut ad = None;
-        for term in &terms {
+        for term in terms {
             if let Some(campaign) = self.chain.ad_market().match_keyword(term).first() {
                 ad = Some(campaign.id);
                 break;
             }
         }
         let served_by_bee = self.bees[(self.query_counter as usize) % self.bees.len()].account;
-        Ok(SearchOutcome {
+        SearchOutcome {
             query: query_text.to_string(),
             results,
             ad,
             latency,
             messages,
-            shards_fetched: shards.len(),
+            shards_fetched,
             served_by_bee,
-        })
+            result_cache_hit,
+            shard_cache_hits,
+            negative_cache_hits,
+        }
     }
 
     /// Register an advertiser campaign on-chain (funding the advertiser's
@@ -734,10 +943,26 @@ mod tests {
     fn publish_index_search_round_trip() {
         let mut qb = engine();
         let creator = AccountId(1_000);
-        qb.publish(1, creator, &page("wiki/dweb", "the decentralized web is served by peer devices", vec![]))
-            .unwrap();
-        qb.publish(2, AccountId(1_001), &page("wiki/bees", "worker bees earn honey for indexing pages", vec!["wiki/dweb".into()]))
-            .unwrap();
+        qb.publish(
+            1,
+            creator,
+            &page(
+                "wiki/dweb",
+                "the decentralized web is served by peer devices",
+                vec![],
+            ),
+        )
+        .unwrap();
+        qb.publish(
+            2,
+            AccountId(1_001),
+            &page(
+                "wiki/bees",
+                "worker bees earn honey for indexing pages",
+                vec!["wiki/dweb".into()],
+            ),
+        )
+        .unwrap();
         qb.seal();
         let handled = qb.process_publish_events().unwrap();
         assert_eq!(handled, 2);
@@ -757,13 +982,25 @@ mod tests {
     fn updates_are_searchable_immediately_after_processing() {
         let mut qb = engine();
         let creator = AccountId(1_000);
-        qb.publish(1, creator, &page("news/today", "old stale headline about yesterday", vec![]))
-            .unwrap();
+        qb.publish(
+            1,
+            creator,
+            &page("news/today", "old stale headline about yesterday", vec![]),
+        )
+        .unwrap();
         qb.seal();
         qb.process_publish_events().unwrap();
         // Update the page with a brand-new term.
-        qb.publish(1, creator, &page("news/today", "breaking exclusive zebrastampede coverage", vec![]))
-            .unwrap();
+        qb.publish(
+            1,
+            creator,
+            &page(
+                "news/today",
+                "breaking exclusive zebrastampede coverage",
+                vec![],
+            ),
+        )
+        .unwrap();
         qb.seal();
         qb.process_publish_events().unwrap();
         let out = qb.search(3, "zebrastampede").unwrap();
@@ -783,16 +1020,24 @@ mod tests {
         let mut qb = engine();
         let victim = page(
             "blog/popular",
-            &(0..150).map(|i| format!("organicword{} ", i % 40)).collect::<String>(),
+            &(0..150)
+                .map(|i| format!("organicword{} ", i % 40))
+                .collect::<String>(),
             vec![],
         );
         qb.publish(1, AccountId(1_000), &victim).unwrap();
         qb.seal();
         let attack = ScraperAttack::new(6_666, 1);
-        let reports = qb.run_scraper_attack(&attack, &[victim.clone()]).unwrap();
+        let reports = qb
+            .run_scraper_attack(&attack, std::slice::from_ref(&victim))
+            .unwrap();
         assert_eq!(reports.len(), 1);
         assert!(!reports[0].accepted);
-        assert!(reports[0].reject_reason.as_ref().unwrap().contains("near-duplicate"));
+        assert!(reports[0]
+            .reject_reason
+            .as_ref()
+            .unwrap()
+            .contains("near-duplicate"));
         // Without the defense the mirror is accepted.
         let mut cfg = QueenBeeConfig::small();
         cfg.duplicate_detection = false;
@@ -809,15 +1054,26 @@ mod tests {
         let attack = CollusionAttack::new(0.25, vec!["evil/spam".into()]);
         qb.apply_collusion(&attack);
         assert_eq!(qb.bees().iter().filter(|b| b.is_colluding()).count(), 1);
-        qb.publish(1, AccountId(1_000), &page("wiki/honest", "legitimate honest content about honeybees", vec![]))
-            .unwrap();
+        qb.publish(
+            1,
+            AccountId(1_000),
+            &page(
+                "wiki/honest",
+                "legitimate honest content about honeybees",
+                vec![],
+            ),
+        )
+        .unwrap();
         qb.seal();
         qb.process_publish_events().unwrap();
         let out = qb.search(2, "honeybees").unwrap();
         assert!(out.results.iter().all(|r| r.name != "evil/spam"));
         // At least one verification quorum caught a colluder (if one was assigned).
         let flagged: u64 = qb.bees().iter().map(|b| b.times_flagged).sum();
-        let colluder_assigned = qb.bees().iter().any(|b| b.is_colluding() && b.pages_indexed + b.times_flagged > 0);
+        let colluder_assigned = qb
+            .bees()
+            .iter()
+            .any(|b| b.is_colluding() && b.pages_indexed + b.times_flagged > 0);
         if colluder_assigned {
             assert!(flagged > 0);
         }
@@ -831,12 +1087,20 @@ mod tests {
             qb.publish(
                 1,
                 AccountId(1_000 + i),
-                &page(&format!("site/{i}"), "spoke page content words", vec!["site/hub".into()]),
+                &page(
+                    &format!("site/{i}"),
+                    "spoke page content words",
+                    vec!["site/hub".into()],
+                ),
             )
             .unwrap();
         }
-        qb.publish(2, AccountId(1_100), &page("site/hub", "hub page everyone links here", vec![]))
-            .unwrap();
+        qb.publish(
+            2,
+            AccountId(1_100),
+            &page("site/hub", "hub page everyone links here", vec![]),
+        )
+        .unwrap();
         qb.seal();
         qb.process_publish_events().unwrap();
         let report = qb.run_rank_round().unwrap();
@@ -849,11 +1113,165 @@ mod tests {
         assert!(qb.chain.balance(AccountId(1_100)) > qb.config().chain.publish_reward);
     }
 
+    fn cached_engine() -> QueenBee {
+        let mut config = QueenBeeConfig::small();
+        config.cache = qb_cache::CacheConfig::enabled();
+        QueenBee::new(config).unwrap()
+    }
+
+    #[test]
+    fn warm_repeated_query_issues_no_rpc_messages() {
+        let mut qb = cached_engine();
+        qb.publish(
+            1,
+            AccountId(1_000),
+            &page("wiki/dweb", "peers serve the decentralized web", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+
+        let cold = qb.search(5, "decentralized peers").unwrap();
+        assert!(!cold.result_cache_hit);
+        assert!(cold.messages > 0);
+        assert!(cold.shards_fetched > 0);
+
+        let warm = qb.search(5, "decentralized peers").unwrap();
+        assert!(warm.result_cache_hit);
+        assert_eq!(warm.messages, 0, "warm query must not touch the DHT");
+        assert_eq!(warm.shards_fetched, 0);
+        assert!(warm.latency < cold.latency);
+        assert_eq!(warm.results, cold.results);
+
+        // Term order must not defeat the result cache.
+        let reordered = qb.search(5, "peers decentralized").unwrap();
+        assert!(reordered.result_cache_hit);
+
+        let m = qb.cache_metrics().expect("cache enabled");
+        assert_eq!(m.result.hits, 2);
+        assert!(m.result.misses >= 1);
+    }
+
+    #[test]
+    fn shard_cache_serves_overlapping_queries() {
+        let mut qb = cached_engine();
+        qb.publish(
+            1,
+            AccountId(1_000),
+            &page("wiki/honey", "honey and nectar from bees", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+
+        let first = qb.search(3, "honey nectar").unwrap();
+        assert_eq!(first.shard_cache_hits, 0);
+        // A different query sharing a term reuses that term's cached shard.
+        let second = qb.search(3, "honey bees").unwrap();
+        assert!(!second.result_cache_hit);
+        assert!(second.shard_cache_hits >= 1);
+        assert!(second.messages < first.messages);
+    }
+
+    #[test]
+    fn republish_invalidates_cached_results_immediately() {
+        let mut qb = cached_engine();
+        let creator = AccountId(1_000);
+        qb.publish(
+            1,
+            creator,
+            &page("news/today", "headline about honeybadgers", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+
+        // Warm the cache on the old version.
+        let v1 = qb.search(4, "honeybadgers").unwrap();
+        assert_eq!(v1.results[0].version, 1);
+        assert!(qb.search(4, "honeybadgers").unwrap().result_cache_hit);
+
+        // Republish: same term, new version. Indexing must purge the entry.
+        qb.publish(
+            1,
+            creator,
+            &page("news/today", "fresh honeybadgers exclusive", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+
+        let after = qb.search(4, "honeybadgers").unwrap();
+        assert!(!after.result_cache_hit, "stale entry must not serve");
+        assert_eq!(after.results[0].version, 2);
+        assert_eq!(qb.freshness.stale_results, 0, "no stale result ever served");
+        let m = qb.cache_metrics().unwrap();
+        assert!(m.total_invalidations() > 0);
+    }
+
+    #[test]
+    fn negative_cache_suppresses_repeat_lookups_for_absent_terms() {
+        let mut qb = cached_engine();
+        qb.publish(
+            1,
+            AccountId(1_000),
+            &page("wiki/a", "ordinary page body", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+
+        let cold = qb.search(2, "nonexistentterm").unwrap();
+        assert!(cold.results.is_empty());
+        assert!(cold.messages > 0);
+        // The result cache would satisfy the identical query; a *different*
+        // query sharing the absent term exercises the negative tier.
+        let warm = qb.search(2, "nonexistentterm ordinary").unwrap();
+        assert_eq!(warm.negative_cache_hits, 1);
+        // Once the term is published, the negative entry dies.
+        qb.publish(
+            1,
+            AccountId(1_000),
+            &page("wiki/b", "nonexistentterm appears now", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let found = qb.search(2, "nonexistentterm").unwrap();
+        assert_eq!(found.negative_cache_hits, 0);
+        assert_eq!(found.results.len(), 1);
+    }
+
+    #[test]
+    fn cache_disabled_preserves_seed_behavior() {
+        let mut qb = engine();
+        qb.publish(
+            1,
+            AccountId(1_000),
+            &page("wiki/x", "plain page about caching", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        assert!(qb.cache_metrics().is_none());
+        let a = qb.search(5, "caching").unwrap();
+        let b = qb.search(5, "caching").unwrap();
+        assert!(!a.result_cache_hit && !b.result_cache_hit);
+        assert_eq!(
+            a.messages, b.messages,
+            "no warm-up effect without the cache"
+        );
+    }
+
     #[test]
     fn ad_click_splits_revenue() {
         let mut qb = engine();
-        qb.publish(1, AccountId(1_000), &page("shop/rust", "buy rusty decentralized widgets", vec![]))
-            .unwrap();
+        qb.publish(
+            1,
+            AccountId(1_000),
+            &page("shop/rust", "buy rusty decentralized widgets", vec![]),
+        )
+        .unwrap();
         qb.seal();
         qb.process_publish_events().unwrap();
         let spec = AdSpec {

@@ -35,4 +35,7 @@ pub use bee::{BeeBehaviour, WorkerBee};
 pub use config::QueenBeeConfig;
 pub use defense::{verify_index_submissions, MinHashSignature, VerificationOutcome};
 pub use engine::{PublishReport, QueenBee, SearchOutcome};
-pub use metrics::{gini_coefficient, FreshnessProbe, HoneyByRole};
+pub use metrics::{
+    gini_coefficient, CacheMetrics, CacheReport, FreshnessProbe, HoneyByRole, TierMetrics,
+};
+pub use qb_cache::{CacheConfig, EvictionPolicy};

@@ -1,8 +1,47 @@
 //! Metrics used across the experiment suite: freshness, honey distribution
-//! and inequality (Gini).
+//! and inequality (Gini), plus the query-serving cache counters.
 
 use qb_chain::{AccountId, Blockchain};
 use std::collections::HashMap;
+use std::fmt;
+
+pub use qb_cache::{CacheMetrics, TierMetrics};
+
+/// Human-readable view over the per-tier cache counters, for experiment
+/// tables and example output. Wraps the snapshot returned by
+/// [`crate::QueenBee::cache_metrics`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheReport(pub CacheMetrics);
+
+impl CacheReport {
+    /// `(tier name, counters)` rows in a fixed order.
+    pub fn rows(&self) -> [(&'static str, TierMetrics); 3] {
+        [
+            ("result", self.0.result),
+            ("shard", self.0.shard),
+            ("negative", self.0.negative),
+        ]
+    }
+}
+
+impl fmt::Display for CacheReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, t) in self.rows() {
+            writeln!(
+                f,
+                "{name:>8} tier: {:>5} hits / {:>5} lookups ({:5.1}% hit rate), {} insertions, {} evictions, {} expirations, {} invalidations",
+                t.hits,
+                t.lookups(),
+                100.0 * t.hit_rate(),
+                t.insertions,
+                t.evictions,
+                t.expirations,
+                t.invalidations,
+            )?;
+        }
+        Ok(())
+    }
+}
 
 /// Measures how fresh search results are relative to the registry's current
 /// page versions — the quantity behind the paper's "crawling inevitably

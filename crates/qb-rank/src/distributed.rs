@@ -100,12 +100,12 @@ impl DecentralizedPageRank {
             }
             _ => {
                 // Honest computation (Inflate applies its distortion after).
-                for u in 0..n {
+                for (u, &p) in prev.iter().enumerate().take(n) {
                     let out = graph.out_links(u);
                     if out.is_empty() {
                         continue;
                     }
-                    let share = prev[u] / out.len() as f64;
+                    let share = p / out.len() as f64;
                     for &v in out {
                         if range.contains(&v) {
                             values[v - range.start] += share;
@@ -203,7 +203,11 @@ impl DecentralizedPageRank {
         }
 
         let reference = crate::pagerank::pagerank(graph, &self.pagerank);
-        let l1: f64 = reference.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
+        let l1: f64 = reference
+            .iter()
+            .zip(&rank)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         RankRoundReport {
             ranks: rank,
             rounds,

@@ -38,12 +38,12 @@ pub fn pagerank(graph: &LinkGraph, config: &PageRankConfig) -> Vec<f64> {
     for _ in 0..config.max_iterations {
         next.iter_mut().for_each(|x| *x = 0.0);
         let mut dangling_mass = 0.0;
-        for u in 0..n {
+        for (u, &r) in rank.iter().enumerate() {
             let out = graph.out_links(u);
             if out.is_empty() {
-                dangling_mass += rank[u];
+                dangling_mass += r;
             } else {
-                let share = rank[u] / out.len() as f64;
+                let share = r / out.len() as f64;
                 for &v in out {
                     next[v] += share;
                 }
@@ -76,7 +76,11 @@ pub fn pagerank_by_name(graph: &LinkGraph, config: &PageRankConfig) -> HashMap<S
 /// The `k` highest-ranked node ids, best first.
 pub fn top_k(rank: &[f64], k: usize) -> Vec<usize> {
     let mut ids: Vec<usize> = (0..rank.len()).collect();
-    ids.sort_by(|&a, &b| rank[b].partial_cmp(&rank[a]).unwrap_or(std::cmp::Ordering::Equal));
+    ids.sort_by(|&a, &b| {
+        rank[b]
+            .partial_cmp(&rank[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     ids.truncate(k);
     ids
 }
@@ -163,7 +167,11 @@ mod tests {
             },
         );
         let default = pagerank(&g, &PageRankConfig::default());
-        let l1: f64 = precise.iter().zip(&default).map(|(a, b)| (a - b).abs()).sum();
+        let l1: f64 = precise
+            .iter()
+            .zip(&default)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(l1 < 1e-6, "l1={l1}");
     }
 
@@ -186,7 +194,7 @@ mod tests {
             let r = pagerank(&g, &PageRankConfig::default());
             let sum: f64 = r.iter().sum();
             prop_assert!((sum - 1.0).abs() < 1e-6);
-            prop_assert!(r.iter().all(|&x| x >= 0.0 && x <= 1.0));
+            prop_assert!(r.iter().all(|&x| (0.0..=1.0).contains(&x)));
         }
     }
 }

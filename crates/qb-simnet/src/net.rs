@@ -300,12 +300,7 @@ impl SimNet {
     }
 
     /// One-way message (gossip, notifications). Returns the one-way latency.
-    pub fn send(
-        &mut self,
-        from: u64,
-        to: u64,
-        bytes: usize,
-    ) -> Result<SimDuration, RpcError> {
+    pub fn send(&mut self, from: u64, to: u64, bytes: usize) -> Result<SimDuration, RpcError> {
         if !self.is_online(from) {
             return Err(RpcError::SelfOffline);
         }
@@ -321,10 +316,7 @@ impl SimNet {
             self.stats.dropped_messages += 1;
             return Err(RpcError::Dropped);
         }
-        let (za, zb) = (
-            self.peers[from as usize].zone,
-            self.peers[to as usize].zone,
-        );
+        let (za, zb) = (self.peers[from as usize].zone, self.peers[to as usize].zone);
         let lat = self.config.latency.sample(&mut self.rng, za, zb) + self.transfer_time(bytes);
         self.stats.messages += 1;
         self.stats.bytes += bytes as u64;
@@ -336,8 +328,8 @@ impl SimNet {
         if bytes == 0 || self.config.bandwidth_bytes_per_sec == 0 {
             return SimDuration::ZERO;
         }
-        let micros = (bytes as u128 * 1_000_000u128
-            / self.config.bandwidth_bytes_per_sec as u128) as u64;
+        let micros =
+            (bytes as u128 * 1_000_000u128 / self.config.bandwidth_bytes_per_sec as u128) as u64;
         SimDuration::from_micros(micros)
     }
 }

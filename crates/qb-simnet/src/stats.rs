@@ -25,7 +25,9 @@ impl NetStats {
             bytes: self.bytes.saturating_sub(earlier.bytes),
             rpcs: self.rpcs.saturating_sub(earlier.rpcs),
             failed_rpcs: self.failed_rpcs.saturating_sub(earlier.failed_rpcs),
-            dropped_messages: self.dropped_messages.saturating_sub(earlier.dropped_messages),
+            dropped_messages: self
+                .dropped_messages
+                .saturating_sub(earlier.dropped_messages),
         }
     }
 }
@@ -103,8 +105,7 @@ impl LatencyRecorder {
 
     /// Merge another recorder's samples into this one.
     pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.samples_micros
-            .extend_from_slice(&other.samples_micros);
+        self.samples_micros.extend_from_slice(&other.samples_micros);
     }
 }
 

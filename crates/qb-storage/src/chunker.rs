@@ -78,7 +78,11 @@ pub fn chunk_content_defined(data: &[u8], config: &ChunkerConfig) -> Vec<Vec<u8>
     // Boundary when the top bits of the hash are zero; mask size derived from
     // the target chunk size (power of two).
     let bits = (target as f64).log2().round() as u32;
-    let mask: u64 = if bits >= 63 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask: u64 = if bits >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let table = gear_table();
 
     let mut chunks = Vec::new();
@@ -175,10 +179,16 @@ mod tests {
     fn fixed_chunking_shares_nothing_after_insert() {
         // Contrast case motivating content-defined chunking.
         let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
-        let original: Vec<Cid> = chunk_fixed(&data, 4096).iter().map(|c| Cid::for_data(c)).collect();
+        let original: Vec<Cid> = chunk_fixed(&data, 4096)
+            .iter()
+            .map(|c| Cid::for_data(c))
+            .collect();
         let mut edited = data.clone();
         edited.insert(0, 0xAA);
-        let new_cids: Vec<Cid> = chunk_fixed(&edited, 4096).iter().map(|c| Cid::for_data(c)).collect();
+        let new_cids: Vec<Cid> = chunk_fixed(&edited, 4096)
+            .iter()
+            .map(|c| Cid::for_data(c))
+            .collect();
         let original_set: std::collections::HashSet<_> = original.iter().collect();
         let shared = new_cids.iter().filter(|c| original_set.contains(c)).count();
         assert!(shared <= 1);

@@ -90,7 +90,9 @@ impl StorageNetwork {
     pub fn new(n: usize, config: StorageConfig) -> StorageNetwork {
         StorageNetwork {
             pinned: (0..n).map(|_| MemoryBlockStore::new()).collect(),
-            caches: (0..n).map(|_| LruBlockStore::new(config.cache_bytes)).collect(),
+            caches: (0..n)
+                .map(|_| LruBlockStore::new(config.cache_bytes))
+                .collect(),
             config,
         }
     }
@@ -364,6 +366,40 @@ impl StorageNetwork {
             .filter(|&p| self.pinned[p as usize].has(cid))
             .collect()
     }
+
+    /// Peers that hold a cached (non-pinned) copy of the given block. Peers
+    /// that fetched an object serve it from their caches afterwards, so a
+    /// complete tamper experiment must corrupt these copies too.
+    pub fn cached_holders(&self, cid: &Cid) -> Vec<u64> {
+        (0..self.caches.len() as u64)
+            .filter(|&p| self.caches[p as usize].has(cid))
+            .collect()
+    }
+
+    /// Corrupt the cached copy of a block on a specific peer. Returns true if
+    /// the peer had the block cached.
+    pub fn corrupt_cached(&mut self, peer: u64, cid: &Cid, evil: Vec<u8>) -> bool {
+        self.caches[peer as usize].corrupt(cid, evil)
+    }
+
+    /// Corrupt every copy of a block anywhere in the network — pinned
+    /// replicas and peer caches alike. Returns the number of copies
+    /// corrupted. This is the strongest tamper-injection an attacker
+    /// controlling every holder could mount.
+    pub fn corrupt_all_copies(&mut self, cid: &Cid, evil: &[u8]) -> usize {
+        let mut corrupted = 0;
+        for p in self.pinned_holders(cid) {
+            if self.corrupt_pinned(p, cid, evil.to_vec()) {
+                corrupted += 1;
+            }
+        }
+        for p in self.cached_holders(cid) {
+            if self.corrupt_cached(p, cid, evil.to_vec()) {
+                corrupted += 1;
+            }
+        }
+        corrupted
+    }
 }
 
 #[cfg(test)]
@@ -391,7 +427,9 @@ mod tests {
         assert_eq!(obj.total_len, 5000);
         assert!(obj.chunk_count >= 1);
         assert!(put_stats.messages > 0);
-        let (fetched, stats) = storage.get_object(&mut net, &mut dht, 17, obj.root).unwrap();
+        let (fetched, stats) = storage
+            .get_object(&mut net, &mut dht, 17, obj.root)
+            .unwrap();
         assert_eq!(fetched, data);
         assert!(!stats.from_local);
         assert!(stats.bytes > 0);
@@ -422,7 +460,9 @@ mod tests {
         for holder in storage.pinned_holders(&obj.root) {
             net.set_online(holder, false);
         }
-        let (fetched, _) = storage.get_object(&mut net, &mut dht, 20, obj.root).unwrap();
+        let (fetched, _) = storage
+            .get_object(&mut net, &mut dht, 20, obj.root)
+            .unwrap();
         assert_eq!(fetched, data);
     }
 
@@ -434,7 +474,9 @@ mod tests {
         let holders = storage.pinned_holders(&obj.root);
         assert!(holders.len() >= 2, "expected replication, got {holders:?}");
         net.set_online(2, false);
-        let (fetched, _) = storage.get_object(&mut net, &mut dht, 25, obj.root).unwrap();
+        let (fetched, _) = storage
+            .get_object(&mut net, &mut dht, 25, obj.root)
+            .unwrap();
         assert_eq!(fetched, data);
     }
 
@@ -458,7 +500,9 @@ mod tests {
         assert!(storage.corrupt_pinned(victim, &obj.root, b"evil manifest".to_vec()));
         // Fetch still succeeds (another provider has an honest copy) and the
         // corruption is either avoided or detected, never silently accepted.
-        let (fetched, stats) = storage.get_object(&mut net, &mut dht, 21, obj.root).unwrap();
+        let (fetched, stats) = storage
+            .get_object(&mut net, &mut dht, 21, obj.root)
+            .unwrap();
         assert_eq!(fetched, data);
         let _ = stats;
     }
@@ -471,7 +515,9 @@ mod tests {
         for holder in storage.pinned_holders(&obj.root) {
             storage.corrupt_pinned(holder, &obj.root, b"evil".to_vec());
         }
-        let err = storage.get_object(&mut net, &mut dht, 10, obj.root).unwrap_err();
+        let err = storage
+            .get_object(&mut net, &mut dht, 10, obj.root)
+            .unwrap_err();
         assert!(matches!(err, QbError::IntegrityViolation { .. }));
     }
 

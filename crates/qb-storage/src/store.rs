@@ -121,6 +121,20 @@ impl LruBlockStore {
         self.capacity_bytes
     }
 
+    /// Replace a cached block's bytes in place, keeping the claimed cid
+    /// (tamper-injection experiments). Returns true if the cid was cached.
+    pub fn corrupt(&mut self, cid: &Cid, new_data: Vec<u8>) -> bool {
+        match self.blocks.get_mut(cid) {
+            Some(slot) => {
+                let replacement = Block::new_unchecked(*cid, new_data);
+                self.bytes = self.bytes - slot.len() + replacement.len();
+                *slot = replacement;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Get and record hit/miss statistics, refreshing recency on hit.
     pub fn get_touch(&mut self, cid: &Cid) -> Option<Block> {
         if let Some(b) = self.blocks.get(cid).cloned() {

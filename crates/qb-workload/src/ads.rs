@@ -37,7 +37,7 @@ impl AdvertiserWorkload {
             num_advertisers,
             advertiser_account_base: 5_000,
             click_through_rate: 0.15,
-            keyword_dist: ZipfSampler::new(corpus.vocabulary.len().min(200).max(1), 1.0),
+            keyword_dist: ZipfSampler::new(corpus.vocabulary.len().clamp(1, 200), 1.0),
         }
     }
 
@@ -114,6 +114,9 @@ mod tests {
     fn generation_is_deterministic() {
         let c = corpus();
         let w = AdvertiserWorkload::new(&c, 5);
-        assert_eq!(w.generate(&c, &mut DetRng::new(7)), w.generate(&c, &mut DetRng::new(7)));
+        assert_eq!(
+            w.generate(&c, &mut DetRng::new(7)),
+            w.generate(&c, &mut DetRng::new(7))
+        );
     }
 }

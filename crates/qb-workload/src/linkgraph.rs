@@ -8,7 +8,11 @@ use qb_common::DetRng;
 /// links to roughly `avg_out_links` earlier pages chosen with probability
 /// proportional to their current in-degree plus one (preferential
 /// attachment), so early pages accumulate large in-degrees.
-pub fn generate_links(names: &[String], avg_out_links: usize, rng: &mut DetRng) -> Vec<Vec<String>> {
+pub fn generate_links(
+    names: &[String],
+    avg_out_links: usize,
+    rng: &mut DetRng,
+) -> Vec<Vec<String>> {
     let n = names.len();
     let mut out: Vec<Vec<String>> = vec![Vec::new(); n];
     if n <= 1 || avg_out_links == 0 {
@@ -95,7 +99,10 @@ mod tests {
     fn degenerate_inputs() {
         let mut rng = DetRng::new(3);
         assert!(generate_links(&[], 3, &mut rng).is_empty());
-        assert_eq!(generate_links(&names(1), 3, &mut rng), vec![Vec::<String>::new()]);
+        assert_eq!(
+            generate_links(&names(1), 3, &mut rng),
+            vec![Vec::<String>::new()]
+        );
         let zero = generate_links(&names(5), 0, &mut rng);
         assert!(zero.iter().all(|l| l.is_empty()));
     }

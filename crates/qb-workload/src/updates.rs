@@ -45,8 +45,10 @@ impl UpdateStream {
         let mut t = start;
         let mut seq = 0u64;
         loop {
-            let gap = rng.gen_exp(self.mean_interarrival.as_micros() as f64).max(1.0) as u64;
-            t = t + SimDuration::from_micros(gap);
+            let gap = rng
+                .gen_exp(self.mean_interarrival.as_micros() as f64)
+                .max(1.0) as u64;
+            t += SimDuration::from_micros(gap);
             if t >= end {
                 break;
             }
@@ -65,7 +67,11 @@ impl UpdateStream {
 /// fresh marker words so the new version is detectably different both at the
 /// content-hash level and at the index-term level.
 pub fn mutate_page(page: &WebPage, seq: u64, rng: &mut DetRng) -> WebPage {
-    let mut words: Vec<String> = page.body.split_whitespace().map(|s| s.to_string()).collect();
+    let mut words: Vec<String> = page
+        .body
+        .split_whitespace()
+        .map(|s| s.to_string())
+        .collect();
     if words.is_empty() {
         words.push("refreshed".to_string());
     }

@@ -16,7 +16,12 @@ fn main() {
     // ---- Collusion attack -------------------------------------------------
     println!("### Collusion attack (25% of bees boost 'evil/spam') ###");
     let mut qb = QueenBee::new(QueenBeeConfig::small()).expect("config");
-    qb.publish(1, AccountId(6_000), &page("evil/spam", "buy cheap spam now")).unwrap();
+    qb.publish(
+        1,
+        AccountId(6_000),
+        &page("evil/spam", "buy cheap spam now"),
+    )
+    .unwrap();
     qb.seal();
     let attack = CollusionAttack::new(0.25, vec!["evil/spam".into()]);
     qb.apply_collusion(&attack);
@@ -24,7 +29,10 @@ fn main() {
         qb.publish(
             2 + i,
             AccountId(1_000 + i),
-            &page(&format!("honest/{i}"), "genuinely useful article about beekeeping"),
+            &page(
+                &format!("honest/{i}"),
+                "genuinely useful article about beekeeping",
+            ),
         )
         .unwrap();
     }
@@ -53,7 +61,9 @@ fn main() {
         let mut qb = QueenBee::new(config).expect("config");
         let victim = page(
             "blog/viral",
-            &(0..150).map(|i| format!("originalword{} ", i % 40)).collect::<String>(),
+            &(0..150)
+                .map(|i| format!("originalword{} ", i % 40))
+                .collect::<String>(),
         );
         qb.publish(1, AccountId(1_000), &victim).unwrap();
         qb.seal();
@@ -72,13 +82,24 @@ fn main() {
     // ---- DDoS / failures --------------------------------------------------
     println!("\n### Availability under failures ###");
     let mut qb = QueenBee::new(QueenBeeConfig::small()).expect("config");
-    qb.publish(1, AccountId(1_000), &page("p/alive", "resilient content that survives outages")).unwrap();
+    qb.publish(
+        1,
+        AccountId(1_000),
+        &page("p/alive", "resilient content that survives outages"),
+    )
+    .unwrap();
     qb.seal();
     qb.process_publish_events().unwrap();
     for fraction in [0.0, 0.25, 0.5] {
         qb.net.heal_all();
         qb.net.fail_fraction(fraction, &[7]);
-        let ok = qb.search(7, "resilient outages").map(|o| !o.results.is_empty()).unwrap_or(false);
-        println!("  {:3.0}% of peers down -> query answered: {ok}", fraction * 100.0);
+        let ok = qb
+            .search(7, "resilient outages")
+            .map(|o| !o.results.is_empty())
+            .unwrap_or(false);
+        println!(
+            "  {:3.0}% of peers down -> query answered: {ok}",
+            fraction * 100.0
+        );
     }
 }

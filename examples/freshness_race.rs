@@ -22,7 +22,8 @@ fn main() {
     config.num_bees = 5;
     let mut qb = QueenBee::new(config).expect("config");
     for (i, page) in corpus.pages.iter().enumerate() {
-        qb.publish((i % 30) as u64, AccountId(corpus.creators[i]), page).unwrap();
+        qb.publish((i % 30) as u64, AccountId(corpus.creators[i]), page)
+            .unwrap();
     }
     qb.seal();
     qb.process_publish_events().unwrap();
@@ -39,7 +40,12 @@ fn main() {
             .enumerate()
             .map(|(i, p)| {
                 let (v, text) = current.get(&p.name).cloned().unwrap_or((1, p.text()));
-                CrawlDoc { name: p.name.clone(), version: v, creator: corpus.creators[i], text }
+                CrawlDoc {
+                    name: p.name.clone(),
+                    version: v,
+                    creator: corpus.creators[i],
+                    text,
+                }
             })
             .collect::<Vec<_>>()
     };
@@ -48,20 +54,40 @@ fn main() {
     // Two simulated hours of popularity-biased edits.
     let stream = UpdateStream::new(&corpus, SimDuration::from_secs(180));
     let mut rng = DetRng::new(22);
-    let updates = stream.generate(&mut rng, SimInstant::ZERO, SimInstant::ZERO + SimDuration::from_secs(7_200));
-    println!("applying {} page updates over 2 simulated hours...\n", updates.len());
-    let mut pages: HashMap<String, qb_dweb::WebPage> =
-        corpus.pages.iter().map(|p| (p.name.clone(), p.clone())).collect();
+    let updates = stream.generate(
+        &mut rng,
+        SimInstant::ZERO,
+        SimInstant::ZERO + SimDuration::from_secs(7_200),
+    );
+    println!(
+        "applying {} page updates over 2 simulated hours...\n",
+        updates.len()
+    );
+    let mut pages: HashMap<String, qb_dweb::WebPage> = corpus
+        .pages
+        .iter()
+        .map(|p| (p.name.clone(), p.clone()))
+        .collect();
     let mut last = SimInstant::ZERO;
     for u in &updates {
         qb.advance_time(u.at.since(last));
         last = u.at;
         let name = corpus.pages[u.page_index].name.clone();
         let next = mutate_page(&pages[&name], u.seq, &mut rng);
-        qb.publish((u.page_index % 30) as u64, AccountId(corpus.creators[u.page_index]), &next).unwrap();
+        qb.publish(
+            (u.page_index % 30) as u64,
+            AccountId(corpus.creators[u.page_index]),
+            &next,
+        )
+        .unwrap();
         qb.seal();
         qb.process_publish_events().unwrap();
-        let version = qb.chain.publish_registry().get(&name).map(|r| r.version).unwrap_or(1);
+        let version = qb
+            .chain
+            .publish_registry()
+            .get(&name)
+            .map(|r| r.version)
+            .unwrap_or(1);
         current.insert(name.clone(), (version, next.text()));
         pages.insert(name, next);
         central.maybe_crawl(&snapshot(&corpus, &current), u.at);
@@ -82,16 +108,32 @@ fn main() {
             .to_string();
         probes += 1;
         match qb.search(3, &marker) {
-            Ok(out) if out.results.iter().any(|r| r.name == *name && r.version >= cur_version) => {}
+            Ok(out)
+                if out
+                    .results
+                    .iter()
+                    .any(|r| r.name == *name && r.version >= cur_version) => {}
             _ => qb_stale += 1,
         }
         match central.search(&marker, 5.0, last) {
-            Ok((results, _)) if results.iter().any(|r| r.name == *name && r.version >= cur_version) => {}
+            Ok((results, _))
+                if results
+                    .iter()
+                    .any(|r| r.name == *name && r.version >= cur_version) => {}
             _ => central_stale += 1,
         }
     }
-    println!("probing the {} most recent updates by their newest unique term:", probes);
-    println!("  QueenBee  (publish-driven) : {:2}/{} probes stale", qb_stale, probes);
-    println!("  Centralized (hourly crawl) : {:2}/{} probes stale", central_stale, probes);
+    println!(
+        "probing the {} most recent updates by their newest unique term:",
+        probes
+    );
+    println!(
+        "  QueenBee  (publish-driven) : {:2}/{} probes stale",
+        qb_stale, probes
+    );
+    println!(
+        "  Centralized (hourly crawl) : {:2}/{} probes stale",
+        central_stale, probes
+    );
     println!("\ncrawling inevitably reduces freshness — the publish-driven index never lags.");
 }

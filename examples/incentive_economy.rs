@@ -23,7 +23,8 @@ fn main() {
     let mut qb = QueenBee::new(config).expect("config");
 
     for (i, page) in corpus.pages.iter().enumerate() {
-        qb.publish((i % 40) as u64, AccountId(corpus.creators[i]), page).unwrap();
+        qb.publish((i % 40) as u64, AccountId(corpus.creators[i]), page)
+            .unwrap();
     }
     qb.seal();
     qb.process_publish_events().unwrap();
@@ -37,7 +38,11 @@ fn main() {
     }
     let workload = QueryWorkload::new(&corpus);
     let mut clicks = 0u64;
-    for (i, q) in workload.generate_batch(&corpus, &mut rng, 120).iter().enumerate() {
+    for (i, q) in workload
+        .generate_batch(&corpus, &mut rng, 120)
+        .iter()
+        .enumerate()
+    {
         if let Ok(out) = qb.search((i % 40) as u64, q) {
             if out.ad.is_some() && ads.user_clicks(&mut rng) && qb.click_ad(&out).unwrap_or(false) {
                 clicks += 1;
@@ -50,9 +55,15 @@ fn main() {
     println!("honey economy after {clicks} paid ad clicks:");
     println!("  creators    : {:>12} nectar", roles.creators);
     println!("  worker bees : {:>12} nectar", roles.bees);
-    println!("  advertisers : {:>12} nectar (unspent budgets)", roles.advertisers);
+    println!(
+        "  advertisers : {:>12} nectar (unspent budgets)",
+        roles.advertisers
+    );
     println!("  treasury    : {:>12} nectar", roles.treasury);
-    println!("  other       : {:>12} nectar (escrows, validators)", roles.other);
+    println!(
+        "  other       : {:>12} nectar (escrows, validators)",
+        roles.other
+    );
     println!(
         "  supply conserved: {}",
         qb.chain.accounts().total_supply() == qb.config().chain.genesis_supply
@@ -64,7 +75,11 @@ fn main() {
         .map(|a| qb.chain.balance(*a))
         .collect();
     println!("\nfairness:");
-    println!("  {} creators, Gini of creator honey = {:.2}", creator_balances.len(), gini_coefficient(&creator_balances));
+    println!(
+        "  {} creators, Gini of creator honey = {:.2}",
+        creator_balances.len(),
+        gini_coefficient(&creator_balances)
+    );
     let mut top: Vec<(String, f64)> = qb
         .chain
         .publish_registry()
@@ -84,5 +99,9 @@ fn main() {
         );
     }
     let ad_market = qb.chain.ad_market();
-    println!("\nad market: {} campaigns, total click revenue {} nectar", ad_market.len(), ad_market.total_revenue);
+    println!(
+        "\nad market: {} campaigns, total click revenue {} nectar",
+        ad_market.len(),
+        ad_market.total_revenue
+    );
 }

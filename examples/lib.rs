@@ -1,0 +1,1 @@
+// Library target for the qb-examples package; the walkthroughs are bins.

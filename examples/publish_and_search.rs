@@ -49,7 +49,10 @@ fn main() {
                     println!(
                         "query '{q}': {} results, best = {:?}, {} msgs, {}",
                         out.results.len(),
-                        out.results.first().map(|r| r.name.clone()).unwrap_or_default(),
+                        out.results
+                            .first()
+                            .map(|r| r.name.clone())
+                            .unwrap_or_default(),
                         out.messages,
                         out.latency
                     );
@@ -69,5 +72,8 @@ fn main() {
         qb.net.stats().messages,
         qb.net.stats().bytes as f64 / (1024.0 * 1024.0)
     );
-    println!("result staleness observed: {:.1}%", qb.freshness.staleness_rate() * 100.0);
+    println!(
+        "result staleness observed: {:.1}%",
+        qb.freshness.staleness_rate() * 100.0
+    );
 }

@@ -7,12 +7,16 @@
 use qb_chain::AccountId;
 use qb_dweb::WebPage;
 use qb_index::Analyzer;
-use qb_queenbee::{QueenBee, QueenBeeConfig};
+use qb_queenbee::{CacheConfig, CacheReport, QueenBee, QueenBeeConfig};
 use qb_workload::AdSpec;
 
 fn main() {
     // 1. Assemble the DWeb: peers, DHT, storage, blockchain and worker bees.
-    let mut qb = QueenBee::new(QueenBeeConfig::small()).expect("valid config");
+    //    The query-serving cache ships disabled; opt in via the config so
+    //    repeated queries are answered from local tiers instead of the DHT.
+    let mut config = QueenBeeConfig::small();
+    config.cache = CacheConfig::enabled();
+    let mut qb = QueenBee::new(config).expect("valid config");
     println!(
         "DWeb up: {} peers, {} worker bees, chain height {}",
         qb.net.len(),
@@ -84,9 +88,19 @@ fn main() {
     // 5. A user searches; the frontend intersects the posting lists fetched
     //    from the DHT, blends BM25 with PageRank and attaches the ad.
     let out = qb.search(5, "artisanal honey").expect("search");
-    println!("\nresults for 'artisanal honey' ({} in {}):", out.results.len(), out.latency);
+    println!(
+        "\nresults for 'artisanal honey' ({} in {}):",
+        out.results.len(),
+        out.latency
+    );
     for (i, r) in out.results.iter().enumerate() {
-        println!("  {}. {:28} score={:.3} (version {})", i + 1, r.name, r.score, r.version);
+        println!(
+            "  {}. {:28} score={:.3} (version {})",
+            i + 1,
+            r.name,
+            r.score,
+            r.version
+        );
     }
     println!("  [ad shown: {:?}]", out.ad);
 
@@ -104,5 +118,36 @@ fn main() {
     println!(
         "total honey supply unchanged: {}",
         qb.chain.accounts().total_supply() == qb.config().chain.genesis_supply
+    );
+
+    // 7. The cache at work: replay the same queries and watch the hit rate.
+    //    The first round warmed the tiers; every repeat is served locally
+    //    with zero RPC messages.
+    println!("\nrepeated-query loop (cache warm-up vs steady state):");
+    let queries = [
+        "artisanal honey",
+        "decentralized web",
+        "worker bees",
+        "honey",
+    ];
+    for round in 1..=3 {
+        let mut messages = 0;
+        let mut hits = 0;
+        for q in &queries {
+            let out = qb.search(7, q).expect("search");
+            messages += out.messages;
+            hits += out.result_cache_hit as usize;
+        }
+        println!(
+            "  round {round}: {hits}/{} result-cache hits, {messages} RPC messages",
+            queries.len()
+        );
+    }
+    let metrics = qb.cache_metrics().expect("cache enabled");
+    println!("\ncache tier counters:");
+    print!("{}", CacheReport(metrics));
+    println!(
+        "overall: {:.0}% of result lookups served from cache",
+        100.0 * metrics.result.hit_rate()
     );
 }

@@ -22,7 +22,12 @@ fn honest_economy_rewards_every_stakeholder_and_conserves_supply() {
             ),
         );
     }
-    publish_and_index(&mut qb, 7, 1_100, &page("site/hub", "the hub everyone references", &[]));
+    publish_and_index(
+        &mut qb,
+        7,
+        1_100,
+        &page("site/hub", "the hub everyone references", &[]),
+    );
     qb.run_rank_round().expect("rank");
 
     // Creators earned publish rewards; the hub creator also earned the
@@ -37,7 +42,10 @@ fn honest_economy_rewards_every_stakeholder_and_conserves_supply() {
     for bee in qb.bee_accounts() {
         assert!(qb.chain.balance(bee) > 0, "bee {bee:?} earned nothing");
     }
-    assert_eq!(qb.chain.accounts().total_supply(), qb.config().chain.genesis_supply);
+    assert_eq!(
+        qb.chain.accounts().total_supply(),
+        qb.config().chain.genesis_supply
+    );
 }
 
 #[test]
@@ -61,7 +69,11 @@ fn colluding_minority_is_caught_flagged_and_slashed() {
             &mut qb,
             1 + i,
             1_000 + i,
-            &page(&format!("honest/{i}"), "perfectly ordinary honest web content", &[]),
+            &page(
+                &format!("honest/{i}"),
+                "perfectly ordinary honest web content",
+                &[],
+            ),
         );
     }
     // The spam page never appears in results for honest content queries.
@@ -97,7 +109,12 @@ fn collusion_without_redundancy_poisons_the_index() {
             },
         );
     }
-    publish_and_index(&mut qb, 1, 1_000, &page("honest/page", "unique honest keyword sunflower", &[]));
+    publish_and_index(
+        &mut qb,
+        1,
+        1_000,
+        &page("honest/page", "unique honest keyword sunflower", &[]),
+    );
     let out = qb.search(3, "sunflower").expect("search");
     assert!(
         out.results.iter().any(|r| r.name == "evil/spam"),
@@ -110,15 +127,23 @@ fn scraper_attack_is_stopped_by_duplicate_detection() {
     let mut qb = small_engine(23);
     let victim = page(
         "blog/viral",
-        &(0..120).map(|i| format!("creativeword{} ", i % 30)).collect::<String>(),
+        &(0..120)
+            .map(|i| format!("creativeword{} ", i % 30))
+            .collect::<String>(),
         &[],
     );
     publish_and_index(&mut qb, 1, 1_000, &victim);
 
     let attack = ScraperAttack::new(6_666, 1);
-    let reports = qb.run_scraper_attack(&attack, &[victim.clone()]).expect("attack");
+    let reports = qb
+        .run_scraper_attack(&attack, std::slice::from_ref(&victim))
+        .expect("attack");
     assert!(!reports[0].accepted, "mirror should be rejected");
-    assert_eq!(qb.chain.balance(AccountId(6_666)), 0, "scraper earns nothing");
+    assert_eq!(
+        qb.chain.balance(AccountId(6_666)),
+        0,
+        "scraper earns nothing"
+    );
 
     // Control: with the defense off the scraper collects publish rewards.
     let mut config = qb_queenbee::QueenBeeConfig::small();

@@ -1,0 +1,202 @@
+//! Integration tests for the query-serving cache (the E9 acceptance
+//! criteria): a warm cache must reduce repeated-query latency and RPC
+//! messages on a Zipf(1.0) stream, and a republished page must never be
+//! served stale from cache — invalidation fires at reindex time and the TTL
+//! bounds staleness even without it.
+
+use qb_chain::AccountId;
+use qb_common::SimDuration;
+use qb_queenbee::{CacheConfig, QueenBee, QueenBeeConfig};
+use qb_workload::{Corpus, CorpusConfig, CorpusGenerator, QueryWorkload, ZipfSampler};
+
+fn corpus(seed: u64, pages: usize) -> Corpus {
+    let config = CorpusConfig {
+        num_pages: pages,
+        vocab_size: (pages * 12).max(500),
+        avg_doc_len: 60,
+        ..CorpusConfig::default()
+    };
+    CorpusGenerator::new(config).generate(&mut qb_common::DetRng::new(seed))
+}
+
+fn engine(cache: CacheConfig, seed: u64) -> QueenBee {
+    let mut config = QueenBeeConfig::small();
+    config.num_peers = 32;
+    config.num_bees = 4;
+    config.seed = seed;
+    config.cache = cache;
+    QueenBee::new(config).expect("valid config")
+}
+
+fn publish_all(qb: &mut QueenBee, corpus: &Corpus) {
+    for (i, page) in corpus.pages.iter().enumerate() {
+        let peer = (i % 20) as u64;
+        qb.publish(peer, AccountId(corpus.creators[i]), page)
+            .expect("publish");
+    }
+    qb.seal();
+    qb.process_publish_events().expect("index");
+}
+
+/// Replay the same Zipf(1.0) stream against two engines differing only in
+/// the cache and compare total latency / messages / shard fetches.
+#[test]
+fn warm_cache_reduces_latency_and_rpc_on_zipf_stream() {
+    let corpus = corpus(0xCAFE, 30);
+    let workload = QueryWorkload::new(&corpus);
+    let pool = workload.generate_batch(&corpus, &mut qb_common::DetRng::new(1), 40);
+    let zipf = ZipfSampler::new(pool.len(), 1.0);
+    let stream: Vec<usize> = {
+        let mut rng = qb_common::DetRng::new(2);
+        (0..200).map(|_| zipf.sample(&mut rng)).collect()
+    };
+
+    let run = |cache: CacheConfig| -> (u64, u64, u64) {
+        let mut qb = engine(cache, 0xCAFE);
+        publish_all(&mut qb, &corpus);
+        let (mut latency_us, mut messages, mut fetches) = (0u64, 0u64, 0u64);
+        for (i, &q) in stream.iter().enumerate() {
+            let out = qb.search((i % 28) as u64, &pool[q]).expect("search");
+            latency_us += out.latency.as_micros();
+            messages += out.messages;
+            fetches += out.shards_fetched as u64;
+        }
+        (latency_us, messages, fetches)
+    };
+
+    let (off_latency, off_messages, off_fetches) = run(CacheConfig::default());
+    let (on_latency, on_messages, on_fetches) = run(CacheConfig::enabled());
+
+    assert!(
+        on_latency < off_latency / 2,
+        "warm cache must at least halve total latency: {on_latency}us vs {off_latency}us"
+    );
+    assert!(
+        on_messages < off_messages / 2,
+        "warm cache must at least halve RPC messages: {on_messages} vs {off_messages}"
+    );
+    assert!(
+        on_fetches < off_fetches,
+        "warm cache must reduce shard fetches: {on_fetches} vs {off_fetches}"
+    );
+}
+
+/// A single repeated query: the warm run must issue strictly fewer RPC
+/// messages than its cold run (end-to-end shape of the per-query win).
+#[test]
+fn warm_repeated_query_issues_fewer_rpc_messages_than_cold() {
+    let corpus = corpus(0xBEE, 10);
+    let mut qb = engine(CacheConfig::enabled(), 0xBEE);
+    publish_all(&mut qb, &corpus);
+    let query = corpus.pages[0]
+        .body
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+    let cold = qb.search(5, &query).expect("cold search");
+    let warm = qb.search(5, &query).expect("warm search");
+    assert!(cold.messages > 0);
+    assert_eq!(warm.messages, 0, "warm repeat must be RPC-free");
+    assert!(warm.messages < cold.messages);
+    assert!(warm.latency < cold.latency);
+    assert_eq!(warm.results, cold.results, "cache must not change results");
+}
+
+/// Republish-then-query: the cached result for the old version must die at
+/// reindex time; the very next query sees the new version and the freshness
+/// probe records zero stale results.
+#[test]
+fn republished_page_is_never_served_stale_from_cache() {
+    let mut qb = engine(CacheConfig::enabled(), 0xF00D);
+    let creator = AccountId(1_000);
+    let v1 = qb_dweb::WebPage::new(
+        "news/hot",
+        "Hot news",
+        "glowworms invade the meadow",
+        vec![],
+    );
+    qb.publish(1, creator, &v1).expect("publish v1");
+    qb.seal();
+    qb.process_publish_events().expect("index v1");
+
+    // Warm the cache on version 1 (second query is a result-cache hit).
+    assert_eq!(qb.search(3, "glowworms").unwrap().results[0].version, 1);
+    assert!(qb.search(3, "glowworms").unwrap().result_cache_hit);
+
+    // Republish with new content that keeps the hot term.
+    let v2 = qb_dweb::WebPage::new("news/hot", "Hot news", "glowworms retreat at dawn", vec![]);
+    qb.publish(1, creator, &v2).expect("publish v2");
+    qb.seal();
+    qb.process_publish_events().expect("index v2");
+
+    // The old entry must not serve: same query now returns version 2.
+    let after = qb.search(3, "glowworms").expect("search after republish");
+    assert!(
+        !after.result_cache_hit,
+        "stale cached result must have been invalidated"
+    );
+    assert_eq!(after.results[0].version, 2);
+    assert_eq!(
+        qb.freshness.stale_results, 0,
+        "no search ever returned a stale version"
+    );
+    let metrics = qb.cache_metrics().expect("cache on");
+    assert!(
+        metrics.total_invalidations() > 0,
+        "invalidation path must have fired"
+    );
+}
+
+/// The TTL backstop: even when a cached entry stays formally valid (no
+/// republish touches it), it must stop serving once its TTL lapses in
+/// simulated time — no entry outlives its configured bound.
+#[test]
+fn cache_entries_expire_at_their_ttl_bound() {
+    let mut cache = CacheConfig::enabled();
+    cache.result_ttl = SimDuration::from_secs(30);
+    cache.shard_ttl = SimDuration::from_secs(30);
+    let ttl = cache.result_ttl;
+    let mut qb = engine(cache, 0x71E);
+    let page = qb_dweb::WebPage::new("wiki/ttl", "TTL", "ephemeral knowledge fades", vec![]);
+    qb.publish(1, AccountId(1_000), &page).expect("publish");
+    qb.seal();
+    qb.process_publish_events().expect("index");
+
+    let _ = qb.search(3, "ephemeral").expect("fill");
+    assert!(
+        qb.search(3, "ephemeral").unwrap().result_cache_hit,
+        "warm before TTL"
+    );
+
+    // Cross the TTL boundary in simulated time: the entry must be gone and
+    // the query must hit the DHT again.
+    qb.advance_time(ttl + SimDuration::from_secs(1));
+    let expired = qb.search(3, "ephemeral").expect("search after TTL");
+    assert!(!expired.result_cache_hit, "entry must not outlive its TTL");
+    assert!(expired.messages > 0, "expired entry forces a real fetch");
+    let metrics = qb.cache_metrics().unwrap();
+    assert!(
+        metrics.result.expirations > 0,
+        "expiration counter must record the TTL eviction"
+    );
+}
+
+/// Cache-off engines keep the exact seed behavior: no hidden warm-up.
+#[test]
+fn cache_off_engine_shows_no_warmup_effect() {
+    let corpus = corpus(0xD15, 8);
+    let mut qb = engine(CacheConfig::default(), 0xD15);
+    publish_all(&mut qb, &corpus);
+    let query = corpus.pages[0]
+        .body
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+    let a = qb.search(5, &query).expect("first");
+    let b = qb.search(5, &query).expect("second");
+    assert!(qb.cache_metrics().is_none());
+    assert_eq!(a.messages, b.messages);
+    assert!(!a.result_cache_hit && !b.result_cache_hit);
+}

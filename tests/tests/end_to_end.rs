@@ -14,19 +14,31 @@ fn full_pipeline_from_publish_to_paid_ad_click() {
         &mut qb,
         1,
         1_000,
-        &page("wiki/dweb", "the decentralized web stores tamperproof content on peer devices", &["wiki/search"]),
+        &page(
+            "wiki/dweb",
+            "the decentralized web stores tamperproof content on peer devices",
+            &["wiki/search"],
+        ),
     );
     publish_and_index(
         &mut qb,
         2,
         1_001,
-        &page("wiki/search", "queenbee searches the decentralized web without any crawler", &["wiki/dweb"]),
+        &page(
+            "wiki/search",
+            "queenbee searches the decentralized web without any crawler",
+            &["wiki/dweb"],
+        ),
     );
     publish_and_index(
         &mut qb,
         3,
         1_002,
-        &page("shop/honey", "buy artisanal honey from worker bees today", &["wiki/dweb"]),
+        &page(
+            "shop/honey",
+            "buy artisanal honey from worker bees today",
+            &["wiki/dweb"],
+        ),
     );
 
     // Page ranks are computed by the bees.
@@ -53,7 +65,10 @@ fn full_pipeline_from_publish_to_paid_ad_click() {
     let creator_before = qb.chain.balance(AccountId(1_002));
     let bee_before: u64 = qb.bee_accounts().iter().map(|a| qb.chain.balance(*a)).sum();
     assert!(qb.click_ad(&out).expect("click"));
-    assert!(qb.chain.balance(AccountId(1_002)) > creator_before, "creator earns ad share");
+    assert!(
+        qb.chain.balance(AccountId(1_002)) > creator_before,
+        "creator earns ad share"
+    );
     let bee_after: u64 = qb.bee_accounts().iter().map(|a| qb.chain.balance(*a)).sum();
     assert!(bee_after > bee_before, "serving bee earns ad share");
 
@@ -68,23 +83,60 @@ fn full_pipeline_from_publish_to_paid_ad_click() {
 #[test]
 fn search_results_are_relevant_and_ranked() {
     let mut qb = small_engine(2);
-    publish_and_index(&mut qb, 1, 1_000, &page("a", "nectar nectar nectar production guide", &[]));
-    publish_and_index(&mut qb, 2, 1_001, &page("b", "a single mention of nectar among many other words here", &[]));
-    publish_and_index(&mut qb, 3, 1_002, &page("c", "completely unrelated content about starships", &[]));
+    publish_and_index(
+        &mut qb,
+        1,
+        1_000,
+        &page("a", "nectar nectar nectar production guide", &[]),
+    );
+    publish_and_index(
+        &mut qb,
+        2,
+        1_001,
+        &page(
+            "b",
+            "a single mention of nectar among many other words here",
+            &[],
+        ),
+    );
+    publish_and_index(
+        &mut qb,
+        3,
+        1_002,
+        &page("c", "completely unrelated content about starships", &[]),
+    );
 
     let out = qb.search(5, "nectar").expect("search");
     let names: Vec<&str> = out.results.iter().map(|r| r.name.as_str()).collect();
     assert!(names.contains(&"a") && names.contains(&"b"));
     assert!(!names.contains(&"c"));
-    assert_eq!(out.results[0].name, "a", "higher term frequency ranks first");
+    assert_eq!(
+        out.results[0].name, "a",
+        "higher term frequency ranks first"
+    );
 }
 
 #[test]
 fn multi_term_queries_intersect_posting_lists() {
     let mut qb = small_engine(3);
-    publish_and_index(&mut qb, 1, 1_000, &page("both", "zebras and quaggas graze together", &[]));
-    publish_and_index(&mut qb, 2, 1_001, &page("only-zebra", "zebras graze alone", &[]));
-    publish_and_index(&mut qb, 3, 1_002, &page("only-quagga", "quaggas graze alone", &[]));
+    publish_and_index(
+        &mut qb,
+        1,
+        1_000,
+        &page("both", "zebras and quaggas graze together", &[]),
+    );
+    publish_and_index(
+        &mut qb,
+        2,
+        1_001,
+        &page("only-zebra", "zebras graze alone", &[]),
+    );
+    publish_and_index(
+        &mut qb,
+        3,
+        1_002,
+        &page("only-quagga", "quaggas graze alone", &[]),
+    );
 
     let out = qb.search(5, "zebras quaggas").expect("search");
     assert_eq!(out.results[0].name, "both");
@@ -94,14 +146,23 @@ fn multi_term_queries_intersect_posting_lists() {
 #[test]
 fn tampered_page_content_is_never_served() {
     let mut qb = small_engine(4);
-    let p = page("bank/login", "legitimate login page for the honey bank", &[]);
+    let p = page(
+        "bank/login",
+        "legitimate login page for the honey bank",
+        &[],
+    );
     let report = qb.publish(1, AccountId(1_000), &p).expect("publish");
     qb.seal();
     qb.process_publish_events().expect("index");
     let root = report.object.expect("stored").root;
-    for holder in qb.storage.pinned_holders(&root) {
-        qb.storage.corrupt_pinned(holder, &root, b"<html>phish</html>".to_vec());
-    }
+    // Corrupt every copy: the pinned replicas *and* the cached copies the
+    // indexing bees kept (they announce themselves as providers, so an
+    // attacker controlling all holders must tamper with those too).
+    let corrupted = qb.storage.corrupt_all_copies(&root, b"<html>phish</html>");
+    assert!(
+        corrupted > 0,
+        "expected at least one stored copy to corrupt"
+    );
     let err = qb_dweb::fetch_page(
         &mut qb.net,
         &mut qb.dht,

@@ -19,9 +19,19 @@ fn crawl_doc(name: &str, version: u64, text: &str) -> CrawlDoc {
 #[test]
 fn queenbee_serves_updates_immediately() {
     let mut qb = small_engine(10);
-    publish_and_index(&mut qb, 1, 1_000, &page("news", "yesterday's story about turnips", &[]));
+    publish_and_index(
+        &mut qb,
+        1,
+        1_000,
+        &page("news", "yesterday's story about turnips", &[]),
+    );
     // Update: the page now covers a new topic.
-    publish_and_index(&mut qb, 1, 1_000, &page("news", "todays exclusive about xylophones", &[]));
+    publish_and_index(
+        &mut qb,
+        1,
+        1_000,
+        &page("news", "todays exclusive about xylophones", &[]),
+    );
     let out = qb.search(4, "xylophones").expect("search");
     assert_eq!(out.results.len(), 1);
     assert_eq!(out.results[0].version, 2);
@@ -78,12 +88,22 @@ fn centralized_engine_fails_under_ddos_while_queenbee_keeps_serving() {
     // The centralized baseline collapses when the attack load exceeds its
     // capacity; QueenBee keeps answering because there is no single choke point.
     let mut central = CentralizedEngine::new(CentralizedConfig::default());
-    central.crawl(&[crawl_doc("a", 1, "resilient decentralized content")], SimInstant::ZERO);
+    central.crawl(
+        &[crawl_doc("a", 1, "resilient decentralized content")],
+        SimInstant::ZERO,
+    );
     central.attack_load_qps = 10_000.0;
-    assert!(central.search("decentralized", 5.0, SimInstant::ZERO).is_err());
+    assert!(central
+        .search("decentralized", 5.0, SimInstant::ZERO)
+        .is_err());
 
     let mut qb = small_engine(11);
-    publish_and_index(&mut qb, 1, 1_000, &page("a", "resilient decentralized content", &[]));
+    publish_and_index(
+        &mut qb,
+        1,
+        1_000,
+        &page("a", "resilient decentralized content", &[]),
+    );
     // Take down a third of the peers (a DDoS can only hit so many devices).
     qb.net.fail_fraction(0.33, &[5]);
     let out = qb.search(5, "decentralized");
@@ -93,7 +113,12 @@ fn centralized_engine_fails_under_ddos_while_queenbee_keeps_serving() {
 #[test]
 fn queenbee_survives_partitions_better_than_a_single_server() {
     let mut qb = small_engine(12);
-    publish_and_index(&mut qb, 1, 1_000, &page("p", "partition tolerant content everywhere", &[]));
+    publish_and_index(
+        &mut qb,
+        1,
+        1_000,
+        &page("p", "partition tolerant content everywhere", &[]),
+    );
     qb.net.partition_round_robin(2);
     // Query from both sides of the partition; at least one side must succeed
     // (replicas and caches exist on both sides or the query side).

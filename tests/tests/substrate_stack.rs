@@ -31,7 +31,8 @@ fn distributed_index_survives_moderate_churn() {
             version: 1,
             creator: 1,
         });
-        dist.write_shard(&mut net, &mut dht, &mut storage, i % 20, &shard).unwrap();
+        dist.write_shard(&mut net, &mut dht, &mut storage, i % 20, &shard)
+            .unwrap();
     }
     // A quarter of the peers churn out.
     net.fail_fraction(0.25, &[]);
@@ -43,13 +44,22 @@ fn distributed_index_survives_moderate_churn() {
             reader = (reader + 1) % 48;
         }
         let (shard, _) = dist
-            .read_shard(&mut net, &mut dht, &mut storage, reader, &format!("term{i}"))
+            .read_shard(
+                &mut net,
+                &mut dht,
+                &mut storage,
+                reader,
+                &format!("term{i}"),
+            )
             .unwrap();
         if shard.doc_freq() == 1 {
             readable += 1;
         }
     }
-    assert!(readable >= 8, "only {readable}/10 shards survived 25% churn");
+    assert!(
+        readable >= 8,
+        "only {readable}/10 shards survived 25% churn"
+    );
 }
 
 #[test]
@@ -59,7 +69,9 @@ fn dht_records_and_storage_objects_share_the_same_key_space() {
     let (obj, _) = storage.put_object(&mut net, &mut dht, 3, &data).unwrap();
     // The provider record is stored under the cid-derived DHT key and can be
     // found by any peer.
-    let (providers, _, _) = dht.get_providers(&mut net, 17, obj.root.to_dht_key()).unwrap();
+    let (providers, _, _) = dht
+        .get_providers(&mut net, 17, obj.root.to_dht_key())
+        .unwrap();
     assert!(!providers.is_empty());
     // A plain record under an unrelated key does not collide.
     let key = DhtKey::for_term("unrelated");
@@ -75,7 +87,9 @@ fn chain_registry_and_storage_stay_consistent() {
     let mut cids = Vec::new();
     for i in 0..20u64 {
         let body = format!("<html>page body {i}</html>");
-        let (obj, _) = storage.put_object(&mut net, &mut dht, i % 20, body.as_bytes()).unwrap();
+        let (obj, _) = storage
+            .put_object(&mut net, &mut dht, i % 20, body.as_bytes())
+            .unwrap();
         cids.push((format!("page{i}"), obj.root, body));
         chain.submit_call(
             AccountId(100 + i),
@@ -109,7 +123,8 @@ fn index_stats_record_converges_to_latest_version() {
             total_len: v * 1000,
             version: v,
         };
-        dist.write_stats(&mut net, &mut dht, (v % 10) as u64, &stats).unwrap();
+        dist.write_stats(&mut net, &mut dht, v % 10, &stats)
+            .unwrap();
     }
     let (read, _) = dist.read_stats(&mut net, &mut dht, 15).unwrap();
     assert_eq!(read.version, 5);
@@ -120,7 +135,9 @@ fn index_stats_record_converges_to_latest_version() {
 fn content_addressing_is_end_to_end_tamper_evident() {
     let (mut net, mut dht, mut storage) = stack(24, 5);
     let original = b"the original, signed-by-hash content".to_vec();
-    let (obj, _) = storage.put_object(&mut net, &mut dht, 0, &original).unwrap();
+    let (obj, _) = storage
+        .put_object(&mut net, &mut dht, 0, &original)
+        .unwrap();
     // An attacker who controls a replica cannot forge content for the same cid.
     for holder in storage.pinned_holders(&obj.root) {
         storage.corrupt_pinned(holder, &obj.root, b"forged content".to_vec());

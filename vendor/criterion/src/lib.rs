@@ -1,0 +1,167 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `bench_function`, `benchmark_group` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock harness: each
+//! benchmark is warmed up briefly, then timed over an adaptive number of
+//! iterations, and the mean per-iteration time is printed. There are no
+//! statistics, plots or baselines; the goal is that `cargo bench` runs and
+//! reports useful numbers without network access to crates.io.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("get_record", 64)`.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(64)`.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, adapting the iteration count to the payload's cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run once to get a cost estimate (and fault in caches).
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~200ms of measurement, capped to keep total runtime sane.
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn report(name: &str, total: Duration, iters: u64) {
+    let per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+    let (value, unit) = if per_iter >= 1e9 {
+        (per_iter / 1e9, "s")
+    } else if per_iter >= 1e6 {
+        (per_iter / 1e6, "ms")
+    } else if per_iter >= 1e3 {
+        (per_iter / 1e3, "us")
+    } else {
+        (per_iter, "ns")
+    };
+    println!("bench {name:<55} {value:>10.3} {unit}/iter ({iters} iters)");
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, b.total, b.iters);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark in the group with an input parameter.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), b.total, b.iters);
+        self
+    }
+
+    /// Run an unparameterized benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.total, b.iters);
+        self
+    }
+
+    /// Finish the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,121 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use crate::strategy::{Strategy, TestRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Strategy for a `Vec` with element strategy `S` and a size range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `proptest::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_size(&self.size, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for a `BTreeSet`; sizes are best-effort (duplicates collapse).
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `proptest::collection::btree_set(element, size_range)`.
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_size(&self.size, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for a `BTreeMap`; sizes are best-effort (duplicate keys collapse).
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+/// `proptest::collection::btree_map(key, value, size_range)`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy { key, value, size }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_size(&self.size, rng);
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+fn sample_size(size: &Range<usize>, rng: &mut TestRng) -> usize {
+    if size.end <= size.start {
+        size.start
+    } else {
+        size.start + rng.index(size.end - size.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let mut rng = TestRng::for_case("vec_sizes", 0);
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_map_generates_pairs() {
+        let mut rng = TestRng::for_case("map", 0);
+        let m = btree_map(any::<u32>(), (1u32..100, 1u32..500), 0..60).generate(&mut rng);
+        for (_, (tf, dl)) in m {
+            assert!((1..100).contains(&tf));
+            assert!((1..500).contains(&dl));
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_strings() {
+        let mut rng = TestRng::for_case("links", 0);
+        let v = vec("[a-z]{1,10}", 0..5).generate(&mut rng);
+        assert!(v.len() < 5);
+        for s in v {
+            assert!(!s.is_empty() && s.len() <= 10);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Strategies: deterministic value generation (no shrinking).
+
+use std::ops::Range;
+
+/// Deterministic RNG used for test-case generation (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one (test, case) pair; the seed mixes the test name so
+    /// different properties see different streams.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant for test generation purposes.
+        self.next_u64() % bound
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+}
+
+/// A value generator. The stand-in generates eagerly and never shrinks.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for [u8; 32] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for chunk in out.chunks_mut(8) {
+            let v = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+        out
+    }
+}
+
+/// Strategy producing any value of `T` (`any::<u64>()`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        })*
+    };
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+// ---- string strategies from a regex subset -----------------------------------
+//
+// Supports the patterns used in this workspace: sequences of
+//   [class]{m,n}   [class]?   [class]   literal   ( group )?   ( group ){m,n}
+// where a class is a list of characters and a-z style ranges.
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Class(Vec<char>),
+    Literal(char),
+    Group(Vec<(Atom, Repeat)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Repeat {
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    // chars[i] is the char after '['.
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    (set, i + 1) // skip ']'
+}
+
+fn parse_repeat(chars: &[char], i: usize) -> (Repeat, usize) {
+    if i < chars.len() && chars[i] == '{' {
+        let mut j = i + 1;
+        let mut min = 0usize;
+        while j < chars.len() && chars[j].is_ascii_digit() {
+            min = min * 10 + chars[j].to_digit(10).unwrap() as usize;
+            j += 1;
+        }
+        let mut max = min;
+        if j < chars.len() && chars[j] == ',' {
+            j += 1;
+            max = 0;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                max = max * 10 + chars[j].to_digit(10).unwrap() as usize;
+                j += 1;
+            }
+        }
+        debug_assert!(j < chars.len() && chars[j] == '}', "unterminated {{m,n}}");
+        (Repeat { min, max }, j + 1)
+    } else if i < chars.len() && chars[i] == '?' {
+        (Repeat { min: 0, max: 1 }, i + 1)
+    } else {
+        (Repeat { min: 1, max: 1 }, i)
+    }
+}
+
+fn parse_sequence(
+    chars: &[char],
+    mut i: usize,
+    stop_at_paren: bool,
+) -> (Vec<(Atom, Repeat)>, usize) {
+    let mut seq = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            ')' if stop_at_paren => return (seq, i + 1),
+            '[' => {
+                let (set, next) = parse_class(chars, i + 1);
+                i = next;
+                Atom::Class(set)
+            }
+            '(' => {
+                let (inner, next) = parse_sequence(chars, i + 1, true);
+                i = next;
+                Atom::Group(inner)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (rep, next) = parse_repeat(chars, i);
+        i = next;
+        seq.push((atom, rep));
+    }
+    (seq, i)
+}
+
+fn generate_sequence(seq: &[(Atom, Repeat)], rng: &mut TestRng, out: &mut String) {
+    for (atom, rep) in seq {
+        let count = if rep.max > rep.min {
+            rep.min + rng.index(rep.max - rep.min + 1)
+        } else {
+            rep.min
+        };
+        for _ in 0..count {
+            match atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => {
+                    if !set.is_empty() {
+                        out.push(set[rng.index(set.len())]);
+                    }
+                }
+                Atom::Group(inner) => generate_sequence(inner, rng, out),
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let (seq, _) = parse_sequence(&chars, 0, false);
+        let mut out = String::new();
+        generate_sequence(&seq, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy_tests", 1)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3u64..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let u = (1usize..8).generate(&mut r);
+            assert!((1..8).contains(&u));
+        }
+    }
+
+    #[test]
+    fn string_strategy_matches_simple_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{1,10}".generate(&mut r);
+            assert!((1..=10).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn string_strategy_handles_optional_group() {
+        let mut r = rng();
+        let mut saw_slash = false;
+        let mut saw_plain = false;
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}(/[a-z]{1,12})?".generate(&mut r);
+            if s.contains('/') {
+                saw_slash = true;
+                let (a, b) = s.split_once('/').unwrap();
+                assert!(!a.is_empty() && !b.is_empty());
+            } else {
+                saw_plain = true;
+            }
+        }
+        assert!(saw_slash && saw_plain);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = rng();
+        let (a, b, c) = (0u8..6, 0u64..8, 0u64..500).generate(&mut r);
+        assert!(a < 6 && b < 8 && c < 500);
+        let (x, y) = (any::<u16>(), any::<bool>()).generate(&mut r);
+        let _ = (x, y);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TestRng::for_case("det", 7);
+        let mut b = TestRng::for_case("det", 7);
+        for _ in 0..50 {
+            assert_eq!(any::<u64>().generate(&mut a), any::<u64>().generate(&mut b));
+        }
+    }
+}

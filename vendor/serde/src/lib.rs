@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `serde::Serialize` / `serde::Deserialize` on many
+//! types but never actually serializes them through serde (the only JSON
+//! output goes through the workspace-local `serde_json` stand-in, which
+//! builds values by hand). These derives therefore expand to nothing; they
+//! exist so the `#[derive(serde::Serialize, serde::Deserialize)]` attributes
+//! compile without network access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,413 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Implements the small slice of the serde_json API this workspace uses:
+//! [`Value`], [`Map`], the [`json!`] macro for object/array literals, and
+//! [`to_string_pretty`]. Values are built by hand (no serde trait plumbing),
+//! which is exactly how the experiment harness uses the real crate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered JSON object (insertion order preserved, like serde_json with
+/// the `preserve_order` feature).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Insert a key/value pair, replacing any previous value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in self.entries.iter_mut() {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Value stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Map {
+    fn from(m: BTreeMap<String, Value>) -> Map {
+        Map {
+            entries: m.into_iter().collect(),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (stored as f64, rendered without a trailing `.0` when whole).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as an array, when it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, when it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < map.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_pretty(&mut s, 0);
+        f.write_str(&s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::Number(n as f64)
+            }
+        })*
+    };
+}
+from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(map: Map) -> Value {
+        Value::Object(map)
+    }
+}
+
+/// Error type returned by the serialization entry points (the stand-in never
+/// actually fails; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// By-reference conversion into [`Value`], used by the [`json!`] macro so
+/// that (like real serde_json) the macro never moves its arguments.
+pub trait JsonConvert {
+    /// Convert to a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+impl JsonConvert for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl JsonConvert for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl JsonConvert for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl JsonConvert for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl JsonConvert for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+macro_rules! convert_int {
+    ($($t:ty),*) => {
+        $(impl JsonConvert for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        })*
+    };
+}
+convert_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: JsonConvert> JsonConvert for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_value()).collect())
+    }
+}
+
+impl<T: JsonConvert + ?Sized> JsonConvert for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// Types that can be rendered as a JSON document by the stand-in.
+pub trait ToJson {
+    /// The value to render.
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json_value()).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (*self).to_json_value()
+    }
+}
+
+/// Render a value as pretty-printed JSON.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Render a value as compact JSON (pretty layout is close enough for the
+/// stand-in; kept as a distinct entry point for API compatibility).
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+/// Build a [`Value`] from a JSON-like literal. Supports object literals,
+/// array literals, and expressions convertible to `Value` via `From`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::JsonConvert::to_value(&$item) ),* ])
+    };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::JsonConvert::to_value(&$value)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::JsonConvert::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({ "title": "t", "rows": vec![Value::Null] });
+        assert_eq!(v["title"].as_str(), Some("t"));
+        assert_eq!(v["rows"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn pretty_output_is_valid_json_shape() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::String("x\"y".into()));
+        m.insert("b".into(), Value::Number(3.0));
+        let s = to_string_pretty(&Value::Object(m)).unwrap();
+        assert!(s.contains("\"a\": \"x\\\"y\""));
+        assert!(s.contains("\"b\": 3"));
+    }
+
+    #[test]
+    fn index_on_wrong_type_yields_null() {
+        let v = Value::Bool(true);
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v[3], Value::Null);
+    }
+}
