@@ -66,7 +66,7 @@ fn bench_invalidation(c: &mut Criterion) {
                     now,
                 );
             }
-            cache.invalidate_term("hot")
+            cache.invalidate_term("hot", now)
         })
     });
 }

@@ -1,0 +1,92 @@
+//! Criterion benchmark: the qb-gossip overlay — digest extraction, full
+//! gossip rounds over a warmed fleet, and warm-start snapshot round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qb_cache::CacheConfig;
+use qb_common::SimInstant;
+use qb_gossip::{GossipConfig, GossipFleet};
+use qb_index::{ShardEntry, ShardPosting};
+use qb_simnet::{NetConfig, SimNet};
+
+fn sample_shard(term: &str, docs: usize) -> ShardEntry {
+    let mut s = ShardEntry::empty(term);
+    s.version = 1;
+    for i in 0..docs as u64 {
+        s.upsert(ShardPosting {
+            doc_id: i * 31 + 7,
+            term_freq: (i % 7) as u32 + 1,
+            doc_len: 80,
+            name: format!("page/{term}/{i}"),
+            version: 1,
+            creator: i % 50,
+        });
+    }
+    s
+}
+
+/// A fleet where frontend 0 holds `terms` hot shards and everyone else is
+/// cold — the worst case a gossip round has to propagate.
+fn warmed_fleet(frontends: usize, terms: usize) -> (GossipFleet, SimNet) {
+    let net = SimNet::new(frontends + 8, NetConfig::lan(), 42);
+    let mut fleet = GossipFleet::new(
+        GossipConfig::enabled(frontends),
+        &CacheConfig::enabled(),
+        42,
+    );
+    let now = SimInstant::ZERO;
+    for t in 0..terms {
+        let shard = sample_shard(&format!("term{t}"), 16);
+        fleet.cache_mut(0).store_shard(&shard, now);
+        fleet.observe(0, &shard.term, shard.version);
+    }
+    (fleet, net)
+}
+
+fn bench_digest(c: &mut Criterion) {
+    let (fleet, _net) = warmed_fleet(2, 256);
+    c.bench_function("gossip/hot_set_digest_256_shards", |b| {
+        b.iter(|| fleet.frontend(0).cache().shard_digest(64, SimInstant::ZERO))
+    });
+}
+
+fn bench_round(c: &mut Criterion) {
+    for frontends in [4usize, 8] {
+        let now = SimInstant::ZERO;
+        // Cold fleet: setup dominates less than the 64-shard fan-out.
+        c.bench_function(
+            &format!("gossip/round_cold_fleet/{frontends}_frontends"),
+            |b| {
+                b.iter(|| {
+                    let (mut fleet, mut net) = warmed_fleet(frontends, 64);
+                    fleet.run_round(&mut net, now, false);
+                    fleet.stats().shards_accepted
+                })
+            },
+        );
+        // Steady state: everyone already warm, rounds move only digests.
+        let (mut fleet, mut net) = warmed_fleet(frontends, 64);
+        fleet.run_round(&mut net, now, true);
+        c.bench_function(
+            &format!("gossip/round_warm_fleet/{frontends}_frontends"),
+            |b| b.iter(|| fleet.run_round(&mut net, now, false)),
+        );
+    }
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    let (fleet, _net) = warmed_fleet(2, 128);
+    let now = SimInstant::ZERO;
+    c.bench_function("gossip/warm_start_export_128_shards", |b| {
+        b.iter(|| fleet.export_hot_set(0, 128, now))
+    });
+    let snapshot = fleet.export_hot_set(0, 128, now);
+    c.bench_function("gossip/warm_start_import_128_shards", |b| {
+        b.iter(|| {
+            let (mut fleet, _net) = warmed_fleet(2, 0);
+            fleet.import_hot_set(1, &snapshot, now).expect("import")
+        })
+    });
+}
+
+criterion_group!(benches, bench_digest, bench_round, bench_warm_start);
+criterion_main!(benches);

@@ -3,9 +3,13 @@
 //! Usage:
 //!   cargo run -p qb-bench --release --bin experiments -- all
 //!   cargo run -p qb-bench --release --bin experiments -- e3 e6
+//!   cargo run -p qb-bench --release --bin experiments -- --quick e9 e10
 //!
 //! Each experiment prints a human-readable table and writes the same rows as
-//! JSON under `bench-results/`.
+//! JSON under `bench-results/`. `--quick` shrinks the cache/gossip streams
+//! (E9/E10) for the CI smoke job; E9 and E10 assert their acceptance
+//! criteria (cache savings, >=30% gossip RPC reduction, zero staleness), so
+//! a regression fails the process instead of silently changing a table.
 
 use qb_baseline::{CentralizedConfig, CentralizedEngine, YacyConfig, YacyEngine};
 use qb_bench::{build_corpus, build_engine, crawl_docs, f2, f4, publish_corpus, Table};
@@ -19,11 +23,15 @@ use std::collections::HashMap;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]
-            .into_iter()
-            .map(String::from)
-            .collect()
+        vec![
+            "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect()
     } else {
         args
     };
@@ -39,9 +47,10 @@ fn main() {
             "e6" => e6_collusion(),
             "e7" => e7_scraper(),
             "e8" => e8_systems_costs(),
-            "e9" => e9_cache(),
+            "e9" => e9_cache(quick),
+            "e10" => e10_gossip(quick),
             other => {
-                eprintln!("unknown experiment '{other}' (use f1, e1..e9 or all)");
+                eprintln!("unknown experiment '{other}' (use f1, e1..e10 or all)");
                 Vec::new()
             }
         };
@@ -780,20 +789,21 @@ fn e7_scraper() -> Vec<Table> {
 /// E9 — the query-serving cache: replay a Zipf(1.0) query stream with the
 /// cache on vs off and measure the latency / RPC-message / shard-fetch
 /// reductions, plus freshness under interleaved republishes.
-fn e9_cache() -> Vec<Table> {
+fn e9_cache(quick: bool) -> Vec<Table> {
     use qb_queenbee::CacheConfig;
     use qb_workload::ZipfSampler;
 
-    let corpus = build_corpus(0xE9, 80);
+    let (num_pages, pool_size, stream_len) = if quick { (40, 60, 240) } else { (80, 120, 600) };
+    let corpus = build_corpus(0xE9, num_pages);
     let workload = QueryWorkload::new(&corpus);
     // A fixed pool of distinct queries replayed with Zipf(1.0) popularity:
     // the hot head repeats constantly, the tail is mostly one-shot.
     let mut rng = DetRng::new(0xE9);
-    let pool = workload.generate_batch(&corpus, &mut rng, 120);
+    let pool = workload.generate_batch(&corpus, &mut rng, pool_size);
     let zipf = ZipfSampler::new(pool.len(), 1.0);
     let stream: Vec<usize> = {
         let mut rng = DetRng::new(0xE9F);
-        (0..600).map(|_| zipf.sample(&mut rng)).collect()
+        (0..stream_len).map(|_| zipf.sample(&mut rng)).collect()
     };
 
     let run = |cache: CacheConfig| -> (f64, u64, u64, u64, u64, Option<qb_queenbee::CacheMetrics>) {
@@ -843,8 +853,23 @@ fn e9_cache() -> Vec<Table> {
     let (off_lat, off_msgs, off_fetches, off_ok, off_stale, _) = run(CacheConfig::default());
     let (on_lat, on_msgs, on_fetches, on_ok, on_stale, metrics) = run(CacheConfig::enabled());
 
+    // Regression guard for the CI smoke job: the cache must keep paying for
+    // itself and must never serve anything stale.
+    assert!(
+        on_msgs < off_msgs / 2,
+        "E9: cache must at least halve RPC messages ({on_msgs} vs {off_msgs})"
+    );
+    assert_eq!(
+        off_stale, 0,
+        "E9: uncached engine served {off_stale} stale results"
+    );
+    assert_eq!(on_stale, 0, "E9: cache served {on_stale} stale results");
+
+    let title = format!(
+        "E9a: Zipf(1.0) query stream ({stream_len} queries, {pool_size}-query pool), cache off vs on"
+    );
     let mut t = Table::new(
-        "E9a: Zipf(1.0) query stream (600 queries, 120-query pool), cache off vs on",
+        &title,
         &[
             "config",
             "mean_latency_ms",
@@ -909,6 +934,172 @@ fn e9_cache() -> Vec<Table> {
                 tier.invalidations.to_string(),
             ]);
         }
+    }
+    vec![t, t2]
+}
+
+/// E10 — cooperative cache gossip: N frontends under one shared Zipf(1.0)
+/// stream, gossip off vs on. With gossip, one frontend's DHT shard fetch
+/// warms the whole fleet, so per-frontend cold starts shrink and aggregate
+/// DHT traffic collapses — at a measured gossip byte overhead and with the
+/// version guard keeping staleness-served at exactly zero.
+fn e10_gossip(quick: bool) -> Vec<Table> {
+    use qb_queenbee::{CacheConfig, GossipConfig, GossipStats};
+    use qb_workload::ZipfSampler;
+
+    const FLEET: usize = 8;
+    /// A frontend's first queries count as its cold-start window.
+    const COLD_WINDOW: usize = 5;
+    let (num_pages, pool_size, stream_len) = if quick { (40, 60, 240) } else { (80, 120, 600) };
+    let corpus = build_corpus(0xE10, num_pages);
+    let workload = QueryWorkload::new(&corpus);
+    let mut rng = DetRng::new(0xE10);
+    let pool = workload.generate_batch(&corpus, &mut rng, pool_size);
+    let zipf = ZipfSampler::new(pool.len(), 1.0);
+    let stream: Vec<usize> = {
+        let mut rng = DetRng::new(0xE10F);
+        (0..stream_len).map(|_| zipf.sample(&mut rng)).collect()
+    };
+
+    struct FleetRun {
+        cold_start_ms: f64,
+        mean_ms: f64,
+        messages: u64,
+        shard_fetches: u64,
+        stale: u64,
+        gossip: Option<GossipStats>,
+    }
+
+    let run = |gossip_on: bool| -> FleetRun {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = 64;
+        config.num_bees = 6;
+        config.seed = 0xE10;
+        config.cache = CacheConfig::enabled();
+        config.gossip = if gossip_on {
+            GossipConfig::enabled(FLEET)
+        } else {
+            GossipConfig::fleet(FLEET)
+        };
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+        let mut rng = DetRng::new(0xE10A);
+        let mut all = LatencyRecorder::new();
+        let mut cold: Vec<LatencyRecorder> = (0..FLEET).map(|_| LatencyRecorder::new()).collect();
+        let mut served = [0usize; FLEET];
+        let mut messages = 0u64;
+        let mut shard_fetches = 0u64;
+        for (i, &q) in stream.iter().enumerate() {
+            // Mid-stream republishes race the gossip rounds: the version
+            // guard and publish-path invalidation must keep every served
+            // result fresh.
+            if i > 0 && i % 100 == 0 {
+                let victim = i / 100 % corpus.pages.len();
+                let page = &corpus.pages[victim];
+                let updated = mutate_page(page, i as u64, &mut rng);
+                let creator = AccountId(corpus.creators[victim]);
+                qb.publish((20 + victim % 30) as u64, creator, &updated)
+                    .expect("republish");
+                qb.seal();
+                qb.process_publish_events().expect("reindex");
+            }
+            qb.advance_time(SimDuration::from_millis(50));
+            // One shared stream, served round-robin across the fleet.
+            let frontend = i % FLEET;
+            if let Ok(out) = qb.search_from(frontend, &pool[q]) {
+                all.record(out.latency);
+                if served[frontend] < COLD_WINDOW {
+                    cold[frontend].record(out.latency);
+                }
+                served[frontend] += 1;
+                messages += out.messages;
+                shard_fetches += out.shards_fetched as u64;
+            }
+        }
+        FleetRun {
+            cold_start_ms: cold.iter().map(|r| r.mean_ms()).sum::<f64>() / FLEET as f64,
+            mean_ms: all.mean_ms(),
+            messages,
+            shard_fetches,
+            stale: qb.freshness.stale_results,
+            gossip: qb.gossip_stats(),
+        }
+    };
+
+    let off = run(false);
+    let on = run(true);
+    let gossip = on.gossip.expect("gossip run has a fleet");
+
+    // Acceptance criteria, asserted so the CI smoke job catches regressions.
+    assert_eq!(off.stale, 0, "E10: gossip-off fleet served stale results");
+    assert_eq!(on.stale, 0, "E10: gossip-on fleet served stale results");
+    assert!(
+        (on.shard_fetches as f64) <= 0.7 * off.shard_fetches as f64,
+        "E10: gossip must save >=30% of DHT shard fetches ({} vs {})",
+        on.shard_fetches,
+        off.shard_fetches
+    );
+
+    let title = format!(
+        "E10a: {FLEET}-frontend fleet on a shared Zipf(1.0) stream ({stream_len} queries), gossip off vs on"
+    );
+    let mut t = Table::new(
+        &title,
+        &[
+            "config",
+            "cold_start_ms",
+            "mean_latency_ms",
+            "rpc_messages",
+            "dht_shard_fetches",
+            "gossip_bytes",
+            "stale_results",
+        ],
+    );
+    for (label, r, bytes) in [
+        ("gossip off", &off, 0u64),
+        ("gossip on", &on, gossip.total_bytes()),
+    ] {
+        t.row(&[
+            label.into(),
+            f2(r.cold_start_ms),
+            f2(r.mean_ms),
+            r.messages.to_string(),
+            r.shard_fetches.to_string(),
+            bytes.to_string(),
+            r.stale.to_string(),
+        ]);
+    }
+    t.row(&[
+        "reduction".into(),
+        format!("{:.1}x", off.cold_start_ms / on.cold_start_ms.max(1e-9)),
+        format!("{:.1}x", off.mean_ms / on.mean_ms.max(1e-9)),
+        format!(
+            "-{:.1}%",
+            100.0 * (1.0 - on.messages as f64 / off.messages.max(1) as f64)
+        ),
+        format!(
+            "-{:.1}%",
+            100.0 * (1.0 - on.shard_fetches as f64 / off.shard_fetches.max(1) as f64)
+        ),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    let mut t2 = Table::new("E10b: gossip overlay counters", &["counter", "value"]);
+    for (name, value) in [
+        ("rounds (hot-set)", gossip.rounds),
+        ("rounds (anti-entropy)", gossip.anti_entropy_rounds),
+        ("exchanges ok", gossip.exchanges),
+        ("exchanges failed", gossip.failed_exchanges),
+        ("fill batches dropped", gossip.failed_fills),
+        ("shards pushed", gossip.shards_pushed),
+        ("shards accepted", gossip.shards_accepted),
+        ("stale fills rejected", gossip.stale_rejected),
+        ("duplicate fills skipped", gossip.duplicates_skipped),
+        ("digest bytes", gossip.digest_bytes),
+        ("fill bytes", gossip.fill_bytes),
+    ] {
+        t2.row(&[name.to_string(), value.to_string()]);
     }
     vec![t, t2]
 }

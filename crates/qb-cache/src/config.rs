@@ -53,6 +53,17 @@ pub struct CacheConfig {
     /// Latency charged for answering from the local cache (memory lookup +
     /// local scoring; orders of magnitude below a DHT round-trip).
     pub hit_latency: SimDuration,
+    /// Scale each term's shard-tier TTL with its observed republish rate
+    /// instead of the single `shard_ttl` knob: a term with an estimated
+    /// republish interval `I` gets a TTL of `I / 2` clamped to the
+    /// floor/ceiling below; a term never observed to change after its
+    /// initial index counts as archival and gets `adaptive_ttl_ceiling`.
+    pub adaptive_ttl: bool,
+    /// Lower bound of the adapted shard TTL (hot, constantly-updated terms).
+    pub adaptive_ttl_floor: SimDuration,
+    /// Upper bound of the adapted shard TTL (archival terms that were never
+    /// observed to be republished).
+    pub adaptive_ttl_ceiling: SimDuration,
 }
 
 impl Default for CacheConfig {
@@ -67,6 +78,9 @@ impl Default for CacheConfig {
             negative_ttl: SimDuration::from_secs(60),
             policy: EvictionPolicy::default(),
             hit_latency: SimDuration::from_micros(120),
+            adaptive_ttl: true,
+            adaptive_ttl_floor: SimDuration::from_secs(5),
+            adaptive_ttl_ceiling: SimDuration::from_secs(1_800),
         }
     }
 }
@@ -119,6 +133,19 @@ impl CacheConfig {
                 ));
             }
         }
+        if self.adaptive_ttl {
+            if self.adaptive_ttl_floor == SimDuration::ZERO {
+                return Err(QbError::Config(
+                    "adaptive TTL floor must be positive when adaptive TTLs are on".into(),
+                ));
+            }
+            if self.adaptive_ttl_floor > self.adaptive_ttl_ceiling {
+                return Err(QbError::Config(format!(
+                    "adaptive TTL floor {} must not exceed the ceiling {}",
+                    self.adaptive_ttl_floor, self.adaptive_ttl_ceiling
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -150,6 +177,19 @@ mod tests {
         let mut c = CacheConfig::enabled();
         c.policy = EvictionPolicy::SampledLfu { sample: 0 };
         assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::enabled();
+        c.adaptive_ttl_floor = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::enabled();
+        c.adaptive_ttl_floor = c.adaptive_ttl_ceiling + SimDuration::from_secs(1);
+        assert!(c.validate().is_err());
+        c.adaptive_ttl = false;
+        assert!(
+            c.validate().is_ok(),
+            "bounds are ignored when adaptive is off"
+        );
 
         // A disabled config is valid regardless of the other knobs.
         let c = CacheConfig {

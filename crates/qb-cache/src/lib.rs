@@ -50,6 +50,8 @@ mod query_cache;
 
 pub use config::{CacheConfig, EvictionPolicy};
 pub use metrics::{CacheMetrics, TierMetrics};
-pub use query_cache::{result_key, CachedResult, CachedStats, QueryCache, ShardLookup};
+pub use query_cache::{
+    result_key, CachedResult, CachedStats, QueryCache, RemoteAdmit, ShardLookup,
+};
 pub use sketch::FreqSketch;
 pub use tier::CacheTier;

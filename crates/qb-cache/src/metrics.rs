@@ -37,6 +37,17 @@ impl TierMetrics {
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
     }
+
+    /// Fold another tier's counters in (fleet-wide aggregation).
+    pub fn merge(&mut self, other: &TierMetrics) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.expirations += other.expirations;
+        self.invalidations += other.invalidations;
+        self.admission_rejections += other.admission_rejections;
+    }
 }
 
 /// Snapshot of every tier's counters.
@@ -59,6 +70,13 @@ impl CacheMetrics {
     /// Total evictions across tiers.
     pub fn total_evictions(&self) -> u64 {
         self.result.evictions + self.shard.evictions + self.negative.evictions
+    }
+
+    /// Fold another snapshot in (aggregate view over a frontend fleet).
+    pub fn merge(&mut self, other: &CacheMetrics) {
+        self.result.merge(&other.result);
+        self.shard.merge(&other.shard);
+        self.negative.merge(&other.negative);
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::config::CacheConfig;
 use crate::metrics::CacheMetrics;
 use crate::tier::CacheTier;
-use qb_common::SimInstant;
+use qb_common::{varint, QbError, QbResult, SimDuration, SimInstant};
 use qb_index::{IndexStats, ScoredDoc, ShardEntry};
 use std::collections::{BTreeSet, HashMap};
 
@@ -34,6 +34,57 @@ pub enum ShardLookup {
     Negative,
     /// Nothing cached; fetch through the DHT.
     Miss,
+}
+
+/// Outcome of admitting a shard received from another frontend (gossip fill
+/// or warm-start import).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteAdmit {
+    /// The shard was newer than anything cached or known; it is now cached.
+    Accepted,
+    /// The shard's version lags a version this cache has already observed —
+    /// a stale copy must never replace a fresher one.
+    Stale,
+    /// An equal-or-newer copy was already cached; nothing to do.
+    Duplicate,
+    /// The eviction/admission policy refused to store it (tier pressure).
+    Refused,
+}
+
+/// Per-term republish-rate observations feeding the adaptive TTL policy.
+/// The interval estimate is an EWMA so a burst of edits shortens the TTL
+/// quickly while a long quiet spell slowly relaxes it back.
+#[derive(Debug, Clone, Copy)]
+struct RepublishTracker {
+    last: SimInstant,
+    ewma_interval_us: f64,
+    observations: u32,
+}
+
+impl RepublishTracker {
+    fn observe(&mut self, now: SimInstant) {
+        // A term appearing in several pages of one indexing batch is
+        // invalidated once per page at the same simulated instant; that is
+        // one republish event, not a zero-interval storm (which would pin
+        // the EWMA — and thus the TTL — to the floor forever).
+        if self.observations > 0 && now == self.last {
+            return;
+        }
+        if self.observations > 0 {
+            let interval = now.since(self.last).as_micros() as f64;
+            self.ewma_interval_us = if self.observations == 1 {
+                interval
+            } else {
+                0.5 * self.ewma_interval_us + 0.5 * interval
+            };
+        }
+        self.last = now;
+        self.observations = self.observations.saturating_add(1);
+    }
+
+    fn interval_estimate(&self) -> Option<SimDuration> {
+        (self.observations >= 2).then(|| SimDuration::from_micros(self.ewma_interval_us as u64))
+    }
 }
 
 /// Normalize an analyzed term list into the result-cache key: terms sorted
@@ -84,6 +135,10 @@ pub struct QueryCache {
     /// term -> result-cache keys containing it, for publish-path
     /// invalidation in O(affected entries).
     term_to_queries: HashMap<String, BTreeSet<String>>,
+    /// term -> republish-rate observations for the adaptive TTL policy.
+    /// Bounded by the number of terms ever republished while this cache was
+    /// alive (terms only enter through publish-path invalidation).
+    republish: HashMap<String, RepublishTracker>,
 }
 
 impl QueryCache {
@@ -108,6 +163,7 @@ impl QueryCache {
             ),
             stats: None,
             term_to_queries: HashMap::new(),
+            republish: HashMap::new(),
             config,
         }
     }
@@ -211,16 +267,180 @@ impl QueryCache {
     }
 
     /// Store a freshly fetched shard, or — when the shard is empty and was
-    /// never written (version 0) — a negative entry for the term.
+    /// never written (version 0) — a negative entry for the term. Shard
+    /// entries get the term's adaptive TTL when the policy is enabled.
     pub fn store_shard(&mut self, shard: &ShardEntry, now: SimInstant) {
         if shard.version == 0 && shard.postings.is_empty() {
             self.negatives
                 .insert(&shard.term, (), shard.term.len() + 16, 0, now);
         } else {
             let bytes = shard_bytes(shard);
+            let ttl = self.adaptive_shard_ttl(&shard.term);
             self.shards
-                .insert(&shard.term, shard.clone(), bytes, shard.version, now);
+                .insert_with_ttl(&shard.term, shard.clone(), bytes, shard.version, now, ttl);
         }
+    }
+
+    /// The shard-tier TTL this cache would give `term` right now. With
+    /// adaptive TTLs off this is the global `shard_ttl` knob; with it on,
+    /// the TTL scales with the term's observed republish rate — half the
+    /// estimated republish interval, clamped to the configured floor and
+    /// ceiling — and a term never observed to change gets the ceiling
+    /// (archival content can be cached far longer than the global default).
+    pub fn adaptive_shard_ttl(&self, term: &str) -> SimDuration {
+        if !self.config.adaptive_ttl {
+            return self.config.shard_ttl;
+        }
+        match self.republish.get(term).and_then(|t| t.interval_estimate()) {
+            // No churn evidence (never written, or written exactly once —
+            // the initial index of a term is not a republish): archival,
+            // the ceiling applies. The version checks and publish-path
+            // invalidation remain the correctness rails; the TTL is only
+            // the backstop for invalidations this frontend never observed.
+            None => self.config.adaptive_ttl_ceiling,
+            Some(interval) => SimDuration::from_micros((interval.as_micros() / 2).clamp(
+                self.config.adaptive_ttl_floor.as_micros(),
+                self.config.adaptive_ttl_ceiling.as_micros(),
+            )),
+        }
+    }
+
+    /// The term's estimated republish interval, once two republishes have
+    /// been observed (diagnostic / experiment output).
+    pub fn republish_interval_estimate(&self, term: &str) -> Option<SimDuration> {
+        self.republish.get(term).and_then(|t| t.interval_estimate())
+    }
+
+    // ----- gossip surface ----------------------------------------------------------
+
+    /// The `max` hottest cached term shards alive at `now` as
+    /// `(term, version)` pairs, in descending popularity order — the digest
+    /// another frontend needs to decide what to pull. Expired entries are
+    /// never advertised. Deterministic (ties broken by recency).
+    pub fn shard_digest(&self, max: usize, now: SimInstant) -> Vec<(String, u64)> {
+        self.shards.hottest(max, now)
+    }
+
+    /// Borrow a cached shard without charging a lookup (fills must not look
+    /// like query traffic to the eviction policy).
+    pub fn peek_shard(&self, term: &str) -> Option<&ShardEntry> {
+        self.shards.peek(term)
+    }
+
+    /// The cached version of a term's shard, when one is resident.
+    pub fn cached_shard_version(&self, term: &str) -> Option<u64> {
+        self.shards.version_of(term)
+    }
+
+    /// Remaining lifetime of a term's cached shard at `now` (`None` when
+    /// absent or expired). Gossip fills carry this — not a freshly
+    /// recomputed TTL — so relaying a shard between frontends can only
+    /// tighten, never restart, its staleness bound.
+    pub fn shard_remaining_ttl(&self, term: &str, now: SimInstant) -> Option<SimDuration> {
+        self.shards.remaining_ttl(term, now)
+    }
+
+    /// Admit a shard received from another frontend. `known_version` is the
+    /// highest version of this term the receiving frontend has observed
+    /// (from its own DHT fetches, publish events, or earlier gossip): a copy
+    /// older than that is rejected as stale, never replacing fresher data.
+    /// `sender_ttl` is the *remaining* lifetime of the sender's copy; the
+    /// stored entry inherits `min(sender_ttl, our adapted TTL)` so a gossip
+    /// fill can only tighten, never extend, the staleness bound — relaying
+    /// a shard between frontends never restarts its expiry clock.
+    pub fn store_remote_shard(
+        &mut self,
+        shard: &ShardEntry,
+        known_version: u64,
+        sender_ttl: SimDuration,
+        now: SimInstant,
+    ) -> RemoteAdmit {
+        if shard.version == 0 || shard.version < known_version {
+            return RemoteAdmit::Stale;
+        }
+        if self
+            .shards
+            .version_of(&shard.term)
+            .is_some_and(|cached| cached >= shard.version)
+        {
+            return RemoteAdmit::Duplicate;
+        }
+        // The term provably exists now; a remembered absence is obsolete.
+        if self.negatives.contains(&shard.term) {
+            self.negatives.invalidate(&shard.term);
+        }
+        let ttl = SimDuration::from_micros(
+            sender_ttl
+                .as_micros()
+                .min(self.adaptive_shard_ttl(&shard.term).as_micros()),
+        );
+        let bytes = shard_bytes(shard);
+        if self
+            .shards
+            .insert_with_ttl(&shard.term, shard.clone(), bytes, shard.version, now, ttl)
+        {
+            RemoteAdmit::Accepted
+        } else {
+            RemoteAdmit::Refused
+        }
+    }
+
+    // ----- warm-start persistence --------------------------------------------------
+
+    /// Serialize the `max` hottest cached shards alive at `now` so a
+    /// restarted frontend can pre-fill its shard tier from its last
+    /// session's working set.
+    pub fn export_hot_set(&self, max: usize, now: SimInstant) -> Vec<u8> {
+        let digest = self.shard_digest(max, now);
+        let mut out = Vec::new();
+        varint::encode_u64(digest.len() as u64, &mut out);
+        for (term, _) in &digest {
+            if let Some(shard) = self.shards.peek(term) {
+                let encoded = shard.encode();
+                varint::encode_u64(encoded.len() as u64, &mut out);
+                out.extend_from_slice(&encoded);
+            } else {
+                varint::encode_u64(0, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Pre-fill the shard tier from a previous session's
+    /// [`QueryCache::export_hot_set`] snapshot. Entries enter through the
+    /// normal store path (admission policy, adaptive TTLs), and the version
+    /// checks on every lookup still purge anything that went stale while the
+    /// frontend was down. Returns the number of shards admitted.
+    pub fn import_hot_set(&mut self, data: &[u8], now: SimInstant) -> QbResult<usize> {
+        let (count, mut pos) = varint::decode_u64(data, 0)?;
+        if count > 1_000_000 {
+            return Err(QbError::Codec(format!("unreasonable hot-set size {count}")));
+        }
+        let mut admitted = 0usize;
+        for _ in 0..count {
+            let (len, p) = varint::decode_u64(data, pos)?;
+            let end = p
+                .checked_add(len as usize)
+                .ok_or_else(|| QbError::Codec("hot-set entry length overflows".into()))?;
+            let bytes = data
+                .get(p..end)
+                .ok_or_else(|| QbError::Codec("truncated hot-set entry".into()))?;
+            pos = end;
+            if len == 0 {
+                continue;
+            }
+            let shard = ShardEntry::decode(bytes)?;
+            if shard.version == 0 {
+                continue;
+            }
+            let before = self.shards.len();
+            self.store_shard(&shard, now);
+            admitted += (self.shards.len() > before) as usize;
+        }
+        if pos != data.len() {
+            return Err(QbError::Codec("trailing bytes after hot set".into()));
+        }
+        Ok(admitted)
     }
 
     // ----- statistics record -------------------------------------------------------
@@ -242,8 +462,17 @@ impl QueryCache {
 
     /// A page version touching `term` was (re)indexed: purge the term's
     /// shard and negative entries and every cached result whose query
-    /// contains the term. Returns the number of entries dropped.
-    pub fn invalidate_term(&mut self, term: &str) -> usize {
+    /// contains the term, and record the republish observation that drives
+    /// the adaptive TTL policy. Returns the number of entries dropped.
+    pub fn invalidate_term(&mut self, term: &str, now: SimInstant) -> usize {
+        self.republish
+            .entry(term.to_string())
+            .or_insert(RepublishTracker {
+                last: now,
+                ewma_interval_us: 0.0,
+                observations: 0,
+            })
+            .observe(now);
         let mut dropped = 0;
         if self.shards.invalidate(term) {
             dropped += 1;
@@ -402,7 +631,7 @@ mod tests {
             vec![("unrelated".into(), 1)],
             t0(),
         );
-        let dropped = c.invalidate_term("honey");
+        let dropped = c.invalidate_term("honey", t0());
         assert_eq!(dropped, 3, "shard + two result entries");
         assert_eq!(c.tier_sizes().0, 1, "unrelated result survives");
         assert!(matches!(
@@ -513,6 +742,211 @@ mod tests {
             0,
             "index empty once entries expire"
         );
+    }
+
+    #[test]
+    fn adaptive_ttl_scales_with_republish_rate() {
+        let mut c = cache();
+        assert!(c.config().adaptive_ttl);
+        let base = c.config().shard_ttl;
+        // Never republished: archival, gets the ceiling (longer than base).
+        assert_eq!(
+            c.adaptive_shard_ttl("archival"),
+            c.config().adaptive_ttl_ceiling
+        );
+        assert!(c.adaptive_shard_ttl("archival") > base);
+        // One observation is the term's initial index, not churn evidence:
+        // still archival.
+        c.invalidate_term("hot", t0());
+        assert_eq!(c.adaptive_shard_ttl("hot"), c.config().adaptive_ttl_ceiling);
+        assert!(c.republish_interval_estimate("hot").is_none());
+        // Republished every 60s: TTL becomes ~30s, far below the 600s knob.
+        let mut now = t0();
+        for _ in 0..4 {
+            now += SimDuration::from_secs(60);
+            c.invalidate_term("hot", now);
+        }
+        let est = c.republish_interval_estimate("hot").expect("estimate");
+        assert_eq!(est, SimDuration::from_secs(60));
+        let hot_ttl = c.adaptive_shard_ttl("hot");
+        assert_eq!(hot_ttl, SimDuration::from_secs(30));
+        assert!(hot_ttl < base);
+        // The stored entry actually expires on the adapted schedule.
+        let mut s = shard("hot", 9, 2);
+        s.version = 9;
+        c.store_shard(&s, now);
+        assert!(matches!(
+            c.lookup_shard("hot", now + SimDuration::from_secs(29), 9),
+            ShardLookup::Hit(_)
+        ));
+        assert!(matches!(
+            c.lookup_shard("hot", now + SimDuration::from_secs(30), 9),
+            ShardLookup::Miss
+        ));
+        // Floor clamps a pathologically hot term.
+        let mut c2 = cache();
+        let mut now2 = t0();
+        for _ in 0..5 {
+            now2 += SimDuration::from_micros(10);
+            c2.invalidate_term("storm", now2);
+        }
+        assert_eq!(
+            c2.adaptive_shard_ttl("storm"),
+            c2.config().adaptive_ttl_floor
+        );
+    }
+
+    #[test]
+    fn same_instant_batch_invalidations_count_as_one_republish() {
+        let mut c = cache();
+        // A term appearing in three pages of one indexing batch fires three
+        // invalidations at the same instant: one republish event, so the
+        // term still reads as archival, not as a zero-interval hot storm.
+        for _ in 0..3 {
+            c.invalidate_term("multi", t0());
+        }
+        assert!(c.republish_interval_estimate("multi").is_none());
+        assert_eq!(
+            c.adaptive_shard_ttl("multi"),
+            c.config().adaptive_ttl_ceiling
+        );
+        // A later, genuinely spaced republish still produces an estimate.
+        c.invalidate_term("multi", t0() + SimDuration::from_secs(40));
+        assert_eq!(
+            c.republish_interval_estimate("multi"),
+            Some(SimDuration::from_secs(40))
+        );
+    }
+
+    #[test]
+    fn adaptive_ttl_off_keeps_the_global_knob() {
+        let mut config = CacheConfig::small();
+        config.adaptive_ttl = false;
+        let mut c = QueryCache::new(config);
+        let mut now = t0();
+        for _ in 0..4 {
+            now += SimDuration::from_secs(10);
+            c.invalidate_term("hot", now);
+        }
+        assert_eq!(c.adaptive_shard_ttl("hot"), c.config().shard_ttl);
+        assert_eq!(c.adaptive_shard_ttl("archival"), c.config().shard_ttl);
+    }
+
+    #[test]
+    fn shard_digest_orders_by_popularity() {
+        let mut c = cache();
+        for (term, v) in [("cold", 1u64), ("warm", 2), ("hot", 3)] {
+            c.store_shard(&shard(term, v, 2), t0());
+        }
+        for _ in 0..8 {
+            let _ = c.lookup_shard("hot", t0(), 3);
+        }
+        for _ in 0..3 {
+            let _ = c.lookup_shard("warm", t0(), 2);
+        }
+        let digest = c.shard_digest(2, t0());
+        assert_eq!(digest.len(), 2);
+        assert_eq!(digest[0], ("hot".to_string(), 3));
+        assert_eq!(digest[1], ("warm".to_string(), 2));
+        assert!(
+            c.peek_shard("cold").is_some(),
+            "peek sees undigested entries"
+        );
+        assert_eq!(c.cached_shard_version("hot"), Some(3));
+    }
+
+    #[test]
+    fn remote_shards_never_regress_versions() {
+        let mut c = cache();
+        let ttl = SimDuration::from_secs(120);
+        // Fresh fill into an empty tier is accepted.
+        assert_eq!(
+            c.store_remote_shard(&shard("t", 3, 2), 3, ttl, t0()),
+            RemoteAdmit::Accepted
+        );
+        // Same or older version: duplicate, the resident copy stays.
+        assert_eq!(
+            c.store_remote_shard(&shard("t", 3, 2), 3, ttl, t0()),
+            RemoteAdmit::Duplicate
+        );
+        assert_eq!(
+            c.store_remote_shard(&shard("t", 2, 2), 2, ttl, t0()),
+            RemoteAdmit::Duplicate
+        );
+        // Older than the known version (e.g. a publish observed locally).
+        assert_eq!(
+            c.store_remote_shard(&shard("t", 4, 2), 5, ttl, t0()),
+            RemoteAdmit::Stale
+        );
+        assert_eq!(
+            c.cached_shard_version("t"),
+            Some(3),
+            "stale fill must not disturb the tier"
+        );
+        // Newer version replaces.
+        assert_eq!(
+            c.store_remote_shard(&shard("t", 5, 2), 3, ttl, t0()),
+            RemoteAdmit::Accepted
+        );
+        assert_eq!(c.cached_shard_version("t"), Some(5));
+        // A version-0 (absent) shard can never travel as a fill.
+        assert_eq!(
+            c.store_remote_shard(&ShardEntry::empty("t"), 0, ttl, t0()),
+            RemoteAdmit::Stale
+        );
+    }
+
+    #[test]
+    fn remote_fill_clears_negative_entries_and_bounds_ttl() {
+        let mut c = cache();
+        c.store_shard(&ShardEntry::empty("ghost"), t0());
+        assert_eq!(c.lookup_shard("ghost", t0(), 0), ShardLookup::Negative);
+        // Gossip proves the term exists elsewhere: negative entry dies.
+        let sender_ttl = SimDuration::from_secs(45);
+        assert_eq!(
+            c.store_remote_shard(&shard("ghost", 1, 2), 1, sender_ttl, t0()),
+            RemoteAdmit::Accepted
+        );
+        assert!(matches!(
+            c.lookup_shard("ghost", t0(), 1),
+            ShardLookup::Hit(_)
+        ));
+        // TTL inherited from the sender (tighter than our archival ceiling).
+        assert!(matches!(
+            c.lookup_shard("ghost", t0() + sender_ttl, 1),
+            ShardLookup::Miss
+        ));
+        assert_eq!(c.metrics().shard.expirations, 1);
+    }
+
+    #[test]
+    fn hot_set_export_import_round_trips() {
+        let mut c = cache();
+        for i in 0..6 {
+            c.store_shard(&shard(&format!("term{i}"), i + 1, 3), t0());
+        }
+        for _ in 0..5 {
+            let _ = c.lookup_shard("term0", t0(), 1);
+        }
+        let snapshot = c.export_hot_set(4, t0());
+        let mut warm = QueryCache::new(CacheConfig::small());
+        let admitted = warm.import_hot_set(&snapshot, t0()).expect("import");
+        assert_eq!(admitted, 4);
+        assert!(matches!(
+            warm.lookup_shard("term0", t0(), 1),
+            ShardLookup::Hit(_)
+        ));
+        // Versions travel with the snapshot: a bumped current version still
+        // purges the pre-filled entry on first read.
+        assert!(matches!(
+            warm.lookup_shard("term1", t0(), 99),
+            ShardLookup::Miss
+        ));
+        // Garbage is rejected, not silently imported.
+        assert!(warm.import_hot_set(&[0x7f, 0x00], t0()).is_err());
+        assert!(QueryCache::new(CacheConfig::small())
+            .import_hot_set(&[], t0())
+            .is_err());
     }
 
     #[test]

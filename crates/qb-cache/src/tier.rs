@@ -148,6 +148,22 @@ impl<V> CacheTier<V> {
         version: u64,
         now: SimInstant,
     ) -> bool {
+        self.insert_with_ttl(key, value, bytes, version, now, self.ttl)
+    }
+
+    /// Like [`CacheTier::insert`] but with a per-entry TTL override, used by
+    /// the adaptive-TTL policy (hot, frequently-republished terms get short
+    /// lifetimes; archival terms long ones) and by gossip fills that inherit
+    /// the sender's adapted TTL.
+    pub fn insert_with_ttl(
+        &mut self,
+        key: &str,
+        value: V,
+        bytes: usize,
+        version: u64,
+        now: SimInstant,
+        ttl: SimDuration,
+    ) -> bool {
         let hash = hash_key(key);
         self.sketch.record(hash);
         if bytes > self.capacity_bytes {
@@ -181,7 +197,7 @@ impl<V> CacheTier<V> {
                 value,
                 bytes,
                 version,
-                expires_at: now + self.ttl,
+                expires_at: now + ttl,
                 tick,
                 hash,
             },
@@ -250,6 +266,41 @@ impl<V> CacheTier<V> {
     /// The recorded version of `key`, when present.
     pub fn version_of(&self, key: &str) -> Option<u64> {
         self.entries.get(key).map(|s| s.version)
+    }
+
+    /// Borrow `key`'s value without touching recency, TTL or counters (the
+    /// read side of gossip fills: building a fill must not look like query
+    /// traffic to the eviction policy).
+    pub fn peek(&self, key: &str) -> Option<&V> {
+        self.entries.get(key).map(|s| &s.value)
+    }
+
+    /// Remaining lifetime of `key` at `now`; `None` when the entry is
+    /// absent or already past its expiry (without removing it — this is a
+    /// read-only probe used by the gossip fill path).
+    pub fn remaining_ttl(&self, key: &str, now: SimInstant) -> Option<SimDuration> {
+        let slot = self.entries.get(key)?;
+        (now < slot.expires_at).then(|| slot.expires_at - now)
+    }
+
+    /// The `max` hottest keys alive at `now` with their versions, ordered by
+    /// sketch-estimated popularity (ties broken by recency, newest first).
+    /// Expired-but-resident entries are excluded: a digest must never
+    /// advertise data that has already aged out. The order is
+    /// deterministic: ticks are unique, so the sort is total.
+    pub fn hottest(&self, max: usize, now: SimInstant) -> Vec<(String, u64)> {
+        let mut ranked: Vec<(&String, u32, u64, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, slot)| now < slot.expires_at)
+            .map(|(k, slot)| (k, self.sketch.estimate(slot.hash), slot.tick, slot.version))
+            .collect();
+        ranked.sort_unstable_by_key(|&(_, freq, tick, _)| std::cmp::Reverse((freq, tick)));
+        ranked
+            .into_iter()
+            .take(max)
+            .map(|(k, _, _, v)| (k.clone(), v))
+            .collect()
     }
 
     fn remove_entry(&mut self, key: &str) -> bool {
@@ -411,6 +462,57 @@ mod tests {
         assert!(!tier.insert("big", 1, 17, 1, t0()));
         assert_eq!(tier.len(), 0);
         assert_eq!(tier.metrics.admission_rejections, 1);
+    }
+
+    #[test]
+    fn per_entry_ttl_overrides_the_tier_default() {
+        let mut tier: CacheTier<u64> =
+            CacheTier::new(100, SimDuration::from_secs(60), EvictionPolicy::Lru);
+        tier.insert_with_ttl("short", 1, 10, 1, t0(), SimDuration::from_secs(5));
+        tier.insert("long", 2, 10, 1, t0());
+        let later = t0() + SimDuration::from_secs(5);
+        assert_eq!(tier.get("short", later, None), None, "short TTL expired");
+        assert_eq!(tier.get("long", later, None), Some(&2), "default TTL holds");
+    }
+
+    #[test]
+    fn peek_does_not_touch_recency_or_counters() {
+        let mut tier = lru_tier(20);
+        tier.insert("a", 1, 10, 1, t0());
+        tier.insert("b", 2, 10, 1, t0());
+        // Peeking "a" must not protect it from LRU eviction.
+        assert_eq!(tier.peek("a"), Some(&1));
+        assert_eq!(tier.metrics.hits, 0);
+        tier.insert("c", 3, 10, 1, t0());
+        assert!(!tier.contains("a"), "peek must not refresh recency");
+        assert_eq!(tier.peek("missing"), None);
+    }
+
+    #[test]
+    fn hottest_ranks_by_frequency_then_recency() {
+        let mut tier = lru_tier(1000);
+        for (k, v) in [("a", 1u64), ("b", 2), ("c", 3)] {
+            tier.insert(k, v, 10, v, t0());
+        }
+        for _ in 0..6 {
+            tier.get("b", t0(), None);
+        }
+        for _ in 0..2 {
+            tier.get("c", t0(), None);
+        }
+        let top = tier.hottest(2, t0());
+        assert_eq!(top, vec![("b".to_string(), 2), ("c".to_string(), 3)]);
+        assert_eq!(tier.hottest(10, t0()).len(), 3);
+        // Expired entries are not advertised even while still resident, and
+        // remaining_ttl reports their true lifetime.
+        let ttl = tier.ttl();
+        assert_eq!(
+            tier.remaining_ttl("b", t0() + SimDuration::from_secs(1)),
+            Some(SimDuration(ttl.0 - 1_000_000))
+        );
+        assert_eq!(tier.hottest(10, t0() + ttl).len(), 0);
+        assert_eq!(tier.remaining_ttl("b", t0() + ttl), None);
+        assert_eq!(tier.remaining_ttl("missing", t0()), None);
     }
 
     #[test]

@@ -121,23 +121,28 @@ impl DhtNetwork {
             self.nodes[peer as usize].routing.observe(self_id, true);
             // Self-lookup wires the new node into the right buckets along the path.
             let target = self.nodes[i as usize].id.key;
-            let _ = self.iterative_find(net, i, target, None);
+            let _ = self.iterative_find(net, i, target, None, 0);
         }
         // A second pass of random lookups tightens routing tables for small n.
         for i in 0..n as u64 {
             let random_target = Hash256::digest_parts(&[b"refresh:", &i.to_be_bytes()]);
-            let _ = self.iterative_find(net, i, random_target, None);
+            let _ = self.iterative_find(net, i, random_target, None, 0);
         }
     }
 
     /// Iterative Kademlia lookup. When `want_value` is set the lookup stops
-    /// as soon as a queried node returns the record.
+    /// as soon as a queried node returns the record with a version of at
+    /// least `min_version`; replicas below that are remembered (best version
+    /// wins) but the lookup keeps digging, so a reader that knows a newer
+    /// version exists is never satisfied by a lagging replica it happens to
+    /// meet first — including its own local store.
     fn iterative_find(
         &mut self,
         net: &mut SimNet,
         from: u64,
         target: Hash256,
         want_value: Option<DhtKey>,
+        min_version: u64,
     ) -> (LookupOutcome, Option<Record>) {
         let k = self.config.k;
         let alpha = self.config.alpha.max(1);
@@ -145,18 +150,24 @@ impl DhtNetwork {
         let mut messages = 0u64;
         let mut hops = 0usize;
 
-        // Check the local store first.
+        // Check the local store first; a local replica that satisfies the
+        // freshness requirement short-circuits the whole lookup.
+        let mut found_value: Option<Record> = None;
         if let Some(key) = want_value {
             if let Some(rec) = self.nodes[from as usize].find_value(&key, net.now()) {
-                return (
-                    LookupOutcome {
-                        closest: vec![self.nodes[from as usize].id],
-                        hops: 0,
-                        messages: 0,
-                        latency: SimDuration::ZERO,
-                    },
-                    Some(rec.clone()),
-                );
+                if rec.version >= min_version {
+                    return (
+                        LookupOutcome {
+                            closest: vec![self.nodes[from as usize].id],
+                            hops: 0,
+                            messages: 0,
+                            latency: SimDuration::ZERO,
+                        },
+                        Some(rec.clone()),
+                    );
+                }
+                // Provably stale: keep it as a fallback, search on.
+                found_value = Some(rec.clone());
             }
         }
 
@@ -164,7 +175,6 @@ impl DhtNetwork {
         let mut queried: HashSet<u64> = HashSet::new();
         let mut failed: HashSet<u64> = HashSet::new();
         queried.insert(from);
-        let mut found_value: Option<Record> = None;
 
         for _round in 0..self.config.max_rounds {
             // Pick the alpha closest not-yet-queried candidates.
@@ -202,13 +212,21 @@ impl DhtNetwork {
                             .observe(from_id, true);
                         let cand_id = self.nodes[candidate.index as usize].id;
                         self.nodes[from as usize].routing.observe(cand_id, true);
-                        // Value check.
+                        // Value check: keep the freshest replica seen so far.
                         if let Some(key) = want_value {
-                            if found_value.is_none() {
+                            let fresh_enough = found_value
+                                .as_ref()
+                                .is_some_and(|r| r.version >= min_version);
+                            if !fresh_enough {
                                 if let Some(rec) =
                                     self.nodes[candidate.index as usize].find_value(&key, net.now())
                                 {
-                                    found_value = Some(rec.clone());
+                                    if found_value
+                                        .as_ref()
+                                        .is_none_or(|best| rec.version > best.version)
+                                    {
+                                        found_value = Some(rec.clone());
+                                    }
                                 }
                             }
                         }
@@ -224,7 +242,10 @@ impl DhtNetwork {
                 }
             }
             latency += parallel_latency(&round_latencies);
-            if found_value.is_some() {
+            if found_value
+                .as_ref()
+                .is_some_and(|r| r.version >= min_version)
+            {
                 break;
             }
             let before_best: Option<[u8; 32]> = shortlist
@@ -278,7 +299,7 @@ impl DhtNetwork {
         if !net.is_online(from) {
             return Err(QbError::NodeOffline(from));
         }
-        let (outcome, _) = self.iterative_find(net, from, target, None);
+        let (outcome, _) = self.iterative_find(net, from, target, None, 0);
         if outcome.closest.is_empty() {
             return Err(QbError::DhtLookupFailed(target.short()));
         }
@@ -335,10 +356,27 @@ impl DhtNetwork {
 
     /// Retrieve a record by key.
     pub fn get_record(&mut self, net: &mut SimNet, from: u64, key: DhtKey) -> QbResult<GetOutcome> {
+        self.get_record_fresh(net, from, key, 0)
+    }
+
+    /// Like [`DhtNetwork::get_record`], but the lookup is only satisfied by
+    /// a replica of version at least `min_version`: lagging replicas (the
+    /// caller's own local store included) are skipped and the lookup digs
+    /// further, falling back to the freshest replica found only when nothing
+    /// newer is reachable. Callers that track versions externally (the
+    /// engine's monotonic per-term shard counters) use this to never read
+    /// back a shard older than one they have already seen.
+    pub fn get_record_fresh(
+        &mut self,
+        net: &mut SimNet,
+        from: u64,
+        key: DhtKey,
+        min_version: u64,
+    ) -> QbResult<GetOutcome> {
         if !net.is_online(from) {
             return Err(QbError::NodeOffline(from));
         }
-        let (outcome, value) = self.iterative_find(net, from, key.0, Some(key));
+        let (outcome, value) = self.iterative_find(net, from, key.0, Some(key), min_version);
         match value {
             Some(record) => Ok(GetOutcome {
                 record,

@@ -1,0 +1,154 @@
+//! Gossip overlay configuration.
+
+use qb_common::{QbError, QbResult, SimDuration};
+
+/// Configuration of the cooperative cache-gossip overlay.
+///
+/// Two independent switches control the feature:
+///
+/// * `num_frontends > 0` turns on **fleet mode**: the engine runs that many
+///   query frontends, each with its own private query-serving cache, instead
+///   of the single shared cache. This is the gossip-off baseline E10
+///   measures against.
+/// * `enabled` turns on the **gossip exchange** between those frontends:
+///   periodic digest/fill rounds plus slower anti-entropy reconciliation.
+///
+/// Both default to off so existing deployments keep their exact behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Master switch for the gossip exchange between frontends.
+    pub enabled: bool,
+    /// Number of query frontends in the fleet (0 = fleet mode off, the
+    /// engine keeps its single query-serving cache).
+    pub num_frontends: usize,
+    /// Gossip partners each frontend contacts per round.
+    pub fanout: usize,
+    /// Simulated time between gossip rounds.
+    pub round_interval: SimDuration,
+    /// Simulated time between anti-entropy rounds. An anti-entropy exchange
+    /// digests the *entire* shard tier instead of just the hot set, so two
+    /// frontends reconcile fully after a partition heals.
+    pub anti_entropy_interval: SimDuration,
+    /// Terms per digest in a regular (hot-set) round.
+    pub hot_set_size: usize,
+    /// Upper bound on shard fills sent per exchange direction, so one
+    /// exchange can never turn into a bulk transfer.
+    pub max_fills_per_exchange: usize,
+    /// Seed for peer sampling (combined with the engine seed).
+    pub seed: u64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            enabled: false,
+            num_frontends: 0,
+            fanout: 2,
+            round_interval: SimDuration::from_millis(200),
+            anti_entropy_interval: SimDuration::from_secs(2),
+            hot_set_size: 64,
+            max_fills_per_exchange: 16,
+            seed: 0x6055,
+        }
+    }
+}
+
+impl GossipConfig {
+    /// Fleet mode without gossip: `n` frontends with private caches (the
+    /// cold-start baseline).
+    pub fn fleet(n: usize) -> GossipConfig {
+        GossipConfig {
+            num_frontends: n,
+            ..GossipConfig::default()
+        }
+    }
+
+    /// Fleet mode with the gossip exchange on.
+    pub fn enabled(n: usize) -> GossipConfig {
+        GossipConfig {
+            enabled: true,
+            num_frontends: n,
+            ..GossipConfig::default()
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> QbResult<()> {
+        if self.num_frontends == 0 {
+            if self.enabled {
+                return Err(QbError::Config(
+                    "gossip requires a frontend fleet (num_frontends >= 2)".into(),
+                ));
+            }
+            return Ok(());
+        }
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.num_frontends < 2 {
+            return Err(QbError::Config(
+                "gossip needs at least 2 frontends to exchange with".into(),
+            ));
+        }
+        if self.fanout == 0 {
+            return Err(QbError::Config("gossip fanout must be positive".into()));
+        }
+        if self.round_interval == SimDuration::ZERO
+            || self.anti_entropy_interval == SimDuration::ZERO
+        {
+            return Err(QbError::Config(
+                "gossip round intervals must be positive".into(),
+            ));
+        }
+        if self.hot_set_size == 0 || self.max_fills_per_exchange == 0 {
+            return Err(QbError::Config(
+                "gossip hot-set size and fill budget must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off_and_valid() {
+        let c = GossipConfig::default();
+        assert!(!c.enabled);
+        assert_eq!(c.num_frontends, 0);
+        assert!(c.validate().is_ok());
+        assert!(GossipConfig::fleet(4).validate().is_ok());
+        assert!(GossipConfig::enabled(4).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = GossipConfig::enabled(4);
+        c.num_frontends = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enabled(1);
+        assert!(c.validate().is_err());
+        c.num_frontends = 2;
+        assert!(c.validate().is_ok());
+
+        let mut c = GossipConfig::enabled(4);
+        c.fanout = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enabled(4);
+        c.round_interval = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enabled(4);
+        c.max_fills_per_exchange = 0;
+        assert!(c.validate().is_err());
+
+        // Fleet without gossip tolerates degenerate gossip knobs.
+        let mut c = GossipConfig::fleet(1);
+        c.fanout = 0;
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,142 @@
+//! Digests and version vectors — the metadata side of the gossip protocol.
+
+use std::collections::BTreeMap;
+
+/// A digest of one frontend's (hot) cached shards: `(term, version)` pairs
+/// in descending popularity order. Exchanging digests first lets peers ship
+/// only the shards the other side actually lacks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Digest {
+    /// `(term, shard version)` pairs, hottest first.
+    pub entries: Vec<(String, u64)>,
+}
+
+impl Digest {
+    /// Build from a cache's `(term, version)` listing.
+    pub fn new(entries: Vec<(String, u64)>) -> Digest {
+        Digest { entries }
+    }
+
+    /// Number of advertised terms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is advertised.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes this digest occupies on the wire: each entry ships the term,
+    /// a varint-bounded version (budgeted at 8) and a length prefix, plus a
+    /// small frame header. Charged to the simulated network per exchange.
+    pub fn wire_bytes(&self) -> usize {
+        16 + self.entries.iter().map(|(t, _)| t.len() + 9).sum::<usize>()
+    }
+
+    /// The version this digest advertises for `term`, if any.
+    pub fn version_of(&self, term: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(t, _)| t == term)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Per-term version knowledge of one frontend — the version-vector guard of
+/// the protocol. A frontend records the highest shard version it has seen
+/// for each term (own DHT fetches, publish events it observed, gossip
+/// digests and fills); an incoming fill older than the recorded version is
+/// rejected as stale, so a lagging replica can never overwrite fresher data
+/// no matter how gossip routes it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionVector {
+    versions: BTreeMap<String, u64>,
+}
+
+impl VersionVector {
+    /// An empty vector (nothing observed yet).
+    pub fn new() -> VersionVector {
+        VersionVector::default()
+    }
+
+    /// Record that `version` of `term` exists. Monotonic: an older
+    /// observation never lowers the recorded version.
+    pub fn observe(&mut self, term: &str, version: u64) {
+        let slot = self.versions.entry(term.to_string()).or_insert(0);
+        *slot = (*slot).max(version);
+    }
+
+    /// Highest version observed for `term` (0 when never observed).
+    pub fn get(&self, term: &str) -> u64 {
+        self.versions.get(term).copied().unwrap_or(0)
+    }
+
+    /// Number of terms with a recorded version.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when nothing was observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Fold another vector in (pairwise max).
+    pub fn merge(&mut self, other: &VersionVector) {
+        for (term, v) in &other.versions {
+            self.observe(term, *v);
+        }
+    }
+
+    /// Does this vector dominate `other` (>= on every term of `other`)?
+    pub fn dominates(&self, other: &VersionVector) -> bool {
+        other.versions.iter().all(|(t, v)| self.get(t) >= *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_wire_bytes_scale_with_terms() {
+        let empty = Digest::default();
+        assert!(empty.is_empty());
+        let d = Digest::new(vec![("honey".into(), 3), ("bees".into(), 1)]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.wire_bytes(), 16 + (5 + 9) + (4 + 9));
+        assert!(d.wire_bytes() > empty.wire_bytes());
+        assert_eq!(d.version_of("honey"), Some(3));
+        assert_eq!(d.version_of("nope"), None);
+    }
+
+    #[test]
+    fn version_vector_is_monotonic() {
+        let mut v = VersionVector::new();
+        assert!(v.is_empty());
+        assert_eq!(v.get("t"), 0);
+        v.observe("t", 3);
+        v.observe("t", 1); // older observation is a no-op
+        assert_eq!(v.get("t"), 3);
+        v.observe("t", 5);
+        assert_eq!(v.get("t"), 5);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn merge_and_dominates() {
+        let mut a = VersionVector::new();
+        a.observe("x", 2);
+        a.observe("y", 1);
+        let mut b = VersionVector::new();
+        b.observe("x", 1);
+        b.observe("z", 4);
+        assert!(!a.dominates(&b));
+        a.merge(&b);
+        assert_eq!(a.get("x"), 2);
+        assert_eq!(a.get("z"), 4);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+}

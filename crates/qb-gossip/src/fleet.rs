@@ -1,0 +1,511 @@
+//! The frontend fleet and the epidemic exchange protocol.
+//!
+//! Every frontend owns a private [`QueryCache`] plus a [`VersionVector`] of
+//! the highest shard version it has observed per term. A gossip round walks
+//! the fleet; each frontend samples `fanout` partners and runs one
+//! *exchange* with each:
+//!
+//! 1. **Digest swap** — one RPC carrying both sides' hot-set digests
+//!    (`(term, shard version)` pairs, hottest first). Anti-entropy rounds
+//!    digest the entire shard tier instead, so two frontends reconcile
+//!    fully after a partition heals.
+//! 2. **Fills, both directions** — each side pushes the shards the other's
+//!    digest lacks (bounded by `max_fills_per_exchange`), as one batched
+//!    one-way message. A fill carries the *remaining* lifetime of the
+//!    sender's copy; the receiver stores it under `min(remaining, own
+//!    adapted TTL)`, so relaying a shard around the fleet can only tighten
+//!    its staleness bound, never restart the clock.
+//! 3. **Version guard** — the receiver admits a fill only if its version is
+//!    at least the highest version the receiver has observed for that term,
+//!    and strictly newer than its cached copy. A stale shard is *never*
+//!    accepted over a fresher one, no matter how gossip routes it.
+//!
+//! All traffic goes through [`SimNet`] and is charged to its `NetStats`;
+//! partitions and offline peers fail exchanges exactly like any other RPC.
+
+use crate::config::GossipConfig;
+use crate::digest::{Digest, VersionVector};
+use crate::stats::GossipStats;
+use qb_cache::{CacheConfig, QueryCache, RemoteAdmit};
+use qb_common::{DetRng, SimDuration, SimInstant};
+use qb_index::ShardEntry;
+use qb_simnet::SimNet;
+
+/// Wire overhead charged per shard in a fill batch (frame, version, TTL).
+const FILL_ENTRY_OVERHEAD: usize = 12;
+
+/// Most rounds one `maybe_run` call fires when catching up after a large
+/// simulated-time step.
+const MAX_CATCHUP_ROUNDS: usize = 8;
+
+/// One query frontend: a peer in the simulated network, its private cache
+/// and its per-term version knowledge.
+#[derive(Debug)]
+pub struct Frontend {
+    /// The simulated peer this frontend runs on.
+    pub peer: u64,
+    /// Highest shard version observed per term (DHT fetches, publish events,
+    /// gossip digests and fills).
+    pub known: VersionVector,
+    /// The private query-serving cache. `None` only while the engine's
+    /// search path has it checked out.
+    cache: Option<QueryCache>,
+}
+
+impl Frontend {
+    fn new(peer: u64, cache_config: CacheConfig) -> Frontend {
+        Frontend {
+            peer,
+            known: VersionVector::new(),
+            cache: Some(QueryCache::new(cache_config)),
+        }
+    }
+
+    /// Borrow the cache (panics while checked out by the search path).
+    pub fn cache(&self) -> &QueryCache {
+        self.cache.as_ref().expect("frontend cache checked out")
+    }
+
+    /// Mutably borrow the cache (panics while checked out).
+    pub fn cache_mut(&mut self) -> &mut QueryCache {
+        self.cache.as_mut().expect("frontend cache checked out")
+    }
+
+    fn digest(&self, config: &GossipConfig, full: bool, now: SimInstant) -> Digest {
+        let max = if full {
+            usize::MAX
+        } else {
+            config.hot_set_size
+        };
+        Digest::new(self.cache().shard_digest(max, now))
+    }
+}
+
+/// The gossip overlay over a fleet of frontends.
+#[derive(Debug)]
+pub struct GossipFleet {
+    config: GossipConfig,
+    frontends: Vec<Frontend>,
+    rng: DetRng,
+    next_round_at: SimInstant,
+    next_anti_entropy_at: SimInstant,
+    stats: GossipStats,
+}
+
+impl GossipFleet {
+    /// Build a fleet of `config.num_frontends` frontends on peers
+    /// `0..num_frontends`, each with a private cache built from
+    /// `cache_config`. `seed` is mixed with the gossip seed so two engines
+    /// differing only in their master seed sample different partners.
+    pub fn new(config: GossipConfig, cache_config: &CacheConfig, seed: u64) -> GossipFleet {
+        let frontends = (0..config.num_frontends)
+            .map(|i| Frontend::new(i as u64, cache_config.clone()))
+            .collect();
+        let rng = DetRng::new(seed ^ config.seed.rotate_left(17));
+        GossipFleet {
+            next_round_at: SimInstant::ZERO + config.round_interval,
+            next_anti_entropy_at: SimInstant::ZERO + config.anti_entropy_interval,
+            config,
+            frontends,
+            rng,
+            stats: GossipStats::default(),
+        }
+    }
+
+    /// Number of frontends.
+    pub fn len(&self) -> usize {
+        self.frontends.len()
+    }
+
+    /// True when the fleet has no frontends.
+    pub fn is_empty(&self) -> bool {
+        self.frontends.is_empty()
+    }
+
+    /// The configuration the fleet runs.
+    pub fn config(&self) -> &GossipConfig {
+        &self.config
+    }
+
+    /// Cumulative gossip counters.
+    pub fn stats(&self) -> &GossipStats {
+        &self.stats
+    }
+
+    /// Borrow one frontend.
+    pub fn frontend(&self, i: usize) -> &Frontend {
+        &self.frontends[i]
+    }
+
+    /// The simulated peer frontend `i` runs on.
+    pub fn frontend_peer(&self, i: usize) -> u64 {
+        self.frontends[i].peer
+    }
+
+    /// Mutably borrow one frontend's cache.
+    pub fn cache_mut(&mut self, i: usize) -> &mut QueryCache {
+        self.frontends[i].cache_mut()
+    }
+
+    /// Check frontend `i`'s cache out of the fleet (the engine's search
+    /// path works on it while also borrowing the rest of the engine).
+    pub fn take_cache(&mut self, i: usize) -> Option<QueryCache> {
+        self.frontends[i].cache.take()
+    }
+
+    /// Return a checked-out cache.
+    pub fn restore_cache(&mut self, i: usize, cache: Option<QueryCache>) {
+        self.frontends[i].cache = cache;
+    }
+
+    /// Record that frontend `i` observed `version` of `term` (e.g. through
+    /// its own DHT fetch).
+    pub fn observe(&mut self, i: usize, term: &str, version: u64) {
+        self.frontends[i].known.observe(term, version);
+    }
+
+    /// A page version touching `term` was (re)indexed at `version` by a bee
+    /// on `writer_peer`. Every frontend that can currently observe the
+    /// publish (same partition, online) invalidates its cached entries and
+    /// records the new version; partitioned frontends miss the event and
+    /// catch up through read-time version checks and anti-entropy after the
+    /// partition heals.
+    pub fn observe_publish(
+        &mut self,
+        net: &SimNet,
+        writer_peer: u64,
+        term: &str,
+        version: u64,
+        now: SimInstant,
+    ) {
+        for f in &mut self.frontends {
+            if !net.can_reach(writer_peer, f.peer) {
+                continue;
+            }
+            f.known.observe(term, version);
+            if let Some(cache) = f.cache.as_mut() {
+                cache.invalidate_term(term, now);
+            }
+        }
+    }
+
+    /// Serialize frontend `i`'s hottest `max` shards for warm-start
+    /// persistence.
+    pub fn export_hot_set(&self, i: usize, max: usize, now: SimInstant) -> Vec<u8> {
+        self.frontends[i].cache().export_hot_set(max, now)
+    }
+
+    /// Pre-fill frontend `i`'s shard tier from a warm-start snapshot,
+    /// recording the imported versions in its version vector. Returns the
+    /// number of shards admitted.
+    pub fn import_hot_set(
+        &mut self,
+        i: usize,
+        data: &[u8],
+        now: SimInstant,
+    ) -> qb_common::QbResult<usize> {
+        let admitted = self.frontends[i].cache_mut().import_hot_set(data, now)?;
+        let digest = self.frontends[i].cache().shard_digest(usize::MAX, now);
+        for (term, version) in digest {
+            self.frontends[i].known.observe(&term, version);
+        }
+        Ok(admitted)
+    }
+
+    /// Run every gossip round that became due by `now` (a large time step
+    /// fires the backlog, keeping the configured pacing relative to
+    /// simulated time). Catch-up is capped: epidemic convergence is
+    /// logarithmic in rounds, so past [`MAX_CATCHUP_ROUNDS`] back-to-back
+    /// rounds at one instant add nothing and the remaining backlog is
+    /// dropped. Returns true when at least one round ran.
+    pub fn maybe_run(&mut self, net: &mut SimNet, now: SimInstant) -> bool {
+        if !self.config.enabled || self.frontends.len() < 2 {
+            return false;
+        }
+        let mut fired = 0usize;
+        while now >= self.next_round_at && fired < MAX_CATCHUP_ROUNDS {
+            let anti_entropy = now >= self.next_anti_entropy_at;
+            self.run_round(net, now, anti_entropy);
+            if anti_entropy {
+                self.next_anti_entropy_at = now + self.config.anti_entropy_interval;
+            }
+            self.next_round_at += self.config.round_interval;
+            fired += 1;
+        }
+        if now >= self.next_round_at {
+            // Backlog beyond the cap is dropped, not replayed later.
+            self.next_round_at = now + self.config.round_interval;
+        }
+        fired > 0
+    }
+
+    /// Run one gossip round unconditionally (tests and experiments).
+    /// `anti_entropy` swaps full digests instead of hot sets.
+    pub fn run_round(&mut self, net: &mut SimNet, now: SimInstant, anti_entropy: bool) {
+        if anti_entropy {
+            self.stats.anti_entropy_rounds += 1;
+        } else {
+            self.stats.rounds += 1;
+        }
+        let n = self.frontends.len();
+        for i in 0..n {
+            // Uniform peer sampling without replacement.
+            let mut partners: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            self.rng.shuffle(&mut partners);
+            partners.truncate(self.config.fanout);
+            for j in partners {
+                let (a, b) = pair_mut(&mut self.frontends, i, j);
+                exchange(&self.config, a, b, net, now, anti_entropy, &mut self.stats);
+            }
+        }
+    }
+}
+
+/// Disjoint mutable borrows of two fleet slots.
+fn pair_mut(frontends: &mut [Frontend], i: usize, j: usize) -> (&mut Frontend, &mut Frontend) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (left, right) = frontends.split_at_mut(j);
+        (&mut left[i], &mut right[0])
+    } else {
+        let (left, right) = frontends.split_at_mut(i);
+        (&mut right[0], &mut left[j])
+    }
+}
+
+/// One digest/fill exchange between two frontends.
+fn exchange(
+    config: &GossipConfig,
+    a: &mut Frontend,
+    b: &mut Frontend,
+    net: &mut SimNet,
+    now: SimInstant,
+    full: bool,
+    stats: &mut GossipStats,
+) {
+    // Digests are rebuilt per exchange on purpose: a frontend warmed
+    // earlier in this round advertises (and relays) its fresh shards in the
+    // same round, giving multi-hop propagation per round instead of one.
+    let digest_a = a.digest(config, full, now);
+    let digest_b = b.digest(config, full, now);
+    // The digest swap is one request/response RPC; a partitioned or offline
+    // partner fails it here and no state moves.
+    if net
+        .rpc(a.peer, b.peer, digest_a.wire_bytes(), digest_b.wire_bytes())
+        .is_err()
+    {
+        stats.failed_exchanges += 1;
+        return;
+    }
+    stats.exchanges += 1;
+    stats.digest_bytes += (digest_a.wire_bytes() + digest_b.wire_bytes()) as u64;
+    // Both sides learn which versions exist before any fill is admitted.
+    for (term, version) in &digest_a.entries {
+        b.known.observe(term, *version);
+    }
+    for (term, version) in &digest_b.entries {
+        a.known.observe(term, *version);
+    }
+    send_fills(config, a, b, &digest_a, &digest_b, net, now, stats);
+    send_fills(config, b, a, &digest_b, &digest_a, net, now, stats);
+}
+
+/// Push the shards `from`'s digest advertises and `to`'s digest lacks, as
+/// one batched one-way message, then admit them under the version guard.
+#[allow(clippy::too_many_arguments)]
+fn send_fills(
+    config: &GossipConfig,
+    from: &mut Frontend,
+    to: &mut Frontend,
+    from_digest: &Digest,
+    to_digest: &Digest,
+    net: &mut SimNet,
+    now: SimInstant,
+    stats: &mut GossipStats,
+) {
+    let mut fills: Vec<(ShardEntry, SimDuration)> = Vec::new();
+    let mut batch_bytes = 0usize;
+    // Index the partner's advertised versions once: anti-entropy digests
+    // cover the whole shard tier, so a per-entry linear scan would make the
+    // exchange quadratic in cached terms.
+    let advertised: std::collections::HashMap<&str, u64> = to_digest
+        .entries
+        .iter()
+        .map(|(t, v)| (t.as_str(), *v))
+        .collect();
+    for (term, version) in &from_digest.entries {
+        if fills.len() >= config.max_fills_per_exchange {
+            break;
+        }
+        if *version == 0 {
+            continue;
+        }
+        // The sender only knows what the partner's digest advertised; an
+        // equal-or-newer advertised copy needs no fill. Terms the partner
+        // holds but did not advertise are caught receiver-side as
+        // duplicates.
+        if advertised
+            .get(term.as_str())
+            .is_some_and(|v| *v >= *version)
+        {
+            continue;
+        }
+        let Some(shard) = from.cache().peek_shard(term) else {
+            continue;
+        };
+        batch_bytes += shard.encoded_len() + FILL_ENTRY_OVERHEAD;
+        fills.push((shard.clone(), from.cache().adaptive_shard_ttl(term)));
+    }
+    if fills.is_empty() {
+        return;
+    }
+    if net.send(from.peer, to.peer, batch_bytes).is_err() {
+        // The digest swap already counted as a completed exchange; a
+        // dropped fill batch is its own failure class.
+        stats.failed_fills += 1;
+        return;
+    }
+    stats.fill_bytes += batch_bytes as u64;
+    for (shard, sender_ttl) in fills {
+        stats.shards_pushed += 1;
+        let known = to.known.get(&shard.term);
+        match to
+            .cache_mut()
+            .store_remote_shard(&shard, known, sender_ttl, now)
+        {
+            RemoteAdmit::Accepted => {
+                stats.shards_accepted += 1;
+                to.known.observe(&shard.term, shard.version);
+            }
+            RemoteAdmit::Stale => stats.stale_rejected += 1,
+            RemoteAdmit::Duplicate => stats.duplicates_skipped += 1,
+            RemoteAdmit::Refused => stats.admission_refused += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_index::ShardPosting;
+    use qb_simnet::NetConfig;
+
+    fn shard(term: &str, version: u64, docs: usize) -> ShardEntry {
+        let mut s = ShardEntry::empty(term);
+        s.version = version;
+        for i in 0..docs as u64 {
+            s.upsert(ShardPosting {
+                doc_id: i * 7 + 1,
+                term_freq: 2,
+                doc_len: 50,
+                name: format!("page/{term}/{i}"),
+                version: 1,
+                creator: 1,
+            });
+        }
+        s
+    }
+
+    fn fleet(n: usize) -> (GossipFleet, SimNet) {
+        let net = SimNet::new(n + 8, NetConfig::lan(), 7);
+        let fleet = GossipFleet::new(GossipConfig::enabled(n), &CacheConfig::enabled(), 0xF1EE7);
+        (fleet, net)
+    }
+
+    #[test]
+    fn one_frontends_fetch_warms_the_fleet() {
+        let (mut fleet, mut net) = fleet(3);
+        let now = SimInstant::ZERO;
+        fleet.cache_mut(0).store_shard(&shard("honey", 2, 4), now);
+        fleet.observe(0, "honey", 2);
+        fleet.run_round(&mut net, now, false);
+        for i in 1..3 {
+            assert_eq!(
+                fleet.frontend(i).cache().cached_shard_version("honey"),
+                Some(2),
+                "frontend {i} should have been warmed"
+            );
+            assert_eq!(fleet.frontend(i).known.get("honey"), 2);
+        }
+        let s = fleet.stats();
+        assert!(s.shards_accepted >= 2);
+        assert!(s.digest_bytes > 0 && s.fill_bytes > 0);
+        assert_eq!(s.stale_rejected, 0);
+        // A second round moves nothing new.
+        let accepted_before = fleet.stats().shards_accepted;
+        fleet.run_round(&mut net, now, false);
+        assert_eq!(fleet.stats().shards_accepted, accepted_before);
+    }
+
+    #[test]
+    fn maybe_run_respects_intervals_and_enablement() {
+        let (mut fleet, mut net) = fleet(2);
+        let interval = fleet.config().round_interval;
+        assert!(!fleet.maybe_run(&mut net, SimInstant::ZERO), "not due yet");
+        assert!(fleet.maybe_run(&mut net, SimInstant::ZERO + interval));
+        assert!(
+            !fleet.maybe_run(&mut net, SimInstant::ZERO + interval),
+            "same instant must not double-fire"
+        );
+        // Disabled overlay never runs.
+        let net2 = SimNet::new(8, NetConfig::lan(), 1);
+        let mut off = GossipFleet::new(GossipConfig::fleet(2), &CacheConfig::enabled(), 1);
+        let mut net2 = net2;
+        assert!(!off.maybe_run(&mut net2, SimInstant::ZERO + interval));
+        assert_eq!(off.stats().rounds, 0);
+    }
+
+    #[test]
+    fn partitioned_frontends_fail_exchanges_then_recover() {
+        let (mut fleet, mut net) = fleet(2);
+        let now = SimInstant::ZERO;
+        fleet.cache_mut(0).store_shard(&shard("nectar", 1, 3), now);
+        net.set_partition(fleet.frontend_peer(1), 9);
+        fleet.run_round(&mut net, now, false);
+        assert!(fleet.stats().failed_exchanges > 0);
+        assert_eq!(
+            fleet.frontend(1).cache().cached_shard_version("nectar"),
+            None
+        );
+        net.heal_all();
+        fleet.run_round(&mut net, now, true);
+        assert_eq!(
+            fleet.frontend(1).cache().cached_shard_version("nectar"),
+            Some(1)
+        );
+        assert_eq!(fleet.stats().anti_entropy_rounds, 1);
+    }
+
+    #[test]
+    fn stale_copies_are_rejected_by_the_version_guard() {
+        let (mut fleet, mut net) = fleet(2);
+        let now = SimInstant::ZERO;
+        // Frontend 0 still holds v1; frontend 1 observed the v2 republish
+        // (e.g. through a publish event) but has nothing cached.
+        fleet.cache_mut(0).store_shard(&shard("news", 1, 2), now);
+        fleet.observe(1, "news", 2);
+        fleet.run_round(&mut net, now, false);
+        assert_eq!(
+            fleet.frontend(1).cache().cached_shard_version("news"),
+            None,
+            "a stale shard must never be accepted over fresher knowledge"
+        );
+        assert!(fleet.stats().stale_rejected > 0);
+    }
+
+    #[test]
+    fn warm_start_round_trips_through_the_fleet() {
+        let (mut fleet, _net) = fleet(2);
+        let now = SimInstant::ZERO;
+        fleet.cache_mut(0).store_shard(&shard("alpha", 3, 2), now);
+        fleet.cache_mut(0).store_shard(&shard("beta", 1, 2), now);
+        let snapshot = fleet.export_hot_set(0, 8, now);
+        let admitted = fleet.import_hot_set(1, &snapshot, now).unwrap();
+        assert_eq!(admitted, 2);
+        assert_eq!(
+            fleet.frontend(1).cache().cached_shard_version("alpha"),
+            Some(3)
+        );
+        assert_eq!(fleet.frontend(1).known.get("alpha"), 3);
+    }
+}

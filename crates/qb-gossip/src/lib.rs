@@ -1,0 +1,47 @@
+//! `qb-gossip`: a cooperative cache-gossip overlay so one bee's shard fetch
+//! warms the whole frontend fleet.
+//!
+//! PR 1's query-serving cache removed repeat-query cost for a *single*
+//! frontend, but every frontend still cold-started alone, re-fetching the
+//! same Zipf head from the DHT. This crate adds the one-hop-further
+//! mitigation real deployments use (SwarmSearch-style result sharing, IPFS
+//! provider-record gossip): frontends periodically exchange digests of
+//! their hottest cached term shards and push/pull the shards the other side
+//! lacks, so a shard fetched from the DHT by one frontend lands in its
+//! neighbours' shard tiers before they ever query it.
+//!
+//! The pieces:
+//!
+//! * [`GossipConfig`] — fleet size, fanout, round/anti-entropy intervals,
+//!   hot-set size and fill budget. Default-off.
+//! * [`Digest`] / [`VersionVector`] — the metadata protocol. Every frontend
+//!   tracks the highest shard version it has observed per term; an incoming
+//!   fill older than that is rejected, so a stale shard is never accepted
+//!   over a fresher one regardless of gossip routing.
+//! * [`GossipFleet`] / [`Frontend`] — the fleet of per-frontend caches and
+//!   the exchange protocol. All traffic flows through [`qb_simnet::SimNet`]
+//!   and is charged to its `NetStats`; partitions fail exchanges, and
+//!   periodic anti-entropy rounds (full-digest swaps) reconcile fleets
+//!   after a partition heals.
+//! * [`GossipStats`] — rounds, exchange failures, digest/fill bytes and the
+//!   accept/stale/duplicate breakdown, for the E10 overhead accounting.
+//! * Warm-start persistence — [`GossipFleet::export_hot_set`] /
+//!   [`GossipFleet::import_hot_set`] snapshot a frontend's hottest shards
+//!   so a restarted frontend pre-fills from its last session instead of
+//!   cold-starting against the DHT.
+//!
+//! Correctness rests on three rails shared with `qb-cache`: read-time
+//! version checks (the engine validates every cached shard against the
+//! current version before serving), publish-path invalidation (observing
+//! frontends purge on reindex), and TTLs (gossip fills inherit the
+//! sender's adaptive TTL, tightened by the receiver's own estimate).
+
+pub mod config;
+pub mod digest;
+pub mod fleet;
+pub mod stats;
+
+pub use config::GossipConfig;
+pub use digest::{Digest, VersionVector};
+pub use fleet::{Frontend, GossipFleet};
+pub use stats::GossipStats;

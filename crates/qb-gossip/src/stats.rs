@@ -1,0 +1,102 @@
+//! Gossip traffic and effectiveness counters.
+
+use std::fmt;
+
+/// Cumulative counters of the gossip overlay. Byte counters mirror exactly
+/// what was charged to the simulated network, so experiment tables can
+/// report gossip overhead next to the DHT traffic it saves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GossipStats {
+    /// Hot-set gossip rounds run.
+    pub rounds: u64,
+    /// Anti-entropy (full digest) rounds run.
+    pub anti_entropy_rounds: u64,
+    /// Digest exchanges completed.
+    pub exchanges: u64,
+    /// Digest exchanges that failed (partition, offline peer, drop).
+    pub failed_exchanges: u64,
+    /// Fill batches dropped after a successful digest swap (counted apart
+    /// from `failed_exchanges` so ok + failed exchanges still sum to the
+    /// pairs attempted).
+    pub failed_fills: u64,
+    /// Bytes spent on digest traffic.
+    pub digest_bytes: u64,
+    /// Bytes spent on shard fills.
+    pub fill_bytes: u64,
+    /// Shard fills sent.
+    pub shards_pushed: u64,
+    /// Shard fills accepted into a receiver's cache.
+    pub shards_accepted: u64,
+    /// Fills rejected because the receiver already knew a newer version —
+    /// the staleness guard firing, not an error.
+    pub stale_rejected: u64,
+    /// Fills skipped because the receiver already held an equal-or-newer
+    /// copy (digest raced a concurrent fetch).
+    pub duplicates_skipped: u64,
+    /// Fills the receiving tier's admission policy refused.
+    pub admission_refused: u64,
+}
+
+impl GossipStats {
+    /// Total gossip overhead on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.digest_bytes + self.fill_bytes
+    }
+
+    /// Fraction of pushed fills that were accepted (0.0 when none pushed).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.shards_pushed == 0 {
+            0.0
+        } else {
+            self.shards_accepted as f64 / self.shards_pushed as f64
+        }
+    }
+}
+
+impl fmt::Display for GossipStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gossip: {} rounds (+{} anti-entropy), {} exchanges ({} failed)",
+            self.rounds, self.anti_entropy_rounds, self.exchanges, self.failed_exchanges
+        )?;
+        writeln!(
+            f,
+            "  fills: {} pushed, {} accepted, {} stale-rejected, {} duplicates, {} refused, {} batches dropped",
+            self.shards_pushed,
+            self.shards_accepted,
+            self.stale_rejected,
+            self.duplicates_skipped,
+            self.admission_refused,
+            self.failed_fills
+        )?;
+        writeln!(
+            f,
+            "  bytes: {} digest + {} fill = {} total",
+            self.digest_bytes,
+            self.fill_bytes,
+            self.total_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let s = GossipStats {
+            digest_bytes: 100,
+            fill_bytes: 300,
+            shards_pushed: 4,
+            shards_accepted: 3,
+            ..GossipStats::default()
+        };
+        assert_eq!(s.total_bytes(), 400);
+        assert!((s.acceptance_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(GossipStats::default().acceptance_rate(), 0.0);
+        let text = s.to_string();
+        assert!(text.contains("3 accepted"));
+    }
+}

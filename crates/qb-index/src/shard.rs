@@ -110,6 +110,27 @@ impl ShardEntry {
         )
     }
 
+    /// Exact byte length of [`ShardEntry::encode`]'s output, without
+    /// serializing — for wire-cost accounting (e.g. gossip fill batches).
+    pub fn encoded_len(&self) -> usize {
+        let mut len = varint::encoded_len(self.term.len() as u64)
+            + self.term.len()
+            + varint::encoded_len(self.version)
+            + varint::encoded_len(self.postings.len() as u64);
+        let mut prev = 0u64;
+        for p in &self.postings {
+            len += varint::encoded_len(p.doc_id.wrapping_sub(prev));
+            prev = p.doc_id;
+            len += varint::encoded_len(p.term_freq as u64)
+                + varint::encoded_len(p.doc_len as u64)
+                + varint::encoded_len(p.version)
+                + varint::encoded_len(p.creator)
+                + varint::encoded_len(p.name.len() as u64)
+                + p.name.len();
+        }
+        len
+    }
+
     /// Serialize the shard.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + self.postings.len() * 32);
@@ -289,9 +310,25 @@ impl DistributedIndex {
         peer: u64,
         term: &str,
     ) -> QbResult<(ShardEntry, IndexOpCost)> {
+        self.read_shard_fresh(net, dht, storage, peer, term, 0)
+    }
+
+    /// Like [`DistributedIndex::read_shard`], but a replica older than
+    /// `min_version` does not satisfy the lookup: the DHT digs past lagging
+    /// replicas (read-repair semantics), so a caller that has already seen
+    /// `min_version` of this term never reads the index backwards in time.
+    pub fn read_shard_fresh(
+        &self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        storage: &mut StorageNetwork,
+        peer: u64,
+        term: &str,
+        min_version: u64,
+    ) -> QbResult<(ShardEntry, IndexOpCost)> {
         let mut cost = IndexOpCost::default();
         let key = DhtKey::for_term(term);
-        let record = match dht.get_record(net, peer, key) {
+        let record = match dht.get_record_fresh(net, peer, key, min_version) {
             Ok(got) => {
                 cost.add(got.latency, got.messages);
                 got.record
@@ -436,8 +473,13 @@ mod tests {
         for i in 0..50u64 {
             shard.upsert(posting(i * 17, (i % 5) as u32 + 1, &format!("page/{i}")));
         }
-        let decoded = ShardEntry::decode(&shard.encode()).unwrap();
-        assert_eq!(decoded, shard);
+        let encoded = shard.encode();
+        assert_eq!(ShardEntry::decode(&encoded).unwrap(), shard);
+        assert_eq!(shard.encoded_len(), encoded.len());
+        assert_eq!(
+            ShardEntry::empty("t").encoded_len(),
+            ShardEntry::empty("t").encode().len()
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use qb_cache::CacheConfig;
 use qb_chain::ChainConfig;
 use qb_dht::DhtConfig;
+use qb_gossip::GossipConfig;
 use qb_rank::DecentralizedPageRank;
 use qb_simnet::NetConfig;
 use qb_storage::StorageConfig;
@@ -42,6 +43,12 @@ pub struct QueenBeeConfig {
     /// Frontend query-serving cache (result/shard/negative tiers). Disabled
     /// by default so deployments keep the uncached seed behavior.
     pub cache: CacheConfig,
+    /// Frontend fleet + cooperative cache-gossip overlay. Default-off; with
+    /// `num_frontends > 0` the engine runs that many frontends with private
+    /// caches (on peers `0..num_frontends`), and with `enabled` they gossip
+    /// hot-shard digests and fills so one frontend's DHT fetch warms the
+    /// rest of the fleet.
+    pub gossip: GossipConfig,
     /// Stake each bee deposits at registration (slashable).
     pub bee_stake: u64,
     /// Honey slashed from a bee caught submitting manipulated data.
@@ -67,6 +74,7 @@ impl Default for QueenBeeConfig {
             duplicate_detection: true,
             duplicate_threshold: 0.8,
             cache: CacheConfig::default(),
+            gossip: GossipConfig::default(),
             bee_stake: 1_000,
             slash_amount: 500,
             seed: 0xBEE5,
@@ -115,6 +123,21 @@ impl QueenBeeConfig {
             ));
         }
         self.cache.validate()?;
+        self.gossip.validate()?;
+        if self.gossip.num_frontends > 0 {
+            if !self.cache.enabled {
+                return Err(QbError::Config(
+                    "a frontend fleet needs the query cache enabled (gossip fills land in its shard tier)"
+                        .into(),
+                ));
+            }
+            if self.gossip.num_frontends + self.num_bees > self.num_peers {
+                return Err(QbError::Config(format!(
+                    "num_frontends ({}) + num_bees ({}) must fit within num_peers ({})",
+                    self.gossip.num_frontends, self.num_bees, self.num_peers
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -153,5 +176,13 @@ mod tests {
         assert!(c.validate().is_err());
         c.cache.enabled = false;
         assert!(c.validate().is_ok());
+        // A frontend fleet requires the cache and room next to the bees.
+        let mut c = QueenBeeConfig::small();
+        c.gossip = GossipConfig::enabled(4);
+        assert!(c.validate().is_err(), "fleet without cache is invalid");
+        c.cache = CacheConfig::enabled();
+        assert!(c.validate().is_ok());
+        c.gossip.num_frontends = c.num_peers;
+        assert!(c.validate().is_err(), "fleet + bees must fit in the peers");
     }
 }

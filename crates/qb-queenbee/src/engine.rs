@@ -11,6 +11,7 @@ use qb_chain::{AccountId, AdId, Blockchain, Call, Event};
 use qb_common::{DhtKey, Hash256, QbError, QbResult, SimDuration};
 use qb_dht::DhtNetwork;
 use qb_dweb::{fetch_page_by_cid, publish_page, WebPage};
+use qb_gossip::{GossipFleet, GossipStats};
 use qb_index::{
     blend_with_rank, Analyzer, Bm25, DistributedIndex, IndexStats, ScoredDoc, Scorer, ShardEntry,
 };
@@ -93,8 +94,22 @@ pub struct QueenBee {
     known_creators: BTreeSet<AccountId>,
     known_advertisers: BTreeSet<AccountId>,
     query_counter: u64,
-    /// The frontend query-serving cache, when enabled in the configuration.
+    /// The frontend query-serving cache, when enabled in the configuration
+    /// (single-frontend mode; `None` while checked out by the search path
+    /// or when a fleet is configured instead).
     cache: Option<QueryCache>,
+    /// The frontend fleet with per-frontend caches and the cache-gossip
+    /// overlay, when `config.gossip.num_frontends > 0`.
+    fleet: Option<GossipFleet>,
+    /// Shard cache for the indexing (writer) path, present whenever the
+    /// query cache is enabled. Kept separate from the frontend cache(s) so
+    /// indexing reuse never pre-warms (and thus skews) the serving-side
+    /// cold-start behavior the experiments measure.
+    writer_cache: Option<QueryCache>,
+    /// Shard reads issued by the indexing path (cache hits + DHT reads).
+    writer_shard_reads: u64,
+    /// Writer-path shard reads served from cache without touching the DHT.
+    writer_shard_cache_hits: u64,
     /// Freshness accounting across every search served.
     pub freshness: FreshnessProbe,
 }
@@ -146,10 +161,16 @@ impl QueenBee {
             known_creators: BTreeSet::new(),
             known_advertisers: BTreeSet::new(),
             query_counter: 0,
-            cache: config
+            cache: (config.cache.enabled && config.gossip.num_frontends == 0)
+                .then(|| QueryCache::new(config.cache.clone())),
+            fleet: (config.gossip.num_frontends > 0)
+                .then(|| GossipFleet::new(config.gossip.clone(), &config.cache, config.seed)),
+            writer_cache: config
                 .cache
                 .enabled
                 .then(|| QueryCache::new(config.cache.clone())),
+            writer_shard_reads: 0,
+            writer_shard_cache_hits: 0,
             freshness: FreshnessProbe::default(),
             net,
             dht,
@@ -164,15 +185,100 @@ impl QueenBee {
         &self.config
     }
 
-    /// Per-tier counters of the query-serving cache, when it is enabled.
+    /// Per-tier counters of the query-serving cache, when it is enabled. In
+    /// fleet mode this is the aggregate over every frontend's cache.
     pub fn cache_metrics(&self) -> Option<CacheMetrics> {
+        if let Some(fleet) = &self.fleet {
+            let mut total = CacheMetrics::default();
+            for i in 0..fleet.len() {
+                total.merge(&fleet.frontend(i).cache().metrics());
+            }
+            return Some(total);
+        }
         self.cache.as_ref().map(|c| c.metrics())
     }
 
     /// Entry counts per cache tier `(results, shards, negatives)`, when the
-    /// cache is enabled.
+    /// cache is enabled (summed over the fleet in fleet mode).
     pub fn cache_tier_sizes(&self) -> Option<(usize, usize, usize)> {
+        if let Some(fleet) = &self.fleet {
+            let mut total = (0, 0, 0);
+            for i in 0..fleet.len() {
+                let (r, s, n) = fleet.frontend(i).cache().tier_sizes();
+                total = (total.0 + r, total.1 + s, total.2 + n);
+            }
+            return Some(total);
+        }
         self.cache.as_ref().map(|c| c.tier_sizes())
+    }
+
+    /// The frontend fleet, when fleet mode is configured.
+    pub fn fleet(&self) -> Option<&GossipFleet> {
+        self.fleet.as_ref()
+    }
+
+    /// Number of frontends (0 outside fleet mode).
+    pub fn num_frontends(&self) -> usize {
+        self.fleet.as_ref().map(|f| f.len()).unwrap_or(0)
+    }
+
+    /// Cumulative gossip counters, when a fleet is configured.
+    pub fn gossip_stats(&self) -> Option<GossipStats> {
+        self.fleet.as_ref().map(|f| *f.stats())
+    }
+
+    /// Per-tier counters of one frontend's private cache.
+    pub fn frontend_cache_metrics(&self, frontend: usize) -> Option<CacheMetrics> {
+        self.fleet
+            .as_ref()
+            .filter(|f| frontend < f.len())
+            .map(|f| f.frontend(frontend).cache().metrics())
+    }
+
+    /// `(reads, cache hits)` of the indexing path's shard reads — the
+    /// writer-path cache reuse that spares `process_publish_events` a DHT
+    /// round-trip per merged term.
+    pub fn writer_cache_stats(&self) -> (u64, u64) {
+        (self.writer_shard_reads, self.writer_shard_cache_hits)
+    }
+
+    /// Force one gossip round right now (experiments and tests; normal
+    /// operation paces rounds by `GossipConfig::round_interval` as simulated
+    /// time advances). `anti_entropy` swaps full digests instead of hot
+    /// sets.
+    pub fn run_gossip_round(&mut self, anti_entropy: bool) {
+        let now = self.net.now();
+        if let Some(fleet) = self.fleet.as_mut() {
+            fleet.run_round(&mut self.net, now, anti_entropy);
+        }
+    }
+
+    /// Snapshot the hottest cached shards of the single-mode cache or of
+    /// fleet frontend `frontend`, for warm-start persistence across engine
+    /// restarts.
+    pub fn export_hot_set(&self, frontend: usize, max: usize) -> Option<Vec<u8>> {
+        let now = self.net.now();
+        if let Some(fleet) = &self.fleet {
+            return (frontend < fleet.len()).then(|| fleet.export_hot_set(frontend, max, now));
+        }
+        self.cache.as_ref().map(|c| c.export_hot_set(max, now))
+    }
+
+    /// Pre-fill the shard tier of the single-mode cache or of fleet
+    /// frontend `frontend` from a previous session's snapshot. Read-time
+    /// version checks still purge anything that went stale while the
+    /// frontend was down. Returns the number of shards admitted.
+    pub fn import_hot_set(&mut self, frontend: usize, data: &[u8]) -> QbResult<usize> {
+        let now = self.net.now();
+        if let Some(fleet) = self.fleet.as_mut() {
+            return fleet.import_hot_set(frontend, data, now);
+        }
+        match self.cache.as_mut() {
+            Some(c) => c.import_hot_set(data, now),
+            None => Err(QbError::Config(
+                "no query cache enabled; nothing to warm-start".into(),
+            )),
+        }
     }
 
     /// The worker bees.
@@ -217,9 +323,19 @@ impl QueenBee {
         }
     }
 
-    /// Advance the simulated clock.
+    /// Advance the simulated clock. Gossip rounds that became due fire
+    /// before anything else observes the new time.
     pub fn advance_time(&mut self, d: SimDuration) {
         self.net.advance(d);
+        self.run_due_gossip();
+    }
+
+    /// Run gossip rounds that are due at the current simulated time.
+    fn run_due_gossip(&mut self) {
+        let now = self.net.now();
+        if let Some(fleet) = self.fleet.as_mut() {
+            fleet.maybe_run(&mut self.net, now);
+        }
     }
 
     /// Seal the next block on the chain.
@@ -308,7 +424,23 @@ impl QueenBee {
     /// submissions are verified by majority vote, accepted postings are
     /// merged into the distributed index, honest bees claim their bounties
     /// and deviating bees are slashed. Returns the number of events handled.
+    ///
+    /// The indexing path reuses the query cache's shard tier under the same
+    /// version discipline as the frontend: a term's shard is read through
+    /// the cache (sparing the per-merge DHT round-trip the seed paid), and
+    /// after the merged shard is written back it is stored under its new
+    /// version while results/negatives touching the term are purged.
     pub fn process_publish_events(&mut self) -> QbResult<usize> {
+        // The writer path borrows its cache alongside the rest of the
+        // engine: check it out for the duration.
+        let mut wcache = self.writer_cache.take();
+        let result = self.process_publish_events_inner(&mut wcache);
+        self.writer_cache = wcache;
+        result
+    }
+
+    fn process_publish_events_inner(&mut self, wcache: &mut Option<QueryCache>) -> QbResult<usize> {
+        let now = self.net.now();
         let events: Vec<Event> = self
             .chain
             .events_since(self.event_cursor)
@@ -412,13 +544,7 @@ impl QueenBee {
                 by_term.entry(term).or_default().push(posting);
             }
             for (term, postings) in by_term {
-                let (mut shard, _cost) = self.dist_index.read_shard(
-                    &mut self.net,
-                    &mut self.dht,
-                    &mut self.storage,
-                    writer_peer,
-                    &term,
-                )?;
+                let mut shard = self.read_shard_for_writer(wcache, writer_peer, &term)?;
                 for p in postings {
                     shard.upsert(p);
                 }
@@ -438,12 +564,7 @@ impl QueenBee {
                     writer_peer,
                     &shard,
                 )?;
-                // Publish-path invalidation: the term's shard just changed,
-                // so cached shards, negative entries and results touching it
-                // must not serve again.
-                if let Some(cache) = self.cache.as_mut() {
-                    cache.invalidate_term(&term);
-                }
+                self.after_shard_write(wcache, writer_peer, &shard, now);
             }
 
             // Remove the document from shards of terms the new version no
@@ -457,13 +578,7 @@ impl QueenBee {
                 .unwrap_or_default();
             let doc_id = qb_index::doc_id_for_name(&name);
             for term in old_terms.difference(&new_terms) {
-                let (mut shard, _cost) = self.dist_index.read_shard(
-                    &mut self.net,
-                    &mut self.dht,
-                    &mut self.storage,
-                    writer_peer,
-                    term,
-                )?;
+                let mut shard = self.read_shard_for_writer(wcache, writer_peer, term)?;
                 if !shard.remove(doc_id) {
                     continue;
                 }
@@ -483,9 +598,7 @@ impl QueenBee {
                     writer_peer,
                     &shard,
                 )?;
-                if let Some(cache) = self.cache.as_mut() {
-                    cache.invalidate_term(term);
-                }
+                self.after_shard_write(wcache, writer_peer, &shard, now);
             }
 
             // Update the collection statistics.
@@ -530,6 +643,73 @@ impl QueenBee {
         self.chain.seal_block(self.net.now());
         self.event_cursor = self.chain.events().len();
         Ok(handled)
+    }
+
+    /// Read a term's shard on the indexing path: the writer cache's shard
+    /// tier first (validated against the engine's current version for the
+    /// term), the DHT only on a genuine miss.
+    fn read_shard_for_writer(
+        &mut self,
+        wcache: &mut Option<QueryCache>,
+        writer_peer: u64,
+        term: &str,
+    ) -> QbResult<qb_index::ShardEntry> {
+        self.writer_shard_reads += 1;
+        let now = self.net.now();
+        let current_version = self.shard_versions.get(term).copied().unwrap_or(0);
+        if let Some(cache) = wcache.as_mut() {
+            match cache.lookup_shard(term, now, current_version) {
+                ShardLookup::Hit(shard) => {
+                    self.writer_shard_cache_hits += 1;
+                    return Ok(shard);
+                }
+                // A term proven absent at the current version reads as an
+                // empty shard, exactly what the DHT would return.
+                ShardLookup::Negative => {
+                    self.writer_shard_cache_hits += 1;
+                    return Ok(ShardEntry::empty(term));
+                }
+                ShardLookup::Miss => {}
+            }
+        }
+        let (shard, _cost) = self.dist_index.read_shard_fresh(
+            &mut self.net,
+            &mut self.dht,
+            &mut self.storage,
+            writer_peer,
+            term,
+            current_version,
+        )?;
+        Ok(shard)
+    }
+
+    /// Post-write bookkeeping for a merged shard: publish-path invalidation
+    /// (results/negatives touching the term die, the republish is recorded
+    /// for the adaptive TTL policy), the freshly written shard re-enters
+    /// the writer cache under its new version, and in fleet mode every
+    /// frontend that can observe the publish invalidates too.
+    fn after_shard_write(
+        &mut self,
+        wcache: &mut Option<QueryCache>,
+        writer_peer: u64,
+        shard: &qb_index::ShardEntry,
+        now: qb_common::SimInstant,
+    ) {
+        if let Some(cache) = wcache.as_mut() {
+            cache.invalidate_term(&shard.term, now);
+            cache.store_shard(shard, now);
+        }
+        // Publish-path invalidation on the serving side: the single-mode
+        // frontend cache always observes the publish; fleet frontends only
+        // when they can currently reach the writer (a partitioned frontend
+        // misses it and catches up through read-time version checks and
+        // anti-entropy once the partition heals).
+        if let Some(cache) = self.cache.as_mut() {
+            cache.invalidate_term(&shard.term, now);
+        }
+        if let Some(fleet) = self.fleet.as_mut() {
+            fleet.observe_publish(&self.net, writer_peer, &shard.term, shard.version, now);
+        }
     }
 
     // ----- worker bees: page rank --------------------------------------------------
@@ -649,7 +829,63 @@ impl QueenBee {
     /// through the DHT (or serve them from the query cache when enabled),
     /// intersect the posting lists, score with BM25 blended with PageRank,
     /// and attach the highest-bidding matching ad.
+    ///
+    /// In fleet mode the query is routed to frontend `peer % num_frontends`
+    /// (and issued from that frontend's own peer); use
+    /// [`QueenBee::search_from`] to address a specific frontend.
     pub fn search(&mut self, peer: u64, query_text: &str) -> QbResult<SearchOutcome> {
+        match self.fleet.as_ref().map(|f| f.len()) {
+            Some(n) if n > 0 => self.search_from(peer as usize % n, query_text),
+            _ => {
+                let mut cache = self.cache.take();
+                let result = self.search_inner(peer, query_text, &mut cache, &mut Vec::new());
+                self.cache = cache;
+                result
+            }
+        }
+    }
+
+    /// Answer a keyword query at a specific fleet frontend. The query is
+    /// issued from the frontend's peer, served through its private cache,
+    /// and the shard versions it observed are recorded in its version
+    /// vector (the gossip staleness guard). Due gossip rounds fire after
+    /// the query.
+    pub fn search_from(&mut self, frontend: usize, query_text: &str) -> QbResult<SearchOutcome> {
+        let Some(fleet) = self.fleet.as_mut() else {
+            return Err(QbError::Config(
+                "search_from needs a frontend fleet (config.gossip.num_frontends > 0)".into(),
+            ));
+        };
+        if frontend >= fleet.len() {
+            return Err(QbError::Config(format!(
+                "frontend {frontend} out of range (fleet has {})",
+                fleet.len()
+            )));
+        }
+        let origin = fleet.frontend_peer(frontend);
+        let mut cache = fleet.take_cache(frontend);
+        let mut observed = Vec::new();
+        let result = self.search_inner(origin, query_text, &mut cache, &mut observed);
+        let fleet = self.fleet.as_mut().expect("fleet configured");
+        fleet.restore_cache(frontend, cache);
+        for (term, version) in observed {
+            fleet.observe(frontend, &term, version);
+        }
+        self.run_due_gossip();
+        result
+    }
+
+    /// The search body, parameterized over whichever cache serves this query
+    /// (the single-mode cache or a checked-out fleet frontend cache).
+    /// `observed` collects the `(term, shard version)` pairs the frontend
+    /// saw, feeding its version vector in fleet mode.
+    fn search_inner(
+        &mut self,
+        peer: u64,
+        query_text: &str,
+        cache_slot: &mut Option<QueryCache>,
+        observed: &mut Vec<(String, u64)>,
+    ) -> QbResult<SearchOutcome> {
         let terms: Vec<String> = {
             let mut seen = Vec::new();
             for t in self.analyzer.analyze(query_text) {
@@ -672,11 +908,12 @@ impl QueenBee {
         // versions are all still current is served locally, with no DHT
         // traffic at all.
         let key = result_key(&terms);
-        if let Some(cache) = self.cache.as_mut() {
+        if let Some(cache) = cache_slot.as_mut() {
             let versions = &self.shard_versions;
             if let Some(entry) =
                 cache.lookup_result(&key, now, |t| versions.get(t).copied().unwrap_or(0))
             {
+                observed.extend(entry.term_versions.iter().cloned());
                 let results = entry.results;
                 return Ok(self.finish_search(
                     query_text,
@@ -700,8 +937,7 @@ impl QueenBee {
         // Global statistics: served from cache while the stats version is
         // current, refreshed through the DHT otherwise.
         let stats_version = self.index_stats.version;
-        let (stats, stats_latency) = match self
-            .cache
+        let (stats, stats_latency) = match cache_slot
             .as_mut()
             .and_then(|c| c.lookup_stats(stats_version))
         {
@@ -711,7 +947,7 @@ impl QueenBee {
                     self.dist_index
                         .read_stats(&mut self.net, &mut self.dht, peer)?;
                 messages += cost.messages;
-                if let Some(c) = self.cache.as_mut() {
+                if let Some(c) = cache_slot.as_mut() {
                     c.store_stats(stats, stats.version);
                 }
                 (stats, cost.latency)
@@ -725,7 +961,7 @@ impl QueenBee {
         let mut shards: Vec<ShardEntry> = Vec::with_capacity(terms.len());
         for term in &terms {
             let current_version = self.shard_versions.get(term).copied().unwrap_or(0);
-            let lookup = match self.cache.as_mut() {
+            let lookup = match cache_slot.as_mut() {
                 Some(c) => c.lookup_shard(term, now, current_version),
                 None => ShardLookup::Miss,
             };
@@ -733,6 +969,7 @@ impl QueenBee {
                 ShardLookup::Hit(shard) => {
                     shard_cache_hits += 1;
                     shard_latencies.push(hit_latency);
+                    observed.push((term.clone(), shard.version));
                     shards.push(shard);
                 }
                 ShardLookup::Negative => {
@@ -741,19 +978,24 @@ impl QueenBee {
                     shards.push(ShardEntry::empty(term));
                 }
                 ShardLookup::Miss => {
-                    let (shard, cost) = self.dist_index.read_shard(
+                    // The frontend knows the term's current version; the
+                    // versioned read digs past lagging replicas instead of
+                    // serving the first (possibly stale) copy it meets.
+                    let (shard, cost) = self.dist_index.read_shard_fresh(
                         &mut self.net,
                         &mut self.dht,
                         &mut self.storage,
                         peer,
                         term,
+                        current_version,
                     )?;
                     messages += cost.messages;
                     shard_latencies.push(cost.latency);
                     shards_fetched += 1;
-                    if let Some(c) = self.cache.as_mut() {
+                    if let Some(c) = cache_slot.as_mut() {
                         c.store_shard(&shard, now);
                     }
+                    observed.push((term.clone(), shard.version));
                     shards.push(shard);
                 }
             }
@@ -810,12 +1052,17 @@ impl QueenBee {
         });
         results.truncate(self.config.top_k);
 
-        // Remember the response, tagged with the shard version of every
-        // query term, so the entry can never outlive a republish.
-        if let Some(c) = self.cache.as_mut() {
+        // Remember the response, tagged with the shard version actually
+        // served for every query term (not the engine's current counter:
+        // if a partition forced the versioned read to fall back to a
+        // lagging replica, tagging it as current would let the stale
+        // response keep serving from the result cache after the partition
+        // heals — tagged with its true version, the next lookup purges it).
+        if let Some(c) = cache_slot.as_mut() {
             let term_versions: Vec<(String, u64)> = terms
                 .iter()
-                .map(|t| (t.clone(), self.shard_versions.get(t).copied().unwrap_or(0)))
+                .zip(&shards)
+                .map(|(t, s)| (t.clone(), s.version))
                 .collect();
             c.store_result(&key, results.clone(), term_versions, now);
         }
@@ -1261,6 +1508,168 @@ mod tests {
             a.messages, b.messages,
             "no warm-up effect without the cache"
         );
+    }
+
+    fn fleet_engine(n: usize, gossip_on: bool) -> QueenBee {
+        let mut config = QueenBeeConfig::small();
+        config.cache = qb_cache::CacheConfig::enabled();
+        config.gossip = if gossip_on {
+            qb_gossip::GossipConfig::enabled(n)
+        } else {
+            qb_gossip::GossipConfig::fleet(n)
+        };
+        QueenBee::new(config).unwrap()
+    }
+
+    #[test]
+    fn fleet_frontends_have_private_caches() {
+        let mut qb = fleet_engine(3, false);
+        qb.publish(
+            5,
+            AccountId(1_000),
+            &page("wiki/fleet", "frontends cache privately", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        assert_eq!(qb.num_frontends(), 3);
+        let cold0 = qb.search_from(0, "frontends privately").unwrap();
+        assert!(cold0.shards_fetched > 0);
+        // Without gossip, frontend 1 cold-starts on its own.
+        let cold1 = qb.search_from(1, "frontends privately").unwrap();
+        assert!(cold1.shards_fetched > 0, "no sharing without gossip");
+        // But each frontend's own repeat is warm.
+        let warm0 = qb.search_from(0, "frontends privately").unwrap();
+        assert!(warm0.result_cache_hit);
+        // search() routes by peer modulo fleet size.
+        let routed = qb.search(3, "frontends privately").unwrap();
+        assert!(routed.result_cache_hit, "peer 3 routes to frontend 0");
+        // search_from out of range / without a fleet errors cleanly.
+        assert!(qb.search_from(9, "x").is_err());
+        assert!(engine().search_from(0, "x").is_err());
+    }
+
+    #[test]
+    fn gossip_warms_the_rest_of_the_fleet() {
+        let mut qb = fleet_engine(3, true);
+        qb.publish(
+            5,
+            AccountId(1_000),
+            &page("wiki/swarm", "gossip spreads cached shards", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let cold = qb.search_from(0, "gossip shards").unwrap();
+        assert!(cold.shards_fetched > 0);
+        qb.run_gossip_round(false);
+        for i in 1..3 {
+            let warmed = qb.search_from(i, "gossip shards").unwrap();
+            assert_eq!(
+                warmed.shards_fetched, 0,
+                "frontend {i} should be warm after the gossip round"
+            );
+            assert!(warmed.shard_cache_hits > 0);
+            assert_eq!(warmed.results, cold.results);
+        }
+        let stats = qb.gossip_stats().unwrap();
+        assert!(stats.shards_accepted >= 2);
+        assert!(stats.total_bytes() > 0);
+        assert_eq!(stats.stale_rejected, 0);
+        assert_eq!(qb.freshness.stale_results, 0);
+    }
+
+    #[test]
+    fn gossip_rounds_fire_as_time_advances() {
+        let mut qb = fleet_engine(2, true);
+        qb.publish(
+            5,
+            AccountId(1_000),
+            &page("a/b", "timed gossip rounds", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        qb.search_from(0, "timed rounds").unwrap();
+        assert_eq!(qb.gossip_stats().unwrap().rounds, 0, "not due yet");
+        let interval = qb.config().gossip.round_interval;
+        qb.advance_time(interval);
+        assert!(qb.gossip_stats().unwrap().rounds >= 1);
+        let warmed = qb.search_from(1, "timed rounds").unwrap();
+        assert_eq!(warmed.shards_fetched, 0);
+    }
+
+    #[test]
+    fn writer_path_reuses_cached_shards_on_reindex() {
+        let mut qb = cached_engine();
+        let creator = AccountId(1_000);
+        qb.publish(
+            1,
+            creator,
+            &page("news/cycle", "rolling headline coverage", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let (reads_v1, hits_v1) = qb.writer_cache_stats();
+        assert!(reads_v1 > 0);
+        assert_eq!(hits_v1, 0, "first index of each term must read the DHT");
+        // Republishing the same page merges the same terms: the writer path
+        // now serves them from its shard tier instead of re-reading the DHT.
+        qb.publish(
+            1,
+            creator,
+            &page("news/cycle", "rolling headline coverage", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let (reads_v2, hits_v2) = qb.writer_cache_stats();
+        assert!(reads_v2 > reads_v1);
+        assert_eq!(
+            hits_v2,
+            reads_v2 - reads_v1,
+            "every re-merged term should hit the writer cache"
+        );
+        // The version discipline held: the fresh version serves.
+        let out = qb.search(4, "headline").unwrap();
+        assert_eq!(out.results[0].version, 2);
+        assert_eq!(qb.freshness.stale_results, 0);
+    }
+
+    #[test]
+    fn warm_start_prefills_a_restarted_frontend() {
+        let build = || {
+            let mut qb = cached_engine();
+            qb.publish(
+                1,
+                AccountId(1_000),
+                &page(
+                    "wiki/persist",
+                    "warm start snapshots survive restarts",
+                    vec![],
+                ),
+            )
+            .unwrap();
+            qb.seal();
+            qb.process_publish_events().unwrap();
+            qb
+        };
+        let mut first = build();
+        let cold = first.search(5, "snapshots survive").unwrap();
+        assert!(cold.shards_fetched > 0);
+        let snapshot = first.export_hot_set(0, 16).expect("cache enabled");
+        // Same deployment, restarted: import the previous session's hot set.
+        let mut restarted = build();
+        let admitted = restarted.import_hot_set(0, &snapshot).unwrap();
+        assert!(admitted > 0);
+        let warm = restarted.search(5, "snapshots survive").unwrap();
+        assert_eq!(
+            warm.shards_fetched, 0,
+            "pre-filled shards serve the first query"
+        );
+        assert!(warm.shard_cache_hits > 0);
+        assert_eq!(warm.results, cold.results);
     }
 
     #[test]

@@ -39,3 +39,4 @@ pub use metrics::{
     gini_coefficient, CacheMetrics, CacheReport, FreshnessProbe, HoneyByRole, TierMetrics,
 };
 pub use qb_cache::{CacheConfig, EvictionPolicy};
+pub use qb_gossip::{GossipConfig, GossipFleet, GossipStats, VersionVector};

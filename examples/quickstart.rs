@@ -150,4 +150,13 @@ fn main() {
         "overall: {:.0}% of result lookups served from cache",
         100.0 * metrics.result.hit_rate()
     );
+
+    // 8. One frontend is just the beginning: set
+    //    `config.gossip = GossipConfig::enabled(n)` to run a fleet of n
+    //    frontends whose caches warm each other over the qb-gossip overlay
+    //    (digest/fill exchange, anti-entropy after partitions, warm-start
+    //    snapshots via export_hot_set/import_hot_set). See
+    //    `examples/gossip_warmup.rs` for a 3-frontend fleet warmed by one
+    //    bee's traffic, and experiment E10 for the fleet-scale numbers.
+    println!("\nnext: cargo run -p qb-examples --release --bin gossip_warmup");
 }

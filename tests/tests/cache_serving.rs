@@ -156,6 +156,11 @@ fn cache_entries_expire_at_their_ttl_bound() {
     let mut cache = CacheConfig::enabled();
     cache.result_ttl = SimDuration::from_secs(30);
     cache.shard_ttl = SimDuration::from_secs(30);
+    // With adaptive TTLs on, a never-republished term's shard bound is the
+    // adaptive ceiling, not `shard_ttl` — pin the ceiling to the same bound
+    // so this test keeps exercising the backstop end to end.
+    cache.adaptive_ttl_floor = SimDuration::from_secs(1);
+    cache.adaptive_ttl_ceiling = SimDuration::from_secs(30);
     let ttl = cache.result_ttl;
     let mut qb = engine(cache, 0x71E);
     let page = qb_dweb::WebPage::new("wiki/ttl", "TTL", "ephemeral knowledge fades", vec![]);
