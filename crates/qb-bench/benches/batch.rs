@@ -1,0 +1,103 @@
+//! Criterion benchmark: the planner/executor query pipeline — planning cost
+//! on a warm cache (plan + response assembly, no network), cold batch
+//! execution vs the sequential loop (E11's cost side), and response
+//! assembly from the result tier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qb_bench::{build_corpus, build_engine_with, publish_corpus};
+use qb_cache::CacheConfig;
+use qb_common::DetRng;
+use qb_queenbee::{QueenBee, QueenBeeConfig, RoutingPolicy, SearchRequest};
+use qb_workload::{Corpus, QueryWorkload, ZipfSampler};
+
+const POOL: usize = 40;
+
+fn corpus() -> Corpus {
+    build_corpus(0xB47C, 30)
+}
+
+fn engine(corpus: &Corpus, cache: bool) -> QueenBee {
+    let mut config = QueenBeeConfig::small();
+    config.num_peers = 48;
+    config.num_bees = 4;
+    config.seed = 0xB47C;
+    if cache {
+        config.cache = CacheConfig::enabled();
+    }
+    let mut qb = build_engine_with(config);
+    publish_corpus(&mut qb, corpus);
+    qb
+}
+
+fn zipf_requests(corpus: &Corpus, n: usize, seed: u64) -> Vec<SearchRequest> {
+    let workload = QueryWorkload::new(corpus);
+    let pool = workload.generate_batch(corpus, &mut DetRng::new(seed), POOL);
+    let zipf = ZipfSampler::new(pool.len(), 1.0);
+    let mut rng = DetRng::new(seed ^ 0xF);
+    (0..n)
+        .map(|i| {
+            SearchRequest::new(pool[zipf.sample(&mut rng)].as_str())
+                .route(RoutingPolicy::HashPeer((i % 40) as u64))
+        })
+        .collect()
+}
+
+/// Planning cost: a fully warmed cache answers every probe locally, so the
+/// batch call measures term analysis + cache planning + response assembly.
+fn bench_plan(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut qb = engine(&corpus, true);
+    let requests = zipf_requests(&corpus, 32, 1);
+    // Warm every query once so planning always hits the result tier.
+    qb.search_batch(requests.clone()).expect("warm-up");
+    c.bench_function("query/plan_warm_batch_32", |b| {
+        b.iter(|| qb.search_batch(requests.clone()).expect("warm batch"))
+    });
+}
+
+/// Cold execution: batch windows vs the equivalent sequential loop, cache
+/// off, on a fresh engine per iteration (the engine build is hoisted out of
+/// the timing loop as far as criterion allows via iter_batched).
+fn bench_batch_execute(c: &mut Criterion) {
+    let corpus = corpus();
+    let requests = zipf_requests(&corpus, 32, 2);
+    c.bench_function("query/cold_batch_32", |b| {
+        b.iter_batched(
+            || (engine(&corpus, false), requests.clone()),
+            |(mut qb, requests)| qb.search_batch(requests).expect("batch"),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("query/cold_sequential_32", |b| {
+        b.iter_batched(
+            || (engine(&corpus, false), requests.clone()),
+            |(mut qb, requests)| {
+                requests
+                    .into_iter()
+                    .map(|r| qb.search_request(r).expect("query"))
+                    .collect::<Vec<_>>()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+/// Response assembly alone: a single warm request served from the result
+/// tier (plan probe + pagination + provenance + trace).
+fn bench_response_assembly(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut qb = engine(&corpus, true);
+    let request = zipf_requests(&corpus, 1, 3).remove(0);
+    qb.search_request(request.clone()).expect("warm-up");
+    c.bench_function("query/response_assembly_warm_hit", |b| {
+        b.iter(|| qb.search_request(request.clone()).expect("warm hit"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_plan,
+    bench_batch_execute,
+    bench_response_assembly
+);
+criterion_main!(benches);

@@ -6,9 +6,10 @@
 //!   cargo run -p qb-bench --release --bin experiments -- --quick e9 e10
 //!
 //! Each experiment prints a human-readable table and writes the same rows as
-//! JSON under `bench-results/`. `--quick` shrinks the cache/gossip streams
-//! (E9/E10) for the CI smoke job; E9 and E10 assert their acceptance
-//! criteria (cache savings, >=30% gossip RPC reduction, zero staleness), so
+//! JSON under `bench-results/`. `--quick` shrinks the cache/gossip/batch
+//! streams (E9/E10/E11) for the CI smoke job; E9, E10 and E11 assert their
+//! acceptance criteria (cache savings, >=30% gossip RPC reduction, zero
+//! staleness, >=30% batched fetch reduction with byte-identical results), so
 //! a regression fails the process instead of silently changing a table.
 
 use qb_baseline::{CentralizedConfig, CentralizedEngine, YacyConfig, YacyEngine};
@@ -27,7 +28,7 @@ fn main() {
     let args: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+            "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
         ]
         .into_iter()
         .map(String::from)
@@ -49,8 +50,9 @@ fn main() {
             "e8" => e8_systems_costs(),
             "e9" => e9_cache(quick),
             "e10" => e10_gossip(quick),
+            "e11" => e11_batch(quick),
             other => {
-                eprintln!("unknown experiment '{other}' (use f1, e1..e10 or all)");
+                eprintln!("unknown experiment '{other}' (use f1, e1..e11 or all)");
                 Vec::new()
             }
         };
@@ -1102,6 +1104,175 @@ fn e10_gossip(quick: bool) -> Vec<Table> {
         t2.row(&[name.to_string(), value.to_string()]);
     }
     vec![t, t2]
+}
+
+/// E11 — batched vs sequential execution of the same Zipf(1.0) query
+/// stream. A batch window plans every request first, fetches each distinct
+/// missing term shard once and fans it out to every query in the window, so
+/// concurrent queries sharing hot head terms collapse to one DHT round-trip.
+/// The cache is disabled in both runs to isolate the cross-query sharing
+/// (the cache covers *repeats over time*; batching covers *concurrency*).
+///
+/// Reading the latency columns: sequential execution re-fetches hot shards
+/// hundreds of times, and every fetch pins more replicas of the backing
+/// object on nearby peers (the E1a popularity effect), so its p50 drifts
+/// down over the stream. Batching removes exactly those repeat fetches, so
+/// each window's queries wait on one colder fetch per term instead —
+/// per-query p50 can sit higher while aggregate DHT traffic collapses.
+/// With the query cache enabled (every production config), repeats are
+/// served locally and this tradeoff disappears; what batching then adds is
+/// the cross-query dedup of cold misses measured here.
+fn e11_batch(quick: bool) -> Vec<Table> {
+    use qb_queenbee::{RoutingPolicy, SearchRequest};
+    use qb_workload::ZipfSampler;
+
+    const WINDOW: usize = 32;
+    let (num_pages, pool_size, stream_len) = if quick { (40, 60, 256) } else { (80, 120, 640) };
+    let corpus = build_corpus(0xE11, num_pages);
+    let workload = QueryWorkload::new(&corpus);
+    let mut rng = DetRng::new(0xE11);
+    let pool = workload.generate_batch(&corpus, &mut rng, pool_size);
+    let zipf = ZipfSampler::new(pool.len(), 1.0);
+    let stream: Vec<usize> = {
+        let mut rng = DetRng::new(0xE11F);
+        (0..stream_len).map(|_| zipf.sample(&mut rng)).collect()
+    };
+
+    let build = || {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = 64;
+        config.num_bees = 6;
+        config.seed = 0xE11;
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+        qb
+    };
+    let request = |i: usize, q: usize| {
+        SearchRequest::new(pool[q].as_str()).route(RoutingPolicy::HashPeer((i % 50) as u64))
+    };
+
+    struct RunStats {
+        latency: LatencyRecorder,
+        messages: u64,
+        fetches: u64,
+        shared: u64,
+        hits: Vec<Vec<qb_index::ScoredDoc>>,
+    }
+    let tally = |responses: Vec<qb_queenbee::SearchResponse>, run: &mut RunStats| {
+        for resp in responses {
+            run.latency.record(resp.latency);
+            run.messages += resp.messages();
+            run.fetches += resp.shards_fetched() as u64;
+            run.shared += resp.batch_shared() as u64;
+            run.hits.push(resp.hits);
+        }
+    };
+
+    // Sequential: every query is its own window of one.
+    let mut seq = RunStats {
+        latency: LatencyRecorder::new(),
+        messages: 0,
+        fetches: 0,
+        shared: 0,
+        hits: Vec::new(),
+    };
+    let mut qb = build();
+    for (i, &q) in stream.iter().enumerate() {
+        qb.advance_time(SimDuration::from_millis(50));
+        let resp = qb.search_request(request(i, q)).expect("sequential query");
+        tally(vec![resp], &mut seq);
+    }
+
+    // Batched: the same stream in windows of `WINDOW` concurrent queries.
+    let mut batch = RunStats {
+        latency: LatencyRecorder::new(),
+        messages: 0,
+        fetches: 0,
+        shared: 0,
+        hits: Vec::new(),
+    };
+    let mut qb = build();
+    for (w, window) in stream.chunks(WINDOW).enumerate() {
+        qb.advance_time(SimDuration::from_millis(50));
+        let requests: Vec<_> = window
+            .iter()
+            .enumerate()
+            .map(|(j, &q)| request(w * WINDOW + j, q))
+            .collect();
+        let responses = qb.search_batch(requests).expect("batch window");
+        tally(responses, &mut batch);
+    }
+
+    // Acceptance criteria, asserted so the CI smoke job catches regressions:
+    // batching must save >=30% of DHT shard fetches and cut total RPC
+    // messages, without changing a single result byte.
+    assert_eq!(seq.hits.len(), batch.hits.len());
+    for (i, (a, b)) in seq.hits.iter().zip(&batch.hits).enumerate() {
+        assert_eq!(
+            a, b,
+            "E11: query {i} ('{}') must rank identically in both runs",
+            pool[stream[i]]
+        );
+    }
+    assert!(
+        (batch.fetches as f64) <= 0.7 * seq.fetches as f64,
+        "E11: batching must save >=30% of DHT shard fetches ({} vs {})",
+        batch.fetches,
+        seq.fetches
+    );
+    assert!(
+        batch.messages < seq.messages,
+        "E11: batching must cut total RPC messages ({} vs {})",
+        batch.messages,
+        seq.messages
+    );
+
+    let title = format!(
+        "E11: batched (window {WINDOW}) vs sequential execution of one Zipf(1.0) stream \
+         ({stream_len} queries, {pool_size}-query pool, cache off)"
+    );
+    let mut t = Table::new(
+        &title,
+        &[
+            "config",
+            "p50_ms",
+            "p99_ms",
+            "rpc_messages",
+            "dht_shard_fetches",
+            "window_shared_shards",
+        ],
+    );
+    for (label, run) in [("sequential", &seq), ("batched", &batch)] {
+        t.row(&[
+            label.into(),
+            f2(run.latency.percentile_ms(50.0)),
+            f2(run.latency.percentile_ms(99.0)),
+            run.messages.to_string(),
+            run.fetches.to_string(),
+            run.shared.to_string(),
+        ]);
+    }
+    t.row(&[
+        "reduction".into(),
+        format!(
+            "{:.1}x",
+            seq.latency.percentile_ms(50.0) / batch.latency.percentile_ms(50.0).max(1e-9)
+        ),
+        format!(
+            "{:.1}x",
+            seq.latency.percentile_ms(99.0) / batch.latency.percentile_ms(99.0).max(1e-9)
+        ),
+        format!(
+            "-{:.1}%",
+            100.0 * (1.0 - batch.messages as f64 / seq.messages.max(1) as f64)
+        ),
+        format!(
+            "-{:.1}%",
+            100.0 * (1.0 - batch.fetches as f64 / seq.fetches.max(1) as f64)
+        ),
+        "-".into(),
+    ]);
+    vec![t]
 }
 
 /// E8 — systems costs: DHT scaling, index, rank and chain micro-metrics.

@@ -36,6 +36,26 @@ pub enum ShardLookup {
     Miss,
 }
 
+/// Outcome of a staleness-bounded shard lookup ([`QueryCache::lookup_shard_bounded`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedShardLookup {
+    /// The term's shard was cached and current.
+    Hit(ShardEntry),
+    /// The cached shard's version has been superseded, but its age is within
+    /// the caller's staleness bound: served without a DHT trip. `age` is how
+    /// long ago the copy was stored.
+    Stale {
+        /// The cached (superseded) shard.
+        shard: ShardEntry,
+        /// Time since the copy was stored.
+        age: SimDuration,
+    },
+    /// The term is cached as proven-absent; skip the DHT entirely.
+    Negative,
+    /// Nothing servable; fetch through the DHT.
+    Miss,
+}
+
 /// Outcome of admitting a shard received from another frontend (gossip fill
 /// or warm-start import).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -263,6 +283,62 @@ impl QueryCache {
         match self.shards.get(term, now, Some(current_version)) {
             Some(shard) => ShardLookup::Hit(shard.clone()),
             None => ShardLookup::Miss,
+        }
+    }
+
+    /// Like [`QueryCache::lookup_shard`], but a version-superseded shard may
+    /// still serve when it was stored no more than `max_staleness` ago (the
+    /// `MaxStaleness` freshness mode: the caller trades bounded staleness
+    /// for skipping the DHT trip). Unlike the strict lookup, a superseded
+    /// entry is *not* evicted here — it stays servable for other bounded
+    /// readers until a strict read or publish-path invalidation purges it.
+    /// TTL expiry still applies: an entry past its lifetime never serves.
+    pub fn lookup_shard_bounded(
+        &mut self,
+        term: &str,
+        now: SimInstant,
+        current_version: u64,
+        max_staleness: SimDuration,
+    ) -> BoundedShardLookup {
+        if current_version == 0 {
+            if self.negatives.get(term, now, Some(0)).is_some() {
+                return BoundedShardLookup::Negative;
+            }
+        } else if self.negatives.contains(term) {
+            self.negatives.invalidate(term);
+        }
+        match self.shards.version_of(term) {
+            Some(v) if v == current_version => match self.shards.get(term, now, Some(v)) {
+                Some(shard) => BoundedShardLookup::Hit(shard.clone()),
+                None => BoundedShardLookup::Miss,
+            },
+            Some(_) => {
+                let age = self
+                    .shards
+                    .stored_at(term)
+                    .map(|t| now.since(t))
+                    .unwrap_or(SimDuration::ZERO);
+                if age > max_staleness {
+                    // Out of bound. Leave the entry resident — a strict read
+                    // will purge it — but account the failed lookup.
+                    self.shards.note_miss(term);
+                    return BoundedShardLookup::Miss;
+                }
+                // Within bound: serve through the un-versioned read path so
+                // recency, TTL expiry and the hit counters all behave as for
+                // a normal hit.
+                match self.shards.get(term, now, None) {
+                    Some(shard) => BoundedShardLookup::Stale {
+                        shard: shard.clone(),
+                        age,
+                    },
+                    None => BoundedShardLookup::Miss,
+                }
+            }
+            None => {
+                self.shards.note_miss(term);
+                BoundedShardLookup::Miss
+            }
         }
     }
 
@@ -655,6 +731,62 @@ mod tests {
         // Version bumped by a republish: the cached shard must not serve.
         assert_eq!(c.lookup_shard("nectar", t0(), 5), ShardLookup::Miss);
         assert_eq!(c.metrics().shard.invalidations, 1);
+    }
+
+    #[test]
+    fn bounded_lookup_serves_within_the_staleness_budget() {
+        let mut c = cache();
+        let bound = SimDuration::from_secs(60);
+        c.store_shard(&shard("news", 3, 4), t0());
+        // Current version: behaves like a strict hit.
+        assert!(matches!(
+            c.lookup_shard_bounded("news", t0(), 3, bound),
+            BoundedShardLookup::Hit(s) if s.version == 3
+        ));
+        // Version superseded (a republish this cache never observed): the
+        // copy serves while it is young enough, and is NOT evicted.
+        let at_30s = t0() + SimDuration::from_secs(30);
+        assert!(matches!(
+            c.lookup_shard_bounded("news", at_30s, 4, bound),
+            BoundedShardLookup::Stale { shard: s, age }
+                if s.version == 3 && age == SimDuration::from_secs(30)
+        ));
+        assert_eq!(c.cached_shard_version("news"), Some(3), "not evicted");
+        // Past the bound: a miss, and the entry still survives for a strict
+        // read to purge.
+        let at_90s = t0() + SimDuration::from_secs(90);
+        assert_eq!(
+            c.lookup_shard_bounded("news", at_90s, 4, bound),
+            BoundedShardLookup::Miss
+        );
+        assert_eq!(c.cached_shard_version("news"), Some(3));
+        // The strict read then invalidates it as usual.
+        assert_eq!(c.lookup_shard("news", at_90s, 4), ShardLookup::Miss);
+        assert_eq!(c.cached_shard_version("news"), None);
+    }
+
+    #[test]
+    fn bounded_lookup_respects_ttl_and_negatives() {
+        let mut c = cache();
+        let bound = SimDuration::from_secs(3_600);
+        // Negative entries answer bounded lookups too.
+        c.store_shard(&ShardEntry::empty("ghost"), t0());
+        assert_eq!(
+            c.lookup_shard_bounded("ghost", t0(), 0, bound),
+            BoundedShardLookup::Negative
+        );
+        // A TTL-expired shard never serves, no matter how generous the bound.
+        c.store_shard(&shard("old", 2, 3), t0());
+        let ttl = c.adaptive_shard_ttl("old");
+        assert_eq!(
+            c.lookup_shard_bounded("old", t0() + ttl, 3, SimDuration(u64::MAX)),
+            BoundedShardLookup::Miss
+        );
+        // Nothing cached at all: a plain miss.
+        assert_eq!(
+            c.lookup_shard_bounded("absent", t0(), 5, bound),
+            BoundedShardLookup::Miss
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ struct Slot<V> {
     bytes: usize,
     version: u64,
     expires_at: SimInstant,
+    stored_at: SimInstant,
     tick: u64,
     hash: u64,
 }
@@ -198,6 +199,7 @@ impl<V> CacheTier<V> {
                 bytes,
                 version,
                 expires_at: now + ttl,
+                stored_at: now,
                 tick,
                 hash,
             },
@@ -281,6 +283,23 @@ impl<V> CacheTier<V> {
     pub fn remaining_ttl(&self, key: &str, now: SimInstant) -> Option<SimDuration> {
         let slot = self.entries.get(key)?;
         (now < slot.expires_at).then(|| slot.expires_at - now)
+    }
+
+    /// When `key` was inserted (read-only probe; `None` when absent). The
+    /// age of an entry — `now - stored_at` — is the staleness bound the
+    /// `MaxStaleness` freshness mode checks before serving a cached shard
+    /// whose version has already been superseded.
+    pub fn stored_at(&self, key: &str) -> Option<SimInstant> {
+        self.entries.get(key).map(|s| s.stored_at)
+    }
+
+    /// Account a probe that found nothing servable, without touching any
+    /// resident entry: the key still feeds the frequency sketch (so the
+    /// admission policy sees the demand) and a miss is counted. Used by
+    /// lookup paths that must not evict, like the staleness-bounded read.
+    pub fn note_miss(&mut self, key: &str) {
+        self.sketch.record(hash_key(key));
+        self.metrics.misses += 1;
     }
 
     /// The `max` hottest keys alive at `now` with their versions, ordered by

@@ -6,15 +6,17 @@ use crate::bee::{BeeBehaviour, WorkerBee};
 use crate::config::QueenBeeConfig;
 use crate::defense::{verify_index_submissions, MinHashSignature};
 use crate::metrics::{FreshnessProbe, HoneyByRole};
-use qb_cache::{result_key, CacheMetrics, QueryCache, ShardLookup};
+use crate::query::executor::{intersect_and_score, FetchSet, FetchedShard};
+use crate::query::plan::{plan_request, QueryPlan, StatsPlan, TermPlan};
+use crate::query::request::{RoutingPolicy, SearchRequest};
+use crate::query::response::{paginate, SearchResponse, StageCosts, TermProvenance};
+use qb_cache::{CacheMetrics, QueryCache, ShardLookup};
 use qb_chain::{AccountId, AdId, Blockchain, Call, Event};
 use qb_common::{DhtKey, Hash256, QbError, QbResult, SimDuration};
 use qb_dht::DhtNetwork;
 use qb_dweb::{fetch_page_by_cid, publish_page, WebPage};
 use qb_gossip::{GossipFleet, GossipStats};
-use qb_index::{
-    blend_with_rank, Analyzer, Bm25, DistributedIndex, IndexStats, ScoredDoc, Scorer, ShardEntry,
-};
+use qb_index::{Analyzer, DistributedIndex, IndexStats, ScoredDoc, ShardEntry};
 use qb_rank::{LinkGraph, RankRoundReport};
 use qb_simnet::SimNet;
 use qb_storage::{FetchStats, ObjectRef, StorageNetwork};
@@ -60,6 +62,17 @@ pub struct SearchOutcome {
     /// Query terms answered by the negative cache (proven absent, no DHT
     /// lookup issued).
     pub negative_cache_hits: usize,
+}
+
+/// The (at most one) statistics read performed for a whole batch window,
+/// shared by every query in the window that missed the stats cache.
+#[derive(Debug, Clone, Copy)]
+struct SharedStatsRead {
+    stats: IndexStats,
+    latency: SimDuration,
+    messages: u64,
+    /// `seq` of the query that triggered (and is charged for) the read.
+    charged_to: u64,
 }
 
 /// The assembled QueenBee deployment (Figure 1 of the paper).
@@ -720,12 +733,18 @@ impl QueenBee {
     /// bounties are claimed and popularity rewards paid.
     pub fn run_rank_round(&mut self) -> QbResult<RankRoundReport> {
         let mut graph = LinkGraph::new();
-        let pages: Vec<(String, Vec<String>, AccountId)> = self
+        // The registry iterates a HashMap; sort by name before assigning
+        // node ids. Ids drive the block partition of the decentralized
+        // computation (and, under collusion, which quorum medians see the
+        // boosted targets), so an unordered walk makes rank output differ
+        // between runs of the same simulation.
+        let mut pages: Vec<(String, Vec<String>, AccountId)> = self
             .chain
             .publish_registry()
             .pages()
             .map(|p| (p.name.clone(), p.out_links.clone(), p.creator))
             .collect();
+        pages.sort_by(|a, b| a.0.cmp(&b.0));
         for (name, links, _) in &pages {
             graph.set_links(name, links);
         }
@@ -825,279 +844,368 @@ impl QueenBee {
 
     // ----- frontend: search and ads ------------------------------------------------
 
-    /// Answer a keyword query from `peer`: fetch the query terms' shards
-    /// through the DHT (or serve them from the query cache when enabled),
-    /// intersect the posting lists, score with BM25 blended with PageRank,
-    /// and attach the highest-bidding matching ad.
+    /// Answer a keyword query from `peer` (back-compat shim over
+    /// [`QueenBee::search_request`]): fetch the query terms' shards through
+    /// the DHT (or serve them from the query cache when enabled), intersect
+    /// the posting lists, score with BM25 blended with PageRank, and attach
+    /// the highest-bidding matching ad.
     ///
     /// In fleet mode the query is routed to frontend `peer % num_frontends`
-    /// (and issued from that frontend's own peer); use
-    /// [`QueenBee::search_from`] to address a specific frontend.
+    /// — the deprecated implicit-modulo behaviour, kept only here. New code
+    /// should build a [`SearchRequest`] with an explicit
+    /// [`RoutingPolicy`] instead.
     pub fn search(&mut self, peer: u64, query_text: &str) -> QbResult<SearchOutcome> {
-        match self.fleet.as_ref().map(|f| f.len()) {
-            Some(n) if n > 0 => self.search_from(peer as usize % n, query_text),
-            _ => {
-                let mut cache = self.cache.take();
-                let result = self.search_inner(peer, query_text, &mut cache, &mut Vec::new());
-                self.cache = cache;
-                result
-            }
-        }
+        self.search_request(SearchRequest::new(query_text).route(RoutingPolicy::HashPeer(peer)))
+            .map(|r| r.to_outcome())
     }
 
-    /// Answer a keyword query at a specific fleet frontend. The query is
-    /// issued from the frontend's peer, served through its private cache,
-    /// and the shard versions it observed are recorded in its version
-    /// vector (the gossip staleness guard). Due gossip rounds fire after
-    /// the query.
+    /// Answer a keyword query at a specific fleet frontend (back-compat shim
+    /// over [`QueenBee::search_request`] with [`RoutingPolicy::Direct`]).
+    /// The query is issued from the frontend's peer, served through its
+    /// private cache, and the shard versions it observed are recorded in
+    /// its version vector (the gossip staleness guard). Due gossip rounds
+    /// fire after the query.
     pub fn search_from(&mut self, frontend: usize, query_text: &str) -> QbResult<SearchOutcome> {
-        let Some(fleet) = self.fleet.as_mut() else {
-            return Err(QbError::Config(
-                "search_from needs a frontend fleet (config.gossip.num_frontends > 0)".into(),
-            ));
-        };
-        if frontend >= fleet.len() {
-            return Err(QbError::Config(format!(
-                "frontend {frontend} out of range (fleet has {})",
-                fleet.len()
-            )));
-        }
-        let origin = fleet.frontend_peer(frontend);
-        let mut cache = fleet.take_cache(frontend);
-        let mut observed = Vec::new();
-        let result = self.search_inner(origin, query_text, &mut cache, &mut observed);
-        let fleet = self.fleet.as_mut().expect("fleet configured");
-        fleet.restore_cache(frontend, cache);
-        for (term, version) in observed {
-            fleet.observe(frontend, &term, version);
-        }
-        self.run_due_gossip();
-        result
+        self.search_request(SearchRequest::new(query_text).route(RoutingPolicy::Direct(frontend)))
+            .map(|r| r.to_outcome())
     }
 
-    /// The search body, parameterized over whichever cache serves this query
-    /// (the single-mode cache or a checked-out fleet frontend cache).
-    /// `observed` collects the `(term, shard version)` pairs the frontend
-    /// saw, feeding its version vector in fleet mode.
-    fn search_inner(
-        &mut self,
-        peer: u64,
-        query_text: &str,
-        cache_slot: &mut Option<QueryCache>,
-        observed: &mut Vec<(String, u64)>,
-    ) -> QbResult<SearchOutcome> {
-        let terms: Vec<String> = {
-            let mut seen = Vec::new();
-            for t in self.analyzer.analyze(query_text) {
-                if !seen.contains(&t) {
-                    seen.push(t);
-                }
-            }
-            seen
-        };
-        if terms.is_empty() {
-            return Err(QbError::Query(format!(
-                "query '{query_text}' has no searchable terms"
-            )));
-        }
-        self.query_counter += 1;
+    /// Serve one [`SearchRequest`] through the staged planner/executor
+    /// pipeline (a batch window of one; see [`QueenBee::search_batch`]).
+    pub fn search_request(&mut self, request: SearchRequest) -> QbResult<SearchResponse> {
+        let mut responses = self.search_batch(vec![request])?;
+        Ok(responses.remove(0))
+    }
+
+    /// Serve a batch of requests as one window: every request is **planned**
+    /// first (term analysis plus cache probes, no network traffic), then the
+    /// executor fetches each distinct missing term shard **once** — the
+    /// window's fetches run conceptually in parallel, so simulated latency
+    /// is the max over distinct fetches, not a per-query sum — and fans the
+    /// shard out to every query in the batch that needs it. 64 Zipf queries
+    /// sharing a hot head term cost one DHT round-trip instead of 64. The
+    /// statistics record is likewise read at most once per window.
+    ///
+    /// Sharing is scoped to the serving frontend: in fleet mode, queries
+    /// routed to different frontends do not ride each other's fetches —
+    /// frontends are separate machines, and moving shards between them is
+    /// the gossip overlay's (network-charged) job. In single mode the whole
+    /// window shares.
+    ///
+    /// Responses come back in request order and are byte-identical to
+    /// executing the same requests sequentially (experiment E11 asserts
+    /// this). An invalid request (no searchable terms, bad routing) or a
+    /// failed fetch aborts the whole batch with the first error.
+    pub fn search_batch(&mut self, requests: Vec<SearchRequest>) -> QbResult<Vec<SearchResponse>> {
         let now = self.net.now();
-        let hit_latency = self.config.cache.hit_latency;
 
-        // Result-cache probe: a warm normalized query whose term shard
-        // versions are all still current is served locally, with no DHT
-        // traffic at all.
-        let key = result_key(&terms);
-        if let Some(cache) = cache_slot.as_mut() {
-            let versions = &self.shard_versions;
-            if let Some(entry) =
-                cache.lookup_result(&key, now, |t| versions.get(t).copied().unwrap_or(0))
-            {
-                observed.extend(entry.term_versions.iter().cloned());
-                let results = entry.results;
-                return Ok(self.finish_search(
-                    query_text,
-                    &terms,
-                    results,
-                    hit_latency,
-                    0,
-                    0,
-                    true,
-                    0,
-                    0,
-                ));
-            }
+        // Stage 1: plan every request against its frontend's cache tiers.
+        let mut plans: Vec<QueryPlan> = Vec::with_capacity(requests.len());
+        for request in requests {
+            let (origin_peer, frontend) = self.resolve_route(&request.routing)?;
+            let seq = self.query_counter + 1;
+            let mut cache = self.checkout_cache(frontend);
+            let planned = plan_request(
+                request,
+                seq,
+                origin_peer,
+                frontend,
+                &self.analyzer,
+                &mut cache,
+                &self.shard_versions,
+                self.index_stats.version,
+                now,
+            );
+            self.restore_cache_slot(frontend, cache);
+            let plan = planned?;
+            self.query_counter = seq;
+            plans.push(plan);
         }
 
-        let mut messages = 0u64;
-        let mut shards_fetched = 0usize;
-        let mut shard_cache_hits = 0usize;
-        let mut negative_cache_hits = 0usize;
-
-        // Global statistics: served from cache while the stats version is
-        // current, refreshed through the DHT otherwise.
-        let stats_version = self.index_stats.version;
-        let (stats, stats_latency) = match cache_slot
-            .as_mut()
-            .and_then(|c| c.lookup_stats(stats_version))
-        {
-            Some(cached) => (cached.stats, hit_latency),
-            None => {
+        // Stage 2: fetch each distinct missing term shard once, plus at most
+        // one statistics read for the whole window. Iteration follows plan
+        // and term order, so the simulated network sees a deterministic
+        // request sequence. Each fetch uses the versioned read: the frontend
+        // knows the term's current version and digs past lagging replicas.
+        let mut fetched = FetchSet::new();
+        let mut stats_read: Option<SharedStatsRead> = None;
+        for plan in &plans {
+            if plan.is_result_hit() {
+                continue;
+            }
+            if matches!(plan.stats, StatsPlan::Fetch) && stats_read.is_none() {
                 let (stats, cost) =
                     self.dist_index
-                        .read_stats(&mut self.net, &mut self.dht, peer)?;
-                messages += cost.messages;
-                if let Some(c) = cache_slot.as_mut() {
-                    c.store_stats(stats, stats.version);
+                        .read_stats(&mut self.net, &mut self.dht, plan.origin_peer)?;
+                stats_read = Some(SharedStatsRead {
+                    stats,
+                    latency: cost.latency,
+                    messages: cost.messages,
+                    charged_to: plan.seq,
+                });
+            }
+            for term in plan.fetch_terms() {
+                let key = (plan.frontend, term.to_string());
+                if fetched.contains_key(&key) {
+                    continue;
                 }
-                (stats, cost.latency)
+                let current_version = self.shard_versions.get(term).copied().unwrap_or(0);
+                let (shard, cost) = self.dist_index.read_shard_fresh(
+                    &mut self.net,
+                    &mut self.dht,
+                    &mut self.storage,
+                    plan.origin_peer,
+                    term,
+                    current_version,
+                )?;
+                fetched.insert(
+                    key,
+                    FetchedShard {
+                        shard,
+                        latency: cost.latency,
+                        messages: cost.messages,
+                        charged_to: plan.seq,
+                    },
+                );
+            }
+        }
+
+        // Stage 3: score, paginate and assemble each response, fanning the
+        // window's fetched shards out into every participating cache.
+        let mut responses = Vec::with_capacity(plans.len());
+        for plan in plans {
+            responses.push(self.serve_plan(plan, &fetched, &stats_read, now));
+        }
+        if self.fleet.is_some() {
+            self.run_due_gossip();
+        }
+        Ok(responses)
+    }
+
+    /// Resolve a request's routing policy to `(origin peer, frontend)`.
+    fn resolve_route(&self, routing: &RoutingPolicy) -> QbResult<(u64, Option<usize>)> {
+        match (routing, self.fleet.as_ref()) {
+            (RoutingPolicy::Direct(f), Some(fleet)) => {
+                if *f >= fleet.len() {
+                    return Err(QbError::Config(format!(
+                        "frontend {f} out of range (fleet has {})",
+                        fleet.len()
+                    )));
+                }
+                Ok((fleet.frontend_peer(*f), Some(*f)))
+            }
+            (RoutingPolicy::Direct(_), None) => Err(QbError::Config(
+                "search_from needs a frontend fleet (config.gossip.num_frontends > 0)".into(),
+            )),
+            (RoutingPolicy::HashPeer(peer), Some(fleet)) if !fleet.is_empty() => {
+                let f = *peer as usize % fleet.len();
+                Ok((fleet.frontend_peer(f), Some(f)))
+            }
+            (RoutingPolicy::HashPeer(peer), _) => Ok((*peer, None)),
+        }
+    }
+
+    /// Check the serving cache out of its slot (the single-mode cache, or
+    /// the routed frontend's private cache in fleet mode).
+    fn checkout_cache(&mut self, frontend: Option<usize>) -> Option<QueryCache> {
+        match frontend {
+            Some(i) => self.fleet.as_mut().and_then(|f| f.take_cache(i)),
+            None => self.cache.take(),
+        }
+    }
+
+    /// Return a checked-out cache to its slot.
+    fn restore_cache_slot(&mut self, frontend: Option<usize>, cache: Option<QueryCache>) {
+        match frontend {
+            Some(i) => {
+                if let Some(fleet) = self.fleet.as_mut() {
+                    fleet.restore_cache(i, cache);
+                }
+            }
+            None => self.cache = cache,
+        }
+    }
+
+    /// Stage 3 of the pipeline: turn one plan plus the window's shared
+    /// fetches into a [`SearchResponse`], store what the serving cache
+    /// should keep, record version observations, account freshness and
+    /// attach the ad.
+    fn serve_plan(
+        &mut self,
+        plan: QueryPlan,
+        fetched: &FetchSet,
+        stats_read: &Option<SharedStatsRead>,
+        now: qb_common::SimInstant,
+    ) -> SearchResponse {
+        let hit_latency = self.config.cache.hit_latency;
+        let top_k = plan.request.top_k.unwrap_or(self.config.top_k);
+        let page = plan.request.page;
+        let terms: Vec<String> = plan.terms.iter().map(|t| t.term.clone()).collect();
+
+        // A current result-cache entry answers the whole request locally.
+        if let Some(entry) = &plan.cached_result {
+            let hits = paginate(&entry.results, page, top_k);
+            let observed = entry.term_versions.clone();
+            let total = entry.results.len();
+            self.record_observations(plan.frontend, &observed);
+            let trace = StageCosts {
+                plan: hit_latency,
+                ..StageCosts::default()
+            };
+            let provenance = vec![TermProvenance::ResultCache; terms.len()];
+            return self.finish_response(
+                plan,
+                terms,
+                hits,
+                total,
+                top_k,
+                hit_latency,
+                trace,
+                provenance,
+            );
+        }
+
+        // Assemble the shards in term order from the plan's resolutions and
+        // the window's shared fetches.
+        let mut shards: Vec<ShardEntry> = Vec::with_capacity(terms.len());
+        let mut provenance: Vec<TermProvenance> = Vec::with_capacity(terms.len());
+        let mut term_latencies: Vec<SimDuration> = Vec::with_capacity(terms.len());
+        let mut observed: Vec<(String, u64)> = Vec::new();
+        let mut fan_out: Vec<&ShardEntry> = Vec::new();
+        let mut messages = 0u64;
+        let mut any_stale = false;
+        for planned in &plan.terms {
+            match &planned.plan {
+                TermPlan::CachedShard(shard) => {
+                    provenance.push(TermProvenance::ShardCache);
+                    term_latencies.push(hit_latency);
+                    observed.push((planned.term.clone(), shard.version));
+                    shards.push(shard.clone());
+                }
+                TermPlan::Negative => {
+                    provenance.push(TermProvenance::NegativeCache);
+                    term_latencies.push(hit_latency);
+                    shards.push(ShardEntry::empty(&planned.term));
+                }
+                TermPlan::Stale { shard, age } => {
+                    any_stale = true;
+                    provenance.push(TermProvenance::StaleCache { age: *age });
+                    term_latencies.push(hit_latency);
+                    shards.push(shard.clone());
+                }
+                TermPlan::Fetch => {
+                    let fetch = &fetched[&(plan.frontend, planned.term.clone())];
+                    term_latencies.push(fetch.latency);
+                    if fetch.charged_to == plan.seq {
+                        messages += fetch.messages;
+                        provenance.push(TermProvenance::DhtFetch);
+                    } else {
+                        provenance.push(TermProvenance::BatchShared);
+                    }
+                    observed.push((planned.term.clone(), fetch.shard.version));
+                    fan_out.push(&fetch.shard);
+                    shards.push(fetch.shard.clone());
+                }
+                TermPlan::ResultCached => unreachable!("handled by the result-hit path"),
+            }
+        }
+
+        // Statistics: the plan's cached copy, or the window's shared read.
+        let (stats, stats_latency, stats_fetched) = match &plan.stats {
+            StatsPlan::Cached(stats) => (*stats, hit_latency, false),
+            StatsPlan::Fetch => {
+                let read = stats_read
+                    .as_ref()
+                    .expect("window performed a stats read for fetch plans");
+                if read.charged_to == plan.seq {
+                    messages += read.messages;
+                }
+                (read.stats, read.latency, true)
             }
         };
 
-        // Fetch the shards (conceptually in parallel: latency is the max).
-        // Each term goes through the shard/negative tiers first; only
-        // genuine misses touch the DHT.
-        let mut shard_latencies = vec![stats_latency];
-        let mut shards: Vec<ShardEntry> = Vec::with_capacity(terms.len());
-        for term in &terms {
-            let current_version = self.shard_versions.get(term).copied().unwrap_or(0);
-            let lookup = match cache_slot.as_mut() {
-                Some(c) => c.lookup_shard(term, now, current_version),
-                None => ShardLookup::Miss,
-            };
-            match lookup {
-                ShardLookup::Hit(shard) => {
-                    shard_cache_hits += 1;
-                    shard_latencies.push(hit_latency);
-                    observed.push((term.clone(), shard.version));
-                    shards.push(shard);
-                }
-                ShardLookup::Negative => {
-                    negative_cache_hits += 1;
-                    shard_latencies.push(hit_latency);
-                    shards.push(ShardEntry::empty(term));
-                }
-                ShardLookup::Miss => {
-                    // The frontend knows the term's current version; the
-                    // versioned read digs past lagging replicas instead of
-                    // serving the first (possibly stale) copy it meets.
-                    let (shard, cost) = self.dist_index.read_shard_fresh(
-                        &mut self.net,
-                        &mut self.dht,
-                        &mut self.storage,
-                        peer,
-                        term,
-                        current_version,
-                    )?;
-                    messages += cost.messages;
-                    shard_latencies.push(cost.latency);
-                    shards_fetched += 1;
-                    if let Some(c) = cache_slot.as_mut() {
-                        c.store_shard(&shard, now);
-                    }
-                    observed.push((term.clone(), shard.version));
-                    shards.push(shard);
-                }
+        // The window's reads run conceptually in parallel: total latency is
+        // the max over the stats read and this query's term components.
+        let shard_stage = qb_simnet::parallel_latency(&term_latencies);
+        let latency = shard_stage.max(stats_latency);
+
+        // Score the full candidate list; pagination slices it afterwards.
+        let (full, candidates_scored) = intersect_and_score(
+            &shards,
+            &stats,
+            |name| self.ranks_by_name.get(name).copied().unwrap_or(0.0),
+            self.config.rank_weight,
+        );
+
+        // Cache stores: fetched shards fan out into this query's serving
+        // cache (negative entries included — an empty version-0 shard is
+        // stored as proven absence), the stats record refreshes, and the
+        // full result list is remembered under the shard versions actually
+        // served (a lagging replica's true version, never the current
+        // counter, so a stale response can never outlive its window).
+        // Responses computed from deliberately stale `MaxStaleness` shards
+        // are not cached: a strict reader must never inherit them.
+        let mut cache = self.checkout_cache(plan.frontend);
+        if let Some(c) = cache.as_mut() {
+            for shard in &fan_out {
+                c.store_shard(shard, now);
+            }
+            if stats_fetched {
+                c.store_stats(stats, stats.version);
+            }
+            if !any_stale {
+                let term_versions: Vec<(String, u64)> = terms
+                    .iter()
+                    .zip(&shards)
+                    .map(|(t, s)| (t.clone(), s.version))
+                    .collect();
+                c.store_result(&plan.result_key, full.clone(), term_versions, now);
             }
         }
-        let latency = qb_simnet::parallel_latency(&shard_latencies);
+        self.restore_cache_slot(plan.frontend, cache);
+        self.record_observations(plan.frontend, &observed);
 
-        // Intersect the posting lists; fall back to union when the
-        // conjunction is empty (so multi-term queries degrade gracefully).
-        let mut lists: Vec<qb_index::PostingList> =
-            shards.iter().map(|s| s.to_posting_list()).collect();
-        lists.sort_by_key(|l| l.len());
-        let mut candidates = lists.first().cloned().unwrap_or_default();
-        for l in lists.iter().skip(1) {
-            candidates = candidates.intersect(l);
-        }
-        if candidates.is_empty() && shards.len() > 1 {
-            candidates = qb_index::PostingList::new();
-            for l in shards.iter().map(|s| s.to_posting_list()) {
-                candidates = candidates.union(&l);
-            }
-        }
-
-        // Score.
-        let scorer = Bm25::default();
-        let num_docs = stats.num_docs.max(1) as usize;
-        let avg_len = stats.avg_len();
-        let mut results: Vec<ScoredDoc> = Vec::new();
-        for posting in candidates.postings() {
-            let mut relevance = 0.0;
-            let mut meta: Option<&qb_index::ShardPosting> = None;
-            for shard in &shards {
-                if let Some(p) = shard.get(posting.doc_id) {
-                    relevance +=
-                        scorer.score(p.term_freq, p.doc_len, avg_len, shard.doc_freq(), num_docs);
-                    meta = Some(p);
-                }
-            }
-            let Some(meta) = meta else { continue };
-            let rank = self.rank_of(&meta.name);
-            let score = blend_with_rank(relevance, rank, self.config.rank_weight);
-            results.push(ScoredDoc {
-                doc_id: posting.doc_id,
-                name: meta.name.clone(),
-                score,
-                version: meta.version,
-                creator: meta.creator,
-            });
-        }
-        results.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.doc_id.cmp(&b.doc_id))
-        });
-        results.truncate(self.config.top_k);
-
-        // Remember the response, tagged with the shard version actually
-        // served for every query term (not the engine's current counter:
-        // if a partition forced the versioned read to fall back to a
-        // lagging replica, tagging it as current would let the stale
-        // response keep serving from the result cache after the partition
-        // heals — tagged with its true version, the next lookup purges it).
-        if let Some(c) = cache_slot.as_mut() {
-            let term_versions: Vec<(String, u64)> = terms
-                .iter()
-                .zip(&shards)
-                .map(|(t, s)| (t.clone(), s.version))
-                .collect();
-            c.store_result(&key, results.clone(), term_versions, now);
-        }
-
-        Ok(self.finish_search(
-            query_text,
-            &terms,
-            results,
-            latency,
+        let hits = paginate(&full, page, top_k);
+        let total = full.len();
+        // The compute stages (plan/score/rank-blend) stay at their zero
+        // default: local work is free under the simulated cost model.
+        let trace = StageCosts {
+            stats: stats_latency,
+            shard_fetch: shard_stage,
             messages,
-            shards_fetched,
-            false,
-            shard_cache_hits,
-            negative_cache_hits,
-        ))
+            candidates_scored,
+            ..StageCosts::default()
+        };
+        self.finish_response(plan, terms, hits, total, top_k, latency, trace, provenance)
     }
 
-    /// Shared tail of every search: freshness accounting, ad selection (the
-    /// ad market lives on-chain and is always consulted live, so a cached
-    /// response can never show an expired campaign) and outcome assembly.
+    /// Record the shard versions a fleet frontend observed while serving.
+    fn record_observations(&mut self, frontend: Option<usize>, observed: &[(String, u64)]) {
+        if let (Some(i), Some(fleet)) = (frontend, self.fleet.as_mut()) {
+            for (term, version) in observed {
+                fleet.observe(i, term, *version);
+            }
+        }
+    }
+
+    /// Shared tail of every served plan: freshness accounting, ad selection
+    /// (the ad market lives on-chain and is always consulted live, so a
+    /// cached response can never show an expired campaign) and response
+    /// assembly.
     #[allow(clippy::too_many_arguments)]
-    fn finish_search(
+    fn finish_response(
         &mut self,
-        query_text: &str,
-        terms: &[String],
-        results: Vec<ScoredDoc>,
+        plan: QueryPlan,
+        terms: Vec<String>,
+        hits: Vec<ScoredDoc>,
+        total_matches: usize,
+        top_k: usize,
         latency: SimDuration,
-        messages: u64,
-        shards_fetched: usize,
-        result_cache_hit: bool,
-        shard_cache_hits: usize,
-        negative_cache_hits: usize,
-    ) -> SearchOutcome {
+        trace: StageCosts,
+        provenance: Vec<TermProvenance>,
+    ) -> SearchResponse {
         // Freshness accounting against the registry's current versions.
-        for r in &results {
+        for r in &hits {
             if let Some(rec) = self.chain.publish_registry().get(&r.name) {
                 self.freshness.record(r.version, rec.version);
             }
@@ -1105,24 +1213,27 @@ impl QueenBee {
 
         // Ad selection: highest-bidding active campaign matching any query term.
         let mut ad = None;
-        for term in terms {
-            if let Some(campaign) = self.chain.ad_market().match_keyword(term).first() {
-                ad = Some(campaign.id);
-                break;
+        if plan.request.ads {
+            for term in &terms {
+                if let Some(campaign) = self.chain.ad_market().match_keyword(term).first() {
+                    ad = Some(campaign.id);
+                    break;
+                }
             }
         }
-        let served_by_bee = self.bees[(self.query_counter as usize) % self.bees.len()].account;
-        SearchOutcome {
-            query: query_text.to_string(),
-            results,
+        let served_by_bee = self.bees[(plan.seq as usize) % self.bees.len()].account;
+        SearchResponse {
+            query: plan.request.query,
+            terms,
+            hits,
+            total_matches,
+            page: plan.request.page,
+            top_k,
             ad,
             latency,
-            messages,
-            shards_fetched,
+            trace,
+            provenance,
             served_by_bee,
-            result_cache_hit,
-            shard_cache_hits,
-            negative_cache_hits,
         }
     }
 
@@ -1358,6 +1469,112 @@ mod tests {
         assert!(bee_total > 0);
         // The hub creator earned the popularity reward.
         assert!(qb.chain.balance(AccountId(1_100)) > qb.config().chain.publish_reward);
+    }
+
+    #[test]
+    fn rank_rounds_are_deterministic_across_identical_engines() {
+        // The registry iterates a HashMap whose order varies per instance;
+        // before pages were sorted at graph-build time, node ids — and with
+        // them the block partition the collusion defense medians over —
+        // differed between otherwise identical runs, making E6's
+        // rank_inflation_x jitter. Two identical engines must now produce
+        // byte-identical rank rounds.
+        let build = || {
+            let mut qb = engine();
+            for i in 0..8u64 {
+                qb.publish(
+                    1,
+                    AccountId(1_000 + i),
+                    &page(
+                        &format!("site/{i}"),
+                        "spoke page content words",
+                        vec!["site/hub".into(), format!("site/{}", (i + 1) % 8)],
+                    ),
+                )
+                .unwrap();
+            }
+            qb.publish(
+                2,
+                AccountId(1_100),
+                &page("site/hub", "hub page everyone links here", vec![]),
+            )
+            .unwrap();
+            qb.publish(
+                1,
+                AccountId(6_000),
+                &page("evil/spam", "buy cheap honey now", vec![]),
+            )
+            .unwrap();
+            qb.seal();
+            qb.process_publish_events().unwrap();
+            qb.apply_collusion(&CollusionAttack::new(0.5, vec!["evil/spam".into()]));
+            let report = qb.run_rank_round().unwrap();
+            (report, qb.rank_of("evil/spam"))
+        };
+        let (a, spam_a) = build();
+        let (b, spam_b) = build();
+        assert_eq!(a.ranks, b.ranks, "rank vectors must be byte-identical");
+        assert_eq!(a.flagged_bees, b.flagged_bees);
+        assert_eq!(
+            spam_a.to_bits(),
+            spam_b.to_bits(),
+            "the collusion rank path must not jitter between runs"
+        );
+    }
+
+    #[test]
+    fn batch_window_fetches_each_distinct_term_once() {
+        use crate::query::{RoutingPolicy, SearchRequest};
+        let publish_set = |qb: &mut QueenBee| {
+            qb.publish(
+                1,
+                AccountId(1_000),
+                &page("wiki/a", "meadow honey nectar pollen", vec![]),
+            )
+            .unwrap();
+            qb.publish(
+                2,
+                AccountId(1_001),
+                &page("wiki/b", "meadow honey clover fields", vec![]),
+            )
+            .unwrap();
+            qb.seal();
+            qb.process_publish_events().unwrap();
+        };
+        let requests = vec![
+            SearchRequest::new("meadow honey").route(RoutingPolicy::HashPeer(3)),
+            SearchRequest::new("honey nectar").route(RoutingPolicy::HashPeer(4)),
+            SearchRequest::new("meadow clover").route(RoutingPolicy::HashPeer(5)),
+        ];
+
+        // No cache: the batch window is the only sharing mechanism.
+        let mut batched = engine();
+        publish_set(&mut batched);
+        let responses = batched.search_batch(requests.clone()).unwrap();
+        let fetches: usize = responses.iter().map(|r| r.shards_fetched()).sum();
+        let shared: usize = responses.iter().map(|r| r.batch_shared()).sum();
+        assert_eq!(fetches, 4, "distinct terms: meadow, honey, nectar, clover");
+        assert_eq!(shared, 2, "meadow and honey are reused from the window");
+
+        // Sequential execution of the same stream on an identical engine
+        // pays per-query fetches but returns byte-identical hits.
+        let mut sequential = engine();
+        publish_set(&mut sequential);
+        let mut seq_fetches = 0usize;
+        let mut seq_messages = 0u64;
+        for (request, batched_response) in requests.into_iter().zip(&responses) {
+            let response = sequential.search_request(request).unwrap();
+            seq_fetches += response.shards_fetched();
+            seq_messages += response.messages();
+            assert_eq!(response.hits, batched_response.hits);
+            assert_eq!(response.total_matches, batched_response.total_matches);
+        }
+        assert_eq!(seq_fetches, 6, "sequential pays every term again");
+        let batch_messages: u64 = responses.iter().map(|r| r.messages()).sum();
+        assert!(
+            batch_messages < seq_messages,
+            "batching must cut total RPC messages ({batch_messages} vs {seq_messages})"
+        );
     }
 
     fn cached_engine() -> QueenBee {

@@ -29,6 +29,7 @@ pub mod config;
 pub mod defense;
 pub mod engine;
 pub mod metrics;
+pub mod query;
 
 pub use attacks::{CollusionAttack, ScraperAttack};
 pub use bee::{BeeBehaviour, WorkerBee};
@@ -40,3 +41,6 @@ pub use metrics::{
 };
 pub use qb_cache::{CacheConfig, EvictionPolicy};
 pub use qb_gossip::{GossipConfig, GossipFleet, GossipStats, VersionVector};
+pub use query::{
+    Freshness, QueryPlan, RoutingPolicy, SearchRequest, SearchResponse, StageCosts, TermProvenance,
+};

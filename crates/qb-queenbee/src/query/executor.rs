@@ -1,0 +1,172 @@
+//! The executor: turn resolved shards into a ranked result list, and track
+//! the shared shard fetches of a batch window.
+//!
+//! The network side (versioned DHT reads) stays in the engine, which owns
+//! the simulated network; this module holds the pure stages — intersection,
+//! BM25 scoring, PageRank blending, ranking — and the bookkeeping that lets
+//! a batch window fetch each distinct missing term exactly once and fan the
+//! shard out to every query that needs it.
+
+use qb_common::SimDuration;
+use qb_index::{blend_with_rank, Bm25, IndexStats, PostingList, ScoredDoc, Scorer, ShardEntry};
+use std::collections::BTreeMap;
+
+/// One DHT shard fetch performed during a batch window, shared by every
+/// query in the window that needs the term.
+#[derive(Debug, Clone)]
+pub struct FetchedShard {
+    /// The fetched shard.
+    pub shard: ShardEntry,
+    /// Latency of the fetch (charged to every sharer: the window's fetches
+    /// run concurrently).
+    pub latency: SimDuration,
+    /// RPC attempts of the fetch (charged only to the triggering query).
+    pub messages: u64,
+    /// `seq` of the query that triggered the fetch.
+    pub charged_to: u64,
+}
+
+/// The distinct shard fetches of one batch window, keyed by
+/// `(serving frontend, term)`. Sharing is scoped per frontend on purpose:
+/// queries served by the same frontend ride one fetch, but two frontends
+/// are two machines — moving a shard between them is the gossip overlay's
+/// job, which charges the transfer to the simulated network. A batch
+/// window must never become a free side channel around that accounting.
+/// (In single mode the frontend slot is `None`, so the whole window
+/// shares.)
+pub type FetchSet = BTreeMap<(Option<usize>, String), FetchedShard>;
+
+/// Intersect the query terms' posting lists (falling back to the union when
+/// the conjunction is empty, so multi-term queries degrade gracefully),
+/// score each candidate with BM25 summed over the terms, blend with
+/// PageRank and rank. Returns the **full** sorted result list — pagination
+/// is the response stage's job — plus the number of candidates scored.
+pub fn intersect_and_score(
+    shards: &[ShardEntry],
+    stats: &IndexStats,
+    rank_of: impl Fn(&str) -> f64,
+    rank_weight: f64,
+) -> (Vec<ScoredDoc>, usize) {
+    // Intersect smallest-first so the candidate set shrinks fastest.
+    let mut lists: Vec<PostingList> = shards.iter().map(|s| s.to_posting_list()).collect();
+    lists.sort_by_key(|l| l.len());
+    let mut candidates = lists.first().cloned().unwrap_or_default();
+    for l in lists.iter().skip(1) {
+        candidates = candidates.intersect(l);
+    }
+    if candidates.is_empty() && shards.len() > 1 {
+        candidates = PostingList::new();
+        for l in shards.iter().map(|s| s.to_posting_list()) {
+            candidates = candidates.union(&l);
+        }
+    }
+
+    let scorer = Bm25::default();
+    let num_docs = stats.num_docs.max(1) as usize;
+    let avg_len = stats.avg_len();
+    let mut scored = 0usize;
+    let mut results: Vec<ScoredDoc> = Vec::new();
+    for posting in candidates.postings() {
+        let mut relevance = 0.0;
+        let mut meta: Option<&qb_index::ShardPosting> = None;
+        for shard in shards {
+            if let Some(p) = shard.get(posting.doc_id) {
+                relevance +=
+                    scorer.score(p.term_freq, p.doc_len, avg_len, shard.doc_freq(), num_docs);
+                meta = Some(p);
+            }
+        }
+        let Some(meta) = meta else { continue };
+        scored += 1;
+        let rank = rank_of(&meta.name);
+        let score = blend_with_rank(relevance, rank, rank_weight);
+        results.push(ScoredDoc {
+            doc_id: posting.doc_id,
+            name: meta.name.clone(),
+            score,
+            version: meta.version,
+            creator: meta.creator,
+        });
+    }
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.doc_id.cmp(&b.doc_id))
+    });
+    (results, scored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_index::ShardPosting;
+
+    fn shard(term: &str, docs: &[(u64, u32)]) -> ShardEntry {
+        let mut s = ShardEntry::empty(term);
+        s.version = 1;
+        for &(doc_id, tf) in docs {
+            s.upsert(ShardPosting {
+                doc_id,
+                term_freq: tf,
+                doc_len: 50,
+                name: format!("page/{doc_id}"),
+                version: 1,
+                creator: doc_id,
+            });
+        }
+        s
+    }
+
+    fn stats() -> IndexStats {
+        IndexStats {
+            num_docs: 10,
+            total_len: 500,
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn conjunction_wins_and_ranking_is_stable() {
+        let shards = vec![
+            shard("alpha", &[(1, 3), (2, 1), (3, 1)]),
+            shard("beta", &[(2, 2), (3, 2)]),
+        ];
+        let (results, scored) = intersect_and_score(&shards, &stats(), |_| 0.0, 0.0);
+        // Docs 2 and 3 match both terms; doc 1 only one.
+        assert_eq!(scored, 2);
+        let ids: Vec<u64> = results.iter().map(|r| r.doc_id).collect();
+        assert!(ids.contains(&2) && ids.contains(&3) && !ids.contains(&1));
+        // Identical inputs rank identically (scores tie-broken by doc id).
+        let (again, _) = intersect_and_score(&shards, &stats(), |_| 0.0, 0.0);
+        assert_eq!(results, again);
+    }
+
+    #[test]
+    fn empty_conjunction_degrades_to_union() {
+        let shards = vec![shard("alpha", &[(1, 2)]), shard("beta", &[(9, 2)])];
+        let (results, _) = intersect_and_score(&shards, &stats(), |_| 0.0, 0.0);
+        let ids: Vec<u64> = results.iter().map(|r| r.doc_id).collect();
+        assert_eq!(ids.len(), 2, "union fallback covers both terms");
+        assert!(ids.contains(&1) && ids.contains(&9));
+    }
+
+    #[test]
+    fn rank_blend_reorders_equal_relevance() {
+        let shards = vec![shard("alpha", &[(1, 2), (2, 2)])];
+        let rank = |name: &str| if name == "page/2" { 0.9 } else { 0.0 };
+        let (no_blend, _) = intersect_and_score(&shards, &stats(), rank, 0.0);
+        assert_eq!(no_blend[0].doc_id, 1, "doc-id tiebreak without blending");
+        let (blended, _) = intersect_and_score(&shards, &stats(), rank, 0.8);
+        assert_eq!(blended[0].doc_id, 2, "PageRank lifts page/2");
+    }
+
+    #[test]
+    fn returns_the_full_list_unpaginated() {
+        let docs: Vec<(u64, u32)> = (1..=25).map(|i| (i, 1)).collect();
+        let shards = vec![shard("alpha", &docs)];
+        let (results, scored) = intersect_and_score(&shards, &stats(), |_| 0.0, 0.3);
+        assert_eq!(results.len(), 25, "executor never truncates");
+        assert_eq!(scored, 25);
+    }
+}

@@ -1,0 +1,27 @@
+//! The staged planner/executor query pipeline.
+//!
+//! A query passes through four stages, each its own module and each
+//! testable in isolation:
+//!
+//! 1. **request** — [`SearchRequest`] spells out everything the seed API
+//!    left implicit: top-k, pagination, routing policy, freshness mode and
+//!    ads.
+//! 2. **plan** — the planner analyzes the query, dedupes terms and resolves
+//!    each against the cache tiers, leaving a precise fetch list
+//!    ([`QueryPlan`]).
+//! 3. **executor** — misses are fetched through the versioned DHT read and
+//!    the pure stages (intersect, BM25, PageRank blend, rank) produce the
+//!    full result list. In a batch window
+//!    ([`crate::QueenBee::search_batch`]) each distinct missing term is
+//!    fetched **once** and fanned out to every query that needs it.
+//! 4. **response** — [`SearchResponse`] carries the paginated hits, a
+//!    per-stage cost trace and per-term cache provenance.
+
+pub mod executor;
+pub mod plan;
+pub mod request;
+pub mod response;
+
+pub use plan::{PlannedTerm, QueryPlan, StatsPlan, TermPlan};
+pub use request::{Freshness, RoutingPolicy, SearchRequest};
+pub use response::{SearchResponse, StageCosts, TermProvenance};

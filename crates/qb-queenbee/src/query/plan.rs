@@ -1,0 +1,321 @@
+//! The planner: analyze a [`SearchRequest`] into a [`QueryPlan`] before any
+//! network traffic is issued.
+//!
+//! Planning resolves everything the local tiers can answer — the result
+//! cache, per-term shard/negative entries (strict or staleness-bounded,
+//! per the request's [`Freshness`]), the statistics record — and leaves a
+//! precise list of *fetch* terms for the executor. Because plans carry no
+//! network state, a batch window can plan every request first and then
+//! fetch each distinct missing term exactly once.
+
+use crate::query::request::{Freshness, SearchRequest};
+use qb_cache::{result_key, BoundedShardLookup, CachedResult, QueryCache, ShardLookup};
+use qb_common::{QbError, QbResult, SimDuration, SimInstant};
+use qb_index::{Analyzer, IndexStats, ShardEntry};
+use std::collections::HashMap;
+
+/// How one query term will be satisfied.
+#[derive(Debug, Clone)]
+pub enum TermPlan {
+    /// Served from the shard tier at the current version.
+    CachedShard(ShardEntry),
+    /// Proven absent by the negative tier; no lookup needed.
+    Negative,
+    /// A version-superseded copy served under a `MaxStaleness` bound.
+    Stale {
+        /// The cached (superseded) shard.
+        shard: ShardEntry,
+        /// How long ago the copy was stored.
+        age: SimDuration,
+    },
+    /// Must be fetched through the DHT (the executor dedupes these across a
+    /// batch window).
+    Fetch,
+    /// The whole query was answered by the result cache; the term needs no
+    /// individual resolution.
+    ResultCached,
+}
+
+/// One analyzed query term and its resolution.
+#[derive(Debug, Clone)]
+pub struct PlannedTerm {
+    /// The analyzed term.
+    pub term: String,
+    /// How it will be satisfied.
+    pub plan: TermPlan,
+}
+
+/// How the global statistics record will be satisfied.
+#[derive(Debug, Clone)]
+pub enum StatsPlan {
+    /// The cached record is still at the current version.
+    Cached(IndexStats),
+    /// Must be read through the DHT (once per batch window).
+    Fetch,
+}
+
+/// A fully analyzed request, ready for execution.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Position of this query in the engine's lifetime query sequence
+    /// (drives the serving-bee rotation exactly like the seed counter).
+    pub seq: u64,
+    /// The request being planned.
+    pub request: SearchRequest,
+    /// The simulated peer network traffic is issued from.
+    pub origin_peer: u64,
+    /// The fleet frontend serving the request (`None` in single mode).
+    pub frontend: Option<usize>,
+    /// Deduplicated analyzed terms, in query order, with their resolutions.
+    pub terms: Vec<PlannedTerm>,
+    /// Normalized result-cache key (sorted terms).
+    pub result_key: String,
+    /// A result-cache entry answering the whole query, when one was current.
+    pub cached_result: Option<CachedResult>,
+    /// How the BM25 statistics record will be satisfied.
+    pub stats: StatsPlan,
+}
+
+impl QueryPlan {
+    /// Terms the executor must fetch through the DHT.
+    pub fn fetch_terms(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().filter_map(|t| match t.plan {
+            TermPlan::Fetch => Some(t.term.as_str()),
+            _ => None,
+        })
+    }
+
+    /// True when the whole response comes from the result cache.
+    pub fn is_result_hit(&self) -> bool {
+        self.cached_result.is_some()
+    }
+}
+
+/// Analyze `request` against the local tiers. `cache` is the serving
+/// frontend's checked-out cache (`None` when caching is disabled),
+/// `shard_versions` the engine's monotonic per-term version counters and
+/// `stats_version` the current statistics version. Probing mutates the
+/// cache exactly as the seed's serve path did (recency, hit/miss counters,
+/// version-check evictions) — planning *is* the cache read.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_request(
+    request: SearchRequest,
+    seq: u64,
+    origin_peer: u64,
+    frontend: Option<usize>,
+    analyzer: &Analyzer,
+    cache: &mut Option<QueryCache>,
+    shard_versions: &HashMap<String, u64>,
+    stats_version: u64,
+    now: SimInstant,
+) -> QbResult<QueryPlan> {
+    let mut terms: Vec<String> = Vec::new();
+    for t in analyzer.analyze(&request.query) {
+        if !terms.contains(&t) {
+            terms.push(t);
+        }
+    }
+    if terms.is_empty() {
+        return Err(QbError::Query(format!(
+            "query '{}' has no searchable terms",
+            request.query
+        )));
+    }
+    let key = result_key(&terms);
+
+    // Result-cache probe: a warm normalized query whose term shard versions
+    // are all still current answers the whole request locally. `Fresh`
+    // bypasses it; `MaxStaleness` keeps the strict version check (only the
+    // shard tier below is allowed to serve superseded data).
+    if !matches!(request.freshness, Freshness::Fresh) {
+        if let Some(c) = cache.as_mut() {
+            if let Some(entry) =
+                c.lookup_result(&key, now, |t| shard_versions.get(t).copied().unwrap_or(0))
+            {
+                return Ok(QueryPlan {
+                    seq,
+                    request,
+                    origin_peer,
+                    frontend,
+                    terms: terms
+                        .into_iter()
+                        .map(|term| PlannedTerm {
+                            term,
+                            plan: TermPlan::ResultCached,
+                        })
+                        .collect(),
+                    result_key: key,
+                    cached_result: Some(entry),
+                    stats: StatsPlan::Cached(IndexStats::default()),
+                });
+            }
+        }
+    }
+
+    // Statistics record.
+    let stats = match cache
+        .as_mut()
+        .filter(|_| !matches!(request.freshness, Freshness::Fresh))
+        .and_then(|c| c.lookup_stats(stats_version))
+    {
+        Some(cached) => StatsPlan::Cached(cached.stats),
+        None => StatsPlan::Fetch,
+    };
+
+    // Per-term resolution through the shard/negative tiers.
+    let planned: Vec<PlannedTerm> = terms
+        .into_iter()
+        .map(|term| {
+            let current = shard_versions.get(&term).copied().unwrap_or(0);
+            let plan = match (&request.freshness, cache.as_mut()) {
+                (Freshness::Fresh, _) | (_, None) => TermPlan::Fetch,
+                (Freshness::CacheOk, Some(c)) => match c.lookup_shard(&term, now, current) {
+                    ShardLookup::Hit(shard) => TermPlan::CachedShard(shard),
+                    ShardLookup::Negative => TermPlan::Negative,
+                    ShardLookup::Miss => TermPlan::Fetch,
+                },
+                (Freshness::MaxStaleness(bound), Some(c)) => {
+                    match c.lookup_shard_bounded(&term, now, current, *bound) {
+                        BoundedShardLookup::Hit(shard) => TermPlan::CachedShard(shard),
+                        BoundedShardLookup::Stale { shard, age } => TermPlan::Stale { shard, age },
+                        BoundedShardLookup::Negative => TermPlan::Negative,
+                        BoundedShardLookup::Miss => TermPlan::Fetch,
+                    }
+                }
+            };
+            PlannedTerm { term, plan }
+        })
+        .collect();
+
+    Ok(QueryPlan {
+        seq,
+        request,
+        origin_peer,
+        frontend,
+        terms: planned,
+        result_key: key,
+        cached_result: None,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::request::SearchRequest;
+    use qb_cache::CacheConfig;
+    use qb_index::ShardPosting;
+
+    fn t0() -> SimInstant {
+        SimInstant::ZERO
+    }
+
+    fn shard(term: &str, version: u64) -> ShardEntry {
+        let mut s = ShardEntry::empty(term);
+        s.version = version;
+        s.upsert(ShardPosting {
+            doc_id: 1,
+            term_freq: 2,
+            doc_len: 40,
+            name: format!("page/{term}"),
+            version: 1,
+            creator: 9,
+        });
+        s
+    }
+
+    fn plan(
+        req: SearchRequest,
+        cache: &mut Option<QueryCache>,
+        versions: &HashMap<String, u64>,
+    ) -> QbResult<QueryPlan> {
+        plan_request(req, 1, 0, None, &Analyzer::new(), cache, versions, 0, t0())
+    }
+
+    #[test]
+    fn empty_queries_are_rejected() {
+        let mut none = None;
+        let err = plan(SearchRequest::new("the of and"), &mut none, &HashMap::new());
+        assert!(matches!(err, Err(QbError::Query(_))));
+    }
+
+    #[test]
+    fn terms_are_deduplicated_in_query_order() {
+        let mut none = None;
+        let p = plan(
+            SearchRequest::new("honey bees honey"),
+            &mut none,
+            &HashMap::new(),
+        )
+        .unwrap();
+        let terms: Vec<&str> = p.terms.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(terms, vec![Analyzer::stem("honey"), Analyzer::stem("bees")]);
+        assert_eq!(p.fetch_terms().count(), 2, "no cache: everything fetches");
+        assert!(matches!(p.stats, StatsPlan::Fetch));
+    }
+
+    #[test]
+    fn cache_tiers_resolve_terms_at_plan_time() {
+        let mut cache = Some(QueryCache::new(CacheConfig::enabled()));
+        let honey = Analyzer::stem("honey");
+        let ghost = Analyzer::stem("ghost");
+        let c = cache.as_mut().unwrap();
+        c.store_shard(&shard(&honey, 2), t0());
+        c.store_shard(&ShardEntry::empty(&ghost), t0());
+        let versions: HashMap<String, u64> = [(honey.clone(), 2u64)].into_iter().collect();
+        let p = plan(
+            SearchRequest::new("honey ghost nectar"),
+            &mut cache,
+            &versions,
+        )
+        .unwrap();
+        assert!(matches!(p.terms[0].plan, TermPlan::CachedShard(_)));
+        assert!(matches!(p.terms[1].plan, TermPlan::Negative));
+        assert!(matches!(p.terms[2].plan, TermPlan::Fetch));
+        assert_eq!(
+            p.fetch_terms().map(str::to_string).collect::<Vec<_>>(),
+            vec![Analyzer::stem("nectar")]
+        );
+    }
+
+    #[test]
+    fn fresh_mode_bypasses_every_tier() {
+        let mut cache = Some(QueryCache::new(CacheConfig::enabled()));
+        let honey = Analyzer::stem("honey");
+        cache.as_mut().unwrap().store_shard(&shard(&honey, 2), t0());
+        let versions: HashMap<String, u64> = [(honey, 2u64)].into_iter().collect();
+        let p = plan(
+            SearchRequest::new("honey").freshness(Freshness::Fresh),
+            &mut cache,
+            &versions,
+        )
+        .unwrap();
+        assert!(matches!(p.terms[0].plan, TermPlan::Fetch));
+        assert!(matches!(p.stats, StatsPlan::Fetch));
+    }
+
+    #[test]
+    fn max_staleness_serves_superseded_shards_within_bound() {
+        let mut cache = Some(QueryCache::new(CacheConfig::enabled()));
+        let honey = Analyzer::stem("honey");
+        cache.as_mut().unwrap().store_shard(&shard(&honey, 2), t0());
+        // The engine has since seen version 3.
+        let versions: HashMap<String, u64> = [(honey, 3u64)].into_iter().collect();
+        let p = plan(
+            SearchRequest::new("honey")
+                .freshness(Freshness::MaxStaleness(SimDuration::from_secs(60))),
+            &mut cache,
+            &versions,
+        )
+        .unwrap();
+        assert!(
+            matches!(&p.terms[0].plan, TermPlan::Stale { shard, .. } if shard.version == 2),
+            "superseded copy must serve under the bound"
+        );
+        // A strict plan for the same term falls through to a fetch.
+        let versions: HashMap<String, u64> =
+            [(Analyzer::stem("honey"), 3u64)].into_iter().collect();
+        let p = plan(SearchRequest::new("honey"), &mut cache, &versions).unwrap();
+        assert!(matches!(p.terms[0].plan, TermPlan::Fetch));
+    }
+}

@@ -1,13 +1,16 @@
 //! Quickstart: the whole QueenBee architecture (Figure 1 of the paper) in one
 //! short program — publish pages, let the worker bees index and rank them,
-//! run a search, show an ad and settle the click on-chain.
+//! serve queries through the staged `SearchRequest` → `SearchResponse`
+//! pipeline, show an ad and settle the click on-chain.
 //!
 //! Run with: `cargo run -p qb-examples --release --bin quickstart`
 
 use qb_chain::AccountId;
 use qb_dweb::WebPage;
 use qb_index::Analyzer;
-use qb_queenbee::{CacheConfig, CacheReport, QueenBee, QueenBeeConfig};
+use qb_queenbee::{
+    CacheConfig, CacheReport, QueenBee, QueenBeeConfig, RoutingPolicy, SearchRequest,
+};
 use qb_workload::AdSpec;
 
 fn main() {
@@ -85,15 +88,21 @@ fn main() {
     })
     .expect("campaign");
 
-    // 5. A user searches; the frontend intersects the posting lists fetched
-    //    from the DHT, blends BM25 with PageRank and attaches the ad.
-    let out = qb.search(5, "artisanal honey").expect("search");
+    // 5. A user searches. A query is a SearchRequest — query text plus
+    //    explicit top-k, pagination, routing and freshness knobs — and the
+    //    answer is a SearchResponse: the ranked page of hits plus a
+    //    per-stage cost trace and per-term cache provenance.
+    let request = SearchRequest::new("artisanal honey")
+        .top_k(5)
+        .route(RoutingPolicy::HashPeer(5));
+    let response = qb.search_request(request).expect("search");
     println!(
-        "\nresults for 'artisanal honey' ({} in {}):",
-        out.results.len(),
-        out.latency
+        "\nresults for 'artisanal honey' ({} of {} in {}):",
+        response.hits.len(),
+        response.total_matches,
+        response.latency
     );
-    for (i, r) in out.results.iter().enumerate() {
+    for (i, r) in response.hits.iter().enumerate() {
         println!(
             "  {}. {:28} score={:.3} (version {})",
             i + 1,
@@ -102,12 +111,28 @@ fn main() {
             r.version
         );
     }
-    println!("  [ad shown: {:?}]", out.ad);
+    println!(
+        "  stage trace: stats {} | shard fetch {} | {} msgs | {} candidates scored",
+        response.trace.stats,
+        response.trace.shard_fetch,
+        response.trace.messages,
+        response.trace.candidates_scored
+    );
+    println!(
+        "  term provenance: {:?}",
+        response
+            .terms
+            .iter()
+            .zip(&response.provenance)
+            .collect::<Vec<_>>()
+    );
+    println!("  [ad shown: {:?}]", response.ad);
 
     // 6. The user clicks the ad: the advertiser is charged and the revenue is
     //    split between the result's creator, the serving bee and the treasury.
+    let outcome = response.to_outcome();
     let before = qb.chain.balance(bob);
-    qb.click_ad(&out).expect("click");
+    qb.click_ad(&outcome).expect("click");
     println!(
         "\nad click settled on-chain: creator {:?} earned {} nectar (balance {} -> {})",
         bob,
@@ -120,8 +145,35 @@ fn main() {
         qb.chain.accounts().total_supply() == qb.config().chain.genesis_supply
     );
 
-    // 7. The cache at work: replay the same queries and watch the hit rate.
-    //    The first round warmed the tiers; every repeat is served locally
+    // 7. Batched execution: concurrent queries are planned together, each
+    //    distinct missing term shard is fetched from the DHT once, and the
+    //    shard fans out to every query in the window. Under Zipf traffic
+    //    the hot head terms collapse to a single round-trip.
+    let window: Vec<SearchRequest> = [
+        "artisanal honey",
+        "decentralized web",
+        "worker bees honey",
+        "honey engine",
+    ]
+    .iter()
+    .map(|q| SearchRequest::new(*q).route(RoutingPolicy::HashPeer(7)))
+    .collect();
+    let responses = qb.search_batch(window).expect("batch");
+    println!("\nbatched window of {} queries:", responses.len());
+    for r in &responses {
+        println!(
+            "  {:24} {} hits, {} msgs, {} fetched, {} shared from window, cache hits {}",
+            format!("'{}'", r.query),
+            r.hits.len(),
+            r.messages(),
+            r.shards_fetched(),
+            r.batch_shared(),
+            r.shard_cache_hits() + r.negative_cache_hits() + r.result_cache_hit() as usize,
+        );
+    }
+
+    // 8. The cache at work: replay the same queries and watch the hit rate.
+    //    The earlier rounds warmed the tiers; every repeat is served locally
     //    with zero RPC messages.
     println!("\nrepeated-query loop (cache warm-up vs steady state):");
     let queries = [
@@ -151,12 +203,10 @@ fn main() {
         100.0 * metrics.result.hit_rate()
     );
 
-    // 8. One frontend is just the beginning: set
-    //    `config.gossip = GossipConfig::enabled(n)` to run a fleet of n
-    //    frontends whose caches warm each other over the qb-gossip overlay
-    //    (digest/fill exchange, anti-entropy after partitions, warm-start
-    //    snapshots via export_hot_set/import_hot_set). See
-    //    `examples/gossip_warmup.rs` for a 3-frontend fleet warmed by one
-    //    bee's traffic, and experiment E10 for the fleet-scale numbers.
-    println!("\nnext: cargo run -p qb-examples --release --bin gossip_warmup");
+    // 9. Where to next: `examples/batch_search.rs` measures batched vs
+    //    sequential execution on a Zipf stream (experiment E11 at full
+    //    scale); `config.gossip = GossipConfig::enabled(n)` runs a fleet of
+    //    n frontends whose caches warm each other over the qb-gossip
+    //    overlay — see `examples/gossip_warmup.rs` and experiment E10.
+    println!("\nnext: cargo run -p qb-examples --release --bin batch_search");
 }

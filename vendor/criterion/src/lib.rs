@@ -38,6 +38,19 @@ impl BenchmarkId {
     }
 }
 
+/// Hint for how much input `iter_batched` setup produces per batch. The
+/// stand-in times one payload call per setup call regardless, so the
+/// variants only exist for API parity with the real crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; the real crate batches many per allocation.
+    SmallInput,
+    /// Large setup output; the real crate batches few per allocation.
+    LargeInput,
+    /// One setup output per iteration.
+    PerIteration,
+}
+
 /// Passed to the benchmark closure; `iter` runs and times the payload.
 pub struct Bencher {
     total: Duration,
@@ -60,6 +73,36 @@ impl Bencher {
             black_box(f());
         }
         self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Time `routine` over inputs produced by `setup`, excluding the setup
+    /// cost from the measurement (for payloads that consume their input or
+    /// mutate expensive-to-build state).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: one setup + payload to estimate the payload's cost.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        // Far fewer iterations than `iter`: each needs its own (untimed)
+        // setup, so the cap keeps total runtime sane even when setup
+        // dominates the payload.
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
         self.iters = iters;
     }
 }
