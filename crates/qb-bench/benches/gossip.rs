@@ -1,10 +1,12 @@
 //! Criterion benchmark: the qb-gossip overlay — digest extraction, full
-//! gossip rounds over a warmed fleet, and warm-start snapshot round-trips.
+//! gossip rounds over a warmed fleet, delta vs full digest encodings, the
+//! holdings filter, churn (join with bootstrap anti-entropy) and
+//! warm-start snapshot round-trips.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qb_cache::CacheConfig;
 use qb_common::SimInstant;
-use qb_gossip::{GossipConfig, GossipFleet};
+use qb_gossip::{DigestMode, GossipConfig, GossipFleet, ShardFilter};
 use qb_index::{ShardEntry, ShardPosting};
 use qb_simnet::{NetConfig, SimNet};
 
@@ -73,6 +75,65 @@ fn bench_round(c: &mut Criterion) {
     }
 }
 
+/// Steady-state round cost per digest encoding: the fleet is converged, so
+/// full digests keep re-shipping the hot set while deltas collapse to the
+/// holdings filter.
+fn bench_digest_modes(c: &mut Criterion) {
+    for mode in [DigestMode::Full, DigestMode::Delta] {
+        let label = match mode {
+            DigestMode::Full => "full",
+            DigestMode::Delta => "delta",
+        };
+        let now = SimInstant::ZERO;
+        let net = SimNet::new(16, NetConfig::lan(), 42);
+        let mut config = GossipConfig::enabled(8);
+        config.digest_mode = mode;
+        let mut fleet = GossipFleet::new(config, &CacheConfig::enabled(), 42);
+        for t in 0..64 {
+            let shard = sample_shard(&format!("term{t}"), 16);
+            fleet.cache_mut(0).store_shard(&shard, now);
+            fleet.observe(0, &shard.term, shard.version);
+        }
+        let mut net = net;
+        for _ in 0..4 {
+            fleet.run_round(&mut net, now, false);
+        }
+        c.bench_function(&format!("gossip/steady_round_{label}_digests"), |b| {
+            b.iter(|| {
+                fleet.run_round(&mut net, now, false);
+                fleet.stats().digest_bytes
+            })
+        });
+    }
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let holdings: Vec<(String, u64)> = (0..256)
+        .map(|i| (format!("term{i}"), (i % 7 + 1) as u64))
+        .collect();
+    c.bench_function("gossip/filter_build_256_holdings", |b| {
+        b.iter(|| ShardFilter::build(&holdings, 8))
+    });
+    let filter = ShardFilter::build(&holdings, 8);
+    c.bench_function("gossip/filter_probe", |b| {
+        b.iter(|| filter.contains("term128", 4))
+    });
+}
+
+/// Churn: a frontend joining a warmed fleet, including the bootstrap
+/// anti-entropy exchange that fills its cache from a live neighbour.
+fn bench_join(c: &mut Criterion) {
+    let now = SimInstant::ZERO;
+    c.bench_function("gossip/join_with_bootstrap_64_shards", |b| {
+        b.iter(|| {
+            let (mut fleet, mut net) = warmed_fleet(4, 64);
+            fleet.run_round(&mut net, now, false);
+            let peer = net.add_peer();
+            fleet.join(&mut net, peer, now).expect("join")
+        })
+    });
+}
+
 fn bench_warm_start(c: &mut Criterion) {
     let (fleet, _net) = warmed_fleet(2, 128);
     let now = SimInstant::ZERO;
@@ -88,5 +149,13 @@ fn bench_warm_start(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_digest, bench_round, bench_warm_start);
+criterion_group!(
+    benches,
+    bench_digest,
+    bench_round,
+    bench_digest_modes,
+    bench_filter,
+    bench_join,
+    bench_warm_start
+);
 criterion_main!(benches);

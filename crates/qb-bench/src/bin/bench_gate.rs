@@ -1,0 +1,263 @@
+//! CI bench-regression gate: diff the key metrics of a quick-mode
+//! experiments run against the committed baseline and fail on regressions.
+//!
+//! Usage:
+//!   cargo run -p qb-bench --release --bin bench_gate -- \
+//!       bench-results/baseline-quick.json bench-results/experiments.json \
+//!       [--threshold 0.10]
+//!
+//! The gate reads the machine-readable tables the `experiments` binary
+//! writes, extracts the lower-is-better headline metrics (DHT shard
+//! fetches, RPC messages, gossip bytes, stale serves) from the optimized
+//! configurations of E9–E12, and fails when a current value exceeds its
+//! baseline by more than the threshold (default 10%). Zero-baselines are
+//! exact: any stale result served fails outright. Metrics whose table is
+//! missing from the *baseline* are reported and skipped (a new experiment
+//! lands before its baseline); metrics missing from the *current* run fail
+//! (an experiment silently dropped out of the smoke job).
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+/// One gated metric: the first table whose title starts with `table`, the
+/// row where `key_col == key_val`, the numeric cell in `col`.
+struct Check {
+    table: &'static str,
+    key_col: &'static str,
+    key_val: &'static str,
+    col: &'static str,
+}
+
+const CHECKS: &[Check] = &[
+    // E9: the cache-on run must keep paying for itself.
+    Check {
+        table: "E9a",
+        key_col: "config",
+        key_val: "cache on",
+        col: "rpc_messages",
+    },
+    Check {
+        table: "E9a",
+        key_col: "config",
+        key_val: "cache on",
+        col: "shard_fetches",
+    },
+    Check {
+        table: "E9a",
+        key_col: "config",
+        key_val: "cache on",
+        col: "stale_results",
+    },
+    // E10: the gossip fleet's traffic and overhead.
+    Check {
+        table: "E10a",
+        key_col: "config",
+        key_val: "gossip on",
+        col: "rpc_messages",
+    },
+    Check {
+        table: "E10a",
+        key_col: "config",
+        key_val: "gossip on",
+        col: "dht_shard_fetches",
+    },
+    Check {
+        table: "E10a",
+        key_col: "config",
+        key_val: "gossip on",
+        col: "gossip_bytes",
+    },
+    Check {
+        table: "E10a",
+        key_col: "config",
+        key_val: "gossip on",
+        col: "stale_results",
+    },
+    // E11: batched execution.
+    Check {
+        table: "E11",
+        key_col: "config",
+        key_val: "batched",
+        col: "rpc_messages",
+    },
+    Check {
+        table: "E11",
+        key_col: "config",
+        key_val: "batched",
+        col: "dht_shard_fetches",
+    },
+    // E12: the churn/zone fleet under compressed digests.
+    Check {
+        table: "E12a",
+        key_col: "config",
+        key_val: "delta digests",
+        col: "rpc_messages",
+    },
+    Check {
+        table: "E12a",
+        key_col: "config",
+        key_val: "delta digests",
+        col: "dht_shard_fetches",
+    },
+    Check {
+        table: "E12a",
+        key_col: "config",
+        key_val: "delta digests",
+        col: "steady_digest_bytes",
+    },
+    Check {
+        table: "E12a",
+        key_col: "config",
+        key_val: "delta digests",
+        col: "gossip_bytes_total",
+    },
+    Check {
+        table: "E12a",
+        key_col: "config",
+        key_val: "delta digests",
+        col: "stale_results",
+    },
+];
+
+fn load(path: &str) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let json: Value = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    json.as_array()
+        .cloned()
+        .ok_or_else(|| format!("{path}: top-level JSON array of tables expected"))
+}
+
+/// Find a check's metric in a table dump; `None` when the table or row is
+/// absent, `Some(Err)` when present but not numeric.
+fn find_metric(tables: &[Value], c: &Check) -> Option<Result<f64, String>> {
+    for t in tables {
+        let Some(title) = t["title"].as_str() else {
+            continue;
+        };
+        if !title.starts_with(c.table) {
+            continue;
+        }
+        let Some(rows) = t["rows"].as_array() else {
+            continue;
+        };
+        for row in rows {
+            if row[c.key_col].as_str() != Some(c.key_val) {
+                continue;
+            }
+            let Some(cell) = row[c.col].as_str() else {
+                return Some(Err(format!("column '{}' missing", c.col)));
+            };
+            return Some(
+                cell.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("cell '{cell}' is not numeric")),
+            );
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.10f64;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threshold" {
+            let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("--threshold needs a numeric value");
+                return ExitCode::FAILURE;
+            };
+            threshold = v;
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> [--threshold 0.10]");
+        return ExitCode::FAILURE;
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "bench_gate: {} metrics, regression threshold {:.0}% ({} vs {})",
+        CHECKS.len(),
+        threshold * 100.0,
+        current_path,
+        baseline_path
+    );
+    let mut failures = 0usize;
+    let mut skipped = 0usize;
+    for c in CHECKS {
+        let label = format!("{} [{}] {}", c.table, c.key_val, c.col);
+        let base = match find_metric(&baseline, c) {
+            None => {
+                println!("  SKIP  {label}: not in baseline (new experiment?)");
+                skipped += 1;
+                continue;
+            }
+            Some(Err(e)) => {
+                println!("  FAIL  {label}: baseline {e}");
+                failures += 1;
+                continue;
+            }
+            Some(Ok(v)) => v,
+        };
+        let cur = match find_metric(&current, c) {
+            None => {
+                println!("  FAIL  {label}: missing from the current run");
+                failures += 1;
+                continue;
+            }
+            Some(Err(e)) => {
+                println!("  FAIL  {label}: current {e}");
+                failures += 1;
+                continue;
+            }
+            Some(Ok(v)) => v,
+        };
+        // Zero baselines (stale serves) are exact; everything else gets
+        // the relative threshold.
+        let limit = if base == 0.0 {
+            0.0
+        } else {
+            base * (1.0 + threshold)
+        };
+        if cur > limit {
+            println!("  FAIL  {label}: {cur} vs baseline {base} (limit {limit:.1})");
+            failures += 1;
+        } else {
+            let delta = if base == 0.0 {
+                "±0%".to_string()
+            } else {
+                format!("{:+.1}%", 100.0 * (cur - base) / base)
+            };
+            println!("  ok    {label}: {cur} vs {base} ({delta})");
+        }
+    }
+    println!(
+        "bench_gate: {} failed, {} skipped, {} checked",
+        failures,
+        skipped,
+        CHECKS.len() - skipped
+    );
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: key metrics regressed >{:.0}% against {baseline_path}; \
+             if intentional, regenerate the baseline with \
+             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12` \
+             and copy bench-results/experiments.json over the baseline file.",
+            threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -28,7 +28,7 @@ fn main() {
     let args: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+            "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
         ]
         .into_iter()
         .map(String::from)
@@ -51,8 +51,9 @@ fn main() {
             "e9" => e9_cache(quick),
             "e10" => e10_gossip(quick),
             "e11" => e11_batch(quick),
+            "e12" => e12_churn(quick),
             other => {
-                eprintln!("unknown experiment '{other}' (use f1, e1..e11 or all)");
+                eprintln!("unknown experiment '{other}' (use f1, e1..e12 or all)");
                 Vec::new()
             }
         };
@@ -1273,6 +1274,276 @@ fn e11_batch(quick: bool) -> Vec<Table> {
         "-".into(),
     ]);
     vec![t]
+}
+
+/// E12 — the gossip overlay at fleet scale, under churn and latency zones.
+/// A 16-frontend (32 in full mode) fleet spread over 4 latency zones serves
+/// a shared Zipf(1.0) stream with mid-stream republishes while frontends
+/// crash, restart and join. Two runs compare the digest encodings: full
+/// hot-set digests (the PR 2 protocol) vs delta digests + holdings filter.
+///
+/// Asserted acceptance criteria (the CI smoke job runs this quick):
+/// * steady-state gossip digest bytes drop >= 5x under delta digests,
+/// * a newly joined frontend reaches >= 80% of the fleet's steady-state
+///   cache hit rate within 3 gossip rounds of its bootstrap exchange —
+///   warmed by the fleet, never by direct DHT pre-warming,
+/// * stale results served stay exactly 0 through all the churn.
+fn e12_churn(quick: bool) -> Vec<Table> {
+    use qb_queenbee::{CacheConfig, DigestMode, GossipConfig};
+    use qb_simnet::NetConfig;
+    use qb_workload::ZipfSampler;
+
+    const ZONES: usize = 4;
+    const JOIN_PROBES: usize = 30;
+    const JOIN_ROUNDS: usize = 3;
+    let fleet_n: usize = if quick { 16 } else { 32 };
+    let (num_pages, pool_size, warm_len, steady_len, churn_len) = if quick {
+        (40, 60, 160, 160, 96)
+    } else {
+        (80, 120, 400, 400, 240)
+    };
+
+    struct ChurnRun {
+        steady_digest_bytes: u64,
+        steady_membership_bytes: u64,
+        gossip_bytes: u64,
+        messages: u64,
+        shard_fetches: u64,
+        stale: u64,
+        steady_hit_rate: f64,
+        joined_hit_rate: f64,
+        mean_ms: f64,
+        stats: qb_queenbee::GossipStats,
+        peer_down_events: u64,
+        peer_up_events: u64,
+    }
+
+    let corpus = build_corpus(0xE12, num_pages);
+    let workload = QueryWorkload::new(&corpus);
+    let mut rng = DetRng::new(0xE12);
+    let pool = workload.generate_batch(&corpus, &mut rng, pool_size);
+    let zipf = ZipfSampler::new(pool.len(), 1.0);
+    let stream: Vec<usize> = {
+        let mut rng = DetRng::new(0xE12F);
+        (0..warm_len + steady_len + churn_len)
+            .map(|_| zipf.sample(&mut rng))
+            .collect()
+    };
+    let probes: Vec<usize> = {
+        let mut rng = DetRng::new(0xE12B);
+        (0..JOIN_PROBES).map(|_| zipf.sample(&mut rng)).collect()
+    };
+
+    let run = |mode: DigestMode| -> ChurnRun {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = if quick { 64 } else { 96 };
+        config.num_bees = 6;
+        config.seed = 0xE12;
+        config.net = NetConfig::zoned(ZONES, 2_000, 40_000);
+        config.cache = CacheConfig::enabled();
+        config.gossip = GossipConfig::enabled_zoned(fleet_n, ZONES);
+        config.gossip.digest_mode = mode;
+        // The periodic full-digest safety net stays on in both runs, paced
+        // for a steady fleet (the default 2s is tuned for small partition
+        // tests; at 40 regular rounds per anti-entropy sweep the exact
+        // reconciliation still bounds any compression-delayed fill).
+        config.gossip.anti_entropy_interval = SimDuration::from_secs(8);
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+
+        let mut rng = DetRng::new(0xE12A);
+        let mut latency = LatencyRecorder::new();
+        let mut messages = 0u64;
+        let mut shard_fetches = 0u64;
+        let mut steady_hits = 0u64;
+        let mut steady_served = 0u64;
+        let mut steady_window = (0u64, 0u64); // (digest, membership) bytes at window start
+        let mut crashed: Vec<usize> = Vec::new();
+
+        for (i, &q) in stream.iter().enumerate() {
+            // Mid-stream republishes race the gossip rounds and the churn:
+            // the version guard and publish-path invalidation must keep
+            // every served result fresh even on frontends that missed the
+            // publish while crashed.
+            if i > 0 && i % 100 == 0 {
+                let victim = i / 100 % corpus.pages.len();
+                let page = &corpus.pages[victim];
+                let updated = mutate_page(page, i as u64, &mut rng);
+                let creator = AccountId(corpus.creators[victim]);
+                qb.publish((fleet_n + 2 + victim % 8) as u64, creator, &updated)
+                    .expect("republish");
+                qb.seal();
+                qb.process_publish_events().expect("reindex");
+            }
+            if i == warm_len {
+                let g = qb.gossip_stats().expect("fleet");
+                steady_window = (g.digest_bytes, g.membership_bytes);
+            }
+            if i == warm_len + steady_len {
+                // Close the steady-state measurement window, then churn:
+                // two frontends crash mid-stream...
+                let g = qb.gossip_stats().expect("fleet");
+                steady_window = (
+                    g.digest_bytes - steady_window.0,
+                    g.membership_bytes - steady_window.1,
+                );
+                for &f in &[2usize, 9] {
+                    qb.fleet_leave(f, false).expect("crash");
+                    crashed.push(f);
+                }
+            }
+            if i == warm_len + steady_len + churn_len / 2 {
+                // ...and one of them restarts, warming from the fleet.
+                qb.fleet_rejoin(crashed[0]).expect("rejoin");
+            }
+            qb.advance_time(SimDuration::from_millis(50));
+            // One shared stream, served round-robin across the live fleet.
+            let actives: Vec<usize> = (0..qb.num_frontends())
+                .filter(|&f| qb.fleet().expect("fleet").is_active(f))
+                .collect();
+            let frontend = actives[i % actives.len()];
+            if let Ok(out) = qb.search_from(frontend, &pool[q]) {
+                latency.record(out.latency);
+                messages += out.messages;
+                shard_fetches += out.shards_fetched as u64;
+                if (warm_len..warm_len + steady_len).contains(&i) {
+                    steady_served += 1;
+                    if out.shards_fetched == 0 {
+                        steady_hits += 1;
+                    }
+                }
+            }
+        }
+
+        // A brand-new frontend joins: one bootstrap anti-entropy exchange
+        // with a live neighbour, then exactly JOIN_ROUNDS gossip rounds.
+        // No DHT pre-warming of any kind.
+        let joined = qb.fleet_join().expect("join");
+        for _ in 0..JOIN_ROUNDS {
+            qb.advance_time(qb.config().gossip.round_interval);
+        }
+        let mut joined_hits = 0u64;
+        for &q in &probes {
+            if let Ok(out) = qb.search_from(joined, &pool[q]) {
+                messages += out.messages;
+                shard_fetches += out.shards_fetched as u64;
+                if out.shards_fetched == 0 {
+                    joined_hits += 1;
+                }
+            }
+        }
+
+        let stats = qb.gossip_stats().expect("fleet");
+        ChurnRun {
+            steady_digest_bytes: steady_window.0,
+            steady_membership_bytes: steady_window.1,
+            gossip_bytes: stats.total_bytes(),
+            messages,
+            shard_fetches,
+            stale: qb.freshness.stale_results,
+            steady_hit_rate: steady_hits as f64 / steady_served.max(1) as f64,
+            joined_hit_rate: joined_hits as f64 / probes.len().max(1) as f64,
+            mean_ms: latency.mean_ms(),
+            stats,
+            peer_down_events: qb.net.stats().peer_down_events,
+            peer_up_events: qb.net.stats().peer_up_events,
+        }
+    };
+
+    let full = run(DigestMode::Full);
+    let delta = run(DigestMode::Delta);
+
+    // Acceptance criteria, asserted so the CI smoke job catches regressions.
+    assert_eq!(full.stale, 0, "E12: full-digest run served stale results");
+    assert_eq!(delta.stale, 0, "E12: delta-digest run served stale results");
+    assert!(
+        full.steady_digest_bytes >= 5 * delta.steady_digest_bytes.max(1),
+        "E12: delta digests must cut steady-state digest bytes >=5x ({} vs {})",
+        delta.steady_digest_bytes,
+        full.steady_digest_bytes
+    );
+    assert!(
+        delta.joined_hit_rate >= 0.8 * delta.steady_hit_rate,
+        "E12: a joined frontend must reach >=80% of steady-state hit rate \
+         within {JOIN_ROUNDS} rounds ({:.2} vs steady {:.2})",
+        delta.joined_hit_rate,
+        delta.steady_hit_rate
+    );
+
+    let title = format!(
+        "E12a: {fleet_n}-frontend fleet over {ZONES} latency zones under churn \
+         ({} queries, 2 crashes + 1 restart + 1 join), full vs delta digests",
+        stream.len()
+    );
+    let mut t = Table::new(
+        &title,
+        &[
+            "config",
+            "steady_digest_bytes",
+            "gossip_bytes_total",
+            "rpc_messages",
+            "dht_shard_fetches",
+            "mean_latency_ms",
+            "stale_results",
+        ],
+    );
+    for (label, r) in [("full digests", &full), ("delta digests", &delta)] {
+        t.row(&[
+            label.into(),
+            r.steady_digest_bytes.to_string(),
+            r.gossip_bytes.to_string(),
+            r.messages.to_string(),
+            r.shard_fetches.to_string(),
+            f2(r.mean_ms),
+            r.stale.to_string(),
+        ]);
+    }
+    t.row(&[
+        "reduction".into(),
+        format!(
+            "{:.1}x",
+            full.steady_digest_bytes as f64 / delta.steady_digest_bytes.max(1) as f64
+        ),
+        format!(
+            "{:.1}x",
+            full.gossip_bytes as f64 / delta.gossip_bytes.max(1) as f64
+        ),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    let mut t2 = Table::new(
+        "E12b: churn, membership and join warm-up (delta-digest run)",
+        &["metric", "value"],
+    );
+    for (name, value) in [
+        ("frontends (initial)", fleet_n as u64),
+        ("crashes", delta.stats.crashes),
+        ("restarts + joins", delta.stats.joins),
+        ("view evictions", delta.stats.evictions),
+        ("view revivals", delta.stats.revivals),
+        ("peer down events (simnet)", delta.peer_down_events),
+        ("peer up events (simnet)", delta.peer_up_events),
+        (
+            "membership bytes (steady window)",
+            delta.steady_membership_bytes,
+        ),
+        ("anti-entropy rounds", delta.stats.anti_entropy_rounds),
+    ] {
+        t2.row(&[name.to_string(), value.to_string()]);
+    }
+    t2.row(&["steady-state hit rate".into(), f2(delta.steady_hit_rate)]);
+    t2.row(&[
+        format!("joined frontend hit rate (after {JOIN_ROUNDS} rounds)"),
+        f2(delta.joined_hit_rate),
+    ]);
+    t2.row(&[
+        "joined / steady ratio".into(),
+        f2(delta.joined_hit_rate / delta.steady_hit_rate.max(1e-9)),
+    ]);
+    vec![t, t2]
 }
 
 /// E8 — systems costs: DHT scaling, index, rank and chain micro-metrics.

@@ -72,7 +72,7 @@ impl DetRng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Bernoulli trial with probability `p` (clamped to [0,1]).
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
     pub fn gen_bool(&mut self, p: f64) -> bool {
         self.gen_f64() < p.clamp(0.0, 1.0)
     }

@@ -2,6 +2,21 @@
 
 use qb_common::{QbError, QbResult, SimDuration};
 
+/// How hot-set digests are encoded on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DigestMode {
+    /// Every exchange ships the full hot set as `(term, version)` pairs —
+    /// the PR 2 protocol, kept for comparison runs (E12 measures the delta
+    /// encoding against it).
+    Full,
+    /// Exchanges ship only the entries that changed since the last exchange
+    /// with that peer, plus a compact bloom-style filter over the sender's
+    /// current holdings; periodic anti-entropy rounds still swap full
+    /// digests as the exact safety net. Steady-state digest bytes drop an
+    /// order of magnitude (asserted in E12).
+    Delta,
+}
+
 /// Configuration of the cooperative cache-gossip overlay.
 ///
 /// Two independent switches control the feature:
@@ -14,7 +29,16 @@ use qb_common::{QbError, QbResult, SimDuration};
 ///   periodic digest/fill rounds plus slower anti-entropy reconciliation.
 ///
 /// Both default to off so existing deployments keep their exact behavior.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The overlay is **churn-aware**: frontends may join (bootstrapping their
+/// cache by anti-entropy from a live neighbour), leave gracefully or crash;
+/// liveness is tracked through gossiped heartbeats, and dead members are
+/// evicted from the sample set after `liveness_timeout` of silence or
+/// `failure_threshold` consecutive failed exchanges. It is **zone-aware**:
+/// with `zones > 1` each frontend carries a latency-zone label (matching
+/// `qb-simnet`'s `peer % zones` assignment) and partner sampling prefers
+/// the own zone, escaping cross-zone with `cross_zone_probability`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct GossipConfig {
     /// Master switch for the gossip exchange between frontends.
     pub enabled: bool,
@@ -27,13 +51,41 @@ pub struct GossipConfig {
     pub round_interval: SimDuration,
     /// Simulated time between anti-entropy rounds. An anti-entropy exchange
     /// digests the *entire* shard tier instead of just the hot set, so two
-    /// frontends reconcile fully after a partition heals.
+    /// frontends reconcile fully after a partition heals — and it may sample
+    /// members currently believed dead, re-establishing contact after a
+    /// partition or crash recovery.
     pub anti_entropy_interval: SimDuration,
     /// Terms per digest in a regular (hot-set) round.
     pub hot_set_size: usize,
     /// Upper bound on shard fills sent per exchange direction, so one
-    /// exchange can never turn into a bulk transfer.
+    /// exchange can never turn into a bulk transfer. A join's bootstrap
+    /// exchange is allowed `max(hot_set_size, max_fills_per_exchange)`.
     pub max_fills_per_exchange: usize,
+    /// Digest encoding for regular rounds (anti-entropy always swaps full
+    /// digests).
+    pub digest_mode: DigestMode,
+    /// Bits per holding entry in the delta digests' membership filter
+    /// (larger = fewer false positives = fewer fills delayed to the next
+    /// anti-entropy round).
+    pub filter_bits_per_entry: usize,
+    /// Number of latency zones frontends are spread over (round-robin by
+    /// peer id, matching `qb-simnet`'s zone assignment). 1 = zone-unaware.
+    pub zones: usize,
+    /// Probability that a partner pick escapes to a different zone when
+    /// same-zone candidates exist (the fleet-wide convergence links).
+    pub cross_zone_probability: f64,
+    /// A member not heard from (directly or via gossiped heartbeats) for
+    /// this long is marked dead and evicted from the sample set.
+    pub liveness_timeout: SimDuration,
+    /// Consecutive failed direct exchanges after which a member is marked
+    /// dead without waiting for the liveness timeout.
+    pub failure_threshold: u32,
+    /// Other-member entries per membership summary piggybacked on a regular
+    /// exchange (the sender itself always rides along; the roster rotates
+    /// through a window of this size, so membership overhead stays flat as
+    /// the fleet grows). Anti-entropy and bootstrap exchanges always carry
+    /// the full roster.
+    pub membership_summary_budget: usize,
     /// Seed for peer sampling (combined with the engine seed).
     pub seed: u64,
 }
@@ -48,6 +100,13 @@ impl Default for GossipConfig {
             anti_entropy_interval: SimDuration::from_secs(2),
             hot_set_size: 64,
             max_fills_per_exchange: 16,
+            digest_mode: DigestMode::Delta,
+            filter_bits_per_entry: 8,
+            zones: 1,
+            cross_zone_probability: 0.15,
+            liveness_timeout: SimDuration::from_secs(2),
+            failure_threshold: 3,
+            membership_summary_budget: 16,
             seed: 0x6055,
         }
     }
@@ -70,6 +129,21 @@ impl GossipConfig {
             num_frontends: n,
             ..GossipConfig::default()
         }
+    }
+
+    /// Fleet mode with gossip on and frontends spread over `zones` latency
+    /// zones (pair with a zoned `qb-simnet` latency model so the bias maps
+    /// to real round latency).
+    pub fn enabled_zoned(n: usize, zones: usize) -> GossipConfig {
+        GossipConfig {
+            zones,
+            ..GossipConfig::enabled(n)
+        }
+    }
+
+    /// The fill budget of a join's bootstrap anti-entropy exchange.
+    pub fn bootstrap_fill_budget(&self) -> usize {
+        self.hot_set_size.max(self.max_fills_per_exchange)
     }
 
     /// Validate the configuration.
@@ -105,6 +179,34 @@ impl GossipConfig {
                 "gossip hot-set size and fill budget must be positive".into(),
             ));
         }
+        if self.zones == 0 {
+            return Err(QbError::Config("gossip zones must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.cross_zone_probability) {
+            return Err(QbError::Config(
+                "cross_zone_probability must be within [0, 1]".into(),
+            ));
+        }
+        if self.liveness_timeout == SimDuration::ZERO {
+            return Err(QbError::Config(
+                "gossip liveness timeout must be positive".into(),
+            ));
+        }
+        if self.failure_threshold == 0 {
+            return Err(QbError::Config(
+                "gossip failure threshold must be positive".into(),
+            ));
+        }
+        if self.filter_bits_per_entry == 0 {
+            return Err(QbError::Config(
+                "gossip filter needs at least one bit per entry".into(),
+            ));
+        }
+        if self.membership_summary_budget == 0 {
+            return Err(QbError::Config(
+                "membership summaries need a positive entry budget".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -118,9 +220,15 @@ mod tests {
         let c = GossipConfig::default();
         assert!(!c.enabled);
         assert_eq!(c.num_frontends, 0);
+        assert_eq!(c.digest_mode, DigestMode::Delta);
+        assert_eq!(c.zones, 1);
         assert!(c.validate().is_ok());
         assert!(GossipConfig::fleet(4).validate().is_ok());
         assert!(GossipConfig::enabled(4).validate().is_ok());
+        let z = GossipConfig::enabled_zoned(8, 4);
+        assert_eq!(z.zones, 4);
+        assert!(z.validate().is_ok());
+        assert_eq!(z.bootstrap_fill_budget(), z.hot_set_size);
     }
 
     #[test]
@@ -144,6 +252,30 @@ mod tests {
 
         let mut c = GossipConfig::enabled(4);
         c.max_fills_per_exchange = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enabled(4);
+        c.zones = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enabled(4);
+        c.cross_zone_probability = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enabled(4);
+        c.liveness_timeout = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enabled(4);
+        c.failure_threshold = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enabled(4);
+        c.filter_bits_per_entry = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enabled(4);
+        c.membership_summary_budget = 0;
         assert!(c.validate().is_err());
 
         // Fleet without gossip tolerates degenerate gossip knobs.

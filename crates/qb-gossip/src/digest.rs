@@ -1,6 +1,22 @@
 //! Digests and version vectors — the metadata side of the gossip protocol.
+//!
+//! Two digest encodings exist (selected by `GossipConfig::digest_mode`):
+//!
+//! * **Full** — every exchange ships the whole hot set as `(term, version)`
+//!   pairs. Simple, stateless, and ~80% of E10's gossip bytes.
+//! * **Delta** — an exchange ships only the hot-set entries that changed
+//!   since the last exchange with that peer, plus a compact
+//!   [`ShardFilter`] over the sender's current
+//!   holdings. The receiver reconstructs the sender's state from its
+//!   accumulated per-peer view ([`apply_delta`]); the filter catches
+//!   evictions the deltas cannot express, and the periodic full-digest
+//!   anti-entropy round remains the exact safety net. Fill decisions
+//!   ([`needs_fill`]) only ever suppress a fill on *explicitly advertised*
+//!   knowledge confirmed by the filter, so compression can delay a fill
+//!   (until anti-entropy) but never lose one.
 
-use std::collections::BTreeMap;
+use crate::filter::ShardFilter;
+use std::collections::{BTreeMap, HashMap};
 
 /// A digest of one frontend's (hot) cached shards: `(term, version)` pairs
 /// in descending popularity order. Exchanging digests first lets peers ship
@@ -40,6 +56,46 @@ impl Digest {
             .iter()
             .find(|(t, _)| t == term)
             .map(|(_, v)| *v)
+    }
+}
+
+/// The hot-set entries worth advertising to a peer that was last told
+/// `advertised`: everything whose `(term, version)` it has not been told
+/// yet. The complement of this delta is exactly what the peer can
+/// reconstruct from its accumulated view, so `delta + accumulated view =
+/// full digest` (asserted by the compression proptest).
+pub fn delta_entries(
+    hot: &[(String, u64)],
+    advertised: &HashMap<String, u64>,
+) -> Vec<(String, u64)> {
+    hot.iter()
+        .filter(|(term, version)| advertised.get(term) != Some(version))
+        .cloned()
+        .collect()
+}
+
+/// Fold a received delta into the accumulated view of a peer's holdings.
+/// Monotonic per term: a delta can only raise the version the peer is
+/// believed to hold (the version guard receiver-side makes a genuinely
+/// downgraded shard impossible to accept anyway).
+pub fn apply_delta(view: &mut HashMap<String, u64>, delta: &[(String, u64)]) {
+    for (term, version) in delta {
+        let slot = view.entry(term.clone()).or_insert(0);
+        *slot = (*slot).max(*version);
+    }
+}
+
+/// Should `term`'s shard at `version` be filled to a peer believed to hold
+/// `believed` of it, whose current holdings are summarized by `filter`? A
+/// fill is suppressed only when the peer explicitly advertised an
+/// equal-or-newer version **and** the filter still confirms it holds that
+/// exact version (evictions drop out of the filter, so a stale belief
+/// cannot suppress forever). The filter alone never suppresses: with no
+/// advertised belief the fill is always sent.
+pub fn needs_fill(term: &str, version: u64, believed: Option<u64>, filter: &ShardFilter) -> bool {
+    match believed {
+        Some(b) if b >= version => !filter.contains(term, b),
+        _ => true,
     }
 }
 
@@ -122,6 +178,55 @@ mod tests {
         v.observe("t", 5);
         assert_eq!(v.get("t"), 5);
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn delta_reconstruction_matches_the_full_digest() {
+        let hot = vec![
+            ("alpha".to_string(), 3u64),
+            ("beta".to_string(), 1),
+            ("gamma".to_string(), 2),
+        ];
+        // The peer was previously told alpha@3 and beta@1; only gamma (new)
+        // rides the delta — plus alpha again once it moves to version 4.
+        let mut advertised: HashMap<String, u64> = HashMap::new();
+        advertised.insert("alpha".into(), 3);
+        advertised.insert("beta".into(), 1);
+        let delta = delta_entries(&hot, &advertised);
+        assert_eq!(delta, vec![("gamma".to_string(), 2)]);
+
+        let mut view = advertised.clone();
+        apply_delta(&mut view, &delta);
+        for (term, version) in &hot {
+            assert_eq!(view.get(term), Some(version), "view must equal full digest");
+        }
+
+        let bumped = vec![("alpha".to_string(), 4u64)];
+        let delta2 = delta_entries(&bumped, &advertised);
+        assert_eq!(delta2, bumped, "a version bump re-enters the delta");
+        apply_delta(&mut view, &delta2);
+        assert_eq!(view.get("alpha"), Some(&4));
+        // A (stale) replayed delta never lowers the reconstructed version.
+        apply_delta(&mut view, &[("alpha".to_string(), 2)]);
+        assert_eq!(view.get("alpha"), Some(&4));
+    }
+
+    #[test]
+    fn needs_fill_never_suppresses_on_the_filter_alone() {
+        use crate::filter::ShardFilter;
+        let holdings = vec![("alpha".to_string(), 3u64)];
+        let filter = ShardFilter::build(&holdings, 8);
+        // Advertised + confirmed: suppressed.
+        assert!(!needs_fill("alpha", 3, Some(3), &filter));
+        assert!(!needs_fill("alpha", 2, Some(3), &filter));
+        // Peer holds an older version: fill.
+        assert!(needs_fill("alpha", 4, Some(3), &filter));
+        // Never advertised: fill, even though the filter (by collision or
+        // otherwise) could claim the key.
+        assert!(needs_fill("alpha", 3, None, &filter));
+        // Advertised but since evicted (filter no longer confirms): fill.
+        let evicted = ShardFilter::build(&[], 8);
+        assert!(needs_fill("alpha", 3, Some(3), &evicted));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! A compact membership filter over a cache's `(term, version)` holdings.
+//!
+//! Delta digests only ship the hot-set entries that *changed* since the last
+//! exchange with a peer; the receiver reconstructs the sender's holdings
+//! from its accumulated per-peer view. That reconstruction is exact for
+//! everything the sender ever advertised — but it cannot see *evictions*:
+//! a term the sender dropped under cache pressure would stay in the
+//! receiver's view forever and wrongly suppress future fills. The filter
+//! closes that gap: every compressed digest carries a bloom-style summary
+//! of the sender's *current* shard holdings, and an accumulated belief only
+//! suppresses a fill while the filter still confirms it.
+//!
+//! The decision rule is deliberately asymmetric in what an error can cost:
+//!
+//! * a filter **false negative is impossible** (every inserted key always
+//!   tests positive), so a fill is never triggered for an entry the peer
+//!   provably advertised and still holds — no wasted fill from the filter;
+//! * a filter **false positive** can only keep a stale belief alive for an
+//!   entry the peer *evicted*; the fill is retried once the periodic
+//!   full-digest anti-entropy round rebuilds the exact view. Beliefs
+//!   themselves come from explicit advertisements, never from the filter,
+//!   so the filter alone can never invent a "peer has it" outcome.
+
+use qb_common::Hash256;
+
+/// Number of hash probes per key. Three probes at the default 8 bits per
+/// entry give a ~3% false-positive rate, which only delays (never loses)
+/// fills for concurrently evicted entries.
+const PROBES: usize = 3;
+
+/// A bloom-style filter over `(term, version)` pairs, built on the
+/// workspace's [`Hash256`] hashing (one digest per key, split into probe
+/// indexes — no external hash crates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFilter {
+    bits: Vec<u8>,
+    entries: usize,
+}
+
+impl ShardFilter {
+    /// Build a filter sized at `bits_per_entry` bits per entry (minimum 64
+    /// bits total, rounded up to whole bytes) over the given holdings.
+    pub fn build(holdings: &[(String, u64)], bits_per_entry: usize) -> ShardFilter {
+        let bits = (holdings.len() * bits_per_entry.max(1)).max(64);
+        let mut filter = ShardFilter {
+            bits: vec![0u8; bits.div_ceil(8)],
+            entries: holdings.len(),
+        };
+        for (term, version) in holdings {
+            filter.insert(term, *version);
+        }
+        filter
+    }
+
+    /// An empty filter (answers `false` for every key).
+    pub fn empty() -> ShardFilter {
+        ShardFilter {
+            bits: vec![0u8; 8],
+            entries: 0,
+        }
+    }
+
+    fn probe_positions(&self, term: &str, version: u64) -> [usize; PROBES] {
+        let digest =
+            Hash256::digest_parts(&[b"qb-gossip/filter", term.as_bytes(), &version.to_be_bytes()]);
+        let bytes = digest.as_bytes();
+        let nbits = self.bits.len() * 8;
+        let mut positions = [0usize; PROBES];
+        for (i, pos) in positions.iter_mut().enumerate() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[i * 8..i * 8 + 8]);
+            *pos = (u64::from_be_bytes(word) % nbits as u64) as usize;
+        }
+        positions
+    }
+
+    fn insert(&mut self, term: &str, version: u64) {
+        for pos in self.probe_positions(term, version) {
+            self.bits[pos / 8] |= 1 << (pos % 8);
+        }
+    }
+
+    /// Does the filter (possibly) contain `(term, version)`? `true` is
+    /// approximate ("maybe holds"), `false` is exact ("definitely does not
+    /// hold") — inserted keys never test negative.
+    pub fn contains(&self, term: &str, version: u64) -> bool {
+        self.probe_positions(term, version)
+            .into_iter()
+            .all(|pos| self.bits[pos / 8] & (1 << (pos % 8)) != 0)
+    }
+
+    /// Number of entries the filter was built over.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when built over no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Bytes this filter occupies on the wire (bit array + a small header
+    /// carrying the bit count).
+    pub fn wire_bytes(&self) -> usize {
+        4 + self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn holdings(n: usize) -> Vec<(String, u64)> {
+        (0..n)
+            .map(|i| (format!("term{i}"), (i % 9 + 1) as u64))
+            .collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let h = holdings(200);
+        let f = ShardFilter::build(&h, 8);
+        for (t, v) in &h {
+            assert!(
+                f.contains(t, *v),
+                "inserted key ({t}, {v}) must test positive"
+            );
+        }
+    }
+
+    #[test]
+    fn version_is_part_of_the_key() {
+        let f = ShardFilter::build(&[("honey".into(), 3)], 8);
+        assert!(f.contains("honey", 3));
+        // A different version of the same term is a different key; it may
+        // collide in principle but not for this tiny filter.
+        assert!(!f.contains("honey", 4));
+        assert!(!f.contains("nectar", 3));
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = ShardFilter::empty();
+        assert!(f.is_empty());
+        assert!(!f.contains("anything", 1));
+        assert!(f.wire_bytes() >= 8);
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_default_sizing() {
+        let h = holdings(512);
+        let f = ShardFilter::build(&h, 8);
+        let mut false_positives = 0;
+        let trials = 2_000;
+        for i in 0..trials {
+            if f.contains(&format!("absent{i}"), 1) {
+                false_positives += 1;
+            }
+        }
+        let rate = false_positives as f64 / trials as f64;
+        assert!(rate < 0.08, "false-positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_entries() {
+        let small = ShardFilter::build(&holdings(8), 8);
+        let large = ShardFilter::build(&holdings(256), 8);
+        assert!(large.wire_bytes() > small.wire_bytes());
+        // ~1 byte per entry at the default sizing: an order of magnitude
+        // under the ~17 bytes a full digest entry costs.
+        assert_eq!(large.wire_bytes(), 4 + 256);
+    }
+}

@@ -1,64 +1,130 @@
 //! The frontend fleet and the epidemic exchange protocol.
 //!
-//! Every frontend owns a private [`QueryCache`] plus a [`VersionVector`] of
-//! the highest shard version it has observed per term. A gossip round walks
-//! the fleet; each frontend samples `fanout` partners and runs one
-//! *exchange* with each:
+//! Every frontend owns a private [`QueryCache`], a [`VersionVector`] of the
+//! highest shard version it has observed per term, and — since the overlay
+//! became churn-aware — its own [`MembershipView`] of the fleet. A gossip
+//! round walks the active frontends; each one increments its heartbeat,
+//! samples `fanout` partners from the members *it* believes alive (biased
+//! toward its own latency zone, escaping cross-zone with a configurable
+//! probability) and runs one *exchange* with each:
 //!
-//! 1. **Digest swap** — one RPC carrying both sides' hot-set digests
-//!    (`(term, shard version)` pairs, hottest first). Anti-entropy rounds
-//!    digest the entire shard tier instead, so two frontends reconcile
-//!    fully after a partition heals.
-//! 2. **Fills, both directions** — each side pushes the shards the other's
-//!    digest lacks (bounded by `max_fills_per_exchange`), as one batched
+//! 1. **Digest swap** — one RPC carrying both sides' digests plus a
+//!    membership summary (peer, zone, heartbeat triples). In
+//!    [`DigestMode::Delta`] a digest holds only the hot-set entries that
+//!    changed since the last exchange with that peer, plus a compact
+//!    [`ShardFilter`] over the sender's current holdings; anti-entropy
+//!    rounds always swap full digests, reconciling fully after partitions
+//!    and repairing any fill the compression delayed.
+//! 2. **Fills, both directions** — each side pushes the shards it believes
+//!    the other lacks (bounded by `max_fills_per_exchange`), as one batched
 //!    one-way message. A fill carries the *remaining* lifetime of the
 //!    sender's copy; the receiver stores it under `min(remaining, own
-//!    adapted TTL)`, so relaying a shard around the fleet can only tighten
-//!    its staleness bound, never restart the clock.
+//!    adapted TTL)`.
 //! 3. **Version guard** — the receiver admits a fill only if its version is
-//!    at least the highest version the receiver has observed for that term,
-//!    and strictly newer than its cached copy. A stale shard is *never*
+//!    at least the highest version it has observed for that term, and
+//!    strictly newer than its cached copy. A stale shard is *never*
 //!    accepted over a fresher one, no matter how gossip routes it.
+//!
+//! **Churn**: frontends [`join`](GossipFleet::join) by bootstrapping their
+//! cache through one full anti-entropy exchange with a live neighbour
+//! (warming from the fleet instead of the DHT), [`leave`](GossipFleet::leave)
+//! gracefully (departure notices) or [`crash`](GossipFleet::crash) (peers
+//! detect the silence via heartbeats and evict the member from their sample
+//! sets); a crashed frontend can [`rejoin`](GossipFleet::rejoin) with a
+//! fresh cache and a bumped heartbeat that supersedes every stale view of
+//! it.
 //!
 //! All traffic goes through [`SimNet`] and is charged to its `NetStats`;
 //! partitions and offline peers fail exchanges exactly like any other RPC.
 
-use crate::config::GossipConfig;
-use crate::digest::{Digest, VersionVector};
+use crate::config::{DigestMode, GossipConfig};
+use crate::digest::{apply_delta, delta_entries, needs_fill, Digest, VersionVector};
+use crate::filter::ShardFilter;
+use crate::membership::MembershipView;
 use crate::stats::GossipStats;
 use qb_cache::{CacheConfig, QueryCache, RemoteAdmit};
 use qb_common::{DetRng, SimDuration, SimInstant};
 use qb_index::ShardEntry;
 use qb_simnet::SimNet;
+use std::collections::HashMap;
 
 /// Wire overhead charged per shard in a fill batch (frame, version, TTL).
 const FILL_ENTRY_OVERHEAD: usize = 12;
+
+/// Bytes of a graceful departure notice.
+const DEPARTURE_NOTICE_BYTES: usize = 16;
 
 /// Most rounds one `maybe_run` call fires when catching up after a large
 /// simulated-time step.
 const MAX_CATCHUP_ROUNDS: usize = 8;
 
-/// One query frontend: a peer in the simulated network, its private cache
-/// and its per-term version knowledge.
+/// What one frontend knows about the sync state with one partner — the
+/// receiver-side reconstruction state of the delta-digest protocol.
+#[derive(Debug, Clone, Default)]
+struct PeerSync {
+    /// `(term -> version)` this frontend believes the partner holds
+    /// (accumulated from the partner's advertisements and own fills).
+    holdings: HashMap<String, u64>,
+    /// `(term -> version)` this frontend last advertised to the partner —
+    /// the baseline the next delta digest is computed against.
+    advertised: HashMap<String, u64>,
+}
+
+/// One query frontend: a peer in the simulated network, its private cache,
+/// its per-term version knowledge and its view of the fleet.
 #[derive(Debug)]
 pub struct Frontend {
     /// The simulated peer this frontend runs on.
     pub peer: u64,
+    /// The latency zone this frontend lives in (`peer % config.zones`,
+    /// matching `qb-simnet`'s round-robin zone assignment).
+    pub zone: usize,
     /// Highest shard version observed per term (DHT fetches, publish events,
     /// gossip digests and fills).
     pub known: VersionVector,
+    /// Monotonic per-slot heartbeat counter (survives restarts, so a
+    /// rejoined frontend's gossip supersedes every stale view of it).
+    heartbeat: u64,
+    /// True once the frontend left or crashed; departed slots keep their
+    /// index (engine routing stays stable) but take no part in gossip.
+    departed: bool,
+    /// This frontend's own view of fleet membership.
+    view: MembershipView,
+    /// Per-partner delta-digest sync state.
+    sync: HashMap<u64, PeerSync>,
+    /// Rotating cursor of the bounded membership summaries.
+    summary_cursor: usize,
     /// The private query-serving cache. `None` only while the engine's
     /// search path has it checked out.
     cache: Option<QueryCache>,
 }
 
 impl Frontend {
-    fn new(peer: u64, cache_config: CacheConfig) -> Frontend {
+    fn new(peer: u64, zone: usize, cache_config: CacheConfig) -> Frontend {
         Frontend {
             peer,
+            zone,
             known: VersionVector::new(),
+            heartbeat: 0,
+            departed: false,
+            view: MembershipView::new(),
+            sync: HashMap::new(),
+            summary_cursor: 0,
             cache: Some(QueryCache::new(cache_config)),
         }
+    }
+
+    /// The membership summary piggybacked on one exchange: the full roster
+    /// for anti-entropy/bootstrap, a bounded rotating window otherwise.
+    fn membership_summary(&mut self, full: bool, budget: usize) -> crate::MembershipSummary {
+        if full {
+            return self.view.summary();
+        }
+        let s = self
+            .view
+            .summary_window(self.summary_cursor, budget, self.peer);
+        self.summary_cursor = self.summary_cursor.wrapping_add(budget.max(1));
+        s
     }
 
     /// Borrow the cache (panics while checked out by the search path).
@@ -71,13 +137,23 @@ impl Frontend {
         self.cache.as_mut().expect("frontend cache checked out")
     }
 
-    fn digest(&self, config: &GossipConfig, full: bool, now: SimInstant) -> Digest {
-        let max = if full {
-            usize::MAX
-        } else {
-            config.hot_set_size
-        };
-        Digest::new(self.cache().shard_digest(max, now))
+    /// Is the frontend part of the fleet (not departed/crashed)?
+    pub fn is_active(&self) -> bool {
+        !self.departed
+    }
+
+    /// Current heartbeat counter.
+    pub fn heartbeat(&self) -> u64 {
+        self.heartbeat
+    }
+
+    /// This frontend's view of fleet membership.
+    pub fn view(&self) -> &MembershipView {
+        &self.view
+    }
+
+    fn sync_entry(&mut self, peer: u64) -> &mut PeerSync {
+        self.sync.entry(peer).or_default()
     }
 }
 
@@ -85,7 +161,9 @@ impl Frontend {
 #[derive(Debug)]
 pub struct GossipFleet {
     config: GossipConfig,
+    cache_config: CacheConfig,
     frontends: Vec<Frontend>,
+    index_by_peer: HashMap<u64, usize>,
     rng: DetRng,
     next_round_at: SimInstant,
     next_anti_entropy_at: SimInstant,
@@ -94,25 +172,42 @@ pub struct GossipFleet {
 
 impl GossipFleet {
     /// Build a fleet of `config.num_frontends` frontends on peers
-    /// `0..num_frontends`, each with a private cache built from
-    /// `cache_config`. `seed` is mixed with the gossip seed so two engines
-    /// differing only in their master seed sample different partners.
+    /// `0..num_frontends` (zone `peer % config.zones`), each with a private
+    /// cache built from `cache_config`. Every initial member knows the full
+    /// starting roster; membership changes after that flow through gossip.
+    /// `seed` is mixed with the gossip seed so two engines differing only
+    /// in their master seed sample different partners.
     pub fn new(config: GossipConfig, cache_config: &CacheConfig, seed: u64) -> GossipFleet {
-        let frontends = (0..config.num_frontends)
-            .map(|i| Frontend::new(i as u64, cache_config.clone()))
+        let zones = config.zones.max(1);
+        let mut frontends: Vec<Frontend> = (0..config.num_frontends)
+            .map(|i| Frontend::new(i as u64, i % zones, cache_config.clone()))
+            .collect();
+        let roster: Vec<(u64, usize)> = frontends.iter().map(|f| (f.peer, f.zone)).collect();
+        for f in frontends.iter_mut() {
+            for &(peer, zone) in &roster {
+                f.view.admit(peer, zone, 0, SimInstant::ZERO);
+            }
+        }
+        let index_by_peer = frontends
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.peer, i))
             .collect();
         let rng = DetRng::new(seed ^ config.seed.rotate_left(17));
         GossipFleet {
             next_round_at: SimInstant::ZERO + config.round_interval,
             next_anti_entropy_at: SimInstant::ZERO + config.anti_entropy_interval,
+            cache_config: cache_config.clone(),
             config,
             frontends,
+            index_by_peer,
             rng,
             stats: GossipStats::default(),
         }
     }
 
-    /// Number of frontends.
+    /// Number of frontend slots (departed slots included; indexes are
+    /// stable across churn).
     pub fn len(&self) -> usize {
         self.frontends.len()
     }
@@ -120,6 +215,21 @@ impl GossipFleet {
     /// True when the fleet has no frontends.
     pub fn is_empty(&self) -> bool {
         self.frontends.is_empty()
+    }
+
+    /// Number of active (not departed) frontends.
+    pub fn active_count(&self) -> usize {
+        self.frontends.iter().filter(|f| f.is_active()).count()
+    }
+
+    /// Is frontend `i` active (joined and neither left nor crashed)?
+    pub fn is_active(&self, i: usize) -> bool {
+        self.frontends.get(i).is_some_and(|f| f.is_active())
+    }
+
+    /// The latency zone of frontend `i`.
+    pub fn zone_of(&self, i: usize) -> usize {
+        self.frontends[i].zone
     }
 
     /// The configuration the fleet runs.
@@ -165,11 +275,11 @@ impl GossipFleet {
     }
 
     /// A page version touching `term` was (re)indexed at `version` by a bee
-    /// on `writer_peer`. Every frontend that can currently observe the
-    /// publish (same partition, online) invalidates its cached entries and
-    /// records the new version; partitioned frontends miss the event and
-    /// catch up through read-time version checks and anti-entropy after the
-    /// partition heals.
+    /// on `writer_peer`. Every active frontend that can currently observe
+    /// the publish (same partition, online) invalidates its cached entries
+    /// and records the new version; partitioned frontends miss the event
+    /// and catch up through read-time version checks and anti-entropy after
+    /// the partition heals.
     pub fn observe_publish(
         &mut self,
         net: &SimNet,
@@ -179,7 +289,7 @@ impl GossipFleet {
         now: SimInstant,
     ) {
         for f in &mut self.frontends {
-            if !net.can_reach(writer_peer, f.peer) {
+            if f.departed || !net.can_reach(writer_peer, f.peer) {
                 continue;
             }
             f.known.observe(term, version);
@@ -212,14 +322,156 @@ impl GossipFleet {
         Ok(admitted)
     }
 
+    // ----- churn -------------------------------------------------------------------
+
+    /// A new frontend joins the fleet on `peer` (which must already exist in
+    /// the simulated network and not host another frontend). Its zone is
+    /// `peer % config.zones`, matching the network's assignment. The joiner
+    /// bootstraps by one full anti-entropy exchange with a live neighbour
+    /// (same zone preferred) — the operator hands the new process a seed
+    /// address, everything else flows through gossip — warming its cache
+    /// from the fleet instead of the DHT. Returns the new frontend index;
+    /// a peer that already hosts a frontend (departed slots included —
+    /// those restart via [`GossipFleet::rejoin`]) is rejected.
+    pub fn join(
+        &mut self,
+        net: &mut SimNet,
+        peer: u64,
+        now: SimInstant,
+    ) -> qb_common::QbResult<usize> {
+        if self.index_by_peer.contains_key(&peer) {
+            return Err(qb_common::QbError::Config(format!(
+                "peer {peer} already hosts a frontend"
+            )));
+        }
+        let zone = (peer as usize) % self.config.zones.max(1);
+        let idx = self.frontends.len();
+        let mut f = Frontend::new(peer, zone, self.cache_config.clone());
+        f.view.admit(peer, zone, 0, now);
+        self.frontends.push(f);
+        self.index_by_peer.insert(peer, idx);
+        self.stats.joins += 1;
+        self.bootstrap(net, idx, now);
+        Ok(idx)
+    }
+
+    /// Frontend `i` leaves gracefully: it notifies up to `fanout` partners
+    /// (which tombstone it immediately; everyone else evicts it via the
+    /// liveness timeout) and goes offline. The notice carries the leaver's
+    /// final heartbeat, so no third-party summary — all of which saw at
+    /// most that heartbeat — can resurrect the departed member in a
+    /// notified view; only an actual rejoin (which bumps the heartbeat)
+    /// revives it.
+    pub fn leave(&mut self, net: &mut SimNet, i: usize) {
+        if self.frontends[i].departed {
+            return;
+        }
+        let peer = self.frontends[i].peer;
+        let zone = self.frontends[i].zone;
+        let final_heartbeat = self.frontends[i].heartbeat;
+        let partners = self.frontends[i].view.sample_partners(
+            &mut self.rng,
+            peer,
+            zone,
+            self.config.fanout,
+            self.config.cross_zone_probability,
+            false,
+        );
+        for p in partners {
+            if net.send(peer, p, DEPARTURE_NOTICE_BYTES).is_ok() {
+                self.stats.membership_bytes += DEPARTURE_NOTICE_BYTES as u64;
+                if let Some(&j) = self.index_by_peer.get(&p) {
+                    self.frontends[j].view.mark_departed(peer, final_heartbeat);
+                }
+            }
+        }
+        self.frontends[i].departed = true;
+        net.set_online(peer, false);
+        self.stats.leaves += 1;
+    }
+
+    /// Frontend `i` crashes: no notice is sent; the rest of the fleet
+    /// detects the silence through heartbeats and failed exchanges and
+    /// evicts it from their sample sets.
+    pub fn crash(&mut self, net: &mut SimNet, i: usize) {
+        if self.frontends[i].departed {
+            return;
+        }
+        net.set_online(self.frontends[i].peer, false);
+        self.frontends[i].departed = true;
+        self.stats.crashes += 1;
+    }
+
+    /// A departed frontend restarts on its old peer: fresh cache, fresh
+    /// version vector, bumped heartbeat (so its gossip supersedes every
+    /// stale view of it), and a bootstrap anti-entropy exchange with a live
+    /// neighbour to warm up from the fleet instead of the DHT.
+    pub fn rejoin(&mut self, net: &mut SimNet, i: usize, now: SimInstant) {
+        if !self.frontends[i].departed {
+            return;
+        }
+        let f = &mut self.frontends[i];
+        net.set_online(f.peer, true);
+        f.departed = false;
+        f.cache = Some(QueryCache::new(self.cache_config.clone()));
+        f.known = VersionVector::new();
+        f.sync.clear();
+        f.heartbeat += 1;
+        let (peer, zone, hb) = (f.peer, f.zone, f.heartbeat);
+        f.view = MembershipView::new();
+        f.view.admit(peer, zone, hb, now);
+        self.stats.joins += 1;
+        self.bootstrap(net, i, now);
+    }
+
+    /// One full anti-entropy exchange between a (re)joining frontend and a
+    /// live neighbour (same zone preferred), with the elevated bootstrap
+    /// fill budget. A failed exchange (races with churn, partitions) falls
+    /// back to the next candidate neighbour; a fleet with no reachable
+    /// neighbour joins cold.
+    fn bootstrap(&mut self, net: &mut SimNet, idx: usize, now: SimInstant) {
+        let zone = self.frontends[idx].zone;
+        let mut same: Vec<usize> = Vec::new();
+        let mut cross: Vec<usize> = Vec::new();
+        for (j, f) in self.frontends.iter().enumerate() {
+            if j == idx || f.departed || !net.is_online(f.peer) {
+                continue;
+            }
+            if f.zone == zone {
+                same.push(j);
+            } else {
+                cross.push(j);
+            }
+        }
+        self.rng.shuffle(&mut same);
+        self.rng.shuffle(&mut cross);
+        for j in same.into_iter().chain(cross) {
+            let (a, b) = pair_mut(&mut self.frontends, idx, j);
+            if exchange(
+                &self.config,
+                a,
+                b,
+                net,
+                now,
+                true,
+                self.config.bootstrap_fill_budget(),
+                &mut self.stats,
+            ) {
+                return;
+            }
+        }
+    }
+
+    // ----- rounds ------------------------------------------------------------------
+
     /// Run every gossip round that became due by `now` (a large time step
     /// fires the backlog, keeping the configured pacing relative to
     /// simulated time). Catch-up is capped: epidemic convergence is
-    /// logarithmic in rounds, so past [`MAX_CATCHUP_ROUNDS`] back-to-back
+    /// logarithmic in rounds, so past `MAX_CATCHUP_ROUNDS` (8) back-to-back
     /// rounds at one instant add nothing and the remaining backlog is
     /// dropped. Returns true when at least one round ran.
     pub fn maybe_run(&mut self, net: &mut SimNet, now: SimInstant) -> bool {
-        if !self.config.enabled || self.frontends.len() < 2 {
+        if !self.config.enabled || self.active_count() < 2 {
             return false;
         }
         let mut fired = 0usize;
@@ -240,7 +492,9 @@ impl GossipFleet {
     }
 
     /// Run one gossip round unconditionally (tests and experiments).
-    /// `anti_entropy` swaps full digests instead of hot sets.
+    /// `anti_entropy` swaps full digests instead of (possibly delta) hot
+    /// sets and may sample members currently believed dead — the safety net
+    /// that re-establishes contact after partitions heal.
     pub fn run_round(&mut self, net: &mut SimNet, now: SimInstant, anti_entropy: bool) {
         if anti_entropy {
             self.stats.anti_entropy_rounds += 1;
@@ -249,14 +503,48 @@ impl GossipFleet {
         }
         let n = self.frontends.len();
         for i in 0..n {
-            // Uniform peer sampling without replacement.
-            let mut partners: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-            self.rng.shuffle(&mut partners);
-            partners.truncate(self.config.fanout);
-            for j in partners {
-                let (a, b) = pair_mut(&mut self.frontends, i, j);
-                exchange(&self.config, a, b, net, now, anti_entropy, &mut self.stats);
+            if self.frontends[i].departed || !net.is_online(self.frontends[i].peer) {
+                continue;
             }
+            // Heartbeat tick; the frontend is the authority on itself.
+            let f = &mut self.frontends[i];
+            f.heartbeat += 1;
+            let (peer, zone, hb) = (f.peer, f.zone, f.heartbeat);
+            f.view.admit(peer, zone, hb, now);
+            // Zone-biased sampling from the members *this* frontend
+            // believes alive (anti-entropy may probe dead ones).
+            let partners = self.frontends[i].view.sample_partners(
+                &mut self.rng,
+                peer,
+                zone,
+                self.config.fanout,
+                self.config.cross_zone_probability,
+                anti_entropy,
+            );
+            for p in partners {
+                let Some(&j) = self.index_by_peer.get(&p) else {
+                    continue;
+                };
+                if j == i {
+                    continue;
+                }
+                let (a, b) = pair_mut(&mut self.frontends, i, j);
+                exchange(
+                    &self.config,
+                    a,
+                    b,
+                    net,
+                    now,
+                    anti_entropy,
+                    self.config.max_fills_per_exchange,
+                    &mut self.stats,
+                );
+            }
+            // Evict members that stayed silent past the liveness timeout.
+            let evicted = self.frontends[i]
+                .view
+                .evict_silent(now, self.config.liveness_timeout);
+            self.stats.evictions += evicted as u64;
         }
     }
 }
@@ -273,7 +561,9 @@ fn pair_mut(frontends: &mut [Frontend], i: usize, j: usize) -> (&mut Frontend, &
     }
 }
 
-/// One digest/fill exchange between two frontends.
+/// One digest/fill exchange between two frontends. Returns true when the
+/// digest swap succeeded.
+#[allow(clippy::too_many_arguments)]
 fn exchange(
     config: &GossipConfig,
     a: &mut Frontend,
@@ -281,24 +571,74 @@ fn exchange(
     net: &mut SimNet,
     now: SimInstant,
     full: bool,
+    fill_budget: usize,
     stats: &mut GossipStats,
-) {
+) -> bool {
     // Digests are rebuilt per exchange on purpose: a frontend warmed
     // earlier in this round advertises (and relays) its fresh shards in the
     // same round, giving multi-hop propagation per round instead of one.
-    let digest_a = a.digest(config, full, now);
-    let digest_b = b.digest(config, full, now);
+    // The full tier is only extracted where the protocol needs it (full
+    // digests, or the delta mode's holdings filter); plain full-mode
+    // rounds stay bounded by the hot-set size.
+    let delta_mode = !full && config.digest_mode == DigestMode::Delta;
+    let hot_of = |f: &Frontend| -> Vec<(String, u64)> {
+        let max = if full || delta_mode {
+            usize::MAX
+        } else {
+            config.hot_set_size
+        };
+        f.cache().shard_digest(max, now)
+    };
+    // In delta mode `hot_*` temporarily holds the whole tier; the filter is
+    // built over it before it is truncated to the advertised hot set.
+    let (mut hot_a, mut hot_b) = (hot_of(a), hot_of(b));
+    let build = |own: &mut Frontend, partner_peer: u64, hot_own: &mut Vec<(String, u64)>| {
+        if delta_mode {
+            let filter = ShardFilter::build(hot_own, config.filter_bits_per_entry);
+            hot_own.truncate(config.hot_set_size);
+            let delta = delta_entries(hot_own, &own.sync_entry(partner_peer).advertised);
+            (Digest::new(delta), Some(filter))
+        } else {
+            (Digest::new(hot_own.clone()), None)
+        }
+    };
+    let (digest_a, filter_a) = build(a, b.peer, &mut hot_a);
+    let (digest_b, filter_b) = build(b, a.peer, &mut hot_b);
+    let memb_a = a.membership_summary(full, config.membership_summary_budget);
+    let memb_b = b.membership_summary(full, config.membership_summary_budget);
+    let filter_bytes = |f: &Option<ShardFilter>| f.as_ref().map_or(0, |f| f.wire_bytes());
+    let digest_bytes_a = digest_a.wire_bytes() + filter_bytes(&filter_a);
+    let digest_bytes_b = digest_b.wire_bytes() + filter_bytes(&filter_b);
     // The digest swap is one request/response RPC; a partitioned or offline
-    // partner fails it here and no state moves.
+    // partner fails it here, no state moves, and the initiator records the
+    // failure against the partner's liveness.
     if net
-        .rpc(a.peer, b.peer, digest_a.wire_bytes(), digest_b.wire_bytes())
+        .rpc(
+            a.peer,
+            b.peer,
+            digest_bytes_a + memb_a.wire_bytes(),
+            digest_bytes_b + memb_b.wire_bytes(),
+        )
         .is_err()
     {
         stats.failed_exchanges += 1;
-        return;
+        if a.view.record_failure(b.peer, config.failure_threshold) {
+            stats.evictions += 1;
+        }
+        return false;
     }
     stats.exchanges += 1;
-    stats.digest_bytes += (digest_a.wire_bytes() + digest_b.wire_bytes()) as u64;
+    stats.digest_bytes += (digest_bytes_a + digest_bytes_b) as u64;
+    stats.membership_bytes += (memb_a.wire_bytes() + memb_b.wire_bytes()) as u64;
+
+    // Liveness: the exchange itself is direct evidence both ways, and the
+    // piggybacked summaries spread third-party heartbeats.
+    a.view.admit(b.peer, b.zone, b.heartbeat, now);
+    b.view.admit(a.peer, a.zone, a.heartbeat, now);
+    let revived =
+        a.view.merge_summary(&memb_b, a.peer, now) + b.view.merge_summary(&memb_a, b.peer, now);
+    stats.revivals += revived as u64;
+
     // Both sides learn which versions exist before any fill is admitted.
     for (term, version) in &digest_a.entries {
         b.known.observe(term, *version);
@@ -306,48 +646,86 @@ fn exchange(
     for (term, version) in &digest_b.entries {
         a.known.observe(term, *version);
     }
-    send_fills(config, a, b, &digest_a, &digest_b, net, now, stats);
-    send_fills(config, b, a, &digest_b, &digest_a, net, now, stats);
+
+    // Per-partner sync state: anti-entropy resets it to the exact full
+    // tiers; delta exchanges extend the advertised baseline and fold the
+    // partner's delta into the accumulated holdings view; stateless full
+    // digests replace the holdings outright (exactly the PR 2 protocol).
+    if full {
+        // `hot_*` is the whole tier in a full (anti-entropy) exchange.
+        let sa = a.sync_entry(b.peer);
+        sa.advertised = hot_a.iter().cloned().collect();
+        sa.holdings = hot_b.iter().cloned().collect();
+        let sb = b.sync_entry(a.peer);
+        sb.advertised = hot_b.iter().cloned().collect();
+        sb.holdings = hot_a.iter().cloned().collect();
+    } else if delta_mode {
+        let sa = a.sync_entry(b.peer);
+        sa.advertised.extend(digest_a.entries.iter().cloned());
+        apply_delta(&mut sa.holdings, &digest_b.entries);
+        let sb = b.sync_entry(a.peer);
+        sb.advertised.extend(digest_b.entries.iter().cloned());
+        apply_delta(&mut sb.holdings, &digest_a.entries);
+    } else {
+        a.sync_entry(b.peer).holdings = hot_b.iter().cloned().collect();
+        b.sync_entry(a.peer).holdings = hot_a.iter().cloned().collect();
+    }
+
+    send_fills(
+        a,
+        b,
+        &hot_a,
+        filter_b.as_ref(),
+        net,
+        now,
+        fill_budget,
+        stats,
+    );
+    send_fills(
+        b,
+        a,
+        &hot_b,
+        filter_a.as_ref(),
+        net,
+        now,
+        fill_budget,
+        stats,
+    );
+    true
 }
 
-/// Push the shards `from`'s digest advertises and `to`'s digest lacks, as
-/// one batched one-way message, then admit them under the version guard.
+/// Push the shards `from` believes `to` lacks, as one batched one-way
+/// message, then admit them under the version guard. In delta mode a fill
+/// is suppressed only on explicitly advertised knowledge confirmed by the
+/// partner's holdings filter ([`needs_fill`]); in full-digest mode the
+/// partner's current digest is the exact (stateless) suppression set.
 #[allow(clippy::too_many_arguments)]
 fn send_fills(
-    config: &GossipConfig,
     from: &mut Frontend,
     to: &mut Frontend,
-    from_digest: &Digest,
-    to_digest: &Digest,
+    hot: &[(String, u64)],
+    to_filter: Option<&ShardFilter>,
     net: &mut SimNet,
     now: SimInstant,
+    fill_budget: usize,
     stats: &mut GossipStats,
 ) {
     let mut fills: Vec<(ShardEntry, SimDuration)> = Vec::new();
     let mut batch_bytes = 0usize;
-    // Index the partner's advertised versions once: anti-entropy digests
-    // cover the whole shard tier, so a per-entry linear scan would make the
-    // exchange quadratic in cached terms.
-    let advertised: std::collections::HashMap<&str, u64> = to_digest
-        .entries
-        .iter()
-        .map(|(t, v)| (t.as_str(), *v))
-        .collect();
-    for (term, version) in &from_digest.entries {
-        if fills.len() >= config.max_fills_per_exchange {
+    let to_peer = to.peer;
+    for (term, version) in hot {
+        if fills.len() >= fill_budget {
             break;
         }
         if *version == 0 {
             continue;
         }
-        // The sender only knows what the partner's digest advertised; an
-        // equal-or-newer advertised copy needs no fill. Terms the partner
-        // holds but did not advertise are caught receiver-side as
-        // duplicates.
-        if advertised
-            .get(term.as_str())
-            .is_some_and(|v| *v >= *version)
-        {
+        let believed = from.sync_entry(to_peer).holdings.get(term).copied();
+        let needed = match to_filter {
+            Some(filter) => needs_fill(term, *version, believed, filter),
+            None => believed.is_none_or(|b| b < *version),
+        };
+        if !needed {
             continue;
         }
         let Some(shard) = from.cache().peek_shard(term) else {
@@ -369,10 +747,10 @@ fn send_fills(
     for (shard, sender_ttl) in fills {
         stats.shards_pushed += 1;
         let known = to.known.get(&shard.term);
-        match to
+        let outcome = to
             .cache_mut()
-            .store_remote_shard(&shard, known, sender_ttl, now)
-        {
+            .store_remote_shard(&shard, known, sender_ttl, now);
+        match outcome {
             RemoteAdmit::Accepted => {
                 stats.shards_accepted += 1;
                 to.known.observe(&shard.term, shard.version);
@@ -380,6 +758,17 @@ fn send_fills(
             RemoteAdmit::Stale => stats.stale_rejected += 1,
             RemoteAdmit::Duplicate => stats.duplicates_skipped += 1,
             RemoteAdmit::Refused => stats.admission_refused += 1,
+        }
+        // Accepted and duplicate outcomes both prove the partner now holds
+        // at least this version; remember it so the next rounds stop
+        // re-pushing (a refused admission must be retried, so no record).
+        if matches!(outcome, RemoteAdmit::Accepted | RemoteAdmit::Duplicate) {
+            let slot = from
+                .sync_entry(to_peer)
+                .holdings
+                .entry(shard.term.clone())
+                .or_insert(0);
+            *slot = (*slot).max(shard.version);
         }
     }
 }
@@ -412,6 +801,12 @@ mod tests {
         (fleet, net)
     }
 
+    fn fleet_with(config: GossipConfig, peers: usize) -> (GossipFleet, SimNet) {
+        let net = SimNet::new(peers, NetConfig::lan(), 7);
+        let fleet = GossipFleet::new(config, &CacheConfig::enabled(), 0xF1EE7);
+        (fleet, net)
+    }
+
     #[test]
     fn one_frontends_fetch_warms_the_fleet() {
         let (mut fleet, mut net) = fleet(3);
@@ -430,11 +825,66 @@ mod tests {
         let s = fleet.stats();
         assert!(s.shards_accepted >= 2);
         assert!(s.digest_bytes > 0 && s.fill_bytes > 0);
+        assert!(s.membership_bytes > 0, "summaries ride every exchange");
         assert_eq!(s.stale_rejected, 0);
         // A second round moves nothing new.
         let accepted_before = fleet.stats().shards_accepted;
         fleet.run_round(&mut net, now, false);
         assert_eq!(fleet.stats().shards_accepted, accepted_before);
+    }
+
+    #[test]
+    fn delta_digests_go_quiet_once_the_fleet_converges() {
+        let (mut fleet, mut net) = fleet(4);
+        let now = SimInstant::ZERO;
+        for t in 0..32 {
+            let s = shard(&format!("term{t}"), 1, 3);
+            fleet.cache_mut(0).store_shard(&s, now);
+            fleet.observe(0, &s.term, 1);
+        }
+        for _ in 0..4 {
+            fleet.run_round(&mut net, now, false);
+        }
+        let converged = *fleet.stats();
+        // Steady state: deltas are empty, so digest traffic collapses to
+        // the filters while full digests would keep re-shipping the terms.
+        fleet.run_round(&mut net, now, false);
+        let after = *fleet.stats();
+        let steady_digest = after.digest_bytes - converged.digest_bytes;
+        let steady_exchanges = after.exchanges - converged.exchanges;
+        assert!(steady_exchanges > 0);
+        let per_exchange = steady_digest / steady_exchanges;
+        // A full digest of 32 terms costs ~16 + 32*(len+9) > 400 bytes per
+        // direction; the converged delta path must be far below one such
+        // digest for *both* directions combined.
+        assert!(
+            per_exchange < 200,
+            "converged delta exchange still ships {per_exchange} digest bytes"
+        );
+        assert_eq!(after.shards_accepted, converged.shards_accepted);
+    }
+
+    #[test]
+    fn full_digest_mode_preserves_the_uncompressed_protocol() {
+        let mut config = GossipConfig::enabled(3);
+        config.digest_mode = DigestMode::Full;
+        let (mut fleet, mut net) = fleet_with(config, 12);
+        let now = SimInstant::ZERO;
+        fleet.cache_mut(0).store_shard(&shard("honey", 2, 4), now);
+        fleet.observe(0, "honey", 2);
+        fleet.run_round(&mut net, now, false);
+        for i in 1..3 {
+            assert_eq!(
+                fleet.frontend(i).cache().cached_shard_version("honey"),
+                Some(2)
+            );
+        }
+        // Full digests re-ship the whole hot set every round.
+        let before = fleet.stats().digest_bytes;
+        fleet.run_round(&mut net, now, false);
+        let per_round = fleet.stats().digest_bytes - before;
+        assert!(per_round > 0);
+        assert_eq!(fleet.stats().stale_rejected, 0);
     }
 
     #[test]
@@ -507,5 +957,147 @@ mod tests {
             Some(3)
         );
         assert_eq!(fleet.frontend(1).known.get("alpha"), 3);
+    }
+
+    #[test]
+    fn a_joining_frontend_bootstraps_from_a_live_neighbour() {
+        let (mut fleet, mut net) = fleet(3);
+        let now = SimInstant::ZERO;
+        for t in 0..8 {
+            let s = shard(&format!("hot{t}"), 1, 3);
+            fleet.cache_mut(0).store_shard(&s, now);
+            fleet.observe(0, &s.term, 1);
+        }
+        fleet.run_round(&mut net, now, false);
+        // A new frontend joins on a fresh peer and warms itself from the
+        // fleet (bootstrap-by-anti-entropy) without touching the DHT.
+        let idx = fleet.join(&mut net, 5, now).expect("free peer joins");
+        assert_eq!(idx, 3);
+        assert!(
+            fleet.join(&mut net, 0, now).is_err(),
+            "a peer already hosting a frontend cannot join again"
+        );
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet.active_count(), 4);
+        assert!(fleet.is_active(idx));
+        assert_eq!(fleet.stats().joins, 1);
+        let warmed = (0..8)
+            .filter(|t| {
+                fleet
+                    .frontend(idx)
+                    .cache()
+                    .cached_shard_version(&format!("hot{t}"))
+                    .is_some()
+            })
+            .count();
+        assert_eq!(warmed, 8, "bootstrap must move the neighbour's hot set");
+        // The joiner learned the fleet roster from the neighbour's summary.
+        assert!(fleet.frontend(idx).view().len() >= 4);
+        // And the fleet learns the joiner through subsequent rounds.
+        fleet.run_round(&mut net, now, false);
+        assert!(fleet.frontend(0).view().get(5).is_some());
+    }
+
+    #[test]
+    fn graceful_leave_and_crash_shrink_the_sample_set() {
+        let (mut fleet, mut net) = fleet(4);
+        let now = SimInstant::ZERO;
+        fleet.run_round(&mut net, now, false);
+        fleet.leave(&mut net, 3);
+        assert!(!fleet.is_active(3));
+        assert_eq!(fleet.active_count(), 3);
+        assert_eq!(fleet.stats().leaves, 1);
+        assert!(!net.is_online(fleet.frontend_peer(3)));
+
+        fleet.crash(&mut net, 2);
+        assert_eq!(fleet.stats().crashes, 1);
+        assert_eq!(fleet.active_count(), 2);
+        // Enough failed exchanges mark the crashed member dead in the
+        // survivors' views even before the liveness timeout.
+        let threshold = fleet.config().failure_threshold;
+        for _ in 0..(threshold as usize * 4) {
+            fleet.run_round(&mut net, now, false);
+        }
+        for i in 0..2 {
+            let view = fleet.frontend(i).view();
+            if let Some(m) = view.get(fleet.frontend_peer(2)) {
+                assert!(!m.alive, "survivor {i} must evict the crashed member");
+            }
+        }
+        assert!(fleet.stats().evictions > 0);
+    }
+
+    #[test]
+    fn silent_members_are_evicted_by_the_liveness_timeout() {
+        let mut config = GossipConfig::enabled(3);
+        config.failure_threshold = u32::MAX; // isolate the timeout path
+        let (mut fleet, mut net) = fleet_with(config, 12);
+        let t0 = SimInstant::ZERO + SimDuration::from_millis(100);
+        fleet.run_round(&mut net, t0, false);
+        fleet.crash(&mut net, 2);
+        let timeout = fleet.config().liveness_timeout;
+        let late = t0 + timeout + SimDuration::from_millis(1);
+        fleet.run_round(&mut net, late, false);
+        for i in 0..2 {
+            let m = fleet.frontend(i).view().get(fleet.frontend_peer(2));
+            assert!(
+                m.is_none_or(|m| !m.alive),
+                "frontend {i} must time the silent member out"
+            );
+        }
+    }
+
+    #[test]
+    fn a_rejoined_frontend_is_revived_and_rewarmed() {
+        let (mut fleet, mut net) = fleet(3);
+        let now = SimInstant::ZERO;
+        fleet.cache_mut(0).store_shard(&shard("honey", 2, 4), now);
+        fleet.observe(0, "honey", 2);
+        fleet.run_round(&mut net, now, false);
+        assert_eq!(
+            fleet.frontend(2).cache().cached_shard_version("honey"),
+            Some(2)
+        );
+        fleet.crash(&mut net, 2);
+        let threshold = fleet.config().failure_threshold;
+        for _ in 0..(threshold as usize * 4) {
+            fleet.run_round(&mut net, now, false);
+        }
+        // Restart: fresh cache, but the bootstrap exchange re-warms it from
+        // the fleet (not the DHT) before it serves anything.
+        fleet.rejoin(&mut net, 2, now);
+        assert!(fleet.is_active(2));
+        assert_eq!(
+            fleet.frontend(2).cache().cached_shard_version("honey"),
+            Some(2),
+            "rejoin must warm from the fleet"
+        );
+        // The bumped heartbeat revives it in the survivors' views as the
+        // rounds spread the news.
+        for _ in 0..3 {
+            fleet.run_round(&mut net, now, false);
+        }
+        let m = fleet.frontend(0).view().get(fleet.frontend_peer(2));
+        assert!(
+            m.is_some_and(|m| m.alive),
+            "rejoined member must be revived"
+        );
+    }
+
+    #[test]
+    fn zone_bias_shapes_partner_choice() {
+        let mut config = GossipConfig::enabled_zoned(12, 3);
+        config.cross_zone_probability = 0.1;
+        let (mut fleet, mut net) = fleet_with(config, 24);
+        assert_eq!(fleet.zone_of(0), 0);
+        assert_eq!(fleet.zone_of(4), 1);
+        assert_eq!(fleet.zone_of(11), 2);
+        let now = SimInstant::ZERO;
+        for _ in 0..20 {
+            fleet.run_round(&mut net, now, false);
+        }
+        // Exchanges happened and nothing was evicted in a healthy fleet.
+        assert!(fleet.stats().exchanges > 0);
+        assert_eq!(fleet.stats().evictions, 0);
     }
 }

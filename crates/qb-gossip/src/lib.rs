@@ -10,21 +10,44 @@
 //! lacks, so a shard fetched from the DHT by one frontend lands in its
 //! neighbours' shard tiers before they ever query it.
 //!
+//! Since PR 4 the overlay is built for real DWeb deployments rather than a
+//! static LAN fleet:
+//!
+//! * **Churn-aware membership** ([`membership`]) — frontends join by
+//!   bootstrapping their cache through one anti-entropy exchange with a
+//!   live neighbour (warming from the fleet instead of the DHT), leave
+//!   gracefully or crash; liveness flows through gossiped heartbeats, dead
+//!   members are evicted from the sample set, and rejoining members are
+//!   revived the moment a fresher heartbeat arrives.
+//! * **Zone-aware peer sampling** — each frontend carries a latency-zone
+//!   label (matching `qb-simnet`'s zone assignment); partner choice prefers
+//!   the own zone and escapes cross-zone with a configurable probability,
+//!   cutting round latency while cross-zone links keep the fleet-wide
+//!   epidemic converging.
+//! * **Compressed digests** ([`digest`], [`filter`]) — regular rounds ship
+//!   *delta* digests against the last exchange per peer plus a compact
+//!   bloom-style [`ShardFilter`] over current holdings, with the periodic
+//!   full-digest anti-entropy round as the exact safety net; steady-state
+//!   digest bytes drop an order of magnitude (asserted in E12).
+//!
 //! The pieces:
 //!
 //! * [`GossipConfig`] — fleet size, fanout, round/anti-entropy intervals,
-//!   hot-set size and fill budget. Default-off.
-//! * [`Digest`] / [`VersionVector`] — the metadata protocol. Every frontend
-//!   tracks the highest shard version it has observed per term; an incoming
-//!   fill older than that is rejected, so a stale shard is never accepted
-//!   over a fresher one regardless of gossip routing.
-//! * [`GossipFleet`] / [`Frontend`] — the fleet of per-frontend caches and
-//!   the exchange protocol. All traffic flows through [`qb_simnet::SimNet`]
-//!   and is charged to its `NetStats`; partitions fail exchanges, and
-//!   periodic anti-entropy rounds (full-digest swaps) reconcile fleets
-//!   after a partition heals.
-//! * [`GossipStats`] — rounds, exchange failures, digest/fill bytes and the
-//!   accept/stale/duplicate breakdown, for the E10 overhead accounting.
+//!   hot-set size and fill budget, digest mode, zones and liveness knobs.
+//!   Default-off.
+//! * [`Digest`] / [`VersionVector`] / [`ShardFilter`] — the metadata
+//!   protocol. Every frontend tracks the highest shard version it has
+//!   observed per term; an incoming fill older than that is rejected, so a
+//!   stale shard is never accepted over fresher knowledge.
+//! * [`MembershipView`] / [`MembershipSummary`] — per-frontend fleet views,
+//!   heartbeats and the zone-biased partner sampler.
+//! * [`GossipFleet`] / [`Frontend`] — the fleet and the exchange protocol.
+//!   All traffic flows through [`qb_simnet::SimNet`] and is charged to its
+//!   `NetStats`; partitions fail exchanges, and anti-entropy reconciles
+//!   fleets after partitions heal.
+//! * [`GossipStats`] — rounds, exchange failures, digest/fill/membership
+//!   bytes, the accept/stale/duplicate breakdown and the churn counters,
+//!   for the E10/E12 overhead accounting.
 //! * Warm-start persistence — [`GossipFleet::export_hot_set`] /
 //!   [`GossipFleet::import_hot_set`] snapshot a frontend's hottest shards
 //!   so a restarted frontend pre-fills from its last session instead of
@@ -38,10 +61,14 @@
 
 pub mod config;
 pub mod digest;
+pub mod filter;
 pub mod fleet;
+pub mod membership;
 pub mod stats;
 
-pub use config::GossipConfig;
-pub use digest::{Digest, VersionVector};
+pub use config::{DigestMode, GossipConfig};
+pub use digest::{apply_delta, delta_entries, needs_fill, Digest, VersionVector};
+pub use filter::ShardFilter;
 pub use fleet::{Frontend, GossipFleet};
+pub use membership::{MemberInfo, MembershipSummary, MembershipView};
 pub use stats::GossipStats;

@@ -1,0 +1,451 @@
+//! Churn-aware fleet membership: who is in the fleet, which zone they live
+//! in, and whether they are believed alive.
+//!
+//! Every frontend carries its own [`MembershipView`] — there is no central
+//! membership service, matching the paper's setting where frontends are
+//! ordinary peer devices. Liveness flows through the same gossip exchanges
+//! that move cache digests:
+//!
+//! * each frontend increments a **heartbeat** counter every round and
+//!   piggybacks a [`MembershipSummary`] (peer, zone, heartbeat triples) on
+//!   every digest swap;
+//! * receiving a summary entry with a **newer heartbeat** refreshes that
+//!   member's `last_heard` (third-party liveness — a peer does not need to
+//!   talk to everyone to stay alive in everyone's view);
+//! * a member not heard from within the configured liveness timeout, or
+//!   whose direct exchanges keep failing, is **marked dead** and evicted
+//!   from the sample set, so rounds stop burning timeouts on it;
+//! * a dead member that shows up again (heals from a partition, restarts)
+//!   is **revived** the moment a fresher heartbeat arrives — anti-entropy
+//!   rounds deliberately sample from dead members too, as the safety net
+//!   that re-establishes contact.
+//!
+//! Partner sampling is **zone-aware**: a frontend prefers partners in its
+//! own latency zone and escapes to a different zone with a configurable
+//! probability, cutting round latency while keeping the fleet-wide graph
+//! connected (the cross-zone links carry convergence).
+
+use qb_common::{DetRng, SimDuration, SimInstant};
+use std::collections::BTreeMap;
+
+/// One member as seen from a particular frontend's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// The simulated peer the member runs on.
+    pub peer: u64,
+    /// The member's latency zone.
+    pub zone: usize,
+    /// Highest heartbeat observed for this member.
+    pub heartbeat: u64,
+    /// When liveness evidence (direct exchange or fresher heartbeat) last
+    /// arrived.
+    pub last_heard: SimInstant,
+    /// Consecutive direct exchange failures since the last success.
+    pub failures: u32,
+    /// Is the member believed alive (sampled in regular rounds)?
+    pub alive: bool,
+}
+
+/// The compact membership gossip piggybacked on every digest exchange:
+/// `(peer, zone, heartbeat)` for every member the sender believes alive
+/// (itself included).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MembershipSummary {
+    /// `(peer, zone, heartbeat)` triples.
+    pub entries: Vec<(u64, usize, u64)>,
+}
+
+impl MembershipSummary {
+    /// Bytes on the wire: a small frame plus a varint-budgeted triple per
+    /// entry (peer + zone byte + heartbeat).
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.entries.len() * 10
+    }
+}
+
+/// One frontend's view of the fleet.
+#[derive(Debug, Clone, Default)]
+pub struct MembershipView {
+    members: BTreeMap<u64, MemberInfo>,
+}
+
+impl MembershipView {
+    /// An empty view (a joining frontend before bootstrap).
+    pub fn new() -> MembershipView {
+        MembershipView::default()
+    }
+
+    /// Number of known members (alive or dead).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no member is known.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members currently believed alive.
+    pub fn alive_count(&self) -> usize {
+        self.members.values().filter(|m| m.alive).count()
+    }
+
+    /// Look up one member.
+    pub fn get(&self, peer: u64) -> Option<&MemberInfo> {
+        self.members.get(&peer)
+    }
+
+    /// Insert or refresh a member as alive with the given heartbeat.
+    pub fn admit(&mut self, peer: u64, zone: usize, heartbeat: u64, now: SimInstant) {
+        let entry = self.members.entry(peer).or_insert(MemberInfo {
+            peer,
+            zone,
+            heartbeat,
+            last_heard: now,
+            failures: 0,
+            alive: true,
+        });
+        entry.zone = zone;
+        entry.heartbeat = entry.heartbeat.max(heartbeat);
+        entry.last_heard = entry.last_heard.max(now);
+        entry.failures = 0;
+        entry.alive = true;
+    }
+
+    /// Tombstone a member on a graceful departure notice: mark it dead at
+    /// (at least) its final heartbeat. Keeping the entry — rather than
+    /// removing it — means lagging third-party summaries, which can carry
+    /// at most `final_heartbeat`, cannot re-admit the departed member as
+    /// alive; only a genuine rejoin (heartbeat bump) revives it.
+    pub fn mark_departed(&mut self, peer: u64, final_heartbeat: u64) {
+        let entry = self.members.entry(peer).or_insert(MemberInfo {
+            peer,
+            zone: 0,
+            heartbeat: final_heartbeat,
+            last_heard: SimInstant::ZERO,
+            failures: 0,
+            alive: false,
+        });
+        entry.heartbeat = entry.heartbeat.max(final_heartbeat);
+        entry.alive = false;
+    }
+
+    /// Record a failed direct exchange with `peer`; marks it dead once
+    /// `failure_threshold` consecutive failures accumulate. Returns true
+    /// when this call transitioned the member from alive to dead.
+    pub fn record_failure(&mut self, peer: u64, failure_threshold: u32) -> bool {
+        let Some(m) = self.members.get_mut(&peer) else {
+            return false;
+        };
+        m.failures = m.failures.saturating_add(1);
+        if m.alive && m.failures >= failure_threshold.max(1) {
+            m.alive = false;
+            return true;
+        }
+        false
+    }
+
+    /// Merge a gossiped summary: a fresher heartbeat refreshes (and
+    /// revives) the member, an unknown member is admitted. Entries about
+    /// `self_peer` are ignored (a frontend is the authority on itself).
+    /// Returns how many dead members were revived.
+    pub fn merge_summary(
+        &mut self,
+        summary: &MembershipSummary,
+        self_peer: u64,
+        now: SimInstant,
+    ) -> usize {
+        let mut revived = 0;
+        for &(peer, zone, heartbeat) in &summary.entries {
+            if peer == self_peer {
+                continue;
+            }
+            match self.members.get_mut(&peer) {
+                Some(m) => {
+                    if heartbeat > m.heartbeat {
+                        m.heartbeat = heartbeat;
+                        m.last_heard = m.last_heard.max(now);
+                        m.failures = 0;
+                        if !m.alive {
+                            m.alive = true;
+                            revived += 1;
+                        }
+                    }
+                }
+                None => {
+                    self.admit(peer, zone, heartbeat, now);
+                }
+            }
+        }
+        revived
+    }
+
+    /// Build the summary this frontend piggybacks on its exchanges: every
+    /// member it believes alive, itself included. Anti-entropy and
+    /// bootstrap exchanges use this full roster; regular rounds use the
+    /// bounded [`MembershipView::summary_window`] so membership overhead
+    /// stays flat as the fleet grows.
+    pub fn summary(&self) -> MembershipSummary {
+        MembershipSummary {
+            entries: self
+                .members
+                .values()
+                .filter(|m| m.alive)
+                .map(|m| (m.peer, m.zone, m.heartbeat))
+                .collect(),
+        }
+    }
+
+    /// A bounded summary: the sender itself plus up to `budget` other alive
+    /// members, chosen by rotating `cursor` through the roster — every
+    /// member is mentioned once per `ceil(alive / budget)` summaries, so
+    /// liveness still spreads fleet-wide within a couple of rounds while
+    /// the per-exchange overhead stays constant in fleet size.
+    pub fn summary_window(
+        &self,
+        cursor: usize,
+        budget: usize,
+        self_peer: u64,
+    ) -> MembershipSummary {
+        let mut entries = Vec::new();
+        if let Some(me) = self.members.get(&self_peer) {
+            entries.push((me.peer, me.zone, me.heartbeat));
+        }
+        let others: Vec<&MemberInfo> = self
+            .members
+            .values()
+            .filter(|m| m.alive && m.peer != self_peer)
+            .collect();
+        if !others.is_empty() {
+            let take = budget.min(others.len());
+            let start = cursor % others.len();
+            for k in 0..take {
+                let m = others[(start + k) % others.len()];
+                entries.push((m.peer, m.zone, m.heartbeat));
+            }
+        }
+        MembershipSummary { entries }
+    }
+
+    /// Mark members not heard from within `timeout` as dead. Returns the
+    /// number of members transitioned from alive to dead by this pass.
+    pub fn evict_silent(&mut self, now: SimInstant, timeout: SimDuration) -> usize {
+        let mut evicted = 0;
+        for m in self.members.values_mut() {
+            if m.alive && now.since(m.last_heard) >= timeout {
+                m.alive = false;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Sample up to `fanout` distinct partner peers, biased toward
+    /// `self_zone`: each pick escapes to a different zone with probability
+    /// `cross_zone_probability` (always, when the own zone has no other
+    /// alive member). `include_dead` additionally samples members currently
+    /// believed dead — anti-entropy rounds use it as the safety net that
+    /// re-establishes contact after partitions heal.
+    pub fn sample_partners(
+        &self,
+        rng: &mut DetRng,
+        self_peer: u64,
+        self_zone: usize,
+        fanout: usize,
+        cross_zone_probability: f64,
+        include_dead: bool,
+    ) -> Vec<u64> {
+        let mut same: Vec<u64> = Vec::new();
+        let mut cross: Vec<u64> = Vec::new();
+        for m in self.members.values() {
+            if m.peer == self_peer || !(m.alive || include_dead) {
+                continue;
+            }
+            if m.zone == self_zone {
+                same.push(m.peer);
+            } else {
+                cross.push(m.peer);
+            }
+        }
+        let mut partners = Vec::with_capacity(fanout);
+        for _ in 0..fanout {
+            let pool: &mut Vec<u64> = if same.is_empty() && cross.is_empty() {
+                break;
+            } else if same.is_empty() {
+                &mut cross
+            } else if cross.is_empty() {
+                &mut same
+            } else if rng.gen_bool(cross_zone_probability) {
+                &mut cross
+            } else {
+                &mut same
+            };
+            let idx = rng.gen_index(pool.len());
+            partners.push(pool.swap_remove(idx));
+        }
+        partners
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_of(members: &[(u64, usize)]) -> MembershipView {
+        let mut v = MembershipView::new();
+        for &(peer, zone) in members {
+            v.admit(peer, zone, 0, SimInstant::ZERO);
+        }
+        v
+    }
+
+    #[test]
+    fn admit_and_summary_round_trip() {
+        let v = view_of(&[(0, 0), (1, 1), (2, 0)]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.alive_count(), 3);
+        let s = v.summary();
+        assert_eq!(s.entries.len(), 3);
+        assert!(s.wire_bytes() > MembershipSummary::default().wire_bytes());
+
+        let mut other = MembershipView::new();
+        other.admit(9, 1, 5, SimInstant::ZERO);
+        other.merge_summary(&s, 9, SimInstant::ZERO);
+        assert_eq!(other.len(), 4);
+        assert!(other.get(2).is_some());
+        // The authority rule: a summary never updates the receiver's own entry.
+        assert_eq!(other.get(9).unwrap().heartbeat, 5);
+    }
+
+    #[test]
+    fn departure_tombstones_resist_lagging_summaries() {
+        let mut v = view_of(&[(1, 0), (2, 0)]);
+        // Member 1 gossiped up to heartbeat 7, then left gracefully.
+        v.admit(1, 0, 7, SimInstant::ZERO);
+        v.mark_departed(1, 7);
+        assert_eq!(v.alive_count(), 1);
+        // A lagging third party still lists it alive at heartbeat <= 7;
+        // that must not resurrect the tombstone.
+        let lagging = MembershipSummary {
+            entries: vec![(1, 0, 7)],
+        };
+        assert_eq!(v.merge_summary(&lagging, 9, SimInstant::ZERO), 0);
+        assert!(!v.get(1).unwrap().alive);
+        // A genuine rejoin bumps the heartbeat past the tombstone.
+        let rejoined = MembershipSummary {
+            entries: vec![(1, 0, 8)],
+        };
+        assert_eq!(v.merge_summary(&rejoined, 9, SimInstant::ZERO), 1);
+        assert!(v.get(1).unwrap().alive);
+        // Tombstoning an unknown peer records it dead.
+        v.mark_departed(5, 3);
+        assert!(!v.get(5).unwrap().alive);
+        assert_eq!(v.get(5).unwrap().heartbeat, 3);
+    }
+
+    #[test]
+    fn windowed_summaries_rotate_through_the_roster() {
+        let members: Vec<(u64, usize)> = (0..9).map(|i| (i as u64, 0)).collect();
+        let v = view_of(&members);
+        // Budget 4 + self: full coverage of the 8 others in two windows.
+        let w0 = v.summary_window(0, 4, 0);
+        let w1 = v.summary_window(4, 4, 0);
+        assert_eq!(w0.entries.len(), 5);
+        assert_eq!(w0.entries[0].0, 0, "self leads every summary");
+        let mut mentioned: Vec<u64> = w0.entries.iter().chain(&w1.entries).map(|e| e.0).collect();
+        mentioned.sort_unstable();
+        mentioned.dedup();
+        assert_eq!(mentioned.len(), 9, "two windows cover the whole roster");
+        // A budget larger than the roster degenerates to the full summary.
+        let all = v.summary_window(3, 64, 0);
+        assert_eq!(all.entries.len(), 9);
+    }
+
+    #[test]
+    fn failures_mark_dead_and_heartbeats_revive() {
+        let mut v = view_of(&[(1, 0)]);
+        assert!(!v.record_failure(1, 3));
+        assert!(!v.record_failure(1, 3));
+        assert!(
+            v.record_failure(1, 3),
+            "third failure crosses the threshold"
+        );
+        assert_eq!(v.alive_count(), 0);
+        // A stale heartbeat does not revive; a fresher one does.
+        let stale = MembershipSummary {
+            entries: vec![(1, 0, 0)],
+        };
+        assert_eq!(v.merge_summary(&stale, 7, SimInstant::ZERO), 0);
+        assert_eq!(v.alive_count(), 0);
+        let fresh = MembershipSummary {
+            entries: vec![(1, 0, 4)],
+        };
+        assert_eq!(v.merge_summary(&fresh, 7, SimInstant::ZERO), 1);
+        assert_eq!(v.alive_count(), 1);
+        assert_eq!(v.get(1).unwrap().failures, 0);
+    }
+
+    #[test]
+    fn silent_members_are_evicted_after_the_timeout() {
+        let mut v = view_of(&[(1, 0), (2, 0)]);
+        let t = SimDuration::from_secs(2);
+        // A direct exchange refreshes liveness through admit().
+        v.admit(1, 0, 0, SimInstant::ZERO + SimDuration::from_secs(1));
+        let evicted = v.evict_silent(SimInstant::ZERO + SimDuration::from_secs(2), t);
+        assert_eq!(evicted, 1, "only the silent member is evicted");
+        assert!(v.get(1).unwrap().alive);
+        assert!(!v.get(2).unwrap().alive);
+        // Idempotent: a second pass evicts nothing new.
+        assert_eq!(
+            v.evict_silent(SimInstant::ZERO + SimDuration::from_secs(3), t),
+            1,
+            "member 1 now crossed the timeout too"
+        );
+    }
+
+    #[test]
+    fn sampling_prefers_the_own_zone() {
+        let members: Vec<(u64, usize)> = (0..12).map(|i| (i as u64, (i % 3) as usize)).collect();
+        let v = view_of(&members);
+        let mut rng = DetRng::new(0x5A);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for _ in 0..400 {
+            for p in v.sample_partners(&mut rng, 0, 0, 2, 0.2, false) {
+                total += 1;
+                if v.get(p).unwrap().zone == 0 {
+                    same += 1;
+                }
+            }
+        }
+        let frac = same as f64 / total as f64;
+        // 3 same-zone candidates out of 11; uniform sampling would give
+        // ~27% same-zone. The bias should push it well past half.
+        assert!(frac > 0.6, "same-zone fraction {frac}");
+        // Cross-zone escapes still happen (the convergence links).
+        assert!(frac < 0.99, "cross-zone escapes must exist, got {frac}");
+    }
+
+    #[test]
+    fn sampling_excludes_self_and_dead_members() {
+        let mut v = view_of(&[(0, 0), (1, 0), (2, 0)]);
+        for _ in 0..3 {
+            v.record_failure(2, 3);
+        }
+        let mut rng = DetRng::new(1);
+        for _ in 0..50 {
+            let picks = v.sample_partners(&mut rng, 0, 0, 3, 0.2, false);
+            assert!(!picks.contains(&0), "never samples self");
+            assert!(!picks.contains(&2), "never samples dead members");
+            assert_eq!(picks.len(), 1);
+        }
+        // Anti-entropy mode reaches dead members again.
+        let mut saw_dead = false;
+        for _ in 0..50 {
+            if v.sample_partners(&mut rng, 0, 0, 2, 0.2, true).contains(&2) {
+                saw_dead = true;
+            }
+        }
+        assert!(saw_dead, "include_dead must be able to sample dead members");
+    }
+}

@@ -35,12 +35,29 @@ pub struct GossipStats {
     pub duplicates_skipped: u64,
     /// Fills the receiving tier's admission policy refused.
     pub admission_refused: u64,
+    /// Bytes spent on membership summaries piggybacked on digest swaps
+    /// (identical across digest modes, so accounted apart from
+    /// `digest_bytes`).
+    pub membership_bytes: u64,
+    /// Frontends that joined the fleet (bootstrap-by-anti-entropy), crash
+    /// recoveries included.
+    pub joins: u64,
+    /// Frontends that left gracefully (departure notices sent).
+    pub leaves: u64,
+    /// Frontends that crashed (no notice; peers detect via heartbeats).
+    pub crashes: u64,
+    /// Members marked dead in some frontend's view (liveness timeout or
+    /// consecutive exchange failures).
+    pub evictions: u64,
+    /// Dead members revived by a fresher gossiped heartbeat (partition
+    /// heals, crash recoveries observed).
+    pub revivals: u64,
 }
 
 impl GossipStats {
     /// Total gossip overhead on the wire.
     pub fn total_bytes(&self) -> u64 {
-        self.digest_bytes + self.fill_bytes
+        self.digest_bytes + self.fill_bytes + self.membership_bytes
     }
 
     /// Fraction of pushed fills that were accepted (0.0 when none pushed).
@@ -72,10 +89,16 @@ impl fmt::Display for GossipStats {
         )?;
         writeln!(
             f,
-            "  bytes: {} digest + {} fill = {} total",
+            "  bytes: {} digest + {} fill + {} membership = {} total",
             self.digest_bytes,
             self.fill_bytes,
+            self.membership_bytes,
             self.total_bytes()
+        )?;
+        writeln!(
+            f,
+            "  membership: {} joins, {} leaves, {} crashes, {} evictions, {} revivals",
+            self.joins, self.leaves, self.crashes, self.evictions, self.revivals
         )
     }
 }
@@ -89,14 +112,17 @@ mod tests {
         let s = GossipStats {
             digest_bytes: 100,
             fill_bytes: 300,
+            membership_bytes: 50,
             shards_pushed: 4,
             shards_accepted: 3,
+            joins: 2,
             ..GossipStats::default()
         };
-        assert_eq!(s.total_bytes(), 400);
+        assert_eq!(s.total_bytes(), 450);
         assert!((s.acceptance_rate() - 0.75).abs() < 1e-12);
         assert_eq!(GossipStats::default().acceptance_rate(), 0.0);
         let text = s.to_string();
         assert!(text.contains("3 accepted"));
+        assert!(text.contains("2 joins"));
     }
 }

@@ -1,0 +1,128 @@
+//! Property tests for the compressed-digest protocol: a delta digest plus
+//! the holdings filter must reconstruct exactly the fill decisions a full
+//! digest would make, and the filter alone must never produce a "peer has
+//! it" outcome that suppresses a needed fill.
+
+use proptest::prelude::*;
+use qb_gossip::{apply_delta, delta_entries, needs_fill, ShardFilter};
+use std::collections::{BTreeMap, HashMap};
+
+/// `(term, version)` holdings out of a small shared term pool, so sender
+/// and receiver states overlap, diverge and re-converge across cases.
+fn holdings_vec(map: &BTreeMap<u8, u64>) -> Vec<(String, u64)> {
+    map.iter().map(|(t, v)| (format!("t{t}"), *v)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two successive exchanges: the sender advertises state `s1`, evolves
+    /// to `s2` (bumps, drops, new terms) and ships only the delta. The
+    /// receiver's accumulated view after applying the delta must agree
+    /// with a full `s2` digest on every term `s2` advertises.
+    #[test]
+    fn delta_plus_prior_view_reconstructs_the_full_digest(
+        s1 in proptest::collection::btree_map(0u8..20, 1u64..6, 0..16),
+        bumps in proptest::collection::btree_map(0u8..20, 1u64..6, 0..16),
+    ) {
+        // s2 = s1 with some versions bumped and some brand-new terms.
+        let mut s2 = s1.clone();
+        for (t, d) in &bumps {
+            let slot = s2.entry(*t).or_insert(0);
+            *slot += d;
+        }
+        let hot1 = holdings_vec(&s1);
+        let hot2 = holdings_vec(&s2);
+
+        // Exchange 1: nothing advertised yet, the delta is the full state.
+        let mut advertised: HashMap<String, u64> = HashMap::new();
+        let delta1 = delta_entries(&hot1, &advertised);
+        prop_assert_eq!(&delta1, &hot1);
+        let mut view: HashMap<String, u64> = HashMap::new();
+        apply_delta(&mut view, &delta1);
+        advertised.extend(delta1.iter().cloned());
+
+        // Exchange 2: only the changed entries ride the delta...
+        let delta2 = delta_entries(&hot2, &advertised);
+        for (term, version) in &delta2 {
+            prop_assert!(
+                advertised.get(term) != Some(version),
+                "unchanged entry '{term}' must not re-enter the delta"
+            );
+        }
+        // ...yet the receiver reconstructs the full second digest.
+        apply_delta(&mut view, &delta2);
+        for (term, version) in &hot2 {
+            prop_assert_eq!(
+                view.get(term), Some(version),
+                "reconstructed view must equal the full digest for '{}'", term
+            );
+        }
+    }
+
+    /// Fill decisions: with the receiver's advertisements reflecting its
+    /// actual holdings (the filter's no-false-negative guarantee covers
+    /// them), the delta protocol's `needs_fill` must agree with the
+    /// full-digest decision on every sender entry — same fills, and never
+    /// a suppressed fill the receiver actually needs.
+    #[test]
+    fn compressed_fill_decisions_match_full_digest_decisions(
+        sender in proptest::collection::btree_map(0u8..20, 1u64..6, 0..16),
+        receiver in proptest::collection::btree_map(0u8..20, 1u64..6, 0..16),
+        bits in 4usize..12,
+    ) {
+        let receiver_holdings = holdings_vec(&receiver);
+        let filter = ShardFilter::build(&receiver_holdings, bits);
+        // The receiver advertised exactly what it holds.
+        let believed: HashMap<String, u64> = receiver_holdings.iter().cloned().collect();
+        for (term, version) in holdings_vec(&sender) {
+            let full_decision = believed.get(&term).copied().is_none_or(|b| b < version);
+            let compressed_decision =
+                needs_fill(&term, version, believed.get(&term).copied(), &filter);
+            prop_assert_eq!(
+                compressed_decision, full_decision,
+                "decision mismatch for '{}'@{}", term, version
+            );
+            // The hard guarantee behind "0 stale / no lost fills": whenever
+            // the receiver genuinely lacks the version, the fill happens.
+            if believed.get(&term).copied().unwrap_or(0) < version {
+                prop_assert!(compressed_decision, "needed fill for '{}' suppressed", term);
+            }
+        }
+    }
+
+    /// The filter alone can never suppress: without an explicit
+    /// advertisement (`believed = None`) every fill is sent, no matter
+    /// what the filter claims to contain.
+    #[test]
+    fn the_filter_alone_never_claims_peer_has_it(
+        noise in proptest::collection::btree_map(0u8..20, 1u64..6, 0..16),
+        term_id in 0u8..20,
+        version in 1u64..6,
+    ) {
+        let filter = ShardFilter::build(&holdings_vec(&noise), 8);
+        prop_assert!(needs_fill(&format!("t{term_id}"), version, None, &filter));
+    }
+
+    /// Evictions self-heal: once an advertised entry leaves the receiver's
+    /// holdings, the rebuilt filter goes definitely-negative for it unless
+    /// a bloom collision delays the refill — and a definite negative always
+    /// reopens the fill, stale advertisement or not.
+    #[test]
+    fn a_definite_negative_always_reopens_the_fill(
+        kept in proptest::collection::btree_map(0u8..10, 1u64..6, 0..8),
+        evicted_id in 10u8..20,
+        version in 1u64..6,
+    ) {
+        let term = format!("t{evicted_id}");
+        // The receiver once advertised `term`@version but evicted it; the
+        // fresh filter only covers what it still holds.
+        let filter = ShardFilter::build(&holdings_vec(&kept), 8);
+        if !filter.contains(&term, version) {
+            prop_assert!(
+                needs_fill(&term, version, Some(version), &filter),
+                "stale advertisement must not survive a definite negative"
+            );
+        }
+    }
+}

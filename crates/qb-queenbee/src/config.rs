@@ -137,6 +137,17 @@ impl QueenBeeConfig {
                     self.gossip.num_frontends, self.num_bees, self.num_peers
                 )));
             }
+            // Zone labels only mean something when they coincide with the
+            // network's latency classes (both are `peer % zones`); a
+            // mismatch would bias sampling toward labels with no latency
+            // behind them while silently shrinking every sample pool.
+            if self.gossip.enabled && self.gossip.zones > 1 && self.gossip.zones != self.net.zones {
+                return Err(QbError::Config(format!(
+                    "gossip zones ({}) must match the network's latency zones ({}) — \
+                     pair GossipConfig::enabled_zoned(n, z) with NetConfig::zoned(z, ..)",
+                    self.gossip.zones, self.net.zones
+                )));
+            }
         }
         Ok(())
     }
@@ -184,5 +195,15 @@ mod tests {
         assert!(c.validate().is_ok());
         c.gossip.num_frontends = c.num_peers;
         assert!(c.validate().is_err(), "fleet + bees must fit in the peers");
+        // Gossip zone labels must coincide with the network's latency
+        // zones; zone-unaware gossip (zones = 1) pairs with any network.
+        let mut c = QueenBeeConfig::small();
+        c.cache = CacheConfig::enabled();
+        c.gossip = GossipConfig::enabled_zoned(4, 4);
+        assert!(c.validate().is_err(), "zoned gossip over an unzoned net");
+        c.net = qb_simnet::NetConfig::zoned(4, 2_000, 40_000);
+        assert!(c.validate().is_ok());
+        c.gossip.zones = 1;
+        assert!(c.validate().is_ok(), "unzoned gossip runs on any net");
     }
 }

@@ -119,6 +119,10 @@ pub struct QueenBee {
     /// indexing reuse never pre-warms (and thus skews) the serving-side
     /// cold-start behavior the experiments measure.
     writer_cache: Option<QueryCache>,
+    /// The next peer a joining frontend runs on ([`QueenBee::fleet_join`]):
+    /// initial frontends occupy the lowest peer ids and bees the highest,
+    /// so the ordinary user devices in between host late joiners.
+    join_peer_cursor: u64,
     /// Shard reads issued by the indexing path (cache hits + DHT reads).
     writer_shard_reads: u64,
     /// Writer-path shard reads served from cache without touching the DHT.
@@ -182,6 +186,7 @@ impl QueenBee {
                 .cache
                 .enabled
                 .then(|| QueryCache::new(config.cache.clone())),
+            join_peer_cursor: config.gossip.num_frontends as u64,
             writer_shard_reads: 0,
             writer_shard_cache_hits: 0,
             freshness: FreshnessProbe::default(),
@@ -253,6 +258,79 @@ impl QueenBee {
     /// round-trip per merged term.
     pub fn writer_cache_stats(&self) -> (u64, u64) {
         (self.writer_shard_reads, self.writer_shard_cache_hits)
+    }
+
+    /// A new frontend joins the running fleet on the next free user-device
+    /// peer (initial frontends occupy the lowest peer ids and worker bees
+    /// the highest; the ordinary devices in between can host late
+    /// joiners). The joiner bootstraps its cache by one anti-entropy
+    /// exchange with a live neighbour — warming from the fleet instead of
+    /// the DHT — and the rest of the fleet learns about it through gossiped
+    /// heartbeats. Returns the new frontend's index.
+    pub fn fleet_join(&mut self) -> QbResult<usize> {
+        let now = self.net.now();
+        let peer = self.join_peer_cursor;
+        if peer as usize >= self.config.num_peers - self.config.num_bees {
+            return Err(QbError::Config(
+                "no free peer left to host a new frontend".into(),
+            ));
+        }
+        let Some(fleet) = self.fleet.as_mut() else {
+            return Err(QbError::Config(
+                "fleet_join needs a frontend fleet (config.gossip.num_frontends > 0)".into(),
+            ));
+        };
+        self.join_peer_cursor += 1;
+        fleet.join(&mut self.net, peer, now)
+    }
+
+    /// Frontend `frontend` leaves the fleet: gracefully (departure notices
+    /// let partners drop it immediately) or by crash (the fleet detects the
+    /// silence via heartbeats and evicts it). Its slot index stays valid
+    /// but routing to it fails until [`QueenBee::fleet_rejoin`].
+    pub fn fleet_leave(&mut self, frontend: usize, graceful: bool) -> QbResult<()> {
+        let Some(fleet) = self.fleet.as_mut() else {
+            return Err(QbError::Config(
+                "fleet_leave needs a frontend fleet (config.gossip.num_frontends > 0)".into(),
+            ));
+        };
+        if frontend >= fleet.len() {
+            return Err(QbError::Config(format!(
+                "frontend {frontend} out of range (fleet has {})",
+                fleet.len()
+            )));
+        }
+        if graceful {
+            fleet.leave(&mut self.net, frontend);
+        } else {
+            fleet.crash(&mut self.net, frontend);
+        }
+        Ok(())
+    }
+
+    /// A departed frontend restarts on its old peer with a fresh cache,
+    /// warming itself from a live neighbour by anti-entropy (not the DHT);
+    /// its bumped heartbeat supersedes every stale view of it.
+    pub fn fleet_rejoin(&mut self, frontend: usize) -> QbResult<()> {
+        let now = self.net.now();
+        let Some(fleet) = self.fleet.as_mut() else {
+            return Err(QbError::Config(
+                "fleet_rejoin needs a frontend fleet (config.gossip.num_frontends > 0)".into(),
+            ));
+        };
+        if frontend >= fleet.len() {
+            return Err(QbError::Config(format!(
+                "frontend {frontend} out of range (fleet has {})",
+                fleet.len()
+            )));
+        }
+        if fleet.is_active(frontend) {
+            return Err(QbError::Config(format!(
+                "frontend {frontend} is still active; only departed frontends rejoin"
+            )));
+        }
+        fleet.rejoin(&mut self.net, frontend, now);
+        Ok(())
     }
 
     /// Force one gossip round right now (experiments and tests; normal
@@ -992,13 +1070,32 @@ impl QueenBee {
                         fleet.len()
                     )));
                 }
+                if !fleet.is_active(*f) {
+                    return Err(QbError::Config(format!(
+                        "frontend {f} has left the fleet (rejoin it before routing to it)"
+                    )));
+                }
                 Ok((fleet.frontend_peer(*f), Some(*f)))
             }
             (RoutingPolicy::Direct(_), None) => Err(QbError::Config(
                 "search_from needs a frontend fleet (config.gossip.num_frontends > 0)".into(),
             )),
             (RoutingPolicy::HashPeer(peer), Some(fleet)) if !fleet.is_empty() => {
-                let f = *peer as usize % fleet.len();
+                // Hash onto the slot ring, then walk to the next active
+                // frontend — churned-out slots keep their index so routing
+                // stays stable for the survivors.
+                let n = fleet.len();
+                let mut f = *peer as usize % n;
+                let mut tried = 0;
+                while !fleet.is_active(f) && tried < n {
+                    f = (f + 1) % n;
+                    tried += 1;
+                }
+                if !fleet.is_active(f) {
+                    return Err(QbError::Config(
+                        "no active frontend left in the fleet".into(),
+                    ));
+                }
                 Ok((fleet.frontend_peer(f), Some(f)))
             }
             (RoutingPolicy::HashPeer(peer), _) => Ok((*peer, None)),
@@ -1814,6 +1911,74 @@ mod tests {
         assert!(qb.gossip_stats().unwrap().rounds >= 1);
         let warmed = qb.search_from(1, "timed rounds").unwrap();
         assert_eq!(warmed.shards_fetched, 0);
+    }
+
+    #[test]
+    fn fleet_join_bootstraps_from_the_fleet_not_the_dht() {
+        let mut qb = fleet_engine(3, true);
+        qb.publish(
+            10,
+            AccountId(1_000),
+            &page(
+                "wiki/churn",
+                "churned frontends warm from neighbours",
+                vec![],
+            ),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        // Warm the fleet through one frontend + a gossip round.
+        qb.search_from(0, "churned neighbours").unwrap();
+        qb.run_gossip_round(false);
+        // A fourth frontend joins and is warm *before* its first query.
+        let idx = qb.fleet_join().unwrap();
+        assert_eq!(idx, 3);
+        assert_eq!(qb.num_frontends(), 4);
+        let out = qb.search_from(idx, "churned neighbours").unwrap();
+        assert_eq!(
+            out.shards_fetched, 0,
+            "the joiner's bootstrap must warm it without DHT fetches"
+        );
+        assert!(out.shard_cache_hits > 0);
+        assert_eq!(qb.freshness.stale_results, 0);
+        assert_eq!(qb.gossip_stats().unwrap().joins, 1);
+    }
+
+    #[test]
+    fn fleet_leave_and_rejoin_route_around_departed_frontends() {
+        let mut qb = fleet_engine(3, true);
+        qb.publish(
+            10,
+            AccountId(1_000),
+            &page("wiki/leave", "departures reroute queries", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        qb.search_from(0, "departures reroute").unwrap();
+        qb.run_gossip_round(false);
+
+        qb.fleet_leave(1, true).unwrap();
+        // Direct routing to the departed frontend fails cleanly...
+        assert!(qb.search_from(1, "departures reroute").is_err());
+        assert!(
+            qb.fleet_rejoin(0).is_err(),
+            "active frontends cannot rejoin"
+        );
+        // ...while hashed routing walks to the next active slot.
+        let routed = qb.search(1, "departures reroute").unwrap();
+        assert!(!routed.results.is_empty());
+        // A crashed frontend rejoins with a fleet-warmed cache.
+        qb.fleet_leave(2, false).unwrap();
+        assert_eq!(qb.gossip_stats().unwrap().crashes, 1);
+        qb.fleet_rejoin(2).unwrap();
+        let out = qb.search_from(2, "departures reroute").unwrap();
+        assert_eq!(out.shards_fetched, 0, "rejoin warms from the fleet");
+        assert_eq!(qb.freshness.stale_results, 0);
+        let stats = qb.gossip_stats().unwrap();
+        assert_eq!(stats.leaves, 1);
+        assert_eq!(stats.joins, 1, "rejoin counts as a join");
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub use metrics::{
     gini_coefficient, CacheMetrics, CacheReport, FreshnessProbe, HoneyByRole, TierMetrics,
 };
 pub use qb_cache::{CacheConfig, EvictionPolicy};
-pub use qb_gossip::{GossipConfig, GossipFleet, GossipStats, VersionVector};
+pub use qb_gossip::{
+    DigestMode, GossipConfig, GossipFleet, GossipStats, MembershipView, ShardFilter, VersionVector,
+};
 pub use query::{
     Freshness, QueryPlan, RoutingPolicy, SearchRequest, SearchResponse, StageCosts, TermProvenance,
 };

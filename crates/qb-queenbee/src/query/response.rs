@@ -1,4 +1,5 @@
-//! [`SearchResponse`]: the structured answer to a [`SearchRequest`], with a
+//! [`SearchResponse`]: the structured answer to a
+//! [`SearchRequest`](crate::query::request::SearchRequest), with a
 //! per-stage cost trace and per-term cache provenance.
 
 use crate::engine::SearchOutcome;

@@ -5,7 +5,7 @@
 //!
 //! * [`graph::LinkGraph`] — the page link graph built from the on-chain
 //!   publish registry's out-links,
-//! * [`pagerank`] — the reference power-iteration PageRank,
+//! * [`pagerank()`] — the reference power-iteration PageRank,
 //! * [`distributed`] — the decentralized variant: the graph is partitioned
 //!   into blocks, each block is computed by a quorum of worker bees, results
 //!   are combined by entry-wise median and bees whose submissions deviate are

@@ -44,6 +44,23 @@ impl NetConfig {
             timeout: SimDuration::from_millis(50),
         }
     }
+
+    /// A network whose peers cluster into `zones` latency classes
+    /// (round-robin by peer id): `intra_micros` one-way within a zone,
+    /// `inter_micros` across zones, both with ±20% jitter. The model behind
+    /// the zone-aware gossip experiments (E12): same-zone RPCs are an order
+    /// of magnitude cheaper than cross-zone ones, as in geo-distributed
+    /// DWeb deployments.
+    pub fn zoned(zones: usize, intra_micros: u64, inter_micros: u64) -> NetConfig {
+        NetConfig {
+            latency: LatencyModel::Zoned {
+                intra_micros,
+                inter_micros,
+            },
+            zones: zones.max(1),
+            ..NetConfig::default()
+        }
+    }
 }
 
 /// Failure modes of a simulated RPC.
@@ -163,9 +180,26 @@ impl SimNet {
             .unwrap_or(false)
     }
 
-    /// Bring a peer online / take it offline.
+    /// Latency zone of a peer (`peer % zones`).
+    pub fn zone_of(&self, node: u64) -> usize {
+        self.peers
+            .get(node as usize)
+            .map(|p| p.zone)
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Bring a peer online / take it offline. State transitions are counted
+    /// as peer up/down events in [`crate::NetStats`] (the churn record the
+    /// experiments report).
     pub fn set_online(&mut self, node: u64, online: bool) {
         if let Some(p) = self.peers.get_mut(node as usize) {
+            if p.online != online {
+                if online {
+                    self.stats.peer_up_events += 1;
+                } else {
+                    self.stats.peer_down_events += 1;
+                }
+            }
             p.online = online;
         }
     }
@@ -193,6 +227,9 @@ impl SimNet {
     /// Restore every peer to online and a single partition.
     pub fn heal_all(&mut self) {
         for p in &mut self.peers {
+            if !p.online {
+                self.stats.peer_up_events += 1;
+            }
             p.online = true;
             p.partition = 0;
         }
@@ -426,6 +463,40 @@ mod tests {
         assert_eq!(net.len(), 3);
         assert!(net.is_online(2));
         assert!(net.rpc(0, 2, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn zoned_config_and_zone_lookup() {
+        let net = SimNet::new(8, NetConfig::zoned(4, 2_000, 60_000), 11);
+        assert_eq!(net.zone_of(0), 0);
+        assert_eq!(net.zone_of(5), 1);
+        assert_eq!(net.zone_of(7), 3);
+        assert_eq!(net.zone_of(99), usize::MAX, "unknown peer has no zone");
+        // Same-zone RPCs are cheaper than cross-zone ones on average.
+        let mut net = net;
+        let intra: u64 = (0..40)
+            .map(|_| net.rpc(0, 4, 16, 16).unwrap().as_micros())
+            .sum();
+        let inter: u64 = (0..40)
+            .map(|_| net.rpc(0, 5, 16, 16).unwrap().as_micros())
+            .sum();
+        assert!(intra < inter, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn peer_up_down_events_are_counted_once_per_transition() {
+        let mut net = lan(4, 12);
+        net.set_online(1, false);
+        net.set_online(1, false); // no transition, no event
+        assert_eq!(net.stats().peer_down_events, 1);
+        assert_eq!(net.stats().peer_up_events, 0);
+        net.set_online(1, true);
+        assert_eq!(net.stats().peer_up_events, 1);
+        net.set_online(2, false);
+        net.set_online(3, false);
+        net.heal_all();
+        assert_eq!(net.stats().peer_up_events, 3);
+        assert_eq!(net.stats().peer_down_events, 3);
     }
 
     #[test]

@@ -15,6 +15,12 @@ pub struct NetStats {
     pub failed_rpcs: u64,
     /// Messages lost to random drop.
     pub dropped_messages: u64,
+    /// Peers that transitioned offline→online (churn: joins, restarts,
+    /// heals).
+    pub peer_up_events: u64,
+    /// Peers that transitioned online→offline (churn: crashes, graceful
+    /// departures).
+    pub peer_down_events: u64,
 }
 
 impl NetStats {
@@ -28,6 +34,10 @@ impl NetStats {
             dropped_messages: self
                 .dropped_messages
                 .saturating_sub(earlier.dropped_messages),
+            peer_up_events: self.peer_up_events.saturating_sub(earlier.peer_up_events),
+            peer_down_events: self
+                .peer_down_events
+                .saturating_sub(earlier.peer_down_events),
         }
     }
 }
@@ -164,6 +174,8 @@ mod tests {
             rpcs: 5,
             failed_rpcs: 1,
             dropped_messages: 0,
+            peer_up_events: 1,
+            peer_down_events: 2,
         };
         let b = NetStats {
             messages: 25,
@@ -171,6 +183,8 @@ mod tests {
             rpcs: 12,
             failed_rpcs: 2,
             dropped_messages: 1,
+            peer_up_events: 2,
+            peer_down_events: 5,
         };
         let d = b.delta_since(&a);
         assert_eq!(d.messages, 15);
@@ -178,5 +192,7 @@ mod tests {
         assert_eq!(d.rpcs, 7);
         assert_eq!(d.failed_rpcs, 1);
         assert_eq!(d.dropped_messages, 1);
+        assert_eq!(d.peer_up_events, 1);
+        assert_eq!(d.peer_down_events, 3);
     }
 }

@@ -208,5 +208,14 @@ fn main() {
     //    scale); `config.gossip = GossipConfig::enabled(n)` runs a fleet of
     //    n frontends whose caches warm each other over the qb-gossip
     //    overlay — see `examples/gossip_warmup.rs` and experiment E10.
+    //    The overlay is churn- and zone-aware: frontends join
+    //    (`qb.fleet_join()`, warming from a live neighbour by anti-entropy
+    //    instead of the DHT), leave or crash (`qb.fleet_leave(i, graceful)`)
+    //    and restart (`qb.fleet_rejoin(i)`); `GossipConfig::enabled_zoned(n,
+    //    zones)` + `NetConfig::zoned(..)` bias partner sampling toward the
+    //    own latency zone, and `digest_mode: DigestMode::Delta` (the
+    //    default) ships delta digests + a bloom holdings filter instead of
+    //    full hot sets — see `examples/fleet_churn.rs` and experiment E12.
     println!("\nnext: cargo run -p qb-examples --release --bin batch_search");
+    println!("      cargo run -p qb-examples --release --bin fleet_churn");
 }

@@ -1,9 +1,10 @@
 //! Offline stand-in for the `serde_json` crate.
 //!
 //! Implements the small slice of the serde_json API this workspace uses:
-//! [`Value`], [`Map`], the [`json!`] macro for object/array literals, and
-//! [`to_string_pretty`]. Values are built by hand (no serde trait plumbing),
-//! which is exactly how the experiment harness uses the real crate.
+//! [`Value`], [`Map`], the [`json!`] macro for object/array literals,
+//! [`to_string_pretty`] and a [`from_str`] parser into [`Value`]. Values
+//! are built by hand (no serde trait plumbing), which is exactly how the
+//! experiment harness uses the real crate.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -256,18 +257,181 @@ impl From<Map> for Value {
     }
 }
 
-/// Error type returned by the serialization entry points (the stand-in never
-/// actually fails; the type exists for API compatibility).
+/// Error type returned by the serialization and parsing entry points
+/// (serialization never actually fails; parsing reports position and
+/// cause).
 #[derive(Debug)]
-pub struct Error;
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json stand-in error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parse a JSON document into a [`Value`] (objects, arrays, strings with
+/// the standard escapes, f64 numbers, booleans, null).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing data at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected '{}' at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).unwrap_or("");
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| Error(format!("invalid number '{text}' at byte {start}")))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| Error(format!("invalid \\u escape at byte {pos}")))?;
+                        out.push(hex);
+                        *pos += 4;
+                    }
+                    _ => return Err(Error(format!("invalid escape at byte {pos}"))),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Consume one UTF-8 scalar (the input came from a &str, so
+                // continuation bytes are well-formed).
+                let len = match c {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let chunk = bytes
+                    .get(*pos..*pos + len)
+                    .and_then(|b| std::str::from_utf8(b).ok())
+                    .ok_or_else(|| Error(format!("invalid UTF-8 at byte {pos}")))?;
+                out.push_str(chunk);
+                *pos += len;
+            }
+        }
+    }
+}
 
 /// By-reference conversion into [`Value`], used by the [`json!`] macro so
 /// that (like real serde_json) the macro never moves its arguments.
@@ -402,6 +566,37 @@ mod tests {
         let s = to_string_pretty(&Value::Object(m)).unwrap();
         assert!(s.contains("\"a\": \"x\\\"y\""));
         assert!(s.contains("\"b\": 3"));
+    }
+
+    #[test]
+    fn from_str_round_trips_what_to_string_pretty_writes() {
+        let v = json!({
+            "title": "E9a: stream (240 queries)",
+            "rows": vec![
+                json!({ "config": "cache on", "rpc_messages": "1234" }),
+                json!({ "config": "cache off", "rpc_messages": "5678" }),
+            ]
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(parsed["rows"][0]["config"].as_str(), Some("cache on"));
+    }
+
+    #[test]
+    fn from_str_parses_scalars_escapes_and_errors() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("-12.5e1").unwrap(), Value::Number(-125.0));
+        assert_eq!(
+            from_str("\"a\\n\\\"b\\u0041 ü\"").unwrap(),
+            Value::String("a\n\"b\u{41} ü".into())
+        );
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(Map::new()));
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("12 extra").is_err());
     }
 
     #[test]
