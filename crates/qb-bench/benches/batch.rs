@@ -82,6 +82,45 @@ fn bench_batch_execute(c: &mut Criterion) {
     });
 }
 
+/// The pipelined engine: a duplicate-heavy 64-query stream through
+/// overlapping windows (window memo active) vs the same stream as
+/// back-to-back `search_batch` windows — the driver + memo overhead and
+/// its CPU dedup, on the host-time side (the simulated-makespan side is
+/// experiment E13).
+fn bench_pipelined(c: &mut Criterion) {
+    use qb_queenbee::PipelineConfig;
+    let corpus = corpus();
+    let requests = zipf_requests(&corpus, 64, 4);
+    c.bench_function("query/pipelined_64_window16_depth4", |b| {
+        b.iter_batched(
+            || (engine(&corpus, false), requests.clone()),
+            |(mut qb, requests)| {
+                qb.search_pipelined(
+                    requests,
+                    PipelineConfig {
+                        window_size: 16,
+                        max_windows_in_flight: 4,
+                    },
+                )
+                .expect("pipelined stream")
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("query/back_to_back_64_window16", |b| {
+        b.iter_batched(
+            || (engine(&corpus, false), requests.clone()),
+            |(mut qb, requests)| {
+                requests
+                    .chunks(16)
+                    .map(|w| qb.search_batch(w.to_vec()).expect("window"))
+                    .collect::<Vec<_>>()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
 /// Response assembly alone: a single warm request served from the result
 /// tier (plan probe + pagination + provenance + trace).
 fn bench_response_assembly(c: &mut Criterion) {
@@ -98,6 +137,7 @@ criterion_group!(
     benches,
     bench_plan,
     bench_batch_execute,
+    bench_pipelined,
     bench_response_assembly
 );
 criterion_main!(benches);

@@ -120,6 +120,42 @@ fn bench_filter(c: &mut Criterion) {
     });
 }
 
+/// Filter reuse across exchanges: a converged fleet's steady round with the
+/// per-frontend filter cache (filters served from `(generation, instant)`)
+/// vs the same round with the cache defeated by a holdings mutation before
+/// every measurement — the per-exchange rebuild cost the cache removes.
+fn bench_filter_reuse(c: &mut Criterion) {
+    let now = SimInstant::ZERO;
+    let converged = || {
+        let (mut fleet, mut net) = warmed_fleet(8, 256);
+        for _ in 0..4 {
+            fleet.run_round(&mut net, now, false);
+        }
+        (fleet, net)
+    };
+    // Steady round: holdings unchanged, every exchange reuses the filter.
+    let (mut fleet, mut net) = converged();
+    c.bench_function("gossip/steady_round_filter_cached/8_frontends", |b| {
+        b.iter(|| {
+            fleet.run_round(&mut net, now, false);
+            fleet.stats().filter_reuses
+        })
+    });
+    // Same round, but a mutation on every frontend invalidates the cached
+    // filters first: every exchange pays the rebuild.
+    let (mut fleet, mut net) = converged();
+    c.bench_function("gossip/steady_round_filter_rebuilt/8_frontends", |b| {
+        b.iter(|| {
+            for i in 0..8 {
+                let shard = sample_shard("churnterm", 4);
+                fleet.cache_mut(i).store_shard(&shard, now);
+            }
+            fleet.run_round(&mut net, now, false);
+            fleet.stats().filter_builds
+        })
+    });
+}
+
 /// Churn: a frontend joining a warmed fleet, including the bootstrap
 /// anti-entropy exchange that fills its cache from a live neighbour.
 fn bench_join(c: &mut Criterion) {
@@ -155,6 +191,7 @@ criterion_group!(
     bench_round,
     bench_digest_modes,
     bench_filter,
+    bench_filter_reuse,
     bench_join,
     bench_warm_start
 );

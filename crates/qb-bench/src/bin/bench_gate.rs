@@ -7,116 +7,88 @@
 //!       [--threshold 0.10]
 //!
 //! The gate reads the machine-readable tables the `experiments` binary
-//! writes, extracts the lower-is-better headline metrics (DHT shard
-//! fetches, RPC messages, gossip bytes, stale serves) from the optimized
-//! configurations of E9–E12, and fails when a current value exceeds its
-//! baseline by more than the threshold (default 10%). Zero-baselines are
-//! exact: any stale result served fails outright. Metrics whose table is
-//! missing from the *baseline* are reported and skipped (a new experiment
-//! lands before its baseline); metrics missing from the *current* run fail
-//! (an experiment silently dropped out of the smoke job).
+//! writes, extracts the headline metrics from the optimized configurations
+//! of E9–E13 and fails when a current value regresses past the threshold
+//! (default 10%): lower-is-better metrics (DHT shard fetches, RPC
+//! messages, gossip bytes, stale serves, pipelined makespan) must not rise
+//! above `baseline * (1 + t)`, higher-is-better metrics (window-memo dedup
+//! hits, the batch-aware warm-round lead) must not fall below
+//! `baseline * (1 - t)`. Zero-baselines are exact: any stale result served
+//! fails outright. Metrics whose table is missing from the *baseline* are
+//! reported and skipped (a new experiment lands before its baseline);
+//! metrics missing from the *current* run fail (an experiment silently
+//! dropped out of the smoke job).
 
 use serde_json::Value;
 use std::process::ExitCode;
 
 /// One gated metric: the first table whose title starts with `table`, the
-/// row where `key_col == key_val`, the numeric cell in `col`.
+/// row where `key_col == key_val`, the numeric cell in `col`. Metrics are
+/// lower-is-better unless `higher_is_better` flips the comparison.
 struct Check {
     table: &'static str,
     key_col: &'static str,
     key_val: &'static str,
     col: &'static str,
+    higher_is_better: bool,
+}
+
+/// Shorthand for the common lower-is-better check.
+const fn lower(
+    table: &'static str,
+    key_col: &'static str,
+    key_val: &'static str,
+    col: &'static str,
+) -> Check {
+    Check {
+        table,
+        key_col,
+        key_val,
+        col,
+        higher_is_better: false,
+    }
+}
+
+/// A metric that must not *drop* (dedup hits, warm-round lead).
+const fn higher(
+    table: &'static str,
+    key_col: &'static str,
+    key_val: &'static str,
+    col: &'static str,
+) -> Check {
+    Check {
+        table,
+        key_col,
+        key_val,
+        col,
+        higher_is_better: true,
+    }
 }
 
 const CHECKS: &[Check] = &[
     // E9: the cache-on run must keep paying for itself.
-    Check {
-        table: "E9a",
-        key_col: "config",
-        key_val: "cache on",
-        col: "rpc_messages",
-    },
-    Check {
-        table: "E9a",
-        key_col: "config",
-        key_val: "cache on",
-        col: "shard_fetches",
-    },
-    Check {
-        table: "E9a",
-        key_col: "config",
-        key_val: "cache on",
-        col: "stale_results",
-    },
+    lower("E9a", "config", "cache on", "rpc_messages"),
+    lower("E9a", "config", "cache on", "shard_fetches"),
+    lower("E9a", "config", "cache on", "stale_results"),
     // E10: the gossip fleet's traffic and overhead.
-    Check {
-        table: "E10a",
-        key_col: "config",
-        key_val: "gossip on",
-        col: "rpc_messages",
-    },
-    Check {
-        table: "E10a",
-        key_col: "config",
-        key_val: "gossip on",
-        col: "dht_shard_fetches",
-    },
-    Check {
-        table: "E10a",
-        key_col: "config",
-        key_val: "gossip on",
-        col: "gossip_bytes",
-    },
-    Check {
-        table: "E10a",
-        key_col: "config",
-        key_val: "gossip on",
-        col: "stale_results",
-    },
+    lower("E10a", "config", "gossip on", "rpc_messages"),
+    lower("E10a", "config", "gossip on", "dht_shard_fetches"),
+    lower("E10a", "config", "gossip on", "gossip_bytes"),
+    lower("E10a", "config", "gossip on", "stale_results"),
     // E11: batched execution.
-    Check {
-        table: "E11",
-        key_col: "config",
-        key_val: "batched",
-        col: "rpc_messages",
-    },
-    Check {
-        table: "E11",
-        key_col: "config",
-        key_val: "batched",
-        col: "dht_shard_fetches",
-    },
+    lower("E11", "config", "batched", "rpc_messages"),
+    lower("E11", "config", "batched", "dht_shard_fetches"),
     // E12: the churn/zone fleet under compressed digests.
-    Check {
-        table: "E12a",
-        key_col: "config",
-        key_val: "delta digests",
-        col: "rpc_messages",
-    },
-    Check {
-        table: "E12a",
-        key_col: "config",
-        key_val: "delta digests",
-        col: "dht_shard_fetches",
-    },
-    Check {
-        table: "E12a",
-        key_col: "config",
-        key_val: "delta digests",
-        col: "steady_digest_bytes",
-    },
-    Check {
-        table: "E12a",
-        key_col: "config",
-        key_val: "delta digests",
-        col: "gossip_bytes_total",
-    },
-    Check {
-        table: "E12a",
-        key_col: "config",
-        key_val: "delta digests",
-        col: "stale_results",
-    },
+    lower("E12a", "config", "delta digests", "rpc_messages"),
+    lower("E12a", "config", "delta digests", "dht_shard_fetches"),
+    lower("E12a", "config", "delta digests", "steady_digest_bytes"),
+    lower("E12a", "config", "delta digests", "gossip_bytes_total"),
+    lower("E12a", "config", "delta digests", "stale_results"),
+    // E13: the pipelined engine's makespan, CPU dedup and gossip lead.
+    lower("E13a", "config", "pipelined", "makespan_ms"),
+    lower("E13a", "config", "pipelined", "score_invocations"),
+    higher("E13a", "config", "pipelined", "memo_hits"),
+    higher("E13b", "config", "warm-round lead", "rounds_to_warm"),
 ];
 
 fn load(path: &str) -> Result<Vec<Value>, String> {
@@ -225,13 +197,19 @@ fn main() -> ExitCode {
             Some(Ok(v)) => v,
         };
         // Zero baselines (stale serves) are exact; everything else gets
-        // the relative threshold.
-        let limit = if base == 0.0 {
-            0.0
+        // the relative threshold, inverted for higher-is-better metrics.
+        let (limit, regressed) = if c.higher_is_better {
+            let limit = base * (1.0 - threshold);
+            (limit, cur < limit)
         } else {
-            base * (1.0 + threshold)
+            let limit = if base == 0.0 {
+                0.0
+            } else {
+                base * (1.0 + threshold)
+            };
+            (limit, cur > limit)
         };
-        if cur > limit {
+        if regressed {
             println!("  FAIL  {label}: {cur} vs baseline {base} (limit {limit:.1})");
             failures += 1;
         } else {
@@ -253,7 +231,7 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_gate: key metrics regressed >{:.0}% against {baseline_path}; \
              if intentional, regenerate the baseline with \
-             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12` \
+             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12 e13` \
              and copy bench-results/experiments.json over the baseline file.",
             threshold * 100.0
         );

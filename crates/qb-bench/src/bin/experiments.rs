@@ -28,7 +28,7 @@ fn main() {
     let args: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+            "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
         ]
         .into_iter()
         .map(String::from)
@@ -52,8 +52,9 @@ fn main() {
             "e10" => e10_gossip(quick),
             "e11" => e11_batch(quick),
             "e12" => e12_churn(quick),
+            "e13" => e13_pipeline(quick),
             other => {
-                eprintln!("unknown experiment '{other}' (use f1, e1..e12 or all)");
+                eprintln!("unknown experiment '{other}' (use f1, e1..e13 or all)");
                 Vec::new()
             }
         };
@@ -1542,6 +1543,334 @@ fn e12_churn(quick: bool) -> Vec<Table> {
     t2.row(&[
         "joined / steady ratio".into(),
         f2(delta.joined_hit_rate / delta.steady_hit_rate.max(1e-9)),
+    ]);
+    vec![t, t2]
+}
+
+/// E13 — the pipelined query engine. Part A replays a duplicate-heavy
+/// Zipf(1.2) stream three ways on identical engines (cache off, so the
+/// pipeline's own mechanisms are isolated): **sequentially** (windows of
+/// one — the byte-identity reference), **back-to-back** (PR 3's
+/// `search_batch` windows, makespan = the sum of window latencies) and
+/// **pipelined** (`search_pipelined`: up to 4 windows in flight, window
+/// N+1's fetches issued while window N's are pending under the simulated
+/// per-link in-flight limits, duplicates deduped by the version-tagged
+/// window memo).
+///
+/// Part B measures batch-aware gossip: a frontend fleet where frontend 0's
+/// digest hot set is saturated by genuinely popular terms serves one batch
+/// window of *cold* queries; without batch adverts the window's freshly
+/// fetched shards sit below the popularity cut and never ride a regular
+/// round, while with them the keys lead the very next round's digest and
+/// fill order.
+///
+/// Asserted acceptance criteria (the CI smoke job runs this quick):
+/// * pipelined makespan ≤ 70% of back-to-back on the same stream,
+/// * per-query hits byte-identical to sequential execution,
+/// * window-memo dedup hits > 0 and strictly fewer intersect/score
+///   invocations than back-to-back,
+/// * batch-aware gossip warms a non-serving frontend ≥ 1 round earlier
+///   than the PR 4 baseline.
+fn e13_pipeline(quick: bool) -> Vec<Table> {
+    use qb_queenbee::{PipelineConfig, RoutingPolicy, SearchRequest, TermProvenance};
+    use qb_workload::ZipfSampler;
+
+    const WINDOW: usize = 16;
+    const DEPTH: usize = 4;
+    let (num_pages, pool_size, stream_len) = if quick { (30, 24, 192) } else { (60, 48, 512) };
+    let corpus = build_corpus(0xE13, num_pages);
+    let workload = QueryWorkload::new(&corpus);
+    let mut rng = DetRng::new(0xE13);
+    let pool = workload.generate_batch(&corpus, &mut rng, pool_size);
+    // Zipf(1.2) over a small pool: windows are duplicate-heavy by design.
+    let zipf = ZipfSampler::new(pool.len(), 1.2);
+    let stream: Vec<usize> = {
+        let mut rng = DetRng::new(0xE13F);
+        (0..stream_len).map(|_| zipf.sample(&mut rng)).collect()
+    };
+    let build = || {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = 64;
+        config.num_bees = 6;
+        config.seed = 0xE13;
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+        qb
+    };
+    let request = |i: usize, q: usize| {
+        SearchRequest::new(pool[q].as_str()).route(RoutingPolicy::HashPeer((i % 50) as u64))
+    };
+
+    // Sequential reference: per-query execution, the byte-identity oracle.
+    let mut qb = build();
+    let mut seq_hits: Vec<Vec<qb_index::ScoredDoc>> = Vec::new();
+    let mut seq_makespan = SimDuration::ZERO;
+    for (i, &q) in stream.iter().enumerate() {
+        let resp = qb.search_request(request(i, q)).expect("sequential query");
+        seq_makespan += resp.latency;
+        seq_hits.push(resp.hits);
+    }
+    let seq_invocations = qb.query_stats().score_invocations;
+
+    // Back-to-back windows: the PR 3 batch path, one window at a time.
+    let mut qb = build();
+    let mut b2b_makespan = SimDuration::ZERO;
+    let mut b2b_messages = 0u64;
+    let mut b2b_fetches = 0u64;
+    for (w, window) in stream.chunks(WINDOW).enumerate() {
+        let requests: Vec<_> = window
+            .iter()
+            .enumerate()
+            .map(|(j, &q)| request(w * WINDOW + j, q))
+            .collect();
+        let responses = qb.search_batch(requests).expect("batch window");
+        b2b_makespan +=
+            qb_simnet::parallel_latency(&responses.iter().map(|r| r.latency).collect::<Vec<_>>());
+        for r in &responses {
+            b2b_messages += r.messages();
+            b2b_fetches += r.shards_fetched() as u64;
+        }
+    }
+    let b2b_invocations = qb.query_stats().score_invocations;
+
+    // Pipelined: the same stream through the overlapping-window engine.
+    let mut qb = build();
+    let requests: Vec<_> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| request(i, q))
+        .collect();
+    let outcome = qb
+        .search_pipelined(
+            requests,
+            PipelineConfig {
+                window_size: WINDOW,
+                max_windows_in_flight: DEPTH,
+            },
+        )
+        .expect("pipelined stream");
+    let pipe_messages: u64 = outcome.responses.iter().map(|r| r.messages()).sum();
+    let pipe_fetches: u64 = outcome
+        .responses
+        .iter()
+        .map(|r| r.shards_fetched() as u64)
+        .sum();
+    let report = outcome.report;
+    let pipe_invocations = qb.query_stats().score_invocations;
+
+    // Acceptance criteria, asserted so the CI smoke job catches regressions.
+    assert_eq!(seq_hits.len(), outcome.responses.len());
+    for (i, (seq, resp)) in seq_hits.iter().zip(&outcome.responses).enumerate() {
+        assert_eq!(
+            seq, &resp.hits,
+            "E13: query {i} ('{}') must rank identically pipelined vs sequential",
+            pool[stream[i]]
+        );
+    }
+    assert!(
+        report.makespan.as_micros() as f64 <= 0.7 * b2b_makespan.as_micros() as f64,
+        "E13: pipelining must cut makespan >=30% ({} vs {b2b_makespan})",
+        report.makespan
+    );
+    assert!(
+        report.memo_hits > 0,
+        "E13: the duplicate-heavy stream must produce window-memo hits"
+    );
+    assert!(
+        pipe_invocations < b2b_invocations,
+        "E13: the memo must cut intersect/score invocations ({pipe_invocations} vs {b2b_invocations})"
+    );
+
+    let title = format!(
+        "E13a: pipelined (window {WINDOW}, depth {DEPTH}) vs back-to-back vs sequential on a \
+         duplicate-heavy Zipf(1.2) stream ({stream_len} queries, {pool_size}-query pool, cache off)"
+    );
+    let mut t = Table::new(
+        &title,
+        &[
+            "config",
+            "makespan_ms",
+            "score_invocations",
+            "memo_hits",
+            "rpc_messages",
+            "dht_shard_fetches",
+            "queue_delay_ms",
+        ],
+    );
+    t.row(&[
+        "sequential".into(),
+        f2(seq_makespan.as_millis_f64()),
+        seq_invocations.to_string(),
+        "0".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.row(&[
+        "back-to-back".into(),
+        f2(b2b_makespan.as_millis_f64()),
+        b2b_invocations.to_string(),
+        "0".into(),
+        b2b_messages.to_string(),
+        b2b_fetches.to_string(),
+        "0.00".into(),
+    ]);
+    t.row(&[
+        "pipelined".into(),
+        f2(report.makespan.as_millis_f64()),
+        pipe_invocations.to_string(),
+        report.memo_hits.to_string(),
+        pipe_messages.to_string(),
+        pipe_fetches.to_string(),
+        f2(report.queue_delay.as_millis_f64()),
+    ]);
+    t.row(&[
+        "reduction (vs back-to-back)".into(),
+        format!(
+            "-{:.1}%",
+            100.0
+                * (1.0
+                    - report.makespan.as_micros() as f64 / b2b_makespan.as_micros().max(1) as f64)
+        ),
+        format!(
+            "-{:.1}%",
+            100.0 * (1.0 - pipe_invocations as f64 / b2b_invocations.max(1) as f64)
+        ),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    // ----- Part B: batch-aware gossip fan-out ---------------------------------------
+
+    const FLEET: usize = 6;
+    const MAX_ROUNDS: u64 = 6;
+    let page_body = |term: &str| format!("{term} common shared body words for the page");
+    let run = |batch_advertise: bool| -> (u64, u64, u64) {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = 32;
+        config.num_bees = 4;
+        config.seed = 0xE13B;
+        config.cache = qb_queenbee::CacheConfig::enabled();
+        config.gossip = qb_queenbee::GossipConfig::enabled(FLEET);
+        config.gossip.hot_set_size = 4;
+        config.gossip.max_fills_per_exchange = 8;
+        // Regular rounds only: anti-entropy would eventually move the cold
+        // shards in both runs and blur the round accounting.
+        config.gossip.anti_entropy_interval = SimDuration::from_secs(3_600);
+        config.gossip.batch_advertise = batch_advertise;
+        let mut qb = qb_bench::build_engine_with(config);
+        for (i, hot) in ["hotalpha", "hotbeta", "hotgamma", "hotdelta"]
+            .iter()
+            .enumerate()
+        {
+            qb.publish(
+                (FLEET + 1 + i) as u64,
+                AccountId(1_000 + i as u64),
+                &qb_dweb::WebPage::new(format!("hot/{i}"), "hot", page_body(hot), vec![]),
+            )
+            .expect("publish hot page");
+        }
+        for (i, fresh) in ["freshone", "freshtwo", "freshthree", "freshfour"]
+            .iter()
+            .enumerate()
+        {
+            qb.publish(
+                (FLEET + 1 + i) as u64,
+                AccountId(1_100 + i as u64),
+                &qb_dweb::WebPage::new(format!("fresh/{i}"), "fresh", page_body(fresh), vec![]),
+            )
+            .expect("publish fresh page");
+        }
+        qb.seal();
+        qb.process_publish_events().expect("index");
+
+        // Saturate frontend 0's digest hot set with genuinely popular
+        // terms: each probe is a distinct query (so the result cache never
+        // short-circuits the shard-tier lookup that feeds popularity).
+        for hot in ["hotalpha", "hotbeta", "hotgamma", "hotdelta"] {
+            for j in 0..10 {
+                let _ = qb.search_from(0, &format!("{hot} zz{j}"));
+            }
+        }
+
+        // One batch window of cold queries, served entirely by frontend 0.
+        let window: Vec<SearchRequest> = ["freshone", "freshtwo", "freshthree", "freshfour"]
+            .iter()
+            .map(|q| SearchRequest::new(*q).route(RoutingPolicy::Direct(0)))
+            .collect();
+        let responses = qb.search_batch(window).expect("batch window");
+        let mut fetched_terms: Vec<String> = Vec::new();
+        for r in &responses {
+            for (term, prov) in r.terms.iter().zip(&r.provenance) {
+                if matches!(prov, TermProvenance::DhtFetch) {
+                    fetched_terms.push(term.clone());
+                }
+            }
+        }
+        assert!(
+            !fetched_terms.is_empty(),
+            "E13b: the cold window must fetch through the DHT"
+        );
+
+        // Count regular gossip rounds until some non-serving frontend
+        // holds one of the window's freshly fetched shards.
+        let mut rounds_to_warm = MAX_ROUNDS;
+        for round in 1..=MAX_ROUNDS {
+            qb.run_gossip_round(false);
+            let fleet = qb.fleet().expect("fleet");
+            let warmed = (1..FLEET).any(|i| {
+                fetched_terms
+                    .iter()
+                    .any(|t| fleet.frontend(i).cache().cached_shard_version(t).is_some())
+            });
+            if warmed {
+                rounds_to_warm = round;
+                break;
+            }
+        }
+        let stats = qb.gossip_stats().expect("fleet");
+        (rounds_to_warm, stats.batch_adverts, stats.total_bytes())
+    };
+
+    let (rounds_off, adverts_off, bytes_off) = run(false);
+    let (rounds_on, adverts_on, bytes_on) = run(true);
+    let lead = rounds_off.saturating_sub(rounds_on);
+    assert!(
+        lead >= 1,
+        "E13b: batch-aware gossip must warm a non-serving frontend >=1 round earlier \
+         ({rounds_on} vs {rounds_off} rounds)"
+    );
+    assert_eq!(adverts_off, 0, "PR 4 baseline queues no adverts");
+    assert!(adverts_on > 0);
+
+    let title = format!(
+        "E13b: batch-aware gossip fan-out — rounds until a non-serving frontend holds a shard \
+         the batch window fetched ({FLEET} frontends, hot set saturated, {MAX_ROUNDS} = not \
+         within the horizon)"
+    );
+    let mut t2 = Table::new(
+        &title,
+        &["config", "rounds_to_warm", "batch_adverts", "gossip_bytes"],
+    );
+    t2.row(&[
+        "batch-aware off (PR 4)".into(),
+        rounds_off.to_string(),
+        adverts_off.to_string(),
+        bytes_off.to_string(),
+    ]);
+    t2.row(&[
+        "batch-aware on".into(),
+        rounds_on.to_string(),
+        adverts_on.to_string(),
+        bytes_on.to_string(),
+    ]);
+    t2.row(&[
+        "warm-round lead".into(),
+        lead.to_string(),
+        "-".into(),
+        "-".into(),
     ]);
     vec![t, t2]
 }

@@ -41,6 +41,12 @@ pub struct CacheTier<V> {
     /// external index never grow an undrained log.
     track_removals: bool,
     removed: Vec<String>,
+    /// Monotonic mutation counter: bumps whenever the tier's *holdings*
+    /// change (insert, replacement, eviction, expiry, invalidation).
+    /// Derived artifacts built over the holdings — like the gossip
+    /// overlay's bloom-style holdings filter — can be cached behind this
+    /// generation instead of being rebuilt per exchange.
+    generation: u64,
     /// Counters for this tier.
     pub metrics: TierMetrics,
 }
@@ -59,8 +65,15 @@ impl<V> CacheTier<V> {
             sketch: FreqSketch::new(1024),
             track_removals: false,
             removed: Vec::new(),
+            generation: 0,
             metrics: TierMetrics::default(),
         }
+    }
+
+    /// The tier's holdings generation: any change to what the tier holds
+    /// (insert, replacement, eviction, expiry, invalidation) bumps it.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Record removed keys for later draining via [`CacheTier::take_removed`].
@@ -205,6 +218,7 @@ impl<V> CacheTier<V> {
             },
         );
         self.bytes += bytes;
+        self.generation += 1;
         self.metrics.insertions += 1;
         true
     }
@@ -327,6 +341,7 @@ impl<V> CacheTier<V> {
             Some(slot) => {
                 self.recency.remove(&slot.tick);
                 self.bytes -= slot.bytes;
+                self.generation += 1;
                 if self.track_removals {
                     self.removed.push(key.to_string());
                 }
@@ -532,6 +547,33 @@ mod tests {
         assert_eq!(tier.hottest(10, t0() + ttl).len(), 0);
         assert_eq!(tier.remaining_ttl("b", t0() + ttl), None);
         assert_eq!(tier.remaining_ttl("missing", t0()), None);
+    }
+
+    #[test]
+    fn generation_tracks_every_holdings_change() {
+        let mut tier: CacheTier<u64> = lru_tier(30);
+        assert_eq!(tier.generation(), 0);
+        tier.insert("a", 1, 10, 1, t0());
+        assert_eq!(tier.generation(), 1);
+        // A pure read does not bump the generation.
+        tier.get("a", t0(), None);
+        assert_eq!(tier.generation(), 1);
+        // Replacement = removal + insert.
+        tier.insert("a", 2, 10, 2, t0());
+        assert_eq!(tier.generation(), 3);
+        // Eviction bumps (victim removal + new insert).
+        tier.insert("b", 3, 10, 1, t0());
+        tier.insert("c", 4, 10, 1, t0());
+        let before = tier.generation();
+        tier.insert("d", 5, 10, 1, t0());
+        assert_eq!(tier.generation(), before + 2);
+        // Invalidation and TTL expiry bump too.
+        let before = tier.generation();
+        assert!(tier.invalidate("d"));
+        assert_eq!(tier.generation(), before + 1);
+        let before = tier.generation();
+        assert!(tier.get("c", t0() + tier.ttl(), None).is_none());
+        assert_eq!(tier.generation(), before + 1, "expiry changes holdings");
     }
 
     #[test]

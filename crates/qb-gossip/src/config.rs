@@ -86,6 +86,14 @@ pub struct GossipConfig {
     /// the fleet grows). Anti-entropy and bootstrap exchanges always carry
     /// the full roster.
     pub membership_summary_budget: usize,
+    /// Batch-aware gossip: a batch window's freshly fetched shard keys are
+    /// queued on the serving frontend and ride its next digest round as
+    /// priority advertisements (and priority fills), even when hot-set
+    /// popularity alone would not have promoted them yet — warming the
+    /// rest of the fleet one round earlier. Only multi-query batch windows
+    /// queue advertisements, so single-query serving keeps the exact PR 4
+    /// protocol.
+    pub batch_advertise: bool,
     /// Seed for peer sampling (combined with the engine seed).
     pub seed: u64,
 }
@@ -107,6 +115,7 @@ impl Default for GossipConfig {
             liveness_timeout: SimDuration::from_secs(2),
             failure_threshold: 3,
             membership_summary_budget: 16,
+            batch_advertise: true,
             seed: 0x6055,
         }
     }

@@ -31,8 +31,16 @@
 //! gracefully (departure notices) or [`crash`](GossipFleet::crash) (peers
 //! detect the silence via heartbeats and evict the member from their sample
 //! sets); a crashed frontend can [`rejoin`](GossipFleet::rejoin) with a
-//! fresh cache and a bumped heartbeat that supersedes every stale view of
-//! it.
+//! fresh cache and a bumped SWIM-style **incarnation epoch** (its heartbeat
+//! restarts from zero) that supersedes every stale view of it — a
+//! long-delayed membership summary from a previous incarnation can never
+//! confuse the fleet about the restarted process.
+//!
+//! **Batch-aware advertisements**: the engine queues a batch window's
+//! freshly fetched shard keys on the serving frontend
+//! ([`GossipFleet::note_batch_fetches`]); they ride its next digest round
+//! ahead of hot-set popularity and lead the fill order, warming the rest
+//! of the fleet one round earlier than the epidemic alone would.
 //!
 //! All traffic goes through [`SimNet`] and is charged to its `NetStats`;
 //! partitions and offline peers fail exchanges exactly like any other RPC.
@@ -82,8 +90,14 @@ pub struct Frontend {
     /// Highest shard version observed per term (DHT fetches, publish events,
     /// gossip digests and fills).
     pub known: VersionVector,
-    /// Monotonic per-slot heartbeat counter (survives restarts, so a
-    /// rejoined frontend's gossip supersedes every stale view of it).
+    /// SWIM-style incarnation epoch: bumped on every restart
+    /// ([`GossipFleet::rejoin`]), so liveness evidence compares
+    /// `(incarnation, heartbeat)` and a long-delayed summary from a
+    /// previous incarnation can never confuse the fleet about the
+    /// restarted process.
+    incarnation: u64,
+    /// Per-incarnation heartbeat counter (a restarted process starts over
+    /// from zero; the bumped incarnation is what supersedes stale views).
     heartbeat: u64,
     /// True once the frontend left or crashed; departed slots keep their
     /// index (engine routing stays stable) but take no part in gossip.
@@ -94,6 +108,14 @@ pub struct Frontend {
     sync: HashMap<u64, PeerSync>,
     /// Rotating cursor of the bounded membership summaries.
     summary_cursor: usize,
+    /// Batch-aware gossip: `(term, version)` keys a batch window freshly
+    /// fetched on this frontend, queued to ride the next digest round as
+    /// priority advertisements and priority fills.
+    pending_adverts: Vec<(String, u64)>,
+    /// The holdings filter of the last delta exchange, cached behind the
+    /// shard tier's `(generation, instant)`: rounds where nothing changed
+    /// reuse it instead of rebuilding per exchange.
+    filter_cache: Option<(u64, SimInstant, ShardFilter)>,
     /// The private query-serving cache. `None` only while the engine's
     /// search path has it checked out.
     cache: Option<QueryCache>,
@@ -105,11 +127,14 @@ impl Frontend {
             peer,
             zone,
             known: VersionVector::new(),
+            incarnation: 0,
             heartbeat: 0,
             departed: false,
             view: MembershipView::new(),
             sync: HashMap::new(),
             summary_cursor: 0,
+            pending_adverts: Vec::new(),
+            filter_cache: None,
             cache: Some(QueryCache::new(cache_config)),
         }
     }
@@ -142,9 +167,61 @@ impl Frontend {
         !self.departed
     }
 
-    /// Current heartbeat counter.
+    /// Current heartbeat counter (within the current incarnation).
     pub fn heartbeat(&self) -> u64 {
         self.heartbeat
+    }
+
+    /// Current incarnation epoch (bumped on every restart).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Batch-window shard keys queued for the next digest round.
+    pub fn pending_adverts(&self) -> &[(String, u64)] {
+        &self.pending_adverts
+    }
+
+    /// The pending batch adverts re-resolved against the current cache:
+    /// entries evicted since the window are dropped, and a key republished
+    /// in between advertises (and fills) the *cached* version — digest and
+    /// priority-fill decisions must agree on one version, or a partner
+    /// already holding the stale queued version would suppress the very
+    /// fill the advert exists to force.
+    fn resolved_adverts(&self) -> Vec<(String, u64)> {
+        self.pending_adverts
+            .iter()
+            .filter_map(|(term, _)| {
+                self.cache()
+                    .cached_shard_version(term)
+                    .map(|version| (term.clone(), version))
+            })
+            .collect()
+    }
+
+    /// The holdings filter for a delta exchange over `holdings` at `now`,
+    /// served from the per-frontend cache while the shard tier's
+    /// generation (and the instant, which decides TTL aliveness) are
+    /// unchanged — a steady round builds the filter once instead of once
+    /// per exchange.
+    fn holdings_filter(
+        &mut self,
+        holdings: &[(String, u64)],
+        bits_per_entry: usize,
+        now: SimInstant,
+        stats: &mut GossipStats,
+    ) -> ShardFilter {
+        let generation = self.cache().shard_generation();
+        if let Some((cached_gen, cached_at, filter)) = &self.filter_cache {
+            if *cached_gen == generation && *cached_at == now {
+                stats.filter_reuses += 1;
+                return filter.clone();
+            }
+        }
+        stats.filter_builds += 1;
+        let filter = ShardFilter::build(holdings, bits_per_entry);
+        self.filter_cache = Some((generation, now, filter.clone()));
+        filter
     }
 
     /// This frontend's view of fleet membership.
@@ -185,7 +262,7 @@ impl GossipFleet {
         let roster: Vec<(u64, usize)> = frontends.iter().map(|f| (f.peer, f.zone)).collect();
         for f in frontends.iter_mut() {
             for &(peer, zone) in &roster {
-                f.view.admit(peer, zone, 0, SimInstant::ZERO);
+                f.view.admit(peer, zone, 0, 0, SimInstant::ZERO);
             }
         }
         let index_by_peer = frontends
@@ -347,7 +424,7 @@ impl GossipFleet {
         let zone = (peer as usize) % self.config.zones.max(1);
         let idx = self.frontends.len();
         let mut f = Frontend::new(peer, zone, self.cache_config.clone());
-        f.view.admit(peer, zone, 0, now);
+        f.view.admit(peer, zone, 0, 0, now);
         self.frontends.push(f);
         self.index_by_peer.insert(peer, idx);
         self.stats.joins += 1;
@@ -368,6 +445,7 @@ impl GossipFleet {
         }
         let peer = self.frontends[i].peer;
         let zone = self.frontends[i].zone;
+        let final_incarnation = self.frontends[i].incarnation;
         let final_heartbeat = self.frontends[i].heartbeat;
         let partners = self.frontends[i].view.sample_partners(
             &mut self.rng,
@@ -381,7 +459,9 @@ impl GossipFleet {
             if net.send(peer, p, DEPARTURE_NOTICE_BYTES).is_ok() {
                 self.stats.membership_bytes += DEPARTURE_NOTICE_BYTES as u64;
                 if let Some(&j) = self.index_by_peer.get(&p) {
-                    self.frontends[j].view.mark_departed(peer, final_heartbeat);
+                    self.frontends[j]
+                        .view
+                        .mark_departed(peer, final_incarnation, final_heartbeat);
                 }
             }
         }
@@ -403,9 +483,11 @@ impl GossipFleet {
     }
 
     /// A departed frontend restarts on its old peer: fresh cache, fresh
-    /// version vector, bumped heartbeat (so its gossip supersedes every
-    /// stale view of it), and a bootstrap anti-entropy exchange with a live
-    /// neighbour to warm up from the fleet instead of the DHT.
+    /// version vector, bumped **incarnation** with the heartbeat starting
+    /// over from zero (a real restarted process remembers no counter; the
+    /// incarnation epoch is what makes its gossip supersede every stale
+    /// view of it, SWIM-style), and a bootstrap anti-entropy exchange with
+    /// a live neighbour to warm up from the fleet instead of the DHT.
     pub fn rejoin(&mut self, net: &mut SimNet, i: usize, now: SimInstant) {
         if !self.frontends[i].departed {
             return;
@@ -416,10 +498,13 @@ impl GossipFleet {
         f.cache = Some(QueryCache::new(self.cache_config.clone()));
         f.known = VersionVector::new();
         f.sync.clear();
-        f.heartbeat += 1;
-        let (peer, zone, hb) = (f.peer, f.zone, f.heartbeat);
+        f.pending_adverts.clear();
+        f.filter_cache = None;
+        f.incarnation += 1;
+        f.heartbeat = 0;
+        let (peer, zone, inc, hb) = (f.peer, f.zone, f.incarnation, f.heartbeat);
         f.view = MembershipView::new();
-        f.view.admit(peer, zone, hb, now);
+        f.view.admit(peer, zone, inc, hb, now);
         self.stats.joins += 1;
         self.bootstrap(net, i, now);
     }
@@ -509,8 +594,8 @@ impl GossipFleet {
             // Heartbeat tick; the frontend is the authority on itself.
             let f = &mut self.frontends[i];
             f.heartbeat += 1;
-            let (peer, zone, hb) = (f.peer, f.zone, f.heartbeat);
-            f.view.admit(peer, zone, hb, now);
+            let (peer, zone, inc, hb) = (f.peer, f.zone, f.incarnation, f.heartbeat);
+            f.view.admit(peer, zone, inc, hb, now);
             // Zone-biased sampling from the members *this* frontend
             // believes alive (anti-entropy may probe dead ones).
             let partners = self.frontends[i].view.sample_partners(
@@ -545,6 +630,39 @@ impl GossipFleet {
                 .view
                 .evict_silent(now, self.config.liveness_timeout);
             self.stats.evictions += evicted as u64;
+        }
+        // Batch-aware advertisements ride exactly one round: every active
+        // frontend had its chance to push them, and the receivers now
+        // advertise (and relay) the shards as their own holdings.
+        for f in &mut self.frontends {
+            if !f.departed {
+                f.pending_adverts.clear();
+            }
+        }
+    }
+
+    /// Queue a batch window's freshly fetched `(term, version)` keys as
+    /// priority advertisements of frontend `frontend`: they ride the next
+    /// digest round (and lead its fill order) even when hot-set popularity
+    /// alone would not have promoted them yet, so the rest of the fleet
+    /// warms one round earlier. No-op while gossip or
+    /// [`GossipConfig::batch_advertise`] is off.
+    pub fn note_batch_fetches(&mut self, frontend: usize, terms: &[(String, u64)]) {
+        const MAX_PENDING: usize = 256;
+        if !self.config.enabled || !self.config.batch_advertise {
+            return;
+        }
+        let f = &mut self.frontends[frontend];
+        if f.departed {
+            return;
+        }
+        for (term, version) in terms {
+            if f.pending_adverts.len() >= MAX_PENDING {
+                break;
+            }
+            if !f.pending_adverts.iter().any(|(t, _)| t == term) {
+                f.pending_adverts.push((term.clone(), *version));
+            }
         }
     }
 }
@@ -590,20 +708,13 @@ fn exchange(
         f.cache().shard_digest(max, now)
     };
     // In delta mode `hot_*` temporarily holds the whole tier; the filter is
-    // built over it before it is truncated to the advertised hot set.
+    // built over it (cached per frontend behind the shard tier's
+    // generation) before it is truncated to the advertised hot set.
     let (mut hot_a, mut hot_b) = (hot_of(a), hot_of(b));
-    let build = |own: &mut Frontend, partner_peer: u64, hot_own: &mut Vec<(String, u64)>| {
-        if delta_mode {
-            let filter = ShardFilter::build(hot_own, config.filter_bits_per_entry);
-            hot_own.truncate(config.hot_set_size);
-            let delta = delta_entries(hot_own, &own.sync_entry(partner_peer).advertised);
-            (Digest::new(delta), Some(filter))
-        } else {
-            (Digest::new(hot_own.clone()), None)
-        }
-    };
-    let (digest_a, filter_a) = build(a, b.peer, &mut hot_a);
-    let (digest_b, filter_b) = build(b, a.peer, &mut hot_b);
+    let (digest_a, filter_a) =
+        build_digest(config, a, b.peer, &mut hot_a, delta_mode, full, now, stats);
+    let (digest_b, filter_b) =
+        build_digest(config, b, a.peer, &mut hot_b, delta_mode, full, now, stats);
     let memb_a = a.membership_summary(full, config.membership_summary_budget);
     let memb_b = b.membership_summary(full, config.membership_summary_budget);
     let filter_bytes = |f: &Option<ShardFilter>| f.as_ref().map_or(0, |f| f.wire_bytes());
@@ -633,8 +744,10 @@ fn exchange(
 
     // Liveness: the exchange itself is direct evidence both ways, and the
     // piggybacked summaries spread third-party heartbeats.
-    a.view.admit(b.peer, b.zone, b.heartbeat, now);
-    b.view.admit(a.peer, a.zone, a.heartbeat, now);
+    a.view
+        .admit(b.peer, b.zone, b.incarnation, b.heartbeat, now);
+    b.view
+        .admit(a.peer, a.zone, a.incarnation, a.heartbeat, now);
     let revived =
         a.view.merge_summary(&memb_b, a.peer, now) + b.view.merge_summary(&memb_a, b.peer, now);
     stats.revivals += revived as u64;
@@ -671,9 +784,24 @@ fn exchange(
         b.sync_entry(a.peer).holdings = hot_a.iter().cloned().collect();
     }
 
+    // Batch-aware adverts lead the fill order: a regular round offers the
+    // window's freshly fetched shards before the popularity-ranked hot
+    // set, so they cannot be crowded out of the fill budget. The same
+    // re-resolved `(term, version)` list the digest advertised is used, so
+    // digest and fill decisions always agree on the version.
+    let priority_of = |f: &Frontend| {
+        if full || !config.batch_advertise {
+            Vec::new()
+        } else {
+            f.resolved_adverts()
+        }
+    };
+    let priority_a = priority_of(a);
+    let priority_b = priority_of(b);
     send_fills(
         a,
         b,
+        &priority_a,
         &hot_a,
         filter_b.as_ref(),
         net,
@@ -684,6 +812,7 @@ fn exchange(
     send_fills(
         b,
         a,
+        &priority_b,
         &hot_b,
         filter_a.as_ref(),
         net,
@@ -694,15 +823,63 @@ fn exchange(
     true
 }
 
+/// Build one side's digest for an exchange: the full hot set in full mode,
+/// the per-partner delta plus the (cached) holdings filter in delta mode —
+/// in regular rounds extended by the frontend's batch-aware pending
+/// advertisements, which ride ahead of hot-set popularity.
+#[allow(clippy::too_many_arguments)]
+fn build_digest(
+    config: &GossipConfig,
+    own: &mut Frontend,
+    partner_peer: u64,
+    hot_own: &mut Vec<(String, u64)>,
+    delta_mode: bool,
+    full: bool,
+    now: SimInstant,
+    stats: &mut GossipStats,
+) -> (Digest, Option<ShardFilter>) {
+    // Advertise at the *cached* version via [`Frontend::resolved_adverts`]
+    // — the identical list the priority fills use.
+    let pending: Vec<(String, u64)> = if !full && config.batch_advertise {
+        own.resolved_adverts()
+    } else {
+        Vec::new()
+    };
+    if delta_mode {
+        let filter = own.holdings_filter(hot_own, config.filter_bits_per_entry, now, stats);
+        hot_own.truncate(config.hot_set_size);
+        let mut entries = delta_entries(hot_own, &own.sync_entry(partner_peer).advertised);
+        for (term, version) in pending {
+            if !entries.iter().any(|(t, v)| *t == term && *v >= version) {
+                entries.push((term, version));
+                stats.batch_adverts += 1;
+            }
+        }
+        (Digest::new(entries), Some(filter))
+    } else {
+        let mut entries = hot_own.clone();
+        for (term, version) in pending {
+            if !entries.iter().any(|(t, v)| *t == term && *v >= version) {
+                entries.push((term, version));
+                stats.batch_adverts += 1;
+            }
+        }
+        (Digest::new(entries), None)
+    }
+}
+
 /// Push the shards `from` believes `to` lacks, as one batched one-way
 /// message, then admit them under the version guard. In delta mode a fill
 /// is suppressed only on explicitly advertised knowledge confirmed by the
 /// partner's holdings filter ([`needs_fill`]); in full-digest mode the
 /// partner's current digest is the exact (stateless) suppression set.
+/// `priority` entries (batch-aware adverts) are offered before the
+/// popularity-ranked `hot` list.
 #[allow(clippy::too_many_arguments)]
 fn send_fills(
     from: &mut Frontend,
     to: &mut Frontend,
+    priority: &[(String, u64)],
     hot: &[(String, u64)],
     to_filter: Option<&ShardFilter>,
     net: &mut SimNet,
@@ -712,10 +889,14 @@ fn send_fills(
 ) {
     let mut fills: Vec<(ShardEntry, SimDuration)> = Vec::new();
     let mut batch_bytes = 0usize;
+    let mut offered: std::collections::HashSet<&str> = std::collections::HashSet::new();
     let to_peer = to.peer;
-    for (term, version) in hot {
+    for (term, version) in priority.iter().chain(hot) {
         if fills.len() >= fill_budget {
             break;
+        }
+        if !offered.insert(term.as_str()) {
+            continue;
         }
         if *version == 0 {
             continue;
@@ -1082,6 +1263,121 @@ mod tests {
             m.is_some_and(|m| m.alive),
             "rejoined member must be revived"
         );
+    }
+
+    #[test]
+    fn batch_adverts_ride_the_next_round_ahead_of_popularity() {
+        // A tiny hot set: the two popular terms fill every digest, so a
+        // freshly fetched (zero-popularity) shard would normally wait for
+        // anti-entropy. A batch advert promotes it into the very next
+        // round.
+        let mut config = GossipConfig::enabled(3);
+        config.hot_set_size = 2;
+        config.max_fills_per_exchange = 2;
+        let run = |batch_advertise: bool| -> (Option<u64>, u64) {
+            let mut config = config.clone();
+            config.batch_advertise = batch_advertise;
+            let (mut fleet, mut net) = fleet_with(config, 12);
+            let now = SimInstant::ZERO;
+            for term in ["hotA", "hotB"] {
+                fleet.cache_mut(0).store_shard(&shard(term, 1, 3), now);
+                fleet.observe(0, term, 1);
+                for _ in 0..8 {
+                    let _ = fleet.cache_mut(0).lookup_shard(term, now, 1);
+                }
+            }
+            // The batch window's fresh fetch: cold in popularity terms.
+            fleet.cache_mut(0).store_shard(&shard("fresh", 2, 3), now);
+            fleet.observe(0, "fresh", 2);
+            fleet.note_batch_fetches(0, &[("fresh".to_string(), 2)]);
+            fleet.run_round(&mut net, now, false);
+            let warmed = (1..3)
+                .filter_map(|i| fleet.frontend(i).cache().cached_shard_version("fresh"))
+                .max();
+            (warmed, fleet.stats().batch_adverts)
+        };
+        let (without, adverts_off) = run(false);
+        assert_eq!(without, None, "below the hot-set cut: nothing moves");
+        assert_eq!(adverts_off, 0);
+        let (with, adverts_on) = run(true);
+        assert_eq!(with, Some(2), "the advert warms a partner one round early");
+        assert!(adverts_on > 0);
+        // Adverts ride exactly one round, then the queue drains.
+        let mut config2 = config.clone();
+        config2.batch_advertise = true;
+        let (mut fleet, mut net) = fleet_with(config2, 12);
+        fleet
+            .cache_mut(0)
+            .store_shard(&shard("fresh", 2, 3), SimInstant::ZERO);
+        fleet.note_batch_fetches(0, &[("fresh".to_string(), 2)]);
+        assert_eq!(fleet.frontend(0).pending_adverts().len(), 1);
+        fleet.run_round(&mut net, SimInstant::ZERO, false);
+        assert!(fleet.frontend(0).pending_adverts().is_empty());
+    }
+
+    #[test]
+    fn holdings_filter_is_reused_while_nothing_changes() {
+        let (mut fleet, mut net) = fleet(3);
+        let now = SimInstant::ZERO;
+        for t in 0..8 {
+            let s = shard(&format!("term{t}"), 1, 3);
+            fleet.cache_mut(0).store_shard(&s, now);
+            fleet.observe(0, &s.term, 1);
+        }
+        // Round 1 moves fills (caches mutate: filters rebuild). Run more
+        // rounds at the same instant once the fleet converged: holdings
+        // stop changing, so every frontend serves its cached filter.
+        for _ in 0..3 {
+            fleet.run_round(&mut net, now, false);
+        }
+        let converged = *fleet.stats();
+        assert!(converged.filter_builds > 0);
+        fleet.run_round(&mut net, now, false);
+        let after = *fleet.stats();
+        let builds = after.filter_builds - converged.filter_builds;
+        let reuses = after.filter_reuses - converged.filter_reuses;
+        assert_eq!(builds, 0, "steady round must not rebuild any filter");
+        assert!(
+            reuses >= (after.exchanges - converged.exchanges) * 2,
+            "both sides of every steady exchange reuse ({reuses})"
+        );
+        // A holdings change invalidates the cached filter.
+        fleet.cache_mut(0).store_shard(&shard("newterm", 1, 2), now);
+        fleet.run_round(&mut net, now, false);
+        assert!(fleet.stats().filter_builds > after.filter_builds);
+    }
+
+    #[test]
+    fn rejoin_bumps_the_incarnation_and_resets_the_heartbeat() {
+        let (mut fleet, mut net) = fleet(3);
+        let now = SimInstant::ZERO;
+        for _ in 0..5 {
+            fleet.run_round(&mut net, now, false);
+        }
+        let old_heartbeat = fleet.frontend(2).heartbeat();
+        assert!(old_heartbeat >= 5);
+        assert_eq!(fleet.frontend(2).incarnation(), 0);
+        fleet.crash(&mut net, 2);
+        fleet.rejoin(&mut net, 2, now);
+        assert_eq!(fleet.frontend(2).incarnation(), 1, "restart bumps epoch");
+        assert_eq!(
+            fleet.frontend(2).heartbeat(),
+            0,
+            "a restarted process remembers no counter"
+        );
+        // Despite the lower heartbeat, the bumped incarnation makes the
+        // rejoined member's gossip supersede every stale view of it.
+        for _ in 0..3 {
+            fleet.run_round(&mut net, now, false);
+        }
+        let seen = fleet
+            .frontend(0)
+            .view()
+            .get(fleet.frontend_peer(2))
+            .expect("known member");
+        assert!(seen.alive);
+        assert_eq!(seen.incarnation, 1);
+        assert!(seen.heartbeat < old_heartbeat);
     }
 
     #[test]

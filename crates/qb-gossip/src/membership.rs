@@ -35,7 +35,14 @@ pub struct MemberInfo {
     pub peer: u64,
     /// The member's latency zone.
     pub zone: usize,
-    /// Highest heartbeat observed for this member.
+    /// Highest incarnation epoch observed for this member. A restarted
+    /// process bumps its incarnation (SWIM-style) and resets its heartbeat
+    /// to zero; liveness evidence compares `(incarnation, heartbeat)`
+    /// lexicographically, so a long-delayed summary from a previous
+    /// incarnation — no matter how high its heartbeat — can never outrank
+    /// the rejoined process.
+    pub incarnation: u64,
+    /// Highest heartbeat observed within the member's current incarnation.
     pub heartbeat: u64,
     /// When liveness evidence (direct exchange or fresher heartbeat) last
     /// arrived.
@@ -47,20 +54,29 @@ pub struct MemberInfo {
 }
 
 /// The compact membership gossip piggybacked on every digest exchange:
-/// `(peer, zone, heartbeat)` for every member the sender believes alive
-/// (itself included).
+/// `(peer, zone, incarnation, heartbeat)` for every member the sender
+/// believes alive (itself included).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MembershipSummary {
-    /// `(peer, zone, heartbeat)` triples.
-    pub entries: Vec<(u64, usize, u64)>,
+    /// `(peer, zone, incarnation, heartbeat)` tuples.
+    pub entries: Vec<(u64, usize, u64, u64)>,
 }
 
 impl MembershipSummary {
-    /// Bytes on the wire: a small frame plus a varint-budgeted triple per
-    /// entry (peer + zone byte + heartbeat).
+    /// Bytes on the wire: a small frame plus a varint-budgeted tuple per
+    /// entry (peer + zone byte + incarnation + heartbeat; incarnations
+    /// count process restarts, so their varint stays one byte in
+    /// practice).
     pub fn wire_bytes(&self) -> usize {
-        8 + self.entries.len() * 10
+        8 + self.entries.len() * 11
     }
+}
+
+/// Is liveness evidence `(a_inc, a_hb)` strictly fresher than
+/// `(b_inc, b_hb)`? Lexicographic: a bumped incarnation outranks any
+/// heartbeat of an older incarnation.
+pub fn fresher(a_inc: u64, a_hb: u64, b_inc: u64, b_hb: u64) -> bool {
+    (a_inc, a_hb) > (b_inc, b_hb)
 }
 
 /// One frontend's view of the fleet.
@@ -95,38 +111,61 @@ impl MembershipView {
         self.members.get(&peer)
     }
 
-    /// Insert or refresh a member as alive with the given heartbeat.
-    pub fn admit(&mut self, peer: u64, zone: usize, heartbeat: u64, now: SimInstant) {
+    /// Insert or refresh a member as alive with the given incarnation and
+    /// heartbeat (direct contact is liveness evidence even when the
+    /// counters themselves lag what we already knew).
+    pub fn admit(
+        &mut self,
+        peer: u64,
+        zone: usize,
+        incarnation: u64,
+        heartbeat: u64,
+        now: SimInstant,
+    ) {
         let entry = self.members.entry(peer).or_insert(MemberInfo {
             peer,
             zone,
+            incarnation,
             heartbeat,
             last_heard: now,
             failures: 0,
             alive: true,
         });
         entry.zone = zone;
-        entry.heartbeat = entry.heartbeat.max(heartbeat);
+        if fresher(incarnation, heartbeat, entry.incarnation, entry.heartbeat) {
+            entry.incarnation = incarnation;
+            entry.heartbeat = heartbeat;
+        }
         entry.last_heard = entry.last_heard.max(now);
         entry.failures = 0;
         entry.alive = true;
     }
 
     /// Tombstone a member on a graceful departure notice: mark it dead at
-    /// (at least) its final heartbeat. Keeping the entry — rather than
-    /// removing it — means lagging third-party summaries, which can carry
-    /// at most `final_heartbeat`, cannot re-admit the departed member as
-    /// alive; only a genuine rejoin (heartbeat bump) revives it.
-    pub fn mark_departed(&mut self, peer: u64, final_heartbeat: u64) {
+    /// (at least) its final `(incarnation, heartbeat)`. Keeping the entry —
+    /// rather than removing it — means lagging third-party summaries,
+    /// which can carry at most that evidence, cannot re-admit the departed
+    /// member as alive; only a genuine rejoin (incarnation bump) revives
+    /// it.
+    pub fn mark_departed(&mut self, peer: u64, final_incarnation: u64, final_heartbeat: u64) {
         let entry = self.members.entry(peer).or_insert(MemberInfo {
             peer,
             zone: 0,
+            incarnation: final_incarnation,
             heartbeat: final_heartbeat,
             last_heard: SimInstant::ZERO,
             failures: 0,
             alive: false,
         });
-        entry.heartbeat = entry.heartbeat.max(final_heartbeat);
+        if fresher(
+            final_incarnation,
+            final_heartbeat,
+            entry.incarnation,
+            entry.heartbeat,
+        ) {
+            entry.incarnation = final_incarnation;
+            entry.heartbeat = final_heartbeat;
+        }
         entry.alive = false;
     }
 
@@ -145,9 +184,12 @@ impl MembershipView {
         false
     }
 
-    /// Merge a gossiped summary: a fresher heartbeat refreshes (and
-    /// revives) the member, an unknown member is admitted. Entries about
-    /// `self_peer` are ignored (a frontend is the authority on itself).
+    /// Merge a gossiped summary: strictly fresher `(incarnation,
+    /// heartbeat)` evidence refreshes (and revives) the member, an unknown
+    /// member is admitted. Entries about `self_peer` are ignored (a
+    /// frontend is the authority on itself). A long-delayed summary
+    /// replaying a member's *previous* incarnation — even with an
+    /// arbitrarily high heartbeat — is stale evidence and changes nothing.
     /// Returns how many dead members were revived.
     pub fn merge_summary(
         &mut self,
@@ -156,13 +198,14 @@ impl MembershipView {
         now: SimInstant,
     ) -> usize {
         let mut revived = 0;
-        for &(peer, zone, heartbeat) in &summary.entries {
+        for &(peer, zone, incarnation, heartbeat) in &summary.entries {
             if peer == self_peer {
                 continue;
             }
             match self.members.get_mut(&peer) {
                 Some(m) => {
-                    if heartbeat > m.heartbeat {
+                    if fresher(incarnation, heartbeat, m.incarnation, m.heartbeat) {
+                        m.incarnation = incarnation;
                         m.heartbeat = heartbeat;
                         m.last_heard = m.last_heard.max(now);
                         m.failures = 0;
@@ -173,7 +216,7 @@ impl MembershipView {
                     }
                 }
                 None => {
-                    self.admit(peer, zone, heartbeat, now);
+                    self.admit(peer, zone, incarnation, heartbeat, now);
                 }
             }
         }
@@ -191,7 +234,7 @@ impl MembershipView {
                 .members
                 .values()
                 .filter(|m| m.alive)
-                .map(|m| (m.peer, m.zone, m.heartbeat))
+                .map(|m| (m.peer, m.zone, m.incarnation, m.heartbeat))
                 .collect(),
         }
     }
@@ -209,7 +252,7 @@ impl MembershipView {
     ) -> MembershipSummary {
         let mut entries = Vec::new();
         if let Some(me) = self.members.get(&self_peer) {
-            entries.push((me.peer, me.zone, me.heartbeat));
+            entries.push((me.peer, me.zone, me.incarnation, me.heartbeat));
         }
         let others: Vec<&MemberInfo> = self
             .members
@@ -221,7 +264,7 @@ impl MembershipView {
             let start = cursor % others.len();
             for k in 0..take {
                 let m = others[(start + k) % others.len()];
-                entries.push((m.peer, m.zone, m.heartbeat));
+                entries.push((m.peer, m.zone, m.incarnation, m.heartbeat));
             }
         }
         MembershipSummary { entries }
@@ -294,7 +337,7 @@ mod tests {
     fn view_of(members: &[(u64, usize)]) -> MembershipView {
         let mut v = MembershipView::new();
         for &(peer, zone) in members {
-            v.admit(peer, zone, 0, SimInstant::ZERO);
+            v.admit(peer, zone, 0, 0, SimInstant::ZERO);
         }
         v
     }
@@ -309,7 +352,7 @@ mod tests {
         assert!(s.wire_bytes() > MembershipSummary::default().wire_bytes());
 
         let mut other = MembershipView::new();
-        other.admit(9, 1, 5, SimInstant::ZERO);
+        other.admit(9, 1, 0, 5, SimInstant::ZERO);
         other.merge_summary(&s, 9, SimInstant::ZERO);
         assert_eq!(other.len(), 4);
         assert!(other.get(2).is_some());
@@ -321,26 +364,80 @@ mod tests {
     fn departure_tombstones_resist_lagging_summaries() {
         let mut v = view_of(&[(1, 0), (2, 0)]);
         // Member 1 gossiped up to heartbeat 7, then left gracefully.
-        v.admit(1, 0, 7, SimInstant::ZERO);
-        v.mark_departed(1, 7);
+        v.admit(1, 0, 0, 7, SimInstant::ZERO);
+        v.mark_departed(1, 0, 7);
         assert_eq!(v.alive_count(), 1);
         // A lagging third party still lists it alive at heartbeat <= 7;
         // that must not resurrect the tombstone.
         let lagging = MembershipSummary {
-            entries: vec![(1, 0, 7)],
+            entries: vec![(1, 0, 0, 7)],
         };
         assert_eq!(v.merge_summary(&lagging, 9, SimInstant::ZERO), 0);
         assert!(!v.get(1).unwrap().alive);
-        // A genuine rejoin bumps the heartbeat past the tombstone.
+        // A genuine rejoin bumps the incarnation past the tombstone (the
+        // restarted process starts its heartbeat over from zero).
         let rejoined = MembershipSummary {
-            entries: vec![(1, 0, 8)],
+            entries: vec![(1, 0, 1, 0)],
         };
         assert_eq!(v.merge_summary(&rejoined, 9, SimInstant::ZERO), 1);
         assert!(v.get(1).unwrap().alive);
         // Tombstoning an unknown peer records it dead.
-        v.mark_departed(5, 3);
+        v.mark_departed(5, 0, 3);
         assert!(!v.get(5).unwrap().alive);
         assert_eq!(v.get(5).unwrap().heartbeat, 3);
+    }
+
+    #[test]
+    fn delayed_summary_replay_cannot_confuse_a_rejoined_member() {
+        // The SWIM-style regression: member 1 ran to heartbeat 999 in
+        // incarnation 0, crashed, and rejoined as incarnation 1 with its
+        // heartbeat reset to 2. A long-delayed summary replaying the old
+        // incarnation's high heartbeat must be recognized as stale.
+        let mut v = view_of(&[(1, 0), (2, 0)]);
+        v.admit(1, 0, 1, 2, SimInstant::ZERO + SimDuration::from_secs(5));
+        let before = *v.get(1).unwrap();
+        assert_eq!((before.incarnation, before.heartbeat), (1, 2));
+
+        let delayed = MembershipSummary {
+            entries: vec![(1, 0, 0, 999)],
+        };
+        assert_eq!(
+            v.merge_summary(&delayed, 9, SimInstant::ZERO + SimDuration::from_secs(9)),
+            0
+        );
+        let after = *v.get(1).unwrap();
+        assert_eq!(
+            (after.incarnation, after.heartbeat),
+            (1, 2),
+            "stale-incarnation evidence must not overwrite the rejoin"
+        );
+        assert_eq!(
+            after.last_heard, before.last_heard,
+            "a replay is not liveness evidence"
+        );
+        // The rejoined member goes silent: the delayed replay must not
+        // have postponed its eviction either.
+        let evicted = v.evict_silent(
+            SimInstant::ZERO + SimDuration::from_secs(8),
+            SimDuration::from_secs(3),
+        );
+        assert!(evicted >= 1);
+        assert!(!v.get(1).unwrap().alive);
+        // And once dead, the same replay still cannot revive it...
+        assert_eq!(
+            v.merge_summary(&delayed, 9, SimInstant::ZERO + SimDuration::from_secs(9)),
+            0
+        );
+        assert!(!v.get(1).unwrap().alive);
+        // ...while genuinely fresher evidence from the live incarnation can.
+        let fresh = MembershipSummary {
+            entries: vec![(1, 0, 1, 3)],
+        };
+        assert_eq!(
+            v.merge_summary(&fresh, 9, SimInstant::ZERO + SimDuration::from_secs(9)),
+            1
+        );
+        assert!(v.get(1).unwrap().alive);
     }
 
     #[test]
@@ -373,12 +470,12 @@ mod tests {
         assert_eq!(v.alive_count(), 0);
         // A stale heartbeat does not revive; a fresher one does.
         let stale = MembershipSummary {
-            entries: vec![(1, 0, 0)],
+            entries: vec![(1, 0, 0, 0)],
         };
         assert_eq!(v.merge_summary(&stale, 7, SimInstant::ZERO), 0);
         assert_eq!(v.alive_count(), 0);
         let fresh = MembershipSummary {
-            entries: vec![(1, 0, 4)],
+            entries: vec![(1, 0, 0, 4)],
         };
         assert_eq!(v.merge_summary(&fresh, 7, SimInstant::ZERO), 1);
         assert_eq!(v.alive_count(), 1);
@@ -390,7 +487,7 @@ mod tests {
         let mut v = view_of(&[(1, 0), (2, 0)]);
         let t = SimDuration::from_secs(2);
         // A direct exchange refreshes liveness through admit().
-        v.admit(1, 0, 0, SimInstant::ZERO + SimDuration::from_secs(1));
+        v.admit(1, 0, 0, 0, SimInstant::ZERO + SimDuration::from_secs(1));
         let evicted = v.evict_silent(SimInstant::ZERO + SimDuration::from_secs(2), t);
         assert_eq!(evicted, 1, "only the silent member is evicted");
         assert!(v.get(1).unwrap().alive);

@@ -52,6 +52,14 @@ pub struct GossipStats {
     /// Dead members revived by a fresher gossiped heartbeat (partition
     /// heals, crash recoveries observed).
     pub revivals: u64,
+    /// Batch-aware advertisements that rode a digest ahead of hot-set
+    /// popularity (one count per advert per exchange it rode).
+    pub batch_adverts: u64,
+    /// Holdings filters actually built for delta-digest exchanges.
+    pub filter_builds: u64,
+    /// Holdings filters served from the per-frontend cache (unchanged
+    /// shard-tier generation at the same instant) instead of being rebuilt.
+    pub filter_reuses: u64,
 }
 
 impl GossipStats {

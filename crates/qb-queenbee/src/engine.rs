@@ -5,8 +5,9 @@ use crate::attacks::{CollusionAttack, ScraperAttack};
 use crate::bee::{BeeBehaviour, WorkerBee};
 use crate::config::QueenBeeConfig;
 use crate::defense::{verify_index_submissions, MinHashSignature};
-use crate::metrics::{FreshnessProbe, HoneyByRole};
-use crate::query::executor::{intersect_and_score, FetchSet, FetchedShard};
+use crate::metrics::{FreshnessProbe, HoneyByRole, QueryEngineStats};
+use crate::query::executor::{intersect_and_score, FetchSet, FetchedShard, WindowMemo};
+use crate::query::pipeline::{PipelineConfig, PipelineDriver, PipelineOutcome};
 use crate::query::plan::{plan_request, QueryPlan, StatsPlan, TermPlan};
 use crate::query::request::{RoutingPolicy, SearchRequest};
 use crate::query::response::{paginate, SearchResponse, StageCosts, TermProvenance};
@@ -67,12 +68,37 @@ pub struct SearchOutcome {
 /// The (at most one) statistics read performed for a whole batch window,
 /// shared by every query in the window that missed the stats cache.
 #[derive(Debug, Clone, Copy)]
-struct SharedStatsRead {
-    stats: IndexStats,
-    latency: SimDuration,
-    messages: u64,
+pub(crate) struct SharedStatsRead {
+    pub(crate) stats: IndexStats,
+    pub(crate) latency: SimDuration,
+    pub(crate) messages: u64,
     /// `seq` of the query that triggered (and is charged for) the read.
-    charged_to: u64,
+    pub(crate) charged_to: u64,
+    /// The simulated peer the read was issued from.
+    pub(crate) origin_peer: u64,
+}
+
+/// Group a window's freshly fetched shard keys by serving frontend for
+/// batch-aware gossip advertisement — the single definition both the
+/// back-to-back (`search_batch`) and pipelined (`score_window`) paths use.
+/// Only genuine batch windows (`batch` = the window held ≥ 2 queries)
+/// advertise; single-query serving keeps the exact PR 4 protocol.
+pub(crate) fn batch_advert_groups(
+    fetched: &FetchSet,
+    batch: bool,
+) -> HashMap<usize, Vec<(String, u64)>> {
+    let mut groups: HashMap<usize, Vec<(String, u64)>> = HashMap::new();
+    if batch {
+        for ((frontend, term), fetch) in fetched {
+            if let (Some(f), true) = (frontend, fetch.shard.version > 0) {
+                groups
+                    .entry(*f)
+                    .or_default()
+                    .push((term.clone(), fetch.shard.version));
+            }
+        }
+    }
+    groups
 }
 
 /// The assembled QueenBee deployment (Figure 1 of the paper).
@@ -127,6 +153,17 @@ pub struct QueenBee {
     writer_shard_reads: u64,
     /// Writer-path shard reads served from cache without touching the DHT.
     writer_shard_cache_hits: u64,
+    /// Genuine intersect+score computations across every search served
+    /// (window-memo hits excluded — that is the CPU the memo saves).
+    score_invocations: u64,
+    /// Scored lists served from a pipelined run's window memo.
+    window_memo_hits: u64,
+    /// Partial intersections reused across prefix-sharing queries.
+    window_memo_partial_hits: u64,
+    /// Windows executed by the pipelined engine.
+    pipelined_windows: u64,
+    /// Queries served through the pipelined engine.
+    pipelined_queries: u64,
     /// Freshness accounting across every search served.
     pub freshness: FreshnessProbe,
 }
@@ -189,6 +226,11 @@ impl QueenBee {
             join_peer_cursor: config.gossip.num_frontends as u64,
             writer_shard_reads: 0,
             writer_shard_cache_hits: 0,
+            score_invocations: 0,
+            window_memo_hits: 0,
+            window_memo_partial_hits: 0,
+            pipelined_windows: 0,
+            pipelined_queries: 0,
             freshness: FreshnessProbe::default(),
             net,
             dht,
@@ -976,8 +1018,60 @@ impl QueenBee {
     /// failed fetch aborts the whole batch with the first error.
     pub fn search_batch(&mut self, requests: Vec<SearchRequest>) -> QbResult<Vec<SearchResponse>> {
         let now = self.net.now();
+        let batch = requests.len() >= 2 && self.fleet.is_some();
 
         // Stage 1: plan every request against its frontend's cache tiers.
+        let plans = self.plan_window(requests)?;
+
+        // Stage 2: fetch each distinct missing term shard once, plus at most
+        // one statistics read for the whole window.
+        let (fetched, stats_read) = self.fetch_window(&plans)?;
+
+        // Stage 3: score, paginate and assemble each response, fanning the
+        // window's fetched shards out into every participating cache.
+        let batch_fetched = batch_advert_groups(&fetched, batch);
+        let mut responses = Vec::with_capacity(plans.len());
+        for plan in plans {
+            responses.push(self.serve_plan(plan, &fetched, &stats_read, now, None));
+        }
+        // Batch-aware gossip: a genuine batch window's fetched shard keys
+        // enter the serving frontends' next digest round.
+        for (frontend, terms) in batch_fetched {
+            self.note_batch_fetches(frontend, &terms);
+        }
+        if self.fleet.is_some() {
+            self.run_due_gossip();
+        }
+        Ok(responses)
+    }
+
+    /// Serve a request stream through the **pipelined execution engine**:
+    /// the stream is cut into windows of `config.window_size`, and up to
+    /// `config.max_windows_in_flight` windows overlap — window N+1 is
+    /// planned and its distinct-shard fetches issued while window N's
+    /// fetches are still in flight, with the per-link in-flight limits of
+    /// the simulated network queueing (and charging) any excess. Identical
+    /// and prefix-sharing queries across the in-flight window set resolve
+    /// against a version-tagged window memo instead of re-running
+    /// intersect/score. See [`crate::query::pipeline`] for the state
+    /// machine; experiment E13 measures the makespan win over back-to-back
+    /// windows and asserts byte-identical per-query results.
+    pub fn search_pipelined(
+        &mut self,
+        requests: Vec<SearchRequest>,
+        config: PipelineConfig,
+    ) -> QbResult<PipelineOutcome> {
+        let outcome = PipelineDriver::new(config).run(self, requests)?;
+        if self.fleet.is_some() {
+            self.run_due_gossip();
+        }
+        Ok(outcome)
+    }
+
+    /// Stage 1 of a window: plan every request against its frontend's
+    /// cache tiers (no network traffic; planning *is* the cache read).
+    pub(crate) fn plan_window(&mut self, requests: Vec<SearchRequest>) -> QbResult<Vec<QueryPlan>> {
+        let now = self.net.now();
         let mut plans: Vec<QueryPlan> = Vec::with_capacity(requests.len());
         for request in requests {
             let (origin_peer, frontend) = self.resolve_route(&request.routing)?;
@@ -999,15 +1093,22 @@ impl QueenBee {
             self.query_counter = seq;
             plans.push(plan);
         }
+        Ok(plans)
+    }
 
-        // Stage 2: fetch each distinct missing term shard once, plus at most
-        // one statistics read for the whole window. Iteration follows plan
-        // and term order, so the simulated network sees a deterministic
-        // request sequence. Each fetch uses the versioned read: the frontend
-        // knows the term's current version and digs past lagging replicas.
+    /// Stage 2 of a window: fetch each distinct missing `(frontend, term)`
+    /// shard once, plus at most one statistics read for the whole window.
+    /// Iteration follows plan and term order, so the simulated network sees
+    /// a deterministic request sequence. Each fetch uses the versioned
+    /// read: the frontend knows the term's current version and digs past
+    /// lagging replicas.
+    pub(crate) fn fetch_window(
+        &mut self,
+        plans: &[QueryPlan],
+    ) -> QbResult<(FetchSet, Option<SharedStatsRead>)> {
         let mut fetched = FetchSet::new();
         let mut stats_read: Option<SharedStatsRead> = None;
-        for plan in &plans {
+        for plan in plans {
             if plan.is_result_hit() {
                 continue;
             }
@@ -1020,6 +1121,7 @@ impl QueenBee {
                     latency: cost.latency,
                     messages: cost.messages,
                     charged_to: plan.seq,
+                    origin_peer: plan.origin_peer,
                 });
             }
             for term in plan.fetch_terms() {
@@ -1043,21 +1145,47 @@ impl QueenBee {
                         latency: cost.latency,
                         messages: cost.messages,
                         charged_to: plan.seq,
+                        origin_peer: plan.origin_peer,
                     },
                 );
             }
         }
+        Ok((fetched, stats_read))
+    }
 
-        // Stage 3: score, paginate and assemble each response, fanning the
-        // window's fetched shards out into every participating cache.
-        let mut responses = Vec::with_capacity(plans.len());
-        for plan in plans {
-            responses.push(self.serve_plan(plan, &fetched, &stats_read, now));
+    /// Queue a batch window's freshly fetched shard keys as batch-aware
+    /// gossip advertisements of the serving frontend (no-op outside fleet
+    /// mode or when `GossipConfig::batch_advertise` is off).
+    /// [`batch_advert_groups`] produces the per-frontend groups.
+    pub(crate) fn note_batch_fetches(&mut self, frontend: usize, terms: &[(String, u64)]) {
+        if let Some(fleet) = self.fleet.as_mut() {
+            fleet.note_batch_fetches(frontend, terms);
         }
-        if self.fleet.is_some() {
-            self.run_due_gossip();
+    }
+
+    /// Fold a pipelined run's counters into the engine-lifetime stats.
+    pub(crate) fn record_pipeline_run(
+        &mut self,
+        report: &crate::query::pipeline::PipelineReport,
+        memo: &WindowMemo,
+    ) {
+        self.pipelined_windows += report.windows as u64;
+        self.pipelined_queries += report.queries as u64;
+        self.window_memo_hits += memo.hits;
+        self.window_memo_partial_hits += memo.partial_hits;
+    }
+
+    /// Engine-lifetime counters of the query-serving path: real
+    /// intersect/score computations, window-memo savings and pipelined
+    /// window/query totals.
+    pub fn query_stats(&self) -> QueryEngineStats {
+        QueryEngineStats {
+            score_invocations: self.score_invocations,
+            window_memo_hits: self.window_memo_hits,
+            window_memo_partial_hits: self.window_memo_partial_hits,
+            pipelined_windows: self.pipelined_windows,
+            pipelined_queries: self.pipelined_queries,
         }
-        Ok(responses)
     }
 
     /// Resolve a request's routing policy to `(origin peer, frontend)`.
@@ -1126,13 +1254,15 @@ impl QueenBee {
     /// Stage 3 of the pipeline: turn one plan plus the window's shared
     /// fetches into a [`SearchResponse`], store what the serving cache
     /// should keep, record version observations, account freshness and
-    /// attach the ad.
-    fn serve_plan(
+    /// attach the ad. With a window memo, identical and prefix-sharing
+    /// queries in the in-flight window set skip the intersect/score work.
+    pub(crate) fn serve_plan(
         &mut self,
         plan: QueryPlan,
         fetched: &FetchSet,
         stats_read: &Option<SharedStatsRead>,
         now: qb_common::SimInstant,
+        memo: Option<&mut WindowMemo>,
     ) -> SearchResponse {
         let hit_latency = self.config.cache.hit_latency;
         let top_k = plan.request.top_k.unwrap_or(self.config.top_k);
@@ -1227,12 +1357,32 @@ impl QueenBee {
         let latency = shard_stage.max(stats_latency);
 
         // Score the full candidate list; pagination slices it afterwards.
-        let (full, candidates_scored) = intersect_and_score(
-            &shards,
-            &stats,
-            |name| self.ranks_by_name.get(name).copied().unwrap_or(0.0),
-            self.config.rank_weight,
-        );
+        // A window memo serves duplicate computations from its
+        // version-tagged entries; every genuine computation is counted.
+        let (full, candidates_scored, memo_hit) = match memo {
+            Some(m) => {
+                let key = WindowMemo::fingerprint(plan.frontend, &stats, &shards);
+                m.intersect_and_score(
+                    &key,
+                    &shards,
+                    &stats,
+                    |name| self.ranks_by_name.get(name).copied().unwrap_or(0.0),
+                    self.config.rank_weight,
+                )
+            }
+            None => {
+                let (full, scored) = intersect_and_score(
+                    &shards,
+                    &stats,
+                    |name| self.ranks_by_name.get(name).copied().unwrap_or(0.0),
+                    self.config.rank_weight,
+                );
+                (full, scored, false)
+            }
+        };
+        if !memo_hit {
+            self.score_invocations += 1;
+        }
 
         // Cache stores: fetched shards fan out into this query's serving
         // cache (negative entries included — an empty version-0 shard is
@@ -1672,6 +1822,144 @@ mod tests {
             batch_messages < seq_messages,
             "batching must cut total RPC messages ({batch_messages} vs {seq_messages})"
         );
+    }
+
+    #[test]
+    fn pipelined_execution_matches_sequential_results_and_cuts_makespan() {
+        use crate::query::{PipelineConfig, RoutingPolicy, SearchRequest};
+        let publish_set = |qb: &mut QueenBee| {
+            qb.publish(
+                1,
+                AccountId(1_000),
+                &page("wiki/a", "meadow honey nectar pollen", vec![]),
+            )
+            .unwrap();
+            qb.publish(
+                2,
+                AccountId(1_001),
+                &page("wiki/b", "meadow honey clover fields", vec![]),
+            )
+            .unwrap();
+            qb.seal();
+            qb.process_publish_events().unwrap();
+        };
+        // A duplicate-heavy stream: four windows of two, with the same
+        // query recurring across (and within) windows.
+        let queries = [
+            "meadow honey",
+            "meadow honey",
+            "honey nectar",
+            "meadow honey",
+            "meadow clover",
+            "honey nectar",
+            "meadow honey",
+            "clover fields",
+        ];
+        let requests = |offset: u64| -> Vec<SearchRequest> {
+            queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    SearchRequest::new(*q).route(RoutingPolicy::HashPeer(offset + i as u64))
+                })
+                .collect()
+        };
+
+        // Sequential reference (windows of one, no memo).
+        let mut sequential = engine();
+        publish_set(&mut sequential);
+        let mut seq_hits = Vec::new();
+        for req in requests(3) {
+            seq_hits.push(sequential.search_request(req).unwrap().hits);
+        }
+        let seq_invocations = sequential.query_stats().score_invocations;
+
+        // Back-to-back windows (the PR 3 path): makespan = sum of window
+        // latencies.
+        let mut b2b = engine();
+        publish_set(&mut b2b);
+        let mut b2b_makespan = SimDuration::ZERO;
+        for window in requests(3).chunks(2) {
+            let responses = b2b.search_batch(window.to_vec()).unwrap();
+            b2b_makespan += qb_simnet::parallel_latency(
+                &responses.iter().map(|r| r.latency).collect::<Vec<_>>(),
+            );
+        }
+        let b2b_invocations = b2b.query_stats().score_invocations;
+
+        // Pipelined: same stream, windows of two, overlapped.
+        let mut pipelined = engine();
+        publish_set(&mut pipelined);
+        let outcome = pipelined
+            .search_pipelined(
+                requests(3),
+                PipelineConfig {
+                    window_size: 2,
+                    max_windows_in_flight: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.responses.len(), queries.len());
+        for (resp, seq) in outcome.responses.iter().zip(&seq_hits) {
+            assert_eq!(&resp.hits, seq, "pipelined results must be byte-identical");
+        }
+        let report = outcome.report;
+        assert_eq!(report.windows, 4);
+        assert!(
+            report.makespan < b2b_makespan,
+            "overlap must beat back-to-back ({} vs {b2b_makespan})",
+            report.makespan
+        );
+        assert!(report.memo_hits > 0, "duplicate queries must hit the memo");
+        assert!(report.peak_windows_in_flight > 1, "windows must overlap");
+        let stats = pipelined.query_stats();
+        assert_eq!(stats.pipelined_windows, 4);
+        assert_eq!(stats.pipelined_queries, queries.len() as u64);
+        assert_eq!(stats.window_memo_hits, report.memo_hits);
+        assert!(
+            stats.score_invocations < b2b_invocations,
+            "memo must cut intersect/score invocations ({} vs {})",
+            stats.score_invocations,
+            b2b_invocations
+        );
+        assert!(stats.score_invocations < seq_invocations);
+        // The async tracker was fully drained.
+        assert_eq!(pipelined.net.async_in_flight(), 0);
+        assert_eq!(
+            pipelined.net.stats().async_ops,
+            report.shard_fetches + report.stats_reads
+        );
+    }
+
+    #[test]
+    fn depth_one_pipeline_degenerates_to_back_to_back() {
+        use crate::query::{PipelineConfig, RoutingPolicy, SearchRequest};
+        let mut qb = engine();
+        qb.publish(
+            1,
+            AccountId(1_000),
+            &page("wiki/a", "larkspur bumble crickets", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let requests: Vec<SearchRequest> = (0..4)
+            .map(|i| SearchRequest::new("larkspur crickets").route(RoutingPolicy::HashPeer(i)))
+            .collect();
+        let outcome = qb
+            .search_pipelined(
+                requests,
+                PipelineConfig {
+                    window_size: 2,
+                    max_windows_in_flight: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.report.peak_windows_in_flight, 1);
+        // With one window in flight the makespan is the sum of the window
+        // tails: no window ever overlaps another.
+        assert!(outcome.report.makespan >= outcome.responses[0].latency);
+        assert_eq!(outcome.responses.len(), 4);
     }
 
     fn cached_engine() -> QueenBee {

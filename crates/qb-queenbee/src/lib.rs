@@ -37,12 +37,15 @@ pub use config::QueenBeeConfig;
 pub use defense::{verify_index_submissions, MinHashSignature, VerificationOutcome};
 pub use engine::{PublishReport, QueenBee, SearchOutcome};
 pub use metrics::{
-    gini_coefficient, CacheMetrics, CacheReport, FreshnessProbe, HoneyByRole, TierMetrics,
+    gini_coefficient, CacheMetrics, CacheReport, FreshnessProbe, HoneyByRole, QueryEngineStats,
+    TierMetrics,
 };
 pub use qb_cache::{CacheConfig, EvictionPolicy};
 pub use qb_gossip::{
     DigestMode, GossipConfig, GossipFleet, GossipStats, MembershipView, ShardFilter, VersionVector,
 };
 pub use query::{
-    Freshness, QueryPlan, RoutingPolicy, SearchRequest, SearchResponse, StageCosts, TermProvenance,
+    Freshness, PipelineConfig, PipelineDriver, PipelineOutcome, PipelineReport, QueryPlan,
+    RoutingPolicy, SearchRequest, SearchResponse, StageCosts, TermProvenance, WindowMemo,
+    WindowState,
 };

@@ -43,6 +43,25 @@ impl fmt::Display for CacheReport {
     }
 }
 
+/// Engine-lifetime counters of the query-serving path: how much
+/// intersect/score CPU actually ran, how much the pipelined engine's
+/// window memo saved, and how much traffic went through the pipeline.
+/// Returned by [`crate::QueenBee::query_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct QueryEngineStats {
+    /// Genuine intersect+score computations performed (memo hits excluded).
+    pub score_invocations: u64,
+    /// Scored lists served from a pipelined run's window memo — duplicate
+    /// queries that skipped intersect/score entirely.
+    pub window_memo_hits: u64,
+    /// Partial intersections reused across prefix-sharing queries.
+    pub window_memo_partial_hits: u64,
+    /// Windows executed by the pipelined engine.
+    pub pipelined_windows: u64,
+    /// Queries served through the pipelined engine.
+    pub pipelined_queries: u64,
+}
+
 /// Measures how fresh search results are relative to the registry's current
 /// page versions — the quantity behind the paper's "crawling inevitably
 /// reduces the freshness of the search results".

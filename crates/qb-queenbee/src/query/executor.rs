@@ -6,10 +6,17 @@
 //! BM25 scoring, PageRank blending, ranking — and the bookkeeping that lets
 //! a batch window fetch each distinct missing term exactly once and fan the
 //! shard out to every query that needs it.
+//!
+//! For the pipelined engine ([`crate::query::pipeline`]) this module also
+//! holds the [`WindowMemo`]: a scoped memo of scored result lists and
+//! partial intersections, tagged with the exact per-term shard versions
+//! they were computed from, so identical and prefix-sharing queries in the
+//! in-flight window set skip the intersect/score work without ever serving
+//! a result computed from different data.
 
 use qb_common::SimDuration;
 use qb_index::{blend_with_rank, Bm25, IndexStats, PostingList, ScoredDoc, Scorer, ShardEntry};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One DHT shard fetch performed during a batch window, shared by every
 /// query in the window that needs the term.
@@ -24,6 +31,9 @@ pub struct FetchedShard {
     pub messages: u64,
     /// `seq` of the query that triggered the fetch.
     pub charged_to: u64,
+    /// The simulated peer the fetch was issued from (the pipeline driver
+    /// tracks the fetch as an in-flight operation of this peer).
+    pub origin_peer: u64,
 }
 
 /// The distinct shard fetches of one batch window, keyed by
@@ -60,7 +70,18 @@ pub fn intersect_and_score(
             candidates = candidates.union(&l);
         }
     }
+    score_candidates(&candidates, shards, stats, rank_of, rank_weight)
+}
 
+/// BM25-score and rank the candidate set against the query shards — the
+/// scoring tail shared by the plain and memoized intersection paths.
+fn score_candidates(
+    candidates: &PostingList,
+    shards: &[ShardEntry],
+    stats: &IndexStats,
+    rank_of: impl Fn(&str) -> f64,
+    rank_weight: f64,
+) -> (Vec<ScoredDoc>, usize) {
     let scorer = Bm25::default();
     let num_docs = stats.num_docs.max(1) as usize;
     let avg_len = stats.avg_len();
@@ -95,6 +116,147 @@ pub fn intersect_and_score(
             .then_with(|| a.doc_id.cmp(&b.doc_id))
     });
     (results, scored)
+}
+
+/// Cross-query result sharing across a pipelined run's window stream: a
+/// memo of fully scored result lists plus partial intersections. It lives
+/// for one `search_pipelined` call and is size-bounded
+/// ([`WindowMemo::MAX_SCORED`] / [`WindowMemo::MAX_PARTIAL`] — the maps
+/// reset wholesale at the cap, which only costs recomputation).
+///
+/// Correctness rests on the same per-term version tags the result cache
+/// uses: every memo entry is keyed by the exact `(term, shard version)`
+/// sequence (and collection statistics) the computation consumed, so a
+/// hit is provably the identical computation — never a "close enough"
+/// answer from different data. Both maps are scoped per serving frontend
+/// (every key carries the frontend slot): frontends are separate machines,
+/// and moving *results* between them is the gossip overlay's
+/// network-charged job ([`qb_cache::QueryCache::store_remote_result`]),
+/// not a free side channel of the pipeline.
+#[derive(Debug, Default)]
+pub struct WindowMemo {
+    /// Full-query memo: fingerprint → (full scored list, candidates scored).
+    scored: HashMap<String, (Vec<ScoredDoc>, usize)>,
+    /// Prefix memo: partial conjunctions over the length-sorted list order,
+    /// so `"a b"` and `"a b c"` share the `a ∩ b` work (within one
+    /// frontend's scope).
+    partial: HashMap<String, PostingList>,
+    /// Full scored lists served from the memo.
+    pub hits: u64,
+    /// Partial intersections reused while computing a memo miss.
+    pub partial_hits: u64,
+    /// Genuine intersect+score computations performed through the memo.
+    pub invocations: u64,
+}
+
+impl WindowMemo {
+    /// Cap on memoized scored lists before the memo resets.
+    pub const MAX_SCORED: usize = 4_096;
+    /// Cap on memoized partial intersections before they reset.
+    pub const MAX_PARTIAL: usize = 8_192;
+
+    /// Fingerprint of one query's scoring inputs: the serving frontend,
+    /// the collection statistics and the `(term, version)` sequence in
+    /// plan order. Identical fingerprints read identical shard data, so
+    /// the scored list is bit-reproducible.
+    pub fn fingerprint(
+        frontend: Option<usize>,
+        stats: &IndexStats,
+        shards: &[ShardEntry],
+    ) -> String {
+        use std::fmt::Write;
+        let mut key = match frontend {
+            Some(f) => format!("f{f}"),
+            None => "single".to_string(),
+        };
+        let _ = write!(key, "|d{}l{}", stats.num_docs, stats.total_len);
+        for shard in shards {
+            let _ = write!(key, "|{}@{}", shard.term, shard.version);
+        }
+        key
+    }
+
+    /// Memoized [`intersect_and_score`]: serve the scored list from the
+    /// memo when this exact computation already ran in the window set,
+    /// otherwise compute it (reusing any cached partial intersections) and
+    /// remember it. The third return value reports whether this was a memo
+    /// hit. Results are byte-identical to the unmemoized path: intersection
+    /// is set-algebra (order-insensitive) and scoring always iterates the
+    /// query's shards in plan order.
+    pub fn intersect_and_score(
+        &mut self,
+        key: &str,
+        shards: &[ShardEntry],
+        stats: &IndexStats,
+        rank_of: impl Fn(&str) -> f64,
+        rank_weight: f64,
+    ) -> (Vec<ScoredDoc>, usize, bool) {
+        if let Some((results, scored)) = self.scored.get(key) {
+            self.hits += 1;
+            return (results.clone(), *scored, true);
+        }
+        self.invocations += 1;
+        if self.scored.len() >= Self::MAX_SCORED {
+            self.scored.clear();
+        }
+        if self.partial.len() >= Self::MAX_PARTIAL {
+            self.partial.clear();
+        }
+
+        // Intersect smallest-first (exactly like the plain path), caching
+        // every prefix conjunction so a later query sharing the prefix
+        // resumes from the cached candidate set. Prefix keys inherit the
+        // fingerprint's frontend scope (everything before the first '|'):
+        // partial intersections never cross frontends either.
+        let scope = key.split('|').next().unwrap_or_default();
+        let mut lists: Vec<(String, PostingList)> = shards
+            .iter()
+            .map(|s| (format!("{}@{}", s.term, s.version), s.to_posting_list()))
+            .collect();
+        lists.sort_by_key(|(_, l)| l.len());
+        let prefix_keys: Vec<String> = lists
+            .iter()
+            .scan(scope.to_string(), |acc, (k, _)| {
+                acc.push('|');
+                acc.push_str(k);
+                Some(acc.clone())
+            })
+            .collect();
+        let cached_prefix = prefix_keys
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, k)| self.partial.contains_key(k.as_str()))
+            .map(|(i, _)| i);
+        let (mut candidates, start) = match cached_prefix {
+            Some(i) => {
+                self.partial_hits += 1;
+                (self.partial[prefix_keys[i].as_str()].clone(), i + 1)
+            }
+            None => match lists.first() {
+                Some((_, first)) => {
+                    self.partial.insert(prefix_keys[0].clone(), first.clone());
+                    (first.clone(), 1)
+                }
+                None => (PostingList::new(), 0),
+            },
+        };
+        for i in start..lists.len() {
+            candidates = candidates.intersect(&lists[i].1);
+            self.partial
+                .insert(prefix_keys[i].clone(), candidates.clone());
+        }
+        if candidates.is_empty() && shards.len() > 1 {
+            candidates = PostingList::new();
+            for (_, l) in &lists {
+                candidates = candidates.union(l);
+            }
+        }
+        let (results, scored) = score_candidates(&candidates, shards, stats, rank_of, rank_weight);
+        self.scored
+            .insert(key.to_string(), (results.clone(), scored));
+        (results, scored, false)
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +330,96 @@ mod tests {
         let (results, scored) = intersect_and_score(&shards, &stats(), |_| 0.0, 0.3);
         assert_eq!(results.len(), 25, "executor never truncates");
         assert_eq!(scored, 25);
+    }
+
+    #[test]
+    fn window_memo_returns_byte_identical_results() {
+        let shards = vec![
+            shard("alpha", &[(1, 3), (2, 1), (3, 1)]),
+            shard("beta", &[(2, 2), (3, 2)]),
+        ];
+        let (plain, plain_scored) = intersect_and_score(&shards, &stats(), |_| 0.0, 0.3);
+        let mut memo = WindowMemo::default();
+        let key = WindowMemo::fingerprint(None, &stats(), &shards);
+        let (first, first_scored, hit) =
+            memo.intersect_and_score(&key, &shards, &stats(), |_| 0.0, 0.3);
+        assert!(!hit, "cold memo computes");
+        assert_eq!(first, plain, "memoized path must match the plain path");
+        assert_eq!(first_scored, plain_scored);
+        // The identical query again: a memo hit, identical output, no new
+        // computation.
+        let (again, again_scored, hit) =
+            memo.intersect_and_score(&key, &shards, &stats(), |_| 0.0, 0.3);
+        assert!(hit);
+        assert_eq!(again, first);
+        assert_eq!(again_scored, first_scored);
+        assert_eq!(memo.hits, 1);
+        assert_eq!(memo.invocations, 1, "one real computation for two serves");
+    }
+
+    #[test]
+    fn window_memo_shares_prefix_intersections() {
+        // beta is the smallest list, alpha next: the sorted order for the
+        // two-term query is [beta, alpha], and the three-term query
+        // [beta, alpha, gamma] extends it — the beta ∩ alpha prefix is
+        // reused.
+        let two = vec![
+            shard("alpha", &[(1, 1), (2, 1), (3, 1)]),
+            shard("beta", &[(2, 2), (3, 2)]),
+        ];
+        let mut three = two.clone();
+        three.push(shard("gamma", &[(1, 1), (2, 1), (3, 1), (4, 1)]));
+        let mut memo = WindowMemo::default();
+        let key2 = WindowMemo::fingerprint(None, &stats(), &two);
+        let key3 = WindowMemo::fingerprint(None, &stats(), &three);
+        memo.intersect_and_score(&key2, &two, &stats(), |_| 0.0, 0.0);
+        assert_eq!(memo.partial_hits, 0);
+        let (results, _, hit) = memo.intersect_and_score(&key3, &three, &stats(), |_| 0.0, 0.0);
+        assert!(!hit, "different query: no full-memo hit");
+        assert_eq!(memo.partial_hits, 1, "the shared prefix is reused");
+        let (plain, _) = intersect_and_score(&three, &stats(), |_| 0.0, 0.0);
+        assert_eq!(results, plain);
+    }
+
+    #[test]
+    fn window_memo_fingerprints_separate_versions_and_frontends() {
+        let s = stats();
+        let shards_v1 = vec![shard("alpha", &[(1, 1)])];
+        let mut shards_v2 = shards_v1.clone();
+        shards_v2[0].version = 2;
+        let a = WindowMemo::fingerprint(None, &s, &shards_v1);
+        let b = WindowMemo::fingerprint(None, &s, &shards_v2);
+        assert_ne!(a, b, "a republished shard must never share an entry");
+        let f0 = WindowMemo::fingerprint(Some(0), &s, &shards_v1);
+        let f1 = WindowMemo::fingerprint(Some(1), &s, &shards_v1);
+        assert_ne!(f0, f1, "frontends never share compute for free");
+        // The prefix memo is frontend-scoped too: the same query computed
+        // on two frontends shares no partial intersections.
+        let two = vec![
+            shard("alpha", &[(1, 1), (2, 1)]),
+            shard("beta", &[(2, 2), (3, 2)]),
+        ];
+        let mut memo = WindowMemo::default();
+        let k0 = WindowMemo::fingerprint(Some(0), &s, &two);
+        let k1 = WindowMemo::fingerprint(Some(1), &s, &two);
+        let (r0, _, _) = memo.intersect_and_score(&k0, &two, &s, |_| 0.0, 0.0);
+        let (r1, _, hit) = memo.intersect_and_score(&k1, &two, &s, |_| 0.0, 0.0);
+        assert!(!hit, "different frontend: full memo must miss");
+        assert_eq!(
+            memo.partial_hits, 0,
+            "partial intersections must not cross frontends"
+        );
+        assert_eq!(memo.invocations, 2);
+        assert_eq!(r0, r1, "both frontends still compute the same answer");
+        let other_stats = IndexStats {
+            num_docs: 99,
+            total_len: 500,
+            version: 1,
+        };
+        assert_ne!(
+            WindowMemo::fingerprint(None, &other_stats, &shards_v1),
+            a,
+            "different collection statistics change the scores"
+        );
     }
 }

@@ -16,12 +16,24 @@
 //!    fetched **once** and fanned out to every query that needs it.
 //! 4. **response** — [`SearchResponse`] carries the paginated hits, a
 //!    per-stage cost trace and per-term cache provenance.
+//!
+//! On top of the stages sits the **pipelined execution engine**
+//! ([`pipeline`]): a [`PipelineDriver`] moves whole windows through an
+//! explicit `Planned → Fetching → Scoring → Done` state machine, overlaps
+//! up to `max_windows_in_flight` windows (window N+1's fetches issue while
+//! window N's are in flight, under the simulated network's per-link
+//! in-flight limits), and dedupes identical/prefix-sharing queries across
+//! the in-flight set through a version-tagged [`executor::WindowMemo`].
+//! [`crate::QueenBee::search_pipelined`] is the entry point.
 
 pub mod executor;
+pub mod pipeline;
 pub mod plan;
 pub mod request;
 pub mod response;
 
+pub use executor::WindowMemo;
+pub use pipeline::{PipelineConfig, PipelineDriver, PipelineOutcome, PipelineReport, WindowState};
 pub use plan::{PlannedTerm, QueryPlan, StatsPlan, TermPlan};
 pub use request::{Freshness, RoutingPolicy, SearchRequest};
 pub use response::{SearchResponse, StageCosts, TermProvenance};

@@ -19,13 +19,25 @@
 //! deterministic and easy to test, while producing realistic latency,
 //! message-count and availability shapes — which is all the experiments in
 //! EXPERIMENTS.md measure.
+//!
+//! For callers that overlap work instead of running stage-by-stage (the
+//! pipelined query engine in `qb-queenbee::query::pipeline`), the network
+//! additionally hands out **non-blocking request handles**:
+//! [`SimNet::send_async`] issues a single RPC and [`SimNet::begin_async_op`]
+//! wraps an already-executed compound operation (an iterative DHT lookup)
+//! into the in-flight tracker; both respect a per-link in-flight limit
+//! ([`NetConfig::max_in_flight_per_link`]) that queues excess operations
+//! behind the earliest completion and charges the queueing delay to
+//! [`NetStats`]. [`SimNet::poll_complete`] resolves a handle at a given
+//! instant, so a driver can interleave issue and completion on a virtual
+//! timeline while every message stays deterministically accounted.
 
 pub mod latency;
 pub mod net;
 pub mod stats;
 
 pub use latency::LatencyModel;
-pub use net::{NetConfig, RpcError, SimNet};
+pub use net::{AsyncCompletion, NetConfig, Poll, RpcError, RpcHandle, SimNet};
 pub use stats::{LatencyRecorder, NetStats, Summary};
 
 use qb_common::SimDuration;

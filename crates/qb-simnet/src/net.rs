@@ -4,6 +4,7 @@
 use crate::latency::LatencyModel;
 use crate::stats::NetStats;
 use qb_common::{DetRng, QbError, SimDuration, SimInstant};
+use std::collections::HashMap;
 
 /// Static configuration of a simulated network.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -19,6 +20,13 @@ pub struct NetConfig {
     pub zones: usize,
     /// Latency charged when an RPC to a dead/unreachable peer times out.
     pub timeout: SimDuration,
+    /// Maximum asynchronous operations a single link (or, for compound
+    /// operations, a single source peer) can have in flight at once. An
+    /// operation issued while the limit is reached queues behind the
+    /// earliest completion, and the queueing delay is charged to
+    /// [`NetStats`] — this is what makes pipelined overlap a modeled
+    /// resource instead of free parallelism.
+    pub max_in_flight_per_link: usize,
 }
 
 impl Default for NetConfig {
@@ -29,6 +37,7 @@ impl Default for NetConfig {
             bandwidth_bytes_per_sec: 12_500_000, // ~100 Mbit/s
             zones: 8,
             timeout: SimDuration::from_millis(500),
+            max_in_flight_per_link: 8,
         }
     }
 }
@@ -42,6 +51,7 @@ impl NetConfig {
             bandwidth_bytes_per_sec: 125_000_000,
             zones: 1,
             timeout: SimDuration::from_millis(50),
+            max_in_flight_per_link: 8,
         }
     }
 
@@ -82,6 +92,44 @@ impl From<RpcError> for QbError {
     }
 }
 
+/// Handle to an in-flight asynchronous operation issued with
+/// [`SimNet::send_async`] or [`SimNet::begin_async_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RpcHandle(u64);
+
+/// Completion record of an asynchronous operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncCompletion {
+    /// When the operation finished (queueing + service).
+    pub completed_at: SimInstant,
+    /// Service latency alone (propagation + transfer, or the wrapped
+    /// compound operation's latency).
+    pub latency: SimDuration,
+    /// Time spent queued behind the link's in-flight limit before the
+    /// operation could start.
+    pub queue_delay: SimDuration,
+}
+
+/// Result of polling an in-flight operation at a given instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// Still in flight; done no earlier than `completes_at`.
+    Pending {
+        /// The instant the operation will complete.
+        completes_at: SimInstant,
+    },
+    /// Finished; the handle is retired.
+    Ready(AsyncCompletion),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlightOp {
+    link: (u64, Option<u64>),
+    latency: SimDuration,
+    queue_delay: SimDuration,
+    completes_at: SimInstant,
+}
+
 #[derive(Debug, Clone)]
 struct PeerState {
     online: bool,
@@ -98,6 +146,12 @@ pub struct SimNet {
     rng: DetRng,
     clock: SimInstant,
     stats: NetStats,
+    /// Operations currently in flight, by handle.
+    in_flight: HashMap<u64, InFlightOp>,
+    /// Completion instants of in-flight operations per link, for the
+    /// per-link in-flight limit (kept pruned as operations retire).
+    link_completions: HashMap<(u64, Option<u64>), Vec<SimInstant>>,
+    next_handle: u64,
 }
 
 impl SimNet {
@@ -116,6 +170,9 @@ impl SimNet {
             rng: DetRng::new(seed),
             clock: SimInstant::ZERO,
             stats: NetStats::default(),
+            in_flight: HashMap::new(),
+            link_completions: HashMap::new(),
+            next_handle: 0,
         }
     }
 
@@ -360,6 +417,116 @@ impl SimNet {
         Ok(lat)
     }
 
+    // ----- non-blocking request handles -------------------------------------------
+
+    /// Issue a request/response RPC without blocking on its completion.
+    /// Message/byte accounting and failure sampling happen immediately
+    /// (exactly as in [`SimNet::rpc`]); the returned handle completes at
+    /// `now + queueing + service latency` and is resolved with
+    /// [`SimNet::poll_complete`]. At most
+    /// [`NetConfig::max_in_flight_per_link`] operations may occupy the
+    /// `from → to` link at once — excess requests queue behind the earliest
+    /// completion, and the queueing delay is charged to [`NetStats`].
+    pub fn send_async(
+        &mut self,
+        from: u64,
+        to: u64,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) -> Result<RpcHandle, RpcError> {
+        let service = self.rpc(from, to, request_bytes, response_bytes)?;
+        Ok(self.enqueue_async((from, Some(to)), self.clock, service))
+    }
+
+    /// Track an already-executed compound operation (e.g. an iterative DHT
+    /// lookup whose messages and bytes were charged by its synchronous
+    /// execution) as an in-flight asynchronous operation issued from `from`
+    /// at `at`. The source peer's aggregate in-flight limit applies: a
+    /// pipelined caller that issues more concurrent fetches than the peer's
+    /// link capacity pays real queueing delay instead of getting free
+    /// infinite parallelism. `at` may lie in the simulated future (pipeline
+    /// drivers run on a virtual cursor ahead of the shared clock).
+    pub fn begin_async_op(&mut self, from: u64, at: SimInstant, latency: SimDuration) -> RpcHandle {
+        let at = at.max(self.clock);
+        self.enqueue_async((from, None), at, latency)
+    }
+
+    fn enqueue_async(
+        &mut self,
+        link: (u64, Option<u64>),
+        at: SimInstant,
+        latency: SimDuration,
+    ) -> RpcHandle {
+        let capacity = self.config.max_in_flight_per_link.max(1);
+        let completions = self.link_completions.entry(link).or_default();
+        completions.retain(|&c| c > at);
+        completions.sort_unstable();
+        let started_at = if completions.len() >= capacity {
+            // Queue behind enough completions to free a slot.
+            completions[completions.len() - capacity]
+        } else {
+            at
+        };
+        let queue_delay = started_at.since(at);
+        let completes_at = started_at + latency;
+        completions.push(completes_at);
+        self.stats.async_ops += 1;
+        if queue_delay > SimDuration::ZERO {
+            self.stats.async_queued_ops += 1;
+            self.stats.async_queue_delay_us += queue_delay.as_micros();
+        }
+        self.next_handle += 1;
+        let handle = RpcHandle(self.next_handle);
+        self.in_flight.insert(
+            self.next_handle,
+            InFlightOp {
+                link,
+                latency,
+                queue_delay,
+                completes_at,
+            },
+        );
+        handle
+    }
+
+    /// Poll an in-flight operation at instant `at`. Returns `None` for an
+    /// unknown (or already-retired) handle. A `Ready` result retires the
+    /// handle; `Pending` reports when completion is due, so a driver can
+    /// advance its virtual clock to exactly that instant.
+    pub fn poll_complete(&mut self, handle: RpcHandle, at: SimInstant) -> Option<Poll> {
+        let op = self.in_flight.get(&handle.0)?;
+        if at < op.completes_at {
+            return Some(Poll::Pending {
+                completes_at: op.completes_at,
+            });
+        }
+        let op = self.in_flight.remove(&handle.0).expect("checked above");
+        if let Some(completions) = self.link_completions.get_mut(&op.link) {
+            if let Some(pos) = completions.iter().position(|&c| c == op.completes_at) {
+                completions.swap_remove(pos);
+            }
+            if completions.is_empty() {
+                self.link_completions.remove(&op.link);
+            }
+        }
+        Some(Poll::Ready(AsyncCompletion {
+            completed_at: op.completes_at,
+            latency: op.latency,
+            queue_delay: op.queue_delay,
+        }))
+    }
+
+    /// When an in-flight operation will complete (`None` for an unknown or
+    /// retired handle). Read-only — the handle stays live.
+    pub fn async_completes_at(&self, handle: RpcHandle) -> Option<SimInstant> {
+        self.in_flight.get(&handle.0).map(|op| op.completes_at)
+    }
+
+    /// Number of operations currently in flight (all links).
+    pub fn async_in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
     /// Transfer time of `bytes` at the configured bandwidth.
     pub fn transfer_time(&self, bytes: usize) -> SimDuration {
         if bytes == 0 || self.config.bandwidth_bytes_per_sec == 0 {
@@ -497,6 +664,113 @@ mod tests {
         net.heal_all();
         assert_eq!(net.stats().peer_up_events, 3);
         assert_eq!(net.stats().peer_down_events, 3);
+    }
+
+    #[test]
+    fn send_async_completes_at_the_service_latency() {
+        let mut net = lan(4, 21);
+        let h = net.send_async(0, 1, 100, 200).expect("online peers");
+        assert_eq!(net.async_in_flight(), 1);
+        assert_eq!(net.stats().rpcs, 1, "accounting happens at issue time");
+        assert_eq!(net.stats().bytes, 300);
+        let due = net.async_completes_at(h).expect("in flight");
+        assert!(due > net.now());
+        // Polling before completion reports when it is due.
+        match net.poll_complete(h, net.now()) {
+            Some(Poll::Pending { completes_at }) => assert_eq!(completes_at, due),
+            other => panic!("expected pending, got {other:?}"),
+        }
+        // Polling at (or past) completion retires the handle.
+        match net.poll_complete(h, due) {
+            Some(Poll::Ready(done)) => {
+                assert_eq!(done.completed_at, due);
+                assert_eq!(done.queue_delay, SimDuration::ZERO);
+                assert_eq!(done.latency, due.since(SimInstant::ZERO));
+            }
+            other => panic!("expected ready, got {other:?}"),
+        }
+        assert_eq!(net.async_in_flight(), 0);
+        assert!(net.poll_complete(h, due).is_none(), "handle retired");
+        assert_eq!(net.stats().async_ops, 1);
+        assert_eq!(net.stats().async_queued_ops, 0);
+    }
+
+    #[test]
+    fn send_async_fails_like_rpc() {
+        let mut net = lan(4, 22);
+        net.set_online(2, false);
+        assert_eq!(net.send_async(0, 2, 1, 1), Err(RpcError::PeerOffline));
+        assert_eq!(net.async_in_flight(), 0);
+        assert_eq!(net.stats().failed_rpcs, 1);
+    }
+
+    #[test]
+    fn link_capacity_queues_excess_operations() {
+        let mut cfg = NetConfig::lan();
+        cfg.max_in_flight_per_link = 2;
+        let mut net = SimNet::new(3, cfg, 23);
+        let t0 = net.now();
+        let handles: Vec<RpcHandle> = (0..4)
+            .map(|_| net.send_async(0, 1, 64, 64).unwrap())
+            .collect();
+        let completions: Vec<SimInstant> = handles
+            .iter()
+            .map(|&h| net.async_completes_at(h).unwrap())
+            .collect();
+        // The first two start immediately; the third starts when the
+        // earliest completes, the fourth when the second completes.
+        assert!(completions[2] > completions[0]);
+        assert!(completions[3] > completions[1]);
+        assert_eq!(net.stats().async_queued_ops, 2);
+        assert!(net.stats().async_queue_delay_us > 0);
+        // Retiring the queued operations reports their queueing delay.
+        let far = t0 + SimDuration::from_secs(60);
+        let mut total_queue = SimDuration::ZERO;
+        for h in handles {
+            match net.poll_complete(h, far) {
+                Some(Poll::Ready(done)) => total_queue += done.queue_delay,
+                other => panic!("expected ready, got {other:?}"),
+            }
+        }
+        assert_eq!(total_queue.as_micros(), net.stats().async_queue_delay_us);
+        assert!(net.link_completions.is_empty(), "tracker fully drained");
+    }
+
+    #[test]
+    fn begin_async_op_tracks_compound_operations_per_source_peer() {
+        let mut cfg = NetConfig::lan();
+        cfg.max_in_flight_per_link = 1;
+        let mut net = SimNet::new(3, cfg, 24);
+        let at = net.now() + SimDuration::from_millis(5);
+        let a = net.begin_async_op(0, at, SimDuration::from_millis(10));
+        let b = net.begin_async_op(0, at, SimDuration::from_millis(10));
+        // Different source peer: its own capacity, no queueing.
+        let c = net.begin_async_op(1, at, SimDuration::from_millis(10));
+        let done_a = net.async_completes_at(a).unwrap();
+        let done_b = net.async_completes_at(b).unwrap();
+        let done_c = net.async_completes_at(c).unwrap();
+        assert_eq!(done_a, at + SimDuration::from_millis(10));
+        assert_eq!(done_b, done_a + SimDuration::from_millis(10), "queued");
+        assert_eq!(done_c, at + SimDuration::from_millis(10));
+        // Messages/bytes are NOT double charged: the wrapped operation
+        // already paid for them synchronously.
+        assert_eq!(net.stats().messages, 0);
+        assert_eq!(net.stats().async_ops, 3);
+    }
+
+    #[test]
+    fn async_issue_is_deterministic() {
+        let run = |seed: u64| {
+            let mut net = SimNet::new(6, NetConfig::default(), seed);
+            (0..12)
+                .map(|i| {
+                    let h = net.send_async(i % 6, (i + 1) % 6, 64, 64).unwrap();
+                    net.async_completes_at(h).unwrap().as_micros()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
     }
 
     #[test]

@@ -21,6 +21,14 @@ pub struct NetStats {
     /// Peers that transitioned online→offline (churn: crashes, graceful
     /// departures).
     pub peer_down_events: u64,
+    /// Asynchronous operations issued (`send_async` / `begin_async_op`).
+    pub async_ops: u64,
+    /// Asynchronous operations that had to queue behind a link's in-flight
+    /// limit before starting.
+    pub async_queued_ops: u64,
+    /// Total queueing delay (µs) charged to asynchronous operations by the
+    /// per-link in-flight limits.
+    pub async_queue_delay_us: u64,
 }
 
 impl NetStats {
@@ -38,6 +46,13 @@ impl NetStats {
             peer_down_events: self
                 .peer_down_events
                 .saturating_sub(earlier.peer_down_events),
+            async_ops: self.async_ops.saturating_sub(earlier.async_ops),
+            async_queued_ops: self
+                .async_queued_ops
+                .saturating_sub(earlier.async_queued_ops),
+            async_queue_delay_us: self
+                .async_queue_delay_us
+                .saturating_sub(earlier.async_queue_delay_us),
         }
     }
 }
@@ -176,6 +191,9 @@ mod tests {
             dropped_messages: 0,
             peer_up_events: 1,
             peer_down_events: 2,
+            async_ops: 3,
+            async_queued_ops: 1,
+            async_queue_delay_us: 40,
         };
         let b = NetStats {
             messages: 25,
@@ -185,6 +203,9 @@ mod tests {
             dropped_messages: 1,
             peer_up_events: 2,
             peer_down_events: 5,
+            async_ops: 7,
+            async_queued_ops: 2,
+            async_queue_delay_us: 90,
         };
         let d = b.delta_since(&a);
         assert_eq!(d.messages, 15);
@@ -194,5 +215,8 @@ mod tests {
         assert_eq!(d.dropped_messages, 1);
         assert_eq!(d.peer_up_events, 1);
         assert_eq!(d.peer_down_events, 3);
+        assert_eq!(d.async_ops, 4);
+        assert_eq!(d.async_queued_ops, 1);
+        assert_eq!(d.async_queue_delay_us, 50);
     }
 }

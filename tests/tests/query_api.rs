@@ -395,3 +395,83 @@ fn responses_carry_stage_traces_and_respect_the_ads_flag() {
     assert_eq!(warm.trace.plan, warm.latency, "a hit is pure plan time");
     assert_eq!(warm.hits, cold.hits);
 }
+
+/// The pipelined engine over a gossiping fleet: overlapping windows routed
+/// across frontends return byte-identical hits to sequential execution,
+/// never serve anything stale, and the window memo only dedupes *within* a
+/// frontend (cross-frontend compute sharing is the gossip overlay's
+/// network-charged job, not the pipeline's).
+#[test]
+fn pipelined_fleet_stream_is_byte_identical_and_fresh() {
+    use qb_queenbee::PipelineConfig;
+    let corpus = corpus(0xF1BE, 20);
+    let workload = QueryWorkload::new(&corpus);
+    let pool = workload.generate_batch(&corpus, &mut DetRng::new(6), 16);
+    let zipf = ZipfSampler::new(pool.len(), 1.2);
+    let stream: Vec<usize> = {
+        let mut rng = DetRng::new(7);
+        (0..48).map(|_| zipf.sample(&mut rng)).collect()
+    };
+    const FLEET: usize = 3;
+    let fleet_engine = |seed: u64| {
+        let mut config = QueenBeeConfig::small();
+        config.num_peers = 32;
+        config.num_bees = 4;
+        config.seed = seed;
+        config.cache = CacheConfig::enabled();
+        config.gossip = GossipConfig::enabled(FLEET);
+        let mut qb = QueenBee::new(config).unwrap();
+        publish_all(&mut qb, &corpus);
+        qb
+    };
+    let request = |i: usize, q: usize| {
+        SearchRequest::new(pool[q].as_str()).route(RoutingPolicy::Direct(i % FLEET))
+    };
+
+    let mut sequential = fleet_engine(0xF1BE);
+    let mut seq_hits = Vec::new();
+    for (i, &q) in stream.iter().enumerate() {
+        seq_hits.push(sequential.search_request(request(i, q)).unwrap().hits);
+    }
+
+    let mut pipelined = fleet_engine(0xF1BE);
+    let requests: Vec<SearchRequest> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| request(i, q))
+        .collect();
+    let outcome = pipelined
+        .search_pipelined(
+            requests,
+            PipelineConfig {
+                window_size: 12,
+                max_windows_in_flight: 3,
+            },
+        )
+        .unwrap();
+    assert_eq!(outcome.responses.len(), seq_hits.len());
+    for (i, (resp, seq)) in outcome.responses.iter().zip(&seq_hits).enumerate() {
+        assert_eq!(&resp.hits, seq, "query {i} diverged from sequential");
+    }
+    assert_eq!(pipelined.freshness.stale_results, 0, "nothing stale served");
+    assert_eq!(
+        sequential.freshness.stale_results, 0,
+        "sequential reference is fresh too"
+    );
+    // The duplicate-heavy stream dedupes within frontends; the memo is
+    // bounded by the genuinely distinct (frontend, query) computations.
+    let report = outcome.report;
+    assert!(report.memo_hits > 0, "duplicates must hit the memo");
+    assert!(report.peak_windows_in_flight > 1, "windows must overlap");
+    let stats = pipelined.query_stats();
+    let scored_queries = outcome
+        .responses
+        .iter()
+        .filter(|r| !r.result_cache_hit())
+        .count();
+    assert_eq!(
+        stats.score_invocations + report.memo_hits,
+        scored_queries as u64,
+        "every non-result-cache query is either computed or memo-served"
+    );
+}
