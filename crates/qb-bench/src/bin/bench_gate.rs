@@ -8,11 +8,12 @@
 //!
 //! The gate reads the machine-readable tables the `experiments` binary
 //! writes, extracts the headline metrics from the optimized configurations
-//! of E9–E13 and fails when a current value regresses past the threshold
+//! of E9–E14 and fails when a current value regresses past the threshold
 //! (default 10%): lower-is-better metrics (DHT shard fetches, RPC
-//! messages, gossip bytes, stale serves, pipelined makespan) must not rise
-//! above `baseline * (1 + t)`, higher-is-better metrics (window-memo dedup
-//! hits, the batch-aware warm-round lead) must not fall below
+//! messages, gossip bytes, stale serves, pipelined makespan, open-loop
+//! tail latency and shed rate) must not rise above `baseline * (1 + t)`,
+//! higher-is-better metrics (window-memo dedup hits, the batch-aware
+//! warm-round lead, overload goodput) must not fall below
 //! `baseline * (1 - t)`. Zero-baselines are exact: any stale result served
 //! fails outright. Metrics whose table is missing from the *baseline* are
 //! reported and skipped (a new experiment lands before its baseline);
@@ -89,6 +90,13 @@ const CHECKS: &[Check] = &[
     lower("E13a", "config", "pipelined", "score_invocations"),
     higher("E13a", "config", "pipelined", "memo_hits"),
     higher("E13b", "config", "warm-round lead", "rounds_to_warm"),
+    // E14: open-loop admission control. Below saturation the tail must
+    // stay bounded and nothing may shed (zero baseline = exact check);
+    // above saturation goodput must hold up and shedding must not grow.
+    lower("E14a", "load", "0.25x", "p99_ms"),
+    lower("E14a", "load", "0.25x", "shed_rate_%"),
+    higher("E14a", "load", "4x", "goodput_qps"),
+    lower("E14a", "load", "4x", "shed_rate_%"),
 ];
 
 fn load(path: &str) -> Result<Vec<Value>, String> {
@@ -231,7 +239,7 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_gate: key metrics regressed >{:.0}% against {baseline_path}; \
              if intentional, regenerate the baseline with \
-             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12 e13` \
+             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12 e13 e14` \
              and copy bench-results/experiments.json over the baseline file.",
             threshold * 100.0
         );

@@ -29,6 +29,7 @@ fn main() {
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            "e14",
         ]
         .into_iter()
         .map(String::from)
@@ -53,8 +54,9 @@ fn main() {
             "e11" => e11_batch(quick),
             "e12" => e12_churn(quick),
             "e13" => e13_pipeline(quick),
+            "e14" => e14_open_loop(quick),
             other => {
-                eprintln!("unknown experiment '{other}' (use f1, e1..e13 or all)");
+                eprintln!("unknown experiment '{other}' (use f1, e1..e14 or all)");
                 Vec::new()
             }
         };
@@ -1335,7 +1337,7 @@ fn e12_churn(quick: bool) -> Vec<Table> {
         (0..JOIN_PROBES).map(|_| zipf.sample(&mut rng)).collect()
     };
 
-    let run = |mode: DigestMode| -> ChurnRun {
+    let run = |mode: DigestMode, zone_budgets: bool| -> ChurnRun {
         let mut config = qb_queenbee::QueenBeeConfig::small();
         config.num_peers = if quick { 64 } else { 96 };
         config.num_bees = 6;
@@ -1344,6 +1346,7 @@ fn e12_churn(quick: bool) -> Vec<Table> {
         config.cache = CacheConfig::enabled();
         config.gossip = GossipConfig::enabled_zoned(fleet_n, ZONES);
         config.gossip.digest_mode = mode;
+        config.gossip.zone_fill_budgets = zone_budgets;
         // The periodic full-digest safety net stays on in both runs, paced
         // for a steady fleet (the default 2s is tuned for small partition
         // tests; at 40 regular rounds per anti-entropy sweep the exact
@@ -1451,12 +1454,27 @@ fn e12_churn(quick: bool) -> Vec<Table> {
         }
     };
 
-    let full = run(DigestMode::Full);
-    let delta = run(DigestMode::Delta);
+    let full = run(DigestMode::Full, false);
+    let delta = run(DigestMode::Delta, false);
+    let zoned = run(DigestMode::Delta, true);
 
     // Acceptance criteria, asserted so the CI smoke job catches regressions.
     assert_eq!(full.stale, 0, "E12: full-digest run served stale results");
     assert_eq!(delta.stale, 0, "E12: delta-digest run served stale results");
+    assert_eq!(zoned.stale, 0, "E12: zone-budget run served stale results");
+    assert!(
+        zoned.stats.cross_zone_fill_bytes < delta.stats.cross_zone_fill_bytes,
+        "E12: zone-aware fill budgets must cut cross-zone fill bytes ({} vs {})",
+        zoned.stats.cross_zone_fill_bytes,
+        delta.stats.cross_zone_fill_bytes
+    );
+    assert!(
+        zoned.steady_hit_rate >= 0.9 * delta.steady_hit_rate,
+        "E12: zone budgets must not dent the steady-state hit rate \
+         ({:.2} vs {:.2})",
+        zoned.steady_hit_rate,
+        delta.steady_hit_rate
+    );
     assert!(
         full.steady_digest_bytes >= 5 * delta.steady_digest_bytes.max(1),
         "E12: delta digests must cut steady-state digest bytes >=5x ({} vs {})",
@@ -1488,7 +1506,11 @@ fn e12_churn(quick: bool) -> Vec<Table> {
             "stale_results",
         ],
     );
-    for (label, r) in [("full digests", &full), ("delta digests", &delta)] {
+    for (label, r) in [
+        ("full digests", &full),
+        ("delta digests", &delta),
+        ("delta + zone budgets", &zoned),
+    ] {
         t.row(&[
             label.into(),
             r.steady_digest_bytes.to_string(),
@@ -1544,6 +1566,40 @@ fn e12_churn(quick: bool) -> Vec<Table> {
         "joined / steady ratio".into(),
         f2(delta.joined_hit_rate / delta.steady_hit_rate.max(1e-9)),
     ]);
+    // Fill-byte zone split: what the zone-aware budgets move off the
+    // expensive cross-zone links (flat-budget run vs zone-budget run).
+    for (name, value) in [
+        (
+            "fill bytes intra-zone (flat budget)",
+            delta.stats.intra_zone_fill_bytes,
+        ),
+        (
+            "fill bytes cross-zone (flat budget)",
+            delta.stats.cross_zone_fill_bytes,
+        ),
+        (
+            "fill bytes intra-zone (zone budgets)",
+            zoned.stats.intra_zone_fill_bytes,
+        ),
+        (
+            "fill bytes cross-zone (zone budgets)",
+            zoned.stats.cross_zone_fill_bytes,
+        ),
+    ] {
+        t2.row(&[name.to_string(), value.to_string()]);
+    }
+    t2.row(&[
+        "cross-zone fill reduction".into(),
+        format!(
+            "{:.1}x",
+            delta.stats.cross_zone_fill_bytes as f64
+                / zoned.stats.cross_zone_fill_bytes.max(1) as f64
+        ),
+    ]);
+    t2.row(&[
+        "steady-state hit rate (zone budgets)".into(),
+        f2(zoned.steady_hit_rate),
+    ]);
     vec![t, t2]
 }
 
@@ -1593,6 +1649,13 @@ fn e13_pipeline(quick: bool) -> Vec<Table> {
         config.num_peers = 64;
         config.num_bees = 6;
         config.seed = 0xE13;
+        if quick {
+            // The quick stream is too short to fill the default 8-deep
+            // per-link budget, which left queue_delay pinned at 0.00 and the
+            // link-contention path untested in CI. Two in-flight ops per
+            // link make the smaller stream contend like the full one.
+            config.net.max_in_flight_per_link = 2;
+        }
         let mut qb = qb_bench::build_engine_with(config);
         publish_corpus(&mut qb, &corpus);
         qb
@@ -1680,6 +1743,13 @@ fn e13_pipeline(quick: bool) -> Vec<Table> {
         pipe_invocations < b2b_invocations,
         "E13: the memo must cut intersect/score invocations ({pipe_invocations} vs {b2b_invocations})"
     );
+    if quick {
+        assert!(
+            report.queue_delay > SimDuration::ZERO,
+            "E13: the quick stream must exercise per-link queueing (queue_delay stuck at 0 \
+             means the tightened in-flight budget stopped biting)"
+        );
+    }
 
     let title = format!(
         "E13a: pipelined (window {WINDOW}, depth {DEPTH}) vs back-to-back vs sequential on a \
@@ -1872,6 +1942,204 @@ fn e13_pipeline(quick: bool) -> Vec<Table> {
         "-".into(),
         "-".into(),
     ]);
+    vec![t, t2]
+}
+
+/// E14 — the open-loop saturation ladder: qb-load arrival traces replayed
+/// against a 4-frontend fleet with admission control. Part A steps the
+/// offered rate from well below to 4x nominal saturation (fresh engine per
+/// level, every level run twice and asserted bit-identical); part B throws
+/// a flash crowd at the fleet and shows bounded queues, shedding and
+/// `Fresh` → `CacheOk` degradation riding out the burst.
+fn e14_open_loop(quick: bool) -> Vec<Table> {
+    use qb_load::{replay, ArrivalTrace, RateShape, ReplayConfig, TraceConfig};
+    use qb_queenbee::{AdmissionConfig, CacheConfig, GossipConfig, LoadReport};
+
+    const FLEET: usize = 4;
+    const QUEUE_CAPACITY: usize = 32;
+    // Nominal saturation of this fleet under WAN latencies with a
+    // fresh-heavy mix (measured ~140-150 q/s of goodput); the ladder's "1x".
+    const SAT_QPS: f64 = 160.0;
+    let (num_pages, secs) = if quick { (20u64, 2u64) } else { (40, 6) };
+    let corpus = build_corpus(0xE14, num_pages as usize);
+
+    let build = || {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = 32;
+        config.num_bees = 4;
+        config.seed = 0xE14;
+        // WAN latencies, not the test LAN: a Fresh query costs ~100ms of
+        // simulated round-trips, so saturation sits at a few hundred q/s
+        // and the admission thresholds below are set against that.
+        config.net = qb_simnet::NetConfig::default();
+        config.cache = CacheConfig::enabled();
+        config.gossip = GossipConfig::enabled(FLEET);
+        config.admission = AdmissionConfig::enabled();
+        config.admission.queue_capacity = QUEUE_CAPACITY;
+        config.admission.window_size = 8;
+        config.admission.max_windows_in_flight = 2;
+        config.admission.degrade_threshold = SimDuration::from_millis(250);
+        config.admission.shed_threshold = SimDuration::from_millis(800);
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+        qb
+    };
+    let replay_cfg = ReplayConfig {
+        seed: 0xE14F,
+        fresh_fraction: 0.9,
+        top_k: 5,
+    };
+    let run_trace = |trace: &ArrivalTrace| -> LoadReport {
+        let mut qb = build();
+        let report = replay(&mut qb, trace, &replay_cfg).expect("open-loop replay");
+        assert_eq!(report.offered, trace.len() as u64);
+        assert!(
+            report.peak_queue_depth <= QUEUE_CAPACITY,
+            "E14: ingress queue depth {} exceeds its bound {QUEUE_CAPACITY}",
+            report.peak_queue_depth
+        );
+        report
+    };
+
+    // ----- Part A: constant-rate ladder ---------------------------------------------
+
+    let levels: [(&str, f64); 5] = [
+        ("0.25x", 0.25),
+        ("0.5x", 0.5),
+        ("1x", 1.0),
+        ("2x", 2.0),
+        ("4x", 4.0),
+    ];
+    let mut reports: Vec<(&str, LoadReport)> = Vec::new();
+    for (label, mult) in levels {
+        let trace = ArrivalTrace::generate(
+            &corpus,
+            &TraceConfig {
+                seed: 0xE14,
+                duration: SimDuration::from_secs(secs),
+                base_qps: SAT_QPS * mult,
+                shape: RateShape::Constant,
+                pool_size: 48,
+                ..TraceConfig::default()
+            },
+        );
+        let report = run_trace(&trace);
+        let rerun = run_trace(&trace);
+        assert_eq!(
+            report, rerun,
+            "E14: two replays of the {label} trace must be bit-identical"
+        );
+        reports.push((label, report));
+    }
+
+    // Acceptance criteria, asserted so the CI smoke job catches regressions.
+    let sub = &reports[0].1;
+    assert_eq!(sub.shed, 0, "E14: no shedding below saturation");
+    assert_eq!(
+        sub.completed, sub.offered,
+        "E14: 0.25x completes everything"
+    );
+    assert!(
+        sub.p99() < SimDuration::from_millis(500),
+        "E14: sub-saturation p99 {} must stay bounded",
+        sub.p99()
+    );
+    let peak_goodput = reports
+        .iter()
+        .map(|(_, r)| r.goodput_qps())
+        .fold(0.0, f64::max);
+    let over = &reports.last().expect("ladder").1;
+    assert!(
+        over.goodput_qps() >= 0.7 * peak_goodput,
+        "E14: goodput at 4x ({:.1} q/s) must hold >=70% of peak ({peak_goodput:.1} q/s)",
+        over.goodput_qps()
+    );
+    assert!(over.shed > 0, "E14: 4x overload must shed");
+    assert!(
+        over.shed_rate() < 0.95,
+        "E14: shedding must stay partial even at 4x ({:.1}%)",
+        100.0 * over.shed_rate()
+    );
+
+    let title = format!(
+        "E14a: open-loop saturation ladder — constant-rate Poisson traces ({secs}s, 90% Fresh, \
+         Zipf pool) against a {FLEET}-frontend fleet with admission control (1x = {SAT_QPS} q/s)"
+    );
+    let mut t = Table::new(
+        &title,
+        &[
+            "load",
+            "offered_qps",
+            "goodput_qps",
+            "shed_rate_%",
+            "degraded",
+            "p50_ms",
+            "p99_ms",
+            "p999_ms",
+            "peak_queue",
+        ],
+    );
+    for (label, r) in &reports {
+        t.row(&[
+            (*label).into(),
+            f2(r.offered as f64 / secs as f64),
+            f2(r.goodput_qps()),
+            f2(100.0 * r.shed_rate()),
+            r.degraded.to_string(),
+            f2(r.p50().as_millis_f64()),
+            f2(r.p99().as_millis_f64()),
+            f2(r.p999().as_millis_f64()),
+            r.peak_queue_depth.to_string(),
+        ]);
+    }
+
+    // ----- Part B: flash crowd ------------------------------------------------------
+
+    let burst_at = SimDuration::from_secs(secs / 2);
+    let burst_len = SimDuration::from_secs((secs / 2).max(1));
+    let flash = ArrivalTrace::generate(
+        &corpus,
+        &TraceConfig {
+            seed: 0xE14B,
+            duration: SimDuration::from_secs(secs),
+            base_qps: 0.5 * SAT_QPS,
+            shape: RateShape::FlashCrowd {
+                at: burst_at,
+                duration: burst_len,
+                multiplier: 12.0,
+            },
+            pool_size: 48,
+            ..TraceConfig::default()
+        },
+    );
+    let fr = run_trace(&flash);
+    assert!(fr.shed > 0, "E14b: the flash crowd must trigger shedding");
+    assert!(
+        fr.degraded > 0,
+        "E14b: burst pressure must degrade Fresh queries to CacheOk"
+    );
+    assert!(
+        fr.completed as f64 >= 0.25 * fr.offered as f64,
+        "E14b: goodput must survive the burst ({} of {})",
+        fr.completed,
+        fr.offered
+    );
+
+    let title2 = format!(
+        "E14b: flash crowd — 0.5x base rate with a 12x burst for {burst_len} \
+         starting at {burst_at}, same fleet and admission config"
+    );
+    let mut t2 = Table::new(&title2, &["metric", "value"]);
+    t2.row(&["offered".into(), fr.offered.to_string()]);
+    t2.row(&["admitted".into(), fr.admitted.to_string()]);
+    t2.row(&["degraded (Fresh->CacheOk)".into(), fr.degraded.to_string()]);
+    t2.row(&["shed".into(), fr.shed.to_string()]);
+    t2.row(&["shed_rate_%".into(), f2(100.0 * fr.shed_rate())]);
+    t2.row(&["goodput_qps".into(), f2(fr.goodput_qps())]);
+    t2.row(&["p50_ms".into(), f2(fr.p50().as_millis_f64())]);
+    t2.row(&["p99_ms".into(), f2(fr.p99().as_millis_f64())]);
+    t2.row(&["peak_queue".into(), fr.peak_queue_depth.to_string()]);
+    t2.row(&["pipeline_windows".into(), fr.windows.to_string()]);
     vec![t, t2]
 }
 

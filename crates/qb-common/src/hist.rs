@@ -1,0 +1,340 @@
+//! Deterministic log-bucketed latency histogram.
+//!
+//! The open-loop load harness needs tail percentiles (p50/p99/p999) over
+//! millions of per-query sojourn times without keeping the samples. This
+//! histogram buckets microsecond values like HDR histograms do: values
+//! below 64µs get exact unit buckets, and every power-of-two range above
+//! that is split into 32 linear sub-buckets, bounding the relative
+//! quantization error at ~3.1%. Bucketing is pure integer arithmetic on
+//! the value, so two runs that record the same samples — in any order —
+//! produce bit-identical histograms, and [`LatencyHistogram::merge`] of
+//! per-frontend histograms equals the histogram of the concatenated
+//! samples (property-tested).
+
+use crate::time::SimDuration;
+
+/// Sub-buckets per power-of-two octave (32 → ≤3.125% relative error).
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Values below this are counted in exact unit buckets.
+const LINEAR_CUTOFF: u64 = 1 << (SUB_BITS + 1);
+/// First octave handled by the logarithmic region.
+const FIRST_EXP: u32 = SUB_BITS + 1;
+
+/// A fixed-layout histogram of [`SimDuration`] samples with deterministic
+/// log-bucketed percentiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Sparse-tail bucket counts; indexes follow [`bucket_index`].
+    counts: Vec<u64>,
+    total: u64,
+    sum_micros: u64,
+    max_micros: u64,
+}
+
+/// Bucket index of a microsecond value.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // v ∈ [2^exp, 2^(exp+1)), exp ≥ 6
+    let sub = (v >> (exp - SUB_BITS)) - SUB_COUNT;
+    LINEAR_CUTOFF as usize + ((exp - FIRST_EXP) as usize * SUB_COUNT as usize) + sub as usize
+}
+
+/// Largest value falling into bucket `i` (the value percentile queries
+/// report, so a percentile never understates the samples in its bucket).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if (i as u64) < LINEAR_CUTOFF {
+        return i as u64;
+    }
+    let off = i as u64 - LINEAR_CUTOFF;
+    let exp = FIRST_EXP + (off / SUB_COUNT) as u32;
+    let sub = off % SUB_COUNT;
+    let width = 1u64 << (exp - SUB_BITS);
+    (SUB_COUNT + sub) * width + (width - 1)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_micros(d.as_micros());
+    }
+
+    /// Record one sample given in microseconds.
+    pub fn record_micros(&mut self, v: u64) {
+        let i = bucket_index(v);
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+        self.total += 1;
+        self.sum_micros = self.sum_micros.saturating_add(v);
+        self.max_micros = self.max_micros.max(v);
+    }
+
+    /// Fold another histogram into this one. Merging per-frontend
+    /// histograms is exactly equivalent to recording the concatenated
+    /// sample streams into one histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_micros(self.max_micros)
+    }
+
+    /// Mean of the recorded samples (exact sum over exact count).
+    pub fn mean(&self) -> SimDuration {
+        match self.sum_micros.checked_div(self.total) {
+            Some(mean) => SimDuration::from_micros(mean),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// The value at quantile `q` ∈ [0, 1]: the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)` (so the
+    /// reported value is ≥ at least `q` of the samples). Zero when empty.
+    pub fn value_at_quantile(&self, q: f64) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The max is exact and always ≥ every bucket member, so
+                // the top bucket reports it instead of its upper bound.
+                return SimDuration::from_micros(bucket_upper_bound(i).min(self.max_micros));
+            }
+        }
+        self.max()
+    }
+
+    /// Median.
+    pub fn p50(&self) -> SimDuration {
+        self.value_at_quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> SimDuration {
+        self.value_at_quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> SimDuration {
+        self.value_at_quantile(0.999)
+    }
+}
+
+impl std::fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} p999={} max={}",
+            self.total,
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.p999(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_the_linear_cutoff() {
+        for v in 0..LINEAR_CUTOFF {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        // Every value maps into a bucket whose bounds contain it, and
+        // bucket indexes never decrease as values grow.
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1_000,
+            65_535,
+            65_536,
+            1 << 20,
+            (1 << 21) - 1,
+            u64::MAX >> 1,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index regressed at {v}");
+            assert!(bucket_upper_bound(i) >= v, "upper bound below {v}");
+            if i > 0 {
+                assert!(bucket_upper_bound(i - 1) < v, "wrong bucket for {v}");
+            }
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_in_the_log_region() {
+        for v in [100u64, 1_000, 10_000, 123_456, 9_876_543] {
+            let ub = bucket_upper_bound(bucket_index(v));
+            let err = (ub - v) as f64 / v as f64;
+            assert!(err <= 0.04, "value {v}: bound {ub}, error {err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_on_a_known_uniform_distribution() {
+        // 1..=1000µs once each: p50 ≈ 500, p99 ≈ 990, p999 ≈ 999, within
+        // the ≤3.125% bucket quantization.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record_micros(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let close = |got: SimDuration, want: f64| {
+            let g = got.as_micros() as f64;
+            assert!(
+                g >= want && g <= want * 1.04,
+                "got {g}µs for expected ~{want}µs"
+            );
+        };
+        close(h.p50(), 500.0);
+        close(h.p99(), 990.0);
+        close(h.p999(), 999.0);
+        assert_eq!(h.max().as_micros(), 1000);
+        assert_eq!(h.mean().as_micros(), 500);
+    }
+
+    #[test]
+    fn exact_region_percentiles_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record_micros(v);
+        }
+        assert_eq!(h.p50().as_micros(), 5);
+        assert_eq!(h.value_at_quantile(1.0).as_micros(), 10);
+        assert_eq!(h.value_at_quantile(0.0).as_micros(), 1);
+    }
+
+    #[test]
+    fn skewed_distribution_tail_is_visible() {
+        // 980 fast samples and 20 slow ones: p50 stays fast, p99/p999
+        // surface the tail.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..980 {
+            h.record_micros(200);
+        }
+        for _ in 0..20 {
+            h.record_micros(50_000);
+        }
+        assert!(h.p50().as_micros() <= 207);
+        assert!(h.p99().as_micros() >= 50_000);
+        assert!(h.p999().as_micros() >= 50_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), SimDuration::ZERO);
+        assert_eq!(h.p999(), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_millis(3));
+        let s = h.to_string();
+        assert!(s.contains("n=1"), "{s}");
+        assert!(s.contains("p99"), "{s}");
+    }
+
+    proptest! {
+        #[test]
+        fn merged_histograms_equal_histogram_of_concatenated_samples(
+            a in proptest::collection::vec(0u64..2_000_000, 0..200),
+            b in proptest::collection::vec(0u64..2_000_000, 0..200),
+        ) {
+            let mut ha = LatencyHistogram::new();
+            let mut hb = LatencyHistogram::new();
+            for &v in &a {
+                ha.record_micros(v);
+            }
+            for &v in &b {
+                hb.record_micros(v);
+            }
+            let mut merged = ha.clone();
+            merged.merge(&hb);
+            let mut concat = LatencyHistogram::new();
+            for &v in a.iter().chain(&b) {
+                concat.record_micros(v);
+            }
+            prop_assert_eq!(merged, concat);
+        }
+
+        #[test]
+        fn percentile_never_understates_its_rank(
+            samples in proptest::collection::vec(0u64..10_000_000, 1..300),
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &v in &samples {
+                h.record_micros(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.5f64, 0.99, 0.999] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+                let exact = sorted[rank];
+                let got = h.value_at_quantile(q).as_micros();
+                prop_assert!(got >= exact, "q={} got {} exact {}", q, got, exact);
+                // ...and never overstates past the bucket error.
+                prop_assert!(
+                    got as f64 <= exact as f64 * 1.04 + 1.0,
+                    "q={} got {} exact {}",
+                    q,
+                    got,
+                    exact
+                );
+            }
+        }
+    }
+}

@@ -5,12 +5,14 @@
 //! vectors), the 256-bit identifier types used by the DHT and the content
 //! addressed storage, LEB128 variable-length integer encoding used by the
 //! inverted index, a deterministic random number generator so that every
-//! simulation in the repository is reproducible from a seed, and the logical
-//! clock used by the network simulator.
+//! simulation in the repository is reproducible from a seed, the logical
+//! clock used by the network simulator, and the deterministic log-bucketed
+//! latency histogram the load harness aggregates tail percentiles with.
 
 pub mod error;
 pub mod hash;
 pub mod hex;
+pub mod hist;
 pub mod id;
 pub mod rng;
 pub mod time;
@@ -18,6 +20,7 @@ pub mod varint;
 
 pub use error::{QbError, QbResult};
 pub use hash::{sha256, Hash256};
+pub use hist::LatencyHistogram;
 pub use id::{Cid, DhtKey, NodeId};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimInstant};

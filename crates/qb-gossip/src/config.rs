@@ -86,6 +86,19 @@ pub struct GossipConfig {
     /// the fleet grows). Anti-entropy and bootstrap exchanges always carry
     /// the full roster.
     pub membership_summary_budget: usize,
+    /// Zone-aware fill budgets: regular-round fills to a same-zone partner
+    /// get `intra_zone_fill_boost * max_fills_per_exchange` (bulk transfer
+    /// is cheap inside a zone), while fills crossing zones are capped at
+    /// `cross_zone_fill_budget` (the expensive links carry digests and only
+    /// a trickle of the hottest shards; anti-entropy and bootstrap budgets
+    /// are never scaled). Off by default so existing overlays keep their
+    /// exact byte profile.
+    pub zone_fill_budgets: bool,
+    /// Same-zone fill-budget multiplier when `zone_fill_budgets` is on.
+    pub intra_zone_fill_boost: usize,
+    /// Cross-zone fill cap per exchange direction when `zone_fill_budgets`
+    /// is on.
+    pub cross_zone_fill_budget: usize,
     /// Batch-aware gossip: a batch window's freshly fetched shard keys are
     /// queued on the serving frontend and ride its next digest round as
     /// priority advertisements (and priority fills), even when hot-set
@@ -115,6 +128,9 @@ impl Default for GossipConfig {
             liveness_timeout: SimDuration::from_secs(2),
             failure_threshold: 3,
             membership_summary_budget: 16,
+            zone_fill_budgets: false,
+            intra_zone_fill_boost: 2,
+            cross_zone_fill_budget: 4,
             batch_advertise: true,
             seed: 0x6055,
         }
@@ -153,6 +169,19 @@ impl GossipConfig {
     /// The fill budget of a join's bootstrap anti-entropy exchange.
     pub fn bootstrap_fill_budget(&self) -> usize {
         self.hot_set_size.max(self.max_fills_per_exchange)
+    }
+
+    /// The fill budget of a regular round's exchange, given whether the two
+    /// partners share a latency zone. With `zone_fill_budgets` off this is
+    /// always `max_fills_per_exchange`.
+    pub fn regular_fill_budget(&self, same_zone: bool) -> usize {
+        if !self.zone_fill_budgets {
+            self.max_fills_per_exchange
+        } else if same_zone {
+            self.max_fills_per_exchange * self.intra_zone_fill_boost
+        } else {
+            self.cross_zone_fill_budget.min(self.max_fills_per_exchange)
+        }
     }
 
     /// Validate the configuration.
@@ -216,6 +245,13 @@ impl GossipConfig {
                 "membership summaries need a positive entry budget".into(),
             ));
         }
+        if self.zone_fill_budgets
+            && (self.intra_zone_fill_boost == 0 || self.cross_zone_fill_budget == 0)
+        {
+            return Err(QbError::Config(
+                "zone fill budgets need a positive boost and cross-zone cap".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -238,6 +274,23 @@ mod tests {
         assert_eq!(z.zones, 4);
         assert!(z.validate().is_ok());
         assert_eq!(z.bootstrap_fill_budget(), z.hot_set_size);
+    }
+
+    #[test]
+    fn zone_fill_budgets_scale_by_zone() {
+        let mut c = GossipConfig::enabled_zoned(8, 4);
+        // Off: both directions get the flat budget.
+        assert_eq!(c.regular_fill_budget(true), c.max_fills_per_exchange);
+        assert_eq!(c.regular_fill_budget(false), c.max_fills_per_exchange);
+        c.zone_fill_budgets = true;
+        assert_eq!(
+            c.regular_fill_budget(true),
+            c.max_fills_per_exchange * c.intra_zone_fill_boost
+        );
+        assert_eq!(c.regular_fill_budget(false), c.cross_zone_fill_budget);
+        // The cross-zone cap never exceeds the flat budget.
+        c.cross_zone_fill_budget = 1_000;
+        assert_eq!(c.regular_fill_budget(false), c.max_fills_per_exchange);
     }
 
     #[test]
@@ -285,6 +338,15 @@ mod tests {
 
         let mut c = GossipConfig::enabled(4);
         c.membership_summary_budget = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GossipConfig::enabled(4);
+        c.zone_fill_budgets = true;
+        assert!(c.validate().is_ok());
+        c.cross_zone_fill_budget = 0;
+        assert!(c.validate().is_err());
+        c.cross_zone_fill_budget = 4;
+        c.intra_zone_fill_boost = 0;
         assert!(c.validate().is_err());
 
         // Fleet without gossip tolerates degenerate gossip knobs.

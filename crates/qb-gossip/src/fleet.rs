@@ -613,6 +613,15 @@ impl GossipFleet {
                 if j == i {
                     continue;
                 }
+                // Regular rounds respect the zone-aware fill budgets;
+                // anti-entropy keeps the flat budget (it is the safety
+                // net and must reconcile regardless of link cost).
+                let fill_budget = if anti_entropy {
+                    self.config.max_fills_per_exchange
+                } else {
+                    self.config
+                        .regular_fill_budget(zone == self.frontends[j].zone)
+                };
                 let (a, b) = pair_mut(&mut self.frontends, i, j);
                 exchange(
                     &self.config,
@@ -621,7 +630,7 @@ impl GossipFleet {
                     net,
                     now,
                     anti_entropy,
-                    self.config.max_fills_per_exchange,
+                    fill_budget,
                     &mut self.stats,
                 );
             }
@@ -925,6 +934,11 @@ fn send_fills(
         return;
     }
     stats.fill_bytes += batch_bytes as u64;
+    if from.zone == to.zone {
+        stats.intra_zone_fill_bytes += batch_bytes as u64;
+    } else {
+        stats.cross_zone_fill_bytes += batch_bytes as u64;
+    }
     for (shard, sender_ttl) in fills {
         stats.shards_pushed += 1;
         let known = to.known.get(&shard.term);
@@ -1395,5 +1409,73 @@ mod tests {
         // Exchanges happened and nothing was evicted in a healthy fleet.
         assert!(fleet.stats().exchanges > 0);
         assert_eq!(fleet.stats().evictions, 0);
+    }
+
+    #[test]
+    fn fill_bytes_are_split_by_zone_class() {
+        // An unzoned overlay charges every fill as intra-zone.
+        let (mut fleet, mut net) = fleet(3);
+        let now = SimInstant::ZERO;
+        fleet.cache_mut(0).store_shard(&shard("honey", 2, 4), now);
+        fleet.observe(0, "honey", 2);
+        fleet.run_round(&mut net, now, false);
+        let s = *fleet.stats();
+        assert!(s.fill_bytes > 0);
+        assert_eq!(s.intra_zone_fill_bytes, s.fill_bytes);
+        assert_eq!(s.cross_zone_fill_bytes, 0);
+
+        // A zoned overlay splits by whether the pair shares a zone label,
+        // and the two slices always sum to the total.
+        let mut config = GossipConfig::enabled_zoned(12, 3);
+        config.cross_zone_probability = 0.5;
+        let (mut fleet, mut net) = fleet_with(config, 24);
+        for t in 0..24 {
+            let s = shard(&format!("term{t}"), 1, 3);
+            fleet.cache_mut(0).store_shard(&s, now);
+            fleet.observe(0, &s.term, 1);
+        }
+        for _ in 0..10 {
+            fleet.run_round(&mut net, now, false);
+        }
+        let s = *fleet.stats();
+        assert!(s.intra_zone_fill_bytes > 0);
+        assert!(s.cross_zone_fill_bytes > 0);
+        assert_eq!(
+            s.intra_zone_fill_bytes + s.cross_zone_fill_bytes,
+            s.fill_bytes
+        );
+    }
+
+    #[test]
+    fn zone_budgets_throttle_cross_zone_fills() {
+        let run = |zone_budgets: bool| -> GossipStats {
+            let mut config = GossipConfig::enabled_zoned(12, 3);
+            config.cross_zone_probability = 0.5;
+            config.zone_fill_budgets = zone_budgets;
+            config.max_fills_per_exchange = 8;
+            config.cross_zone_fill_budget = 1;
+            // No anti-entropy inside the horizon: it reconciles at the flat
+            // budget and would blur the per-round accounting.
+            config.anti_entropy_interval = SimDuration::from_secs(3_600);
+            let (mut fleet, mut net) = fleet_with(config, 24);
+            let now = SimInstant::ZERO;
+            for t in 0..24 {
+                let s = shard(&format!("term{t}"), 1, 3);
+                fleet.cache_mut(0).store_shard(&s, now);
+                fleet.observe(0, &s.term, 1);
+            }
+            for _ in 0..3 {
+                fleet.run_round(&mut net, now, false);
+            }
+            *fleet.stats()
+        };
+        let flat = run(false);
+        let zoned = run(true);
+        assert!(
+            zoned.cross_zone_fill_bytes < flat.cross_zone_fill_bytes,
+            "cross-zone cap of 1 must cut cross-zone fill bytes ({} vs {})",
+            zoned.cross_zone_fill_bytes,
+            flat.cross_zone_fill_bytes
+        );
     }
 }

@@ -23,6 +23,13 @@ pub struct GossipStats {
     pub digest_bytes: u64,
     /// Bytes spent on shard fills.
     pub fill_bytes: u64,
+    /// The slice of `fill_bytes` that stayed inside a latency zone
+    /// (sender and receiver share a zone label; with an unzoned overlay
+    /// every fill counts here).
+    pub intra_zone_fill_bytes: u64,
+    /// The slice of `fill_bytes` that crossed latency zones — the
+    /// expensive links the zone-aware fill budgets exist to protect.
+    pub cross_zone_fill_bytes: u64,
     /// Shard fills sent.
     pub shards_pushed: u64,
     /// Shard fills accepted into a receiver's cache.
@@ -97,9 +104,11 @@ impl fmt::Display for GossipStats {
         )?;
         writeln!(
             f,
-            "  bytes: {} digest + {} fill + {} membership = {} total",
+            "  bytes: {} digest + {} fill ({} intra-zone / {} cross-zone) + {} membership = {} total",
             self.digest_bytes,
             self.fill_bytes,
+            self.intra_zone_fill_bytes,
+            self.cross_zone_fill_bytes,
             self.membership_bytes,
             self.total_bytes()
         )?;

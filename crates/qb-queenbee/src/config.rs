@@ -49,6 +49,11 @@ pub struct QueenBeeConfig {
     /// hot-shard digests and fills so one frontend's DHT fetch warms the
     /// rest of the fleet.
     pub gossip: GossipConfig,
+    /// Open-loop admission control: bounded per-frontend ingress queues,
+    /// load shedding and `Fresh` → `CacheOk` degradation. Default-off; only
+    /// [`crate::QueenBee::serve_open_loop`] consults it, so every
+    /// closed-loop path keeps its exact behavior.
+    pub admission: crate::query::admission::AdmissionConfig,
     /// Stake each bee deposits at registration (slashable).
     pub bee_stake: u64,
     /// Honey slashed from a bee caught submitting manipulated data.
@@ -75,6 +80,7 @@ impl Default for QueenBeeConfig {
             duplicate_threshold: 0.8,
             cache: CacheConfig::default(),
             gossip: GossipConfig::default(),
+            admission: crate::query::admission::AdmissionConfig::default(),
             bee_stake: 1_000,
             slash_amount: 500,
             seed: 0xBEE5,
@@ -124,6 +130,7 @@ impl QueenBeeConfig {
         }
         self.cache.validate()?;
         self.gossip.validate()?;
+        self.admission.validate()?;
         if self.gossip.num_frontends > 0 {
             if !self.cache.enabled {
                 return Err(QbError::Config(
@@ -205,5 +212,14 @@ mod tests {
         assert!(c.validate().is_ok());
         c.gossip.zones = 1;
         assert!(c.validate().is_ok(), "unzoned gossip runs on any net");
+        // An enabled admission layer with degenerate knobs is invalid;
+        // the default (disabled) tolerates them.
+        let mut c = QueenBeeConfig::small();
+        c.admission = crate::query::admission::AdmissionConfig::enabled();
+        assert!(c.validate().is_ok());
+        c.admission.window_size = 0;
+        assert!(c.validate().is_err());
+        c.admission.enabled = false;
+        assert!(c.validate().is_ok());
     }
 }

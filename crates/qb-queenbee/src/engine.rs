@@ -6,14 +6,15 @@ use crate::bee::{BeeBehaviour, WorkerBee};
 use crate::config::QueenBeeConfig;
 use crate::defense::{verify_index_submissions, MinHashSignature};
 use crate::metrics::{FreshnessProbe, HoneyByRole, QueryEngineStats};
+use crate::query::admission::{IngressQueue, LoadReport, TimedRequest};
 use crate::query::executor::{intersect_and_score, FetchSet, FetchedShard, WindowMemo};
 use crate::query::pipeline::{PipelineConfig, PipelineDriver, PipelineOutcome};
 use crate::query::plan::{plan_request, QueryPlan, StatsPlan, TermPlan};
-use crate::query::request::{RoutingPolicy, SearchRequest};
+use crate::query::request::{Freshness, RoutingPolicy, SearchRequest};
 use crate::query::response::{paginate, SearchResponse, StageCosts, TermProvenance};
 use qb_cache::{CacheMetrics, QueryCache, ShardLookup};
 use qb_chain::{AccountId, AdId, Blockchain, Call, Event};
-use qb_common::{DhtKey, Hash256, QbError, QbResult, SimDuration};
+use qb_common::{DhtKey, Hash256, QbError, QbResult, SimDuration, SimInstant};
 use qb_dht::DhtNetwork;
 use qb_dweb::{fetch_page_by_cid, publish_page, WebPage};
 use qb_gossip::{GossipFleet, GossipStats};
@@ -460,6 +461,15 @@ impl QueenBee {
     /// before anything else observes the new time.
     pub fn advance_time(&mut self, d: SimDuration) {
         self.net.advance(d);
+        self.run_due_gossip();
+    }
+
+    /// Advance the simulated clock to `at` (no-op when `at` is not in the
+    /// future). The open-loop admission layer moves the clock to each
+    /// dispatch instant with this, so gossip rounds fire on the arrival
+    /// timeline rather than in one burst at the end of a replay.
+    pub fn advance_time_to(&mut self, at: SimInstant) {
+        self.net.advance_to(at);
         self.run_due_gossip();
     }
 
@@ -1066,6 +1076,120 @@ impl QueenBee {
             self.run_due_gossip();
         }
         Ok(outcome)
+    }
+
+    /// Serve an **open-loop** arrival trace: each request is admitted (or
+    /// degraded, or shed) at its arrival instant against its frontend's
+    /// bounded ingress queue, queued work is dispatched through
+    /// [`QueenBee::search_pipelined`] in windows, and every query's sojourn
+    /// (arrival → response completion) lands in the returned
+    /// [`LoadReport`]'s histograms. Requires
+    /// [`AdmissionConfig::enabled`](crate::AdmissionConfig) in the engine
+    /// config; the closed-loop search paths never consult that config, so
+    /// deployments without it keep their exact behavior.
+    ///
+    /// Arrival offsets are relative to the current simulated instant; the
+    /// shared clock is advanced along the arrival timeline (firing due
+    /// gossip rounds on the way), never past it in one jump.
+    pub fn serve_open_loop(&mut self, arrivals: Vec<TimedRequest>) -> QbResult<LoadReport> {
+        let cfg = self.config.admission.clone();
+        if !cfg.enabled {
+            return Err(QbError::Config(
+                "serve_open_loop needs admission control enabled (config.admission.enabled)".into(),
+            ));
+        }
+        let pipeline = PipelineConfig {
+            window_size: cfg.window_size,
+            max_windows_in_flight: cfg.max_windows_in_flight,
+        };
+        let t0 = self.net.now();
+        let nf = self.num_frontends().max(1);
+        let mut queues: Vec<IngressQueue> = (0..nf).map(|_| IngressQueue::new(t0)).collect();
+        let mut report = LoadReport::default();
+        let mut last_completion = t0;
+
+        // Arrivals in time order (stable, so same-instant arrivals keep
+        // their trace order).
+        let mut arrivals = arrivals;
+        arrivals.sort_by_key(|a| a.offset);
+        let mut next_arrival = 0usize;
+
+        loop {
+            // The earliest pending event wins: the next trace arrival or
+            // the earliest frontend dispatch (ties broken by frontend
+            // index, arrivals before dispatches at the same instant so a
+            // same-instant arrival can still join the batch).
+            let draining = next_arrival >= arrivals.len();
+            let next_dispatch: Option<(SimInstant, usize)> = queues
+                .iter()
+                .enumerate()
+                .filter_map(|(f, q)| q.next_dispatch_at(&cfg, draining).map(|at| (at, f)))
+                .min();
+            let arrival_at = arrivals
+                .get(next_arrival)
+                .map(|a| t0 + a.offset)
+                .filter(|_| !draining);
+
+            match (arrival_at, next_dispatch) {
+                (Some(at), d) if d.is_none_or(|(dt, _)| at <= dt) => {
+                    // Admission decision at the arrival instant.
+                    let timed = &arrivals[next_arrival];
+                    next_arrival += 1;
+                    report.offered += 1;
+                    let (_, frontend) = self.resolve_route(&timed.request.routing)?;
+                    let f = frontend.unwrap_or(0).min(nf - 1);
+                    let q = &mut queues[f];
+                    let estimate = q.estimated_sojourn(at);
+                    if q.queue.len() >= cfg.queue_capacity || estimate > cfg.shed_threshold {
+                        report.shed += 1;
+                        continue;
+                    }
+                    let mut request = timed.request.clone();
+                    if estimate > cfg.degrade_threshold
+                        && matches!(request.freshness, Freshness::Fresh)
+                    {
+                        request.freshness = Freshness::CacheOk;
+                        report.degraded += 1;
+                    }
+                    report.admitted += 1;
+                    q.queue.push_back((at, request));
+                    report.peak_queue_depth = report.peak_queue_depth.max(q.queue.len());
+                }
+                (_, Some((at, f))) => {
+                    // Dispatch up to a pipeline's worth of queued work.
+                    let q = &mut queues[f];
+                    let take = q.queue.len().min(cfg.dispatch_limit());
+                    let batch: Vec<(SimInstant, SearchRequest)> = q.queue.drain(..take).collect();
+                    self.advance_time_to(at);
+                    let requests: Vec<SearchRequest> =
+                        batch.iter().map(|(_, r)| r.clone()).collect();
+                    let outcome = self.search_pipelined(requests, pipeline)?;
+                    for span in &outcome.window_spans {
+                        let range = span.first_query..span.first_query + span.queries;
+                        for ((arrived, _), response) in
+                            batch[range.clone()].iter().zip(&outcome.responses[range])
+                        {
+                            let done = span.issued_at + response.latency;
+                            report.sojourn.record(done.since(*arrived));
+                            report.queue_wait.record(span.issued_at.since(*arrived));
+                            report.completed += 1;
+                            last_completion = last_completion.max(done);
+                        }
+                    }
+                    report.dispatches += 1;
+                    report.windows += outcome.report.windows as u64;
+                    report.pipeline_queue_delay += outcome.report.queue_delay;
+                    let q = &mut queues[f];
+                    q.observe_service(batch.len(), outcome.report.makespan);
+                    q.busy_until = at + outcome.report.makespan;
+                }
+                (None, None) => break,
+                (Some(_), None) => unreachable!("draining filters the arrival"),
+            }
+        }
+
+        report.makespan = last_completion.since(t0);
+        Ok(report)
     }
 
     /// Stage 1 of a window: plan every request against its frontend's

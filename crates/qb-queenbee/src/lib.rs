@@ -45,7 +45,7 @@ pub use qb_gossip::{
     DigestMode, GossipConfig, GossipFleet, GossipStats, MembershipView, ShardFilter, VersionVector,
 };
 pub use query::{
-    Freshness, PipelineConfig, PipelineDriver, PipelineOutcome, PipelineReport, QueryPlan,
-    RoutingPolicy, SearchRequest, SearchResponse, StageCosts, TermProvenance, WindowMemo,
-    WindowState,
+    AdmissionConfig, Freshness, LoadReport, PipelineConfig, PipelineDriver, PipelineOutcome,
+    PipelineReport, QueryPlan, RoutingPolicy, SearchRequest, SearchResponse, StageCosts,
+    TermProvenance, TimedRequest, WindowMemo, WindowSpan, WindowState,
 };

@@ -1,0 +1,405 @@
+//! Admission control and load shedding for open-loop serving.
+//!
+//! Every earlier experiment drains a fixed query list as fast as the engine
+//! serves it (closed-loop), so the engine never sees *offered load* above
+//! its capacity. This module is the serving-side half of the open-loop
+//! harness (`qb-load` generates the arrival traces): each frontend gets a
+//! **bounded ingress queue** feeding [`crate::QueenBee::search_pipelined`]
+//! windows — there is no unbounded buffering anywhere — and an admission
+//! controller decides, at each query's arrival instant, whether to
+//!
+//! * **admit** it as-is,
+//! * **degrade** it (a [`Freshness::Fresh`] request is downgraded to
+//!   [`Freshness::CacheOk`], trading version-checked cache serving for a
+//!   guaranteed DHT round trip), or
+//! * **shed** it (rejected outright, the only honest answer once the
+//!   backlog would blow the latency target anyway).
+//!
+//! The controller's signal is the **estimated sojourn** of the arriving
+//! query: the frontend's remaining busy time plus its queued work, priced
+//! at an exponentially weighted estimate of observed per-query service
+//! time. The estimate is fed by the measured makespans of dispatched
+//! pipeline batches, which already embed the per-link queueing delay the
+//! [`crate::PipelineReport`] charges — so congestion inside the pipeline
+//! pushes the estimate up and trips degradation/shedding without any
+//! wall-clock input. Everything is integer arithmetic on simulated
+//! microseconds: two runs of the same trace produce bit-identical
+//! [`LoadReport`]s.
+//!
+//! [`Freshness::Fresh`]: crate::query::request::Freshness::Fresh
+//! [`Freshness::CacheOk`]: crate::query::request::Freshness::CacheOk
+
+use qb_common::{LatencyHistogram, QbError, QbResult, SimDuration, SimInstant};
+
+use crate::query::request::SearchRequest;
+
+/// Knobs of the per-frontend admission/backpressure layer. Disabled by
+/// default: nothing outside [`crate::QueenBee::serve_open_loop`] consults
+/// it, so every closed-loop path keeps its exact behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Master switch; [`crate::QueenBee::serve_open_loop`] refuses to run
+    /// while off, and nothing else reads this config.
+    pub enabled: bool,
+    /// Hard bound on queries queued per frontend; an arrival that finds
+    /// the queue full is shed unconditionally (the no-unbounded-buffering
+    /// guarantee).
+    pub queue_capacity: usize,
+    /// Queries per pipeline window a dispatch cuts its batch into.
+    pub window_size: usize,
+    /// Pipeline depth (windows in flight) per dispatched batch.
+    pub max_windows_in_flight: usize,
+    /// A queued query older than this forces a partial-window dispatch, so
+    /// light load is not penalized waiting for a full window.
+    pub max_batch_delay: SimDuration,
+    /// Estimated sojourn above which a `Fresh` arrival is degraded to
+    /// `CacheOk` (first, cheaper relief valve).
+    pub degrade_threshold: SimDuration,
+    /// Estimated sojourn above which an arrival is shed even though the
+    /// queue still has room (second valve; keeps the tail bounded).
+    pub shed_threshold: SimDuration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            queue_capacity: 64,
+            window_size: 16,
+            max_windows_in_flight: 2,
+            max_batch_delay: SimDuration::from_millis(2),
+            degrade_threshold: SimDuration::from_millis(25),
+            shed_threshold: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// An enabled configuration with the default knobs.
+    pub fn enabled() -> AdmissionConfig {
+        AdmissionConfig {
+            enabled: true,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    /// Validate the configuration (only when enabled; a disabled config
+    /// tolerates degenerate knobs, like the gossip config does).
+    pub fn validate(&self) -> QbResult<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.queue_capacity == 0 {
+            return Err(QbError::Config(
+                "admission queue capacity must be positive".into(),
+            ));
+        }
+        if self.window_size == 0 || self.max_windows_in_flight == 0 {
+            return Err(QbError::Config(
+                "admission window size and pipeline depth must be positive".into(),
+            ));
+        }
+        if self.degrade_threshold > self.shed_threshold {
+            return Err(QbError::Config(
+                "admission degrade threshold must not exceed the shed threshold".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Most queries one dispatch hands to the pipeline (a full pipeline's
+    /// worth of windows).
+    pub(crate) fn dispatch_limit(&self) -> usize {
+        self.window_size.max(1) * self.max_windows_in_flight.max(1)
+    }
+}
+
+/// A query plus its arrival offset on the open-loop timeline (relative to
+/// the instant the replay starts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedRequest {
+    /// Arrival offset from the start of the replay.
+    pub offset: SimDuration,
+    /// The request itself.
+    pub request: SearchRequest,
+}
+
+impl TimedRequest {
+    /// A request arriving `offset` after the replay starts.
+    pub fn new(offset: SimDuration, request: SearchRequest) -> TimedRequest {
+        TimedRequest { offset, request }
+    }
+}
+
+/// What one open-loop replay did: admission counters, first-class latency
+/// accounting (per-query sojourn and queue-wait histograms) and goodput.
+/// Derived `PartialEq` makes "two replays of the same trace are
+/// bit-identical" a one-line assertion.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Queries the trace offered.
+    pub offered: u64,
+    /// Queries admitted (including degraded ones).
+    pub admitted: u64,
+    /// Admitted `Fresh` queries downgraded to `CacheOk`.
+    pub degraded: u64,
+    /// Queries rejected (queue full or shed threshold).
+    pub shed: u64,
+    /// Admitted queries served to completion.
+    pub completed: u64,
+    /// Pipeline windows dispatched.
+    pub windows: u64,
+    /// Dispatched batches (each one `search_pipelined` call).
+    pub dispatches: u64,
+    /// Deepest any frontend's ingress queue ever got (≤ the configured
+    /// capacity by construction).
+    pub peak_queue_depth: usize,
+    /// Per-query sojourn (arrival → response completion).
+    pub sojourn: LatencyHistogram,
+    /// Per-query ingress wait (arrival → window issue).
+    pub queue_wait: LatencyHistogram,
+    /// Total per-link queueing delay the dispatched pipelines charged.
+    pub pipeline_queue_delay: SimDuration,
+    /// Replay start → last completion.
+    pub makespan: SimDuration,
+}
+
+impl LoadReport {
+    /// Fraction of offered queries shed (0.0 when nothing was offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+
+    /// Completed queries per simulated second of makespan.
+    pub fn goodput_qps(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Median sojourn.
+    pub fn p50(&self) -> SimDuration {
+        self.sojourn.p50()
+    }
+
+    /// 99th-percentile sojourn.
+    pub fn p99(&self) -> SimDuration {
+        self.sojourn.p99()
+    }
+
+    /// 99.9th-percentile sojourn.
+    pub fn p999(&self) -> SimDuration {
+        self.sojourn.p999()
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "load: {} offered, {} admitted ({} degraded), {} shed ({:.1}%), {} completed",
+            self.offered,
+            self.admitted,
+            self.degraded,
+            self.shed,
+            100.0 * self.shed_rate(),
+            self.completed,
+        )?;
+        writeln!(
+            f,
+            "  sojourn: {} | goodput {:.1} q/s over {}",
+            self.sojourn,
+            self.goodput_qps(),
+            self.makespan
+        )?;
+        writeln!(
+            f,
+            "  pipeline: {} dispatches, {} windows, peak queue {}, link queue delay {}",
+            self.dispatches, self.windows, self.peak_queue_depth, self.pipeline_queue_delay
+        )
+    }
+}
+
+/// One frontend's bounded ingress queue plus the controller state scoped
+/// to it (busy horizon and the service-time estimate its dispatches feed).
+#[derive(Debug)]
+pub(crate) struct IngressQueue {
+    /// Queued `(arrival, request)` pairs, oldest first.
+    pub(crate) queue: std::collections::VecDeque<(SimInstant, SearchRequest)>,
+    /// When the frontend finishes its most recently dispatched batch.
+    pub(crate) busy_until: SimInstant,
+    /// EWMA of observed per-query service time in microseconds (0 until
+    /// the first dispatch completes).
+    pub(crate) service_est_us: u64,
+}
+
+impl IngressQueue {
+    pub(crate) fn new(start: SimInstant) -> IngressQueue {
+        IngressQueue {
+            queue: std::collections::VecDeque::new(),
+            busy_until: start,
+            service_est_us: 0,
+        }
+    }
+
+    /// The sojourn an arrival at `now` would see if admitted: remaining
+    /// busy time, plus the queued backlog (itself included) priced at the
+    /// observed per-query service estimate.
+    pub(crate) fn estimated_sojourn(&self, now: SimInstant) -> SimDuration {
+        let backlog = (self.queue.len() as u64 + 1).saturating_mul(self.service_est_us);
+        SimDuration::from_micros(
+            self.busy_until
+                .since(now)
+                .as_micros()
+                .saturating_add(backlog),
+        )
+    }
+
+    /// Fold a dispatched batch's measured per-query service time into the
+    /// EWMA (weight 1/4 new, 3/4 history — smooth enough to ride out one
+    /// lucky all-cached batch, fast enough to track a flash crowd).
+    pub(crate) fn observe_service(&mut self, batch_len: usize, makespan: SimDuration) {
+        if batch_len == 0 {
+            return;
+        }
+        let per_query = makespan.as_micros() / batch_len as u64;
+        self.service_est_us = if self.service_est_us == 0 {
+            per_query
+        } else {
+            (3 * self.service_est_us + per_query) / 4
+        };
+    }
+
+    /// When this queue wants to dispatch next, given the admission config:
+    /// immediately once a full pipeline of work (or the batch-delay
+    /// deadline of its oldest entry) is reached, but never before the
+    /// frontend is free. `None` while empty.
+    pub(crate) fn next_dispatch_at(
+        &self,
+        cfg: &AdmissionConfig,
+        drain: bool,
+    ) -> Option<SimInstant> {
+        let oldest = self.queue.front()?.0;
+        let limit = cfg.dispatch_limit();
+        let trigger = if drain {
+            oldest
+        } else if self.queue.len() >= limit {
+            // The arrival that filled the pipeline's worth of work.
+            self.queue[limit - 1].0
+        } else {
+            oldest + cfg.max_batch_delay
+        };
+        Some(trigger.max(self.busy_until))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off_and_valid() {
+        let c = AdmissionConfig::default();
+        assert!(!c.enabled);
+        assert!(c.validate().is_ok());
+        let e = AdmissionConfig::enabled();
+        assert!(e.enabled);
+        assert!(e.validate().is_ok());
+        assert_eq!(e.dispatch_limit(), e.window_size * e.max_windows_in_flight);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_only_when_enabled() {
+        let mut c = AdmissionConfig::enabled();
+        c.queue_capacity = 0;
+        assert!(c.validate().is_err());
+        c.enabled = false;
+        assert!(c.validate().is_ok());
+
+        let mut c = AdmissionConfig::enabled();
+        c.window_size = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = AdmissionConfig::enabled();
+        c.degrade_threshold = SimDuration::from_millis(200);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn estimated_sojourn_prices_backlog_and_busy_time() {
+        let t0 = SimInstant(1_000_000);
+        let mut q = IngressQueue::new(t0);
+        assert_eq!(q.estimated_sojourn(t0), SimDuration::ZERO);
+        q.busy_until = t0 + SimDuration::from_millis(5);
+        q.service_est_us = 2_000;
+        q.queue.push_back((t0, SearchRequest::new("hello")));
+        // 5ms busy + (1 queued + the arrival itself) * 2ms.
+        assert_eq!(q.estimated_sojourn(t0), SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn service_estimate_is_an_ewma() {
+        let mut q = IngressQueue::new(SimInstant::ZERO);
+        q.observe_service(4, SimDuration::from_micros(8_000));
+        assert_eq!(q.service_est_us, 2_000);
+        q.observe_service(2, SimDuration::from_micros(12_000));
+        assert_eq!(q.service_est_us, (3 * 2_000 + 6_000) / 4);
+        let before = q.service_est_us;
+        q.observe_service(0, SimDuration::from_micros(1));
+        assert_eq!(q.service_est_us, before, "empty batches are ignored");
+    }
+
+    #[test]
+    fn dispatch_deadline_follows_oldest_entry_until_the_pipeline_fills() {
+        let cfg = AdmissionConfig::enabled();
+        let t0 = SimInstant(500_000);
+        let mut q = IngressQueue::new(t0);
+        assert_eq!(q.next_dispatch_at(&cfg, false), None);
+        q.queue.push_back((t0, SearchRequest::new("a")));
+        assert_eq!(
+            q.next_dispatch_at(&cfg, false),
+            Some(t0 + cfg.max_batch_delay)
+        );
+        // Draining ignores the batching deadline.
+        assert_eq!(q.next_dispatch_at(&cfg, true), Some(t0));
+        // A busy frontend defers the dispatch regardless.
+        q.busy_until = t0 + SimDuration::from_millis(50);
+        assert_eq!(q.next_dispatch_at(&cfg, true), Some(q.busy_until));
+        // Filling a pipeline's worth of work triggers on the filling arrival.
+        let mut q = IngressQueue::new(t0);
+        for i in 0..cfg.dispatch_limit() {
+            q.queue.push_back((
+                t0 + SimDuration::from_micros(i as u64),
+                SearchRequest::new("x"),
+            ));
+        }
+        assert_eq!(
+            q.next_dispatch_at(&cfg, false),
+            Some(t0 + SimDuration::from_micros(cfg.dispatch_limit() as u64 - 1))
+        );
+    }
+
+    #[test]
+    fn report_rates_handle_empty_runs() {
+        let r = LoadReport::default();
+        assert_eq!(r.shed_rate(), 0.0);
+        assert_eq!(r.goodput_qps(), 0.0);
+        let r = LoadReport {
+            offered: 10,
+            shed: 3,
+            completed: 7,
+            makespan: SimDuration::from_secs(2),
+            ..LoadReport::default()
+        };
+        assert!((r.shed_rate() - 0.3).abs() < 1e-12);
+        assert!((r.goodput_qps() - 3.5).abs() < 1e-12);
+        assert!(r.to_string().contains("3 shed"));
+    }
+}

@@ -25,15 +25,24 @@
 //! in-flight limits), and dedupes identical/prefix-sharing queries across
 //! the in-flight set through a version-tagged [`executor::WindowMemo`].
 //! [`crate::QueenBee::search_pipelined`] is the entry point.
+//!
+//! For **open-loop** serving — queries arriving on their own clock instead
+//! of draining a list — the [`admission`] module adds bounded per-frontend
+//! ingress queues, load shedding and freshness degradation in front of the
+//! pipeline; [`crate::QueenBee::serve_open_loop`] is that entry point.
 
+pub mod admission;
 pub mod executor;
 pub mod pipeline;
 pub mod plan;
 pub mod request;
 pub mod response;
 
+pub use admission::{AdmissionConfig, LoadReport, TimedRequest};
 pub use executor::WindowMemo;
-pub use pipeline::{PipelineConfig, PipelineDriver, PipelineOutcome, PipelineReport, WindowState};
+pub use pipeline::{
+    PipelineConfig, PipelineDriver, PipelineOutcome, PipelineReport, WindowSpan, WindowState,
+};
 pub use plan::{PlannedTerm, QueryPlan, StatsPlan, TermPlan};
 pub use request::{Freshness, RoutingPolicy, SearchRequest};
 pub use response::{SearchResponse, StageCosts, TermProvenance};

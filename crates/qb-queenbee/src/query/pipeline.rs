@@ -146,6 +146,23 @@ pub struct PipelineReport {
     pub peak_windows_in_flight: usize,
 }
 
+/// Virtual-timeline span of one retired window: which slice of the
+/// response vector it served and when it issued/completed. The open-loop
+/// admission layer uses these to place each response on the arrival
+/// timeline (`issued_at + response.latency` is the query's completion
+/// instant) without re-deriving the driver's scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpan {
+    /// Index of the window's first response in [`PipelineOutcome::responses`].
+    pub first_query: usize,
+    /// Number of responses the window served.
+    pub queries: usize,
+    /// When the window's fetches were issued on the virtual timeline.
+    pub issued_at: SimInstant,
+    /// When the window's slowest dependency completed.
+    pub completed_at: SimInstant,
+}
+
 /// A pipelined run's responses (in request order) plus its report.
 #[derive(Debug)]
 pub struct PipelineOutcome {
@@ -154,6 +171,8 @@ pub struct PipelineOutcome {
     pub responses: Vec<SearchResponse>,
     /// Stream-level accounting.
     pub report: PipelineReport,
+    /// One span per retired window, in retirement (= request) order.
+    pub window_spans: Vec<WindowSpan>,
 }
 
 /// Drives a request stream through overlapping windows. Construct with a
@@ -163,6 +182,7 @@ pub struct PipelineOutcome {
 pub struct PipelineDriver {
     config: PipelineConfig,
     report: PipelineReport,
+    spans: Vec<WindowSpan>,
 }
 
 impl PipelineDriver {
@@ -171,6 +191,7 @@ impl PipelineDriver {
         PipelineDriver {
             config,
             report: PipelineReport::default(),
+            spans: Vec::new(),
         }
     }
 
@@ -247,6 +268,7 @@ impl PipelineDriver {
         Ok(PipelineOutcome {
             responses,
             report: self.report,
+            window_spans: self.spans,
         })
     }
 
@@ -336,6 +358,12 @@ impl PipelineDriver {
         let plans = std::mem::take(&mut win.plans);
         self.report.windows += 1;
         self.report.queries += plans.len();
+        self.spans.push(WindowSpan {
+            first_query: responses.len(),
+            queries: plans.len(),
+            issued_at: win.issued_at,
+            completed_at: win.completes_at,
+        });
         let fetched_terms = crate::engine::batch_advert_groups(
             &win.fetched,
             plans.len() >= 2 && qb.fleet().is_some(),

@@ -48,7 +48,7 @@ pub enum Freshness {
 ///     .freshness(Freshness::MaxStaleness(SimDuration::from_secs(30)))
 ///     .ads(false);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchRequest {
     /// The raw query text (analyzed and deduplicated by the planner).
     pub query: String,

@@ -207,6 +207,16 @@ impl SimNet {
         self.clock += d;
     }
 
+    /// Advance the logical clock to `at` (no-op when `at` is not in the
+    /// future). Open-loop replay drivers use this to move the shared clock
+    /// to each trace arrival's instant before admitting the query, instead
+    /// of accumulating relative steps.
+    pub fn advance_to(&mut self, at: SimInstant) {
+        if at > self.clock {
+            self.clock = at;
+        }
+    }
+
     /// Accumulated traffic statistics.
     pub fn stats(&self) -> &NetStats {
         &self.stats

@@ -60,6 +60,28 @@ impl QueryWorkload {
     pub fn generate_batch(&self, corpus: &Corpus, rng: &mut DetRng, count: usize) -> Vec<String> {
         (0..count).map(|_| self.generate(corpus, rng)).collect()
     }
+
+    /// Generate a pool of `count` **distinct** queries, for samplers that
+    /// layer their own popularity distribution on top (an open-loop trace
+    /// picks pool entries through a Zipf sampler, so duplicates inside the
+    /// pool would silently skew the intended skew). Draws until the pool is
+    /// full; gives up growing — returning a shorter pool — if the corpus
+    /// cannot yield `count` distinct queries.
+    pub fn generate_pool(&self, corpus: &Corpus, rng: &mut DetRng, count: usize) -> Vec<String> {
+        let mut seen = std::collections::HashSet::with_capacity(count);
+        let mut pool = Vec::with_capacity(count);
+        let mut dry_draws = 0usize;
+        while pool.len() < count && dry_draws < 50 {
+            let q = self.generate(corpus, rng);
+            if seen.insert(q.clone()) {
+                pool.push(q);
+                dry_draws = 0;
+            } else {
+                dry_draws += 1;
+            }
+        }
+        pool
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +120,18 @@ mod tests {
                 assert!(all_words.contains(t), "term {t} not from corpus");
             }
         }
+    }
+
+    #[test]
+    fn pool_is_distinct_and_deterministic() {
+        let c = corpus();
+        let w = QueryWorkload::new(&c);
+        let a = w.generate_pool(&c, &mut DetRng::new(4), 64);
+        let b = w.generate_pool(&c, &mut DetRng::new(4), 64);
+        assert_eq!(a, b);
+        let distinct: std::collections::HashSet<&String> = a.iter().collect();
+        assert_eq!(distinct.len(), a.len(), "pool entries must be distinct");
+        assert!(!a.is_empty());
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Integration tests for the open-loop load harness (the E14 acceptance
+//! criteria, end to end): a qb-load arrival trace replayed against a real
+//! fleet must be deterministic, must complete everything without shedding
+//! below saturation, and under heavy overload must shed while keeping
+//! ingress queues bounded and goodput alive — all without perturbing the
+//! closed-loop query paths, which never consult the admission config.
+
+use qb_chain::AccountId;
+use qb_common::SimDuration;
+use qb_load::{replay, ArrivalTrace, RateShape, ReplayConfig, TraceConfig};
+use qb_queenbee::{
+    AdmissionConfig, CacheConfig, Freshness, GossipConfig, QueenBee, QueenBeeConfig, SearchRequest,
+    TimedRequest,
+};
+use qb_workload::{Corpus, CorpusConfig, CorpusGenerator};
+
+fn corpus(seed: u64, pages: usize) -> Corpus {
+    let config = CorpusConfig {
+        num_pages: pages,
+        vocab_size: (pages * 12).max(500),
+        avg_doc_len: 60,
+        ..CorpusConfig::default()
+    };
+    CorpusGenerator::new(config).generate(&mut qb_common::DetRng::new(seed))
+}
+
+fn open_loop_engine(corpus: &Corpus, seed: u64) -> QueenBee {
+    let mut config = QueenBeeConfig::small();
+    config.num_peers = 32;
+    config.num_bees = 4;
+    config.seed = seed;
+    // WAN latencies: a Fresh query costs ~100ms of simulated round-trips,
+    // so saturation is reachable at a few hundred q/s instead of tens of
+    // thousands, and the thresholds below are set against that service time.
+    config.net = qb_simnet::NetConfig::default();
+    config.cache = CacheConfig::enabled();
+    config.gossip = GossipConfig::enabled(4);
+    config.admission = AdmissionConfig::enabled();
+    config.admission.queue_capacity = 32;
+    config.admission.window_size = 8;
+    config.admission.max_windows_in_flight = 2;
+    config.admission.degrade_threshold = SimDuration::from_millis(250);
+    config.admission.shed_threshold = SimDuration::from_millis(800);
+    let mut qb = QueenBee::new(config).expect("valid config");
+    for (i, page) in corpus.pages.iter().enumerate() {
+        let peer = (10 + i % 18) as u64;
+        qb.publish(peer, AccountId(corpus.creators[i]), page)
+            .expect("publish");
+    }
+    qb.seal();
+    qb.process_publish_events().expect("index");
+    qb
+}
+
+fn trace(corpus: &Corpus, qps: f64, secs: u64) -> ArrivalTrace {
+    ArrivalTrace::generate(
+        corpus,
+        &TraceConfig {
+            seed: 0xE2E,
+            duration: SimDuration::from_secs(secs),
+            base_qps: qps,
+            shape: RateShape::Constant,
+            pool_size: 48,
+            ..TraceConfig::default()
+        },
+    )
+}
+
+fn fresh_heavy() -> ReplayConfig {
+    ReplayConfig {
+        fresh_fraction: 0.9,
+        ..ReplayConfig::default()
+    }
+}
+
+/// Same corpus, same trace, fresh engine → bit-identical `LoadReport`,
+/// including both histograms.
+#[test]
+fn open_loop_replay_is_deterministic() {
+    let corpus = corpus(0xE2E, 20);
+    let t = trace(&corpus, 40.0, 4);
+    let mut a = open_loop_engine(&corpus, 0xE2E);
+    let mut b = open_loop_engine(&corpus, 0xE2E);
+    let ra = replay(&mut a, &t, &fresh_heavy()).expect("replay");
+    let rb = replay(&mut b, &t, &fresh_heavy()).expect("replay");
+    assert_eq!(ra, rb);
+    assert!(ra.completed > 0);
+}
+
+/// Below saturation nothing is shed or degraded: every offered query
+/// completes and the sojourn tail stays bounded.
+#[test]
+fn below_saturation_completes_everything() {
+    let corpus = corpus(0xE2E, 20);
+    let t = trace(&corpus, 20.0, 5);
+    let mut qb = open_loop_engine(&corpus, 0xE2E);
+    let report = replay(&mut qb, &t, &fresh_heavy()).expect("replay");
+    assert_eq!(report.offered, t.len() as u64);
+    assert_eq!(report.shed, 0, "no shedding below saturation");
+    assert_eq!(report.completed, report.admitted);
+    assert_eq!(report.completed, report.offered);
+    assert!(
+        report.p99() < SimDuration::from_secs(1),
+        "p99 {} out of bounds",
+        report.p99()
+    );
+}
+
+/// A flash crowd far past capacity: the controller sheds, ingress queues
+/// stay within their configured bound, and the fleet keeps completing
+/// queries (goodput does not collapse to zero).
+#[test]
+fn overload_sheds_but_keeps_queues_bounded() {
+    let corpus = corpus(0xE2E, 20);
+    let t = ArrivalTrace::generate(
+        &corpus,
+        &TraceConfig {
+            seed: 0xE2E,
+            duration: SimDuration::from_secs(6),
+            base_qps: 50.0,
+            shape: RateShape::FlashCrowd {
+                at: SimDuration::from_secs(2),
+                duration: SimDuration::from_secs(2),
+                multiplier: 20.0,
+            },
+            pool_size: 48,
+            ..TraceConfig::default()
+        },
+    );
+    let mut qb = open_loop_engine(&corpus, 0xE2E);
+    let capacity = qb.config().admission.queue_capacity;
+    let report = replay(&mut qb, &t, &fresh_heavy()).expect("replay");
+    assert!(report.shed > 0, "flash crowd must trigger shedding");
+    assert!(report.degraded > 0, "pressure must degrade Fresh queries");
+    assert!(
+        report.peak_queue_depth <= capacity,
+        "queue depth {} exceeds capacity {}",
+        report.peak_queue_depth,
+        capacity
+    );
+    assert_eq!(report.completed, report.admitted);
+    assert!(report.completed > report.offered / 4, "goodput collapsed");
+}
+
+/// The harness refuses to run without admission control, and enabling it
+/// leaves the closed-loop paths untouched (same answers as a no-admission
+/// engine).
+#[test]
+fn admission_gate_and_closed_loop_neutrality() {
+    let corpus = corpus(0xE2E, 12);
+    let mut plain = {
+        let mut qb = open_loop_engine(&corpus, 0xE2E);
+        // Rebuild without admission for the comparison engine.
+        let mut config = qb.config().clone();
+        config.admission = AdmissionConfig::default();
+        drop(qb);
+        qb = QueenBee::new(config).expect("valid config");
+        for (i, page) in corpus.pages.iter().enumerate() {
+            let peer = (10 + i % 18) as u64;
+            qb.publish(peer, AccountId(corpus.creators[i]), page)
+                .expect("publish");
+        }
+        qb.seal();
+        qb.process_publish_events().expect("index");
+        qb
+    };
+    let mut gated = open_loop_engine(&corpus, 0xE2E);
+
+    let err = plain.serve_open_loop(vec![TimedRequest::new(
+        SimDuration::ZERO,
+        SearchRequest::new("anything"),
+    )]);
+    assert!(err.is_err(), "serve_open_loop needs admission enabled");
+
+    // Closed-loop paths answer identically with and without admission.
+    let query = corpus.pages[0].title.split_whitespace().next().unwrap();
+    let req = || {
+        SearchRequest::new(query)
+            .top_k(5)
+            .freshness(Freshness::CacheOk)
+    };
+    let a = plain.search_request(req()).expect("search");
+    let b = gated.search_request(req()).expect("search");
+    assert_eq!(a.hits, b.hits);
+}
