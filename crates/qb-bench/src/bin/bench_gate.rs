@@ -97,6 +97,14 @@ const CHECKS: &[Check] = &[
     lower("E14a", "load", "0.25x", "shed_rate_%"),
     higher("E14a", "load", "4x", "goodput_qps"),
     lower("E14a", "load", "4x", "shed_rate_%"),
+    // E15: tracing integrity. The makespan delta between traced and
+    // untraced replays has a zero baseline, so any simulated-time overhead
+    // from enabling the tracer fails exactly; the attribution regime
+    // (queueing-dominated tail at 4x, fetch-dominated below saturation)
+    // must not drift.
+    lower("E15b", "metric", "tracing_makespan_delta_%", "value"),
+    higher("E15a", "load", "4x", "tail_queue_share_%"),
+    lower("E15a", "load", "0.25x", "all_queue_share_%"),
 ];
 
 fn load(path: &str) -> Result<Vec<Value>, String> {
@@ -239,7 +247,7 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_gate: key metrics regressed >{:.0}% against {baseline_path}; \
              if intentional, regenerate the baseline with \
-             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12 e13 e14` \
+             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12 e13 e14 e15` \
              and copy bench-results/experiments.json over the baseline file.",
             threshold * 100.0
         );

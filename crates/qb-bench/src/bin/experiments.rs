@@ -15,10 +15,9 @@
 use qb_baseline::{CentralizedConfig, CentralizedEngine, YacyConfig, YacyEngine};
 use qb_bench::{build_corpus, build_engine, crawl_docs, f2, f4, publish_corpus, Table};
 use qb_chain::AccountId;
-use qb_common::{DetRng, SimDuration, SimInstant};
+use qb_common::{DetRng, LatencyHistogram, SimDuration, SimInstant};
 use qb_dweb::WebPage;
 use qb_queenbee::{gini_coefficient, CollusionAttack, ScraperAttack};
-use qb_simnet::LatencyRecorder;
 use qb_workload::{mutate_page, AdvertiserWorkload, QueryWorkload, UpdateStream};
 use std::collections::HashMap;
 
@@ -29,7 +28,7 @@ fn main() {
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14",
+            "e14", "e15",
         ]
         .into_iter()
         .map(String::from)
@@ -55,8 +54,9 @@ fn main() {
             "e12" => e12_churn(quick),
             "e13" => e13_pipeline(quick),
             "e14" => e14_open_loop(quick),
+            "e15" => e15_tracing(quick),
             other => {
-                eprintln!("unknown experiment '{other}' (use f1, e1..e14 or all)");
+                eprintln!("unknown experiment '{other}' (use f1, e1..e15 or all)");
                 Vec::new()
             }
         };
@@ -202,9 +202,9 @@ fn e1_latency_throughput() -> Vec<Table> {
         ],
     );
     for load in [10.0, 100.0, 180.0, 250.0, 400.0] {
-        let mut central_lat = LatencyRecorder::new();
+        let mut central_lat = LatencyHistogram::new();
         let mut central_ok = 0usize;
-        let mut qb_lat = LatencyRecorder::new();
+        let mut qb_lat = LatencyHistogram::new();
         let mut qb_ok = 0usize;
         for (i, q) in queries.iter().enumerate() {
             if let Ok((_, lat)) = central.search(q, load, SimInstant::ZERO) {
@@ -219,9 +219,9 @@ fn e1_latency_throughput() -> Vec<Table> {
         }
         t_b.row(&[
             format!("{load:.0}"),
-            f2(central_lat.percentile_ms(50.0)),
+            f2(central_lat.p50().as_millis_f64()),
             f2(100.0 * central_ok as f64 / queries.len() as f64),
-            f2(qb_lat.percentile_ms(50.0)),
+            f2(qb_lat.p50().as_millis_f64()),
             f2(100.0 * qb_ok as f64 / queries.len() as f64),
         ]);
     }
@@ -821,7 +821,7 @@ fn e9_cache(quick: bool) -> Vec<Table> {
         let mut qb = qb_bench::build_engine_with(config);
         publish_corpus(&mut qb, &corpus);
         let mut rng = DetRng::new(0xE9A);
-        let mut latency = LatencyRecorder::new();
+        let mut latency = LatencyHistogram::new();
         let mut messages = 0u64;
         let mut shard_fetches = 0u64;
         let mut answered = 0u64;
@@ -847,7 +847,7 @@ fn e9_cache(quick: bool) -> Vec<Table> {
             }
         }
         (
-            latency.mean_ms(),
+            latency.mean().as_millis_f64(),
             messages,
             shard_fetches,
             answered,
@@ -990,8 +990,8 @@ fn e10_gossip(quick: bool) -> Vec<Table> {
         let mut qb = qb_bench::build_engine_with(config);
         publish_corpus(&mut qb, &corpus);
         let mut rng = DetRng::new(0xE10A);
-        let mut all = LatencyRecorder::new();
-        let mut cold: Vec<LatencyRecorder> = (0..FLEET).map(|_| LatencyRecorder::new()).collect();
+        let mut all = LatencyHistogram::new();
+        let mut cold: Vec<LatencyHistogram> = (0..FLEET).map(|_| LatencyHistogram::new()).collect();
         let mut served = [0usize; FLEET];
         let mut messages = 0u64;
         let mut shard_fetches = 0u64;
@@ -1023,8 +1023,9 @@ fn e10_gossip(quick: bool) -> Vec<Table> {
             }
         }
         FleetRun {
-            cold_start_ms: cold.iter().map(|r| r.mean_ms()).sum::<f64>() / FLEET as f64,
-            mean_ms: all.mean_ms(),
+            cold_start_ms: cold.iter().map(|r| r.mean().as_millis_f64()).sum::<f64>()
+                / FLEET as f64,
+            mean_ms: all.mean().as_millis_f64(),
             messages,
             shard_fetches,
             stale: qb.freshness.stale_results,
@@ -1156,7 +1157,7 @@ fn e11_batch(quick: bool) -> Vec<Table> {
     };
 
     struct RunStats {
-        latency: LatencyRecorder,
+        latency: LatencyHistogram,
         messages: u64,
         fetches: u64,
         shared: u64,
@@ -1174,7 +1175,7 @@ fn e11_batch(quick: bool) -> Vec<Table> {
 
     // Sequential: every query is its own window of one.
     let mut seq = RunStats {
-        latency: LatencyRecorder::new(),
+        latency: LatencyHistogram::new(),
         messages: 0,
         fetches: 0,
         shared: 0,
@@ -1189,7 +1190,7 @@ fn e11_batch(quick: bool) -> Vec<Table> {
 
     // Batched: the same stream in windows of `WINDOW` concurrent queries.
     let mut batch = RunStats {
-        latency: LatencyRecorder::new(),
+        latency: LatencyHistogram::new(),
         messages: 0,
         fetches: 0,
         shared: 0,
@@ -1249,8 +1250,8 @@ fn e11_batch(quick: bool) -> Vec<Table> {
     for (label, run) in [("sequential", &seq), ("batched", &batch)] {
         t.row(&[
             label.into(),
-            f2(run.latency.percentile_ms(50.0)),
-            f2(run.latency.percentile_ms(99.0)),
+            f2(run.latency.p50().as_millis_f64()),
+            f2(run.latency.p99().as_millis_f64()),
             run.messages.to_string(),
             run.fetches.to_string(),
             run.shared.to_string(),
@@ -1260,11 +1261,11 @@ fn e11_batch(quick: bool) -> Vec<Table> {
         "reduction".into(),
         format!(
             "{:.1}x",
-            seq.latency.percentile_ms(50.0) / batch.latency.percentile_ms(50.0).max(1e-9)
+            seq.latency.p50().as_millis_f64() / batch.latency.p50().as_millis_f64().max(1e-9)
         ),
         format!(
             "{:.1}x",
-            seq.latency.percentile_ms(99.0) / batch.latency.percentile_ms(99.0).max(1e-9)
+            seq.latency.p99().as_millis_f64() / batch.latency.p99().as_millis_f64().max(1e-9)
         ),
         format!(
             "-{:.1}%",
@@ -1356,7 +1357,7 @@ fn e12_churn(quick: bool) -> Vec<Table> {
         publish_corpus(&mut qb, &corpus);
 
         let mut rng = DetRng::new(0xE12A);
-        let mut latency = LatencyRecorder::new();
+        let mut latency = LatencyHistogram::new();
         let mut messages = 0u64;
         let mut shard_fetches = 0u64;
         let mut steady_hits = 0u64;
@@ -1447,7 +1448,7 @@ fn e12_churn(quick: bool) -> Vec<Table> {
             stale: qb.freshness.stale_results,
             steady_hit_rate: steady_hits as f64 / steady_served.max(1) as f64,
             joined_hit_rate: joined_hits as f64 / probes.len().max(1) as f64,
-            mean_ms: latency.mean_ms(),
+            mean_ms: latency.mean().as_millis_f64(),
             stats,
             peer_down_events: qb.net.stats().peer_down_events,
             peer_up_events: qb.net.stats().peer_up_events,
@@ -2143,6 +2144,208 @@ fn e14_open_loop(quick: bool) -> Vec<Table> {
     vec![t, t2]
 }
 
+/// E15 — structured tracing over the E14 overload ladder: where does a
+/// query's sojourn actually go? The traced replays must be byte-identical
+/// to untraced ones (reports *and* every stats surface — the tracing
+/// subsystem's zero-impact contract), the exported traces byte-identical
+/// across identically-seeded reruns, and the critical-path attribution
+/// must show the regime change the admission-control story predicts: at
+/// 4x overload the p99 tail is queueing-dominated (>=50% queue wait),
+/// while below saturation latency goes to shard fetching.
+fn e15_tracing(quick: bool) -> Vec<Table> {
+    use qb_load::{replay, replay_traced, ArrivalTrace, RateShape, ReplayConfig, TraceConfig};
+    use qb_queenbee::{AdmissionConfig, CacheConfig, GossipConfig};
+    use qb_trace::{attribution, to_chrome_trace, Trace};
+    use std::collections::BTreeMap;
+
+    const FLEET: usize = 4;
+    // Deeper ingress queues and a laxer shed threshold than E14: the point
+    // here is *observing* where overload latency goes, so the controller
+    // is allowed to queue well past the service time before shedding.
+    const QUEUE_CAPACITY: usize = 64;
+    const SAT_QPS: f64 = 160.0;
+    let (num_pages, secs) = if quick { (20u64, 2u64) } else { (40, 6) };
+    let corpus = build_corpus(0xE14, num_pages as usize);
+
+    let build = || {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = 32;
+        config.num_bees = 4;
+        config.seed = 0xE14;
+        config.net = qb_simnet::NetConfig::default();
+        config.cache = CacheConfig::enabled();
+        config.gossip = GossipConfig::enabled(FLEET);
+        config.admission = AdmissionConfig::enabled();
+        config.admission.queue_capacity = QUEUE_CAPACITY;
+        config.admission.window_size = 8;
+        config.admission.max_windows_in_flight = 2;
+        config.admission.degrade_threshold = SimDuration::from_millis(250);
+        config.admission.shed_threshold = SimDuration::from_millis(2500);
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+        qb
+    };
+    let replay_cfg = ReplayConfig {
+        seed: 0xE14F,
+        fresh_fraction: 0.9,
+        top_k: 5,
+    };
+
+    // Sum each stage's critical-path self time over a set of query trees.
+    let shares = |spans: &Trace, tail_only: bool| -> (f64, f64, String, u64) {
+        let roots: Vec<_> = spans.named("query").collect();
+        assert!(!roots.is_empty(), "E15: traced replay recorded no queries");
+        let mut sojourns: Vec<SimDuration> = roots.iter().map(|s| s.duration()).collect();
+        sojourns.sort();
+        let cut = if tail_only {
+            sojourns[(sojourns.len() - 1) * 99 / 100]
+        } else {
+            SimDuration::ZERO
+        };
+        let mut by_stage: BTreeMap<&str, SimDuration> = BTreeMap::new();
+        let mut total = SimDuration::ZERO;
+        let mut counted = 0u64;
+        for root in roots.iter().filter(|s| s.duration() >= cut) {
+            for (name, d) in attribution(spans, root.id) {
+                *by_stage.entry(name).or_insert(SimDuration::ZERO) += d;
+            }
+            total += root.duration();
+            counted += 1;
+        }
+        let of_total = |d: Option<&SimDuration>| {
+            100.0 * d.map(|d| d.as_millis_f64()).unwrap_or(0.0) / total.as_millis_f64().max(1e-9)
+        };
+        let queue = of_total(by_stage.get("queue_wait"));
+        let service = of_total(by_stage.get("fetch")) + of_total(by_stage.get("cache_serve"));
+        let dominant = by_stage
+            .iter()
+            .filter(|(name, _)| **name != "query" && **name != "score")
+            .max_by_key(|(_, d)| **d)
+            .map(|(name, _)| name.to_string())
+            .unwrap_or_default();
+        (queue, service, dominant, counted)
+    };
+
+    let title = format!(
+        "E15a: critical-path attribution over the open-loop ladder — traced replays of the \
+         E14 constant-rate traces ({secs}s, 90% Fresh) against a {FLEET}-frontend fleet \
+         with deep-queue admission (capacity {QUEUE_CAPACITY}, shed at 2500ms); shares are \
+         critical-path self time over the p99 sojourn tail (all = every completed query)"
+    );
+    let mut t = Table::new(
+        &title,
+        &[
+            "load",
+            "completed",
+            "p99_ms",
+            "tail_queue_share_%",
+            "tail_service_share_%",
+            "all_queue_share_%",
+            "dominant_stage",
+            "spans",
+        ],
+    );
+
+    let levels: [(&str, f64); 3] = [("0.25x", 0.25), ("1x", 1.0), ("4x", 4.0)];
+    let mut max_makespan_delta = 0.0f64;
+    for (label, mult) in levels {
+        let trace = ArrivalTrace::generate(
+            &corpus,
+            &TraceConfig {
+                seed: 0xE14,
+                duration: SimDuration::from_secs(secs),
+                base_qps: SAT_QPS * mult,
+                shape: RateShape::Constant,
+                pool_size: 48,
+                ..TraceConfig::default()
+            },
+        );
+        // Zero-impact contract: the traced replay's report and every
+        // stats surface must be byte-identical to the untraced run's.
+        let mut plain = build();
+        let report = replay(&mut plain, &trace, &replay_cfg).expect("open-loop replay");
+        let mut traced = build();
+        let (traced_report, spans) =
+            replay_traced(&mut traced, &trace, &replay_cfg).expect("traced replay");
+        assert_eq!(
+            report, traced_report,
+            "E15: tracing must not perturb the {label} replay"
+        );
+        assert_eq!(
+            plain.metrics_snapshot(),
+            traced.metrics_snapshot(),
+            "E15: tracing must not touch any stats surface at {label}"
+        );
+        let delta = 100.0
+            * (traced_report.makespan.as_millis_f64() - report.makespan.as_millis_f64()).abs()
+            / report.makespan.as_millis_f64().max(1e-9);
+        max_makespan_delta = max_makespan_delta.max(delta);
+
+        // Determinism: a second traced replay exports the same bytes.
+        let mut rerun = build();
+        let (_, spans2) = replay_traced(&mut rerun, &trace, &replay_cfg).expect("traced rerun");
+        let export = to_chrome_trace(&spans);
+        assert_eq!(
+            export,
+            to_chrome_trace(&spans2),
+            "E15: the {label} trace export must be byte-identical across reruns"
+        );
+        assert_eq!(
+            spans.named("query").count() as u64,
+            report.completed,
+            "E15: one query tree per completed query at {label}"
+        );
+
+        let (tail_queue, tail_service, _, _) = shares(&spans, true);
+        let (all_queue, _, dominant, _) = shares(&spans, false);
+        match label {
+            "4x" => {
+                assert!(
+                    tail_queue >= 50.0,
+                    "E15: at 4x overload >=50% of the p99 sojourn tail must be queue wait \
+                     (got {tail_queue:.1}%)"
+                );
+                if std::fs::create_dir_all("bench-results").is_ok() {
+                    let _ = std::fs::write("bench-results/trace-e15.json", &export);
+                }
+            }
+            "0.25x" => {
+                assert!(
+                    dominant == "fetch" || dominant == "cache_serve",
+                    "E15: below saturation the critical path must be fetch-dominated \
+                     (got '{dominant}', queue share {all_queue:.1}%)"
+                );
+                assert!(
+                    tail_queue < 50.0,
+                    "E15: below saturation even the tail must not be queue-dominated \
+                     (got {tail_queue:.1}%)"
+                );
+            }
+            _ => {}
+        }
+        t.row(&[
+            label.into(),
+            report.completed.to_string(),
+            f2(report.p99().as_millis_f64()),
+            f2(tail_queue),
+            f2(tail_service),
+            f2(all_queue),
+            dominant,
+            spans.len().to_string(),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "E15b: tracing integrity — the subsystem's zero-impact and determinism contracts, \
+         asserted above and recorded here for the bench gate (the makespan delta has a \
+         zero baseline, so any simulated-time overhead fails CI exactly)",
+        &["metric", "value"],
+    );
+    t2.row(&["tracing_makespan_delta_%".into(), f2(max_makespan_delta)]);
+    t2.row(&["ladder_levels_traced".into(), levels.len().to_string()]);
+    vec![t, t2]
+}
+
 /// E8 — systems costs: DHT scaling, index, rank and chain micro-metrics.
 fn e8_systems_costs() -> Vec<Table> {
     use qb_dht::{DhtConfig, DhtNetwork};
@@ -2164,7 +2367,7 @@ fn e8_systems_costs() -> Vec<Table> {
         net.reset_stats();
         let mut hops = 0usize;
         let mut messages = 0u64;
-        let mut lat = LatencyRecorder::new();
+        let mut lat = LatencyHistogram::new();
         let mut ok = 0usize;
         let trials = 40;
         for i in 0..trials {
@@ -2182,7 +2385,7 @@ fn e8_systems_costs() -> Vec<Table> {
             n.to_string(),
             f2(hops as f64 / ok.max(1) as f64),
             f2(messages as f64 / ok.max(1) as f64),
-            f2(lat.mean_ms()),
+            f2(lat.mean().as_millis_f64()),
             f2(100.0 * ok as f64 / trials as f64),
         ]);
     }

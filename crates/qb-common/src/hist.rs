@@ -93,6 +93,37 @@ impl LatencyHistogram {
         self.max_micros = self.max_micros.max(other.max_micros);
     }
 
+    /// What was recorded between `earlier` and `self`, assuming `earlier`
+    /// is a prefix of this histogram's sample stream (bucket counts
+    /// subtract saturating, so a non-prefix argument degrades gracefully
+    /// instead of panicking). The difference's `max` is this histogram's
+    /// max — the true interval max is not recoverable from buckets, so the
+    /// reported value is a documented upper bound. Empty differences
+    /// collapse to the default histogram so `h.diff_since(&h)` is `==` to
+    /// `LatencyHistogram::new()`.
+    pub fn diff_since(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let total = self.total.saturating_sub(earlier.total);
+        if total == 0 {
+            return LatencyHistogram::new();
+        }
+        let mut counts = self.counts.clone();
+        for (i, &c) in earlier.counts.iter().enumerate() {
+            if i >= counts.len() {
+                break;
+            }
+            counts[i] = counts[i].saturating_sub(c);
+        }
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        LatencyHistogram {
+            counts,
+            total,
+            sum_micros: self.sum_micros.saturating_sub(earlier.sum_micros),
+            max_micros: self.max_micros,
+        }
+    }
+
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.total
@@ -288,7 +319,55 @@ mod tests {
         assert!(s.contains("p99"), "{s}");
     }
 
+    #[test]
+    fn diff_since_recovers_the_suffix() {
+        let mut before = LatencyHistogram::new();
+        for v in [100u64, 200, 300] {
+            before.record_micros(v);
+        }
+        let mut after = before.clone();
+        for v in [400u64, 50_000] {
+            after.record_micros(v);
+        }
+        let d = after.diff_since(&before);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.mean().as_micros(), (400 + 50_000) / 2);
+        assert!(d.p99().as_micros() >= 50_000);
+        // Self-diff is exactly the empty histogram.
+        assert_eq!(after.diff_since(&after), LatencyHistogram::new());
+    }
+
     proptest! {
+        #[test]
+        fn diff_since_equals_histogram_of_the_suffix_samples(
+            prefix in proptest::collection::vec(0u64..2_000_000, 0..200),
+            suffix in proptest::collection::vec(0u64..2_000_000, 1..200),
+        ) {
+            let mut before = LatencyHistogram::new();
+            for &v in &prefix {
+                before.record_micros(v);
+            }
+            let mut after = before.clone();
+            let mut expect = LatencyHistogram::new();
+            for &v in &suffix {
+                after.record_micros(v);
+                expect.record_micros(v);
+            }
+            let got = after.diff_since(&before);
+            prop_assert_eq!(got.count(), expect.count());
+            prop_assert_eq!(got.mean(), expect.mean());
+            // The diff inherits the full histogram's exact max (the
+            // interval max is not recoverable), so top-bucket quantiles
+            // may sit anywhere in the bucket — within quantization error.
+            let (g, e) = (got.p50().as_micros(), expect.p50().as_micros());
+            prop_assert!(
+                g >= e && g as f64 <= e as f64 * 1.04 + 1.0,
+                "diff p50 {} vs suffix p50 {}",
+                g,
+                e
+            );
+        }
+
         #[test]
         fn merged_histograms_equal_histogram_of_concatenated_samples(
             a in proptest::collection::vec(0u64..2_000_000, 0..200),

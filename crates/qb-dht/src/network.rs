@@ -176,6 +176,16 @@ impl DhtNetwork {
         let mut failed: HashSet<u64> = HashSet::new();
         queried.insert(from);
 
+        // The lookup runs on a virtual timeline anchored at the current
+        // clock: each round's latency extends the cursor, and the per-hop
+        // spans sit at their accumulated offsets so the trace shows where
+        // the sequential rounds (vs the parallel RPC fan-out inside one
+        // round) spent the time.
+        let t0 = net.now();
+        let lookup_span = net.tracer().open_with("dht.lookup", t0, || {
+            format!("{} from {}", target.short(), from)
+        });
+
         for _round in 0..self.config.max_rounds {
             // Pick the alpha closest not-yet-queried candidates.
             shortlist.sort_by_key(|a| a.key.xor(&target));
@@ -241,7 +251,15 @@ impl DhtNetwork {
                     }
                 }
             }
+            let acc_before = latency;
             latency += parallel_latency(&round_latencies);
+            net.tracer().record_with(
+                lookup_span,
+                "dht.hop",
+                t0 + acc_before,
+                t0 + latency,
+                || format!("round {} x{}", hops, batch.len()),
+            );
             if found_value
                 .as_ref()
                 .is_some_and(|r| r.version >= min_version)
@@ -275,6 +293,7 @@ impl DhtNetwork {
             }
         }
 
+        net.tracer().close(lookup_span, t0 + latency);
         shortlist.retain(|c| !failed.contains(&c.index));
         shortlist.sort_by_key(|a| a.key.xor(&target));
         shortlist.truncate(k);
@@ -620,5 +639,29 @@ mod tests {
         let target = Hash256::digest(b"scaling probe");
         let outcome = dht.lookup_nodes(&mut net, 0, target).unwrap();
         assert!(outcome.hops <= 10, "hops = {}", outcome.hops);
+    }
+
+    #[test]
+    fn traced_lookup_records_one_hop_span_per_round() {
+        let (mut net, mut dht) = setup(64, 11);
+        net.take_trace(); // drop bootstrap-era spans (tracing was off anyway)
+        net.set_tracing(true);
+        let target = Hash256::digest(b"observed lookup");
+        let outcome = dht.lookup_nodes(&mut net, 9, target).unwrap();
+        let trace = net.take_trace();
+        let lookup = trace.named("dht.lookup").next().expect("lookup span");
+        assert_eq!(
+            trace
+                .children(lookup.id)
+                .filter(|s| s.name == "dht.hop")
+                .count(),
+            outcome.hops
+        );
+        // The span covers exactly the lookup's accumulated latency, and
+        // every per-RPC span nests inside it.
+        assert_eq!(lookup.duration(), outcome.latency);
+        for rpc in trace.named("rpc") {
+            assert_eq!(trace.root_of(rpc.id), lookup.id);
+        }
     }
 }

@@ -586,6 +586,15 @@ impl GossipFleet {
         } else {
             self.stats.rounds += 1;
         }
+        let round_start = net.now();
+        let round_span = net.tracer().open_with("gossip.round", round_start, || {
+            if anti_entropy {
+                "anti-entropy"
+            } else {
+                "regular"
+            }
+            .to_string()
+        });
         let n = self.frontends.len();
         for i in 0..n {
             if self.frontends[i].departed || !net.is_online(self.frontends[i].peer) {
@@ -648,6 +657,8 @@ impl GossipFleet {
                 f.pending_adverts.clear();
             }
         }
+        let end = net.now();
+        net.tracer().close(round_span, end);
     }
 
     /// Queue a batch window's freshly fetched `(term, version)` keys as
@@ -708,6 +719,13 @@ fn exchange(
     // digests, or the delta mode's holdings filter); plain full-mode
     // rounds stay bounded by the hot-set size.
     let delta_mode = !full && config.digest_mode == DigestMode::Delta;
+    let (a_peer, b_peer) = (a.peer, b.peer);
+    let exchange_start = net.now();
+    let exchange_span = net
+        .tracer()
+        .open_with("gossip.exchange", exchange_start, || {
+            format!("{a_peer}<->{b_peer}")
+        });
     let hot_of = |f: &Frontend| -> Vec<(String, u64)> {
         let max = if full || delta_mode {
             usize::MAX
@@ -745,6 +763,8 @@ fn exchange(
         if a.view.record_failure(b.peer, config.failure_threshold) {
             stats.evictions += 1;
         }
+        let end = net.now();
+        net.tracer().close(exchange_span, end);
         return false;
     }
     stats.exchanges += 1;
@@ -829,6 +849,8 @@ fn exchange(
         fill_budget,
         stats,
     );
+    let end = net.now();
+    net.tracer().close(exchange_span, end);
     true
 }
 
@@ -927,7 +949,16 @@ fn send_fills(
     if fills.is_empty() {
         return;
     }
-    if net.send(from.peer, to.peer, batch_bytes).is_err() {
+    let fill_count = fills.len();
+    let (from_peer, to_peer_label) = (from.peer, to.peer);
+    let fill_start = net.now();
+    let fill_span = net.tracer().open_with("gossip.fill", fill_start, || {
+        format!("{from_peer}->{to_peer_label} x{fill_count} {batch_bytes}B")
+    });
+    let sent = net.send(from.peer, to.peer, batch_bytes);
+    let end = net.now();
+    net.tracer().close(fill_span, end);
+    if sent.is_err() {
         // The digest swap already counted as a completed exchange; a
         // dropped fill batch is its own failure class.
         stats.failed_fills += 1;
@@ -1026,6 +1057,41 @@ mod tests {
         let accepted_before = fleet.stats().shards_accepted;
         fleet.run_round(&mut net, now, false);
         assert_eq!(fleet.stats().shards_accepted, accepted_before);
+    }
+
+    #[test]
+    fn traced_round_yields_exchange_and_fill_spans() {
+        let (mut fleet, mut net) = fleet(3);
+        net.set_tracing(true);
+        let now = SimInstant::ZERO;
+        fleet.cache_mut(0).store_shard(&shard("nectar", 2, 4), now);
+        fleet.observe(0, "nectar", 2);
+        fleet.run_round(&mut net, now, false);
+        let stats = *fleet.stats();
+        let trace = net.take_trace();
+        let round = trace.named("gossip.round").next().expect("round span");
+        assert_eq!(round.detail, "regular");
+        // Every completed or failed exchange opened a span under the round.
+        assert_eq!(
+            trace.named("gossip.exchange").count() as u64,
+            stats.exchanges + stats.failed_exchanges
+        );
+        for ex in trace.named("gossip.exchange") {
+            assert_eq!(trace.root_of(ex.id), round.id);
+            // The digest swap RPC nests inside its exchange.
+            assert!(trace.children(ex.id).any(|s| s.name == "rpc"));
+        }
+        assert!(
+            trace.named("gossip.fill").count() >= 1,
+            "the warming round pushes at least one fill batch"
+        );
+        // Tracing observed the round without perturbing it: an identically
+        // seeded untraced fleet accumulates identical stats.
+        let (mut fleet2, mut net2) = fleet_with(GossipConfig::enabled(3), 3 + 8);
+        fleet2.cache_mut(0).store_shard(&shard("nectar", 2, 4), now);
+        fleet2.observe(0, "nectar", 2);
+        fleet2.run_round(&mut net2, now, false);
+        assert_eq!(*fleet2.stats(), stats);
     }
 
     #[test]

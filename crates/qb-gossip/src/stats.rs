@@ -85,6 +85,34 @@ impl GossipStats {
     }
 }
 
+impl qb_trace::MetricsSource for GossipStats {
+    fn metrics_into(&self, out: &mut qb_trace::MetricsSnapshot) {
+        out.add_counter("gossip.rounds", self.rounds);
+        out.add_counter("gossip.anti_entropy_rounds", self.anti_entropy_rounds);
+        out.add_counter("gossip.exchanges", self.exchanges);
+        out.add_counter("gossip.failed_exchanges", self.failed_exchanges);
+        out.add_counter("gossip.failed_fills", self.failed_fills);
+        out.add_counter("gossip.digest_bytes", self.digest_bytes);
+        out.add_counter("gossip.fill_bytes", self.fill_bytes);
+        out.add_counter("gossip.intra_zone_fill_bytes", self.intra_zone_fill_bytes);
+        out.add_counter("gossip.cross_zone_fill_bytes", self.cross_zone_fill_bytes);
+        out.add_counter("gossip.shards_pushed", self.shards_pushed);
+        out.add_counter("gossip.shards_accepted", self.shards_accepted);
+        out.add_counter("gossip.stale_rejected", self.stale_rejected);
+        out.add_counter("gossip.duplicates_skipped", self.duplicates_skipped);
+        out.add_counter("gossip.admission_refused", self.admission_refused);
+        out.add_counter("gossip.membership_bytes", self.membership_bytes);
+        out.add_counter("gossip.joins", self.joins);
+        out.add_counter("gossip.leaves", self.leaves);
+        out.add_counter("gossip.crashes", self.crashes);
+        out.add_counter("gossip.evictions", self.evictions);
+        out.add_counter("gossip.revivals", self.revivals);
+        out.add_counter("gossip.batch_adverts", self.batch_adverts);
+        out.add_counter("gossip.filter_builds", self.filter_builds);
+        out.add_counter("gossip.filter_reuses", self.filter_reuses);
+    }
+}
+
 impl fmt::Display for GossipStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

@@ -73,5 +73,5 @@
 pub mod replay;
 pub mod trace;
 
-pub use replay::{replay, to_requests, ReplayConfig};
+pub use replay::{replay, replay_traced, to_requests, ReplayConfig};
 pub use trace::{Arrival, ArrivalTrace, RateShape, TraceConfig};

@@ -8,6 +8,13 @@
 //! degrade path *and* a population that exercises the cache). [`replay`]
 //! is the one-call version: generate requests, serve them, return the
 //! [`LoadReport`].
+//!
+//! [`replay_traced`] runs the same replay with the engine's structured
+//! tracer switched on and hands back the recorded [`qb_trace::Trace`]
+//! next to the report: every admitted query becomes a `query` span tree
+//! (`queue_wait` / `fetch` / `score` children) and every shed arrival a
+//! `load.shed` marker, ready for [`qb_trace::critical_path`] /
+//! [`qb_trace::attribution`] analysis.
 
 use crate::trace::ArrivalTrace;
 use qb_common::{DetRng, QbResult};
@@ -70,6 +77,27 @@ pub fn replay(
     config: &ReplayConfig,
 ) -> QbResult<LoadReport> {
     engine.serve_open_loop(to_requests(trace, config))
+}
+
+/// [`replay`] with the engine's structured tracer on for the duration of
+/// the run: returns the [`LoadReport`] together with the span trees the
+/// replay recorded (one `query` root per completed query, plus
+/// `load.shed` / `load.degrade` markers). The tracer is restored to its
+/// previous state afterwards, and the report is byte-identical to an
+/// untraced [`replay`] of the same trace — tracing never perturbs the
+/// simulation.
+pub fn replay_traced(
+    engine: &mut QueenBee,
+    trace: &ArrivalTrace,
+    config: &ReplayConfig,
+) -> QbResult<(LoadReport, qb_trace::Trace)> {
+    let was_on = engine.tracing_enabled();
+    engine.set_tracing(true);
+    let result = engine.serve_open_loop(to_requests(trace, config));
+    let spans = engine.take_trace();
+    engine.set_tracing(was_on);
+    let report = result?;
+    Ok((report, spans))
 }
 
 #[cfg(test)]

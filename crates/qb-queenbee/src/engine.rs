@@ -288,6 +288,47 @@ impl QueenBee {
         self.fleet.as_ref().map(|f| *f.stats())
     }
 
+    /// Switch the engine-wide structured tracer on or off. Tracing is off
+    /// by default; while off every span-recording site is a no-op (detail
+    /// closures never run) and the simulation is byte-identical to an
+    /// untraced run.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.net.set_tracing(on);
+    }
+
+    /// Whether the structured tracer is currently recording.
+    pub fn tracing_enabled(&self) -> bool {
+        self.net.tracing_enabled()
+    }
+
+    /// Drain everything the tracer recorded so far into a
+    /// [`qb_trace::Trace`] (span ids restart at 1, so identically-seeded
+    /// measurements produce identical traces).
+    pub fn take_trace(&mut self) -> qb_trace::Trace {
+        self.net.take_trace()
+    }
+
+    /// One unified snapshot over the engine's stats surfaces: network
+    /// counters, per-tier cache counters, gossip counters and query-engine
+    /// counters, all behind [`qb_trace::MetricsSnapshot`]'s named-counter
+    /// interface. Load reports are produced per [`QueenBee::serve_open_loop`]
+    /// run, so callers fold those in themselves via
+    /// [`qb_trace::MetricsSnapshot::collect`].
+    pub fn metrics_snapshot(&self) -> qb_trace::MetricsSnapshot {
+        let stats = self.net.stats().clone();
+        let cache = self.cache_metrics().map(crate::metrics::CacheReport);
+        let gossip = self.gossip_stats();
+        let query = self.query_stats();
+        let mut sources: Vec<&dyn qb_trace::MetricsSource> = vec![&stats, &query];
+        if let Some(cache) = &cache {
+            sources.push(cache);
+        }
+        if let Some(gossip) = &gossip {
+            sources.push(gossip);
+        }
+        qb_trace::MetricsSnapshot::collect(&sources)
+    }
+
     /// Per-tier counters of one frontend's private cache.
     pub fn frontend_cache_metrics(&self, frontend: usize) -> Option<CacheMetrics> {
         self.fleet
@@ -1029,6 +1070,11 @@ impl QueenBee {
     pub fn search_batch(&mut self, requests: Vec<SearchRequest>) -> QbResult<Vec<SearchResponse>> {
         let now = self.net.now();
         let batch = requests.len() >= 2 && self.fleet.is_some();
+        let query_count = requests.len();
+        let window_span = self
+            .net
+            .tracer()
+            .open_with("window", now, || format!("{query_count} queries"));
 
         // Stage 1: plan every request against its frontend's cache tiers.
         let plans = self.plan_window(requests)?;
@@ -1044,6 +1090,21 @@ impl QueenBee {
         for plan in plans {
             responses.push(self.serve_plan(plan, &fetched, &stats_read, now, None));
         }
+        let window_end = now
+            + responses
+                .iter()
+                .map(|r| r.latency)
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+        self.net.tracer().close(window_span, window_end);
+        // One root tree per response, rebuilt from its staged costs so the
+        // closed-loop path gets the same query/plan/fetch/score shape the
+        // open-loop server records.
+        if self.net.tracing_enabled() {
+            for response in &responses {
+                self.record_query_tree(response, now, now + response.latency, None);
+            }
+        }
         // Batch-aware gossip: a genuine batch window's fetched shard keys
         // enter the serving frontends' next digest round.
         for (frontend, terms) in batch_fetched {
@@ -1053,6 +1114,67 @@ impl QueenBee {
             self.run_due_gossip();
         }
         Ok(responses)
+    }
+
+    /// Record one per-query span tree on the tracer: a `query` root over
+    /// the sojourn (or service) interval with `queue_wait` /
+    /// `cache_serve` / staged-cost children, so critical-path analysis can
+    /// attribute a query's latency without knowing engine internals. The
+    /// children come from the response's [`StageCosts`] — the pipelined
+    /// paths run fetches on a virtual timeline, so stage spans are rebuilt
+    /// here rather than opened live.
+    fn record_query_tree(
+        &mut self,
+        response: &SearchResponse,
+        issued_at: SimInstant,
+        done: SimInstant,
+        arrived: Option<SimInstant>,
+    ) {
+        if !self.net.tracing_enabled() {
+            return;
+        }
+        let root_start = arrived.unwrap_or(issued_at);
+        let root = self
+            .net
+            .tracer()
+            .record_with(None, "query", root_start, done, || response.query.clone());
+        if let Some(arrived) = arrived {
+            self.net
+                .tracer()
+                .record(root, "queue_wait", arrived, issued_at);
+        }
+        if response.result_cache_hit() {
+            self.net
+                .tracer()
+                .record(root, "cache_serve", issued_at, done);
+        } else {
+            // Stage ends are clamped into the query's own interval: a
+            // memoized pipelined query can report stage costs larger than
+            // its rebased latency, and the root must still end at `done`.
+            let costs = &response.trace;
+            if costs.plan > SimDuration::ZERO {
+                let end = (issued_at + costs.plan).min(done);
+                self.net.tracer().record(root, "plan", issued_at, end);
+            }
+            if costs.stats > SimDuration::ZERO {
+                let end = (issued_at + costs.stats).min(done);
+                self.net.tracer().record(root, "stats", issued_at, end);
+            }
+            // In the open-loop server the whole service interval is the
+            // fetch-and-score critical section; closed-loop windows know
+            // the exact fetch cost.
+            let fetch_end = if arrived.is_some() {
+                done
+            } else {
+                (issued_at + costs.shard_fetch).min(done)
+            };
+            if fetch_end > issued_at {
+                self.net
+                    .tracer()
+                    .record(root, "fetch", issued_at, fetch_end);
+            }
+        }
+        self.net.tracer().record(root, "score", done, done);
     }
 
     /// Serve a request stream through the **pipelined execution engine**:
@@ -1142,6 +1264,7 @@ impl QueenBee {
                     let estimate = q.estimated_sojourn(at);
                     if q.queue.len() >= cfg.queue_capacity || estimate > cfg.shed_threshold {
                         report.shed += 1;
+                        self.net.tracer().record(None, "load.shed", at, at);
                         continue;
                     }
                     let mut request = timed.request.clone();
@@ -1150,6 +1273,7 @@ impl QueenBee {
                     {
                         request.freshness = Freshness::CacheOk;
                         report.degraded += 1;
+                        self.net.tracer().record(None, "load.degrade", at, at);
                     }
                     report.admitted += 1;
                     q.queue.push_back((at, request));
@@ -1174,6 +1298,7 @@ impl QueenBee {
                             report.queue_wait.record(span.issued_at.since(*arrived));
                             report.completed += 1;
                             last_completion = last_completion.max(done);
+                            self.record_query_tree(response, span.issued_at, done, Some(*arrived));
                         }
                     }
                     report.dispatches += 1;

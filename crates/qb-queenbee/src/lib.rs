@@ -44,6 +44,7 @@ pub use qb_cache::{CacheConfig, EvictionPolicy};
 pub use qb_gossip::{
     DigestMode, GossipConfig, GossipFleet, GossipStats, MembershipView, ShardFilter, VersionVector,
 };
+pub use qb_trace::{MetricsSnapshot, MetricsSource, Trace, Tracer};
 pub use query::{
     AdmissionConfig, Freshness, LoadReport, PipelineConfig, PipelineDriver, PipelineOutcome,
     PipelineReport, QueryPlan, RoutingPolicy, SearchRequest, SearchResponse, StageCosts,

@@ -24,6 +24,23 @@ impl CacheReport {
     }
 }
 
+impl qb_trace::MetricsSource for CacheReport {
+    fn metrics_into(&self, out: &mut qb_trace::MetricsSnapshot) {
+        for (name, t) in self.rows() {
+            out.add_counter(&format!("cache.{name}.hits"), t.hits);
+            out.add_counter(&format!("cache.{name}.misses"), t.misses);
+            out.add_counter(&format!("cache.{name}.insertions"), t.insertions);
+            out.add_counter(&format!("cache.{name}.evictions"), t.evictions);
+            out.add_counter(&format!("cache.{name}.expirations"), t.expirations);
+            out.add_counter(&format!("cache.{name}.invalidations"), t.invalidations);
+            out.add_counter(
+                &format!("cache.{name}.admission_rejections"),
+                t.admission_rejections,
+            );
+        }
+    }
+}
+
 impl fmt::Display for CacheReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (name, t) in self.rows() {
@@ -60,6 +77,19 @@ pub struct QueryEngineStats {
     pub pipelined_windows: u64,
     /// Queries served through the pipelined engine.
     pub pipelined_queries: u64,
+}
+
+impl qb_trace::MetricsSource for QueryEngineStats {
+    fn metrics_into(&self, out: &mut qb_trace::MetricsSnapshot) {
+        out.add_counter("query.score_invocations", self.score_invocations);
+        out.add_counter("query.window_memo_hits", self.window_memo_hits);
+        out.add_counter(
+            "query.window_memo_partial_hits",
+            self.window_memo_partial_hits,
+        );
+        out.add_counter("query.pipelined_windows", self.pipelined_windows);
+        out.add_counter("query.pipelined_queries", self.pipelined_queries);
+    }
 }
 
 /// Measures how fresh search results are relative to the registry's current

@@ -200,6 +200,26 @@ impl LoadReport {
     }
 }
 
+impl qb_trace::MetricsSource for LoadReport {
+    fn metrics_into(&self, out: &mut qb_trace::MetricsSnapshot) {
+        out.add_counter("load.offered", self.offered);
+        out.add_counter("load.admitted", self.admitted);
+        out.add_counter("load.degraded", self.degraded);
+        out.add_counter("load.shed", self.shed);
+        out.add_counter("load.completed", self.completed);
+        out.add_counter("load.windows", self.windows);
+        out.add_counter("load.dispatches", self.dispatches);
+        out.add_counter("load.peak_queue_depth", self.peak_queue_depth as u64);
+        out.add_counter(
+            "load.pipeline_queue_delay_us",
+            self.pipeline_queue_delay.as_micros(),
+        );
+        out.add_counter("load.makespan_us", self.makespan.as_micros());
+        out.merge_histogram("load.sojourn", &self.sojourn);
+        out.merge_histogram("load.queue_wait", &self.queue_wait);
+    }
+}
+
 impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(

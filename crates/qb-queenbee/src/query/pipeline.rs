@@ -296,31 +296,47 @@ impl PipelineDriver {
         let (fetched, stats_read) = qb.fetch_window(&win.plans)?;
         win.state = WindowState::Fetching;
 
+        let query_count = win.plans.len();
+        let window_span = qb
+            .net
+            .tracer()
+            .open_with("window", issued_at, || format!("{query_count} queries"));
+
         // Register every fetch (and the stats read) as an in-flight
         // operation of its issuing peer; the per-link limit may queue some
         // of them, pushing this window's completion out. Handles stay live
         // until the window retires, so fetches of the *next* windows queue
         // behind this window's occupancy.
         if let Some(read) = &stats_read {
+            let span = qb.net.tracer().open("stats_read", issued_at);
             let handle = qb
                 .net
                 .begin_async_op(read.origin_peer, issued_at, read.latency);
             let done = qb.net.async_completes_at(handle).expect("just issued");
+            qb.net.tracer().close(span, done);
             win.handles.push(handle);
             win.stats_done = Some(done);
             win.completes_at = win.completes_at.max(done);
             self.report.stats_reads += 1;
         }
         for (key, fetch) in &fetched {
+            let term = &key.1;
+            let span = qb
+                .net
+                .tracer()
+                .open_with("fetch", issued_at, || term.clone());
             let handle = qb
                 .net
                 .begin_async_op(fetch.origin_peer, issued_at, fetch.latency);
             let done = qb.net.async_completes_at(handle).expect("just issued");
+            qb.net.tracer().close(span, done);
             win.handles.push(handle);
             win.fetch_done.insert(key.clone(), done);
             win.completes_at = win.completes_at.max(done);
             self.report.shard_fetches += 1;
         }
+        let window_done = win.completes_at;
+        qb.net.tracer().close(window_span, window_done);
         win.fetched = fetched;
         win.stats_read = stats_read;
         Ok(win)

@@ -4,6 +4,7 @@
 use crate::latency::LatencyModel;
 use crate::stats::NetStats;
 use qb_common::{DetRng, QbError, SimDuration, SimInstant};
+use qb_trace::Tracer;
 use std::collections::HashMap;
 
 /// Static configuration of a simulated network.
@@ -122,6 +123,15 @@ pub enum Poll {
     Ready(AsyncCompletion),
 }
 
+/// Span label for an async link: `from->to`, or `from->*` for compound
+/// operations bounded per source peer.
+fn link_label(link: (u64, Option<u64>)) -> String {
+    match link.1 {
+        Some(to) => format!("{}->{}", link.0, to),
+        None => format!("{}->*", link.0),
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct InFlightOp {
     link: (u64, Option<u64>),
@@ -152,6 +162,10 @@ pub struct SimNet {
     /// per-link in-flight limit (kept pruned as operations retire).
     link_completions: HashMap<(u64, Option<u64>), Vec<SimInstant>>,
     next_handle: u64,
+    /// Span recorder shared by every protocol layer (they all hold `&mut
+    /// SimNet` already). Disabled by default; recording never touches
+    /// [`NetStats`] — observation is free, traffic is not.
+    tracer: Tracer,
 }
 
 impl SimNet {
@@ -173,7 +187,35 @@ impl SimNet {
             in_flight: HashMap::new(),
             link_completions: HashMap::new(),
             next_handle: 0,
+            tracer: Tracer::new(),
         }
+    }
+
+    /// The span recorder. Protocol layers thread their spans through this
+    /// (they all already hold `&mut SimNet`); it is disabled by default
+    /// and every call on a disabled tracer is a no-op branch.
+    pub fn tracer(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Read-only view of the span recorder.
+    pub fn tracer_ref(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Turn span recording on or off.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// Is span recording on?
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Drain everything recorded so far into a trace.
+    pub fn take_trace(&mut self) -> qb_trace::Trace {
+        self.tracer.take()
     }
 
     /// Number of peers (online or not).
@@ -384,7 +426,11 @@ impl SimNet {
         self.stats.messages += 2;
         self.stats.bytes += (request_bytes + response_bytes) as u64;
         self.stats.rpcs += 1;
-        Ok(prop_out + prop_back + transfer)
+        let latency = prop_out + prop_back + transfer;
+        let (start, end) = (self.clock, self.clock + latency);
+        self.tracer
+            .record_with(None, "rpc", start, end, || format!("{from}->{to}"));
+        Ok(latency)
     }
 
     /// Like [`SimNet::rpc`] but a failure costs the configured timeout, which
@@ -424,6 +470,9 @@ impl SimNet {
         let lat = self.config.latency.sample(&mut self.rng, za, zb) + self.transfer_time(bytes);
         self.stats.messages += 1;
         self.stats.bytes += bytes as u64;
+        let (start, end) = (self.clock, self.clock + lat);
+        self.tracer
+            .record_with(None, "send", start, end, || format!("{from}->{to}"));
         Ok(lat)
     }
 
@@ -484,7 +533,13 @@ impl SimNet {
         if queue_delay > SimDuration::ZERO {
             self.stats.async_queued_ops += 1;
             self.stats.async_queue_delay_us += queue_delay.as_micros();
+            self.tracer
+                .record_with(None, "net.queue", at, started_at, || link_label(link));
         }
+        self.tracer
+            .record_with(None, "net.deliver", started_at, completes_at, || {
+                link_label(link)
+            });
         self.next_handle += 1;
         let handle = RpcHandle(self.next_handle);
         self.in_flight.insert(
@@ -793,5 +848,72 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    /// Drive a representative mix of traffic and return (stats, latencies).
+    fn traffic_mix(tracing: bool) -> (NetStats, Vec<u64>) {
+        let mut net = SimNet::new(8, NetConfig::default(), 77);
+        net.set_tracing(tracing);
+        let mut lats = Vec::new();
+        for i in 0..6u64 {
+            lats.push(net.rpc(i % 8, (i + 1) % 8, 256, 512).unwrap().as_micros());
+            lats.push(net.send(i % 8, (i + 3) % 8, 128).unwrap().as_micros());
+        }
+        let handles: Vec<_> = (0..12)
+            .map(|i| net.send_async(0, 1 + (i % 3), 64, 64).unwrap())
+            .collect();
+        for h in handles {
+            let at = net.async_completes_at(h).unwrap();
+            lats.push(at.as_micros());
+            net.poll_complete(h, at);
+        }
+        (net.stats().clone(), lats)
+    }
+
+    #[test]
+    fn tracing_never_touches_netstats_or_latencies() {
+        // Observation is free, traffic is not: the full cost model —
+        // stats and every sampled latency — is byte-identical whether the
+        // tracer is recording or not.
+        let (stats_off, lats_off) = traffic_mix(false);
+        let (stats_on, lats_on) = traffic_mix(true);
+        assert_eq!(stats_off, stats_on);
+        assert_eq!(lats_off, lats_on);
+    }
+
+    #[test]
+    fn disabled_tracer_records_no_spans() {
+        let mut net = SimNet::new(4, NetConfig::default(), 5);
+        net.rpc(0, 1, 64, 64).unwrap();
+        net.send(1, 2, 64).unwrap();
+        net.send_async(2, 3, 64, 64).unwrap();
+        assert!(net.take_trace().is_empty());
+    }
+
+    #[test]
+    fn traced_traffic_yields_link_attributed_spans() {
+        let mut net = SimNet::new(4, NetConfig::default(), 5);
+        net.set_tracing(true);
+        net.rpc(0, 1, 64, 64).unwrap();
+        net.send(1, 2, 64).unwrap();
+        // Saturate link 3->2's in-flight capacity so a queue span appears.
+        for _ in 0..(net.config().max_in_flight_per_link + 1) {
+            net.send_async(3, 2, 64, 64).unwrap();
+        }
+        let trace = net.take_trace();
+        let rpc = trace.named("rpc").next().expect("rpc span");
+        assert_eq!(rpc.detail, "0->1");
+        assert_eq!(trace.named("send").next().unwrap().detail, "1->2");
+        assert!(trace.named("net.deliver").count() >= 1);
+        let queue = trace.named("net.queue").next().expect("queue span");
+        assert_eq!(queue.detail, "3->2");
+        // Two identically seeded runs serialize identically.
+        let rerun = |_: ()| {
+            let mut net = SimNet::new(4, NetConfig::default(), 5);
+            net.set_tracing(true);
+            net.rpc(0, 1, 64, 64).unwrap();
+            qb_trace::to_json(&net.take_trace())
+        };
+        assert_eq!(rerun(()), rerun(()));
     }
 }

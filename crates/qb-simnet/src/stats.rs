@@ -57,6 +57,21 @@ impl NetStats {
     }
 }
 
+impl qb_trace::MetricsSource for NetStats {
+    fn metrics_into(&self, out: &mut qb_trace::MetricsSnapshot) {
+        out.add_counter("net.messages", self.messages);
+        out.add_counter("net.bytes", self.bytes);
+        out.add_counter("net.rpcs", self.rpcs);
+        out.add_counter("net.failed_rpcs", self.failed_rpcs);
+        out.add_counter("net.dropped_messages", self.dropped_messages);
+        out.add_counter("net.peer_up_events", self.peer_up_events);
+        out.add_counter("net.peer_down_events", self.peer_down_events);
+        out.add_counter("net.async_ops", self.async_ops);
+        out.add_counter("net.async_queued_ops", self.async_queued_ops);
+        out.add_counter("net.async_queue_delay_us", self.async_queue_delay_us);
+    }
+}
+
 /// Collects latency samples and produces percentile summaries; used for every
 /// latency/throughput table in EXPERIMENTS.md.
 #[derive(Debug, Default, Clone)]

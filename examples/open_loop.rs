@@ -9,7 +9,7 @@
 
 use qb_chain::AccountId;
 use qb_common::{DetRng, SimDuration};
-use qb_load::{replay, ArrivalTrace, RateShape, ReplayConfig, TraceConfig};
+use qb_load::{replay, replay_traced, ArrivalTrace, RateShape, ReplayConfig, TraceConfig};
 use qb_queenbee::{AdmissionConfig, CacheConfig, GossipConfig, QueenBee, QueenBeeConfig};
 use qb_workload::{Corpus, CorpusConfig, CorpusGenerator};
 
@@ -112,5 +112,36 @@ fn main() {
         report.p50(),
         report.p99(),
         report.p999(),
+    );
+
+    // Observing the burst: replay the same flash crowd on a fresh fleet
+    // with the structured tracer on (`qb_load::replay_traced` — provably
+    // zero-impact, the report comes back byte-identical) and ask where the
+    // slowest query's sojourn actually went. During the burst the answer
+    // is queue wait at the ingress, not the fetch itself — the regime E15
+    // asserts across the whole overload ladder.
+    let mut traced_fleet = build_fleet();
+    publish_corpus(&mut traced_fleet, &corpus);
+    let (traced_report, spans) = replay_traced(
+        &mut traced_fleet,
+        &trace,
+        &ReplayConfig {
+            fresh_fraction: 0.9,
+            ..ReplayConfig::default()
+        },
+    )
+    .expect("traced replay");
+    assert_eq!(report, traced_report, "tracing never perturbs the replay");
+    let slowest = spans
+        .named("query")
+        .max_by_key(|s| (s.duration(), s.id))
+        .expect("completed queries");
+    println!(
+        "\nslowest traced query ({} arrival to completion) — critical path:",
+        slowest.duration()
+    );
+    print!(
+        "{}",
+        qb_trace::render_path(&qb_trace::critical_path(&spans, slowest.id))
     );
 }

@@ -236,7 +236,38 @@ fn main() {
         100.0 * metrics.result.hit_rate()
     );
 
-    // 9. Where to next: experiment E13 measures the pipelined engine at
+    // 9. Observing a query: the engine-wide tracer (`qb-trace`) ships off
+    //    and is provably zero-impact — every recording site is a no-op
+    //    until `set_tracing(true)`, and E15 asserts that traced runs are
+    //    byte-identical to untraced ones. Switched on, every query becomes
+    //    a deterministic span tree on the simulated clock; `critical_path`
+    //    walks it backwards from the response and answers "where did the
+    //    latency go?". The same tracer rides the open-loop harness:
+    //    `qb_load::replay_traced` replays a flash-crowd arrival trace (the
+    //    E14 workload) with tracing on and returns the span trees next to
+    //    the LoadReport, so the slowest query's arrival → queue-wait →
+    //    fetch critical path falls out of the data — see
+    //    `examples/open_loop.rs` for exactly that, `examples/trace_query.rs`
+    //    for a cold-vs-cached side-by-side, and `qb_trace::to_chrome_trace`
+    //    for a chrome://tracing / Perfetto-loadable export.
+    qb.set_tracing(true);
+    let traced = qb
+        .search_request(SearchRequest::new("artisanal honey").top_k(3))
+        .expect("search");
+    let spans = qb.take_trace();
+    qb.set_tracing(false);
+    let root = spans.named("query").next().expect("traced query tree");
+    println!(
+        "\ntraced query ({} spans, {} end to end) — critical path:",
+        spans.len(),
+        traced.latency
+    );
+    print!(
+        "{}",
+        qb_trace::render_path(&qb_trace::critical_path(&spans, root.id))
+    );
+
+    // 10. Where to next: experiment E13 measures the pipelined engine at
     //    scale (≥30% lower makespan than back-to-back windows on a
     //    duplicate-heavy Zipf stream, byte-identical results);
     //    `examples/batch_search.rs` measures batched vs sequential
