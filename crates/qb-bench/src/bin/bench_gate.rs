@@ -8,12 +8,13 @@
 //!
 //! The gate reads the machine-readable tables the `experiments` binary
 //! writes, extracts the headline metrics from the optimized configurations
-//! of E9–E14 and fails when a current value regresses past the threshold
+//! of E9–E16 and fails when a current value regresses past the threshold
 //! (default 10%): lower-is-better metrics (DHT shard fetches, RPC
 //! messages, gossip bytes, stale serves, pipelined makespan, open-loop
-//! tail latency and shed rate) must not rise above `baseline * (1 + t)`,
-//! higher-is-better metrics (window-memo dedup hits, the batch-aware
-//! warm-round lead, overload goodput) must not fall below
+//! tail latency, shed rate and segment-bootstrap cost) must not rise
+//! above `baseline * (1 + t)`, higher-is-better metrics (window-memo
+//! dedup hits, the batch-aware warm-round lead, overload goodput) must
+//! not fall below
 //! `baseline * (1 - t)`. Zero-baselines are exact: any stale result served
 //! fails outright. Metrics whose table is missing from the *baseline* are
 //! reported and skipped (a new experiment lands before its baseline);
@@ -105,6 +106,22 @@ const CHECKS: &[Check] = &[
     lower("E15b", "metric", "tracing_makespan_delta_%", "value"),
     higher("E15a", "load", "4x", "tail_queue_share_%"),
     lower("E15a", "load", "0.25x", "all_queue_share_%"),
+    // E12: zone-aware anti-entropy must keep reconciliation traffic from
+    // drifting back (the zone-aware run's totals).
+    lower(
+        "E12a",
+        "config",
+        "delta + zone budgets + zone-aware AE",
+        "stale_results",
+    ),
+    // E16: segment bootstrap. A joiner importing the artifact converges
+    // at round 0 with zero warm-up DHT fetches in the quick scenario —
+    // both are exact zero-baseline checks — and the bootstrap byte
+    // window must not regress past the threshold.
+    lower("E16a", "config", "segment join", "rounds_to_95"),
+    lower("E16a", "config", "segment join", "probe_dht_fetches"),
+    lower("E16a", "config", "segment join", "bootstrap_bytes"),
+    lower("E16a", "config", "segment join", "stale_results"),
 ];
 
 fn load(path: &str) -> Result<Vec<Value>, String> {
@@ -247,7 +264,7 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_gate: key metrics regressed >{:.0}% against {baseline_path}; \
              if intentional, regenerate the baseline with \
-             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12 e13 e14 e15` \
+             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12 e13 e14 e15 e16` \
              and copy bench-results/experiments.json over the baseline file.",
             threshold * 100.0
         );

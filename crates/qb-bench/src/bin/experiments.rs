@@ -28,7 +28,7 @@ fn main() {
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15",
+            "e14", "e15", "e16",
         ]
         .into_iter()
         .map(String::from)
@@ -55,8 +55,9 @@ fn main() {
             "e13" => e13_pipeline(quick),
             "e14" => e14_open_loop(quick),
             "e15" => e15_tracing(quick),
+            "e16" => e16_segment(quick),
             other => {
-                eprintln!("unknown experiment '{other}' (use f1, e1..e15 or all)");
+                eprintln!("unknown experiment '{other}' (use f1, e1..e16 or all)");
                 Vec::new()
             }
         };
@@ -1338,7 +1339,7 @@ fn e12_churn(quick: bool) -> Vec<Table> {
         (0..JOIN_PROBES).map(|_| zipf.sample(&mut rng)).collect()
     };
 
-    let run = |mode: DigestMode, zone_budgets: bool| -> ChurnRun {
+    let run = |mode: DigestMode, zone_budgets: bool, zone_aware_ae: bool| -> ChurnRun {
         let mut config = qb_queenbee::QueenBeeConfig::small();
         config.num_peers = if quick { 64 } else { 96 };
         config.num_bees = 6;
@@ -1348,6 +1349,7 @@ fn e12_churn(quick: bool) -> Vec<Table> {
         config.gossip = GossipConfig::enabled_zoned(fleet_n, ZONES);
         config.gossip.digest_mode = mode;
         config.gossip.zone_fill_budgets = zone_budgets;
+        config.gossip.zone_aware_anti_entropy = zone_aware_ae;
         // The periodic full-digest safety net stays on in both runs, paced
         // for a steady fleet (the default 2s is tuned for small partition
         // tests; at 40 regular rounds per anti-entropy sweep the exact
@@ -1455,14 +1457,38 @@ fn e12_churn(quick: bool) -> Vec<Table> {
         }
     };
 
-    let full = run(DigestMode::Full, false);
-    let delta = run(DigestMode::Delta, false);
-    let zoned = run(DigestMode::Delta, true);
+    let full = run(DigestMode::Full, false, false);
+    let delta = run(DigestMode::Delta, false, false);
+    let zoned = run(DigestMode::Delta, true, false);
+    let aware = run(DigestMode::Delta, true, true);
 
     // Acceptance criteria, asserted so the CI smoke job catches regressions.
     assert_eq!(full.stale, 0, "E12: full-digest run served stale results");
     assert_eq!(delta.stale, 0, "E12: delta-digest run served stale results");
     assert_eq!(zoned.stale, 0, "E12: zone-budget run served stale results");
+    assert_eq!(
+        aware.stale, 0,
+        "E12: zone-aware AE run served stale results"
+    );
+    // Zone-aware anti-entropy redirects reconciliation fills onto in-zone
+    // links whenever an in-zone member provably covers the gap — the
+    // cross-zone slice of anti-entropy fill bytes must drop, and the exact
+    // safety net must stay intact (hit rates undented, zero staleness).
+    assert!(
+        aware.stats.anti_entropy_cross_zone_fill_bytes
+            < zoned.stats.anti_entropy_cross_zone_fill_bytes,
+        "E12: zone-aware anti-entropy must cut cross-zone reconciliation \
+         bytes ({} vs {})",
+        aware.stats.anti_entropy_cross_zone_fill_bytes,
+        zoned.stats.anti_entropy_cross_zone_fill_bytes
+    );
+    assert!(
+        aware.steady_hit_rate >= 0.9 * zoned.steady_hit_rate,
+        "E12: zone-aware anti-entropy must not dent the steady-state hit \
+         rate ({:.2} vs {:.2})",
+        aware.steady_hit_rate,
+        zoned.steady_hit_rate
+    );
     assert!(
         zoned.stats.cross_zone_fill_bytes < delta.stats.cross_zone_fill_bytes,
         "E12: zone-aware fill budgets must cut cross-zone fill bytes ({} vs {})",
@@ -1511,6 +1537,7 @@ fn e12_churn(quick: bool) -> Vec<Table> {
         ("full digests", &full),
         ("delta digests", &delta),
         ("delta + zone budgets", &zoned),
+        ("delta + zone budgets + zone-aware AE", &aware),
     ] {
         t.row(&[
             label.into(),
@@ -1600,6 +1627,41 @@ fn e12_churn(quick: bool) -> Vec<Table> {
     t2.row(&[
         "steady-state hit rate (zone budgets)".into(),
         f2(zoned.steady_hit_rate),
+    ]);
+    // Zone-aware anti-entropy: the reconciliation slice of the fill bytes
+    // moved onto in-zone links (coverage confirmed against the partner's
+    // advertised holdings + filter, so the exact safety net is unweakened).
+    for (name, value) in [
+        (
+            "anti-entropy fill bytes (zone budgets)",
+            zoned.stats.anti_entropy_fill_bytes,
+        ),
+        (
+            "anti-entropy cross-zone fill bytes (zone budgets)",
+            zoned.stats.anti_entropy_cross_zone_fill_bytes,
+        ),
+        (
+            "anti-entropy fill bytes (zone-aware AE)",
+            aware.stats.anti_entropy_fill_bytes,
+        ),
+        (
+            "anti-entropy cross-zone fill bytes (zone-aware AE)",
+            aware.stats.anti_entropy_cross_zone_fill_bytes,
+        ),
+    ] {
+        t2.row(&[name.to_string(), value.to_string()]);
+    }
+    t2.row(&[
+        "anti-entropy cross-zone fill reduction".into(),
+        format!(
+            "{:.1}x",
+            zoned.stats.anti_entropy_cross_zone_fill_bytes as f64
+                / aware.stats.anti_entropy_cross_zone_fill_bytes.max(1) as f64
+        ),
+    ]);
+    t2.row(&[
+        "steady-state hit rate (zone-aware AE)".into(),
+        f2(aware.steady_hit_rate),
     ]);
     vec![t, t2]
 }
@@ -2445,6 +2507,372 @@ fn e8_systems_costs() -> Vec<Table> {
     t2.row(&[
         "chain integrity verified".into(),
         chain.verify_integrity().is_ok().to_string(),
+    ]);
+    vec![t, t2]
+}
+
+/// E16 — content-addressed index artifacts (qb-segment). Part A compares
+/// two identical fleets warming a brand-new frontend: one joins through
+/// the ordinary gossip bootstrap (one elevated-budget exchange, then
+/// catch-up rounds), the other bulk-bootstraps from the writer's published
+/// segment artifact (probe a neighbour for the pointer, fetch the artifact
+/// through storage + DHT, import through the version guard, one delta
+/// catch-up exchange). Between artifact publish and join a handful of
+/// pages are republished, so the artifact is slightly stale and the
+/// version guards must cover the gap. Part B measures writer compaction:
+/// batched publishes folding pending shards into generational artifacts,
+/// and the resulting write amplification.
+///
+/// Asserted acceptance criteria (the CI smoke job runs this quick):
+/// * the segment joiner reaches >=95% of steady-state hit rate, in no
+///   more catch-up rounds than the gossip joiner,
+/// * with >=50% fewer DHT shard fetches across the warm-up probes,
+/// * and strictly fewer bootstrap bytes than the gossip-only warm-up,
+/// * zero stale results served after the (stale) artifact import,
+/// * every segment publish/fetch byte visibly charged to `NetStats`.
+fn e16_segment(quick: bool) -> Vec<Table> {
+    use qb_queenbee::{CacheConfig, GossipConfig, SegmentConfig};
+    use qb_workload::ZipfSampler;
+
+    const PROBE_K: usize = 30;
+    const MAX_JOIN_ROUNDS: usize = 8;
+    let fleet_n: usize = if quick { 12 } else { 24 };
+    let (num_pages, pool_size, warm_len) = if quick { (40, 80, 360) } else { (80, 160, 720) };
+
+    let corpus = build_corpus(0xE16, num_pages);
+    let workload = QueryWorkload::new(&corpus);
+    let mut rng = DetRng::new(0xE16);
+    let pool = workload.generate_batch(&corpus, &mut rng, pool_size);
+    // A broad, near-uniform query mix: bulk bootstrap is about carrying a
+    // joiner to *coverage*, not just the Zipf head a few hot-set fills
+    // could ship.
+    let zipf = ZipfSampler::new(pool.len(), 0.3);
+    let stream: Vec<usize> = {
+        let mut rng = DetRng::new(0xE16F);
+        (0..warm_len).map(|_| zipf.sample(&mut rng)).collect()
+    };
+    // Per-round probe slices: every catch-up round probes the joiner with
+    // queries it has never served, so a probe's own fetches cannot warm
+    // the very rate a later round measures.
+    let probes: Vec<usize> = {
+        let mut rng = DetRng::new(0xE16B);
+        (0..PROBE_K * (MAX_JOIN_ROUNDS + 1))
+            .map(|_| zipf.sample(&mut rng))
+            .collect()
+    };
+
+    struct JoinRun {
+        steady_hit_rate: f64,
+        joined_hit_rate_r0: f64,
+        rounds_to_95: u64,
+        probe_shard_fetches: u64,
+        bootstrap_bytes: u64,
+        bootstrap_fill_bytes: u64,
+        stale: u64,
+        segment: qb_queenbee::SegmentStats,
+        report: Option<qb_queenbee::SegmentBootstrapReport>,
+        publish_charged: bool,
+        fetch_charged: bool,
+    }
+
+    let run = |use_segment: bool| -> JoinRun {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = if quick { 64 } else { 96 };
+        config.num_bees = 6;
+        config.seed = 0xE16;
+        config.cache = CacheConfig::enabled();
+        // A shard tier sized to hold the whole (small) index: the point of
+        // bulk bootstrap is reaching coverage, so the cache must not be
+        // the binding constraint.
+        config.cache.shard_capacity_bytes = 512 * 1024;
+        // Production-sized chunks: the test-default tiny chunker (64-byte
+        // target) would shred a ~100 KB artifact into ~1500 chunks and
+        // charge per-chunk RPC overhead that dwarfs the payload.
+        config.storage.chunker = qb_storage::ChunkerConfig::default();
+        config.gossip = GossipConfig::enabled(fleet_n);
+        // Budgets sized like a real deployment, where the index dwarfs
+        // what any single exchange can ship: a joiner cannot warm from
+        // one elevated-budget bootstrap exchange alone.
+        config.gossip.hot_set_size = 24;
+        config.gossip.max_fills_per_exchange = 4;
+        // Segments on in BOTH runs (identical publish-side costs); the
+        // runs differ only in how the late joiner bootstraps. Thresholds
+        // out of reach: the artifact is published by one explicit
+        // compaction below, bracketed by NetStats readings.
+        config.segment = SegmentConfig::enabled();
+        config.segment.max_pending_terms = usize::MAX;
+        config.segment.max_pending_bytes = usize::MAX;
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+
+        let net_before = qb.net.stats().clone();
+        qb.compact_segments()
+            .expect("compaction")
+            .expect("a publish batch leaves pending shards");
+        let publish_delta = qb.net.stats().delta_since(&net_before);
+        let seg_after_publish = qb.segment_stats();
+        let publish_charged = seg_after_publish.publish_bytes > 0
+            && publish_delta.bytes >= seg_after_publish.publish_bytes;
+
+        // Republishes after the artifact: its shards for these pages are
+        // now one version behind, so the joiner's import is slightly
+        // stale and the read-time version checks must cover the gap.
+        let mut rrng = DetRng::new(0xE16C);
+        for v in 0..1usize {
+            let victim = (v * 7) % corpus.pages.len();
+            let page = &corpus.pages[victim];
+            let updated = mutate_page(page, 100 + v as u64, &mut rrng);
+            let creator = AccountId(corpus.creators[victim]);
+            qb.publish((fleet_n + 2 + victim % 8) as u64, creator, &updated)
+                .expect("republish");
+        }
+        qb.seal();
+        qb.process_publish_events().expect("reindex");
+
+        // Warm the fleet to steady state; the second half of the stream
+        // is the steady-state hit-rate window.
+        let mut steady_hits = 0u64;
+        let mut steady_served = 0u64;
+        for (i, &q) in stream.iter().enumerate() {
+            qb.advance_time(SimDuration::from_millis(50));
+            let frontend = i % fleet_n;
+            if let Ok(out) = qb.search_from(frontend, &pool[q]) {
+                if i >= stream.len() / 2 {
+                    steady_served += 1;
+                    if out.shards_fetched == 0 {
+                        steady_hits += 1;
+                    }
+                }
+            }
+        }
+        let steady_hit_rate = steady_hits as f64 / steady_served.max(1) as f64;
+
+        // The joiner: same fleet state, two bootstrap paths.
+        let net_join = qb.net.stats().clone();
+        let gossip_join = qb.gossip_stats().expect("fleet");
+        let (joined, report) = if use_segment {
+            let (idx, rep) = qb.fleet_join_with_segment().expect("segment join");
+            (idx, Some(rep))
+        } else {
+            (qb.fleet_join().expect("gossip join"), None)
+        };
+        let fetch_charged = match &report {
+            Some(r) if r.used_segment => {
+                r.fetch_bytes > 0 && qb.net.stats().delta_since(&net_join).bytes >= r.fetch_bytes
+            }
+            _ => true,
+        };
+
+        // Catch-up rounds until the joiner reaches 95% of steady state.
+        let target = 0.95 * steady_hit_rate;
+        let mut rounds_to_95 = (MAX_JOIN_ROUNDS + 1) as u64; // sentinel: never
+        let mut probe_shard_fetches = 0u64;
+        let mut joined_hit_rate_r0 = 0.0;
+        for r in 0..=MAX_JOIN_ROUNDS {
+            if r > 0 {
+                qb.advance_time(qb.config().gossip.round_interval);
+            }
+            let slice = &probes[r * PROBE_K..(r + 1) * PROBE_K];
+            let mut hits = 0u64;
+            for &q in slice {
+                let out = qb.search_from(joined, &pool[q]).expect("probe");
+                probe_shard_fetches += out.shards_fetched as u64;
+                if out.shards_fetched == 0 {
+                    hits += 1;
+                }
+            }
+            let rate = hits as f64 / PROBE_K as f64;
+            if r == 0 {
+                joined_hit_rate_r0 = rate;
+            }
+            if rate >= target {
+                rounds_to_95 = r as u64;
+                break;
+            }
+        }
+        let bootstrap_bytes = qb.net.stats().delta_since(&net_join).bytes;
+        let gossip_after = qb.gossip_stats().expect("fleet");
+
+        JoinRun {
+            steady_hit_rate,
+            joined_hit_rate_r0,
+            rounds_to_95,
+            probe_shard_fetches,
+            bootstrap_bytes,
+            bootstrap_fill_bytes: gossip_after.bootstrap_fill_bytes
+                - gossip_join.bootstrap_fill_bytes,
+            stale: qb.freshness.stale_results,
+            segment: qb.segment_stats(),
+            report,
+            publish_charged,
+            fetch_charged,
+        }
+    };
+
+    let gossip_only = run(false);
+    let segment = run(true);
+    let seg_report = segment.report.expect("segment run reports its bootstrap");
+
+    // Acceptance criteria, asserted so the CI smoke job catches regressions.
+    assert!(
+        seg_report.used_segment,
+        "E16: the segment joiner must find and use the advertised artifact"
+    );
+    assert_eq!(gossip_only.stale, 0, "E16: gossip run served stale results");
+    assert_eq!(
+        segment.stale, 0,
+        "E16: stale results served after the artifact import"
+    );
+    assert!(
+        segment.rounds_to_95 <= MAX_JOIN_ROUNDS as u64,
+        "E16: segment bootstrap must reach 95% of steady-state hit rate \
+         (steady {:.2}, round-0 rate {:.2})",
+        segment.steady_hit_rate,
+        segment.joined_hit_rate_r0
+    );
+    assert!(
+        segment.rounds_to_95 <= gossip_only.rounds_to_95,
+        "E16: segment bootstrap must not need more catch-up rounds than \
+         gossip ({} vs {})",
+        segment.rounds_to_95,
+        gossip_only.rounds_to_95
+    );
+    assert!(
+        2 * segment.probe_shard_fetches <= gossip_only.probe_shard_fetches,
+        "E16: segment bootstrap must halve the warm-up DHT shard fetches \
+         ({} vs {})",
+        segment.probe_shard_fetches,
+        gossip_only.probe_shard_fetches
+    );
+    assert!(
+        segment.bootstrap_bytes < gossip_only.bootstrap_bytes,
+        "E16: segment bootstrap must move fewer bytes than the gossip-only \
+         warm-up ({} vs {})",
+        segment.bootstrap_bytes,
+        gossip_only.bootstrap_bytes
+    );
+    for r in [&gossip_only, &segment] {
+        assert!(
+            r.publish_charged,
+            "E16: segment publish bytes must be charged to NetStats"
+        );
+        assert!(
+            r.fetch_charged,
+            "E16: segment fetch bytes must be charged to NetStats"
+        );
+    }
+
+    let title = format!(
+        "E16a: bootstrapping frontend {fleet_n} of a {fleet_n}-frontend fleet \
+         ({num_pages} pages, {} warm-up queries) — gossip-only vs segment artifact",
+        stream.len()
+    );
+    let mut t = Table::new(
+        &title,
+        &[
+            "config",
+            "steady_hit_rate",
+            "joined_hit_rate_r0",
+            "rounds_to_95",
+            "probe_dht_fetches",
+            "bootstrap_bytes",
+            "bootstrap_fill_bytes",
+            "artifact_fetch_bytes",
+            "stale_results",
+        ],
+    );
+    for (label, r) in [
+        ("gossip-only join", &gossip_only),
+        ("segment join", &segment),
+    ] {
+        t.row(&[
+            label.into(),
+            f2(r.steady_hit_rate),
+            f2(r.joined_hit_rate_r0),
+            r.rounds_to_95.to_string(),
+            r.probe_shard_fetches.to_string(),
+            r.bootstrap_bytes.to_string(),
+            r.bootstrap_fill_bytes.to_string(),
+            r.segment.fetch_bytes.to_string(),
+            r.stale.to_string(),
+        ]);
+    }
+    t.row(&[
+        "reduction".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "{:.1}x",
+            gossip_only.probe_shard_fetches as f64 / segment.probe_shard_fetches.max(1) as f64
+        ),
+        format!(
+            "{:.1}x",
+            gossip_only.bootstrap_bytes as f64 / segment.bootstrap_bytes.max(1) as f64
+        ),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    // Part B: writer compaction. Small per-batch threshold, batched
+    // publishes: every batch folds its pending shards into the previous
+    // artifact and republishes the merged segment — the classic
+    // write-amplification trade of immutable index artifacts.
+    let batch_pages = if quick { 8 } else { 10 };
+    let mut config = qb_queenbee::QueenBeeConfig::small();
+    config.num_peers = if quick { 48 } else { 64 };
+    config.num_bees = 6;
+    config.seed = 0xE16;
+    config.cache = CacheConfig::enabled();
+    config.segment = SegmentConfig::enabled();
+    config.segment.max_pending_terms = 1; // compact on every publish batch
+    let mut qb = qb_bench::build_engine_with(config);
+    for (b, chunk) in corpus.pages.chunks(batch_pages).enumerate() {
+        for (i, page) in chunk.iter().enumerate() {
+            let idx = b * batch_pages + i;
+            let creator = AccountId(corpus.creators[idx]);
+            qb.publish((idx % 40) as u64, creator, page)
+                .expect("publish");
+        }
+        qb.seal();
+        qb.process_publish_events().expect("index batch");
+    }
+    let seg = qb.segment_stats();
+    let artifact = qb.latest_segment().expect("compacted artifact");
+    assert!(
+        seg.compactions >= 2,
+        "E16b: batched publishes must compact repeatedly ({} compactions)",
+        seg.compactions
+    );
+    assert!(
+        seg.publish_bytes >= artifact.total_len,
+        "E16b: cumulative publish bytes can never undercut the final artifact"
+    );
+
+    let mut t2 = Table::new(
+        &format!(
+            "E16b: writer compaction over {} batches of {batch_pages} pages \
+             (compact on every batch)",
+            corpus.pages.len().div_ceil(batch_pages)
+        ),
+        &["metric", "value"],
+    );
+    for (name, value) in [
+        ("compactions", seg.compactions),
+        ("input terms folded", seg.compaction_input_terms),
+        ("artifacts published", seg.segments_published),
+        ("cumulative publish bytes", seg.publish_bytes),
+        ("final artifact bytes", artifact.total_len),
+        ("final artifact terms", artifact.term_count),
+        ("final artifact generation", artifact.generation),
+        ("final artifact chunks", artifact.chunk_count),
+    ] {
+        t2.row(&[name.to_string(), value.to_string()]);
+    }
+    t2.row(&[
+        "write amplification (publish / final bytes)".into(),
+        f2(seg.publish_bytes as f64 / artifact.total_len.max(1) as f64),
     ]);
     vec![t, t2]
 }

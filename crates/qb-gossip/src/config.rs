@@ -99,6 +99,15 @@ pub struct GossipConfig {
     /// Cross-zone fill cap per exchange direction when `zone_fill_budgets`
     /// is on.
     pub cross_zone_fill_budget: usize,
+    /// Zone-aware anti-entropy: when an anti-entropy round finds terms the
+    /// frontend knows about but does not hold, it first tries to redirect
+    /// one partner slot to an in-zone live member whose advertised holdings
+    /// (or holdings `ShardFilter`) confirm it covers the missing shards —
+    /// filling over the cheap links. The remaining sampled partners (which
+    /// may be cross-zone or dead-probes) are untouched, and with no
+    /// qualified in-zone candidate the round samples exactly as before, so
+    /// the anti-entropy safety role is unweakened. Off by default.
+    pub zone_aware_anti_entropy: bool,
     /// Batch-aware gossip: a batch window's freshly fetched shard keys are
     /// queued on the serving frontend and ride its next digest round as
     /// priority advertisements (and priority fills), even when hot-set
@@ -131,6 +140,7 @@ impl Default for GossipConfig {
             zone_fill_budgets: false,
             intra_zone_fill_boost: 2,
             cross_zone_fill_budget: 4,
+            zone_aware_anti_entropy: false,
             batch_advertise: true,
             seed: 0x6055,
         }

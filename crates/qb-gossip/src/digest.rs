@@ -138,6 +138,11 @@ impl VersionVector {
         self.versions.is_empty()
     }
 
+    /// Iterate over `(term, highest observed version)` in term order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.versions.iter().map(|(t, v)| (t.as_str(), *v))
+    }
+
     /// Fold another vector in (pairwise max).
     pub fn merge(&mut self, other: &VersionVector) {
         for (term, v) in &other.versions {

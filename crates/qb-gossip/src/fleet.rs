@@ -52,8 +52,11 @@ use crate::membership::MembershipView;
 use crate::stats::GossipStats;
 use qb_cache::{CacheConfig, QueryCache, RemoteAdmit};
 use qb_common::{DetRng, SimDuration, SimInstant};
+use qb_dht::DhtNetwork;
 use qb_index::ShardEntry;
+use qb_segment::{fetch_segment, ImportReport, SegmentRef};
 use qb_simnet::SimNet;
+use qb_storage::StorageNetwork;
 use std::collections::HashMap;
 
 /// Wire overhead charged per shard in a fill batch (frame, version, TTL).
@@ -66,6 +69,37 @@ const DEPARTURE_NOTICE_BYTES: usize = 16;
 /// simulated-time step.
 const MAX_CATCHUP_ROUNDS: usize = 8;
 
+/// Request bytes of a join-time "what is your newest segment?" probe.
+const SEGMENT_PROBE_BYTES: usize = 16;
+
+/// Response bytes of a segment probe that found no artifact.
+const SEGMENT_PROBE_EMPTY_REPLY_BYTES: usize = 8;
+
+/// Terms a zone-aware anti-entropy coverage check inspects at most — a
+/// bound on per-round work, not on safety (uncovered terms simply leave the
+/// partner choice to the default sampler).
+const MAX_ZONE_AE_MISSING: usize = 32;
+
+/// What kind of exchange is running — decides digest shape (regular
+/// exchanges may use delta digests; the other classes always swap full
+/// digests) and which fill-byte class the traffic is accounted under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExchangeClass {
+    /// Periodic hot-set round.
+    Regular,
+    /// Periodic full-digest reconciliation round.
+    AntiEntropy,
+    /// A join's elevated-budget warm-up exchange.
+    Bootstrap,
+}
+
+impl ExchangeClass {
+    /// Full-digest exchanges reconcile entire shard tiers.
+    fn full(self) -> bool {
+        self != ExchangeClass::Regular
+    }
+}
+
 /// What one frontend knows about the sync state with one partner — the
 /// receiver-side reconstruction state of the delta-digest protocol.
 #[derive(Debug, Clone, Default)]
@@ -76,6 +110,11 @@ struct PeerSync {
     /// `(term -> version)` this frontend last advertised to the partner —
     /// the baseline the next delta digest is computed against.
     advertised: HashMap<String, u64>,
+    /// The partner's holdings filter from the last delta exchange (cleared
+    /// by full exchanges, whose holdings view is exact). Zone-aware
+    /// anti-entropy uses it to confirm an in-zone candidate still covers
+    /// the missing shards before redirecting a partner slot to it.
+    filter: Option<ShardFilter>,
 }
 
 /// One query frontend: a peer in the simulated network, its private cache,
@@ -116,6 +155,10 @@ pub struct Frontend {
     /// shard tier's `(generation, instant)`: rounds where nothing changed
     /// reuse it instead of rebuilding per exchange.
     filter_cache: Option<(u64, SimInstant, ShardFilter)>,
+    /// The newest published segment artifact this frontend knows of,
+    /// adopted from publish notifications and digest piggybacks; joiners
+    /// probe for it to bootstrap from the artifact instead of shard fills.
+    segment_advert: Option<SegmentRef>,
     /// The private query-serving cache. `None` only while the engine's
     /// search path has it checked out.
     cache: Option<QueryCache>,
@@ -135,6 +178,7 @@ impl Frontend {
             summary_cursor: 0,
             pending_adverts: Vec::new(),
             filter_cache: None,
+            segment_advert: None,
             cache: Some(QueryCache::new(cache_config)),
         }
     }
@@ -180,6 +224,11 @@ impl Frontend {
     /// Batch-window shard keys queued for the next digest round.
     pub fn pending_adverts(&self) -> &[(String, u64)] {
         &self.pending_adverts
+    }
+
+    /// The newest segment artifact this frontend currently advertises.
+    pub fn segment_advert(&self) -> Option<SegmentRef> {
+        self.segment_advert
     }
 
     /// The pending batch adverts re-resolved against the current cache:
@@ -500,6 +549,7 @@ impl GossipFleet {
         f.sync.clear();
         f.pending_adverts.clear();
         f.filter_cache = None;
+        f.segment_advert = None;
         f.incarnation += 1;
         f.heartbeat = 0;
         let (peer, zone, inc, hb) = (f.peer, f.zone, f.incarnation, f.heartbeat);
@@ -515,6 +565,26 @@ impl GossipFleet {
     /// back to the next candidate neighbour; a fleet with no reachable
     /// neighbour joins cold.
     fn bootstrap(&mut self, net: &mut SimNet, idx: usize, now: SimInstant) {
+        for j in self.bootstrap_candidates(net, idx) {
+            let (a, b) = pair_mut(&mut self.frontends, idx, j);
+            if exchange(
+                &self.config,
+                a,
+                b,
+                net,
+                now,
+                ExchangeClass::Bootstrap,
+                self.config.bootstrap_fill_budget(),
+                &mut self.stats,
+            ) {
+                return;
+            }
+        }
+    }
+
+    /// The live candidate neighbours of frontend `idx`, same zone first,
+    /// both groups shuffled — the order (re)joins and segment probes walk.
+    fn bootstrap_candidates(&mut self, net: &SimNet, idx: usize) -> Vec<usize> {
         let zone = self.frontends[idx].zone;
         let mut same: Vec<usize> = Vec::new();
         let mut cross: Vec<usize> = Vec::new();
@@ -530,21 +600,7 @@ impl GossipFleet {
         }
         self.rng.shuffle(&mut same);
         self.rng.shuffle(&mut cross);
-        for j in same.into_iter().chain(cross) {
-            let (a, b) = pair_mut(&mut self.frontends, idx, j);
-            if exchange(
-                &self.config,
-                a,
-                b,
-                net,
-                now,
-                true,
-                self.config.bootstrap_fill_budget(),
-                &mut self.stats,
-            ) {
-                return;
-            }
-        }
+        same.into_iter().chain(cross).collect()
     }
 
     // ----- rounds ------------------------------------------------------------------
@@ -607,7 +663,7 @@ impl GossipFleet {
             f.view.admit(peer, zone, inc, hb, now);
             // Zone-biased sampling from the members *this* frontend
             // believes alive (anti-entropy may probe dead ones).
-            let partners = self.frontends[i].view.sample_partners(
+            let mut partners = self.frontends[i].view.sample_partners(
                 &mut self.rng,
                 peer,
                 zone,
@@ -615,6 +671,19 @@ impl GossipFleet {
                 self.config.cross_zone_probability,
                 anti_entropy,
             );
+            // Zone-aware anti-entropy: when an in-zone live member's
+            // advertised holdings confirm it covers this frontend's missing
+            // shards, redirect one partner slot to it — the reconciling
+            // bulk moves over the cheap links. The other sampled partners
+            // (cross-zone escapes, dead probes) are untouched, and with no
+            // covering candidate the sample is exactly the default one.
+            if anti_entropy && self.config.zone_aware_anti_entropy {
+                if let Some(p) = self.zone_covering_partner(net, i) {
+                    partners.retain(|&x| x != p);
+                    partners.insert(0, p);
+                    partners.truncate(self.config.fanout.max(1));
+                }
+            }
             for p in partners {
                 let Some(&j) = self.index_by_peer.get(&p) else {
                     continue;
@@ -625,11 +694,17 @@ impl GossipFleet {
                 // Regular rounds respect the zone-aware fill budgets;
                 // anti-entropy keeps the flat budget (it is the safety
                 // net and must reconcile regardless of link cost).
-                let fill_budget = if anti_entropy {
-                    self.config.max_fills_per_exchange
+                let (class, fill_budget) = if anti_entropy {
+                    (
+                        ExchangeClass::AntiEntropy,
+                        self.config.max_fills_per_exchange,
+                    )
                 } else {
-                    self.config
-                        .regular_fill_budget(zone == self.frontends[j].zone)
+                    (
+                        ExchangeClass::Regular,
+                        self.config
+                            .regular_fill_budget(zone == self.frontends[j].zone),
+                    )
                 };
                 let (a, b) = pair_mut(&mut self.frontends, i, j);
                 exchange(
@@ -638,7 +713,7 @@ impl GossipFleet {
                     b,
                     net,
                     now,
-                    anti_entropy,
+                    class,
                     fill_budget,
                     &mut self.stats,
                 );
@@ -685,6 +760,199 @@ impl GossipFleet {
             }
         }
     }
+
+    /// The in-zone live member frontend `i`'s own sync state confirms
+    /// covers the most of its missing shards (known version > cached
+    /// version): exact advertised holdings first, the partner's last
+    /// holdings filter as the probabilistic fallback. Only local knowledge
+    /// is consulted — the check costs no traffic. Returns the
+    /// best-covering peer (ties broken by fleet order, so the choice is
+    /// deterministic), or `None` when nothing is missing or no in-zone
+    /// candidate confirms coverage of even one missing shard.
+    fn zone_covering_partner(&self, net: &SimNet, i: usize) -> Option<u64> {
+        let f = &self.frontends[i];
+        let cache = f.cache.as_ref()?;
+        let mut missing: Vec<(&str, u64)> = Vec::new();
+        for (term, version) in f.known.iter() {
+            if missing.len() >= MAX_ZONE_AE_MISSING {
+                break;
+            }
+            if cache.cached_shard_version(term).is_none_or(|c| c < version) {
+                missing.push((term, version));
+            }
+        }
+        if missing.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, u64)> = None; // (covered, peer)
+        for (j, cand) in self.frontends.iter().enumerate() {
+            if j == i || cand.departed || cand.zone != f.zone || !net.is_online(cand.peer) {
+                continue;
+            }
+            let Some(sync) = f.sync.get(&cand.peer) else {
+                continue;
+            };
+            let covered = missing
+                .iter()
+                .filter(|(term, version)| {
+                    sync.holdings.get(*term).copied().unwrap_or(0) >= *version
+                        || sync
+                            .filter
+                            .as_ref()
+                            .is_some_and(|flt| flt.contains(term, *version))
+                })
+                .count();
+            if covered > 0 && best.is_none_or(|(c, _)| covered > c) {
+                best = Some((covered, cand.peer));
+            }
+        }
+        best.map(|(_, peer)| peer)
+    }
+
+    // ----- segment artifacts -------------------------------------------------------
+
+    /// The writer published a segment artifact: every active frontend that
+    /// can currently observe the publish (same partition, online) adopts
+    /// the pointer if it is newer than what it advertises. Mirrors
+    /// [`GossipFleet::observe_publish`]'s free notification convention —
+    /// the artifact itself was paid for by [`qb_segment::publish_segment`],
+    /// and partitioned frontends pick the pointer up later from digest
+    /// piggybacks.
+    pub fn note_segment_published(&mut self, net: &SimNet, writer_peer: u64, sref: SegmentRef) {
+        for f in &mut self.frontends {
+            if f.departed || !net.can_reach(writer_peer, f.peer) {
+                continue;
+            }
+            if f.segment_advert
+                .is_none_or(|cur| cur.generation < sref.generation)
+            {
+                f.segment_advert = Some(sref);
+            }
+        }
+    }
+
+    /// The newest segment pointer any active frontend advertises.
+    pub fn latest_segment_advert(&self) -> Option<SegmentRef> {
+        self.frontends
+            .iter()
+            .filter(|f| f.is_active())
+            .filter_map(|f| f.segment_advert)
+            .max_by_key(|s| s.generation)
+    }
+
+    /// Like [`GossipFleet::join`], but the joiner first tries to bootstrap
+    /// from the fleet's newest published segment artifact: it probes live
+    /// neighbours (same zone preferred) for their segment pointer (each
+    /// probe a charged RPC), fetches the artifact through the
+    /// content-addressed storage/DHT path (all bytes charged to
+    /// `NetStats`), imports it through the cache's version guard — a stale
+    /// artifact can never clobber fresher knowledge — and finishes with
+    /// **one** flat-budget full exchange with the advertising neighbour to
+    /// delta-catch-up on everything published after the artifact. When no
+    /// neighbour advertises an artifact or the fetch fails, the join falls
+    /// back to the classic gossip-only bootstrap.
+    pub fn join_with_segment(
+        &mut self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        storage: &mut StorageNetwork,
+        peer: u64,
+        now: SimInstant,
+    ) -> qb_common::QbResult<(usize, SegmentBootstrapReport)> {
+        if self.index_by_peer.contains_key(&peer) {
+            return Err(qb_common::QbError::Config(format!(
+                "peer {peer} already hosts a frontend"
+            )));
+        }
+        let zone = (peer as usize) % self.config.zones.max(1);
+        let idx = self.frontends.len();
+        let mut f = Frontend::new(peer, zone, self.cache_config.clone());
+        f.view.admit(peer, zone, 0, 0, now);
+        self.frontends.push(f);
+        self.index_by_peer.insert(peer, idx);
+        self.stats.joins += 1;
+
+        let mut report = SegmentBootstrapReport::default();
+        let mut seed: Option<(usize, SegmentRef)> = None;
+        for j in self.bootstrap_candidates(net, idx) {
+            let cand_peer = self.frontends[j].peer;
+            let advert = self.frontends[j].segment_advert;
+            let reply_bytes =
+                advert.map_or(SEGMENT_PROBE_EMPTY_REPLY_BYTES, |s| s.wire_bytes() as usize);
+            report.advert_probes += 1;
+            if net
+                .rpc(peer, cand_peer, SEGMENT_PROBE_BYTES, reply_bytes)
+                .is_err()
+            {
+                continue;
+            }
+            self.stats.segment_advert_bytes += (SEGMENT_PROBE_BYTES + reply_bytes) as u64;
+            if let Some(sref) = advert {
+                seed = Some((j, sref));
+                break;
+            }
+        }
+        if let Some((j, sref)) = seed {
+            match fetch_segment(net, dht, storage, peer, sref.generation) {
+                Ok((segment, fref, io)) => {
+                    report.used_segment = true;
+                    report.generation = fref.generation;
+                    report.fetch_bytes = io.bytes;
+                    report.fetch_messages = io.messages;
+                    {
+                        let fr = &mut self.frontends[idx];
+                        let (cache_slot, known) = (&mut fr.cache, &fr.known);
+                        let cache = cache_slot.as_mut().expect("fresh frontend owns its cache");
+                        report.imported = segment.import_into(cache, |t| known.get(t), now);
+                    }
+                    let fr = &mut self.frontends[idx];
+                    for shard in segment.shards() {
+                        fr.known.observe(&shard.term, shard.version);
+                    }
+                    fr.segment_advert = Some(fref);
+                    // Delta catch-up: one full exchange at the *flat*
+                    // budget — the artifact carried the bulk; only what
+                    // was published after it still moves as fills.
+                    let (a, b) = pair_mut(&mut self.frontends, idx, j);
+                    exchange(
+                        &self.config,
+                        a,
+                        b,
+                        net,
+                        now,
+                        ExchangeClass::Bootstrap,
+                        self.config.bootstrap_fill_budget(),
+                        &mut self.stats,
+                    );
+                    return Ok((idx, report));
+                }
+                Err(_) => {
+                    // Pointer resolved but the artifact was unreachable —
+                    // fall through to the gossip-only warm-up.
+                }
+            }
+        }
+        self.bootstrap(net, idx, now);
+        Ok((idx, report))
+    }
+}
+
+/// What a segment-assisted join actually did, for experiment attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentBootstrapReport {
+    /// True when the joiner warmed from a fetched artifact (false = fell
+    /// back to the gossip-only bootstrap).
+    pub used_segment: bool,
+    /// Generation of the imported artifact (0 when none).
+    pub generation: u64,
+    /// Neighbours probed for a segment pointer.
+    pub advert_probes: u64,
+    /// Network bytes the artifact fetch reported (pointer + blocks).
+    pub fetch_bytes: u64,
+    /// RPC attempts the artifact fetch reported.
+    pub fetch_messages: u64,
+    /// Version-guard outcomes of the import.
+    pub imported: ImportReport,
 }
 
 /// Disjoint mutable borrows of two fleet slots.
@@ -708,10 +976,11 @@ fn exchange(
     b: &mut Frontend,
     net: &mut SimNet,
     now: SimInstant,
-    full: bool,
+    class: ExchangeClass,
     fill_budget: usize,
     stats: &mut GossipStats,
 ) -> bool {
+    let full = class.full();
     // Digests are rebuilt per exchange on purpose: a frontend warmed
     // earlier in this round advertises (and relays) its fresh shards in the
     // same round, giving multi-hop propagation per round instead of one.
@@ -745,8 +1014,13 @@ fn exchange(
     let memb_a = a.membership_summary(full, config.membership_summary_budget);
     let memb_b = b.membership_summary(full, config.membership_summary_budget);
     let filter_bytes = |f: &Option<ShardFilter>| f.as_ref().map_or(0, |f| f.wire_bytes());
-    let digest_bytes_a = digest_a.wire_bytes() + filter_bytes(&filter_a);
-    let digest_bytes_b = digest_b.wire_bytes() + filter_bytes(&filter_b);
+    // Segment pointers piggyback on every digest swap (both directions),
+    // so the newest artifact's pointer spreads epidemically like any other
+    // metadata — and its bytes are charged like any other metadata.
+    let seg_bytes_a = a.segment_advert.map_or(0, |s| s.wire_bytes() as usize);
+    let seg_bytes_b = b.segment_advert.map_or(0, |s| s.wire_bytes() as usize);
+    let digest_bytes_a = digest_a.wire_bytes() + filter_bytes(&filter_a) + seg_bytes_a;
+    let digest_bytes_b = digest_b.wire_bytes() + filter_bytes(&filter_b) + seg_bytes_b;
     // The digest swap is one request/response RPC; a partitioned or offline
     // partner fails it here, no state moves, and the initiator records the
     // failure against the partner's liveness.
@@ -770,6 +1044,16 @@ fn exchange(
     stats.exchanges += 1;
     stats.digest_bytes += (digest_bytes_a + digest_bytes_b) as u64;
     stats.membership_bytes += (memb_a.wire_bytes() + memb_b.wire_bytes()) as u64;
+    stats.segment_advert_bytes += (seg_bytes_a + seg_bytes_b) as u64;
+
+    // Both sides adopt the newer segment pointer.
+    let newest_segment = match (a.segment_advert, b.segment_advert) {
+        (Some(x), Some(y)) => Some(if x.generation >= y.generation { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    };
+    a.segment_advert = newest_segment;
+    b.segment_advert = newest_segment;
 
     // Liveness: the exchange itself is direct evidence both ways, and the
     // piggybacked summaries spread third-party heartbeats.
@@ -795,19 +1079,25 @@ fn exchange(
     // digests replace the holdings outright (exactly the PR 2 protocol).
     if full {
         // `hot_*` is the whole tier in a full (anti-entropy) exchange.
+        // The holdings view is exact again, so any stored partner filter
+        // is cleared rather than left to confirm stale coverage.
         let sa = a.sync_entry(b.peer);
         sa.advertised = hot_a.iter().cloned().collect();
         sa.holdings = hot_b.iter().cloned().collect();
+        sa.filter = None;
         let sb = b.sync_entry(a.peer);
         sb.advertised = hot_b.iter().cloned().collect();
         sb.holdings = hot_a.iter().cloned().collect();
+        sb.filter = None;
     } else if delta_mode {
         let sa = a.sync_entry(b.peer);
         sa.advertised.extend(digest_a.entries.iter().cloned());
         apply_delta(&mut sa.holdings, &digest_b.entries);
+        sa.filter = filter_b.clone();
         let sb = b.sync_entry(a.peer);
         sb.advertised.extend(digest_b.entries.iter().cloned());
         apply_delta(&mut sb.holdings, &digest_a.entries);
+        sb.filter = filter_a.clone();
     } else {
         a.sync_entry(b.peer).holdings = hot_b.iter().cloned().collect();
         b.sync_entry(a.peer).holdings = hot_a.iter().cloned().collect();
@@ -835,6 +1125,7 @@ fn exchange(
         filter_b.as_ref(),
         net,
         now,
+        class,
         fill_budget,
         stats,
     );
@@ -846,6 +1137,7 @@ fn exchange(
         filter_a.as_ref(),
         net,
         now,
+        class,
         fill_budget,
         stats,
     );
@@ -915,6 +1207,7 @@ fn send_fills(
     to_filter: Option<&ShardFilter>,
     net: &mut SimNet,
     now: SimInstant,
+    class: ExchangeClass,
     fill_budget: usize,
     stats: &mut GossipStats,
 ) {
@@ -969,6 +1262,19 @@ fn send_fills(
         stats.intra_zone_fill_bytes += batch_bytes as u64;
     } else {
         stats.cross_zone_fill_bytes += batch_bytes as u64;
+    }
+    // Per-class overlays (never double-counted into `fill_bytes`): the
+    // bootstrap/steady-state split E16 compares, and the anti-entropy
+    // cross-zone slice zone-aware anti-entropy exists to shrink.
+    match class {
+        ExchangeClass::Bootstrap => stats.bootstrap_fill_bytes += batch_bytes as u64,
+        ExchangeClass::AntiEntropy => {
+            stats.anti_entropy_fill_bytes += batch_bytes as u64;
+            if from.zone != to.zone {
+                stats.anti_entropy_cross_zone_fill_bytes += batch_bytes as u64;
+            }
+        }
+        ExchangeClass::Regular => {}
     }
     for (shard, sender_ttl) in fills {
         stats.shards_pushed += 1;
@@ -1543,5 +1849,201 @@ mod tests {
             zoned.cross_zone_fill_bytes,
             flat.cross_zone_fill_bytes
         );
+    }
+
+    fn segment_stack(n: usize) -> (SimNet, qb_dht::DhtNetwork, StorageNetwork) {
+        let mut net = SimNet::new(n, NetConfig::lan(), 7);
+        let dht = qb_dht::DhtNetwork::build(&mut net, qb_dht::DhtConfig::small());
+        let storage = StorageNetwork::new(n, qb_storage::StorageConfig::small());
+        (net, dht, storage)
+    }
+
+    #[test]
+    fn segment_join_bootstraps_from_the_artifact() {
+        let (mut net, mut dht, mut storage) = segment_stack(16);
+        let mut fleet =
+            GossipFleet::new(GossipConfig::enabled(3), &CacheConfig::enabled(), 0xF1EE7);
+        let now = SimInstant::ZERO;
+        for t in 0..6 {
+            let s = shard(&format!("term{t}"), 2, 3);
+            fleet.cache_mut(0).store_shard(&s, now);
+            fleet.observe(0, &s.term, 2);
+        }
+        // The writer publishes the artifact and notifies the fleet.
+        let segment = qb_segment::Segment::export(fleet.frontend(0).cache(), usize::MAX, now);
+        let (sref, _) =
+            qb_segment::publish_segment(&mut net, &mut dht, &mut storage, 0, &segment, 1).unwrap();
+        fleet.note_segment_published(&net, 0, sref);
+        assert_eq!(fleet.latest_segment_advert(), Some(sref));
+
+        let before = net.stats().clone();
+        let (idx, report) = fleet
+            .join_with_segment(&mut net, &mut dht, &mut storage, 9, now)
+            .unwrap();
+        assert!(report.used_segment);
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.imported.accepted, 6);
+        assert!(report.fetch_bytes > 0);
+        for t in 0..6 {
+            let term = format!("term{t}");
+            assert_eq!(
+                fleet.frontend(idx).cache().cached_shard_version(&term),
+                Some(2),
+                "joiner must hold {term} from the artifact"
+            );
+            assert_eq!(fleet.frontend(idx).known.get(&term), 2);
+        }
+        // The joiner now advertises the artifact itself, and every byte of
+        // the probe + fetch showed up on the network.
+        assert_eq!(fleet.frontend(idx).segment_advert(), Some(sref));
+        assert!(fleet.stats().segment_advert_bytes > 0);
+        let delta = net.stats().delta_since(&before);
+        assert!(delta.bytes >= report.fetch_bytes, "no free fetch bytes");
+    }
+
+    #[test]
+    fn segment_join_falls_back_to_gossip_bootstrap() {
+        let (mut net, mut dht, mut storage) = segment_stack(16);
+        let mut fleet =
+            GossipFleet::new(GossipConfig::enabled(3), &CacheConfig::enabled(), 0xF1EE7);
+        let now = SimInstant::ZERO;
+        fleet.cache_mut(0).store_shard(&shard("honey", 2, 4), now);
+        fleet.observe(0, "honey", 2);
+        // Converge the veterans so any bootstrap neighbour can warm the
+        // joiner.
+        fleet.run_round(&mut net, now, false);
+        // Nobody advertises an artifact: the join probes, then warms the
+        // classic way.
+        let (idx, report) = fleet
+            .join_with_segment(&mut net, &mut dht, &mut storage, 9, now)
+            .unwrap();
+        assert!(!report.used_segment);
+        assert!(report.advert_probes > 0);
+        assert_eq!(report.imported.accepted, 0);
+        assert_eq!(
+            fleet.frontend(idx).cache().cached_shard_version("honey"),
+            Some(2),
+            "fallback bootstrap must still warm the joiner"
+        );
+    }
+
+    #[test]
+    fn bootstrap_fill_bytes_are_split_from_steady_state() {
+        let (mut fleet, mut net) = fleet(3);
+        let now = SimInstant::ZERO;
+        for t in 0..5 {
+            let s = shard(&format!("term{t}"), 1, 3);
+            fleet.cache_mut(0).store_shard(&s, now);
+            fleet.observe(0, &s.term, 1);
+        }
+        // Converge the veterans, then measure the join against that floor:
+        // everything a join's warm-up moves is bootstrap-class.
+        fleet.run_round(&mut net, now, false);
+        let fill_floor = fleet.stats().fill_bytes;
+        fleet.join(&mut net, 7, now).unwrap();
+        let s = fleet.stats();
+        assert!(s.bootstrap_fill_bytes > 0, "join warm-up must be classed");
+        assert_eq!(s.bootstrap_fill_bytes, s.fill_bytes - fill_floor);
+        assert_eq!(s.anti_entropy_fill_bytes, 0);
+        // Steady-state rounds grow fill_bytes but not the bootstrap class.
+        let bootstrap_before = s.bootstrap_fill_bytes;
+        let fill_before = s.fill_bytes;
+        fleet.cache_mut(0).store_shard(&shard("fresh", 1, 2), now);
+        fleet.observe(0, "fresh", 1);
+        fleet.run_round(&mut net, now, false);
+        let s = fleet.stats();
+        assert!(s.fill_bytes > fill_before);
+        assert_eq!(s.bootstrap_fill_bytes, bootstrap_before);
+        // An anti-entropy round lands in its own class too.
+        fleet.cache_mut(0).store_shard(&shard("late", 3, 2), now);
+        fleet.observe(0, "late", 3);
+        fleet.run_round(&mut net, now, true);
+        let s = fleet.stats();
+        assert!(s.anti_entropy_fill_bytes > 0);
+        assert_eq!(s.bootstrap_fill_bytes, bootstrap_before);
+        assert_eq!(
+            s.intra_zone_fill_bytes + s.cross_zone_fill_bytes,
+            s.fill_bytes,
+            "class overlays never break the zone split invariant"
+        );
+    }
+
+    #[test]
+    fn zone_covering_partner_requires_confirmed_in_zone_coverage() {
+        let mut config = GossipConfig::enabled_zoned(4, 2);
+        config.zone_aware_anti_entropy = true;
+        let (mut fleet, net) = fleet_with(config, 12);
+        let now = SimInstant::ZERO;
+        // Frontend 0 (zone 0) knows of a shard it does not hold.
+        fleet.observe(0, "missing", 3);
+        // Nothing known about any partner yet: no candidate qualifies.
+        assert_eq!(fleet.zone_covering_partner(&net, 0), None);
+        // Frontend 1 (zone 1) advertises coverage — wrong zone, skipped.
+        fleet.frontends[0]
+            .sync_entry(1)
+            .holdings
+            .insert("missing".into(), 3);
+        assert_eq!(fleet.zone_covering_partner(&net, 0), None);
+        // Frontend 2 (zone 0) advertises an older version: not coverage.
+        fleet.frontends[0]
+            .sync_entry(2)
+            .holdings
+            .insert("missing".into(), 2);
+        assert_eq!(fleet.zone_covering_partner(&net, 0), None);
+        // Fresh enough: the in-zone member is chosen.
+        fleet.frontends[0]
+            .sync_entry(2)
+            .holdings
+            .insert("missing".into(), 3);
+        assert_eq!(fleet.zone_covering_partner(&net, 0), Some(2));
+        // The partner's holdings filter alone also confirms coverage.
+        fleet.frontends[0].sync_entry(2).holdings.clear();
+        fleet.frontends[0].sync_entry(2).filter =
+            Some(ShardFilter::build(&[("missing".into(), 3)], 8));
+        assert_eq!(fleet.zone_covering_partner(&net, 0), Some(2));
+        // Nothing missing → no redirection at all.
+        fleet.cache_mut(0).store_shard(&shard("missing", 3, 2), now);
+        assert_eq!(fleet.zone_covering_partner(&net, 0), None);
+    }
+
+    #[test]
+    fn zone_aware_anti_entropy_cuts_cross_zone_reconciliation_bytes() {
+        let run = |zone_aware: bool| -> GossipStats {
+            let mut config = GossipConfig::enabled_zoned(8, 2);
+            config.zone_aware_anti_entropy = zone_aware;
+            config.cross_zone_probability = 0.6;
+            let (mut fleet, mut net) = fleet_with(config, 16);
+            let now = SimInstant::ZERO;
+            // Every zone has a fully-stocked member, so in-zone coverage
+            // exists for everything a frontend may miss.
+            for owner in [0usize, 1usize] {
+                for t in 0..10 {
+                    let s = shard(&format!("term{t}"), 2, 3);
+                    fleet.cache_mut(owner).store_shard(&s, now);
+                }
+            }
+            for i in 0..8 {
+                for t in 0..10 {
+                    fleet.observe(i, &format!("term{t}"), 2);
+                }
+            }
+            // One regular round establishes per-partner sync state (and
+            // some fills); anti-entropy rounds then reconcile the rest.
+            fleet.run_round(&mut net, now, false);
+            for _ in 0..4 {
+                fleet.run_round(&mut net, now, true);
+            }
+            *fleet.stats()
+        };
+        let blind = run(false);
+        let aware = run(true);
+        assert!(
+            aware.anti_entropy_cross_zone_fill_bytes <= blind.anti_entropy_cross_zone_fill_bytes,
+            "zone-aware anti-entropy must not add cross-zone bytes ({} vs {})",
+            aware.anti_entropy_cross_zone_fill_bytes,
+            blind.anti_entropy_cross_zone_fill_bytes
+        );
+        // Reconciliation itself is unweakened: everyone converged.
+        assert!(aware.anti_entropy_fill_bytes > 0 || aware.fill_bytes > 0);
     }
 }

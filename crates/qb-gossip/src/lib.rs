@@ -69,6 +69,6 @@ pub mod stats;
 pub use config::{DigestMode, GossipConfig};
 pub use digest::{apply_delta, delta_entries, needs_fill, Digest, VersionVector};
 pub use filter::ShardFilter;
-pub use fleet::{Frontend, GossipFleet};
+pub use fleet::{Frontend, GossipFleet, SegmentBootstrapReport};
 pub use membership::{MemberInfo, MembershipSummary, MembershipView};
 pub use stats::GossipStats;

@@ -30,6 +30,18 @@ pub struct GossipStats {
     /// The slice of `fill_bytes` that crossed latency zones — the
     /// expensive links the zone-aware fill budgets exist to protect.
     pub cross_zone_fill_bytes: u64,
+    /// The slice of `fill_bytes` sent by a join's bootstrap exchange (the
+    /// elevated-budget warm-up), accounted apart from steady-state fills so
+    /// a segment-vs-gossip bootstrap comparison is exact.
+    pub bootstrap_fill_bytes: u64,
+    /// The slice of `fill_bytes` sent by periodic anti-entropy rounds.
+    pub anti_entropy_fill_bytes: u64,
+    /// The slice of `anti_entropy_fill_bytes` that crossed latency zones —
+    /// what zone-aware anti-entropy exists to shrink (asserted in E12).
+    pub anti_entropy_cross_zone_fill_bytes: u64,
+    /// Bytes spent advertising and probing segment pointers (piggybacked on
+    /// digest swaps and join-time probes).
+    pub segment_advert_bytes: u64,
     /// Shard fills sent.
     pub shards_pushed: u64,
     /// Shard fills accepted into a receiver's cache.
@@ -96,6 +108,16 @@ impl qb_trace::MetricsSource for GossipStats {
         out.add_counter("gossip.fill_bytes", self.fill_bytes);
         out.add_counter("gossip.intra_zone_fill_bytes", self.intra_zone_fill_bytes);
         out.add_counter("gossip.cross_zone_fill_bytes", self.cross_zone_fill_bytes);
+        out.add_counter("gossip.bootstrap_fill_bytes", self.bootstrap_fill_bytes);
+        out.add_counter(
+            "gossip.anti_entropy_fill_bytes",
+            self.anti_entropy_fill_bytes,
+        );
+        out.add_counter(
+            "gossip.anti_entropy_cross_zone_fill_bytes",
+            self.anti_entropy_cross_zone_fill_bytes,
+        );
+        out.add_counter("gossip.segment_advert_bytes", self.segment_advert_bytes);
         out.add_counter("gossip.shards_pushed", self.shards_pushed);
         out.add_counter("gossip.shards_accepted", self.shards_accepted);
         out.add_counter("gossip.stale_rejected", self.stale_rejected);
@@ -139,6 +161,14 @@ impl fmt::Display for GossipStats {
             self.cross_zone_fill_bytes,
             self.membership_bytes,
             self.total_bytes()
+        )?;
+        writeln!(
+            f,
+            "  fill classes: {} bootstrap + {} anti-entropy ({} cross-zone) of the fill bytes; {} segment-advert bytes",
+            self.bootstrap_fill_bytes,
+            self.anti_entropy_fill_bytes,
+            self.anti_entropy_cross_zone_fill_bytes,
+            self.segment_advert_bytes
         )?;
         writeln!(
             f,

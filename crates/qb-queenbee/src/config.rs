@@ -49,6 +49,11 @@ pub struct QueenBeeConfig {
     /// hot-shard digests and fills so one frontend's DHT fetch warms the
     /// rest of the fleet.
     pub gossip: GossipConfig,
+    /// Writer-side segment compaction: accumulate published shards into
+    /// pending index artifacts and periodically merge + publish them as
+    /// content-addressed segments new frontends can bulk-bootstrap from.
+    /// Default-off; with it off the engine never touches the segment path.
+    pub segment: qb_segment::SegmentConfig,
     /// Open-loop admission control: bounded per-frontend ingress queues,
     /// load shedding and `Fresh` → `CacheOk` degradation. Default-off; only
     /// [`crate::QueenBee::serve_open_loop`] consults it, so every
@@ -80,6 +85,7 @@ impl Default for QueenBeeConfig {
             duplicate_threshold: 0.8,
             cache: CacheConfig::default(),
             gossip: GossipConfig::default(),
+            segment: qb_segment::SegmentConfig::default(),
             admission: crate::query::admission::AdmissionConfig::default(),
             bee_stake: 1_000,
             slash_amount: 500,
@@ -130,6 +136,14 @@ impl QueenBeeConfig {
         }
         self.cache.validate()?;
         self.gossip.validate()?;
+        self.segment.validate().map_err(QbError::Config)?;
+        if self.segment.enabled && !self.cache.enabled {
+            return Err(QbError::Config(
+                "segment compaction needs the query cache enabled (pending segments \
+                 snapshot the writer cache's shard tier)"
+                    .into(),
+            ));
+        }
         self.admission.validate()?;
         if self.gossip.num_frontends > 0 {
             if !self.cache.enabled {
@@ -212,6 +226,18 @@ mod tests {
         assert!(c.validate().is_ok());
         c.gossip.zones = 1;
         assert!(c.validate().is_ok(), "unzoned gossip runs on any net");
+        // Segment compaction needs the cache; an enabled config with a
+        // zero threshold is invalid.
+        let mut c = QueenBeeConfig::small();
+        c.segment = qb_segment::SegmentConfig::enabled();
+        assert!(
+            c.validate().is_err(),
+            "segments without a cache are invalid"
+        );
+        c.cache = CacheConfig::enabled();
+        assert!(c.validate().is_ok());
+        c.segment.max_pending_terms = 0;
+        assert!(c.validate().is_err());
         // An enabled admission layer with degenerate knobs is invalid;
         // the default (disabled) tolerates them.
         let mut c = QueenBeeConfig::small();

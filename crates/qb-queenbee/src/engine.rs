@@ -20,6 +20,7 @@ use qb_dweb::{fetch_page_by_cid, publish_page, WebPage};
 use qb_gossip::{GossipFleet, GossipStats};
 use qb_index::{Analyzer, DistributedIndex, IndexStats, ScoredDoc, ShardEntry};
 use qb_rank::{LinkGraph, RankRoundReport};
+use qb_segment::{publish_segment, Segment, SegmentRef, SegmentStats};
 use qb_simnet::SimNet;
 use qb_storage::{FetchStats, ObjectRef, StorageNetwork};
 use qb_workload::AdSpec;
@@ -146,6 +147,18 @@ pub struct QueenBee {
     /// indexing reuse never pre-warms (and thus skews) the serving-side
     /// cold-start behavior the experiments measure.
     writer_cache: Option<QueryCache>,
+    /// Shards written since the last artifact publish — the pending
+    /// segment a writer compaction folds into the published artifact
+    /// (segment compaction enabled only; stays empty otherwise).
+    pending_segment: Segment,
+    /// Full content of the last published artifact, kept so compaction
+    /// merges the pending shards into it instead of re-reading the
+    /// distributed index.
+    published_segment: Segment,
+    /// Pointer to the last published artifact (generation source).
+    published_segment_ref: Option<SegmentRef>,
+    /// Segment-subsystem counters (publishes, fetches, imports).
+    segment_stats: SegmentStats,
     /// The next peer a joining frontend runs on ([`QueenBee::fleet_join`]):
     /// initial frontends occupy the lowest peer ids and bees the highest,
     /// so the ordinary user devices in between host late joiners.
@@ -224,6 +237,10 @@ impl QueenBee {
                 .cache
                 .enabled
                 .then(|| QueryCache::new(config.cache.clone())),
+            pending_segment: Segment::new(),
+            published_segment: Segment::new(),
+            published_segment_ref: None,
+            segment_stats: SegmentStats::default(),
             join_peer_cursor: config.gossip.num_frontends as u64,
             writer_shard_reads: 0,
             writer_shard_cache_hits: 0,
@@ -326,6 +343,9 @@ impl QueenBee {
         if let Some(gossip) = &gossip {
             sources.push(gossip);
         }
+        if self.config.segment.enabled {
+            sources.push(&self.segment_stats);
+        }
         qb_trace::MetricsSnapshot::collect(&sources)
     }
 
@@ -366,6 +386,42 @@ impl QueenBee {
         };
         self.join_peer_cursor += 1;
         fleet.join(&mut self.net, peer, now)
+    }
+
+    /// Like [`QueenBee::fleet_join`], but the joiner first tries to
+    /// bulk-bootstrap its cache from the fleet's newest published segment
+    /// artifact (probing live neighbours for their advertised pointer,
+    /// fetching the artifact through storage + DHT, importing it through
+    /// the version guard, then one delta catch-up exchange), falling back
+    /// to the ordinary gossip bootstrap when no artifact is advertised or
+    /// the fetch fails. Returns the frontend index and a report of what
+    /// the bootstrap actually did.
+    pub fn fleet_join_with_segment(
+        &mut self,
+    ) -> QbResult<(usize, qb_gossip::SegmentBootstrapReport)> {
+        let now = self.net.now();
+        let peer = self.join_peer_cursor;
+        if peer as usize >= self.config.num_peers - self.config.num_bees {
+            return Err(QbError::Config(
+                "no free peer left to host a new frontend".into(),
+            ));
+        }
+        let Some(fleet) = self.fleet.as_mut() else {
+            return Err(QbError::Config(
+                "fleet_join_with_segment needs a frontend fleet (config.gossip.num_frontends > 0)"
+                    .into(),
+            ));
+        };
+        self.join_peer_cursor += 1;
+        let (idx, report) =
+            fleet.join_with_segment(&mut self.net, &mut self.dht, &mut self.storage, peer, now)?;
+        if report.used_segment {
+            self.segment_stats.segments_fetched += 1;
+            self.segment_stats.fetch_bytes += report.fetch_bytes;
+            self.segment_stats.fetch_messages += report.fetch_messages;
+        }
+        self.segment_stats.record_import(&report.imported);
+        Ok((idx, report))
     }
 
     /// Frontend `frontend` leaves the fleet: gracefully (departure notices
@@ -749,6 +805,9 @@ impl QueenBee {
                     &shard,
                 )?;
                 self.after_shard_write(wcache, writer_peer, &shard, now);
+                if self.config.segment.enabled {
+                    self.pending_segment.insert(shard);
+                }
             }
 
             // Remove the document from shards of terms the new version no
@@ -783,6 +842,13 @@ impl QueenBee {
                     &shard,
                 )?;
                 self.after_shard_write(wcache, writer_peer, &shard, now);
+                if self.config.segment.enabled {
+                    // The shrunk shard rides the next artifact too: its
+                    // bumped version dominates the fatter copy on merge, so
+                    // a bootstrap from the artifact never resurrects the
+                    // removed posting.
+                    self.pending_segment.insert(shard);
+                }
             }
 
             // Update the collection statistics.
@@ -823,10 +889,89 @@ impl QueenBee {
             let peer = self.bees[0].peer;
             self.dist_index
                 .write_stats(&mut self.net, &mut self.dht, peer, &stats)?;
+            self.maybe_compact_segments()?;
         }
         self.chain.seal_block(self.net.now());
         self.event_cursor = self.chain.events().len();
         Ok(handled)
+    }
+
+    /// Compact when the pending segment crossed a configured threshold
+    /// (terms or encoded bytes). Called once per publish batch.
+    fn maybe_compact_segments(&mut self) -> QbResult<()> {
+        if !self.config.segment.enabled || self.pending_segment.is_empty() {
+            return Ok(());
+        }
+        if self.pending_segment.len() >= self.config.segment.max_pending_terms
+            || self.pending_segment.encoded_len() >= self.config.segment.max_pending_bytes
+        {
+            self.compact_segments()?;
+        }
+        Ok(())
+    }
+
+    /// Force a writer compaction now: fold the pending shards into the
+    /// last published artifact (version-vector-dominant merge, so a
+    /// republished term's newer shard wins wholesale), publish the merged
+    /// segment into the content-addressed storage DAG under the next
+    /// generation, and advertise the new pointer to every frontend that
+    /// can currently observe the writer. Returns the new pointer, or
+    /// `None` when segments are disabled or nothing is pending.
+    pub fn compact_segments(&mut self) -> QbResult<Option<SegmentRef>> {
+        if !self.config.segment.enabled || self.pending_segment.is_empty() {
+            return Ok(None);
+        }
+        let pending = std::mem::take(&mut self.pending_segment);
+        let prev = std::mem::take(&mut self.published_segment);
+        let input_terms = (pending.len() + prev.len()) as u64;
+        let merged = Segment::merge([prev, pending]);
+        let generation = self.published_segment_ref.map_or(0, |r| r.generation) + 1;
+        let writer_peer = self.bees[0].peer;
+        match publish_segment(
+            &mut self.net,
+            &mut self.dht,
+            &mut self.storage,
+            writer_peer,
+            &merged,
+            generation,
+        ) {
+            Ok((sref, io)) => {
+                self.segment_stats.segments_published += 1;
+                self.segment_stats.publish_bytes += io.bytes;
+                self.segment_stats.compactions += 1;
+                self.segment_stats.compaction_input_terms += input_terms;
+                if let Some(fleet) = self.fleet.as_mut() {
+                    fleet.note_segment_published(&self.net, writer_peer, sref);
+                }
+                self.published_segment = merged;
+                self.published_segment_ref = Some(sref);
+                Ok(Some(sref))
+            }
+            Err(e) => {
+                // Nothing is lost on a failed publish: the merged content
+                // goes back to pending (the merge is idempotent, so
+                // re-folding already-published shards is harmless) and the
+                // next compaction retries at the same generation.
+                self.pending_segment = merged;
+                Err(e)
+            }
+        }
+    }
+
+    /// Cumulative segment-subsystem counters (publishes, fetches,
+    /// compactions, import admissions).
+    pub fn segment_stats(&self) -> SegmentStats {
+        self.segment_stats
+    }
+
+    /// Pointer to the newest segment artifact this engine published.
+    pub fn latest_segment(&self) -> Option<SegmentRef> {
+        self.published_segment_ref
+    }
+
+    /// Terms currently accumulated in the pending (unpublished) segment.
+    pub fn pending_segment_terms(&self) -> usize {
+        self.pending_segment.len()
     }
 
     /// Read a term's shard on the indexing path: the writer cache's shard
@@ -2480,6 +2625,107 @@ mod tests {
         assert!(out.shard_cache_hits > 0);
         assert_eq!(qb.freshness.stale_results, 0);
         assert_eq!(qb.gossip_stats().unwrap().joins, 1);
+    }
+
+    fn segment_fleet_engine(n: usize) -> QueenBee {
+        let mut config = QueenBeeConfig::small();
+        config.cache = qb_cache::CacheConfig::enabled();
+        config.gossip = qb_gossip::GossipConfig::enabled(n);
+        config.segment = qb_segment::SegmentConfig::enabled();
+        // Compact on every publish batch so the tests see artifacts
+        // without bulk workloads.
+        config.segment.max_pending_terms = 1;
+        QueenBee::new(config).unwrap()
+    }
+
+    #[test]
+    fn writer_compaction_publishes_generational_artifacts() {
+        let mut qb = segment_fleet_engine(2);
+        qb.publish(
+            10,
+            AccountId(1_000),
+            &page("wiki/seg", "segments compact writer output", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let s = qb.segment_stats();
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.segments_published, 1);
+        assert!(s.publish_bytes > 0, "publishing an artifact is never free");
+        let first = qb.latest_segment().unwrap();
+        assert_eq!(first.generation, 1);
+        assert!(first.term_count > 0);
+        assert_eq!(qb.pending_segment_terms(), 0, "compaction drains pending");
+        // A second batch folds forward into generation 2, keeping at least
+        // the previously published terms (version-dominant merge).
+        qb.publish(
+            10,
+            AccountId(1_000),
+            &page("wiki/seg2", "segments keep merging forward", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        let second = qb.latest_segment().unwrap();
+        assert_eq!(second.generation, 2);
+        assert!(second.term_count >= first.term_count);
+        assert_eq!(qb.segment_stats().compactions, 2);
+    }
+
+    #[test]
+    fn segment_join_bulk_bootstraps_a_new_frontend() {
+        let mut qb = segment_fleet_engine(2);
+        qb.publish(
+            10,
+            AccountId(1_000),
+            &page("wiki/boot", "artifact bootstrap warms joiners", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        assert!(qb.latest_segment().is_some());
+        let (idx, report) = qb.fleet_join_with_segment().unwrap();
+        assert_eq!(idx, 2);
+        assert!(report.used_segment, "an advertised artifact must be used");
+        assert!(report.imported.accepted > 0);
+        let s = qb.segment_stats();
+        assert_eq!(s.segments_fetched, 1);
+        assert!(s.fetch_bytes > 0, "fetching an artifact is never free");
+        assert_eq!(s.shards_imported, report.imported.accepted);
+        let out = qb.search_from(idx, "artifact bootstrap").unwrap();
+        assert_eq!(out.shards_fetched, 0, "the import must warm the joiner");
+        assert!(out.shard_cache_hits > 0);
+        assert_eq!(
+            qb.freshness.stale_results, 0,
+            "no stale serves after import"
+        );
+        // The segment counters ride the unified metrics snapshot.
+        let snap = qb.metrics_snapshot();
+        assert_eq!(snap.counter("segment.segments_fetched"), 1);
+        assert!(snap.counter("segment.publish_bytes") > 0);
+    }
+
+    #[test]
+    fn segment_join_falls_back_to_gossip_without_an_artifact() {
+        // Segments disabled: no artifact is ever advertised, so the same
+        // call bootstraps through the ordinary gossip exchange.
+        let mut qb = fleet_engine(2, true);
+        qb.publish(
+            10,
+            AccountId(1_000),
+            &page("wiki/fallback", "no artifact means gossip warmup", vec![]),
+        )
+        .unwrap();
+        qb.seal();
+        qb.process_publish_events().unwrap();
+        qb.search_from(0, "artifact gossip").unwrap();
+        qb.run_gossip_round(false);
+        let (idx, report) = qb.fleet_join_with_segment().unwrap();
+        assert!(!report.used_segment);
+        assert_eq!(qb.segment_stats().segments_fetched, 0);
+        let out = qb.search_from(idx, "artifact gossip").unwrap();
+        assert_eq!(out.shards_fetched, 0, "gossip fallback still warms");
     }
 
     #[test]

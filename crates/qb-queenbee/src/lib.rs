@@ -42,8 +42,10 @@ pub use metrics::{
 };
 pub use qb_cache::{CacheConfig, EvictionPolicy};
 pub use qb_gossip::{
-    DigestMode, GossipConfig, GossipFleet, GossipStats, MembershipView, ShardFilter, VersionVector,
+    DigestMode, GossipConfig, GossipFleet, GossipStats, MembershipView, SegmentBootstrapReport,
+    ShardFilter, VersionVector,
 };
+pub use qb_segment::{Segment, SegmentConfig, SegmentRef, SegmentStats};
 pub use qb_trace::{MetricsSnapshot, MetricsSource, Trace, Tracer};
 pub use query::{
     AdmissionConfig, Freshness, LoadReport, PipelineConfig, PipelineDriver, PipelineOutcome,

@@ -267,7 +267,26 @@ fn main() {
         qb_trace::render_path(&qb_trace::critical_path(&spans, root.id))
     );
 
-    // 10. Where to next: experiment E13 measures the pipelined engine at
+    // 10. Bootstrapping a frontend from index artifacts: with
+    //    `config.segment = SegmentConfig::enabled()` (it rides on the query
+    //    cache) the writer path accumulates every published shard into a
+    //    pending segment — an immutable, deterministically encoded,
+    //    mergeable multi-term artifact with a per-term version vector.
+    //    `qb.compact_segments()` merges the pending segments and publishes
+    //    the artifact as a chunked content-addressed DAG in qb-storage plus
+    //    a DHT pointer record (`qb.latest_segment()` returns the published
+    //    `SegmentRef`), with every byte charged to NetStats. A late joiner
+    //    then calls `qb.fleet_join_with_segment()` instead of
+    //    `qb.fleet_join()`: one pointer lookup, one bulk artifact fetch,
+    //    one import through the cache's version guard (stale shards from
+    //    before a republish are refused, so zero stale serves), one delta
+    //    catch-up exchange — instead of warming query-by-query from the
+    //    DHT. E16 asserts the payoff: the segment joiner reaches 95% of
+    //    steady-state hit rate with ≥50% fewer warm-up DHT shard fetches
+    //    and strictly fewer bootstrap bytes than gossip-only warm-up. See
+    //    `examples/segment_bootstrap.rs` for the side-by-side.
+
+    // 11. Where to next: experiment E13 measures the pipelined engine at
     //    scale (≥30% lower makespan than back-to-back windows on a
     //    duplicate-heavy Zipf stream, byte-identical results);
     //    `examples/batch_search.rs` measures batched vs sequential
@@ -289,4 +308,5 @@ fn main() {
     //    asserted in E13b).
     println!("\nnext: cargo run -p qb-examples --release --bin batch_search");
     println!("      cargo run -p qb-examples --release --bin fleet_churn");
+    println!("      cargo run -p qb-examples --release --bin segment_bootstrap");
 }
