@@ -100,6 +100,7 @@ fn bench_pipelined(c: &mut Criterion) {
                     PipelineConfig {
                         window_size: 16,
                         max_windows_in_flight: 4,
+                        ..PipelineConfig::default()
                     },
                 )
                 .expect("pipelined stream")

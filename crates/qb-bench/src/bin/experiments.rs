@@ -1772,6 +1772,7 @@ fn e13_pipeline(quick: bool) -> Vec<Table> {
             PipelineConfig {
                 window_size: WINDOW,
                 max_windows_in_flight: DEPTH,
+                ..PipelineConfig::default()
             },
         )
         .expect("pipelined stream");
@@ -1811,6 +1812,147 @@ fn e13_pipeline(quick: bool) -> Vec<Table> {
             report.queue_delay > SimDuration::ZERO,
             "E13: the quick stream must exercise per-link queueing (queue_delay stuck at 0 \
              means the tightened in-flight budget stopped biting)"
+        );
+    }
+
+    // Self-steering pipeline: same stream and base knobs, with the
+    // adaptive controller steering depth/window/issue-order from the
+    // observed queue-delay share.
+    let mut qb = build();
+    let requests: Vec<_> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| request(i, q))
+        .collect();
+    let adaptive = qb
+        .search_pipelined(
+            requests,
+            PipelineConfig {
+                window_size: WINDOW,
+                max_windows_in_flight: DEPTH,
+                ..PipelineConfig::self_steering()
+            },
+        )
+        .expect("adaptive pipelined stream");
+    let adaptive_messages: u64 = adaptive.responses.iter().map(|r| r.messages()).sum();
+    let adaptive_fetches: u64 = adaptive
+        .responses
+        .iter()
+        .map(|r| r.shards_fetched() as u64)
+        .sum();
+    let adaptive_invocations = qb.query_stats().score_invocations;
+    let adaptive_report = adaptive.report;
+    for (i, (seq, resp)) in seq_hits.iter().zip(&adaptive.responses).enumerate() {
+        assert_eq!(
+            seq, &resp.hits,
+            "E13: query {i} ('{}') must rank identically adaptive vs sequential",
+            pool[stream[i]]
+        );
+    }
+    // The controller must never lose to the fixed pipeline it steers:
+    // below saturation it converges to the fixed configuration (identical
+    // schedule), under saturation its back-off and shortest-first issue
+    // only reorder work the link budget was already serializing.
+    let adaptive_vs_fixed = 100.0 * adaptive_report.makespan.as_micros() as f64
+        / report.makespan.as_micros().max(1) as f64;
+    assert!(
+        adaptive_vs_fixed <= 100.5,
+        "E13: the self-steering pipeline must hold or improve the fixed-depth makespan \
+         ({} vs {}, {adaptive_vs_fixed:.1}%)",
+        adaptive_report.makespan,
+        report.makespan
+    );
+
+    // ----- Part C: self-steering on a starved uplink --------------------------------
+    // Every query routes through the same origin peer, whose uplink admits
+    // a single in-flight operation: the link — not the reads — dominates,
+    // and the controller must steer (grow windows so each query shares
+    // more deduped fetches) where the fixed pipeline can only queue.
+    let overload_build = || {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = 64;
+        config.num_bees = 6;
+        config.seed = 0xE13;
+        config.net.max_in_flight_per_link = 1;
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+        qb
+    };
+    let overload_run = |adaptive: bool| {
+        let mut qb = overload_build();
+        let requests: Vec<_> = stream
+            .iter()
+            .map(|&q| SearchRequest::new(pool[q].as_str()).route(RoutingPolicy::HashPeer(7)))
+            .collect();
+        qb.search_pipelined(
+            requests,
+            PipelineConfig {
+                window_size: WINDOW,
+                max_windows_in_flight: DEPTH,
+                adaptive,
+                ..PipelineConfig::default()
+            },
+        )
+        .expect("overload stream")
+    };
+    let fixed_overload = overload_run(false);
+    let adaptive_overload = overload_run(true);
+    for (i, (fixed, ad)) in fixed_overload
+        .responses
+        .iter()
+        .zip(&adaptive_overload.responses)
+        .enumerate()
+    {
+        assert_eq!(
+            &fixed.hits, &ad.hits,
+            "E13c: query {i} must rank identically adaptive vs fixed on the starved uplink"
+        );
+    }
+    assert!(
+        adaptive_overload.report.adapt_backoffs > 0,
+        "E13c: the starved uplink must trip the controller's back-off"
+    );
+    let overload_vs_fixed = 100.0 * adaptive_overload.report.makespan.as_micros() as f64
+        / fixed_overload.report.makespan.as_micros().max(1) as f64;
+    assert!(
+        overload_vs_fixed <= 100.5,
+        "E13c: self-steering must hold or improve the makespan on the starved uplink \
+         ({} vs {}, {overload_vs_fixed:.1}%)",
+        adaptive_overload.report.makespan,
+        fixed_overload.report.makespan
+    );
+
+    // Machine-readable artifact for the CI workflow: the adaptive run's
+    // steering decisions next to the fixed-depth reference.
+    if std::fs::create_dir_all("bench-results").is_ok() {
+        let starved_uplink = serde_json::json!({
+            "fixed_makespan_ms": fixed_overload.report.makespan.as_millis_f64(),
+            "adaptive_makespan_ms": adaptive_overload.report.makespan.as_millis_f64(),
+            "adaptive_vs_fixed_percent": overload_vs_fixed,
+            "adapt_backoffs": adaptive_overload.report.adapt_backoffs,
+            "adapt_rampups": adaptive_overload.report.adapt_rampups,
+            "fixed_queue_delay_ms": fixed_overload.report.queue_delay.as_millis_f64(),
+            "adaptive_queue_delay_ms": adaptive_overload.report.queue_delay.as_millis_f64(),
+        });
+        let artifact = serde_json::json!({
+            "experiment": "e13-adaptive-pipeline",
+            "quick": quick,
+            "window_size": WINDOW,
+            "max_windows_in_flight": DEPTH,
+            "fixed_makespan_ms": report.makespan.as_millis_f64(),
+            "adaptive_makespan_ms": adaptive_report.makespan.as_millis_f64(),
+            "adaptive_vs_fixed_percent": adaptive_vs_fixed,
+            "adapt_backoffs": adaptive_report.adapt_backoffs,
+            "adapt_rampups": adaptive_report.adapt_rampups,
+            "queue_delay_ms": adaptive_report.queue_delay.as_millis_f64(),
+            "peak_windows_in_flight": adaptive_report.peak_windows_in_flight,
+            "windows": adaptive_report.windows,
+            "memo_hits": adaptive_report.memo_hits,
+            "starved_uplink": starved_uplink,
+        });
+        let _ = std::fs::write(
+            "bench-results/adaptive-pipeline.json",
+            serde_json::to_string_pretty(&artifact).unwrap_or_default(),
         );
     }
 
@@ -1856,6 +1998,27 @@ fn e13_pipeline(quick: bool) -> Vec<Table> {
         pipe_messages.to_string(),
         pipe_fetches.to_string(),
         f2(report.queue_delay.as_millis_f64()),
+    ]);
+    t.row(&[
+        "adaptive".into(),
+        f2(adaptive_report.makespan.as_millis_f64()),
+        adaptive_invocations.to_string(),
+        adaptive_report.memo_hits.to_string(),
+        adaptive_messages.to_string(),
+        adaptive_fetches.to_string(),
+        f2(adaptive_report.queue_delay.as_millis_f64()),
+    ]);
+    t.row(&[
+        "adaptive vs fixed (% of makespan)".into(),
+        f2(adaptive_vs_fixed),
+        format!(
+            "{} backoffs, {} rampups",
+            adaptive_report.adapt_backoffs, adaptive_report.adapt_rampups
+        ),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
     ]);
     t.row(&[
         "reduction (vs back-to-back)".into(),
@@ -2005,7 +2168,47 @@ fn e13_pipeline(quick: bool) -> Vec<Table> {
         "-".into(),
         "-".into(),
     ]);
-    vec![t, t2]
+
+    let title = format!(
+        "E13c: self-steering pipeline on a starved uplink — every query through one origin \
+         peer with a 1-deep link budget ({stream_len} queries, window {WINDOW}, depth {DEPTH})"
+    );
+    let mut t3 = Table::new(
+        &title,
+        &[
+            "config",
+            "makespan_ms",
+            "adapt_backoffs",
+            "adapt_rampups",
+            "queue_delay_ms",
+            "peak_windows_in_flight",
+        ],
+    );
+    t3.row(&[
+        "fixed".into(),
+        f2(fixed_overload.report.makespan.as_millis_f64()),
+        "-".into(),
+        "-".into(),
+        f2(fixed_overload.report.queue_delay.as_millis_f64()),
+        fixed_overload.report.peak_windows_in_flight.to_string(),
+    ]);
+    t3.row(&[
+        "adaptive".into(),
+        f2(adaptive_overload.report.makespan.as_millis_f64()),
+        adaptive_overload.report.adapt_backoffs.to_string(),
+        adaptive_overload.report.adapt_rampups.to_string(),
+        f2(adaptive_overload.report.queue_delay.as_millis_f64()),
+        adaptive_overload.report.peak_windows_in_flight.to_string(),
+    ]);
+    t3.row(&[
+        "adaptive vs fixed (% of makespan)".into(),
+        f2(overload_vs_fixed),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    vec![t, t2, t3]
 }
 
 /// E14 — the open-loop saturation ladder: qb-load arrival traces replayed
@@ -2277,7 +2480,10 @@ fn e15_tracing(quick: bool) -> Vec<Table> {
         let of_total = |d: Option<&SimDuration>| {
             100.0 * d.map(|d| d.as_millis_f64()).unwrap_or(0.0) / total.as_millis_f64().max(1e-9)
         };
-        let queue = of_total(by_stage.get("queue_wait"));
+        // Queueing = admission wait before issue + per-link queueing inside
+        // the slowest dependency (the `net_queue` split the event-driven
+        // pipeline reports); service = fetch/cache work proper.
+        let queue = of_total(by_stage.get("queue_wait")) + of_total(by_stage.get("net_queue"));
         let service = of_total(by_stage.get("fetch")) + of_total(by_stage.get("cache_serve"));
         let dominant = by_stage
             .iter()

@@ -11,11 +11,20 @@
 //! based record expiry and periodic republish. All traffic flows through
 //! [`qb_simnet::SimNet`], so lookups observe latency, churn, partitions and
 //! message loss, and every experiment can account hops, messages and bytes.
+//!
+//! Lookups are **event driven**: the per-lookup state machine in
+//! [`lookup`] keeps up to α RPC handles in flight via
+//! [`qb_simnet::SimNet::send_async_at`] and advances on completions, so
+//! hops from different concurrent lookups interleave on contended links.
+//! The synchronous entry points ([`DhtNetwork::lookup_nodes`],
+//! [`DhtNetwork::get_record`], …) drive the same machine eagerly.
 
+pub mod lookup;
 pub mod network;
 pub mod node;
 pub mod routing;
 
+pub use lookup::{LookupMachine, LookupStep};
 pub use network::{DhtNetwork, GetOutcome, LookupOutcome, PutOutcome};
 pub use node::{DhtNode, Record};
 pub use routing::RoutingTable;

@@ -3,21 +3,24 @@
 
 use crate::node::{DhtNode, Record};
 use crate::DhtConfig;
-use qb_common::{DhtKey, Hash256, NodeId, QbError, QbResult, SimDuration};
-use qb_simnet::{parallel_latency, SimNet};
-use std::collections::HashSet;
+use qb_common::{DhtKey, Hash256, NodeId, QbError, QbResult, SimDuration, SimInstant};
+use qb_simnet::{parallel_latency, Poll, RpcError, RpcHandle, SimNet};
 
 /// Result of an iterative node lookup.
 #[derive(Debug, Clone)]
 pub struct LookupOutcome {
     /// The closest nodes found, nearest first.
     pub closest: Vec<NodeId>,
-    /// Number of iterative rounds performed.
+    /// Deepest hop generation reached (a follow-up issued on the completion
+    /// of a generation-`g` hop is generation `g + 1`).
     pub hops: usize,
     /// RPC attempts issued (successful or not).
     pub messages: u64,
     /// End-to-end latency charged to the caller.
     pub latency: SimDuration,
+    /// Portion of the latency spent queueing on the requester's uplink
+    /// (non-zero only when concurrent operations contend for the link).
+    pub queue_delay: SimDuration,
 }
 
 /// Result of storing a record.
@@ -50,8 +53,8 @@ pub struct GetOutcome {
 /// to every operation, so liveness and partitions automatically apply.
 #[derive(Debug)]
 pub struct DhtNetwork {
-    config: DhtConfig,
-    nodes: Vec<DhtNode>,
+    pub(crate) config: DhtConfig,
+    pub(crate) nodes: Vec<DhtNode>,
 }
 
 impl DhtNetwork {
@@ -130,12 +133,16 @@ impl DhtNetwork {
         }
     }
 
-    /// Iterative Kademlia lookup. When `want_value` is set the lookup stops
-    /// as soon as a queried node returns the record with a version of at
-    /// least `min_version`; replicas below that are remembered (best version
-    /// wins) but the lookup keeps digging, so a reader that knows a newer
-    /// version exists is never satisfied by a lagging replica it happens to
-    /// meet first — including its own local store.
+    /// Iterative Kademlia lookup, run to completion on its own timeline
+    /// anchored at the current clock (event-driven callers use
+    /// [`DhtNetwork::lookup_begin`] / [`DhtNetwork::lookup_poll`] directly
+    /// — this is the same state machine, driven eagerly). When `want_value`
+    /// is set the lookup stops as soon as a queried node returns the record
+    /// with a version of at least `min_version`; replicas below that are
+    /// remembered (best version wins) but the lookup keeps digging, so a
+    /// reader that knows a newer version exists is never satisfied by a
+    /// lagging replica it happens to meet first — including its own local
+    /// store.
     fn iterative_find(
         &mut self,
         net: &mut SimNet,
@@ -144,168 +151,56 @@ impl DhtNetwork {
         want_value: Option<DhtKey>,
         min_version: u64,
     ) -> (LookupOutcome, Option<Record>) {
-        let k = self.config.k;
-        let alpha = self.config.alpha.max(1);
-        let mut latency = SimDuration::ZERO;
+        let at = net.now();
+        let machine = self.lookup_begin(net, from, target, want_value, min_version, at, None);
+        self.lookup_drive(net, machine)
+    }
+
+    /// Fan out one RPC per member of `targets` at virtual instant `at`
+    /// (store / provider announce rounds), wait for all of them, and apply
+    /// `apply` to each target whose RPC succeeded, in issue order. Returns
+    /// the accepted targets, the instant the slowest attempt finished
+    /// (failures cost the configured timeout) and the number of attempts.
+    #[allow(clippy::too_many_arguments)]
+    fn fan_out_round(
+        &mut self,
+        net: &mut SimNet,
+        from: u64,
+        targets: &[NodeId],
+        request_bytes: usize,
+        response_bytes: usize,
+        at: SimInstant,
+        mut apply: impl FnMut(&mut DhtNetwork, NodeId) -> bool,
+    ) -> (Vec<NodeId>, SimInstant, u64) {
+        let mut pending: Vec<(Option<RpcHandle>, NodeId, SimInstant)> = Vec::new();
         let mut messages = 0u64;
-        let mut hops = 0usize;
-
-        // Check the local store first; a local replica that satisfies the
-        // freshness requirement short-circuits the whole lookup.
-        let mut found_value: Option<Record> = None;
-        if let Some(key) = want_value {
-            if let Some(rec) = self.nodes[from as usize].find_value(&key, net.now()) {
-                if rec.version >= min_version {
-                    return (
-                        LookupOutcome {
-                            closest: vec![self.nodes[from as usize].id],
-                            hops: 0,
-                            messages: 0,
-                            latency: SimDuration::ZERO,
-                        },
-                        Some(rec.clone()),
-                    );
+        for target in targets {
+            messages += 1;
+            match net.send_async_at(from, target.index, request_bytes, response_bytes, at, None) {
+                Ok(handle) => {
+                    let completes_at = net.async_completes_at(handle).expect("just issued");
+                    pending.push((Some(handle), *target, completes_at));
                 }
-                // Provably stale: keep it as a fallback, search on.
-                found_value = Some(rec.clone());
+                Err(RpcError::SelfOffline) => pending.push((None, *target, at)),
+                Err(_) => pending.push((None, *target, at + net.config().timeout)),
             }
         }
-
-        let mut shortlist: Vec<NodeId> = self.nodes[from as usize].routing.closest(&target, k);
-        let mut queried: HashSet<u64> = HashSet::new();
-        let mut failed: HashSet<u64> = HashSet::new();
-        queried.insert(from);
-
-        // The lookup runs on a virtual timeline anchored at the current
-        // clock: each round's latency extends the cursor, and the per-hop
-        // spans sit at their accumulated offsets so the trace shows where
-        // the sequential rounds (vs the parallel RPC fan-out inside one
-        // round) spent the time.
-        let t0 = net.now();
-        let lookup_span = net.tracer().open_with("dht.lookup", t0, || {
-            format!("{} from {}", target.short(), from)
-        });
-
-        for _round in 0..self.config.max_rounds {
-            // Pick the alpha closest not-yet-queried candidates.
-            shortlist.sort_by_key(|a| a.key.xor(&target));
-            shortlist.dedup_by_key(|c| c.index);
-            let batch: Vec<NodeId> = shortlist
-                .iter()
-                .filter(|c| !queried.contains(&c.index) && !failed.contains(&c.index))
-                .take(alpha)
-                .copied()
-                .collect();
-            if batch.is_empty() {
-                break;
-            }
-            hops += 1;
-            let mut round_latencies = Vec::with_capacity(batch.len());
-            let mut new_contacts: Vec<NodeId> = Vec::new();
-            for candidate in &batch {
-                queried.insert(candidate.index);
-                messages += 1;
-                let resp_bytes = self.config.contact_bytes * k;
-                let (res, lat) = net.rpc_or_timeout(
-                    from,
-                    candidate.index,
-                    self.config.request_bytes,
-                    resp_bytes,
-                );
-                round_latencies.push(lat);
-                match res {
-                    Ok(()) => {
-                        // Successful contact: update both routing tables.
-                        let from_id = self.nodes[from as usize].id;
-                        self.nodes[candidate.index as usize]
-                            .routing
-                            .observe(from_id, true);
-                        let cand_id = self.nodes[candidate.index as usize].id;
-                        self.nodes[from as usize].routing.observe(cand_id, true);
-                        // Value check: keep the freshest replica seen so far.
-                        if let Some(key) = want_value {
-                            let fresh_enough = found_value
-                                .as_ref()
-                                .is_some_and(|r| r.version >= min_version);
-                            if !fresh_enough {
-                                if let Some(rec) =
-                                    self.nodes[candidate.index as usize].find_value(&key, net.now())
-                                {
-                                    if found_value
-                                        .as_ref()
-                                        .is_none_or(|best| rec.version > best.version)
-                                    {
-                                        found_value = Some(rec.clone());
-                                    }
-                                }
-                            }
-                        }
-                        let mut contacts =
-                            self.nodes[candidate.index as usize].find_node(&target, k);
-                        new_contacts.append(&mut contacts);
-                    }
-                    Err(_) => {
-                        failed.insert(candidate.index);
-                        let cand_id = self.nodes[candidate.index as usize].id;
-                        self.nodes[from as usize].routing.remove(&cand_id);
-                    }
-                }
-            }
-            let acc_before = latency;
-            latency += parallel_latency(&round_latencies);
-            net.tracer().record_with(
-                lookup_span,
-                "dht.hop",
-                t0 + acc_before,
-                t0 + latency,
-                || format!("round {} x{}", hops, batch.len()),
-            );
-            if found_value
-                .as_ref()
-                .is_some_and(|r| r.version >= min_version)
-            {
-                break;
-            }
-            let before_best: Option<[u8; 32]> = shortlist
-                .iter()
-                .filter(|c| !failed.contains(&c.index))
-                .map(|c| c.key.xor(&target))
-                .min();
-            for c in new_contacts {
-                if c.index != from && !shortlist.iter().any(|e| e.index == c.index) {
-                    shortlist.push(c);
-                }
-            }
-            shortlist.sort_by_key(|a| a.key.xor(&target));
-            let after_best: Option<[u8; 32]> = shortlist
-                .iter()
-                .filter(|c| !failed.contains(&c.index))
-                .map(|c| c.key.xor(&target))
-                .min();
-            // Termination: no progress and the k closest have all been queried.
-            let top_k_all_queried = shortlist
-                .iter()
-                .filter(|c| !failed.contains(&c.index))
-                .take(k)
-                .all(|c| queried.contains(&c.index));
-            if top_k_all_queried && after_best >= before_best {
-                break;
+        let mut accepted = Vec::new();
+        let mut end = at;
+        for (handle, target, completes_at) in pending {
+            end = end.max(completes_at);
+            let ok = match handle {
+                Some(handle) => matches!(
+                    net.poll_complete(handle, completes_at),
+                    Some(Poll::Ready(_))
+                ),
+                None => false,
+            };
+            if ok && apply(self, target) {
+                accepted.push(target);
             }
         }
-
-        net.tracer().close(lookup_span, t0 + latency);
-        shortlist.retain(|c| !failed.contains(&c.index));
-        shortlist.sort_by_key(|a| a.key.xor(&target));
-        shortlist.truncate(k);
-        (
-            LookupOutcome {
-                closest: shortlist,
-                hops,
-                messages,
-                latency,
-            },
-            found_value,
-        )
+        (accepted, end, messages)
     }
 
     /// Locate the `k` closest nodes to `target`.
@@ -334,6 +229,7 @@ impl DhtNetwork {
         value: Vec<u8>,
         version: u64,
     ) -> QbResult<PutOutcome> {
+        let t0 = net.now();
         let lookup = self.lookup_nodes(net, from, key.0)?;
         let record = Record {
             key,
@@ -342,22 +238,16 @@ impl DhtNetwork {
             expires_at: net.now() + self.config.record_ttl,
             version,
         };
-        let mut stored_on = Vec::new();
-        let mut latencies = Vec::new();
-        let mut messages = lookup.messages;
-        for target in lookup.closest.iter().take(self.config.k) {
-            messages += 1;
-            let (res, lat) = net.rpc_or_timeout(
-                from,
-                target.index,
-                self.config.request_bytes + record.value.len(),
-                16,
-            );
-            latencies.push(lat);
-            if res.is_ok() && self.nodes[target.index as usize].store(record.clone()) {
-                stored_on.push(*target);
-            }
-        }
+        let replicas: Vec<NodeId> = lookup.closest.iter().take(self.config.k).copied().collect();
+        let (stored_on, end, round_messages) = self.fan_out_round(
+            net,
+            from,
+            &replicas,
+            self.config.request_bytes + record.value.len(),
+            16,
+            t0 + lookup.latency,
+            |dht, target| dht.nodes[target.index as usize].store(record.clone()),
+        );
         // The publisher always keeps its own copy (it can serve it while online).
         self.nodes[from as usize].store(record);
         if stored_on.is_empty() {
@@ -368,8 +258,8 @@ impl DhtNetwork {
         }
         Ok(PutOutcome {
             stored_on,
-            latency: lookup.latency + parallel_latency(&latencies),
-            messages,
+            latency: end.since(t0),
+            messages: lookup.messages + round_messages,
         })
     }
 
@@ -414,20 +304,22 @@ impl DhtNetwork {
         from: u64,
         key: DhtKey,
     ) -> QbResult<PutOutcome> {
+        let t0 = net.now();
         let lookup = self.lookup_nodes(net, from, key.0)?;
         let provider = self.nodes[from as usize].id;
-        let mut stored_on = Vec::new();
-        let mut latencies = Vec::new();
-        let mut messages = lookup.messages;
-        for target in lookup.closest.iter().take(self.config.k) {
-            messages += 1;
-            let (res, lat) = net.rpc_or_timeout(from, target.index, self.config.request_bytes, 16);
-            latencies.push(lat);
-            if res.is_ok() {
-                self.nodes[target.index as usize].add_provider(key, provider);
-                stored_on.push(*target);
-            }
-        }
+        let replicas: Vec<NodeId> = lookup.closest.iter().take(self.config.k).copied().collect();
+        let (stored_on, end, round_messages) = self.fan_out_round(
+            net,
+            from,
+            &replicas,
+            self.config.request_bytes,
+            16,
+            t0 + lookup.latency,
+            |dht, target| {
+                dht.nodes[target.index as usize].add_provider(key, provider);
+                true
+            },
+        );
         self.nodes[from as usize].add_provider(key, provider);
         if stored_on.is_empty() {
             return Err(QbError::DhtLookupFailed(format!(
@@ -437,8 +329,8 @@ impl DhtNetwork {
         }
         Ok(PutOutcome {
             stored_on,
-            latency: lookup.latency + parallel_latency(&latencies),
-            messages,
+            latency: end.since(t0),
+            messages: lookup.messages + round_messages,
         })
     }
 
@@ -642,7 +534,7 @@ mod tests {
     }
 
     #[test]
-    fn traced_lookup_records_one_hop_span_per_round() {
+    fn traced_lookup_records_one_hop_span_per_rpc() {
         let (mut net, mut dht) = setup(64, 11);
         net.take_trace(); // drop bootstrap-era spans (tracing was off anyway)
         net.set_tracing(true);
@@ -650,18 +542,96 @@ mod tests {
         let outcome = dht.lookup_nodes(&mut net, 9, target).unwrap();
         let trace = net.take_trace();
         let lookup = trace.named("dht.lookup").next().expect("lookup span");
+        // One hop span per RPC attempt, all direct children of the lookup.
         assert_eq!(
             trace
                 .children(lookup.id)
                 .filter(|s| s.name == "dht.hop")
-                .count(),
-            outcome.hops
+                .count() as u64,
+            outcome.messages
         );
         // The span covers exactly the lookup's accumulated latency, and
-        // every per-RPC span nests inside it.
+        // every per-RPC span nests inside it (rpc under its dht.hop).
         assert_eq!(lookup.duration(), outcome.latency);
         for rpc in trace.named("rpc") {
             assert_eq!(trace.root_of(rpc.id), lookup.id);
         }
+    }
+
+    #[test]
+    fn concurrent_lookups_interleave_on_a_contended_uplink() {
+        use crate::lookup::LookupStep;
+        // One in-flight operation per link: without event-driven lookups the
+        // second lookup could only start after the first fully finished.
+        let mut cfg = NetConfig::lan();
+        cfg.max_in_flight_per_link = 1;
+        let mut net = SimNet::new(64, cfg, 12);
+        let mut dht = DhtNetwork::build(&mut net, DhtConfig::small());
+        let t0 = net.now();
+        let mut a = dht.lookup_begin(
+            &mut net,
+            9,
+            Hash256::digest(b"interleave target a"),
+            None,
+            0,
+            t0,
+            None,
+        );
+        let mut b = dht.lookup_begin(
+            &mut net,
+            9,
+            Hash256::digest(b"interleave target b"),
+            None,
+            0,
+            t0,
+            None,
+        );
+        let mut order = Vec::new();
+        let mut cursor = t0;
+        loop {
+            let (done_a, done_b) = (a.completed_rpcs(), b.completed_rpcs());
+            let step_a = dht.lookup_poll(&mut net, &mut a, cursor);
+            let step_b = dht.lookup_poll(&mut net, &mut b, cursor);
+            order.extend(std::iter::repeat_n(
+                'a',
+                (a.completed_rpcs() - done_a) as usize,
+            ));
+            order.extend(std::iter::repeat_n(
+                'b',
+                (b.completed_rpcs() - done_b) as usize,
+            ));
+            cursor = match (step_a, step_b) {
+                (LookupStep::Ready, LookupStep::Ready) => break,
+                (LookupStep::Ready, LookupStep::Pending { next_event_at })
+                | (LookupStep::Pending { next_event_at }, LookupStep::Ready) => next_event_at,
+                (
+                    LookupStep::Pending { next_event_at: na },
+                    LookupStep::Pending { next_event_at: nb },
+                ) => na.min(nb),
+            };
+        }
+        let (oa, _) = a.into_result();
+        let (ob, _) = b.into_result();
+        assert!(!oa.closest.is_empty() && !ob.closest.is_empty());
+        // Per-hop completions interleave: some of b's hops complete before
+        // a's last hop and vice versa — the lookups genuinely overlap
+        // instead of serializing lookup-after-lookup.
+        let first_a = order
+            .iter()
+            .position(|&c| c == 'a')
+            .expect("a completed hops");
+        let first_b = order
+            .iter()
+            .position(|&c| c == 'b')
+            .expect("b completed hops");
+        let last_a = order.iter().rposition(|&c| c == 'a').unwrap();
+        let last_b = order.iter().rposition(|&c| c == 'b').unwrap();
+        assert!(
+            first_b < last_a && first_a < last_b,
+            "hops did not interleave: {order:?}"
+        );
+        // The contended uplink charged real queueing delay.
+        assert!(net.stats().async_queued_ops > 0);
+        assert!(oa.queue_delay + ob.queue_delay > SimDuration::ZERO);
     }
 }

@@ -30,4 +30,7 @@ pub use index::InvertedIndex;
 pub use postings::{Posting, PostingList};
 pub use query::{search, Query, QueryMode, ScoredDoc};
 pub use scorer::{blend_with_rank, Bm25, Scorer, TfIdf};
-pub use shard::{DistributedIndex, IndexStats, ShardEntry, ShardPosting};
+pub use shard::{
+    DistributedIndex, IndexStats, ShardEntry, ShardPosting, ShardReadMachine, ShardReadStep,
+    StatsReadMachine,
+};

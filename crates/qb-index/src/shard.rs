@@ -13,10 +13,11 @@
 //! collusion attack of experiment E6 targets.
 
 use crate::postings::{Posting, PostingList};
-use qb_common::{varint, Cid, DhtKey, Hash256, QbError, QbResult, SimDuration};
-use qb_dht::DhtNetwork;
-use qb_simnet::SimNet;
+use qb_common::{varint, Cid, DhtKey, Hash256, QbError, QbResult, SimDuration, SimInstant};
+use qb_dht::{DhtNetwork, LookupMachine, LookupStep};
+use qb_simnet::{Poll, RpcHandle, SimNet};
 use qb_storage::StorageNetwork;
+use qb_trace::SpanId;
 
 /// One posting within a shard, carrying everything needed for scoring.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -273,6 +274,138 @@ impl IndexOpCost {
 const SHARD_INLINE_TAG: u8 = 1;
 const SHARD_POINTER_TAG: u8 = 2;
 
+/// What a poll of an event-driven index read observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardReadStep {
+    /// Work remains in flight; the next event is due at `next_event_at`.
+    Pending {
+        /// Instant of the next completion — poll again at (or after) it.
+        next_event_at: SimInstant,
+    },
+    /// The read has finished; take the result with `into_result`.
+    Ready,
+}
+
+#[derive(Debug)]
+enum ShardReadState {
+    Lookup(Box<LookupMachine>),
+    Tail {
+        handle: RpcHandle,
+        completes_at: SimInstant,
+        shard: ShardEntry,
+    },
+    Done {
+        result: QbResult<ShardEntry>,
+        completed_at: SimInstant,
+    },
+}
+
+/// An in-progress shard read: a DHT value lookup, optionally followed by a
+/// content-addressed storage fetch for pointer records. Create with
+/// [`DistributedIndex::begin_read_shard_fresh`], drive with
+/// [`DistributedIndex::poll_read_shard`].
+#[derive(Debug)]
+pub struct ShardReadMachine {
+    term: String,
+    peer: u64,
+    issued_at: SimInstant,
+    parent: Option<SpanId>,
+    state: ShardReadState,
+    cost: IndexOpCost,
+    queue_delay: SimDuration,
+}
+
+impl ShardReadMachine {
+    /// True once the read has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, ShardReadState::Done { .. })
+    }
+
+    /// Queueing delay accumulated on the reader's uplink so far.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.queue_delay
+    }
+
+    /// The shard, the service cost (lookup + fetch latency, RPC attempts)
+    /// and the wall-clock completion instant (which additionally includes
+    /// any uplink queueing). Panics unless [`Self::is_done`].
+    pub fn into_result(self) -> QbResult<(ShardEntry, IndexOpCost, SimInstant)> {
+        match self.state {
+            ShardReadState::Done {
+                result,
+                completed_at,
+            } => Ok((result?, self.cost, completed_at)),
+            _ => panic!("shard read not finished; poll until Ready"),
+        }
+    }
+
+    /// Retire anything still in flight without processing it.
+    pub fn abandon(&mut self, net: &mut SimNet) {
+        match &mut self.state {
+            ShardReadState::Lookup(lookup) => lookup.abandon(net),
+            ShardReadState::Tail {
+                handle,
+                completes_at,
+                ..
+            } => {
+                net.poll_complete(*handle, *completes_at);
+            }
+            ShardReadState::Done { .. } => {}
+        }
+    }
+}
+
+#[derive(Debug)]
+enum StatsReadState {
+    Lookup(Box<LookupMachine>),
+    Done {
+        result: QbResult<IndexStats>,
+        completed_at: SimInstant,
+    },
+}
+
+/// An in-progress read of the global statistics record. Create with
+/// [`DistributedIndex::begin_read_stats`], drive with
+/// [`DistributedIndex::poll_read_stats`].
+#[derive(Debug)]
+pub struct StatsReadMachine {
+    issued_at: SimInstant,
+    state: StatsReadState,
+    cost: IndexOpCost,
+    queue_delay: SimDuration,
+}
+
+impl StatsReadMachine {
+    /// True once the read has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, StatsReadState::Done { .. })
+    }
+
+    /// Queueing delay accumulated on the reader's uplink so far.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.queue_delay
+    }
+
+    /// The statistics, the service cost and the wall-clock completion
+    /// instant. Panics unless [`Self::is_done`].
+    pub fn into_result(self) -> QbResult<(IndexStats, IndexOpCost, SimInstant)> {
+        match self.state {
+            StatsReadState::Done {
+                result,
+                completed_at,
+            } => Ok((result?, self.cost, completed_at)),
+            _ => panic!("stats read not finished; poll until Ready"),
+        }
+    }
+
+    /// Retire anything still in flight without processing it.
+    pub fn abandon(&mut self, net: &mut SimNet) {
+        if let StatsReadState::Lookup(lookup) = &mut self.state {
+            lookup.abandon(net);
+        }
+    }
+}
+
 /// Read/write interface to the DHT-sharded index.
 #[derive(Debug, Clone)]
 pub struct DistributedIndex {
@@ -326,37 +459,200 @@ impl DistributedIndex {
         term: &str,
         min_version: u64,
     ) -> QbResult<(ShardEntry, IndexOpCost)> {
-        let mut cost = IndexOpCost::default();
-        let key = DhtKey::for_term(term);
-        let record = match dht.get_record_fresh(net, peer, key, min_version) {
-            Ok(got) => {
-                cost.add(got.latency, got.messages);
-                got.record
+        let at = net.now();
+        let mut machine = self.begin_read_shard_fresh(net, dht, peer, term, min_version, at, None);
+        let mut cursor = at;
+        loop {
+            match self.poll_read_shard(net, dht, storage, &mut machine, cursor) {
+                ShardReadStep::Ready => {
+                    let (shard, cost, _) = machine.into_result()?;
+                    return Ok((shard, cost));
+                }
+                ShardReadStep::Pending { next_event_at } => cursor = next_event_at,
             }
-            Err(QbError::DhtLookupFailed(_)) | Err(QbError::NotFound(_)) => {
-                return Ok((ShardEntry::empty(term), cost));
+        }
+    }
+
+    /// Start an event-driven shard read at virtual instant `at` (trace
+    /// spans nest under `parent`). Drive with
+    /// [`DistributedIndex::poll_read_shard`]; the synchronous
+    /// [`DistributedIndex::read_shard_fresh`] drives the same machine
+    /// eagerly, so there is exactly one read code path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_read_shard_fresh(
+        &self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        peer: u64,
+        term: &str,
+        min_version: u64,
+        at: SimInstant,
+        parent: Option<SpanId>,
+    ) -> ShardReadMachine {
+        let state = if net.is_online(peer) {
+            let key = DhtKey::for_term(term);
+            ShardReadState::Lookup(Box::new(dht.lookup_begin(
+                net,
+                peer,
+                key.0,
+                Some(key),
+                min_version,
+                at,
+                parent,
+            )))
+        } else {
+            ShardReadState::Done {
+                result: Err(QbError::NodeOffline(peer)),
+                completed_at: at,
             }
-            Err(e) => return Err(e),
+        };
+        ShardReadMachine {
+            term: term.to_string(),
+            peer,
+            issued_at: at,
+            parent,
+            state,
+            cost: IndexOpCost::default(),
+            queue_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Advance a shard read at instant `at`. On the lookup finishing, an
+    /// inline shard completes immediately; a pointer record charges the
+    /// content-addressed fetch and tracks it as an in-flight tail operation
+    /// on the reader's uplink, so concurrent reads contend realistically.
+    pub fn poll_read_shard(
+        &self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        storage: &mut StorageNetwork,
+        machine: &mut ShardReadMachine,
+        at: SimInstant,
+    ) -> ShardReadStep {
+        loop {
+            match &mut machine.state {
+                ShardReadState::Lookup(lookup) => match dht.lookup_poll(net, lookup, at) {
+                    LookupStep::Pending { next_event_at } => {
+                        return ShardReadStep::Pending { next_event_at };
+                    }
+                    LookupStep::Ready => {
+                        let placeholder = ShardReadState::Done {
+                            result: Ok(ShardEntry::empty(&machine.term)),
+                            completed_at: machine.issued_at,
+                        };
+                        let ShardReadState::Lookup(lookup) =
+                            std::mem::replace(&mut machine.state, placeholder)
+                        else {
+                            unreachable!("matched Lookup above");
+                        };
+                        let (outcome, record) = lookup.into_result();
+                        machine.cost.add(outcome.latency, outcome.messages);
+                        machine.queue_delay += outcome.queue_delay;
+                        let lookup_done = machine.issued_at + outcome.latency;
+                        machine.state = self.decode_shard_record(
+                            net,
+                            dht,
+                            storage,
+                            machine,
+                            record,
+                            lookup_done,
+                        );
+                    }
+                },
+                ShardReadState::Tail {
+                    handle,
+                    completes_at,
+                    shard,
+                } => {
+                    if at < *completes_at {
+                        return ShardReadStep::Pending {
+                            next_event_at: *completes_at,
+                        };
+                    }
+                    let mut completed_at = *completes_at;
+                    if let Some(Poll::Ready(done)) = net.poll_complete(*handle, *completes_at) {
+                        machine.queue_delay += done.queue_delay;
+                        completed_at = done.completed_at;
+                    }
+                    machine.state = ShardReadState::Done {
+                        result: Ok(std::mem::replace(shard, ShardEntry::empty(&machine.term))),
+                        completed_at,
+                    };
+                }
+                ShardReadState::Done { .. } => return ShardReadStep::Ready,
+            }
+        }
+    }
+
+    /// Turn the record a finished lookup returned into the next machine
+    /// state: empty shard (missing record), decoded inline shard, or a
+    /// tracked in-flight storage fetch for a pointer record.
+    fn decode_shard_record(
+        &self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        storage: &mut StorageNetwork,
+        machine: &mut ShardReadMachine,
+        record: Option<qb_dht::Record>,
+        lookup_done: SimInstant,
+    ) -> ShardReadState {
+        let Some(record) = record else {
+            return ShardReadState::Done {
+                result: Ok(ShardEntry::empty(&machine.term)),
+                completed_at: lookup_done,
+            };
         };
         let value = record.value;
         match value.first() {
-            Some(&SHARD_INLINE_TAG) => {
-                let shard = ShardEntry::decode(&value[1..])?;
-                Ok((shard, cost))
-            }
+            Some(&SHARD_INLINE_TAG) => ShardReadState::Done {
+                result: ShardEntry::decode(&value[1..]),
+                completed_at: lookup_done,
+            },
             Some(&SHARD_POINTER_TAG) => {
                 if value.len() != 33 {
-                    return Err(QbError::Codec("bad shard pointer record".into()));
+                    return ShardReadState::Done {
+                        result: Err(QbError::Codec("bad shard pointer record".into())),
+                        completed_at: lookup_done,
+                    };
                 }
                 let mut arr = [0u8; 32];
                 arr.copy_from_slice(&value[1..33]);
                 let cid = Cid(Hash256::from_bytes(arr));
-                let (bytes, fetch) = storage.get_object(net, dht, peer, cid)?;
-                cost.add(fetch.latency, fetch.messages);
-                let shard = ShardEntry::decode(&bytes)?;
-                Ok((shard, cost))
+                match storage.get_object(net, dht, machine.peer, cid) {
+                    Ok((bytes, fetch)) => {
+                        machine.cost.add(fetch.latency, fetch.messages);
+                        match ShardEntry::decode(&bytes) {
+                            Ok(shard) => {
+                                let handle = net.begin_async_op(
+                                    machine.peer,
+                                    lookup_done,
+                                    fetch.latency,
+                                    machine.parent,
+                                );
+                                let completes_at =
+                                    net.async_completes_at(handle).expect("just issued");
+                                ShardReadState::Tail {
+                                    handle,
+                                    completes_at,
+                                    shard,
+                                }
+                            }
+                            Err(e) => ShardReadState::Done {
+                                result: Err(e),
+                                completed_at: lookup_done + fetch.latency,
+                            },
+                        }
+                    }
+                    Err(e) => ShardReadState::Done {
+                        result: Err(e),
+                        completed_at: lookup_done,
+                    },
+                }
             }
-            _ => Err(QbError::Codec("unknown shard record tag".into())),
+            _ => ShardReadState::Done {
+                result: Err(QbError::Codec("unknown shard record tag".into())),
+                completed_at: lookup_done,
+            },
         }
     }
 
@@ -398,16 +694,90 @@ impl DistributedIndex {
         dht: &mut DhtNetwork,
         peer: u64,
     ) -> QbResult<(IndexStats, IndexOpCost)> {
-        let mut cost = IndexOpCost::default();
-        match dht.get_record(net, peer, Self::stats_key()) {
-            Ok(got) => {
-                cost.add(got.latency, got.messages);
-                Ok((IndexStats::decode(&got.record.value)?, cost))
+        let at = net.now();
+        let mut machine = self.begin_read_stats(net, dht, peer, at, None);
+        let mut cursor = at;
+        loop {
+            match self.poll_read_stats(net, dht, &mut machine, cursor) {
+                ShardReadStep::Ready => {
+                    let (stats, cost, _) = machine.into_result()?;
+                    return Ok((stats, cost));
+                }
+                ShardReadStep::Pending { next_event_at } => cursor = next_event_at,
             }
-            Err(QbError::DhtLookupFailed(_)) | Err(QbError::NotFound(_)) => {
-                Ok((IndexStats::default(), cost))
+        }
+    }
+
+    /// Start an event-driven read of the global statistics record at
+    /// virtual instant `at` (trace spans nest under `parent`).
+    pub fn begin_read_stats(
+        &self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        peer: u64,
+        at: SimInstant,
+        parent: Option<SpanId>,
+    ) -> StatsReadMachine {
+        let key = Self::stats_key();
+        let state = if net.is_online(peer) {
+            StatsReadState::Lookup(Box::new(dht.lookup_begin(
+                net,
+                peer,
+                key.0,
+                Some(key),
+                0,
+                at,
+                parent,
+            )))
+        } else {
+            StatsReadState::Done {
+                result: Err(QbError::NodeOffline(peer)),
+                completed_at: at,
             }
-            Err(e) => Err(e),
+        };
+        StatsReadMachine {
+            issued_at: at,
+            state,
+            cost: IndexOpCost::default(),
+            queue_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Advance a statistics read at instant `at`.
+    pub fn poll_read_stats(
+        &self,
+        net: &mut SimNet,
+        dht: &mut DhtNetwork,
+        machine: &mut StatsReadMachine,
+        at: SimInstant,
+    ) -> ShardReadStep {
+        match &mut machine.state {
+            StatsReadState::Lookup(lookup) => match dht.lookup_poll(net, lookup, at) {
+                LookupStep::Pending { next_event_at } => ShardReadStep::Pending { next_event_at },
+                LookupStep::Ready => {
+                    let placeholder = StatsReadState::Done {
+                        result: Ok(IndexStats::default()),
+                        completed_at: machine.issued_at,
+                    };
+                    let StatsReadState::Lookup(lookup) =
+                        std::mem::replace(&mut machine.state, placeholder)
+                    else {
+                        unreachable!("matched Lookup above");
+                    };
+                    let (outcome, record) = lookup.into_result();
+                    machine.cost.add(outcome.latency, outcome.messages);
+                    machine.queue_delay += outcome.queue_delay;
+                    machine.state = StatsReadState::Done {
+                        result: match record {
+                            Some(rec) => IndexStats::decode(&rec.value),
+                            None => Ok(IndexStats::default()),
+                        },
+                        completed_at: machine.issued_at + outcome.latency,
+                    };
+                    ShardReadStep::Ready
+                }
+            },
+            StatsReadState::Done { .. } => ShardReadStep::Ready,
         }
     }
 

@@ -76,8 +76,25 @@ pub(crate) struct SharedStatsRead {
     pub(crate) messages: u64,
     /// `seq` of the query that triggered (and is charged for) the read.
     pub(crate) charged_to: u64,
-    /// The simulated peer the read was issued from.
+}
+
+/// An in-flight statistics read of a pipeline window: the event-driven
+/// [`qb_index::StatsReadMachine`] plus the accounting needed to fold its
+/// result into a [`SharedStatsRead`] once it completes.
+pub(crate) struct PendingStatsRead {
+    pub(crate) charged_to: u64,
+    pub(crate) span: Option<qb_trace::SpanId>,
+    pub(crate) machine: qb_index::StatsReadMachine,
+}
+
+/// An in-flight shard read of a pipeline window, keyed like the
+/// [`FetchSet`] entry it will become on completion.
+pub(crate) struct PendingShardFetch {
+    pub(crate) key: (Option<usize>, String),
+    pub(crate) charged_to: u64,
     pub(crate) origin_peer: u64,
+    pub(crate) span: Option<qb_trace::SpanId>,
+    pub(crate) machine: qb_index::ShardReadMachine,
 }
 
 /// Group a window's freshly fetched shard keys by serving frontend for
@@ -1305,18 +1322,26 @@ impl QueenBee {
                 let end = (issued_at + costs.stats).min(done);
                 self.net.tracer().record(root, "stats", issued_at, end);
             }
-            // In the open-loop server the whole service interval is the
-            // fetch-and-score critical section; closed-loop windows know
-            // the exact fetch cost.
-            let fetch_end = if arrived.is_some() {
-                done
+            // In the open-loop server the service interval runs to the
+            // query's completion, but the per-link queueing charged inside
+            // the slowest dependency (`StageCosts::net_queue`) is split off
+            // as its own span so attribution separates waiting on contended
+            // links from fetch service; closed-loop windows know the exact
+            // fetch cost.
+            let (fetch_end, net_queue) = if arrived.is_some() {
+                let queued = costs.net_queue.min(done.since(issued_at));
+                let service = done.since(issued_at).as_micros() - queued.as_micros();
+                (issued_at + SimDuration::from_micros(service), queued)
             } else {
-                (issued_at + costs.shard_fetch).min(done)
+                ((issued_at + costs.shard_fetch).min(done), SimDuration::ZERO)
             };
             if fetch_end > issued_at {
                 self.net
                     .tracer()
                     .record(root, "fetch", issued_at, fetch_end);
+            }
+            if net_queue > SimDuration::ZERO {
+                self.net.tracer().record(root, "net_queue", fetch_end, done);
             }
         }
         self.net.tracer().record(root, "score", done, done);
@@ -1368,6 +1393,7 @@ impl QueenBee {
         let pipeline = PipelineConfig {
             window_size: cfg.window_size,
             max_windows_in_flight: cfg.max_windows_in_flight,
+            ..PipelineConfig::default()
         };
         let t0 = self.net.now();
         let nf = self.num_frontends().max(1);
@@ -1515,7 +1541,6 @@ impl QueenBee {
                     latency: cost.latency,
                     messages: cost.messages,
                     charged_to: plan.seq,
-                    origin_peer: plan.origin_peer,
                 });
             }
             for term in plan.fetch_terms() {
@@ -1545,6 +1570,181 @@ impl QueenBee {
             }
         }
         Ok((fetched, stats_read))
+    }
+
+    /// Event-driven stage 2: start every distinct missing `(frontend,
+    /// term)` shard read (plus at most one statistics read) of a window at
+    /// virtual instant `at`, without waiting for any of them. The per-hop
+    /// DHT RPCs of these reads run as in-flight operations of their origin
+    /// peers, so fetches of *different* windows genuinely interleave on
+    /// contended uplinks. Trace spans nest under `window_span`.
+    pub(crate) fn begin_window_fetches(
+        &mut self,
+        plans: &[QueryPlan],
+        at: SimInstant,
+        window_span: Option<qb_trace::SpanId>,
+    ) -> (Option<PendingStatsRead>, Vec<PendingShardFetch>) {
+        let mut stats: Option<PendingStatsRead> = None;
+        let mut shards: Vec<PendingShardFetch> = Vec::new();
+        for plan in plans {
+            if plan.is_result_hit() {
+                continue;
+            }
+            if matches!(plan.stats, StatsPlan::Fetch) && stats.is_none() {
+                let span = self.net.tracer().record(window_span, "stats_read", at, at);
+                let machine = self.dist_index.begin_read_stats(
+                    &mut self.net,
+                    &mut self.dht,
+                    plan.origin_peer,
+                    at,
+                    span.or(window_span),
+                );
+                stats = Some(PendingStatsRead {
+                    charged_to: plan.seq,
+                    span,
+                    machine,
+                });
+            }
+            for term in plan.fetch_terms() {
+                let key = (plan.frontend, term.to_string());
+                if shards.iter().any(|p| p.key == key) {
+                    continue;
+                }
+                let span = self
+                    .net
+                    .tracer()
+                    .record_with(window_span, "fetch", at, at, || term.to_string());
+                let current_version = self.shard_versions.get(term).copied().unwrap_or(0);
+                let machine = self.dist_index.begin_read_shard_fresh(
+                    &mut self.net,
+                    &mut self.dht,
+                    plan.origin_peer,
+                    term,
+                    current_version,
+                    at,
+                    span.or(window_span),
+                );
+                shards.push(PendingShardFetch {
+                    key,
+                    charged_to: plan.seq,
+                    origin_peer: plan.origin_peer,
+                    span,
+                    machine,
+                });
+            }
+        }
+        (stats, shards)
+    }
+
+    /// Advance a window's in-flight fetches at instant `at`, folding every
+    /// read that completed into the window's fetch set and completion
+    /// bookkeeping. Sets `win.next_event` to the earliest instant any
+    /// remaining read advances at (`None` when the window is complete).
+    pub(crate) fn poll_window_fetches(
+        &mut self,
+        win: &mut crate::query::pipeline::WindowRun,
+        at: SimInstant,
+    ) -> QbResult<()> {
+        let mut next_event: Option<SimInstant> = None;
+        let track = |cand: SimInstant, next_event: &mut Option<SimInstant>| {
+            *next_event = Some(next_event.map_or(cand, |cur: SimInstant| cur.min(cand)));
+        };
+        if let Some(pending) = win.pending_stats.as_mut() {
+            match self.dist_index.poll_read_stats(
+                &mut self.net,
+                &mut self.dht,
+                &mut pending.machine,
+                at,
+            ) {
+                qb_index::ShardReadStep::Ready => {
+                    let pending = win.pending_stats.take().expect("matched Some above");
+                    let queue_delay = pending.machine.queue_delay();
+                    let (stats, cost, completed_at) = pending.machine.into_result()?;
+                    self.net.tracer().close(pending.span, completed_at);
+                    win.stats_read = Some(SharedStatsRead {
+                        stats,
+                        latency: cost.latency,
+                        messages: cost.messages,
+                        charged_to: pending.charged_to,
+                    });
+                    win.stats_done = Some(completed_at);
+                    win.stats_queue = queue_delay;
+                    win.completes_at = win.completes_at.max(completed_at);
+                    win.queue_delay += queue_delay;
+                }
+                qb_index::ShardReadStep::Pending { next_event_at } => {
+                    track(next_event_at, &mut next_event);
+                }
+            }
+        }
+        let mut i = 0;
+        while i < win.pending_shards.len() {
+            let pending = &mut win.pending_shards[i];
+            match self.dist_index.poll_read_shard(
+                &mut self.net,
+                &mut self.dht,
+                &mut self.storage,
+                &mut pending.machine,
+                at,
+            ) {
+                qb_index::ShardReadStep::Ready => {
+                    let pending = win.pending_shards.remove(i);
+                    let queue_delay = pending.machine.queue_delay();
+                    let (shard, cost, completed_at) = pending.machine.into_result()?;
+                    self.net.tracer().close(pending.span, completed_at);
+                    win.fetch_done.insert(pending.key.clone(), completed_at);
+                    win.fetch_queue.insert(pending.key.clone(), queue_delay);
+                    win.completes_at = win.completes_at.max(completed_at);
+                    win.queue_delay += queue_delay;
+                    win.fetched.insert(
+                        pending.key,
+                        FetchedShard {
+                            shard,
+                            latency: cost.latency,
+                            messages: cost.messages,
+                            charged_to: pending.charged_to,
+                            origin_peer: pending.origin_peer,
+                        },
+                    );
+                }
+                qb_index::ShardReadStep::Pending { next_event_at } => {
+                    track(next_event_at, &mut next_event);
+                    i += 1;
+                }
+            }
+        }
+        win.next_event = next_event;
+        Ok(())
+    }
+
+    /// Retire whatever a window still has in flight without processing it
+    /// (abort path), so an aborted run leaves no phantom link occupancy.
+    pub(crate) fn abandon_window_fetches(&mut self, win: &mut crate::query::pipeline::WindowRun) {
+        if let Some(pending) = win.pending_stats.as_mut() {
+            pending.machine.abandon(&mut self.net);
+        }
+        win.pending_stats = None;
+        for pending in win.pending_shards.iter_mut() {
+            pending.machine.abandon(&mut self.net);
+        }
+        win.pending_shards.clear();
+    }
+
+    /// Predicted relative cost of a window: the number of distinct
+    /// `(frontend, term)` shards its requests *could* require. A pure
+    /// routing + analysis pass — no cache probes, no network traffic, no
+    /// state changes — so the pipeline's shortest-first issue order under
+    /// saturation is deterministic and free.
+    pub(crate) fn predict_window_cost(&self, requests: &[SearchRequest]) -> usize {
+        let mut distinct: BTreeSet<(Option<usize>, String)> = BTreeSet::new();
+        for request in requests {
+            if let Ok((_, frontend)) = self.resolve_route(&request.routing) {
+                for term in self.analyzer.analyze(&request.query) {
+                    distinct.insert((frontend, term));
+                }
+            }
+        }
+        distinct.len()
     }
 
     /// Queue a batch window's freshly fetched shard keys as batch-aware
@@ -2290,6 +2490,7 @@ mod tests {
                 PipelineConfig {
                     window_size: 2,
                     max_windows_in_flight: 4,
+                    ..PipelineConfig::default()
                 },
             )
             .unwrap();
@@ -2317,9 +2518,12 @@ mod tests {
             b2b_invocations
         );
         assert!(stats.score_invocations < seq_invocations);
-        // The async tracker was fully drained.
+        // The async tracker was fully drained, and every fetch expanded
+        // into at least one per-hop asynchronous operation on the wire.
         assert_eq!(pipelined.net.async_in_flight(), 0);
-        assert_eq!(
+        assert!(
+            pipelined.net.stats().async_ops >= report.shard_fetches + report.stats_reads,
+            "event-driven fetches issue at least one async op each ({} vs {})",
             pipelined.net.stats().async_ops,
             report.shard_fetches + report.stats_reads
         );
@@ -2346,6 +2550,7 @@ mod tests {
                 PipelineConfig {
                     window_size: 2,
                     max_windows_in_flight: 1,
+                    ..PipelineConfig::default()
                 },
             )
             .unwrap();

@@ -21,7 +21,15 @@
 //!   detection with MinHash signatures).
 //!
 //! The entry point is [`QueenBee`]; see `examples/quickstart.rs` for an
-//! end-to-end walkthrough.
+//! end-to-end walkthrough and [`architecture`] for the repository-level
+//! crate map, the life of a query through the pipelined engine, and the
+//! determinism contract.
+
+/// The repository-level architecture tour — crate map, life of a query,
+/// determinism contract — rendered from `ARCHITECTURE.md` so its code
+/// examples compile and run under `cargo test --doc`.
+#[doc = include_str!("../../../ARCHITECTURE.md")]
+pub mod architecture {}
 
 pub mod attacks;
 pub mod bee;

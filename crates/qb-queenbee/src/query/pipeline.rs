@@ -1,5 +1,6 @@
-//! The pipelined execution engine: overlapping windows driven by an
-//! explicit per-window state machine.
+//! The pipelined execution engine: overlapping windows whose individual
+//! DHT fetches run as event-driven state machines on one shared virtual
+//! timeline.
 //!
 //! # The state machine
 //!
@@ -10,21 +11,23 @@
 //! an explicit [`WindowState`]:
 //!
 //! ```text
-//!   Planned ──issue fetches──▶ Fetching ──all handles done──▶ Scoring ──▶ Done
+//!   Planned ──issue fetches──▶ Fetching ──all machines done──▶ Scoring ──▶ Done
 //! ```
 //!
 //! * **Planned** — the window's requests are analyzed against the serving
 //!   frontend's cache tiers ([`plan_request`](crate::query::plan)); no
 //!   network traffic yet.
 //! * **Fetching** — each distinct missing `(frontend, term)` shard (plus at
-//!   most one statistics record per window) is fetched through the
-//!   versioned DHT read and registered as a **non-blocking request handle**
-//!   ([`qb_simnet::SimNet::begin_async_op`]) issued at the window's virtual
-//!   issue instant. The per-peer in-flight limit
-//!   ([`qb_simnet::NetConfig::max_in_flight_per_link`]) queues excess
-//!   fetches and charges the queueing delay, so overlap is a modeled
-//!   resource, not free parallelism.
-//! * **Scoring** — once the window's slowest handle completes, shards are
+//!   most one statistics record per window) becomes an **event-driven read
+//!   machine** ([`qb_index::ShardReadMachine`]): a per-lookup α-frontier
+//!   state machine whose individual DHT hops are issued through
+//!   [`qb_simnet::SimNet::send_async_at`] on the origin peer's uplink. The
+//!   per-peer in-flight limit
+//!   ([`qb_simnet::NetConfig::max_in_flight_per_link`]) queues excess hops
+//!   — *hop by hop*, so the hops of different windows genuinely interleave
+//!   on a contended link — and every queue delay is charged to
+//!   [`qb_simnet::NetStats`] and to the window.
+//! * **Scoring** — once the window's slowest machine completes, shards are
 //!   intersected and scored. Identical and prefix-sharing queries in the
 //!   in-flight window set resolve against the window-scoped
 //!   [`WindowMemo`]: a scored list tagged with the exact per-term shard
@@ -36,24 +39,43 @@
 //!   ([`qb_gossip::GossipFleet::note_batch_fetches`]) so the next digest
 //!   round warms the rest of the fleet one round earlier.
 //!
-//! # Window overlap
+//! # The event loop
 //!
-//! Up to [`PipelineConfig::max_windows_in_flight`] windows are in flight at
-//! once: window *N+1* is planned and its distinct-shard fetches issued
-//! while window *N*'s fetches are still pending, so the plan cost and the
-//! per-window fetch tails overlap instead of summing. Windows retire in
-//! FIFO order (like a CPU pipeline) so cache stores happen in a
-//! deterministic sequence; the **makespan** of the whole stream is the
-//! completion instant of the last window, which experiment E13 compares
-//! against back-to-back execution of the same stream (≥30% lower on a
-//! duplicate-heavy Zipf stream, with byte-identical per-query results).
+//! The driver owns a cursor on the virtual timeline and repeatedly takes
+//! the earliest pending event: *issue* a window (when a pipeline slot is
+//! free and the issue instant is due) or *advance* the in-flight machines
+//! to their next completion. Windows retire in FIFO order (like a CPU
+//! pipeline) so cache stores happen in a deterministic sequence; the
+//! **makespan** of the whole stream is the completion instant of the last
+//! window, which experiment E13 compares against back-to-back execution of
+//! the same stream (≥30% lower on a duplicate-heavy Zipf stream, with
+//! byte-identical per-query results).
+//!
+//! # Self-steering
+//!
+//! With [`PipelineConfig::adaptive`] on (see
+//! [`PipelineConfig::self_steering`]) the driver watches, at every
+//! retirement, how much of the window's busy time (charged queue delay
+//! plus read service time) was spent queueing. When queueing
+//! dominates ([`PipelineConfig::backoff_queue_percent`]) it *backs off*:
+//! first growing the window (a larger window dedupes more fetches per
+//! query, putting less work on the saturated links), then shedding
+//! pipeline depth — never below 2, since depth is what keeps a saturated
+//! link busy across window boundaries; when queueing is negligible
+//! ([`PipelineConfig::rampup_queue_percent`]) it reverses course. While
+//! saturated it also issues the cheapest ready window first —
+//! *cost-predicted shortest-first*, where the predicted cost is the number
+//! of distinct shards a window could fetch (a pure routing + analysis
+//! pass). Responses always come back in request order;
+//! [`WindowSpan::first_query`] records which slice an out-of-order window
+//! served.
 //!
 //! The virtual timeline never moves the engine's shared clock: cache
 //! effects are applied at the call instant (exactly as `search_batch`
 //! treats a window), while issue/completion instants drive latency,
 //! queueing and makespan accounting.
 
-use crate::engine::QueenBee;
+use crate::engine::{PendingShardFetch, PendingStatsRead, QueenBee};
 use crate::query::executor::WindowMemo;
 use crate::query::plan::QueryPlan;
 use crate::query::request::SearchRequest;
@@ -65,10 +87,25 @@ use std::collections::{HashMap, VecDeque};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Queries per window (the concurrency the frontend batches together).
+    /// With [`PipelineConfig::adaptive`] on this is the *base* size the
+    /// driver starts from and ramps back down to.
     pub window_size: usize,
     /// Windows allowed in flight at once. 1 degenerates to back-to-back
     /// execution; the default keeps a small pipeline of windows overlapped.
+    /// With [`PipelineConfig::adaptive`] on this is the *ceiling* the
+    /// driver steers below when queueing dominates.
     pub max_windows_in_flight: usize,
+    /// Self-steer window size, depth and issue order from the observed
+    /// queue-delay share of each retired window's busy time.
+    pub adaptive: bool,
+    /// Back off (grow the window, then shed depth) when queueing reaches
+    /// this percentage of a retired window's busy time (queue delay plus
+    /// service time across its fetches) — i.e. when the links, not the
+    /// reads, dominate the window.
+    pub backoff_queue_percent: u32,
+    /// Ramp back up (restore depth, then shrink the window) when the
+    /// queue share falls to this percentage or below.
+    pub rampup_queue_percent: u32,
 }
 
 impl Default for PipelineConfig {
@@ -76,6 +113,19 @@ impl Default for PipelineConfig {
         PipelineConfig {
             window_size: 32,
             max_windows_in_flight: 4,
+            adaptive: false,
+            backoff_queue_percent: 60,
+            rampup_queue_percent: 5,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The default pipeline with the self-steering controller on.
+    pub fn self_steering() -> PipelineConfig {
+        PipelineConfig {
+            adaptive: true,
+            ..PipelineConfig::default()
         }
     }
 }
@@ -85,35 +135,50 @@ impl Default for PipelineConfig {
 pub enum WindowState {
     /// Requests analyzed against the cache tiers; nothing issued yet.
     Planned,
-    /// Distinct-shard fetches issued as non-blocking handles.
+    /// Distinct-shard read machines issued and advancing event by event.
     Fetching,
-    /// All handles complete; intersect/score in progress.
+    /// All machines complete; intersect/score in progress.
     Scoring,
     /// Responses assembled and caches updated.
     Done,
 }
 
-/// One window in flight: its plans, its issued fetches and the completion
-/// bookkeeping the driver schedules by.
-#[derive(Debug)]
+/// One window in flight: its plans, its in-flight read machines and the
+/// completion bookkeeping the driver schedules by.
 pub(crate) struct WindowRun {
     pub(crate) state: WindowState,
+    /// Index of the window's first response in the (request-ordered)
+    /// response vector — windows may issue out of request order under the
+    /// saturated shortest-first policy.
+    pub(crate) first_query: usize,
     pub(crate) plans: Vec<QueryPlan>,
-    /// The window's shared fetches (each distinct `(frontend, term)` once).
+    /// The window's shared fetches (each distinct `(frontend, term)` once),
+    /// filled in as the read machines complete.
     pub(crate) fetched: crate::query::executor::FetchSet,
-    /// The window's (at most one) statistics read.
+    /// The window's (at most one) statistics read, once complete.
     pub(crate) stats_read: Option<crate::engine::SharedStatsRead>,
     /// When the window was issued on the virtual timeline.
     pub(crate) issued_at: SimInstant,
     /// Completion instant per fetched `(frontend, term)` key.
     pub(crate) fetch_done: HashMap<(Option<usize>, String), SimInstant>,
+    /// Queueing delay inside each fetched key's wall latency.
+    pub(crate) fetch_queue: HashMap<(Option<usize>, String), SimDuration>,
     /// Completion instant of the shared statistics read, when one ran.
     pub(crate) stats_done: Option<SimInstant>,
-    /// When the window's slowest dependency completes.
+    /// Queueing delay inside the statistics read, when one ran.
+    pub(crate) stats_queue: SimDuration,
+    /// When the window's slowest dependency completed (so far).
     pub(crate) completes_at: SimInstant,
-    /// Live handles of the window's in-flight operations; retired (and
-    /// their link slots freed) when the window leaves the pipeline.
-    pub(crate) handles: Vec<qb_simnet::RpcHandle>,
+    /// The in-flight statistics read machine, if still pending.
+    pub(crate) pending_stats: Option<PendingStatsRead>,
+    /// The in-flight shard read machines, in issue order.
+    pub(crate) pending_shards: Vec<PendingShardFetch>,
+    /// Earliest instant any pending machine advances at (`None` once the
+    /// window is complete).
+    pub(crate) next_event: Option<SimInstant>,
+    /// The window's trace span (children: one `fetch`/`stats_read` span
+    /// per read, each nesting its per-hop `dht.lookup`/`rpc` spans).
+    pub(crate) span: Option<qb_trace::SpanId>,
     /// Queueing delay the per-link in-flight limits charged this window.
     pub(crate) queue_delay: SimDuration,
 }
@@ -144,6 +209,10 @@ pub struct PipelineReport {
     pub queue_delay: SimDuration,
     /// Most windows observed in flight at once.
     pub peak_windows_in_flight: usize,
+    /// Self-steering back-off steps taken (depth shed or window grown).
+    pub adapt_backoffs: u64,
+    /// Self-steering ramp-up steps taken (window shrunk or depth restored).
+    pub adapt_rampups: u64,
 }
 
 /// Virtual-timeline span of one retired window: which slice of the
@@ -171,9 +240,14 @@ pub struct PipelineOutcome {
     pub responses: Vec<SearchResponse>,
     /// Stream-level accounting.
     pub report: PipelineReport,
-    /// One span per retired window, in retirement (= request) order.
+    /// One span per retired window, in retirement order (request order
+    /// unless the saturated shortest-first policy reordered issue).
     pub window_spans: Vec<WindowSpan>,
 }
+
+/// How many windows the driver keeps cut and ready ahead of issue — the
+/// candidate pool the saturated shortest-first policy picks from.
+const READY_STOCK: usize = 4;
 
 /// Drives a request stream through overlapping windows. Construct with a
 /// [`PipelineConfig`] and run once; the engine wraps this in
@@ -183,6 +257,12 @@ pub struct PipelineDriver {
     config: PipelineConfig,
     report: PipelineReport,
     spans: Vec<WindowSpan>,
+    /// Live pipeline depth (≤ `config.max_windows_in_flight`).
+    depth: usize,
+    /// Live window size (≥ `config.window_size`).
+    window: usize,
+    /// Whether the last adaptation step saw queueing dominate.
+    saturated: bool,
 }
 
 impl PipelineDriver {
@@ -192,6 +272,9 @@ impl PipelineDriver {
             config,
             report: PipelineReport::default(),
             spans: Vec::new(),
+            depth: config.max_windows_in_flight.max(1),
+            window: config.window_size.max(1),
+            saturated: false,
         }
     }
 
@@ -204,59 +287,93 @@ impl PipelineDriver {
         requests: Vec<SearchRequest>,
     ) -> QbResult<PipelineOutcome> {
         let t0 = qb.net.now();
-        let window_size = self.config.window_size.max(1);
-        let depth = self.config.max_windows_in_flight.max(1);
+        let total = requests.len();
 
-        let mut queue: VecDeque<Vec<SearchRequest>> = VecDeque::new();
-        let mut pending = requests;
-        while !pending.is_empty() {
-            let rest = pending.split_off(window_size.min(pending.len()));
-            queue.push_back(std::mem::replace(&mut pending, rest));
-        }
+        let mut pending: VecDeque<SearchRequest> = requests.into();
+        let mut next_first_query = 0usize;
+        // Windows cut and ready to issue: (first response index, requests).
+        let mut ready: VecDeque<(usize, Vec<SearchRequest>)> = VecDeque::new();
 
         let mut memo = WindowMemo::default();
-        let mut responses: Vec<SearchResponse> = Vec::new();
+        let mut responses: Vec<Option<SearchResponse>> = Vec::new();
+        responses.resize_with(total, || None);
         let mut in_flight: VecDeque<WindowRun> = VecDeque::new();
         // Window w may issue once window w - depth has retired; FIFO
         // retirement makes this the completion instant of the window
         // retired most recently.
         let mut next_issue_at = t0;
         let mut makespan_end = t0;
+        // The driver's position on the virtual timeline; only ever moves
+        // forward (to an issue instant or the next machine completion).
+        let mut cursor = t0;
 
-        while !queue.is_empty() || !in_flight.is_empty() {
-            if let Some(window_requests) = (in_flight.len() < depth)
-                .then(|| queue.pop_front())
-                .flatten()
+        loop {
+            // Retire the front window once all its machines completed.
+            if in_flight
+                .front()
+                .is_some_and(|w| w.pending_stats.is_none() && w.pending_shards.is_empty())
             {
-                let win = match self.issue_window(qb, window_requests, next_issue_at) {
-                    Ok(win) => win,
-                    Err(e) => {
-                        // Abort cleanly: retire every in-flight window's
-                        // handles so the aborted run leaves no phantom
-                        // link occupancy behind to throttle later runs,
-                        // and fold the work already done into the engine
-                        // counters (windows that fully served before the
-                        // abort did score and did hit the memo).
-                        for mut win in in_flight.drain(..) {
-                            for handle in std::mem::take(&mut win.handles) {
-                                let _ = qb.net.poll_complete(handle, win.completes_at);
-                            }
-                        }
-                        self.report.memo_hits = memo.hits;
-                        self.report.memo_partial_hits = memo.partial_hits;
-                        self.report.score_invocations = memo.invocations;
-                        qb.record_pipeline_run(&self.report, &memo);
-                        return Err(e);
-                    }
-                };
-                in_flight.push_back(win);
-                self.report.peak_windows_in_flight =
-                    self.report.peak_windows_in_flight.max(in_flight.len());
-            } else {
-                let mut win = in_flight.pop_front().expect("loop invariant");
+                let mut win = in_flight.pop_front().expect("front checked above");
                 next_issue_at = next_issue_at.max(win.completes_at);
                 makespan_end = makespan_end.max(win.completes_at);
+                self.adapt(&win);
                 self.score_window(qb, &mut win, &mut memo, &mut responses);
+                continue;
+            }
+
+            // Keep a stock of windows cut at the *live* window size so the
+            // shortest-first policy has candidates to choose from.
+            while ready.len() < READY_STOCK && !pending.is_empty() {
+                let take = self.window.min(pending.len());
+                let reqs: Vec<SearchRequest> = pending.drain(..take).collect();
+                ready.push_back((next_first_query, reqs));
+                next_first_query += take;
+            }
+
+            let can_issue = !ready.is_empty() && in_flight.len() < self.depth;
+            let issue_at = next_issue_at.max(cursor);
+            let next_completion: Option<SimInstant> =
+                in_flight.iter().filter_map(|w| w.next_event).min();
+
+            let issue_now = match (can_issue, next_completion) {
+                (false, None) => break,
+                (true, completion) => completion.is_none_or(|c| issue_at <= c),
+                (false, Some(_)) => false,
+            };
+
+            if issue_now {
+                let idx = if self.config.adaptive && self.saturated && ready.len() > 1 {
+                    // Cost-predicted shortest-first under saturation: the
+                    // cheapest ready window (fewest distinct predicted
+                    // shards) issues first; request order breaks ties so
+                    // the choice is deterministic.
+                    (0..ready.len())
+                        .min_by_key(|&i| (qb.predict_window_cost(&ready[i].1), ready[i].0))
+                        .expect("ready is non-empty")
+                } else {
+                    0
+                };
+                let (first_query, reqs) = ready.remove(idx).expect("index from range");
+                cursor = issue_at;
+                match self.issue_window(qb, first_query, reqs, issue_at) {
+                    Ok(win) => {
+                        in_flight.push_back(win);
+                        self.report.peak_windows_in_flight =
+                            self.report.peak_windows_in_flight.max(in_flight.len());
+                    }
+                    Err(e) => return self.abort(qb, &mut in_flight, memo, e),
+                }
+            } else {
+                cursor = next_completion.expect("issue_now is false ⇒ a completion exists");
+                // Advance every in-flight window: machines of *different*
+                // windows share the per-peer uplinks, so a completion in
+                // one window can unblock (or be interleaved with) hops of
+                // another. FIFO order keeps the advancement deterministic.
+                for win in in_flight.iter_mut() {
+                    if let Err(e) = qb.poll_window_fetches(win, cursor) {
+                        return self.abort(qb, &mut in_flight, memo, e);
+                    }
+                }
             }
         }
 
@@ -266,79 +383,129 @@ impl PipelineDriver {
         self.report.score_invocations = memo.invocations;
         qb.record_pipeline_run(&self.report, &memo);
         Ok(PipelineOutcome {
-            responses,
+            responses: responses
+                .into_iter()
+                .map(|r| r.expect("every window retired ⇒ every slot served"))
+                .collect(),
             report: self.report,
             window_spans: self.spans,
         })
     }
 
-    /// Plan a window and issue its distinct fetches at `issued_at`
-    /// (Planned → Fetching).
+    /// Abort cleanly: abandon every in-flight window's machines so the
+    /// aborted run leaves no phantom link occupancy behind to throttle
+    /// later runs, and fold the work already done into the engine counters
+    /// (windows that fully served before the abort did score and did hit
+    /// the memo).
+    fn abort(
+        mut self,
+        qb: &mut QueenBee,
+        in_flight: &mut VecDeque<WindowRun>,
+        memo: WindowMemo,
+        e: qb_common::QbError,
+    ) -> QbResult<PipelineOutcome> {
+        for win in in_flight.iter_mut() {
+            qb.abandon_window_fetches(win);
+        }
+        self.report.memo_hits = memo.hits;
+        self.report.memo_partial_hits = memo.partial_hits;
+        self.report.score_invocations = memo.invocations;
+        qb.record_pipeline_run(&self.report, &memo);
+        Err(e)
+    }
+
+    /// One self-steering step at window retirement: compare the queue
+    /// delay the window was charged against its total busy time (queue
+    /// delay plus the service time of its reads) and adjust window size /
+    /// depth for the windows still to issue.
+    ///
+    /// A dominant queue share means the uplinks — not the reads — are the
+    /// bottleneck, and the only way to finish sooner on a saturated link
+    /// is to put *less work* on it: the back-off grows the window first
+    /// (a bigger window dedupes more `(frontend, term)` fetches per query
+    /// on a duplicate-heavy stream), then sheds pipeline depth, never
+    /// below 2 — depth is what keeps the bottleneck link busy across
+    /// window boundaries, and shedding it to 1 degenerates to
+    /// back-to-back execution. The ramp-up reverses in the opposite order
+    /// (restore depth, then shrink the window back to the configured
+    /// base), so an unsaturated run converges to — and then never leaves —
+    /// the configured operating point.
+    fn adapt(&mut self, win: &WindowRun) {
+        if !self.config.adaptive {
+            return;
+        }
+        let service: SimDuration = win
+            .fetched
+            .values()
+            .map(|f| f.latency)
+            .fold(SimDuration::ZERO, |a, b| a + b)
+            + win
+                .stats_read
+                .map_or(SimDuration::ZERO, |read| read.latency);
+        let busy_us = (win.queue_delay + service).as_micros();
+        let share = win.queue_delay.as_micros().saturating_mul(100) / busy_us.max(1);
+        let base = self.config.window_size.max(1);
+        self.saturated = share >= u64::from(self.config.backoff_queue_percent);
+        if self.saturated {
+            if self.window < base * 4 {
+                self.window = (self.window * 2).min(base * 4);
+                self.report.adapt_backoffs += 1;
+            } else if self.depth > 2 {
+                self.depth -= 1;
+                self.report.adapt_backoffs += 1;
+            }
+        } else if share <= u64::from(self.config.rampup_queue_percent) {
+            if self.depth < self.config.max_windows_in_flight.max(1) {
+                self.depth += 1;
+                self.report.adapt_rampups += 1;
+            } else if self.window > base {
+                self.window = (self.window / 2).max(base);
+                self.report.adapt_rampups += 1;
+            }
+        }
+    }
+
+    /// Plan a window and start its distinct read machines at `issued_at`
+    /// (Planned → Fetching). The machines advance only through
+    /// [`QueenBee::poll_window_fetches`]; the immediate poll here lets
+    /// zero-latency reads (cache-complete windows) finish in place.
     fn issue_window(
         &mut self,
         qb: &mut QueenBee,
+        first_query: usize,
         requests: Vec<SearchRequest>,
         issued_at: SimInstant,
     ) -> QbResult<WindowRun> {
         let plans = qb.plan_window(requests)?;
+        let query_count = plans.len();
+        let span = qb
+            .net
+            .tracer()
+            .record_with(None, "window", issued_at, issued_at, || {
+                format!("{query_count} queries")
+            });
+        let (pending_stats, pending_shards) = qb.begin_window_fetches(&plans, issued_at, span);
+        self.report.stats_reads += u64::from(pending_stats.is_some());
+        self.report.shard_fetches += pending_shards.len() as u64;
         let mut win = WindowRun {
-            state: WindowState::Planned,
+            state: WindowState::Fetching,
+            first_query,
             plans,
             fetched: crate::query::executor::FetchSet::new(),
             stats_read: None,
             issued_at,
             fetch_done: HashMap::new(),
+            fetch_queue: HashMap::new(),
             stats_done: None,
+            stats_queue: SimDuration::ZERO,
             completes_at: issued_at,
-            handles: Vec::new(),
+            pending_stats,
+            pending_shards,
+            next_event: None,
+            span,
             queue_delay: SimDuration::ZERO,
         };
-        let (fetched, stats_read) = qb.fetch_window(&win.plans)?;
-        win.state = WindowState::Fetching;
-
-        let query_count = win.plans.len();
-        let window_span = qb
-            .net
-            .tracer()
-            .open_with("window", issued_at, || format!("{query_count} queries"));
-
-        // Register every fetch (and the stats read) as an in-flight
-        // operation of its issuing peer; the per-link limit may queue some
-        // of them, pushing this window's completion out. Handles stay live
-        // until the window retires, so fetches of the *next* windows queue
-        // behind this window's occupancy.
-        if let Some(read) = &stats_read {
-            let span = qb.net.tracer().open("stats_read", issued_at);
-            let handle = qb
-                .net
-                .begin_async_op(read.origin_peer, issued_at, read.latency);
-            let done = qb.net.async_completes_at(handle).expect("just issued");
-            qb.net.tracer().close(span, done);
-            win.handles.push(handle);
-            win.stats_done = Some(done);
-            win.completes_at = win.completes_at.max(done);
-            self.report.stats_reads += 1;
-        }
-        for (key, fetch) in &fetched {
-            let term = &key.1;
-            let span = qb
-                .net
-                .tracer()
-                .open_with("fetch", issued_at, || term.clone());
-            let handle = qb
-                .net
-                .begin_async_op(fetch.origin_peer, issued_at, fetch.latency);
-            let done = qb.net.async_completes_at(handle).expect("just issued");
-            qb.net.tracer().close(span, done);
-            win.handles.push(handle);
-            win.fetch_done.insert(key.clone(), done);
-            win.completes_at = win.completes_at.max(done);
-            self.report.shard_fetches += 1;
-        }
-        let window_done = win.completes_at;
-        qb.net.tracer().close(window_span, window_done);
-        win.fetched = fetched;
-        win.stats_read = stats_read;
+        qb.poll_window_fetches(&mut win, issued_at)?;
         Ok(win)
     }
 
@@ -351,7 +518,7 @@ impl PipelineDriver {
         qb: &mut QueenBee,
         win: &mut WindowRun,
         memo: &mut WindowMemo,
-        responses: &mut Vec<SearchResponse>,
+        responses: &mut [Option<SearchResponse>],
     ) {
         debug_assert_eq!(
             win.state,
@@ -359,23 +526,14 @@ impl PipelineDriver {
             "only issued windows retire"
         );
         win.state = WindowState::Scoring;
-        // Retire the window's handles: this frees its link slots on the
-        // virtual timeline and reports the queueing delay each operation
-        // actually paid.
-        for handle in std::mem::take(&mut win.handles) {
-            if let Some(qb_simnet::Poll::Ready(done)) =
-                qb.net.poll_complete(handle, win.completes_at)
-            {
-                win.queue_delay += done.queue_delay;
-            }
-        }
+        qb.net.tracer().close(win.span, win.completes_at);
         self.report.queue_delay += win.queue_delay;
         let now = qb.net.now();
         let plans = std::mem::take(&mut win.plans);
         self.report.windows += 1;
         self.report.queries += plans.len();
         self.spans.push(WindowSpan {
-            first_query: responses.len(),
+            first_query: win.first_query,
             queries: plans.len(),
             issued_at: win.issued_at,
             completed_at: win.completes_at,
@@ -384,7 +542,7 @@ impl PipelineDriver {
             &win.fetched,
             plans.len() >= 2 && qb.fleet().is_some(),
         );
-        for plan in plans {
+        for (j, plan) in plans.into_iter().enumerate() {
             let frontend = plan.frontend;
             let used_stats_read =
                 matches!(plan.stats, crate::query::plan::StatsPlan::Fetch) && !plan.is_result_hit();
@@ -396,20 +554,28 @@ impl PipelineDriver {
             // Rebase latency on the virtual timeline when the query waited
             // on any asynchronous dependency.
             let mut done_at: Option<SimInstant> = None;
+            let mut critical_queue = SimDuration::ZERO;
             for key in &fetch_keys {
                 if let Some(&d) = win.fetch_done.get(key) {
+                    if done_at.is_none_or(|cur| d > cur) {
+                        critical_queue = win.fetch_queue.get(key).copied().unwrap_or_default();
+                    }
                     done_at = Some(done_at.map_or(d, |cur| cur.max(d)));
                 }
             }
             if used_stats_read {
                 if let Some(d) = win.stats_done {
+                    if done_at.is_none_or(|cur| d > cur) {
+                        critical_queue = win.stats_queue;
+                    }
                     done_at = Some(done_at.map_or(d, |cur| cur.max(d)));
                 }
             }
             if let Some(done) = done_at {
                 response.latency = done.since(win.issued_at);
+                response.trace.net_queue = critical_queue.min(response.latency);
             }
-            responses.push(response);
+            responses[win.first_query + j] = Some(response);
         }
         // Batch-aware gossip: the window's freshly fetched shard keys enter
         // the serving frontends' next digest round, so the rest of the
@@ -431,6 +597,15 @@ mod tests {
         let c = PipelineConfig::default();
         assert_eq!(c.window_size, 32);
         assert_eq!(c.max_windows_in_flight, 4);
+        assert!(!c.adaptive);
+    }
+
+    #[test]
+    fn self_steering_turns_adaptation_on_over_the_defaults() {
+        let c = PipelineConfig::self_steering();
+        assert!(c.adaptive);
+        assert_eq!(c.window_size, PipelineConfig::default().window_size);
+        assert!(c.rampup_queue_percent < c.backoff_queue_percent);
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub struct StageCosts {
     /// Fetching/serving the term shards — the parallel-window maximum over
     /// this query's terms.
     pub shard_fetch: SimDuration,
+    /// Per-link queueing delay inside the slowest dependency's wall time.
+    /// Already counted in `shard_fetch` and the response latency; split out
+    /// so trace attribution can separate waiting on contended links from
+    /// service.
+    pub net_queue: SimDuration,
     /// BM25 scoring of the candidate set (local).
     pub score: SimDuration,
     /// Blending relevance with PageRank and sorting (local).

@@ -11,26 +11,23 @@
 //! * random message loss,
 //! * per-message and per-byte accounting for the cost experiments.
 //!
-//! The simulator is *not* event driven: operations are executed by the
-//! calling protocol code, and the latency of an operation is accumulated
-//! explicitly. Rounds of parallel RPCs (e.g. Kademlia's α-parallel lookups)
-//! charge the maximum latency of the round via [`parallel_latency`], while
-//! sequential phases add up. This keeps the whole stack synchronous,
-//! deterministic and easy to test, while producing realistic latency,
-//! message-count and availability shapes — which is all the experiments in
-//! EXPERIMENTS.md measure.
-//!
-//! For callers that overlap work instead of running stage-by-stage (the
-//! pipelined query engine in `qb-queenbee::query::pipeline`), the network
-//! additionally hands out **non-blocking request handles**:
-//! [`SimNet::send_async`] issues a single RPC and [`SimNet::begin_async_op`]
-//! wraps an already-executed compound operation (an iterative DHT lookup)
-//! into the in-flight tracker; both respect a per-link in-flight limit
-//! ([`NetConfig::max_in_flight_per_link`]) that queues excess operations
-//! behind the earliest completion and charges the queueing delay to
-//! [`NetStats`]. [`SimNet::poll_complete`] resolves a handle at a given
-//! instant, so a driver can interleave issue and completion on a virtual
-//! timeline while every message stays deterministically accounted.
+//! Time is virtual and advances explicitly. Simple callers execute an RPC
+//! synchronously and accumulate its sampled latency themselves; rounds of
+//! parallel RPCs charge the maximum latency of the round via
+//! [`parallel_latency`]. Event-driven callers — the DHT's per-lookup state
+//! machines and the pipelined query engine in
+//! `qb-queenbee::query::pipeline` — instead use **non-blocking request
+//! handles**: [`SimNet::send_async_at`] issues one RPC at a chosen virtual
+//! instant (failure sampling and message/byte accounting happen at issue
+//! time) and [`SimNet::begin_async_op`] tracks an already-executed compound
+//! operation such as a storage-DAG fetch. Both respect a per-link in-flight
+//! limit ([`NetConfig::max_in_flight_per_link`]) that queues excess
+//! operations behind the earliest completion and charges the queueing delay
+//! to [`NetStats`]. [`SimNet::poll_complete`] resolves a handle at a given
+//! instant and reports when a pending one is due, so a driver can advance
+//! to exactly the next event: hops from different concurrent lookups
+//! interleave on contended links while every message stays deterministically
+//! accounted and every run is bit-identical for a given seed.
 
 pub mod latency;
 pub mod net;

@@ -4,7 +4,7 @@
 use crate::latency::LatencyModel;
 use crate::stats::NetStats;
 use qb_common::{DetRng, QbError, SimDuration, SimInstant};
-use qb_trace::Tracer;
+use qb_trace::{SpanId, Tracer};
 use std::collections::HashMap;
 
 /// Static configuration of a simulated network.
@@ -399,6 +399,24 @@ impl SimNet {
         request_bytes: usize,
         response_bytes: usize,
     ) -> Result<SimDuration, RpcError> {
+        let latency = self.sample_rpc(from, to, request_bytes, response_bytes)?;
+        let (start, end) = (self.clock, self.clock + latency);
+        self.tracer
+            .record_with(None, "rpc", start, end, || format!("{from}->{to}"));
+        Ok(latency)
+    }
+
+    /// The cost-model core shared by every RPC-shaped call: failure
+    /// sampling plus message/byte accounting, returning the round-trip
+    /// service latency. Does not record a span — callers place the span on
+    /// whatever (possibly virtual) timeline the RPC executes on.
+    fn sample_rpc(
+        &mut self,
+        from: u64,
+        to: u64,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) -> Result<SimDuration, RpcError> {
         if !self.is_online(from) {
             return Err(RpcError::SelfOffline);
         }
@@ -426,11 +444,7 @@ impl SimNet {
         self.stats.messages += 2;
         self.stats.bytes += (request_bytes + response_bytes) as u64;
         self.stats.rpcs += 1;
-        let latency = prop_out + prop_back + transfer;
-        let (start, end) = (self.clock, self.clock + latency);
-        self.tracer
-            .record_with(None, "rpc", start, end, || format!("{from}->{to}"));
-        Ok(latency)
+        Ok(prop_out + prop_back + transfer)
     }
 
     /// Like [`SimNet::rpc`] but a failure costs the configured timeout, which
@@ -494,20 +508,60 @@ impl SimNet {
         response_bytes: usize,
     ) -> Result<RpcHandle, RpcError> {
         let service = self.rpc(from, to, request_bytes, response_bytes)?;
-        Ok(self.enqueue_async((from, Some(to)), self.clock, service))
+        Ok(self.enqueue_async((from, Some(to)), self.clock, service, None))
     }
 
-    /// Track an already-executed compound operation (e.g. an iterative DHT
-    /// lookup whose messages and bytes were charged by its synchronous
+    /// Issue a request/response RPC at virtual instant `at` (clamped to be
+    /// no earlier than the shared clock) without blocking on its
+    /// completion. This is the primitive event-driven callers build on: the
+    /// DHT's lookup state machines issue each hop through it, so per-hop
+    /// RPCs from *different* concurrent lookups interleave on the issuing
+    /// peer's uplink instead of executing lookup-after-lookup.
+    ///
+    /// Failure sampling and message/byte accounting happen immediately
+    /// (exactly as in [`SimNet::rpc`]); the `rpc` span is recorded on the
+    /// virtual timeline `[at, at + service]` under `parent` (pass the
+    /// enclosing lookup/fetch span so async traffic keeps the one nested
+    /// trace shape). The operation occupies the **source peer's uplink**
+    /// (the `from -> *` link, shared with [`SimNet::begin_async_op`]): a
+    /// caller with more concurrent hops in flight than
+    /// [`NetConfig::max_in_flight_per_link`] queues the excess behind the
+    /// earliest completion and the queueing delay is charged to
+    /// [`NetStats`].
+    pub fn send_async_at(
+        &mut self,
+        from: u64,
+        to: u64,
+        request_bytes: usize,
+        response_bytes: usize,
+        at: SimInstant,
+        parent: Option<SpanId>,
+    ) -> Result<RpcHandle, RpcError> {
+        let at = at.max(self.clock);
+        let service = self.sample_rpc(from, to, request_bytes, response_bytes)?;
+        self.tracer
+            .record_with(parent, "rpc", at, at + service, || format!("{from}->{to}"));
+        Ok(self.enqueue_async((from, None), at, service, parent))
+    }
+
+    /// Track an already-executed compound operation (e.g. a storage-DAG
+    /// fetch whose messages and bytes were charged by its synchronous
     /// execution) as an in-flight asynchronous operation issued from `from`
     /// at `at`. The source peer's aggregate in-flight limit applies: a
     /// pipelined caller that issues more concurrent fetches than the peer's
     /// link capacity pays real queueing delay instead of getting free
     /// infinite parallelism. `at` may lie in the simulated future (pipeline
-    /// drivers run on a virtual cursor ahead of the shared clock).
-    pub fn begin_async_op(&mut self, from: u64, at: SimInstant, latency: SimDuration) -> RpcHandle {
+    /// drivers run on a virtual cursor ahead of the shared clock); the
+    /// operation's queue/deliver spans are recorded under `parent`.
+    pub fn begin_async_op(
+        &mut self,
+        from: u64,
+        at: SimInstant,
+        latency: SimDuration,
+        parent: Option<SpanId>,
+    ) -> RpcHandle {
         let at = at.max(self.clock);
-        self.enqueue_async((from, None), at, latency)
+        self.enqueue_async((from, None), at, latency, parent)
     }
 
     fn enqueue_async(
@@ -515,6 +569,7 @@ impl SimNet {
         link: (u64, Option<u64>),
         at: SimInstant,
         latency: SimDuration,
+        parent: Option<SpanId>,
     ) -> RpcHandle {
         let capacity = self.config.max_in_flight_per_link.max(1);
         let completions = self.link_completions.entry(link).or_default();
@@ -534,10 +589,10 @@ impl SimNet {
             self.stats.async_queued_ops += 1;
             self.stats.async_queue_delay_us += queue_delay.as_micros();
             self.tracer
-                .record_with(None, "net.queue", at, started_at, || link_label(link));
+                .record_with(parent, "net.queue", at, started_at, || link_label(link));
         }
         self.tracer
-            .record_with(None, "net.deliver", started_at, completes_at, || {
+            .record_with(parent, "net.deliver", started_at, completes_at, || {
                 link_label(link)
             });
         self.next_handle += 1;
@@ -807,10 +862,10 @@ mod tests {
         cfg.max_in_flight_per_link = 1;
         let mut net = SimNet::new(3, cfg, 24);
         let at = net.now() + SimDuration::from_millis(5);
-        let a = net.begin_async_op(0, at, SimDuration::from_millis(10));
-        let b = net.begin_async_op(0, at, SimDuration::from_millis(10));
+        let a = net.begin_async_op(0, at, SimDuration::from_millis(10), None);
+        let b = net.begin_async_op(0, at, SimDuration::from_millis(10), None);
         // Different source peer: its own capacity, no queueing.
-        let c = net.begin_async_op(1, at, SimDuration::from_millis(10));
+        let c = net.begin_async_op(1, at, SimDuration::from_millis(10), None);
         let done_a = net.async_completes_at(a).unwrap();
         let done_b = net.async_completes_at(b).unwrap();
         let done_c = net.async_completes_at(c).unwrap();
@@ -821,6 +876,81 @@ mod tests {
         // already paid for them synchronously.
         assert_eq!(net.stats().messages, 0);
         assert_eq!(net.stats().async_ops, 3);
+    }
+
+    #[test]
+    fn send_async_at_issues_on_a_virtual_instant() {
+        let mut net = lan(4, 25);
+        let at = net.now() + SimDuration::from_millis(7);
+        let h = net.send_async_at(0, 1, 100, 200, at, None).expect("online");
+        // Accounting happens at issue time, like the synchronous path.
+        assert_eq!(net.stats().rpcs, 1);
+        assert_eq!(net.stats().messages, 2);
+        assert_eq!(net.stats().bytes, 300);
+        let due = net.async_completes_at(h).expect("in flight");
+        assert!(due > at, "service time elapses after the virtual instant");
+        match net.poll_complete(h, due) {
+            Some(Poll::Ready(done)) => {
+                assert_eq!(done.completed_at, due);
+                assert_eq!(done.queue_delay, SimDuration::ZERO);
+            }
+            other => panic!("expected ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_async_at_fails_like_rpc() {
+        let mut net = lan(4, 26);
+        net.set_online(2, false);
+        let at = net.now();
+        assert_eq!(
+            net.send_async_at(0, 2, 1, 1, at, None),
+            Err(RpcError::PeerOffline)
+        );
+        assert_eq!(net.async_in_flight(), 0);
+        assert_eq!(net.stats().failed_rpcs, 1);
+    }
+
+    #[test]
+    fn send_async_at_contends_on_the_source_uplink() {
+        let mut cfg = NetConfig::lan();
+        cfg.max_in_flight_per_link = 1;
+        let mut net = SimNet::new(4, cfg, 27);
+        let at = net.now();
+        // Two hops from the same source to *different* destinations still
+        // share the source uplink: the second queues behind the first.
+        let a = net.send_async_at(0, 1, 64, 64, at, None).unwrap();
+        let b = net.send_async_at(0, 2, 64, 64, at, None).unwrap();
+        // A different source has its own uplink — no queueing.
+        let c = net.send_async_at(3, 1, 64, 64, at, None).unwrap();
+        let done_a = net.async_completes_at(a).unwrap();
+        let done_b = net.async_completes_at(b).unwrap();
+        let done_c = net.async_completes_at(c).unwrap();
+        assert!(done_b > done_a, "second op queues behind the first");
+        assert!(done_c.since(at) < done_b.since(at));
+        assert_eq!(net.stats().async_queued_ops, 1);
+        let far = at + SimDuration::from_secs(60);
+        for h in [a, b, c] {
+            net.poll_complete(h, far);
+        }
+    }
+
+    #[test]
+    fn send_async_at_is_deterministic() {
+        let run = |seed: u64| {
+            let mut net = SimNet::new(6, NetConfig::default(), seed);
+            let at = net.now();
+            (0..12u64)
+                .map(|i| {
+                    let h = net
+                        .send_async_at(i % 6, (i + 1) % 6, 64, 64, at, None)
+                        .unwrap();
+                    net.async_completes_at(h).unwrap().as_micros()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
     }
 
     #[test]

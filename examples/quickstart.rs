@@ -5,6 +5,11 @@
 //! settle the click on-chain.
 //!
 //! Run with: `cargo run -p qb-examples --release --bin quickstart`
+//!
+//! For the repository-level view — the crate map, the life of a query
+//! through the event-driven pipeline, and the determinism contract every
+//! subsystem is held to — see `ARCHITECTURE.md` at the repo root (also
+//! rendered as the `qb_queenbee::architecture` rustdoc module).
 
 use qb_chain::AccountId;
 use qb_dweb::WebPage;
@@ -154,7 +159,22 @@ fn main() {
     //    are still in flight (under the simulated network's per-link
     //    in-flight limits) — and duplicate queries across the in-flight
     //    set are served from a version-tagged window memo instead of
-    //    re-running intersect/score. The stream below repeats queries on
+    //    re-running intersect/score. Every fetch is an event-driven read
+    //    machine over async DHT lookups, so per-hop RPCs from concurrent
+    //    windows interleave on contended links.
+    //
+    //    Don't hand-tune `window_size`/`max_windows_in_flight` for load:
+    //    start from `PipelineConfig::self_steering()` and treat the fixed
+    //    values as the *initial* shape. The self-steering driver measures,
+    //    at each window retirement, what share of the window's busy time
+    //    the per-link limits charged as queueing; past
+    //    `backoff_queue_percent` it backs off (grows the window for more
+    //    dedup per issue, then sheds depth) and issues the predicted
+    //    cheapest ready window first, and below `rampup_queue_percent` it
+    //    restores the configured shape. On an unsaturated stream it does
+    //    nothing — E13 asserts the makespan holds exactly — and on a
+    //    starved uplink it beats the fixed shape (E13c). Responses stay
+    //    in request order either way. The stream below repeats queries on
     //    purpose: watch the memo hits and the makespan.
     let stream: Vec<SearchRequest> = [
         "artisanal honey",
@@ -175,6 +195,7 @@ fn main() {
             PipelineConfig {
                 window_size: 4,
                 max_windows_in_flight: 2,
+                ..PipelineConfig::self_steering()
             },
         )
         .expect("pipelined stream");
@@ -200,6 +221,10 @@ fn main() {
         outcome.report.memo_partial_hits,
         outcome.report.score_invocations,
         outcome.report.queue_delay,
+    );
+    println!(
+        "  self-steering: {} back-offs, {} ramp-ups (an unsaturated stream should show 0/0)",
+        outcome.report.adapt_backoffs, outcome.report.adapt_rampups,
     );
     // One-shot windows are still there: `qb.search_batch(requests)` runs a
     // single window back-to-back, and `search`/`search_from` serve one-off

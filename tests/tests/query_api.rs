@@ -446,6 +446,7 @@ fn pipelined_fleet_stream_is_byte_identical_and_fresh() {
             PipelineConfig {
                 window_size: 12,
                 max_windows_in_flight: 3,
+                ..PipelineConfig::default()
             },
         )
         .unwrap();
@@ -474,4 +475,60 @@ fn pipelined_fleet_stream_is_byte_identical_and_fresh() {
         scored_queries as u64,
         "every non-result-cache query is either computed or memo-served"
     );
+}
+
+/// Determinism contract of the event-driven core: replaying the same
+/// pipelined stream on a freshly built engine reproduces byte-identical
+/// hits and the exact same scheduling report — for the fixed configuration
+/// and for the self-steering one (whose back-off decisions depend only on
+/// simulated measurements, never on host state).
+#[test]
+fn pipelined_reruns_are_byte_identical_even_when_self_steering() {
+    use qb_queenbee::PipelineConfig;
+    let corpus = corpus(0xDE7E, 18);
+    let workload = QueryWorkload::new(&corpus);
+    let pool = workload.generate_batch(&corpus, &mut DetRng::new(11), 14);
+    let zipf = ZipfSampler::new(pool.len(), 1.2);
+    let stream: Vec<String> = {
+        let mut rng = DetRng::new(13);
+        (0..40)
+            .map(|_| pool[zipf.sample(&mut rng)].clone())
+            .collect()
+    };
+    let run = |config: PipelineConfig| {
+        let mut qb = engine(CacheConfig::default(), 0xDE7E);
+        publish_all(&mut qb, &corpus);
+        let requests: Vec<SearchRequest> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                SearchRequest::new(q.as_str()).route(RoutingPolicy::HashPeer((i % 20) as u64))
+            })
+            .collect();
+        qb.search_pipelined(requests, config).unwrap()
+    };
+    for config in [
+        PipelineConfig {
+            window_size: 8,
+            max_windows_in_flight: 3,
+            ..PipelineConfig::default()
+        },
+        PipelineConfig {
+            window_size: 8,
+            max_windows_in_flight: 3,
+            ..PipelineConfig::self_steering()
+        },
+    ] {
+        let first = run(config);
+        let second = run(config);
+        assert_eq!(
+            first.report, second.report,
+            "scheduling must replay exactly"
+        );
+        assert_eq!(first.responses.len(), second.responses.len());
+        for (i, (a, b)) in first.responses.iter().zip(&second.responses).enumerate() {
+            assert_eq!(a.hits, b.hits, "query {i} hits diverged across reruns");
+            assert_eq!(a.latency, b.latency, "query {i} latency diverged");
+        }
+    }
 }

@@ -97,10 +97,13 @@ fn traced_replay_records_one_tree_per_completed_query() {
             .collect();
         assert_eq!(waits.len(), 1);
         queue_wait.record(waits[0].duration());
-        // The service stage (fetch or cache_serve) ends when the query does.
-        let served = spans
-            .children(q.id)
-            .any(|c| (c.name == "fetch" || c.name == "cache_serve") && c.end == q.end);
+        // The query ends with its service stage (fetch or cache_serve) or,
+        // when per-link queueing was charged inside its slowest dependency,
+        // with the split-off `net_queue` wait.
+        let served = spans.children(q.id).any(|c| {
+            (c.name == "fetch" || c.name == "cache_serve" || c.name == "net_queue")
+                && c.end == q.end
+        });
         let zero_service = waits[0].end == q.end;
         assert!(
             served || zero_service,
