@@ -8,10 +8,11 @@
 //!
 //! The gate reads the machine-readable tables the `experiments` binary
 //! writes, extracts the headline metrics from the optimized configurations
-//! of E9–E16 and fails when a current value regresses past the threshold
+//! of E9–E17 and fails when a current value regresses past the threshold
 //! (default 10%): lower-is-better metrics (DHT shard fetches, RPC
 //! messages, gossip bytes, stale serves, pipelined makespan, open-loop
-//! tail latency, shed rate and segment-bootstrap cost) must not rise
+//! tail latency, shed rate, segment-bootstrap cost, the post-crash
+//! routing spike and the hedged-fetch tail) must not rise
 //! above `baseline * (1 + t)`, higher-is-better metrics (window-memo
 //! dedup hits, the batch-aware warm-round lead, overload goodput) must
 //! not fall below
@@ -139,6 +140,25 @@ const CHECKS: &[Check] = &[
     lower("E16a", "config", "segment join", "probe_dht_fetches"),
     lower("E16a", "config", "segment join", "bootstrap_bytes"),
     lower("E16a", "config", "segment join", "stale_results"),
+    // E17: replica-aware routing + hedged fetches. The post-crash load
+    // spike under rendezvous + two-choices must not creep back toward the
+    // ring walk's, the hedged tail must stay collapsed, and the wasted
+    // hedge bytes (cancelled duplicate RPCs) must stay inside the valve's
+    // budget.
+    lower(
+        "E17a",
+        "routing",
+        "rendezvous + 2-choices",
+        "max_over_fair_share",
+    ),
+    lower(
+        "E12c",
+        "routing",
+        "rendezvous + 2-choices",
+        "max_over_mean_survivor",
+    ),
+    lower("E17b", "config", "hedged", "p99_us"),
+    lower("E17b", "config", "hedged", "hedge_wasted_bytes"),
 ];
 
 fn load(path: &str) -> Result<Vec<Value>, String> {
@@ -281,7 +301,7 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_gate: key metrics regressed >{:.0}% against {baseline_path}; \
              if intentional, regenerate the baseline with \
-             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12 e13 e14 e15 e16` \
+             `cargo run -p qb-bench --release --bin experiments -- --quick e9 e10 e11 e12 e13 e14 e15 e16 e17` \
              and copy bench-results/experiments.json over the baseline file.",
             threshold * 100.0
         );

@@ -28,7 +28,7 @@ fn main() {
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16",
+            "e14", "e15", "e16", "e17",
         ]
         .into_iter()
         .map(String::from)
@@ -56,8 +56,9 @@ fn main() {
             "e14" => e14_open_loop(quick),
             "e15" => e15_tracing(quick),
             "e16" => e16_segment(quick),
+            "e17" => e17_hedging(quick),
             other => {
-                eprintln!("unknown experiment '{other}' (use f1, e1..e16 or all)");
+                eprintln!("unknown experiment '{other}' (use f1, e1..e17 or all)");
                 Vec::new()
             }
         };
@@ -1663,7 +1664,112 @@ fn e12_churn(quick: bool) -> Vec<Table> {
         "steady-state hit rate (zone-aware AE)".into(),
         f2(aware.steady_hit_rate),
     ]);
-    vec![t, t2]
+
+    // ----- E12c: where does a crashed frontend's keyspace land? ---------------------
+    //
+    // The churn runs above measure gossip cost; this closes the routing
+    // blind spot: per-frontend admitted-query counts across a crash
+    // window, under the seed's ring-successor walk vs rendezvous +
+    // two-choices. The ring walk hands the victim's whole keyspace to
+    // one successor; rendezvous spreads it across every survivor.
+    let t3 = {
+        use qb_load::{replay, ArrivalTrace, RateShape, ReplayConfig, TraceConfig};
+        use qb_queenbee::AdmissionConfig;
+
+        const E12C_VICTIM: usize = 2;
+        let e12c_fleet: usize = 8;
+        let make_trace = |seed: u64, secs: u64| {
+            ArrivalTrace::generate(
+                &corpus,
+                &TraceConfig {
+                    seed,
+                    duration: SimDuration::from_secs(secs),
+                    base_qps: 100.0,
+                    shape: RateShape::Constant,
+                    pool_size: 48,
+                    ..TraceConfig::default()
+                },
+            )
+        };
+        let warm_trace = make_trace(0xE12C0, 1);
+        let crash_trace = make_trace(0xE12C1, if quick { 2 } else { 4 });
+
+        let run_routing = |ring: bool| -> (Vec<u64>, f64) {
+            let mut config = qb_queenbee::QueenBeeConfig::small();
+            config.num_peers = 64;
+            config.num_bees = 6;
+            config.seed = 0xE12C;
+            config.net = NetConfig::zoned(ZONES, 2_000, 40_000);
+            config.cache = CacheConfig::enabled();
+            config.gossip = GossipConfig::enabled_zoned(e12c_fleet, ZONES);
+            config.admission = AdmissionConfig::enabled();
+            config.admission.queue_capacity = 128;
+            config.admission.shed_threshold = SimDuration::from_secs(5);
+            let mut qb = qb_bench::build_engine_with(config);
+            publish_corpus(&mut qb, &corpus);
+            let replay_cfg = ReplayConfig {
+                seed: 0xE12CF,
+                fresh_fraction: 0.5,
+                top_k: 5,
+                ring_successor_routing: ring,
+            };
+            replay(&mut qb, &warm_trace, &replay_cfg).expect("warm-up replay");
+            qb.fleet_leave(E12C_VICTIM, false).expect("crash");
+            let report = replay(&mut qb, &crash_trace, &replay_cfg).expect("crash replay");
+            let per = report.admitted_per_frontend.clone();
+            let max = per.iter().copied().max().unwrap_or(0) as f64;
+            let mean = report.admitted as f64 / (e12c_fleet - 1) as f64;
+            (per, max / mean.max(1e-9))
+        };
+        let (ring_admitted, ring_ratio) = run_routing(true);
+        let (hrw_admitted, hrw_ratio) = run_routing(false);
+
+        assert_eq!(
+            ring_admitted[E12C_VICTIM], 0,
+            "E12c: crashed frontend must admit nothing"
+        );
+        assert_eq!(
+            hrw_admitted[E12C_VICTIM], 0,
+            "E12c: crashed frontend must admit nothing"
+        );
+        assert!(
+            hrw_ratio <= ring_ratio,
+            "E12c: rendezvous max/mean survivor load ({hrw_ratio:.2}) must not \
+             exceed the ring walk's ({ring_ratio:.2})"
+        );
+
+        let mut t3 = Table::new(
+            &format!(
+                "E12c: crash-window admitted queries per frontend \
+                 ({e12c_fleet} frontends, frontend {E12C_VICTIM} crashes after warm-up)"
+            ),
+            &[
+                "routing",
+                "admitted_per_frontend",
+                "max_admitted",
+                "max_over_mean_survivor",
+            ],
+        );
+        for (label, per, ratio) in [
+            ("ring successor (seed)", &ring_admitted, ring_ratio),
+            ("rendezvous + 2-choices", &hrw_admitted, hrw_ratio),
+        ] {
+            t3.row(&[
+                label.into(),
+                format!("{per:?}"),
+                per.iter().copied().max().unwrap_or(0).to_string(),
+                f2(ratio),
+            ]);
+        }
+        t3.row(&[
+            "imbalance reduction".into(),
+            "-".into(),
+            "-".into(),
+            format!("{:.1}x", ring_ratio / hrw_ratio.max(1e-9)),
+        ]);
+        t3
+    };
+    vec![t, t2, t3]
 }
 
 /// E13 — the pipelined query engine. Part A replays a duplicate-heavy
@@ -2254,6 +2360,7 @@ fn e14_open_loop(quick: bool) -> Vec<Table> {
         seed: 0xE14F,
         fresh_fraction: 0.9,
         top_k: 5,
+        ..ReplayConfig::default()
     };
     let run_trace = |trace: &ArrivalTrace| -> LoadReport {
         let mut qb = build();
@@ -2454,6 +2561,7 @@ fn e15_tracing(quick: bool) -> Vec<Table> {
         seed: 0xE14F,
         fresh_fraction: 0.9,
         top_k: 5,
+        ..ReplayConfig::default()
     };
 
     // Sum each stage's critical-path self time over a set of query trees.
@@ -3080,5 +3188,402 @@ fn e16_segment(quick: bool) -> Vec<Table> {
         "write amplification (publish / final bytes)".into(),
         f2(seg.publish_bytes as f64 / artifact.total_len.max(1) as f64),
     ]);
+    vec![t, t2]
+}
+
+/// E17 — replica-aware routing + hedged fetches: kill the post-crash load
+/// spike and the slow-replica tail.
+///
+/// **Part A** replays the same open-loop trace on a zoned fleet (slow
+/// cross-zone links) twice — the seed's ring-successor routing vs
+/// rendezvous hashing + power-of-two-choices — crashing one frontend
+/// between a warm-up window and the measurement window. The per-frontend
+/// admitted counts over the crash window show where the orphaned keyspace
+/// lands: the ring walk piles all of it on one successor, rendezvous
+/// spreads it across the survivors.
+///
+/// **Part B** drives the DHT read path on a lossy LAN with hedging off vs
+/// on, identical seeds: a dropped primary normally surfaces as an RPC
+/// timeout, but the hedged run arms a timer at the origin's adaptive RTT
+/// p95 and races a second replica, so its fetch p99 must land strictly
+/// below the unhedged run's — while staying inside the hedge-rate valve
+/// and a wasted-bytes budget, charging every hedge byte to `NetStats`,
+/// and returning byte-identical records.
+///
+/// Asserted acceptance criteria (the CI smoke job runs this quick):
+/// * post-crash per-frontend load spike under rendezvous + two-choices
+///   ≤ 0.6× the ring-walk successor's (both measured as the hottest
+///   survivor's excess over the pre-crash fair share of the full
+///   fleet — even a perfect respread puts 8 slots' traffic on 7
+///   survivors, so raw maxima bottom out at 8/7),
+/// * hedged fetch p99 strictly below unhedged on the same lossy net,
+/// * hedges ≤ the configured percent of fetches (the safety valve) and
+///   wasted hedge bytes ≤ 5% of the run's total traffic,
+/// * records byte-identical with hedging on vs off, and closed-loop hits
+///   byte-identical at the engine level.
+fn e17_hedging(quick: bool) -> Vec<Table> {
+    use qb_dht::{DhtConfig, DhtNetwork};
+    use qb_load::{replay, ArrivalTrace, RateShape, ReplayConfig, TraceConfig};
+    use qb_queenbee::{AdmissionConfig, CacheConfig, GossipConfig};
+    use qb_simnet::{NetConfig, SimNet};
+
+    // ----- Part A: post-crash routing spike -----------------------------------------
+
+    const ZONES: usize = 4;
+    const VICTIM: usize = 2;
+    let fleet_n: usize = 8;
+    let (num_pages, warm_secs, crash_secs, qps) = if quick {
+        (20usize, 1u64, 2u64, 150.0)
+    } else {
+        (40, 2, 6, 150.0)
+    };
+    let corpus = build_corpus(0xE17, num_pages);
+    let make_trace = |seed: u64, secs: u64| {
+        ArrivalTrace::generate(
+            &corpus,
+            &TraceConfig {
+                seed,
+                duration: SimDuration::from_secs(secs),
+                base_qps: qps,
+                shape: RateShape::Constant,
+                pool_size: 48,
+                ..TraceConfig::default()
+            },
+        )
+    };
+    let warm_trace = make_trace(0xE17A, warm_secs);
+    let crash_trace = make_trace(0xE17C, crash_secs);
+
+    struct CrashRun {
+        admitted: Vec<u64>,
+        spike: f64,
+        shed: u64,
+    }
+    let run_policy = |ring: bool| -> CrashRun {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = 64;
+        config.num_bees = 6;
+        config.seed = 0xE17;
+        // Zoned WAN: cheap in-zone links, 40ms cross-zone links — the
+        // "slow-link zone" a crashed frontend's traffic must not pile
+        // into.
+        config.net = NetConfig::zoned(ZONES, 2_000, 40_000);
+        config.cache = CacheConfig::enabled();
+        config.gossip = GossipConfig::enabled_zoned(fleet_n, ZONES);
+        config.admission = AdmissionConfig::enabled();
+        // Generous admission bounds: the measurement is about where
+        // arrivals land, so shedding must not mask the spike.
+        config.admission.queue_capacity = 128;
+        config.admission.shed_threshold = SimDuration::from_secs(5);
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+        let replay_cfg = ReplayConfig {
+            seed: 0xE17F,
+            fresh_fraction: 0.5,
+            top_k: 5,
+            ring_successor_routing: ring,
+        };
+        // Warm-up window with the full fleet, then the crash, then the
+        // measurement window on the survivors.
+        replay(&mut qb, &warm_trace, &replay_cfg).expect("warm-up replay");
+        qb.fleet_leave(VICTIM, false).expect("crash");
+        let report = replay(&mut qb, &crash_trace, &replay_cfg).expect("crash-window replay");
+        // Normalize the hottest survivor by the *pre-crash* fair share:
+        // 1.0 = "as if nobody crashed", 2.0 = "one slot absorbed a whole
+        // second keyspace" (the ring walk's signature).
+        let fair = report.admitted as f64 / fleet_n as f64;
+        let max = report
+            .admitted_per_frontend
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        CrashRun {
+            admitted: report.admitted_per_frontend.clone(),
+            spike: max as f64 / fair.max(1e-9),
+            shed: report.shed,
+        }
+    };
+    let ring = run_policy(true);
+    let hrw = run_policy(false);
+
+    assert_eq!(
+        ring.admitted[VICTIM], 0,
+        "E17a: the crashed frontend must not be routed to"
+    );
+    assert_eq!(
+        hrw.admitted[VICTIM], 0,
+        "E17a: the crashed frontend must not be routed to"
+    );
+    assert!(
+        ring.spike >= 1.5,
+        "E17a: the ring walk must actually spike its successor ({:.2}x fair share)",
+        ring.spike
+    );
+    // The spike is the *excess* over the pre-crash fair share: even a
+    // perfect respread serves eight slots' traffic on seven survivors
+    // (max >= 8/7 of fair share), so comparing raw maxima would demand
+    // the impossible once the two-choices spread approaches perfect.
+    // Excess isolates the imbalance the routing policy controls.
+    assert!(
+        hrw.spike - 1.0 <= 0.6 * (ring.spike - 1.0),
+        "E17a: rendezvous + two-choices post-crash excess load ({:.2}x over \
+         fair share) must stay <= 0.6x the ring-walk spike's excess ({:.2}x)",
+        hrw.spike - 1.0,
+        ring.spike - 1.0
+    );
+
+    let title = format!(
+        "E17a: post-crash load spike — {fleet_n}-frontend fleet over {ZONES} zones, \
+         frontend {VICTIM} crashes after warm-up, {crash_secs}s crash window at {qps} q/s"
+    );
+    let mut t = Table::new(
+        &title,
+        &[
+            "routing",
+            "admitted_per_frontend",
+            "max_admitted",
+            "max_over_fair_share",
+            "max_over_mean_survivor",
+            "shed",
+        ],
+    );
+    for (label, r) in [
+        ("ring successor (seed)", &ring),
+        ("rendezvous + 2-choices", &hrw),
+    ] {
+        let max = r.admitted.iter().copied().max().unwrap_or(0);
+        let total: u64 = r.admitted.iter().sum();
+        let survivors = (fleet_n - 1) as f64;
+        t.row(&[
+            label.into(),
+            format!("{:?}", r.admitted),
+            max.to_string(),
+            f2(r.spike),
+            f2(max as f64 / (total as f64 / survivors).max(1e-9)),
+            r.shed.to_string(),
+        ]);
+    }
+    t.row(&[
+        "spike reduction".into(),
+        "-".into(),
+        "-".into(),
+        format!("{:.1}x", ring.spike / hrw.spike.max(1e-9)),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    // ----- Part B: hedged fetches on a lossy net ------------------------------------
+
+    // A p95-armed timer naturally fires on ~5% of fetches (the benign
+    // p95-exceeders), so a valve at exactly the shipped 5% default would
+    // starve genuine timeout rescues behind benign fires; the run leaves
+    // headroom for the drop tail while still proving the cap binds.
+    const HEDGE_PERCENT: u32 = 10;
+    let (nkeys, reads) = if quick {
+        (24usize, 500usize)
+    } else {
+        (32, 1000)
+    };
+    struct HedgeRun {
+        p50: SimDuration,
+        p95: SimDuration,
+        p99: SimDuration,
+        records: Vec<Vec<u8>>,
+        stats: qb_simnet::NetStats,
+        hedge: qb_dht::HedgeStats,
+    }
+    let run_dht = |hedged: bool| -> HedgeRun {
+        // A lossy LAN: ~1% of sends vanish, so the unhedged tail is the
+        // RPC timeout while the common case is sub-millisecond — exactly
+        // the gap a p95-armed hedge closes. One RPC in flight at a time
+        // (`alpha = 1`): with lookup parallelism a dropped probe's
+        // siblings carry the lookup anyway, so the single-flight walk is
+        // the regime where the hedge timer is the *only* rescue and the
+        // unhedged run pays the full timeout.
+        let mut cfg = NetConfig::lan();
+        cfg.drop_probability = 0.01;
+        let mut net = SimNet::new(64, cfg, 0xE17B);
+        let mut dcfg = DhtConfig::small();
+        dcfg.alpha = 1;
+        if hedged {
+            dcfg.hedge = qb_dht::HedgeConfig::enabled();
+            dcfg.hedge.percent = HEDGE_PERCENT;
+        }
+        let mut dht = DhtNetwork::build(&mut net, dcfg);
+        let keys: Vec<qb_common::DhtKey> = (0..nkeys)
+            .map(|i| qb_common::DhtKey::for_term(&format!("e17-shard-{i}")))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            dht.put_record(
+                &mut net,
+                (i % 8) as u64,
+                *key,
+                format!("e17-value-{i}").into_bytes(),
+                1,
+            )
+            .expect("put");
+        }
+        let origin = 50u64;
+        let mut latency = LatencyHistogram::new();
+        let mut records = Vec::new();
+        for r in 0..reads {
+            let got = dht
+                .get_record(&mut net, origin, keys[r % nkeys])
+                .expect("get");
+            latency.record(got.latency);
+            records.push(got.record.value);
+        }
+        HedgeRun {
+            p50: latency.value_at_quantile(0.50),
+            p95: latency.value_at_quantile(0.95),
+            p99: latency.value_at_quantile(0.99),
+            records,
+            stats: net.stats().clone(),
+            hedge: dht.hedge_stats(origin),
+        }
+    };
+    let unhedged = run_dht(false);
+    let hedged = run_dht(true);
+
+    assert_eq!(
+        unhedged.records, hedged.records,
+        "E17b: hedging must not change a single returned record"
+    );
+    assert!(
+        hedged.p99 < unhedged.p99,
+        "E17b: hedged fetch p99 ({}) must land strictly below unhedged ({})",
+        hedged.p99,
+        unhedged.p99
+    );
+    assert!(
+        hedged.hedge.hedges * 100 <= hedged.hedge.fetches * HEDGE_PERCENT as u64,
+        "E17b: the hedge-rate valve must hold ({} hedges over {} fetches, cap {HEDGE_PERCENT}%)",
+        hedged.hedge.hedges,
+        hedged.hedge.fetches
+    );
+    assert_eq!(
+        hedged.stats.hedges_fired, hedged.hedge.hedges,
+        "E17b: every fired hedge must be charged to NetStats"
+    );
+    assert!(
+        hedged.stats.hedges_won <= hedged.stats.hedges_fired,
+        "E17b: hedge wins cannot exceed fires"
+    );
+    assert!(
+        hedged.stats.hedges_wasted_bytes * 20 <= hedged.stats.bytes,
+        "E17b: wasted hedge bytes ({}) must stay <= 5% of total traffic ({})",
+        hedged.stats.hedges_wasted_bytes,
+        hedged.stats.bytes
+    );
+    assert_eq!(
+        unhedged.stats.hedges_fired, 0,
+        "E17b: the unhedged run must never fire a hedge"
+    );
+
+    // Engine-level identity: the same closed-loop queries answer with
+    // byte-identical hits whether or not the DHT hedges its fetches.
+    let run_engine = |hedged: bool| -> Vec<Vec<u64>> {
+        let mut config = qb_queenbee::QueenBeeConfig::small();
+        config.num_peers = 32;
+        config.num_bees = 4;
+        config.seed = 0xE17E;
+        config.cache = CacheConfig::enabled();
+        config.gossip = GossipConfig::enabled(4);
+        if hedged {
+            config.dht.hedge = qb_dht::HedgeConfig::enabled();
+        }
+        let mut qb = qb_bench::build_engine_with(config);
+        publish_corpus(&mut qb, &corpus);
+        let workload = QueryWorkload::new(&corpus);
+        let mut rng = DetRng::new(0xE17E);
+        workload
+            .generate_batch(&corpus, &mut rng, 24)
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let out = qb.search(i as u64 % 4, q).expect("search");
+                out.results.iter().map(|r| r.doc_id).collect()
+            })
+            .collect()
+    };
+    assert_eq!(
+        run_engine(false),
+        run_engine(true),
+        "E17b: closed-loop hits must be byte-identical with hedging on vs off"
+    );
+
+    let mut t2 = Table::new(
+        &format!(
+            "E17b: hedged vs unhedged DHT fetches — {reads} reads over {nkeys} keys on a \
+             lossy LAN (1% drops, single-flight lookups), hedge valve {HEDGE_PERCENT}% of fetches"
+        ),
+        &[
+            "config",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "hedges_fired",
+            "hedges_won",
+            "hedge_wasted_bytes",
+            "fetches",
+        ],
+    );
+    for (label, r) in [("unhedged", &unhedged), ("hedged", &hedged)] {
+        t2.row(&[
+            label.into(),
+            r.p50.as_micros().to_string(),
+            r.p95.as_micros().to_string(),
+            r.p99.as_micros().to_string(),
+            r.stats.hedges_fired.to_string(),
+            r.stats.hedges_won.to_string(),
+            r.stats.hedges_wasted_bytes.to_string(),
+            r.hedge.fetches.to_string(),
+        ]);
+    }
+    t2.row(&[
+        "p99 reduction".into(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "{:.1}x",
+            unhedged.p99.as_micros() as f64 / hedged.p99.as_micros().max(1) as f64
+        ),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    // Machine-readable artifact for the CI workflow.
+    if std::fs::create_dir_all("bench-results").is_ok() {
+        let routing = serde_json::json!({
+            "ring_admitted_per_frontend": ring.admitted,
+            "hrw_admitted_per_frontend": hrw.admitted,
+            "ring_spike_over_fair_share": ring.spike,
+            "hrw_spike_over_fair_share": hrw.spike,
+            "spike_reduction": ring.spike / hrw.spike.max(1e-9),
+        });
+        let hedging = serde_json::json!({
+            "unhedged_p99_us": unhedged.p99.as_micros(),
+            "hedged_p99_us": hedged.p99.as_micros(),
+            "hedges_fired": hedged.stats.hedges_fired,
+            "hedges_won": hedged.stats.hedges_won,
+            "hedge_wasted_bytes": hedged.stats.hedges_wasted_bytes,
+            "fetches": hedged.hedge.fetches,
+            "valve_percent": HEDGE_PERCENT,
+        });
+        let artifact = serde_json::json!({
+            "experiment": "e17-hedging",
+            "quick": quick,
+            "routing": routing,
+            "hedging": hedging,
+        });
+        let _ = std::fs::write(
+            "bench-results/hedging-e17.json",
+            serde_json::to_string_pretty(&artifact).unwrap_or_default(),
+        );
+    }
+
     vec![t, t2]
 }

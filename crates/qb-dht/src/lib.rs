@@ -24,7 +24,7 @@ pub mod network;
 pub mod node;
 pub mod routing;
 
-pub use lookup::{LookupMachine, LookupStep};
+pub use lookup::{HedgeStats, LookupMachine, LookupStep};
 pub use network::{DhtNetwork, GetOutcome, LookupOutcome, PutOutcome};
 pub use node::{DhtNode, Record};
 pub use routing::RoutingTable;
@@ -46,6 +46,49 @@ pub struct DhtConfig {
     pub contact_bytes: usize,
     /// Maximum number of iterative lookup rounds before giving up.
     pub max_rounds: usize,
+    /// Hedged-fetch knobs (off by default).
+    pub hedge: HedgeConfig,
+}
+
+/// Tail-cutting hedged fetches: a value lookup arms a timer at the
+/// origin's adaptive p95 RTT and, on expiry, issues one extra speculative
+/// RPC to the next-closest unqueried replica. The first version-satisfying
+/// response wins and the loser is cancelled ([`qb_simnet::SimNet::cancel_async`]);
+/// every hedge is charged to [`qb_simnet::NetStats`] like any other RPC
+/// and attributed under `hedges_fired` / `hedges_won` /
+/// `hedges_wasted_bytes`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HedgeConfig {
+    /// Master switch. Off keeps the lookup path byte-identical to the
+    /// unhedged machine.
+    pub enabled: bool,
+    /// Safety valve: at most this percentage of an origin's value fetches
+    /// may fire a hedge (so a uniformly slow network cannot double total
+    /// traffic). 5 means one hedge per twenty fetches.
+    pub percent: u32,
+    /// Observed successful RTTs an origin must accumulate before its p95
+    /// is trusted to arm hedge timers.
+    pub min_rtt_samples: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            enabled: false,
+            percent: 5,
+            min_rtt_samples: 16,
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// An enabled configuration with the default budget knobs.
+    pub fn enabled() -> HedgeConfig {
+        HedgeConfig {
+            enabled: true,
+            ..HedgeConfig::default()
+        }
+    }
 }
 
 impl Default for DhtConfig {
@@ -57,6 +100,7 @@ impl Default for DhtConfig {
             request_bytes: 72,
             contact_bytes: 40,
             max_rounds: 20,
+            hedge: HedgeConfig::default(),
         }
     }
 }
@@ -81,7 +125,17 @@ mod tests {
         let c = DhtConfig::default();
         assert!(c.k >= c.alpha);
         assert!(c.max_rounds > 0);
+        assert!(!c.hedge.enabled, "hedging is opt-in");
+        assert!(c.hedge.percent > 0 && c.hedge.min_rtt_samples > 0);
         let s = DhtConfig::small();
         assert!(s.k < c.k);
+    }
+
+    #[test]
+    fn hedge_config_enabled_keeps_the_budget_defaults() {
+        let h = HedgeConfig::enabled();
+        assert!(h.enabled);
+        assert_eq!(h.percent, HedgeConfig::default().percent);
+        assert_eq!(h.min_rtt_samples, HedgeConfig::default().min_rtt_samples);
     }
 }

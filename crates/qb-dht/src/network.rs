@@ -55,6 +55,10 @@ pub struct GetOutcome {
 pub struct DhtNetwork {
     pub(crate) config: DhtConfig,
     pub(crate) nodes: Vec<DhtNode>,
+    /// Per-origin hedging state (RTT histograms and the fired-hedge
+    /// budget); empty until [`crate::HedgeConfig::enabled`] turns hedging
+    /// on.
+    pub(crate) hedge: std::collections::HashMap<u64, crate::lookup::OriginHedge>,
 }
 
 impl DhtNetwork {
@@ -66,7 +70,11 @@ impl DhtNetwork {
         let nodes: Vec<DhtNode> = (0..n as u64)
             .map(|i| DhtNode::new(NodeId::from_index(i), &config))
             .collect();
-        let mut dht = DhtNetwork { config, nodes };
+        let mut dht = DhtNetwork {
+            config,
+            nodes,
+            hedge: std::collections::HashMap::new(),
+        };
         dht.bootstrap(net);
         dht
     }
@@ -74,6 +82,19 @@ impl DhtNetwork {
     /// Overlay configuration.
     pub fn config(&self) -> &DhtConfig {
         &self.config
+    }
+
+    /// One origin's hedging counters — the safety-valve budget the E17
+    /// experiment asserts on (`hedges ≤ max(1, fetches × percent / 100)`).
+    pub fn hedge_stats(&self, origin: u64) -> crate::lookup::HedgeStats {
+        self.hedge
+            .get(&origin)
+            .map(|h| crate::lookup::HedgeStats {
+                fetches: h.fetches,
+                hedges: h.hedges,
+                rtt_samples: h.rtt.count(),
+            })
+            .unwrap_or_default()
     }
 
     /// Number of participants.
@@ -633,5 +654,157 @@ mod tests {
         // The contended uplink charged real queueing delay.
         assert!(net.stats().async_queued_ops > 0);
         assert!(oa.queue_delay + ob.queue_delay > SimDuration::ZERO);
+    }
+
+    /// A lossy LAN plus a workload of puts-then-gets, with hedging either
+    /// off or configured via `tweak`. Returns the network, the overlay and
+    /// the keys that were stored.
+    fn lossy_setup(
+        seed: u64,
+        tweak: impl FnOnce(&mut crate::HedgeConfig),
+    ) -> (SimNet, DhtNetwork, Vec<DhtKey>) {
+        let mut cfg = NetConfig::lan();
+        cfg.drop_probability = 0.08;
+        let mut net = SimNet::new(48, cfg, seed);
+        let mut dcfg = DhtConfig::small();
+        // Single-flight walks: with lookup parallelism a dropped probe's
+        // siblings carry the lookup, so α = 1 is the regime where a drop
+        // stalls the walk and only the hedge timer can rescue it.
+        dcfg.alpha = 1;
+        tweak(&mut dcfg.hedge);
+        let mut dht = DhtNetwork::build(&mut net, dcfg);
+        let keys: Vec<DhtKey> = (0..30)
+            .map(|i| DhtKey::for_term(&format!("hedge-workload-{i}")))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            dht.put_record(
+                &mut net,
+                (i % 8) as u64,
+                *key,
+                format!("value-{i}").into_bytes(),
+                1,
+            )
+            .unwrap();
+        }
+        (net, dht, keys)
+    }
+
+    #[test]
+    fn hedges_rescue_dropped_primaries_and_return_identical_records() {
+        let run = |enabled: bool| {
+            let (mut net, mut dht, keys) = lossy_setup(17, |h| {
+                if enabled {
+                    h.enabled = true;
+                    h.percent = 50;
+                    h.min_rtt_samples = 8;
+                }
+            });
+            let mut total = SimDuration::ZERO;
+            let mut records = Vec::new();
+            for key in &keys {
+                let got = dht.get_record(&mut net, 40, *key).unwrap();
+                total += got.latency;
+                records.push(got.record);
+            }
+            let stats = net.stats().clone();
+            (total, records, stats, dht.hedge_stats(40))
+        };
+        let (slow, base_records, base_stats, _) = run(false);
+        let (fast, hedged_records, hedged_stats, origin) = run(true);
+        // Hedge traffic is real and attributed.
+        assert_eq!(base_stats.hedges_fired, 0);
+        assert!(hedged_stats.hedges_fired > 0, "no hedge fired");
+        assert!(hedged_stats.hedges_won <= hedged_stats.hedges_fired);
+        // Nearly every get hits the network (a handful short-circuit when
+        // the reader happens to be a natural replica of the key).
+        assert!(origin.fetches >= 20, "fetches = {}", origin.fetches);
+        assert!(origin.rtt_samples > 0);
+        // The race never changes what a read returns: byte-identical
+        // records with hedging on and off.
+        assert_eq!(base_records, hedged_records);
+        // Cutting the drop→timeout tail is the whole point.
+        assert!(
+            fast < slow,
+            "hedged total {fast:?} not below unhedged {slow:?}"
+        );
+    }
+
+    #[test]
+    fn hedge_budget_caps_the_fire_rate() {
+        let (mut net, mut dht, keys) = lossy_setup(23, |h| {
+            h.enabled = true;
+            h.min_rtt_samples = 8;
+        });
+        for _ in 0..4 {
+            for key in &keys {
+                let _ = dht.get_record(&mut net, 40, *key);
+            }
+        }
+        let s = dht.hedge_stats(40);
+        let percent = dht.config().hedge.percent as u64;
+        assert!(
+            s.hedges * 100 <= s.fetches * percent,
+            "budget violated: {} hedges over {} fetches",
+            s.hedges,
+            s.fetches
+        );
+        assert_eq!(net.stats().hedges_fired, s.hedges);
+    }
+
+    #[test]
+    fn unarmed_hedging_is_bit_identical_to_disabled() {
+        // Enabled hedging whose timer can never arm (impossible sample
+        // floor) must replay the exact run of the disabled configuration:
+        // same RNG draws, latencies, hops and messages.
+        let run = |enabled: bool| {
+            let (mut net, mut dht, keys) = lossy_setup(31, |h| {
+                if enabled {
+                    h.enabled = true;
+                    h.min_rtt_samples = u64::MAX;
+                }
+            });
+            let outcomes: Vec<_> = keys
+                .iter()
+                .map(|key| {
+                    let got = dht.get_record(&mut net, 12, *key).unwrap();
+                    (got.record, got.hops, got.messages, got.latency)
+                })
+                .collect();
+            (outcomes, net.stats().clone())
+        };
+        let (base, base_stats) = run(false);
+        let (armed_off, stats) = run(true);
+        assert_eq!(base, armed_off);
+        assert_eq!(base_stats.messages, stats.messages);
+        assert_eq!(base_stats.bytes, stats.bytes);
+        assert_eq!(stats.hedges_fired, 0);
+    }
+
+    #[test]
+    fn hedge_spans_nest_under_their_lookup() {
+        let (mut net, mut dht, keys) = lossy_setup(17, |h| {
+            h.enabled = true;
+            h.percent = 50;
+            h.min_rtt_samples = 8;
+        });
+        net.take_trace();
+        net.set_tracing(true);
+        let before = net.stats().hedges_fired;
+        for key in &keys {
+            let _ = dht.get_record(&mut net, 40, *key);
+        }
+        let fired = net.stats().hedges_fired - before;
+        assert!(fired > 0, "workload fired no hedge");
+        let trace = net.take_trace();
+        let hedges: Vec<_> = trace.named("fetch.hedge").collect();
+        assert_eq!(hedges.len() as u64, fired);
+        for hedge in hedges {
+            let root = trace.root_of(hedge.id);
+            let root_span = trace.named("dht.lookup").find(|s| s.id == root);
+            assert!(
+                root_span.is_some(),
+                "fetch.hedge span not rooted under a dht.lookup span"
+            );
+        }
     }
 }

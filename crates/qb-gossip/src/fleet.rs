@@ -159,6 +159,28 @@ pub struct Frontend {
     /// adopted from publish notifications and digest piggybacks; joiners
     /// probe for it to bootstrap from the artifact instead of shard fills.
     segment_advert: Option<SegmentRef>,
+    /// The load EWMA this frontend advertises on its heartbeats: folded
+    /// from `load_recent` on every gossip round, so it decays once serving
+    /// stops and spikes one round after it starts.
+    load: u64,
+    /// Queries served since the last heartbeat tick (the EWMA's raw input).
+    load_recent: u64,
+    /// Queries the open-loop dispatcher routed here that are still
+    /// *queued* — admitted but not yet handed to a pipeline window. The
+    /// router's local gauge of its own decisions (C3-style); without it,
+    /// every arrival inside one heartbeat interval sees the same
+    /// advertised-load snapshot and two-choices herds the whole burst
+    /// onto one frontend. Deliberately excludes the dispatched in-flight
+    /// window: an empty-queue frontend mid-window should keep collecting
+    /// arrivals so they batch into its next window and share fetches.
+    routed_outstanding: u64,
+    /// Queries the open-loop dispatcher handed to this frontend's
+    /// pipeline windows since the last heartbeat fold (reset at the
+    /// fold). The cumulative half of the routing signal: it equalizes
+    /// *how much* work each frontend took this interval, not just what
+    /// is queued right now, so a fast-draining frontend does not soak up
+    /// every arrival between heartbeats.
+    routed_recent: u64,
     /// The private query-serving cache. `None` only while the engine's
     /// search path has it checked out.
     cache: Option<QueryCache>,
@@ -179,6 +201,10 @@ impl Frontend {
             pending_adverts: Vec::new(),
             filter_cache: None,
             segment_advert: None,
+            load: 0,
+            load_recent: 0,
+            routed_outstanding: 0,
+            routed_recent: 0,
             cache: Some(QueryCache::new(cache_config)),
         }
     }
@@ -400,6 +426,79 @@ impl GossipFleet {
         self.frontends[i].known.observe(term, version);
     }
 
+    /// Record that frontend `i` admitted one query. Feeds the load EWMA
+    /// the frontend advertises on its next heartbeat — the signal the
+    /// power-of-two-choices router breaks HRW ties with.
+    pub fn record_served(&mut self, i: usize) {
+        if let Some(f) = self.frontends.get_mut(i) {
+            f.load_recent += 1;
+        }
+    }
+
+    /// Record that the open-loop dispatcher routed one arrival to frontend
+    /// `i`: the query sits in its ingress queue until
+    /// [`GossipFleet::record_finished`] retires it at dispatch.
+    pub fn record_routed(&mut self, i: usize) {
+        if let Some(f) = self.frontends.get_mut(i) {
+            f.routed_outstanding += 1;
+        }
+    }
+
+    /// Retire `n` queued queries at frontend `i` — a dispatch just moved
+    /// them out of the ingress queue into a pipeline batch. The batch
+    /// still counts toward the interval's cumulative ledger until the
+    /// next heartbeat fold.
+    pub fn record_finished(&mut self, i: usize, n: u64) {
+        if let Some(f) = self.frontends.get_mut(i) {
+            f.routed_outstanding = f.routed_outstanding.saturating_sub(n);
+            f.routed_recent += n;
+        }
+    }
+
+    /// The load signal frontend `i` currently advertises: the EWMA it
+    /// folded at its last heartbeat and gossips in its membership
+    /// summaries. 0 when the frontend has never heartbeaten — an unknown
+    /// member looks idle, the optimistic default two-choices wants.
+    /// Deliberately *not* the frontend's own instantaneous counter:
+    /// routing decisions see load at heartbeat granularity, like a real
+    /// fleet. Every slot is read at the same one-fold staleness — an
+    /// earlier version read a single anchor frontend's gossip-fed view,
+    /// which saw the anchor's own load one propagation round fresher than
+    /// everyone else's and systematically diverted traffic off it
+    /// whenever fleet load was rising.
+    pub fn advertised_load(&self, i: usize) -> u64 {
+        let Some(target) = self.frontends.get(i) else {
+            return 0;
+        };
+        target.view.load_of(target.peer)
+    }
+
+    /// The load picture the two-choices router compares: the heartbeat
+    /// EWMA the frontend advertises plus the dispatcher's own gauge of
+    /// queries it routed there that are still queued. The gauge is local
+    /// information a front door legitimately has about its *own*
+    /// decisions — it is never gossiped — and it is what stops a burst
+    /// arriving inside one heartbeat interval from herding onto whichever
+    /// frontend the shared stale snapshot says is idlest. Counting only
+    /// queued (not dispatched in-flight) work keeps arrivals coalescing
+    /// behind a mid-window frontend's next batch instead of scattering
+    /// into single-query windows that cannot share fetches.
+    ///
+    /// `routed_recent` — the same router's cumulative count for the
+    /// current gossip interval — rides along so the signal also
+    /// equalizes *total* work routed per interval: without it a
+    /// fast-draining frontend (empty queue, short windows) soaks up
+    /// arrivals indefinitely and the post-crash respread skews toward
+    /// whoever serves cheapest. Both gauges are fed only by the
+    /// open-loop dispatcher, so closed-loop `search_*` calls never
+    /// perturb where a hashed route resolves.
+    pub fn routing_load(&self, i: usize) -> u64 {
+        let Some(f) = self.frontends.get(i) else {
+            return 0;
+        };
+        self.advertised_load(i) + f.routed_recent + f.routed_outstanding
+    }
+
     /// A page version touching `term` was (re)indexed at `version` by a bee
     /// on `writer_peer`. Every active frontend that can currently observe
     /// the publish (same partition, online) invalidates its cached entries
@@ -550,6 +649,10 @@ impl GossipFleet {
         f.pending_adverts.clear();
         f.filter_cache = None;
         f.segment_advert = None;
+        f.load = 0;
+        f.load_recent = 0;
+        f.routed_outstanding = 0;
+        f.routed_recent = 0;
         f.incarnation += 1;
         f.heartbeat = 0;
         let (peer, zone, inc, hb) = (f.peer, f.zone, f.incarnation, f.heartbeat);
@@ -657,10 +760,17 @@ impl GossipFleet {
                 continue;
             }
             // Heartbeat tick; the frontend is the authority on itself.
+            // Fold the queries served since the last tick into the load
+            // EWMA (half old, plus the new sample) so the advertised
+            // signal tracks serving rate but survives one idle round.
             let f = &mut self.frontends[i];
             f.heartbeat += 1;
-            let (peer, zone, inc, hb) = (f.peer, f.zone, f.incarnation, f.heartbeat);
+            f.load = f.load / 2 + f.load_recent;
+            f.load_recent = 0;
+            f.routed_recent = 0;
+            let (peer, zone, inc, hb, load) = (f.peer, f.zone, f.incarnation, f.heartbeat, f.load);
             f.view.admit(peer, zone, inc, hb, now);
+            f.view.note_load(peer, load);
             // Zone-biased sampling from the members *this* frontend
             // believes alive (anti-entropy may probe dead ones).
             let mut partners = self.frontends[i].view.sample_partners(

@@ -51,24 +51,29 @@ pub struct MemberInfo {
     pub failures: u32,
     /// Is the member believed alive (sampled in regular rounds)?
     pub alive: bool,
+    /// The member's self-reported load signal (an EWMA of queries served
+    /// per gossip round), piggybacked on its heartbeats. Routing's
+    /// power-of-two-choices tiebreak reads this; 0 until the member
+    /// advertises anything.
+    pub load: u64,
 }
 
 /// The compact membership gossip piggybacked on every digest exchange:
-/// `(peer, zone, incarnation, heartbeat)` for every member the sender
-/// believes alive (itself included).
+/// `(peer, zone, incarnation, heartbeat, load)` for every member the
+/// sender believes alive (itself included).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MembershipSummary {
-    /// `(peer, zone, incarnation, heartbeat)` tuples.
-    pub entries: Vec<(u64, usize, u64, u64)>,
+    /// `(peer, zone, incarnation, heartbeat, load)` tuples.
+    pub entries: Vec<(u64, usize, u64, u64, u64)>,
 }
 
 impl MembershipSummary {
     /// Bytes on the wire: a small frame plus a varint-budgeted tuple per
-    /// entry (peer + zone byte + incarnation + heartbeat; incarnations
-    /// count process restarts, so their varint stays one byte in
-    /// practice).
+    /// entry (peer + zone byte + incarnation + heartbeat + load;
+    /// incarnations count process restarts, so their varint stays one byte
+    /// in practice, and the load EWMA is budgeted two bytes).
     pub fn wire_bytes(&self) -> usize {
-        8 + self.entries.len() * 11
+        8 + self.entries.len() * 13
     }
 }
 
@@ -130,6 +135,7 @@ impl MembershipView {
             last_heard: now,
             failures: 0,
             alive: true,
+            load: 0,
         });
         entry.zone = zone;
         if fresher(incarnation, heartbeat, entry.incarnation, entry.heartbeat) {
@@ -156,6 +162,7 @@ impl MembershipView {
             last_heard: SimInstant::ZERO,
             failures: 0,
             alive: false,
+            load: 0,
         });
         if fresher(
             final_incarnation,
@@ -167,6 +174,22 @@ impl MembershipView {
             entry.heartbeat = final_heartbeat;
         }
         entry.alive = false;
+    }
+
+    /// Set a member's advertised load signal directly (a frontend is the
+    /// authority on its own entry; gossip moves everyone else's). No-op for
+    /// an unknown peer.
+    pub fn note_load(&mut self, peer: u64, load: u64) {
+        if let Some(m) = self.members.get_mut(&peer) {
+            m.load = load;
+        }
+    }
+
+    /// A member's advertised load signal (0 when unknown — an unknown or
+    /// freshly admitted member looks idle, which is the optimistic default
+    /// two-choices wants).
+    pub fn load_of(&self, peer: u64) -> u64 {
+        self.members.get(&peer).map(|m| m.load).unwrap_or(0)
     }
 
     /// Record a failed direct exchange with `peer`; marks it dead once
@@ -198,7 +221,7 @@ impl MembershipView {
         now: SimInstant,
     ) -> usize {
         let mut revived = 0;
-        for &(peer, zone, incarnation, heartbeat) in &summary.entries {
+        for &(peer, zone, incarnation, heartbeat, load) in &summary.entries {
             if peer == self_peer {
                 continue;
             }
@@ -207,6 +230,7 @@ impl MembershipView {
                     if fresher(incarnation, heartbeat, m.incarnation, m.heartbeat) {
                         m.incarnation = incarnation;
                         m.heartbeat = heartbeat;
+                        m.load = load;
                         m.last_heard = m.last_heard.max(now);
                         m.failures = 0;
                         if !m.alive {
@@ -217,6 +241,7 @@ impl MembershipView {
                 }
                 None => {
                     self.admit(peer, zone, incarnation, heartbeat, now);
+                    self.note_load(peer, load);
                 }
             }
         }
@@ -234,7 +259,7 @@ impl MembershipView {
                 .members
                 .values()
                 .filter(|m| m.alive)
-                .map(|m| (m.peer, m.zone, m.incarnation, m.heartbeat))
+                .map(|m| (m.peer, m.zone, m.incarnation, m.heartbeat, m.load))
                 .collect(),
         }
     }
@@ -252,7 +277,7 @@ impl MembershipView {
     ) -> MembershipSummary {
         let mut entries = Vec::new();
         if let Some(me) = self.members.get(&self_peer) {
-            entries.push((me.peer, me.zone, me.incarnation, me.heartbeat));
+            entries.push((me.peer, me.zone, me.incarnation, me.heartbeat, me.load));
         }
         let others: Vec<&MemberInfo> = self
             .members
@@ -264,7 +289,7 @@ impl MembershipView {
             let start = cursor % others.len();
             for k in 0..take {
                 let m = others[(start + k) % others.len()];
-                entries.push((m.peer, m.zone, m.incarnation, m.heartbeat));
+                entries.push((m.peer, m.zone, m.incarnation, m.heartbeat, m.load));
             }
         }
         MembershipSummary { entries }
@@ -370,14 +395,14 @@ mod tests {
         // A lagging third party still lists it alive at heartbeat <= 7;
         // that must not resurrect the tombstone.
         let lagging = MembershipSummary {
-            entries: vec![(1, 0, 0, 7)],
+            entries: vec![(1, 0, 0, 7, 0)],
         };
         assert_eq!(v.merge_summary(&lagging, 9, SimInstant::ZERO), 0);
         assert!(!v.get(1).unwrap().alive);
         // A genuine rejoin bumps the incarnation past the tombstone (the
         // restarted process starts its heartbeat over from zero).
         let rejoined = MembershipSummary {
-            entries: vec![(1, 0, 1, 0)],
+            entries: vec![(1, 0, 1, 0, 0)],
         };
         assert_eq!(v.merge_summary(&rejoined, 9, SimInstant::ZERO), 1);
         assert!(v.get(1).unwrap().alive);
@@ -399,7 +424,7 @@ mod tests {
         assert_eq!((before.incarnation, before.heartbeat), (1, 2));
 
         let delayed = MembershipSummary {
-            entries: vec![(1, 0, 0, 999)],
+            entries: vec![(1, 0, 0, 999, 0)],
         };
         assert_eq!(
             v.merge_summary(&delayed, 9, SimInstant::ZERO + SimDuration::from_secs(9)),
@@ -431,7 +456,7 @@ mod tests {
         assert!(!v.get(1).unwrap().alive);
         // ...while genuinely fresher evidence from the live incarnation can.
         let fresh = MembershipSummary {
-            entries: vec![(1, 0, 1, 3)],
+            entries: vec![(1, 0, 1, 3, 0)],
         };
         assert_eq!(
             v.merge_summary(&fresh, 9, SimInstant::ZERO + SimDuration::from_secs(9)),
@@ -470,12 +495,12 @@ mod tests {
         assert_eq!(v.alive_count(), 0);
         // A stale heartbeat does not revive; a fresher one does.
         let stale = MembershipSummary {
-            entries: vec![(1, 0, 0, 0)],
+            entries: vec![(1, 0, 0, 0, 0)],
         };
         assert_eq!(v.merge_summary(&stale, 7, SimInstant::ZERO), 0);
         assert_eq!(v.alive_count(), 0);
         let fresh = MembershipSummary {
-            entries: vec![(1, 0, 0, 4)],
+            entries: vec![(1, 0, 0, 4, 0)],
         };
         assert_eq!(v.merge_summary(&fresh, 7, SimInstant::ZERO), 1);
         assert_eq!(v.alive_count(), 1);

@@ -30,6 +30,11 @@ pub struct ReplayConfig {
     pub fresh_fraction: f64,
     /// Results requested per query.
     pub top_k: usize,
+    /// Route via the seed's [`RoutingPolicy::RingSuccessor`] (modulo + ring
+    /// walk) instead of the default rendezvous [`RoutingPolicy::HashPeer`].
+    /// Only useful for failover-geometry comparisons (E12c/E17): the ring
+    /// walk dumps a crashed frontend's whole keyspace on one successor.
+    pub ring_successor_routing: bool,
 }
 
 impl Default for ReplayConfig {
@@ -38,6 +43,7 @@ impl Default for ReplayConfig {
             seed: 0x5E7,
             fresh_fraction: 0.3,
             top_k: 5,
+            ring_successor_routing: false,
         }
     }
 }
@@ -57,9 +63,14 @@ pub fn to_requests(trace: &ArrivalTrace, config: &ReplayConfig) -> Vec<TimedRequ
             } else {
                 Freshness::CacheOk
             };
+            let routing = if config.ring_successor_routing {
+                RoutingPolicy::RingSuccessor(seq as u64)
+            } else {
+                RoutingPolicy::HashPeer(seq as u64)
+            };
             let request = SearchRequest::new(arrival.query.clone())
                 .top_k(config.top_k)
-                .route(RoutingPolicy::HashPeer(seq as u64))
+                .route(routing)
                 .freshness(freshness);
             TimedRequest::new(arrival.offset, request)
         })

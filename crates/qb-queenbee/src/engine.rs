@@ -1183,10 +1183,10 @@ impl QueenBee {
     /// the posting lists, score with BM25 blended with PageRank, and attach
     /// the highest-bidding matching ad.
     ///
-    /// In fleet mode the query is routed to frontend `peer % num_frontends`
-    /// — the deprecated implicit-modulo behaviour, kept only here. New code
-    /// should build a [`SearchRequest`] with an explicit
-    /// [`RoutingPolicy`] instead.
+    /// In fleet mode the query is routed with rendezvous hashing plus
+    /// power-of-two-choices over the live membership (see
+    /// [`RoutingPolicy::HashPeer`]). New code should build a
+    /// [`SearchRequest`] with an explicit [`RoutingPolicy`] instead.
     pub fn search(&mut self, peer: u64, query_text: &str) -> QbResult<SearchOutcome> {
         self.search_request(SearchRequest::new(query_text).route(RoutingPolicy::HashPeer(peer)))
             .map(|r| r.to_outcome())
@@ -1398,7 +1398,10 @@ impl QueenBee {
         let t0 = self.net.now();
         let nf = self.num_frontends().max(1);
         let mut queues: Vec<IngressQueue> = (0..nf).map(|_| IngressQueue::new(t0)).collect();
-        let mut report = LoadReport::default();
+        let mut report = LoadReport {
+            admitted_per_frontend: vec![0; nf],
+            ..LoadReport::default()
+        };
         let mut last_completion = t0;
 
         // Arrivals in time order (stable, so same-instant arrivals keep
@@ -1446,7 +1449,23 @@ impl QueenBee {
                         report.degraded += 1;
                         self.net.tracer().record(None, "load.degrade", at, at);
                     }
+                    // Pin the admission decision: the query is queued at
+                    // frontend `f`, so it must also be *served* there —
+                    // without the pin, plan-time re-resolution against a
+                    // later load picture can silently move it, feeding the
+                    // load EWMA at a different frontend than the one the
+                    // dispatch ledger charged.
+                    if frontend.is_some() {
+                        request.routing = RoutingPolicy::Direct(f);
+                    }
                     report.admitted += 1;
+                    report.admitted_per_frontend[f] += 1;
+                    // Feed the router's local dispatch ledger: the next
+                    // arrival's two-choices comparison sees this admit
+                    // immediately instead of waiting a heartbeat fold.
+                    if let Some(fleet) = self.fleet.as_mut() {
+                        fleet.record_routed(f);
+                    }
                     q.queue.push_back((at, request));
                     report.peak_queue_depth = report.peak_queue_depth.max(q.queue.len());
                 }
@@ -1455,6 +1474,11 @@ impl QueenBee {
                     let q = &mut queues[f];
                     let take = q.queue.len().min(cfg.dispatch_limit());
                     let batch: Vec<(SimInstant, SearchRequest)> = q.queue.drain(..take).collect();
+                    // The batch leaves the ingress queue: retire it from
+                    // the router's queued-work gauge.
+                    if let Some(fleet) = self.fleet.as_mut() {
+                        fleet.record_finished(f, take as u64);
+                    }
                     self.advance_time_to(at);
                     let requests: Vec<SearchRequest> =
                         batch.iter().map(|(_, r)| r.clone()).collect();
@@ -1495,6 +1519,12 @@ impl QueenBee {
         let mut plans: Vec<QueryPlan> = Vec::with_capacity(requests.len());
         for request in requests {
             let (origin_peer, frontend) = self.resolve_route(&request.routing)?;
+            // Every planned query bumps the serving frontend's load signal;
+            // the EWMA folds at its next heartbeat and rides the gossip
+            // summaries that feed two-choices routing.
+            if let (Some(f), Some(fleet)) = (frontend, self.fleet.as_mut()) {
+                fleet.record_served(f);
+            }
             let seq = self.query_counter + 1;
             let mut cache = self.checkout_cache(frontend);
             let planned = plan_request(
@@ -1803,9 +1833,35 @@ impl QueenBee {
                 "search_from needs a frontend fleet (config.gossip.num_frontends > 0)".into(),
             )),
             (RoutingPolicy::HashPeer(peer), Some(fleet)) if !fleet.is_empty() => {
+                // Rendezvous hashing over the live membership plus
+                // power-of-two-choices on the routing-load picture (see
+                // [`crate::query::routing`]): of the peer's two
+                // highest-scoring active slots, the one whose advertised
+                // load EWMA plus the dispatcher's own since-that-fold
+                // routing ledger is lower serves; ties keep the rendezvous
+                // winner so routing is deterministic for a given
+                // membership + load picture.
+                let active = (0..fleet.len()).filter(|&f| fleet.is_active(f));
+                let (first, second) = crate::query::routing::hrw_top2(*peer, active);
+                let Some(first) = first else {
+                    return Err(QbError::Config(
+                        "no active frontend left in the fleet".into(),
+                    ));
+                };
+                let f = match second {
+                    Some(second) if fleet.routing_load(second) < fleet.routing_load(first) => {
+                        second
+                    }
+                    _ => first,
+                };
+                Ok((fleet.frontend_peer(f), Some(f)))
+            }
+            (RoutingPolicy::HashPeer(peer), _) => Ok((*peer, None)),
+            (RoutingPolicy::RingSuccessor(peer), Some(fleet)) if !fleet.is_empty() => {
                 // Hash onto the slot ring, then walk to the next active
-                // frontend — churned-out slots keep their index so routing
-                // stays stable for the survivors.
+                // frontend — the seed's failover geometry, which dumps a
+                // dead slot's whole keyspace on one successor. Kept so
+                // experiments can measure the spike two-choices removes.
                 let n = fleet.len();
                 let mut f = *peer as usize % n;
                 let mut tried = 0;
@@ -1820,8 +1876,16 @@ impl QueenBee {
                 }
                 Ok((fleet.frontend_peer(f), Some(f)))
             }
-            (RoutingPolicy::HashPeer(peer), _) => Ok((*peer, None)),
+            (RoutingPolicy::RingSuccessor(peer), _) => Ok((*peer, None)),
         }
+    }
+
+    /// Resolve a routing policy to the fleet slot that would serve it right
+    /// now, without serving anything (`None` in single-frontend mode).
+    /// Experiments use this to observe landing distributions of the routing
+    /// policies side by side.
+    pub fn route_frontend(&self, routing: &RoutingPolicy) -> QbResult<Option<usize>> {
+        self.resolve_route(routing).map(|(_, f)| f)
     }
 
     /// Check the serving cache out of its slot (the single-mode cache, or
@@ -2742,9 +2806,10 @@ mod tests {
         // But each frontend's own repeat is warm.
         let warm0 = qb.search_from(0, "frontends privately").unwrap();
         assert!(warm0.result_cache_hit);
-        // search() routes by peer modulo fleet size.
+        // search() routes by rendezvous hash over the live fleet; peer 3's
+        // winning slot is one of the two frontends warmed above.
         let routed = qb.search(3, "frontends privately").unwrap();
-        assert!(routed.result_cache_hit, "peer 3 routes to frontend 0");
+        assert!(routed.result_cache_hit, "peer 3 routes to a warm frontend");
         // search_from out of range / without a fleet errors cleanly.
         assert!(qb.search_from(9, "x").is_err());
         assert!(engine().search_from(0, "x").is_err());
@@ -2954,7 +3019,7 @@ mod tests {
             qb.fleet_rejoin(0).is_err(),
             "active frontends cannot rejoin"
         );
-        // ...while hashed routing walks to the next active slot.
+        // ...while hashed routing falls over to a surviving slot.
         let routed = qb.search(1, "departures reroute").unwrap();
         assert!(!routed.results.is_empty());
         // A crashed frontend rejoins with a fleet-warmed cache.
@@ -2967,6 +3032,56 @@ mod tests {
         let stats = qb.gossip_stats().unwrap();
         assert_eq!(stats.leaves, 1);
         assert_eq!(stats.joins, 1, "rejoin counts as a join");
+    }
+
+    #[test]
+    fn crashed_slot_keyspace_spreads_across_the_surviving_fleet() {
+        use std::collections::HashSet;
+        let mut qb = fleet_engine(8, true);
+        // Peers whose rendezvous winner is slot 2 — the keyspace a crash
+        // of that slot orphans.
+        let orphans: Vec<u64> = (0..512u64)
+            .filter(|&p| qb.route_frontend(&RoutingPolicy::HashPeer(p)).unwrap() == Some(2))
+            .collect();
+        assert!(
+            orphans.len() > 16,
+            "rendezvous gives slot 2 roughly 1/8 of 512 peers, got {}",
+            orphans.len()
+        );
+        qb.fleet_leave(2, false).unwrap();
+        let landed: HashSet<usize> = orphans
+            .iter()
+            .map(|&p| {
+                let f = qb
+                    .route_frontend(&RoutingPolicy::HashPeer(p))
+                    .unwrap()
+                    .expect("fleet mode");
+                assert_ne!(f, 2, "crashed slot must not serve");
+                f
+            })
+            .collect();
+        // Each orphaned peer falls over to its own second choice, so the
+        // dead slot's keyspace spreads across at least half the survivors.
+        assert!(
+            landed.len() * 2 >= 7,
+            "orphans landed on only {} of 7 survivors",
+            landed.len()
+        );
+        // The seed's ring walk dumps its entire orphaned keyspace (peers
+        // hashing to slot 2 modulo 8) onto the single ring successor.
+        let ring_landed: HashSet<usize> = (0..512u64)
+            .filter(|p| p % 8 == 2)
+            .map(|p| {
+                qb.route_frontend(&RoutingPolicy::RingSuccessor(p))
+                    .unwrap()
+                    .expect("fleet mode")
+            })
+            .collect();
+        assert_eq!(
+            ring_landed,
+            HashSet::from([3]),
+            "ring-successor failover concentrates on one slot"
+        );
     }
 
     #[test]

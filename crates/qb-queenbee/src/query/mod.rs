@@ -37,6 +37,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod request;
 pub mod response;
+pub mod routing;
 
 pub use admission::{AdmissionConfig, LoadReport, TimedRequest};
 pub use executor::WindowMemo;

@@ -12,10 +12,20 @@ use qb_common::SimDuration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingPolicy {
     /// Issue the query from this simulated peer. In fleet mode the request
-    /// is routed to frontend `peer % num_frontends` — the seed's implicit
-    /// modulo behaviour, kept only for the back-compat shims. Prefer
-    /// [`RoutingPolicy::Direct`] when a fleet is configured.
+    /// is routed with rendezvous (highest-random-weight) hashing plus
+    /// power-of-two-choices over the *live* membership: the two
+    /// highest-scoring active frontends for the peer are candidates and the
+    /// one advertising less load (gossip-propagated EWMA of recently served
+    /// queries) wins. A crashed frontend's keyspace therefore spreads
+    /// across the whole surviving fleet instead of piling onto one ring
+    /// successor.
     HashPeer(u64),
+    /// The seed's implicit modulo behaviour: frontend `peer %
+    /// num_frontends`, walking the ring to the next active slot when that
+    /// frontend is down. Kept as an explicit policy so experiments can
+    /// measure the post-crash load spike [`RoutingPolicy::HashPeer`]
+    /// eliminates.
+    RingSuccessor(u64),
     /// Serve at this specific fleet frontend (errors without a fleet or when
     /// the index is out of range, exactly like the old `search_from`).
     Direct(usize),

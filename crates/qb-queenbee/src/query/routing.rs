@@ -1,0 +1,156 @@
+//! Rendezvous (highest-random-weight) frontend routing.
+//!
+//! The seed routed a request from peer `p` to frontend `p % n` and, when
+//! that frontend was down, walked the ring to the next active slot. That
+//! makes a crash a *local* catastrophe: the dead frontend's entire keyspace
+//! lands on its single ring successor, which promptly becomes the new
+//! hotspot (E12's post-crash load spike).
+//!
+//! Rendezvous hashing fixes the failover geometry. Every (peer, slot) pair
+//! gets an independent pseudo-random score; a peer is served by its
+//! highest-scoring *live* slot. When a slot dies, each peer that hashed to
+//! it independently falls over to its own second choice — so the orphaned
+//! keyspace spreads across the whole surviving fleet instead of piling onto
+//! one neighbour. Re-routing is minimal by construction: a membership
+//! change only moves the peers whose top choice changed.
+//!
+//! On top of the rendezvous order we apply **power-of-two-choices**: the
+//! top two live slots are candidates and the one advertising less load
+//! (the gossip-propagated EWMA of recently served queries, see
+//! [`qb_gossip::GossipFleet::advertised_load`]) serves the request. Two
+//! choices are famously enough to collapse the max/mean load gap, and
+//! because ties prefer the rendezvous winner the routing stays fully
+//! deterministic for a given membership + load picture.
+
+/// `splitmix64` finalizer: a cheap, statistically strong 64-bit mixer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The rendezvous score of frontend slot `slot` for requester peer `peer`.
+/// Independent across both arguments: changing the slot set never changes
+/// the score of the remaining slots (the property minimal re-routing rests
+/// on).
+pub fn hrw_score(peer: u64, slot: usize) -> u64 {
+    mix64(peer ^ mix64(slot as u64 ^ 0x5157_4545_4e42_4545)) // "QUEENBEE" salt
+}
+
+/// The two highest-scoring slots for `peer` among `slots` (typically the
+/// *active* fleet members). Returns `(first, second)`; `second` is `None`
+/// when fewer than two slots are offered. Ties break toward the lower slot
+/// index so the order is total and deterministic.
+pub fn hrw_top2(
+    peer: u64,
+    slots: impl IntoIterator<Item = usize>,
+) -> (Option<usize>, Option<usize>) {
+    let mut best: Option<(u64, usize)> = None;
+    let mut second: Option<(u64, usize)> = None;
+    for slot in slots {
+        let cand = (hrw_score(peer, slot), slot);
+        let beats =
+            |other: &(u64, usize)| cand.0 > other.0 || (cand.0 == other.0 && cand.1 < other.1);
+        if best.as_ref().is_none_or(&beats) {
+            second = best;
+            best = Some(cand);
+        } else if second.as_ref().is_none_or(&beats) {
+            second = Some(cand);
+        }
+    }
+    (best.map(|(_, s)| s), second.map(|(_, s)| s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn top2_is_deterministic_and_distinct() {
+        for peer in 0..64u64 {
+            let (a1, b1) = hrw_top2(peer, 0..16);
+            let (a2, b2) = hrw_top2(peer, (0..16).rev());
+            assert_eq!((a1, b1), (a2, b2), "iteration order changed the pick");
+            let (a, b) = (a1.unwrap(), b1.unwrap());
+            assert_ne!(a, b);
+            assert!(a < 16 && b < 16);
+        }
+    }
+
+    #[test]
+    fn single_slot_has_no_second_choice() {
+        assert_eq!(hrw_top2(7, [3]), (Some(3), None));
+        assert_eq!(hrw_top2(7, []), (None, None));
+    }
+
+    #[test]
+    fn keyspace_spreads_roughly_evenly() {
+        let n = 16usize;
+        let mut landings = vec![0u32; n];
+        for peer in 0..4096u64 {
+            let (first, _) = hrw_top2(peer, 0..n);
+            landings[first.unwrap()] += 1;
+        }
+        let mean = 4096 / n as u32;
+        for (slot, &count) in landings.iter().enumerate() {
+            assert!(
+                count > mean / 2 && count < mean * 2,
+                "slot {slot} got {count} of 4096 (mean {mean})"
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_slot_falls_over_to_the_second_choice() {
+        // Removing the winning slot promotes exactly the second choice —
+        // the property that spreads a dead frontend's keyspace fleet-wide.
+        for peer in 0..256u64 {
+            let (first, second) = hrw_top2(peer, 0..12);
+            let survivors = (0..12).filter(|&s| Some(s) != first);
+            let (promoted, _) = hrw_top2(peer, survivors);
+            assert_eq!(promoted, second);
+        }
+    }
+
+    proptest! {
+        /// Join/leave stability: slots outside the top two never influence
+        /// the pick, so removing one (leave) or adding a fresh one that
+        /// scores below the pair (join) leaves the top-2 unchanged; a
+        /// joining slot that scores higher displaces from the top, keeping
+        /// the survivor order.
+        #[test]
+        fn top2_is_stable_under_join_and_leave(
+            peer in any::<u64>(),
+            slots in proptest::collection::btree_set(0usize..64, 3..24),
+            newcomer in 64usize..128,
+        ) {
+            let mut slots = slots;
+            let (first, second) = hrw_top2(peer, slots.iter().copied());
+            let (f, s) = (first.unwrap(), second.unwrap());
+
+            // Leave of a non-top-2 slot: pick unchanged.
+            if let Some(&bystander) = slots.iter().find(|&&x| x != f && x != s) {
+                let without = slots.iter().copied().filter(|&x| x != bystander);
+                prop_assert_eq!(hrw_top2(peer, without), (first, second));
+            }
+
+            // Leave of the winner: second choice is promoted.
+            let without_first = slots.iter().copied().filter(|&x| x != f);
+            let (promoted, _) = hrw_top2(peer, without_first);
+            prop_assert_eq!(promoted, second);
+
+            // Join: the newcomer either scores below the pair (pick
+            // unchanged) or enters it without reordering the survivors.
+            slots.insert(newcomer);
+            let (nf, ns) = hrw_top2(peer, slots.iter().copied());
+            let grown = [nf.unwrap(), ns.unwrap()];
+            if grown.contains(&newcomer) {
+                prop_assert!(grown.contains(&f) || nf == Some(newcomer));
+            } else {
+                prop_assert_eq!((nf, ns), (first, second));
+            }
+        }
+    }
+}

@@ -636,6 +636,48 @@ impl SimNet {
         }))
     }
 
+    /// Cancel an in-flight operation: retire the handle and free its
+    /// per-link in-flight slot immediately, so subsequently issued
+    /// operations on the same link no longer queue behind it. Returns
+    /// `false` for an unknown (or already-retired) handle.
+    ///
+    /// This is the hedge-loser path: the loser's messages and bytes were
+    /// already charged at issue time (cancellation refunds nothing — the
+    /// traffic happened), only its claim on future link capacity is
+    /// released. Operations that already queued behind the cancelled one
+    /// keep the start instants they computed at issue time; only
+    /// operations issued *after* the cancellation see the freed slot.
+    pub fn cancel_async(&mut self, handle: RpcHandle) -> bool {
+        let Some(op) = self.in_flight.remove(&handle.0) else {
+            return false;
+        };
+        if let Some(completions) = self.link_completions.get_mut(&op.link) {
+            if let Some(pos) = completions.iter().position(|&c| c == op.completes_at) {
+                completions.swap_remove(pos);
+            }
+            if completions.is_empty() {
+                self.link_completions.remove(&op.link);
+            }
+        }
+        true
+    }
+
+    /// Attribute one hedged fetch issued after a hedge timer expired.
+    pub fn record_hedge_fired(&mut self) {
+        self.stats.hedges_fired += 1;
+    }
+
+    /// Attribute one hedged fetch that beat its primary.
+    pub fn record_hedge_won(&mut self) {
+        self.stats.hedges_won += 1;
+    }
+
+    /// Attribute `bytes` of already-charged traffic whose response was
+    /// discarded because the other leg of a hedged pair won.
+    pub fn record_hedge_wasted(&mut self, bytes: u64) {
+        self.stats.hedges_wasted_bytes += bytes;
+    }
+
     /// When an in-flight operation will complete (`None` for an unknown or
     /// retired handle). Read-only — the handle stays live.
     pub fn async_completes_at(&self, handle: RpcHandle) -> Option<SimInstant> {
@@ -933,6 +975,50 @@ mod tests {
         for h in [a, b, c] {
             net.poll_complete(h, far);
         }
+    }
+
+    #[test]
+    fn cancel_async_frees_the_link_slot() {
+        let mut cfg = NetConfig::lan();
+        cfg.max_in_flight_per_link = 1;
+        let mut net = SimNet::new(3, cfg, 28);
+        let at = net.now();
+        let a = net.send_async_at(0, 1, 64, 64, at, None).unwrap();
+        let queued_before = net.stats().async_queued_ops;
+        assert!(net.cancel_async(a), "live handle cancels");
+        assert!(!net.cancel_async(a), "second cancel is a no-op");
+        assert_eq!(net.async_in_flight(), 0);
+        // The slot is free again: an op issued at the same instant starts
+        // immediately instead of queueing behind the cancelled one.
+        let b = net.send_async_at(0, 2, 64, 64, at, None).unwrap();
+        assert_eq!(net.stats().async_queued_ops, queued_before, "no queueing");
+        match net.poll_complete(b, at) {
+            Some(Poll::Pending { .. }) => {}
+            other => panic!("expected pending, got {other:?}"),
+        }
+        let due = net.async_completes_at(b).unwrap();
+        match net.poll_complete(b, due) {
+            Some(Poll::Ready(done)) => assert_eq!(done.queue_delay, SimDuration::ZERO),
+            other => panic!("expected ready, got {other:?}"),
+        }
+        assert!(net.link_completions.is_empty(), "tracker fully drained");
+    }
+
+    #[test]
+    fn cancel_async_keeps_charged_traffic() {
+        let mut net = lan(3, 29);
+        let at = net.now();
+        let h = net.send_async_at(0, 1, 100, 200, at, None).unwrap();
+        let bytes = net.stats().bytes;
+        net.cancel_async(h);
+        assert_eq!(net.stats().bytes, bytes, "cancellation refunds nothing");
+        assert!(net.poll_complete(h, at).is_none(), "handle retired");
+        net.record_hedge_fired();
+        net.record_hedge_won();
+        net.record_hedge_wasted(300);
+        assert_eq!(net.stats().hedges_fired, 1);
+        assert_eq!(net.stats().hedges_won, 1);
+        assert_eq!(net.stats().hedges_wasted_bytes, 300);
     }
 
     #[test]

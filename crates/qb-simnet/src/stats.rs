@@ -29,6 +29,16 @@ pub struct NetStats {
     /// Total queueing delay (µs) charged to asynchronous operations by the
     /// per-link in-flight limits.
     pub async_queue_delay_us: u64,
+    /// Hedged (speculative duplicate) fetches issued after a hedge timer
+    /// expired. All hedge traffic is charged to `messages`/`bytes` like any
+    /// other RPC — this counter only attributes it.
+    pub hedges_fired: u64,
+    /// Hedged fetches whose response arrived before the primary's (the
+    /// hedge "won" and the primary was cancelled).
+    pub hedges_won: u64,
+    /// Payload bytes of hedge losers: traffic already charged to `bytes`
+    /// whose response was discarded because the other leg won.
+    pub hedges_wasted_bytes: u64,
 }
 
 impl NetStats {
@@ -53,6 +63,11 @@ impl NetStats {
             async_queue_delay_us: self
                 .async_queue_delay_us
                 .saturating_sub(earlier.async_queue_delay_us),
+            hedges_fired: self.hedges_fired.saturating_sub(earlier.hedges_fired),
+            hedges_won: self.hedges_won.saturating_sub(earlier.hedges_won),
+            hedges_wasted_bytes: self
+                .hedges_wasted_bytes
+                .saturating_sub(earlier.hedges_wasted_bytes),
         }
     }
 }
@@ -69,6 +84,9 @@ impl qb_trace::MetricsSource for NetStats {
         out.add_counter("net.async_ops", self.async_ops);
         out.add_counter("net.async_queued_ops", self.async_queued_ops);
         out.add_counter("net.async_queue_delay_us", self.async_queue_delay_us);
+        out.add_counter("net.hedges_fired", self.hedges_fired);
+        out.add_counter("net.hedges_won", self.hedges_won);
+        out.add_counter("net.hedges_wasted_bytes", self.hedges_wasted_bytes);
     }
 }
 
@@ -209,6 +227,9 @@ mod tests {
             async_ops: 3,
             async_queued_ops: 1,
             async_queue_delay_us: 40,
+            hedges_fired: 2,
+            hedges_won: 1,
+            hedges_wasted_bytes: 64,
         };
         let b = NetStats {
             messages: 25,
@@ -221,6 +242,9 @@ mod tests {
             async_ops: 7,
             async_queued_ops: 2,
             async_queue_delay_us: 90,
+            hedges_fired: 5,
+            hedges_won: 2,
+            hedges_wasted_bytes: 100,
         };
         let d = b.delta_since(&a);
         assert_eq!(d.messages, 15);
@@ -233,5 +257,8 @@ mod tests {
         assert_eq!(d.async_ops, 4);
         assert_eq!(d.async_queued_ops, 1);
         assert_eq!(d.async_queue_delay_us, 50);
+        assert_eq!(d.hedges_fired, 3);
+        assert_eq!(d.hedges_won, 1);
+        assert_eq!(d.hedges_wasted_bytes, 36);
     }
 }

@@ -99,6 +99,17 @@ fn main() {
     //    explicit top-k, pagination, routing and freshness knobs — and the
     //    answer is a SearchResponse: the ranked page of hits plus a
     //    per-stage cost trace and per-term cache provenance.
+    //
+    //    Routing: use `RoutingPolicy::HashPeer(key)` unless you have a
+    //    reason not to. In fleet mode it picks the serving frontend by
+    //    rendezvous (HRW) hashing over the *live* membership plus
+    //    power-of-two-choices on the gossip-advertised load EWMAs, so a
+    //    crashed frontend's keyspace respreads across the whole surviving
+    //    fleet and hot spots self-correct. `Direct(i)` pins a specific
+    //    frontend (tests, debugging); `RingSuccessor(key)` keeps the old
+    //    modulo + ring-walk geometry only so experiments (E12c/E17a) can
+    //    measure the post-crash load spike HashPeer eliminates — don't
+    //    route production traffic with it.
     let request = SearchRequest::new("artisanal honey")
         .top_k(5)
         .route(RoutingPolicy::HashPeer(5));

@@ -227,7 +227,7 @@ fn batch_sharing_never_crosses_frontends() {
 }
 
 /// Routing is explicit on the request: `Direct` addresses a frontend,
-/// `HashPeer` keeps the deprecated modulo behaviour for the shims, and both
+/// `HashPeer` routes by rendezvous hash over the live fleet, and both
 /// reject configurations they cannot serve.
 #[test]
 fn routing_policies_are_explicit_and_validated() {
@@ -240,19 +240,24 @@ fn routing_policies_are_explicit_and_validated() {
     qb.seal();
     qb.process_publish_events().unwrap();
 
-    // Direct(1) serves (and warms) frontend 1; HashPeer(4) with a fleet of
-    // 3 lands on the same frontend, so the repeat is a result-cache hit.
+    // Rendezvous routing is deterministic: warm the slot HashPeer(4) maps
+    // to via Direct, and the hashed repeat is a result-cache hit.
+    let slot = qb
+        .route_frontend(&RoutingPolicy::HashPeer(4))
+        .unwrap()
+        .expect("fleet mode");
     let cold = qb
-        .search_request(SearchRequest::new("routing").route(RoutingPolicy::Direct(1)))
+        .search_request(SearchRequest::new("routing").route(RoutingPolicy::Direct(slot)))
         .unwrap();
     assert!(cold.shards_fetched() > 0);
     let routed = qb
         .search_request(SearchRequest::new("routing").route(RoutingPolicy::HashPeer(4)))
         .unwrap();
-    assert!(routed.result_cache_hit(), "4 % 3 routes to frontend 1");
-    // Frontend 0 stays cold: no implicit sharing between frontends.
+    assert!(routed.result_cache_hit(), "hash lands on the warmed slot");
+    // Any other frontend stays cold: no implicit sharing between them.
+    let other_slot = (0..3).find(|s| *s != slot).unwrap();
     let other = qb
-        .search_request(SearchRequest::new("routing").route(RoutingPolicy::Direct(0)))
+        .search_request(SearchRequest::new("routing").route(RoutingPolicy::Direct(other_slot)))
         .unwrap();
     assert!(!other.result_cache_hit());
 

@@ -9,7 +9,8 @@ use qb_chain::AccountId;
 use qb_common::{SimDuration, SimInstant};
 use qb_load::{replay, replay_traced, ArrivalTrace, RateShape, ReplayConfig, TraceConfig};
 use qb_queenbee::{
-    AdmissionConfig, CacheConfig, GossipConfig, QueenBee, QueenBeeConfig, SearchRequest,
+    AdmissionConfig, CacheConfig, GossipConfig, QueenBee, QueenBeeConfig, RoutingPolicy,
+    SearchRequest,
 };
 use qb_trace::{attribution, critical_path, to_chrome_trace, to_json, MetricsSnapshot};
 use qb_workload::{Corpus, CorpusConfig, CorpusGenerator};
@@ -159,11 +160,33 @@ fn exports_are_deterministic() {
 #[test]
 fn closed_loop_query_has_fetch_dominated_critical_path() {
     let corpus = corpus(0x7ACE, 16);
+    let term = corpus.pages[0].title.split_whitespace().next().unwrap();
+    // Rendezvous routing may land the query on a frontend whose origin peer
+    // co-hosts the term's shard replica, making the fetch a free local read.
+    // This test is about trace attribution, not placement: probe throwaway
+    // engines for a frontend that actually reaches over the network and pin
+    // the traced query there.
+    let slot = (0..4)
+        .find(|&s| {
+            let mut probe = engine(&corpus, 0x7ACE);
+            let r = probe
+                .search_request(
+                    SearchRequest::new(term)
+                        .top_k(5)
+                        .route(RoutingPolicy::Direct(s)),
+                )
+                .expect("probe search");
+            r.trace.shard_fetch > SimDuration::ZERO
+        })
+        .expect("some frontend must fetch its shard over the network");
     let mut qb = engine(&corpus, 0x7ACE);
     qb.set_tracing(true);
-    let term = corpus.pages[0].title.split_whitespace().next().unwrap();
     let response = qb
-        .search_request(SearchRequest::new(term).top_k(5))
+        .search_request(
+            SearchRequest::new(term)
+                .top_k(5)
+                .route(RoutingPolicy::Direct(slot)),
+        )
         .expect("search");
     assert!(response.latency > SimDuration::ZERO);
     let spans = qb.take_trace();
